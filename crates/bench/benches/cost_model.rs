@@ -1,0 +1,64 @@
+//! Expected-cost evaluator throughput: the `O(2^K · K · T)` decomposition
+//! versus group count and horizon length. This is the optimizer's inner
+//! loop, executed ~10^4–10^6 times per planning decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec2_market::instance::InstanceTypeId;
+use ec2_market::market::CircleGroupId;
+use ec2_market::zone::AvailabilityZone;
+use sompi_core::cost::{evaluate, GroupAssessment};
+use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
+
+fn assessment(exec: f64, survival: f64, horizon: usize) -> GroupAssessment {
+    let group = CircleGroup {
+        id: CircleGroupId::new(InstanceTypeId(0), AvailabilityZone::UsEast1a),
+        instances: 32,
+        exec_hours: exec,
+        ckpt_overhead_hours: 0.02,
+        recovery_hours: 0.1,
+    };
+    GroupAssessment {
+        group,
+        decision: GroupDecision { bid: 0.1, ckpt_interval: exec / 8.0 },
+        expected_price: 0.03,
+        survival,
+        fail_buckets: vec![(1.0 - survival) / horizon as f64; horizon],
+        launch_delay: 0.2,
+    }
+}
+
+fn od() -> OnDemandOption {
+    OnDemandOption {
+        instance_type: InstanceTypeId(4),
+        instances: 4,
+        exec_hours: 2.0,
+        unit_price: 2.0,
+        recovery_hours: 0.1,
+    }
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let odo = od();
+    let mut g = c.benchmark_group("evaluate_by_group_count");
+    for k in [1usize, 2, 3, 4, 6] {
+        let groups: Vec<_> = (0..k)
+            .map(|i| assessment(3.0 + i as f64 * 0.5, 0.6, 8))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &groups, |b, groups| {
+            b.iter(|| evaluate(std::hint::black_box(groups), &odo))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("evaluate_by_horizon");
+    for t in [4usize, 16, 48, 96] {
+        let groups: Vec<_> = (0..3).map(|_| assessment(t as f64, 0.6, t)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(t), &groups, |b, groups| {
+            b.iter(|| evaluate(std::hint::black_box(groups), &odo))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

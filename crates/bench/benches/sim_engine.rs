@@ -1,0 +1,57 @@
+//! Discrete-event MPI simulator throughput: event-queue operations and
+//! full program executions at increasing rank counts and superstep
+//! resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec2_market::instance::InstanceCatalog;
+use mpi_sim::checkpoint::CheckpointSpec;
+use mpi_sim::cluster::ClusterSpec;
+use mpi_sim::engine::EventQueue;
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::program::Program;
+use mpi_sim::sim::Simulation;
+use mpi_sim::storage::S3Store;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u32 {
+                // Scatter times deterministically.
+                let t = ((i.wrapping_mul(2654435761)) % 10_000) as f64;
+                q.schedule(t, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e as u64);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let catalog = InstanceCatalog::paper_2014();
+
+    let mut g = c.benchmark_group("des_full_run");
+    g.sample_size(10);
+    for (procs, steps) in [(64u32, 100u32), (128, 100), (128, 400)] {
+        let ty = catalog.by_name("m1.medium").unwrap();
+        let profile = NpbKernel::Bt.profile(NpbClass::B, procs).repeated(10);
+        let cluster = ClusterSpec::for_processes(&catalog, ty, procs);
+        let ckpt = CheckpointSpec::for_app(&catalog, &cluster, &profile, S3Store::paper_2014());
+        let program = Program::from_profile(&profile, steps);
+        let sim = Simulation::new(&catalog, cluster, ckpt);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}r_{steps}s")),
+            &(program, sim),
+            |b, (program, sim)| {
+                b.iter(|| sim.run(std::hint::black_box(program), Some(0.05), None))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_simulation);
+criterion_main!(benches);

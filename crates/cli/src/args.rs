@@ -1,0 +1,181 @@
+//! Tiny dependency-free argument parser: `--flag value`, `--flag=value`
+//! and boolean `--flag` forms, with typed accessors and unknown-flag
+//! detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Argument errors, rendered to the user verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// `--flag` was given but the command does not know it.
+    Unknown(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// Flag name without dashes.
+        flag: String,
+        /// Offending raw value.
+        value: String,
+        /// Expected type, e.g. `"number"`.
+        expected: &'static str,
+    },
+    /// A required flag is missing.
+    Missing(&'static str),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag}: expected {expected}, got {value:?}")
+            }
+            ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (excluding the program name and subcommand).
+    pub fn parse(raw: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut options = BTreeMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(stripped) = a.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    options.insert(k.to_string(), v.to_string());
+                } else if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    options.insert(stripped.to_string(), raw[i + 1].clone());
+                    i += 1;
+                } else {
+                    options.insert(stripped.to_string(), "true".to_string());
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Self { positional, options }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Raw string option.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// String option with default.
+    pub fn str_or(&self, flag: &str, default: &str) -> String {
+        self.get(flag).unwrap_or(default).to_string()
+    }
+
+    /// Float option with default.
+    pub fn f64_or(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.into(),
+                value: v.into(),
+                expected: "number",
+            }),
+        }
+    }
+
+    /// Integer option with default.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.into(),
+                value: v.into(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// Boolean flag (present or `--flag=true`).
+    pub fn flag(&self, flag: &str) -> bool {
+        matches!(self.get(flag), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Reject flags outside the allowed set.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::Unknown(k.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn space_and_equals_forms() {
+        let a = parse(&["--app", "BT", "--deadline=1.5", "--json"]);
+        assert_eq!(a.get("app"), Some("BT"));
+        assert_eq!(a.get("deadline"), Some("1.5"));
+        assert!(a.flag("json"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn positionals_survive() {
+        let a = parse(&["feed.csv", "--step", "0.25", "other.txt"]);
+        assert_eq!(a.positional(), ["feed.csv", "other.txt"]);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = parse(&["--x", "2.5", "--n", "7"]);
+        assert_eq!(a.f64_or("x", 0.0).unwrap(), 2.5);
+        assert_eq!(a.u64_or("n", 0).unwrap(), 7);
+        assert_eq!(a.f64_or("absent", 9.0).unwrap(), 9.0);
+        assert!(a.f64_or("n", 0.0).is_ok());
+    }
+
+    #[test]
+    fn bad_values_error_cleanly() {
+        let a = parse(&["--x", "abc"]);
+        assert!(matches!(
+            a.f64_or("x", 0.0),
+            Err(ArgError::BadValue { expected: "number", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse(&["--app", "BT", "--tyop", "q"]);
+        assert_eq!(a.check_known(&["app"]), Err(ArgError::Unknown("tyop".into())));
+        assert!(a.check_known(&["app", "tyop"]).is_ok());
+    }
+
+    #[test]
+    fn boolean_then_positional() {
+        // A bare flag followed by another flag stays boolean.
+        let a = parse(&["--json", "--app", "BT"]);
+        assert!(a.flag("json"));
+        assert_eq!(a.get("app"), Some("BT"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared construction helpers for CLI commands: markets (synthetic or
+//! from a feed file), applications and problems, driven by flags.
+
+use crate::args::{ArgError, Args};
+use ec2_market::instance::InstanceCatalog;
+use ec2_market::market::{CircleGroupId, SpotMarket};
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use ec2_market::zone::AvailabilityZone;
+use mpi_sim::lammps::Lammps;
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::profile::AppProfile;
+use mpi_sim::storage::S3Store;
+use sompi_core::problem::Problem;
+
+/// Command errors: argument problems or domain failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Arg(ArgError),
+    /// Anything else, already formatted.
+    Other(String),
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Build a market from flags: either `--feed <file>` (AWS price history)
+/// or a synthetic one from `--seed` / `--hours`.
+pub fn market_from(args: &Args) -> Result<SpotMarket, CliError> {
+    let step = args.f64_or("step", 1.0 / 12.0)?;
+    if let Some(path) = args.get("feed") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?;
+        let events =
+            ec2_market::feed::parse_feed(&text).map_err(|e| CliError::Other(e.to_string()))?;
+        let catalog = InstanceCatalog::paper_2014();
+        let mut market = SpotMarket::new(catalog.clone());
+        for ((ty_name, zone_name), trace) in ec2_market::feed::traces_by_group(&events, step) {
+            let Some(ty) = catalog.by_name(&ty_name) else {
+                return Err(CliError::Other(format!(
+                    "feed references unknown instance type {ty_name:?}"
+                )));
+            };
+            let zone = parse_zone(&zone_name)?;
+            market.insert(CircleGroupId::new(ty, zone), trace);
+        }
+        if market.is_empty() {
+            return Err(CliError::Other("feed produced no traces".into()));
+        }
+        Ok(market)
+    } else {
+        let seed = args.u64_or("seed", 42)?;
+        let hours = args.f64_or("hours", 336.0)?;
+        let catalog = InstanceCatalog::paper_2014();
+        let profile = MarketProfile::paper_2014(&catalog);
+        Ok(SpotMarket::generate(
+            catalog,
+            &TraceGenerator::new(profile, seed),
+            hours,
+            step,
+        ))
+    }
+}
+
+fn parse_zone(name: &str) -> Result<AvailabilityZone, CliError> {
+    match name {
+        "us-east-1a" => Ok(AvailabilityZone::UsEast1a),
+        "us-east-1b" => Ok(AvailabilityZone::UsEast1b),
+        "us-east-1c" => Ok(AvailabilityZone::UsEast1c),
+        other => other
+            .strip_prefix("us-east-1x")
+            .and_then(|n| n.parse().ok())
+            .map(AvailabilityZone::Other)
+            .ok_or_else(|| CliError::Other(format!("unknown availability zone {other:?}"))),
+    }
+}
+
+/// Build the application profile from `--app` (NPB kernel name, `LAMMPS`),
+/// `--class`, `--procs`, `--repeats`.
+pub fn app_from(args: &Args) -> Result<AppProfile, CliError> {
+    let app = args.str_or("app", "BT").to_uppercase();
+    let procs = args.u64_or("procs", 128)? as u32;
+    let repeats = args.u64_or("repeats", 200)? as u32;
+    if procs == 0 {
+        return Err(CliError::Other("--procs must be positive".into()));
+    }
+    if app == "LAMMPS" {
+        return Ok(Lammps::paper().profile(procs).repeated(repeats.max(1)));
+    }
+    let class = match args.str_or("class", "B").to_uppercase().as_str() {
+        "S" => NpbClass::S,
+        "W" => NpbClass::W,
+        "A" => NpbClass::A,
+        "B" => NpbClass::B,
+        "C" => NpbClass::C,
+        other => return Err(CliError::Other(format!("unknown NPB class {other:?}"))),
+    };
+    let kernel = NpbKernel::FULL_SUITE
+        .into_iter()
+        .find(|k| k.to_string() == app)
+        .ok_or_else(|| {
+            CliError::Other(format!(
+                "unknown app {app:?} (expected one of BT SP LU FT IS BTIO CG MG EP LAMMPS)"
+            ))
+        })?;
+    Ok(kernel.profile(class, procs).repeated(repeats.max(1)))
+}
+
+/// Build the problem: market + app + `--deadline` (multiple of Baseline
+/// Time, default 1.5).
+pub fn problem_from(
+    market: &SpotMarket,
+    app: &AppProfile,
+    args: &Args,
+) -> Result<Problem, CliError> {
+    let factor = args.f64_or("deadline", 1.5)?;
+    if factor <= 0.0 {
+        return Err(CliError::Other("--deadline must be positive".into()));
+    }
+    let mut p = Problem::build(market, app, f64::MAX, None, S3Store::paper_2014());
+    p.deadline = p.baseline_time() * factor;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn synthetic_market_by_default() {
+        let m = market_from(&args(&["--hours", "72", "--seed", "5"])).unwrap();
+        assert_eq!(m.len(), 15);
+        assert!((m.horizon() - 72.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn feed_market_from_file() {
+        let dir = std::env::temp_dir().join("sompi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.txt");
+        std::fs::write(
+            &path,
+            "0 m1.small us-east-1a 0.01\n7200 m1.small us-east-1a 0.02\n",
+        )
+        .unwrap();
+        let m = market_from(&args(&["--feed", path.to_str().unwrap()])).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn feed_with_unknown_type_errors() {
+        let dir = std::env::temp_dir().join("sompi-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0 z9.mega us-east-1a 0.01\n").unwrap();
+        assert!(market_from(&args(&["--feed", path.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn app_parsing() {
+        let a = app_from(&args(&["--app", "ft", "--class", "A", "--procs", "64"])).unwrap();
+        assert_eq!(a.name, "FT.Ax200");
+        assert_eq!(a.processes, 64);
+        let l = app_from(&args(&["--app", "LAMMPS", "--procs", "32", "--repeats", "1"])).unwrap();
+        assert!(l.name.starts_with("LAMMPS-32p"));
+        assert!(app_from(&args(&["--app", "NOPE"])).is_err());
+        assert!(app_from(&args(&["--procs", "0"])).is_err());
+    }
+
+    #[test]
+    fn problem_deadline_factor() {
+        let m = market_from(&args(&["--hours", "72"])).unwrap();
+        let a = app_from(&args(&["--repeats", "50"])).unwrap();
+        let p = problem_from(&m, &a, &args(&["--deadline", "2.0"])).unwrap();
+        assert!((p.deadline / p.baseline_time() - 2.0).abs() < 1e-9);
+        assert!(problem_from(&m, &a, &args(&["--deadline", "-1"])).is_err());
+    }
+}

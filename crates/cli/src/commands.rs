@@ -1,0 +1,354 @@
+//! The CLI subcommands: `plan`, `replay`, `sweep`, `trace`.
+//!
+//! Every command writes a human-readable report to the given writer;
+//! `--json` switches to a machine-readable JSON document instead.
+
+use crate::args::Args;
+use crate::build::{app_from, market_from, problem_from, CliError};
+use ec2_market::market::SpotMarket;
+use replay::montecarlo::MonteCarlo;
+use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotAvg, SpotInf, Strategy};
+use sompi_core::cost::evaluate_plan;
+use sompi_core::model::Plan;
+use sompi_core::twolevel::OptimizerConfig;
+use sompi_core::view::MarketView;
+use std::io::Write;
+
+const PLAN_FLAGS: &[&str] = &[
+    "feed", "seed", "hours", "step", "app", "class", "procs", "repeats", "deadline", "kappa",
+    "levels", "slack", "strategy", "json", "history",
+];
+
+/// Pick the planning strategy from `--strategy`.
+fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
+    let kappa = args.u64_or("kappa", 4)? as usize;
+    let levels = args.u64_or("levels", 12)? as u32;
+    let slack = args.f64_or("slack", 0.2)?;
+    let config = OptimizerConfig { kappa, bid_levels: levels, slack, ..Default::default() };
+    Ok(match args.str_or("strategy", "sompi").to_lowercase().as_str() {
+        "sompi" => Box::new(Sompi { config }),
+        "on-demand" | "ondemand" => Box::new(OnDemandOnly),
+        "marathe" => Box::new(Marathe),
+        "marathe-opt" => Box::new(MaratheOpt),
+        "spot-inf" => Box::new(SpotInf),
+        "spot-avg" => Box::new(SpotAvg),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown strategy {other:?} (sompi, on-demand, marathe, marathe-opt, spot-inf, spot-avg)"
+            )))
+        }
+    })
+}
+
+fn view_from(market: &SpotMarket, args: &Args) -> Result<MarketView, CliError> {
+    let history = args.f64_or("history", 48.0)?;
+    Ok(MarketView::from_market(market, 0.0, history))
+}
+
+/// Render a plan for humans.
+fn describe_plan(out: &mut dyn Write, market: &SpotMarket, plan: &Plan) -> std::io::Result<()> {
+    writeln!(out, "plan ({} circle groups):", plan.replication_degree())?;
+    for (g, d) in &plan.groups {
+        let ty = market.instance_type(g.id);
+        writeln!(
+            out,
+            "  {:<12} {} x{:<4} bid ${:.4}/h  F = {:.2} h  (T_i = {:.2} h, O_i = {:.0} s)",
+            ty.name,
+            g.id.zone,
+            g.instances,
+            d.bid,
+            d.ckpt_interval,
+            g.exec_hours,
+            g.ckpt_overhead_hours * 3600.0
+        )?;
+    }
+    let od = market.catalog().get(plan.on_demand.instance_type);
+    writeln!(
+        out,
+        "  fallback: {} x{} on-demand (T_d = {:.2} h, ${:.3}/h)",
+        od.name, plan.on_demand.instances, plan.on_demand.exec_hours, plan.on_demand.unit_price
+    )?;
+    Ok(())
+}
+
+/// `sompi plan` — optimize and print the plan plus its model evaluation.
+pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(PLAN_FLAGS)?;
+    let market = market_from(args)?;
+    let app = app_from(args)?;
+    let problem = problem_from(&market, &app, args)?;
+    let view = view_from(&market, args)?;
+    let strategy = strategy_from(args)?;
+    let plan = strategy.plan(&problem, &view);
+    let eval = evaluate_plan(&plan, &view)
+        .ok_or_else(|| CliError::Other("plan has an unlaunchable bid".into()))?;
+
+    if args.flag("json") {
+        let doc = serde_json::json!({
+            "app": problem.app,
+            "deadline_hours": problem.deadline,
+            "baseline_hours": problem.baseline_time(),
+            "baseline_cost_billed": problem.baseline_cost_billed(),
+            "strategy": strategy.name(),
+            "plan": plan,
+            "expected_cost": eval.expected_cost,
+            "expected_time": eval.expected_time,
+            "p_all_fail": eval.p_all_fail,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&doc).expect("serializable"))
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "{} — baseline {:.2} h (${:.2} billed), deadline {:.2} h, strategy {}",
+        problem.app,
+        problem.baseline_time(),
+        problem.baseline_cost_billed(),
+        problem.deadline,
+        strategy.name()
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    describe_plan(out, &market, &plan).map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "model: E[cost] ${:.2}  E[time] {:.2} h  P[all replicas fail] {:.3}",
+        eval.expected_cost, eval.expected_time, eval.p_all_fail
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    Ok(())
+}
+
+/// `sompi replay` — plan, then Monte-Carlo replay over the market.
+pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut flags = PLAN_FLAGS.to_vec();
+    flags.extend(["replicas", "mc-seed", "timeline"]);
+    args.check_known(&flags)?;
+    let market = market_from(args)?;
+    let app = app_from(args)?;
+    let problem = problem_from(&market, &app, args)?;
+    let view = view_from(&market, args)?;
+    let strategy = strategy_from(args)?;
+    let plan = strategy.plan(&problem, &view);
+
+    let replicas = args.u64_or("replicas", 100)? as usize;
+    let seed = args.u64_or("mc-seed", 1)?;
+    let history = args.f64_or("history", 48.0)?;
+    let margin = problem.baseline_time() * 4.0 + 4.0;
+    let max = (market.horizon() - margin).max(history + 1.0);
+    let mc = MonteCarlo::new(replicas, seed, history, max);
+    let result = mc.run_plan(&market, &plan, problem.deadline);
+
+    if args.flag("json") {
+        let doc = serde_json::json!({
+            "app": problem.app,
+            "strategy": strategy.name(),
+            "replicas": replicas,
+            "cost": result.cost,
+            "time": result.time,
+            "deadline_rate": result.deadline_rate,
+            "spot_finish_rate": result.spot_finish_rate,
+            "normalized_cost": result.cost.mean / problem.baseline_cost_billed(),
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&doc).expect("serializable"))
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        return Ok(());
+    }
+
+    writeln!(out, "{} via {}: {} replicas", problem.app, strategy.name(), replicas)
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "  cost: mean ${:.2} (std {:.2}, p95 {:.2})  = {:.3} x baseline",
+        result.cost.mean,
+        result.cost.std_dev,
+        result.cost.p95,
+        result.cost.mean / problem.baseline_cost_billed()
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "  time: mean {:.2} h (deadline {:.2} h, met {:.0}%)  finished on spot {:.0}%",
+        result.time.mean,
+        problem.deadline,
+        result.deadline_rate * 100.0,
+        result.spot_finish_rate * 100.0
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+
+    if args.flag("timeline") {
+        let start = history + 1.0;
+        let events = replay::timeline::timeline(&market, &plan, start, problem.deadline);
+        writeln!(out, "\ntimeline of one replay (start offset {start:.1} h):")
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        write!(out, "{}", replay::timeline::render(&events, start))
+            .map_err(|e| CliError::Other(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// `sompi sweep` — cost vs deadline factor.
+pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut flags = PLAN_FLAGS.to_vec();
+    flags.extend(["replicas", "mc-seed", "from", "to", "points"]);
+    args.check_known(&flags)?;
+    let market = market_from(args)?;
+    let app = app_from(args)?;
+    let view = view_from(&market, args)?;
+    let strategy = strategy_from(args)?;
+    let from = args.f64_or("from", 1.05)?;
+    let to = args.f64_or("to", 2.0)?;
+    let points = args.u64_or("points", 6)?.max(2);
+    let replicas = args.u64_or("replicas", 50)? as usize;
+
+    writeln!(out, "{:<10} {:>12} {:>8}", "deadline", "norm. cost", "met")
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    for i in 0..points {
+        let factor = from + (to - from) * i as f64 / (points - 1) as f64;
+        let mut p = problem_from(&market, &app, args)?;
+        p.deadline = p.baseline_time() * factor;
+        let plan = strategy.plan(&p, &view);
+        let margin = p.baseline_time() * 4.0 + 4.0;
+        let max = (market.horizon() - margin).max(49.0);
+        let mc = MonteCarlo::new(replicas, 1, 48.0, max);
+        let r = mc.run_plan(&market, &plan, p.deadline);
+        writeln!(
+            out,
+            "{:<10.2} {:>12.3} {:>7.0}%",
+            factor,
+            r.cost.mean / p.baseline_cost_billed(),
+            r.deadline_rate * 100.0
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// `sompi trace` — summarize (and optionally calibrate against) a market's
+/// traces.
+pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&["feed", "seed", "hours", "step", "calibrate", "json"])?;
+    let market = market_from(args)?;
+    let do_cal = args.flag("calibrate");
+    writeln!(
+        out,
+        "{:<28} {:>9} {:>9} {:>9} {:>8}{}",
+        "circle group",
+        "min $",
+        "mean $",
+        "max $",
+        "samples",
+        if do_cal { "   calibration" } else { "" }
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    for id in market.groups().collect::<Vec<_>>() {
+        let t = market.trace(id).expect("listed");
+        let mut line = format!(
+            "{:<28} {:>9.4} {:>9.4} {:>9.4} {:>8}",
+            format!("{}@{}", market.instance_type(id).name, id.zone),
+            t.min_price(),
+            t.mean_price(),
+            t.max_price(),
+            t.len()
+        );
+        if do_cal {
+            let cal = ec2_market::calibrate::calibrate(t.window(0.0, f64::INFINITY), 4.0);
+            line.push_str(&format!(
+                "   base ${:.4}, sigma {:.2}, spikes {:.3}/h x{:.1}h",
+                cal.config.base_price,
+                cal.config.calm_sigma,
+                cal.config.spike_rate_per_hour,
+                cal.config.spike_duration_mean_hours
+            ));
+        }
+        writeln!(out, "{line}").map_err(|e| CliError::Other(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>())
+    }
+
+    fn run(cmd: fn(&Args, &mut dyn Write) -> Result<(), CliError>, a: &[&str]) -> String {
+        let mut buf = Vec::new();
+        cmd(&args(a), &mut buf).expect("command succeeds");
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn plan_prints_groups_and_model() {
+        let out = run(
+            cmd_plan,
+            &["--hours", "100", "--repeats", "50", "--kappa", "2", "--levels", "3"],
+        );
+        assert!(out.contains("plan ("), "{out}");
+        assert!(out.contains("E[cost]"), "{out}");
+        assert!(out.contains("fallback"), "{out}");
+    }
+
+    #[test]
+    fn plan_json_is_valid() {
+        let out = run(
+            cmd_plan,
+            &["--hours", "100", "--repeats", "50", "--kappa", "1", "--levels", "2", "--json"],
+        );
+        let doc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(doc["expected_cost"].as_f64().unwrap() > 0.0);
+        assert!(doc["plan"]["groups"].is_array());
+    }
+
+    #[test]
+    fn replay_reports_rates() {
+        let out = run(
+            cmd_replay,
+            &[
+                "--hours", "200", "--repeats", "50", "--kappa", "1", "--levels", "2",
+                "--replicas", "8",
+            ],
+        );
+        assert!(out.contains("met"), "{out}");
+        assert!(out.contains("x baseline"), "{out}");
+    }
+
+    #[test]
+    fn sweep_prints_requested_points() {
+        let out = run(
+            cmd_sweep,
+            &[
+                "--hours", "200", "--repeats", "50", "--kappa", "1", "--levels", "2",
+                "--replicas", "4", "--points", "3",
+            ],
+        );
+        // Header + 3 data lines.
+        assert_eq!(out.lines().count(), 4, "{out}");
+    }
+
+    #[test]
+    fn trace_lists_groups_and_calibrates() {
+        let out = run(cmd_trace, &["--hours", "100", "--calibrate"]);
+        assert!(out.contains("m1.small@us-east-1a"), "{out}");
+        assert!(out.contains("base $"), "{out}");
+        assert_eq!(out.lines().count(), 16); // header + 15 groups
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let mut buf = Vec::new();
+        let err = cmd_plan(&args(&["--nope", "1"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn unknown_strategy_is_rejected() {
+        let mut buf = Vec::new();
+        let err =
+            cmd_plan(&args(&["--strategy", "magic", "--hours", "60"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown strategy"));
+    }
+}

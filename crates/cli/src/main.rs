@@ -1,0 +1,68 @@
+//! `sompi` — plan and evaluate cost-optimized MPI executions on (simulated
+//! or imported) EC2 spot markets.
+//!
+//! ```text
+//! sompi plan   [--app BT --class B --procs 128 --deadline 1.5 ...]
+//! sompi replay [... --replicas 200]
+//! sompi sweep  [... --from 1.05 --to 2.0 --points 6]
+//! sompi trace  [--feed history.txt | --seed 42 --hours 336] [--calibrate]
+//! ```
+
+use sompi_cli::args::Args;
+use sompi_cli::commands;
+
+const USAGE: &str = "\
+sompi — monetary cost optimization for MPI applications on EC2 spot markets
+
+USAGE:
+    sompi <COMMAND> [FLAGS]
+
+COMMANDS:
+    plan      optimize bids/checkpoints/fallback for one application
+    replay    plan, then Monte-Carlo replay against the market
+    sweep     cost vs deadline-factor sweep
+    trace     summarize market traces (optionally --calibrate)
+
+COMMON FLAGS:
+    --app BT|SP|LU|FT|IS|BTIO|CG|MG|EP|LAMMPS   (default BT)
+    --class S|W|A|B|C          NPB class (default B)
+    --procs N                  MPI processes (default 128)
+    --repeats N                back-to-back runs (default 200)
+    --deadline F               deadline as multiple of Baseline Time (default 1.5)
+    --strategy sompi|on-demand|marathe|marathe-opt|spot-inf|spot-avg
+    --kappa K --levels L --slack S      optimizer knobs (default 4, 12, 0.2)
+    --seed N --hours H --step H         synthetic market shape
+    --feed FILE                import AWS spot price history instead
+    --history H                planning history window, hours (default 48)
+    --replicas N --mc-seed N   Monte-Carlo controls
+    --json                     machine-readable output (plan, replay)
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let args = Args::parse(&raw[1..]);
+    let mut stdout = std::io::stdout().lock();
+    let result = match command {
+        "plan" => commands::cmd_plan(&args, &mut stdout),
+        "replay" => commands::cmd_replay(&args, &mut stdout),
+        "sweep" => commands::cmd_sweep(&args, &mut stdout),
+        "trace" => commands::cmd_trace(&args, &mut stdout),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,220 @@
+//! EC2 billing rules.
+//!
+//! In 2014 (the paper's setting) EC2 billed in whole instance-hours:
+//!
+//! * **on-demand**: every started hour is charged at the fixed rate;
+//! * **spot**: each instance-hour is charged at the *spot price in effect at
+//!   the start of that hour* (not the bid); if AWS terminates the instance
+//!   out-of-bid, the final partial hour is **free**; if the user terminates
+//!   it (e.g. a replica cancelled because another circle group finished),
+//!   the partial hour is charged.
+//!
+//! A per-second policy is included so ablation experiments can quantify how
+//! much of the paper's cost structure is an artifact of hourly billing.
+
+use crate::trace::SpotTrace;
+use crate::{Hours, Usd};
+use serde::{Deserialize, Serialize};
+
+/// Billing granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BillingPolicy {
+    /// 2014 rules: whole instance-hours, spot priced at hour start,
+    /// provider-terminated partial spot hours free.
+    #[default]
+    HourlyRoundUp,
+    /// Modern rules: exact duration at the prevailing price.
+    PerSecond,
+}
+
+/// Who ended the instance's life — decides whether the last partial spot
+/// hour is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// Out-of-bid event: AWS reclaimed the instance. Last partial hour free.
+    Provider,
+    /// The user released the instance (job done / replica cancelled).
+    User,
+}
+
+/// Stateless billing calculator.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BillingModel {
+    /// Active billing policy.
+    pub policy: BillingPolicy,
+}
+
+impl BillingModel {
+    /// 2014-era hourly billing.
+    pub fn hourly() -> Self {
+        Self { policy: BillingPolicy::HourlyRoundUp }
+    }
+
+    /// Modern per-second billing.
+    pub fn per_second() -> Self {
+        Self { policy: BillingPolicy::PerSecond }
+    }
+
+    /// Cost of `count` on-demand instances at `unit_price` running for
+    /// `duration` hours.
+    pub fn on_demand_cost(&self, unit_price: Usd, duration: Hours, count: u32) -> Usd {
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        let hours = match self.policy {
+            BillingPolicy::HourlyRoundUp => duration.ceil(),
+            BillingPolicy::PerSecond => duration,
+        };
+        unit_price * hours * count as f64
+    }
+
+    /// Cost of `count` spot instances launched at `start` (hours into the
+    /// trace) and ending at `end`, charged per the policy against the
+    /// trace's realized prices.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn spot_cost(
+        &self,
+        trace: &SpotTrace,
+        start: Hours,
+        end: Hours,
+        terminated_by: Termination,
+        count: u32,
+    ) -> Usd {
+        assert!(end >= start, "end must not precede start");
+        if end == start {
+            return 0.0;
+        }
+        let per_instance = match self.policy {
+            BillingPolicy::PerSecond => {
+                // Integrate the realized price over [start, end).
+                let mut acc = 0.0;
+                let mut t = start;
+                while t < end {
+                    let next = (t.floor() + 1.0).min(end);
+                    acc += trace.price_at(t) * (next - t);
+                    t = next;
+                }
+                acc
+            }
+            BillingPolicy::HourlyRoundUp => {
+                let mut acc = 0.0;
+                let mut hour_start = start;
+                while hour_start < end {
+                    let hour_end = hour_start + 1.0;
+                    let full_hour = hour_end <= end;
+                    let charge = match (full_hour, terminated_by) {
+                        (true, _) => true,
+                        (false, Termination::User) => true,
+                        (false, Termination::Provider) => false,
+                    };
+                    if charge {
+                        acc += trace.price_at(hour_start);
+                    }
+                    hour_start = hour_end;
+                }
+                acc
+            }
+        };
+        per_instance * count as f64
+    }
+
+    /// Expected-model spot cost: the paper's Formula 5 charges the expected
+    /// spot price `S_i` for the whole runtime; this helper applies the same
+    /// hour-granularity convention so model and replay agree in shape.
+    pub fn spot_cost_expected(&self, expected_price: Usd, duration: Hours, count: u32) -> Usd {
+        if duration <= 0.0 {
+            return 0.0;
+        }
+        let hours = match self.policy {
+            BillingPolicy::HourlyRoundUp => duration.ceil(),
+            BillingPolicy::PerSecond => duration,
+        };
+        expected_price * hours * count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(price: f64, hours: usize) -> SpotTrace {
+        SpotTrace::new(1.0, vec![price; hours])
+    }
+
+    #[test]
+    fn on_demand_rounds_up() {
+        let b = BillingModel::hourly();
+        assert_eq!(b.on_demand_cost(2.0, 1.5, 1), 4.0);
+        assert_eq!(b.on_demand_cost(2.0, 2.0, 1), 4.0);
+        assert_eq!(b.on_demand_cost(2.0, 0.0, 10), 0.0);
+        assert_eq!(b.on_demand_cost(2.0, 1.0, 3), 6.0);
+    }
+
+    #[test]
+    fn on_demand_per_second_is_exact() {
+        let b = BillingModel::per_second();
+        assert_eq!(b.on_demand_cost(2.0, 1.5, 2), 6.0);
+    }
+
+    #[test]
+    fn spot_full_hours_charged_at_hour_start_price() {
+        let t = SpotTrace::new(1.0, vec![0.1, 0.2, 0.4, 0.8]);
+        let b = BillingModel::hourly();
+        let c = b.spot_cost(&t, 0.0, 3.0, Termination::User, 1);
+        assert!((c - (0.1 + 0.2 + 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provider_termination_waives_partial_hour() {
+        let t = flat(0.1, 10);
+        let b = BillingModel::hourly();
+        let user = b.spot_cost(&t, 0.0, 2.5, Termination::User, 1);
+        let prov = b.spot_cost(&t, 0.0, 2.5, Termination::Provider, 1);
+        assert!((user - 0.3).abs() < 1e-12);
+        assert!((prov - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_second_integrates_price() {
+        let t = SpotTrace::new(1.0, vec![0.1, 0.3]);
+        let b = BillingModel::per_second();
+        let c = b.spot_cost(&t, 0.5, 1.5, Termination::User, 1);
+        assert!((c - (0.1 * 0.5 + 0.3 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_costs_nothing() {
+        let t = flat(0.1, 4);
+        let b = BillingModel::hourly();
+        assert_eq!(b.spot_cost(&t, 1.0, 1.0, Termination::User, 8), 0.0);
+    }
+
+    #[test]
+    fn instance_count_scales_linearly() {
+        let t = flat(0.1, 4);
+        let b = BillingModel::hourly();
+        let c1 = b.spot_cost(&t, 0.0, 2.0, Termination::User, 1);
+        let c4 = b.spot_cost(&t, 0.0, 2.0, Termination::User, 4);
+        assert!((c4 - 4.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_model_matches_flat_replay() {
+        // On a flat trace, Formula-5 style expected cost equals replayed
+        // cost for user-terminated whole-hour runs.
+        let t = flat(0.07, 48);
+        let b = BillingModel::hourly();
+        let replay = b.spot_cost(&t, 0.0, 5.0, Termination::User, 3);
+        let model = b.spot_cost_expected(0.07, 5.0, 3);
+        assert!((replay - model).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn negative_interval_panics() {
+        let t = flat(0.1, 2);
+        BillingModel::hourly().spot_cost(&t, 2.0, 1.0, Termination::User, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Calibrating the synthetic generator from an observed trace.
+//!
+//! Given a real (or held-out synthetic) price trace, estimate the
+//! regime-switching parameters of [`TraceGenConfig`]: the calm base level,
+//! its log-dispersion, plateau durations, and the spike process. This
+//! closes the loop between imported AWS history ([`crate::feed`]) and the
+//! generator — calibrate once, then synthesize arbitrarily long,
+//! statistically matched traces for Monte-Carlo studies.
+//!
+//! Method: classify samples as *spike* (price above `spike_threshold ×`
+//! the trace median) or *calm*; calm samples give the base level (median)
+//! and log-σ of plateau levels; run-length statistics over the calm/spike
+//! segmentation give plateau and spike durations and the spike arrival
+//! rate.
+
+use crate::trace::TraceWindow;
+use crate::tracegen::TraceGenConfig;
+
+/// Calibration output with goodness hints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The fitted generator configuration.
+    pub config: TraceGenConfig,
+    /// Fraction of samples classified as spikes.
+    pub spike_mass: f64,
+    /// Number of distinct spike episodes observed.
+    pub spike_episodes: usize,
+}
+
+/// Fit a [`TraceGenConfig`] to an observed window.
+///
+/// `spike_threshold` is the multiple of the median price above which a
+/// sample counts as a spike (3–5 is reasonable for spot markets).
+///
+/// # Panics
+/// Panics if the window is empty or the threshold not above 1.
+pub fn calibrate(window: TraceWindow<'_>, spike_threshold: f64) -> Calibration {
+    assert!(!window.is_empty(), "cannot calibrate an empty window");
+    assert!(spike_threshold > 1.0, "spike threshold must exceed 1");
+    let step = window.step_hours();
+    let samples = window.samples();
+
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let cut = median * spike_threshold;
+
+    // Segment into calm/spike runs.
+    let mut calm: Vec<f64> = Vec::new();
+    let mut spikes: Vec<f64> = Vec::new();
+    let mut spike_runs: Vec<usize> = Vec::new();
+    let mut plateau_runs: Vec<usize> = Vec::new();
+    let mut run_len = 0usize;
+    let mut in_spike = samples[0] > cut;
+    let mut plateau_level = f64::NAN;
+    for &p in samples {
+        let is_spike = p > cut;
+        if is_spike {
+            spikes.push(p);
+        } else {
+            calm.push(p);
+        }
+        if is_spike == in_spike {
+            run_len += 1;
+            // A plateau "run" also breaks when the calm level changes.
+            if !is_spike && p != plateau_level && !plateau_level.is_nan() {
+                plateau_runs.push(run_len);
+                run_len = 0;
+            }
+        } else {
+            if in_spike {
+                spike_runs.push(run_len);
+            } else {
+                plateau_runs.push(run_len);
+            }
+            run_len = 1;
+            in_spike = is_spike;
+        }
+        if !is_spike {
+            plateau_level = p;
+        }
+    }
+    if run_len > 0 {
+        if in_spike {
+            spike_runs.push(run_len);
+        } else {
+            plateau_runs.push(run_len);
+        }
+    }
+
+    let mean_run = |runs: &[usize], default: f64| -> f64 {
+        if runs.is_empty() {
+            default
+        } else {
+            runs.iter().sum::<usize>() as f64 / runs.len() as f64 * step
+        }
+    };
+
+    // Calm level statistics in log space.
+    let base = if calm.is_empty() { median } else {
+        let mut c = calm.clone();
+        c.sort_by(|a, b| a.total_cmp(b));
+        c[c.len() / 2]
+    };
+    let calm_sigma = if calm.len() > 1 {
+        let logs: Vec<f64> = calm.iter().map(|p| (p / base).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        (logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / (logs.len() - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+
+    // Spike process.
+    let total_hours = window.duration();
+    let spike_episodes = spike_runs.len();
+    let calm_hours = calm.len() as f64 * step;
+    let spike_rate = if calm_hours > 0.0 {
+        spike_episodes as f64 / calm_hours
+    } else {
+        0.0
+    };
+    let spike_duration = mean_run(&spike_runs, step);
+    let (mult_lo, mult_hi) = if spikes.is_empty() {
+        (2.0, 4.0)
+    } else {
+        let lo = spikes.iter().cloned().fold(f64::INFINITY, f64::min) / base;
+        let hi = spikes.iter().cloned().fold(0.0, f64::max) / base;
+        (lo.max(1.5), hi.max(lo.max(1.5) + 0.1))
+    };
+    let _ = total_hours;
+
+    Calibration {
+        config: TraceGenConfig {
+            base_price: base,
+            calm_sigma,
+            plateau_mean_hours: mean_run(&plateau_runs, 24.0).max(step),
+            spike_rate_per_hour: spike_rate,
+            spike_duration_mean_hours: spike_duration.max(step),
+            spike_multiplier: (mult_lo, mult_hi),
+            floor_price: (base * 0.2).max(0.001),
+            // Seasonality is not identified by this run-length fit.
+            diurnal_amplitude: 0.0,
+        },
+        spike_mass: spikes.len() as f64 / samples.len() as f64,
+        spike_episodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::ZoneVolatility;
+
+    const STEP: f64 = 1.0 / 12.0;
+
+    #[test]
+    fn recovers_base_price_of_flat_trace() {
+        let cfg = TraceGenConfig::preset(0.05, ZoneVolatility::Flat);
+        let t = cfg.generate(200.0, STEP, 3);
+        let cal = calibrate(t.window(0.0, f64::INFINITY), 4.0);
+        assert!(
+            (cal.config.base_price / 0.05 - 1.0).abs() < 0.15,
+            "base {}",
+            cal.config.base_price
+        );
+        assert_eq!(cal.spike_episodes, 0);
+    }
+
+    #[test]
+    fn detects_spike_process_of_extreme_trace() {
+        let mut cfg = TraceGenConfig::preset(0.03, ZoneVolatility::Extreme);
+        cfg.calm_sigma = 0.1; // keep calm band well under the spike cut
+        let t = cfg.generate(1000.0, STEP, 5);
+        let cal = calibrate(t.window(0.0, f64::INFINITY), 4.0);
+        assert!(cal.spike_episodes > 5, "episodes {}", cal.spike_episodes);
+        // Spike rate within a factor ~2.5 of the generating 0.035/h.
+        assert!(
+            cal.config.spike_rate_per_hour > 0.014 && cal.config.spike_rate_per_hour < 0.1,
+            "rate {}",
+            cal.config.spike_rate_per_hour
+        );
+        assert!(cal.config.spike_multiplier.1 > 5.0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_headline_statistics() {
+        // Generate → calibrate → regenerate: the clone's median and spike
+        // mass should resemble the original's.
+        let mut cfg = TraceGenConfig::preset(0.02, ZoneVolatility::Volatile);
+        cfg.calm_sigma = 0.15;
+        let original = cfg.generate(800.0, STEP, 11);
+        let cal = calibrate(original.window(0.0, f64::INFINITY), 4.0);
+        let clone = cal.config.generate(800.0, STEP, 99);
+        let med = |t: &crate::trace::SpotTrace| {
+            let mut v = t.samples().to_vec();
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        let m0 = med(&original);
+        let m1 = med(&clone);
+        assert!(
+            (m1 / m0 - 1.0).abs() < 0.3,
+            "median drifted: {m0} -> {m1}"
+        );
+    }
+
+    #[test]
+    fn calm_sigma_grows_with_volatility() {
+        let calm = TraceGenConfig::preset(0.03, ZoneVolatility::Flat).generate(400.0, STEP, 7);
+        let wild = TraceGenConfig::preset(0.03, ZoneVolatility::Extreme).generate(400.0, STEP, 7);
+        let c1 = calibrate(calm.window(0.0, f64::INFINITY), 4.0);
+        let c2 = calibrate(wild.window(0.0, f64::INFINITY), 4.0);
+        assert!(c2.config.calm_sigma > c1.config.calm_sigma);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn threshold_must_exceed_one() {
+        let t = TraceGenConfig::preset(0.03, ZoneVolatility::Flat).generate(10.0, STEP, 1);
+        calibrate(t.window(0.0, f64::INFINITY), 0.9);
+    }
+}

@@ -1,0 +1,461 @@
+//! Failure-rate function `f_i(P, t)` and expected spot price `S_i(P)`.
+//!
+//! Section 4.4 ("Obtaining Failure Rate Function") estimates the probability
+//! that a circle group bidding `P` suffers its first out-of-bid event in the
+//! hour bucket `[t, t+1)` by repeatedly picking a random start point in the
+//! recent spot price history and recording the first passage above `P`. We
+//! implement both that Monte-Carlo estimator (seeded, reproducible) and the
+//! exhaustive all-start-points estimator it converges to.
+//!
+//! The expected spot price `S_i(P)` is the mean of historical prices at or
+//! below the bid (Section 3.2.1), precomputed here with a sorted prefix-sum
+//! table so bid-price sweeps are O(log n) per query.
+
+use crate::trace::TraceWindow;
+use crate::{Hours, Usd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The estimated failure-rate function of one circle group at one bid price:
+/// a sub-distribution over hourly failure buckets plus the survival mass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRateFn {
+    bid: Usd,
+    /// `bucket[t]` = P[first out-of-bid event lands in hour `[t, t+1)`].
+    buckets: Vec<f64>,
+    /// P[no out-of-bid event within the horizon] — the paper's
+    /// `f_i(P, T_i)`, i.e. the application completes on this circle group.
+    survival: f64,
+}
+
+impl FailureRateFn {
+    /// Construct from raw bucket probabilities. Normalizes tiny numerical
+    /// drift; panics if the mass is not ≈ 1 or any entry is negative.
+    pub fn new(bid: Usd, buckets: Vec<f64>, survival: f64) -> Self {
+        assert!(
+            buckets.iter().all(|p| *p >= 0.0) && survival >= 0.0,
+            "probabilities must be non-negative"
+        );
+        let mass: f64 = buckets.iter().sum::<f64>() + survival;
+        assert!(
+            (mass - 1.0).abs() < 1e-6,
+            "failure distribution mass must be 1, got {mass}"
+        );
+        Self { bid, buckets, survival }
+    }
+
+    /// The bid price this function was estimated for.
+    pub fn bid(&self) -> Usd {
+        self.bid
+    }
+
+    /// Horizon in hours (number of buckets).
+    pub fn horizon(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// P[first failure in `[t, t+1)`]; zero past the horizon.
+    pub fn prob_fail_in(&self, t: usize) -> f64 {
+        self.buckets.get(t).copied().unwrap_or(0.0)
+    }
+
+    /// All bucket probabilities.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// P[survive the entire horizon].
+    pub fn survival(&self) -> f64 {
+        self.survival
+    }
+
+    /// P[fail at some point within the horizon].
+    pub fn prob_fail(&self) -> f64 {
+        1.0 - self.survival
+    }
+
+    /// Mean time to failure in hours, treating survival as censoring at the
+    /// horizon and extrapolating with the empirical tail hazard.
+    ///
+    /// Returns `None` when no failure mass was observed at all — the bid is
+    /// effectively un-terminable (e.g. `P_i = H_i` in the paper, "terminated
+    /// in extremely low probability, which we can ignore") and the optimal
+    /// checkpoint interval degenerates to "no checkpoints".
+    pub fn mean_time_to_failure(&self) -> Option<Hours> {
+        let pf = self.prob_fail();
+        if pf <= 1e-12 {
+            return None;
+        }
+        let horizon = self.buckets.len() as f64;
+        // Conditional mean within the horizon (bucket midpoints)...
+        let within: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(t, p)| (t as f64 + 0.5) * p)
+            .sum();
+        // ...plus the censored mass extrapolated geometrically: survivors
+        // restart the same first-passage experiment after `horizon` hours.
+        // E[T] = within + survival * (horizon + E[T])  =>
+        let ettf = (within + self.survival * horizon) / pf;
+        Some(ettf)
+    }
+}
+
+/// Precomputed `S_i(P)` table: expected spot price given the bid, plus the
+/// instant launch probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpectedSpotPrice {
+    sorted: Vec<Usd>,
+    prefix_sum: Vec<f64>,
+}
+
+impl ExpectedSpotPrice {
+    /// Build the table from a history window.
+    pub fn from_window(window: TraceWindow<'_>) -> Self {
+        let mut sorted = window.samples().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite prices"));
+        let mut prefix_sum = Vec::with_capacity(sorted.len() + 1);
+        prefix_sum.push(0.0);
+        let mut acc = 0.0;
+        for &p in &sorted {
+            acc += p;
+            prefix_sum.push(acc);
+        }
+        Self { sorted, prefix_sum }
+    }
+
+    fn count_at_or_below(&self, bid: Usd) -> usize {
+        self.sorted.partition_point(|&p| p <= bid)
+    }
+
+    /// Mean of historical prices at or below `bid` — the paper's `S_i(P_i)`.
+    /// `None` when the bid is below every observed price (the instance
+    /// would never launch).
+    pub fn mean_below(&self, bid: Usd) -> Option<Usd> {
+        let n = self.count_at_or_below(bid);
+        (n > 0).then(|| self.prefix_sum[n] / n as f64)
+    }
+
+    /// Fraction of history time during which the price is at or below
+    /// `bid` — the probability a launch request is immediately satisfied.
+    pub fn launch_fraction(&self, bid: Usd) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.count_at_or_below(bid) as f64 / self.sorted.len() as f64
+    }
+
+    /// Highest observed price (`H_i`).
+    pub fn max_price(&self) -> Usd {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Lowest observed price.
+    pub fn min_price(&self) -> Usd {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+}
+
+/// Estimates failure-rate functions and expected spot prices from a price
+/// history window (typically "the previous two days", per the paper).
+#[derive(Debug, Clone)]
+pub struct FailureEstimator {
+    step_hours: Hours,
+    prices: Vec<Usd>,
+    expected: ExpectedSpotPrice,
+}
+
+impl FailureEstimator {
+    /// Build an estimator over a history window.
+    ///
+    /// # Panics
+    /// Panics if the window is empty.
+    pub fn from_window(window: TraceWindow<'_>) -> Self {
+        assert!(!window.is_empty(), "history window must be non-empty");
+        Self {
+            step_hours: window.step_hours(),
+            prices: window.samples().to_vec(),
+            expected: ExpectedSpotPrice::from_window(window),
+        }
+    }
+
+    /// `S_i(P)` table for this history.
+    pub fn expected_spot_price(&self) -> &ExpectedSpotPrice {
+        &self.expected
+    }
+
+    /// Highest historical price `H_i` — the top of the bid search range.
+    pub fn max_price(&self) -> Usd {
+        self.expected.max_price()
+    }
+
+    /// Expected delay (hours) between requesting an instance at a uniformly
+    /// random time and the spot price first being at or below `bid` — the
+    /// paper's "otherwise it waits" launch semantics. Zero when the bid
+    /// covers the whole history; the full window duration when the bid
+    /// never admits a launch.
+    pub fn expected_launch_delay(&self, bid: Usd) -> Hours {
+        let n = self.prices.len();
+        if n == 0 {
+            return 0.0;
+        }
+        // Walk backwards over the circular history, carrying the distance
+        // to the next admissible sample — O(n) total.
+        let mut dist = vec![u32::MAX; n];
+        // Two passes over the circle to resolve wrap-around.
+        let mut next: Option<usize> = None;
+        for pass in 0..2 {
+            for i in (0..n).rev() {
+                if self.prices[i] <= bid {
+                    next = Some(i);
+                }
+                if let Some(j) = next {
+                    let d = if j >= i { j - i } else { j + n - i };
+                    dist[i] = dist[i].min(d as u32);
+                }
+            }
+            let _ = pass;
+        }
+        if dist.contains(&u32::MAX) {
+            return self.step_hours * n as f64;
+        }
+        let total: f64 = dist.iter().map(|&d| d as f64).sum();
+        total / n as f64 * self.step_hours
+    }
+
+    /// Exhaustive estimator: every sample of the history serves as a start
+    /// point once (the `G → all` limit of the paper's sampler). The history
+    /// is treated as circular so late start points still observe a full
+    /// horizon. Start points where the price already exceeds the bid (the
+    /// instance cannot launch) are skipped, matching the paper's bidding
+    /// semantics: "if the bid price is higher than the spot price, the
+    /// instance can be successfully launched; otherwise it waits".
+    pub fn failure_rate_exact(&self, bid: Usd, horizon_hours: usize) -> FailureRateFn {
+        let starts = 0..self.prices.len();
+        self.estimate(bid, horizon_hours, starts)
+    }
+
+    /// The paper's Monte-Carlo estimator with `g` random start points.
+    pub fn failure_rate_sampled(
+        &self,
+        bid: Usd,
+        horizon_hours: usize,
+        g: usize,
+        seed: u64,
+    ) -> FailureRateFn {
+        assert!(g > 0, "need at least one sample");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.prices.len();
+        let starts: Vec<usize> = (0..g).map(|_| rng.gen_range(0..n)).collect();
+        self.estimate(bid, horizon_hours, starts.into_iter())
+    }
+
+    fn estimate(
+        &self,
+        bid: Usd,
+        horizon_hours: usize,
+        starts: impl Iterator<Item = usize>,
+    ) -> FailureRateFn {
+        assert!(horizon_hours > 0, "horizon must be positive");
+        let n = self.prices.len();
+        let samples_per_hour = (1.0 / self.step_hours).round().max(1.0) as usize;
+        let horizon_samples = horizon_hours * samples_per_hour;
+        let mut buckets = vec![0u64; horizon_hours];
+        let mut survived = 0u64;
+        let mut used = 0u64;
+
+        for s in starts {
+            if self.prices[s] > bid {
+                continue; // cannot launch here
+            }
+            used += 1;
+            let mut failed = false;
+            for k in 1..=horizon_samples {
+                let p = self.prices[(s + k) % n];
+                if p > bid {
+                    let hour = ((k - 1) / samples_per_hour).min(horizon_hours - 1);
+                    buckets[hour] += 1;
+                    failed = true;
+                    break;
+                }
+            }
+            if !failed {
+                survived += 1;
+            }
+        }
+
+        if used == 0 {
+            // The bid never admits a launch; model it as immediate failure,
+            // which the optimizer prices as "this circle group is useless".
+            let mut b = vec![0.0; horizon_hours];
+            b[0] = 1.0;
+            return FailureRateFn::new(bid, b, 0.0);
+        }
+        let buckets = buckets
+            .into_iter()
+            .map(|c| c as f64 / used as f64)
+            .collect();
+        FailureRateFn::new(bid, buckets, survived as f64 / used as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpotTrace;
+
+    fn estimator(prices: &[f64], step: f64) -> FailureEstimator {
+        let t = SpotTrace::new(step, prices.to_vec());
+        FailureEstimator::from_window(t.window(0.0, f64::INFINITY))
+    }
+
+    #[test]
+    fn constant_price_never_fails_above_it() {
+        let e = estimator(&[0.1; 48], 1.0);
+        let f = e.failure_rate_exact(0.2, 10);
+        assert_eq!(f.survival(), 1.0);
+        assert_eq!(f.prob_fail(), 0.0);
+        assert!(f.mean_time_to_failure().is_none());
+    }
+
+    #[test]
+    fn bid_below_all_prices_is_immediate_failure() {
+        let e = estimator(&[0.1; 48], 1.0);
+        let f = e.failure_rate_exact(0.05, 10);
+        assert_eq!(f.prob_fail_in(0), 1.0);
+        assert_eq!(f.survival(), 0.0);
+    }
+
+    #[test]
+    fn periodic_spike_concentrates_failures() {
+        // Price spikes every 12 hours for 1 hour; bidding between base and
+        // spike must fail within 12 hours from any start.
+        let mut prices = Vec::new();
+        for day in 0..8 {
+            let _ = day;
+            prices.extend(std::iter::repeat_n(0.1, 11));
+            prices.push(1.0);
+        }
+        let e = estimator(&prices, 1.0);
+        let f = e.failure_rate_exact(0.5, 12);
+        assert!(f.survival() < 1e-9, "survival {}", f.survival());
+        let mass: f64 = f.buckets().iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_bid_survives_no_worse() {
+        let t = crate::tracegen::TraceGenConfig::preset(
+            0.03,
+            crate::tracegen::ZoneVolatility::Volatile,
+        )
+        .generate(240.0, 1.0 / 12.0, 3);
+        let e = FailureEstimator::from_window(t.window(0.0, f64::INFINITY));
+        let lo = e.failure_rate_exact(0.035, 24);
+        let hi = e.failure_rate_exact(0.5, 24);
+        assert!(hi.survival() >= lo.survival());
+    }
+
+    #[test]
+    fn sampled_estimator_approaches_exact() {
+        let t = crate::tracegen::TraceGenConfig::preset(
+            0.03,
+            crate::tracegen::ZoneVolatility::Volatile,
+        )
+        .generate(480.0, 1.0 / 12.0, 9);
+        let e = FailureEstimator::from_window(t.window(0.0, f64::INFINITY));
+        let exact = e.failure_rate_exact(0.06, 24);
+        let sampled = e.failure_rate_sampled(0.06, 24, 20_000, 1);
+        assert!(
+            (exact.survival() - sampled.survival()).abs() < 0.05,
+            "exact {} vs sampled {}",
+            exact.survival(),
+            sampled.survival()
+        );
+    }
+
+    #[test]
+    fn sampled_estimator_is_deterministic_per_seed() {
+        let e = estimator(&[0.1, 0.2, 0.05, 0.4, 0.1, 0.1], 1.0);
+        let a = e.failure_rate_sampled(0.25, 4, 500, 7);
+        let b = e.failure_rate_sampled(0.25, 4, 500, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_spot_price_means_below_bid() {
+        let e = estimator(&[0.1, 0.2, 0.3, 0.4], 1.0);
+        let s = e.expected_spot_price();
+        assert_eq!(s.mean_below(0.05), None);
+        assert!((s.mean_below(0.25).unwrap() - 0.15).abs() < 1e-12);
+        assert!((s.mean_below(1.0).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(s.launch_fraction(0.25), 0.5);
+        assert_eq!(s.max_price(), 0.4);
+    }
+
+    #[test]
+    fn launch_delay_zero_when_bid_covers_history() {
+        let e = estimator(&[0.1, 0.2, 0.15, 0.1], 1.0);
+        assert_eq!(e.expected_launch_delay(0.2), 0.0);
+    }
+
+    #[test]
+    fn launch_delay_full_window_when_unlaunchable() {
+        let e = estimator(&[0.1; 10], 0.5);
+        assert_eq!(e.expected_launch_delay(0.05), 5.0);
+    }
+
+    #[test]
+    fn launch_delay_matches_hand_computation() {
+        // Prices: [hi, hi, lo, hi]; bid admits only index 2.
+        // Distances to next admissible (circular): [2, 1, 0, 3] → mean 1.5
+        // steps × 1 h.
+        let e = estimator(&[9.0, 9.0, 0.1, 9.0], 1.0);
+        assert!((e.expected_launch_delay(0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launch_delay_monotone_in_bid() {
+        let t = crate::tracegen::TraceGenConfig::preset(
+            0.03,
+            crate::tracegen::ZoneVolatility::Volatile,
+        )
+        .generate(240.0, 1.0 / 12.0, 17);
+        let e = FailureEstimator::from_window(t.window(0.0, f64::INFINITY));
+        let mut prev = f64::INFINITY;
+        for bid in [0.02, 0.03, 0.05, 0.1, 0.5] {
+            let d = e.expected_launch_delay(bid);
+            assert!(d <= prev + 1e-12, "bid {bid}: {d} > {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn mttf_of_geometric_hazard_is_plausible() {
+        // Hourly independent failure with p = 0.25 per hour has MTTF 4h
+        // (geometric mean 1/p, measured from bucket midpoints ≈ 3.5–4.5).
+        let buckets: Vec<f64> = (0..40)
+            .map(|t| 0.25 * (0.75f64).powi(t))
+            .collect();
+        let survival = 1.0 - buckets.iter().sum::<f64>();
+        let f = FailureRateFn::new(0.1, buckets, survival);
+        let mttf = f.mean_time_to_failure().unwrap();
+        assert!((mttf - 4.0).abs() < 0.6, "mttf {mttf}");
+    }
+
+    #[test]
+    fn sub_hour_resolution_buckets_correctly() {
+        // 5-minute steps; spike at sample 13 (~65 min) => failure in hour 1.
+        let mut prices = vec![0.1; 36];
+        prices[13] = 9.0;
+        let e = estimator(&prices, 1.0 / 12.0);
+        // Only start point 0 matters for this check; use exact and confirm
+        // the mass in bucket 1 from starts near 0 is nonzero.
+        let f = e.failure_rate_exact(0.5, 3);
+        assert!(f.prob_fail() > 0.0);
+        let mass: f64 = f.buckets().iter().sum::<f64>() + f.survival();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Importing real spot price history.
+//!
+//! AWS `describe-spot-price-history` emits *irregular* price-change events
+//! (timestamp, instance type, zone, price). The estimation pipeline wants
+//! uniformly sampled [`SpotTrace`]s, so this module parses the two common
+//! interchange formats (the CLI's tab/space table and CSV exports) and
+//! resamples the event stream with last-observation-carried-forward —
+//! exactly how the spot price works: a published price holds until the
+//! next change.
+//!
+//! With this, every experiment in the repository can run against genuine
+//! AWS history instead of the synthetic generator: build a
+//! [`SpotMarket`](crate::market::SpotMarket)
+//! by inserting imported traces.
+
+use crate::trace::SpotTrace;
+use crate::{Hours, Usd};
+use std::collections::BTreeMap;
+
+/// One spot price-change event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceEvent {
+    /// Seconds since an arbitrary epoch (only differences matter).
+    pub timestamp_s: f64,
+    /// AWS instance type name, e.g. `"m1.medium"`.
+    pub instance_type: String,
+    /// Availability zone string, e.g. `"us-east-1a"`.
+    pub zone: String,
+    /// Price, USD/hour.
+    pub price: Usd,
+}
+
+/// Errors from feed parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeedError {
+    /// A line had fewer than the four required columns.
+    MissingColumns {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// No events at all.
+    Empty,
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::MissingColumns { line } => {
+                write!(f, "line {line}: expected `timestamp type zone price`")
+            }
+            FeedError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse number from {field:?}")
+            }
+            FeedError::Empty => write!(f, "feed contained no events"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// Parse a whitespace- or comma-separated feed with columns
+/// `timestamp_seconds instance_type zone price`. Lines starting with `#`
+/// and blank lines are skipped. Events may arrive in any order.
+pub fn parse_feed(input: &str) -> Result<Vec<PriceEvent>, FeedError> {
+    let mut events = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = trimmed
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if cols.len() < 4 {
+            return Err(FeedError::MissingColumns { line });
+        }
+        let timestamp_s: f64 = cols[0]
+            .parse()
+            .map_err(|_| FeedError::BadNumber { line, field: cols[0].into() })?;
+        let price: f64 = cols[3]
+            .trim_start_matches('$')
+            .parse()
+            .map_err(|_| FeedError::BadNumber { line, field: cols[3].into() })?;
+        events.push(PriceEvent {
+            timestamp_s,
+            instance_type: cols[1].to_string(),
+            zone: cols[2].to_string(),
+            price,
+        });
+    }
+    if events.is_empty() {
+        return Err(FeedError::Empty);
+    }
+    Ok(events)
+}
+
+/// Resample one (type, zone)'s events into a uniform [`SpotTrace`] with
+/// last-observation-carried-forward semantics.
+///
+/// Returns `None` for an empty event list. Events before the first sample
+/// seed the initial price; the trace spans from the earliest to the latest
+/// event timestamp.
+pub fn resample(events: &[PriceEvent], step_hours: Hours) -> Option<SpotTrace> {
+    assert!(step_hours > 0.0, "step must be positive");
+    if events.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<&PriceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
+    let t0 = sorted[0].timestamp_s;
+    let t1 = sorted[sorted.len() - 1].timestamp_s;
+    let duration_h = ((t1 - t0) / 3600.0).max(step_hours);
+    let n = (duration_h / step_hours).ceil() as usize;
+
+    let mut prices = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    let mut current = sorted[0].price;
+    for i in 0..n {
+        let sample_time = t0 + i as f64 * step_hours * 3600.0;
+        while cursor < sorted.len() && sorted[cursor].timestamp_s <= sample_time {
+            current = sorted[cursor].price;
+            cursor += 1;
+        }
+        prices.push(current);
+    }
+    Some(SpotTrace::new(step_hours, prices))
+}
+
+/// Split a mixed feed into per-(type, zone) traces.
+pub fn traces_by_group(
+    events: &[PriceEvent],
+    step_hours: Hours,
+) -> BTreeMap<(String, String), SpotTrace> {
+    let mut buckets: BTreeMap<(String, String), Vec<PriceEvent>> = BTreeMap::new();
+    for e in events {
+        buckets
+            .entry((e.instance_type.clone(), e.zone.clone()))
+            .or_default()
+            .push(e.clone());
+    }
+    buckets
+        .into_iter()
+        .filter_map(|(k, v)| resample(&v, step_hours).map(|t| (k, t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FEED: &str = "\
+# ts          type       zone        price
+0             m1.medium  us-east-1a  0.010
+3600          m1.medium  us-east-1a  0.020
+10800         m1.medium  us-east-1a  0.005
+0             m1.small   us-east-1a  0.004
+7200          m1.small   us-east-1a  0.008
+";
+
+    #[test]
+    fn parses_table_format() {
+        let events = parse_feed(FEED).unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].instance_type, "m1.medium");
+        assert_eq!(events[0].price, 0.010);
+    }
+
+    #[test]
+    fn parses_csv_and_dollar_signs() {
+        let events = parse_feed("0,c3.xlarge,us-east-1b,$0.042\n").unwrap();
+        assert_eq!(events[0].price, 0.042);
+        assert_eq!(events[0].zone, "us-east-1b");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(
+            parse_feed("0 m1.small us-east-1a"),
+            Err(FeedError::MissingColumns { line: 1 })
+        );
+        assert!(matches!(
+            parse_feed("zero m1.small us-east-1a 0.1"),
+            Err(FeedError::BadNumber { line: 1, .. })
+        ));
+        assert_eq!(parse_feed("# only a comment\n"), Err(FeedError::Empty));
+    }
+
+    #[test]
+    fn resample_carries_last_observation_forward() {
+        let events = parse_feed(FEED).unwrap();
+        let groups = traces_by_group(&events, 1.0);
+        let t = &groups[&("m1.medium".to_string(), "us-east-1a".to_string())];
+        // Events at 0 h ($0.010), 1 h ($0.020), 3 h ($0.005); span 3 h.
+        assert_eq!(t.price_at(0.0), 0.010);
+        assert_eq!(t.price_at(0.9), 0.010);
+        assert_eq!(t.price_at(1.0), 0.020);
+        assert_eq!(t.price_at(2.5), 0.020);
+    }
+
+    #[test]
+    fn resample_handles_unsorted_events() {
+        let mut events = parse_feed(FEED).unwrap();
+        events.reverse();
+        let t = resample(
+            &events
+                .iter()
+                .filter(|e| e.instance_type == "m1.medium")
+                .cloned()
+                .collect::<Vec<_>>(),
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(t.price_at(0.0), 0.010);
+        assert_eq!(t.price_at(1.2), 0.020);
+    }
+
+    #[test]
+    fn groups_are_split_correctly() {
+        let events = parse_feed(FEED).unwrap();
+        let groups = traces_by_group(&events, 1.0);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.contains_key(&("m1.small".to_string(), "us-east-1a".to_string())));
+    }
+
+    #[test]
+    fn imported_trace_feeds_the_estimator() {
+        // The whole point: a real feed slots straight into estimation.
+        let events = parse_feed(FEED).unwrap();
+        let groups = traces_by_group(&events, 0.25);
+        let t = &groups[&("m1.medium".to_string(), "us-east-1a".to_string())];
+        let est = crate::failure::FailureEstimator::from_window(t.window(0.0, f64::INFINITY));
+        let f = est.failure_rate_exact(0.015, 2);
+        // Bidding $0.015 must fail when the price hits $0.020.
+        assert!(f.prob_fail() > 0.0);
+    }
+
+    #[test]
+    fn single_event_yields_minimal_trace() {
+        let t = resample(
+            &[PriceEvent {
+                timestamp_s: 50.0,
+                instance_type: "x".into(),
+                zone: "z".into(),
+                price: 0.3,
+            }],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.price_at(0.0), 0.3);
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`SpotMarket`] facade: catalog + per-circle-group spot traces.
+//!
+//! A *circle group* (paper Section 3.1.1) is an independent group of spot
+//! instances of one type in one availability zone. The market stores one
+//! spot trace per (type, zone) pair and hands out estimation windows over
+//! them. The optimizer and the replay engine both talk to this type, which
+//! keeps "what the optimizer believed" (a history window) and "what actually
+//! happened" (a later region of the same trace) cleanly separated.
+
+use crate::failure::FailureEstimator;
+use crate::instance::{InstanceCatalog, InstanceType, InstanceTypeId};
+use crate::trace::{SpotTrace, TraceWindow};
+use crate::tracegen::TraceGenerator;
+use crate::zone::AvailabilityZone;
+use crate::Hours;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity of a circle group's market: an instance type in a zone.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CircleGroupId {
+    /// Instance type of every instance in the group.
+    pub instance_type: InstanceTypeId,
+    /// Availability zone the group lives in.
+    pub zone: AvailabilityZone,
+}
+
+impl CircleGroupId {
+    /// Construct from parts.
+    pub fn new(instance_type: InstanceTypeId, zone: AvailabilityZone) -> Self {
+        Self { instance_type, zone }
+    }
+}
+
+impl fmt::Display for CircleGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.instance_type, self.zone)
+    }
+}
+
+/// A collection of spot price traces keyed by circle group, plus the
+/// instance catalog they refer to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpotMarket {
+    catalog: InstanceCatalog,
+    traces: BTreeMap<CircleGroupId, SpotTrace>,
+}
+
+impl SpotMarket {
+    /// An empty market over a catalog.
+    pub fn new(catalog: InstanceCatalog) -> Self {
+        Self { catalog, traces: BTreeMap::new() }
+    }
+
+    /// Generate a full market from a [`TraceGenerator`]: one trace per
+    /// calibrated (type, zone) pair.
+    pub fn generate(
+        catalog: InstanceCatalog,
+        generator: &TraceGenerator,
+        duration_hours: Hours,
+        step_hours: Hours,
+    ) -> Self {
+        let mut market = Self::new(catalog);
+        let pairs: Vec<_> = generator.profile().pairs().collect();
+        for (ty, zone) in pairs {
+            let trace = generator.generate(ty, zone, duration_hours, step_hours);
+            market.insert(CircleGroupId::new(ty, zone), trace);
+        }
+        market
+    }
+
+    /// The instance catalog.
+    pub fn catalog(&self) -> &InstanceCatalog {
+        &self.catalog
+    }
+
+    /// Instance type details for a circle group.
+    pub fn instance_type(&self, id: CircleGroupId) -> &InstanceType {
+        self.catalog.get(id.instance_type)
+    }
+
+    /// Insert (or replace) a trace.
+    pub fn insert(&mut self, id: CircleGroupId, trace: SpotTrace) {
+        self.traces.insert(id, trace);
+    }
+
+    /// Trace for a circle group.
+    pub fn trace(&self, id: CircleGroupId) -> Option<&SpotTrace> {
+        self.traces.get(&id)
+    }
+
+    /// All circle groups with traces, in deterministic order.
+    pub fn groups(&self) -> impl Iterator<Item = CircleGroupId> + '_ {
+        self.traces.keys().copied()
+    }
+
+    /// Number of circle groups.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the market has no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// A history window `[start, start+len)` of a group's trace, for
+    /// estimation. Panics if the group has no trace.
+    pub fn history(&self, id: CircleGroupId, start: Hours, len: Hours) -> TraceWindow<'_> {
+        self.traces
+            .get(&id)
+            .unwrap_or_else(|| panic!("no trace for circle group {id}"))
+            .window(start, len)
+    }
+
+    /// Failure/price estimator built on a history window of a group.
+    pub fn estimator(&self, id: CircleGroupId, start: Hours, len: Hours) -> FailureEstimator {
+        FailureEstimator::from_window(self.history(id, start, len))
+    }
+
+    /// Shortest trace duration across all groups — the usable market horizon.
+    pub fn horizon(&self) -> Hours {
+        self.traces
+            .values()
+            .map(SpotTrace::duration)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::MarketProfile;
+
+    fn paper_market() -> SpotMarket {
+        let catalog = InstanceCatalog::paper_2014();
+        let profile = MarketProfile::paper_2014(&catalog);
+        let generator = TraceGenerator::new(profile, 1);
+        SpotMarket::generate(catalog, &generator, 96.0, 1.0 / 12.0)
+    }
+
+    #[test]
+    fn generated_market_covers_all_pairs() {
+        let m = paper_market();
+        // 5 types × 3 zones.
+        assert_eq!(m.len(), 15);
+        assert!((m.horizon() - 96.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn groups_are_deterministically_ordered() {
+        let m = paper_market();
+        let a: Vec<_> = m.groups().collect();
+        let b: Vec<_> = m.groups().collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted);
+    }
+
+    #[test]
+    fn history_and_estimator_work() {
+        let m = paper_market();
+        let id = m.groups().next().unwrap();
+        let w = m.history(id, 0.0, 48.0);
+        assert!(w.duration() > 47.0);
+        let est = m.estimator(id, 0.0, 48.0);
+        assert!(est.max_price() > 0.0);
+    }
+
+    #[test]
+    fn instance_type_lookup_roundtrips() {
+        let m = paper_market();
+        for id in m.groups().collect::<Vec<_>>() {
+            let ty = m.instance_type(id);
+            assert!(ty.cores >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no trace")]
+    fn history_for_unknown_group_panics() {
+        let catalog = InstanceCatalog::paper_2014();
+        let ty = catalog.by_name("m1.small").unwrap();
+        let m = SpotMarket::new(catalog);
+        m.history(
+            CircleGroupId::new(ty, AvailabilityZone::UsEast1a),
+            0.0,
+            1.0,
+        );
+    }
+}

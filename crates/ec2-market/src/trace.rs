@@ -1,0 +1,291 @@
+//! Spot price traces.
+//!
+//! A [`SpotTrace`] is a fixed-resolution time series of spot prices for one
+//! circle group (one instance type in one availability zone). All market
+//! estimation in this crate — failure rates, expected spot prices, histogram
+//! stability — consumes traces through this type, so real AWS price history
+//! (if available) and the synthetic generator in [`crate::tracegen`] are
+//! interchangeable.
+
+use crate::{Hours, Usd};
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled spot price time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotTrace {
+    /// Sampling step in hours (e.g. `1.0 / 12.0` for 5-minute resolution).
+    step_hours: Hours,
+    /// Price at sample `i`, valid over `[i*step, (i+1)*step)`.
+    prices: Vec<Usd>,
+}
+
+impl SpotTrace {
+    /// Build a trace from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `step_hours` is not strictly positive, if `prices` is
+    /// empty, or if any price is negative or non-finite.
+    pub fn new(step_hours: Hours, prices: Vec<Usd>) -> Self {
+        assert!(step_hours > 0.0, "step must be positive");
+        assert!(!prices.is_empty(), "trace must contain at least one sample");
+        assert!(
+            prices.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "prices must be finite and non-negative"
+        );
+        Self { step_hours, prices }
+    }
+
+    /// Sampling step in hours.
+    pub fn step_hours(&self) -> Hours {
+        self.step_hours
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the trace has no samples (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Total covered duration in hours.
+    pub fn duration(&self) -> Hours {
+        self.step_hours * self.prices.len() as f64
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[Usd] {
+        &self.prices
+    }
+
+    /// Price in effect at time `t` (hours since trace start). Times at or
+    /// past the end clamp to the final sample, which lets replay runs outlive
+    /// a finite trace gracefully.
+    pub fn price_at(&self, t: Hours) -> Usd {
+        if t <= 0.0 {
+            return self.prices[0];
+        }
+        let idx = (t / self.step_hours) as usize;
+        self.prices[idx.min(self.prices.len() - 1)]
+    }
+
+    /// Index of the sample containing time `t`, clamped to the trace.
+    pub fn index_at(&self, t: Hours) -> usize {
+        if t <= 0.0 {
+            return 0;
+        }
+        ((t / self.step_hours) as usize).min(self.prices.len() - 1)
+    }
+
+    /// Maximum price in the trace — the paper's `H_i`, the upper end of the
+    /// bid-price search range for this circle group.
+    pub fn max_price(&self) -> Usd {
+        self.prices.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Minimum price in the trace.
+    pub fn min_price(&self) -> Usd {
+        self.prices.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arithmetic mean price.
+    pub fn mean_price(&self) -> Usd {
+        self.prices.iter().sum::<f64>() / self.prices.len() as f64
+    }
+
+    /// A borrowed window `[start, start + len_hours)` of this trace.
+    ///
+    /// The window is clamped to the trace bounds; it always contains at
+    /// least one sample.
+    pub fn window(&self, start: Hours, len_hours: Hours) -> TraceWindow<'_> {
+        let lo = self.index_at(start.max(0.0));
+        let want = (len_hours / self.step_hours).ceil() as usize;
+        let hi = (lo + want.max(1)).min(self.prices.len());
+        TraceWindow {
+            step_hours: self.step_hours,
+            prices: &self.prices[lo..hi],
+        }
+    }
+
+    /// First-passage time: the earliest time `>= start` at which the price
+    /// strictly exceeds `bid`, or `None` if it never does within the trace.
+    ///
+    /// This is the out-of-bid event for an instance bidding `bid` launched
+    /// at `start`: EC2 terminates the instance the moment the spot price
+    /// rises above the bid.
+    pub fn first_passage_above(&self, start: Hours, bid: Usd) -> Option<Hours> {
+        let lo = self.index_at(start.max(0.0));
+        self.prices[lo..]
+            .iter()
+            .position(|&p| p > bid)
+            .map(|off| (lo + off) as f64 * self.step_hours)
+            .map(|t| t.max(start))
+    }
+
+    /// Concatenate another trace (same step) onto this one. Used by the
+    /// adaptive algorithm to extend the known history window by window.
+    pub fn extend_from(&mut self, other: &SpotTrace) {
+        assert!(
+            (self.step_hours - other.step_hours).abs() < 1e-12,
+            "cannot concatenate traces with different steps"
+        );
+        self.prices.extend_from_slice(&other.prices);
+    }
+}
+
+/// A borrowed, zero-copy view of a contiguous slice of a [`SpotTrace`].
+///
+/// Estimators accept windows so the adaptive algorithm can re-estimate from
+/// "the previous optimization window" without cloning price data.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceWindow<'a> {
+    step_hours: Hours,
+    prices: &'a [Usd],
+}
+
+impl<'a> TraceWindow<'a> {
+    /// Sampling step in hours.
+    pub fn step_hours(&self) -> Hours {
+        self.step_hours
+    }
+
+    /// Samples in the window.
+    pub fn samples(&self) -> &'a [Usd] {
+        self.prices
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Covered duration in hours.
+    pub fn duration(&self) -> Hours {
+        self.step_hours * self.prices.len() as f64
+    }
+
+    /// Maximum price in the window (`H_i` over this window).
+    pub fn max_price(&self) -> Usd {
+        self.prices.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Price at offset `t` hours from the window start (clamped).
+    pub fn price_at(&self, t: Hours) -> Usd {
+        if t <= 0.0 {
+            return self.prices[0];
+        }
+        let idx = (t / self.step_hours) as usize;
+        self.prices[idx.min(self.prices.len() - 1)]
+    }
+
+    /// Copy this window into an owned [`SpotTrace`].
+    pub fn to_trace(&self) -> SpotTrace {
+        SpotTrace::new(self.step_hours, self.prices.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(prices: &[f64]) -> SpotTrace {
+        SpotTrace::new(0.5, prices.to_vec())
+    }
+
+    #[test]
+    fn price_lookup_uses_floor_semantics() {
+        let tr = t(&[1.0, 2.0, 3.0]);
+        assert_eq!(tr.price_at(0.0), 1.0);
+        assert_eq!(tr.price_at(0.49), 1.0);
+        assert_eq!(tr.price_at(0.5), 2.0);
+        assert_eq!(tr.price_at(1.49), 3.0);
+        // Past the end clamps.
+        assert_eq!(tr.price_at(99.0), 3.0);
+        // Negative clamps to start.
+        assert_eq!(tr.price_at(-1.0), 1.0);
+    }
+
+    #[test]
+    fn duration_and_extrema() {
+        let tr = t(&[0.1, 0.9, 0.4]);
+        assert!((tr.duration() - 1.5).abs() < 1e-12);
+        assert_eq!(tr.max_price(), 0.9);
+        assert_eq!(tr.min_price(), 0.1);
+        assert!((tr.mean_price() - (0.1 + 0.9 + 0.4) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_passage_finds_out_of_bid_event() {
+        let tr = t(&[0.1, 0.1, 0.5, 0.1, 0.8]);
+        // Bid 0.3: first exceeded at sample 2 => time 1.0.
+        assert_eq!(tr.first_passage_above(0.0, 0.3), Some(1.0));
+        // Starting after the first spike, next passage is sample 4 => 2.0.
+        assert_eq!(tr.first_passage_above(1.6, 0.3), Some(2.0));
+        // Bid above the max never fails.
+        assert_eq!(tr.first_passage_above(0.0, 1.0), None);
+        // Bid equal to a price does NOT fail (strictly greater).
+        assert_eq!(tr.first_passage_above(0.0, 0.8), None);
+    }
+
+    #[test]
+    fn first_passage_when_already_above_is_immediate() {
+        let tr = t(&[0.9, 0.1]);
+        let fp = tr.first_passage_above(0.0, 0.5).unwrap();
+        assert_eq!(fp, 0.0);
+        // Start strictly inside the failing sample: failure can't predate
+        // the launch time.
+        let fp = tr.first_passage_above(0.2, 0.5).unwrap();
+        assert!(fp >= 0.2);
+    }
+
+    #[test]
+    fn window_clamps_to_bounds() {
+        let tr = t(&[1.0, 2.0, 3.0, 4.0]);
+        let w = tr.window(0.5, 1.0);
+        assert_eq!(w.samples(), &[2.0, 3.0]);
+        let w = tr.window(1.5, 99.0);
+        assert_eq!(w.samples(), &[4.0]);
+        let w = tr.window(-5.0, 0.6);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn window_roundtrips_to_trace() {
+        let tr = t(&[1.0, 2.0, 3.0, 4.0]);
+        let owned = tr.window(0.0, 99.0).to_trace();
+        assert_eq!(owned, tr);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = t(&[1.0]);
+        a.extend_from(&t(&[2.0, 3.0]));
+        assert_eq!(a.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different steps")]
+    fn extend_rejects_mismatched_step() {
+        let mut a = t(&[1.0]);
+        a.extend_from(&SpotTrace::new(0.25, vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_rejected() {
+        SpotTrace::new(1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_price_rejected() {
+        SpotTrace::new(1.0, vec![-0.1]);
+    }
+}

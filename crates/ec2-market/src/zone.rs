@@ -1,0 +1,84 @@
+//! Amazon EC2 availability zones.
+//!
+//! The paper uses three zones in the us-east-1 region. Spot prices in
+//! different zones are treated as statistically independent (a paper
+//! assumption, confirmed by their trace study and by Marathe et al.), which
+//! is what makes cross-zone replicated execution effective.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An EC2 availability zone.
+///
+/// The variants mirror the zones evaluated in the paper. `Other(u8)` allows
+/// synthetic experiments with more redundancy than the paper used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AvailabilityZone {
+    /// us-east-1a — the volatile zone in the paper's Figure 1.
+    UsEast1a,
+    /// us-east-1b — flat, consistently cheap in the paper's traces.
+    UsEast1b,
+    /// us-east-1c.
+    UsEast1c,
+    /// An additional synthetic zone for scaled-up experiments.
+    Other(u8),
+}
+
+impl AvailabilityZone {
+    /// The three zones used throughout the paper's evaluation.
+    pub const PAPER_ZONES: [AvailabilityZone; 3] = [
+        AvailabilityZone::UsEast1a,
+        AvailabilityZone::UsEast1b,
+        AvailabilityZone::UsEast1c,
+    ];
+
+    /// Stable small integer index, usable for seeding per-zone RNG streams.
+    pub fn index(self) -> u32 {
+        match self {
+            AvailabilityZone::UsEast1a => 0,
+            AvailabilityZone::UsEast1b => 1,
+            AvailabilityZone::UsEast1c => 2,
+            AvailabilityZone::Other(n) => 3 + n as u32,
+        }
+    }
+}
+
+impl fmt::Display for AvailabilityZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvailabilityZone::UsEast1a => write!(f, "us-east-1a"),
+            AvailabilityZone::UsEast1b => write!(f, "us-east-1b"),
+            AvailabilityZone::UsEast1c => write!(f, "us-east-1c"),
+            AvailabilityZone::Other(n) => write!(f, "us-east-1x{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_zones_are_distinct() {
+        let z = AvailabilityZone::PAPER_ZONES;
+        assert_ne!(z[0], z[1]);
+        assert_ne!(z[1], z[2]);
+        assert_ne!(z[0], z[2]);
+    }
+
+    #[test]
+    fn indices_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for z in AvailabilityZone::PAPER_ZONES {
+            assert!(seen.insert(z.index()));
+        }
+        assert!(seen.insert(AvailabilityZone::Other(0).index()));
+        assert!(seen.insert(AvailabilityZone::Other(7).index()));
+    }
+
+    #[test]
+    fn display_matches_aws_naming() {
+        assert_eq!(AvailabilityZone::UsEast1a.to_string(), "us-east-1a");
+        assert_eq!(AvailabilityZone::Other(2).to_string(), "us-east-1x2");
+    }
+}

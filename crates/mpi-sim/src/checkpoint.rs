@@ -1,0 +1,132 @@
+//! BLCR-style coordinated checkpointing.
+//!
+//! The paper checkpoints with BLCR under OpenMPI: a system-level,
+//! *coordinated* protocol (all ranks quiesce in-flight messages, then each
+//! dumps its process image), with images shipped to S3. This module
+//! computes the two overheads the cost model consumes per circle group:
+//!
+//! * `O_i` — wall-clock cost of taking one checkpoint
+//!   ([`CheckpointSpec::overhead_hours`]),
+//! * `R_i` — wall-clock cost of restarting from the latest checkpoint on a
+//!   fresh cluster ([`CheckpointSpec::recovery_hours`]), including 2014-era
+//!   instance provisioning time.
+
+use crate::cluster::ClusterSpec;
+use crate::profile::AppProfile;
+use crate::storage::S3Store;
+use crate::Hours;
+use ec2_market::instance::InstanceCatalog;
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint/restart cost parameters for one application on one cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Total coordinated image volume, GB (all ranks).
+    pub volume_gb: f64,
+    /// Instances sharing the upload/download.
+    pub instances: u32,
+    /// Coordination cost of quiescing the MPI job, hours (drain in-flight
+    /// messages, global barrier, fork the dump).
+    pub coordination_hours: Hours,
+    /// Time to provision and boot a replacement cluster, hours (2014 EC2
+    /// spot fulfillment plus boot was minutes).
+    pub provisioning_hours: Hours,
+    /// The store holding the images.
+    pub store: S3Store,
+}
+
+impl CheckpointSpec {
+    /// Build the spec for `profile` running on `cluster`, with paper-era
+    /// constants: 30 s of coordination per checkpoint, 3 min of cluster
+    /// provisioning on recovery.
+    pub fn for_app(
+        catalog: &InstanceCatalog,
+        cluster: &ClusterSpec,
+        profile: &AppProfile,
+        store: S3Store,
+    ) -> Self {
+        let _ = catalog; // sizing already captured by `cluster`
+        Self {
+            volume_gb: profile.checkpoint_volume_gb(),
+            instances: cluster.instances,
+            coordination_hours: 30.0 / 3600.0,
+            provisioning_hours: 3.0 / 60.0,
+            store,
+        }
+    }
+
+    /// `O_i`: wall-clock overhead of one coordinated checkpoint.
+    pub fn overhead_hours(&self) -> Hours {
+        self.coordination_hours + self.store.upload_hours(self.volume_gb, self.instances)
+    }
+
+    /// `R_i`: wall-clock overhead of recovering onto a cluster of
+    /// `instances` machines — provision, download images, restart.
+    pub fn recovery_hours(&self) -> Hours {
+        self.provisioning_hours
+            + self.store.download_hours(self.volume_gb, self.instances)
+            + self.coordination_hours
+    }
+
+    /// Recovery overhead onto a *different* cluster size (the on-demand
+    /// fallback may use another instance type).
+    pub fn recovery_hours_on(&self, instances: u32) -> Hours {
+        self.provisioning_hours
+            + self.store.download_hours(self.volume_gb, instances)
+            + self.coordination_hours
+    }
+
+    /// Storage cost of keeping one checkpoint image for `hours`.
+    pub fn storage_cost(&self, hours: Hours) -> f64 {
+        self.store.storage_cost(self.volume_gb, hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::{NpbClass, NpbKernel};
+
+    fn spec(ty: &str, procs: u32) -> CheckpointSpec {
+        let cat = InstanceCatalog::paper_2014();
+        let id = cat.by_name(ty).unwrap();
+        let cluster = ClusterSpec::for_processes(&cat, id, procs);
+        let profile = NpbKernel::Bt.profile(NpbClass::B, procs);
+        CheckpointSpec::for_app(&cat, &cluster, &profile, S3Store::paper_2014())
+    }
+
+    #[test]
+    fn overhead_is_seconds_to_minutes() {
+        // BT.B on 128 m1.small: ~10.8 GB image over 128 uploaders — tens of
+        // seconds, consistent with BLCR "does not significantly increase
+        // the length of runs".
+        let o = spec("m1.small", 128).overhead_hours() * 3600.0;
+        assert!(o > 10.0 && o < 300.0, "O = {o}s");
+    }
+
+    #[test]
+    fn recovery_costs_more_than_checkpoint() {
+        let s = spec("m1.small", 128);
+        assert!(s.recovery_hours() > s.overhead_hours());
+    }
+
+    #[test]
+    fn fewer_instances_upload_slower() {
+        let small = spec("m1.small", 128); // 128 uploaders
+        let cc2 = spec("cc2.8xlarge", 128); // 4 uploaders
+        assert!(cc2.overhead_hours() > small.overhead_hours());
+    }
+
+    #[test]
+    fn recovery_on_other_cluster_scales_with_downloaders() {
+        let s = spec("m1.small", 128);
+        assert!(s.recovery_hours_on(4) > s.recovery_hours_on(128));
+    }
+
+    #[test]
+    fn storage_cost_negligible_vs_execution() {
+        // Holding BT.B checkpoints for a 48 h run costs well under a cent.
+        let s = spec("m1.small", 128);
+        assert!(s.storage_cost(48.0) < 0.05);
+    }
+}

@@ -1,0 +1,172 @@
+//! Analytic cost models for MPI collective operations.
+//!
+//! The α–β (latency–bandwidth) models standard in the literature
+//! (Hockney/LogP-style), specialized to the two-level EC2 topology: ranks
+//! on the same instance communicate through shared memory, ranks on
+//! different instances through the shared NIC. These feed the per-phase
+//! costs of richer [`crate::program::Program`]s and give the workload
+//! models in [`crate::npb`] principled per-iteration costs.
+
+use crate::cluster::SHARED_MEM_GBPS;
+use ec2_market::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+
+/// The MPI collectives used by the NPB kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// `MPI_Bcast` — binomial tree.
+    Broadcast,
+    /// `MPI_Reduce` / `MPI_Allreduce` — reduce-scatter + allgather
+    /// (Rabenseifner) for large messages.
+    Allreduce,
+    /// `MPI_Alltoall` — pairwise exchange, the transpose workhorse.
+    AllToAll,
+    /// `MPI_Allgather` — ring.
+    Allgather,
+    /// `MPI_Barrier` — dissemination.
+    Barrier,
+}
+
+/// Cluster shape seen by a collective: total ranks and ranks per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommShape {
+    /// Total ranks in the communicator.
+    pub ranks: u32,
+    /// Co-resident ranks per instance (fully packed).
+    pub ranks_per_node: u32,
+}
+
+impl CommShape {
+    /// Number of instances spanned.
+    pub fn nodes(&self) -> u32 {
+        self.ranks.div_ceil(self.ranks_per_node.max(1))
+    }
+
+    /// Whether the communicator crosses instance boundaries.
+    pub fn multi_node(&self) -> bool {
+        self.nodes() > 1
+    }
+}
+
+impl Collective {
+    /// Wall-clock seconds for this collective moving `bytes_per_rank`
+    /// per rank on `shape`, over `ty`'s network.
+    ///
+    /// Single-node communicators use shared memory and negligible latency.
+    pub fn seconds(self, ty: &InstanceType, shape: CommShape, bytes_per_rank: f64) -> f64 {
+        let p = shape.ranks.max(1) as f64;
+        if p <= 1.0 {
+            return 0.0;
+        }
+        let alpha = if shape.multi_node() {
+            ty.latency_ms / 1000.0
+        } else {
+            1e-6 // shared-memory latency
+        };
+        let beta = if shape.multi_node() {
+            // Seconds per byte through the NIC, shared by the node's ranks
+            // that are communicating off-node concurrently.
+            let nic_bytes_per_s = ty.network_gbps / 8.0 * 1e9;
+            shape.ranks_per_node.min(shape.ranks) as f64 / nic_bytes_per_s
+        } else {
+            1.0 / (SHARED_MEM_GBPS * 1e9)
+        };
+        let n = bytes_per_rank;
+        let lg = p.log2().ceil();
+
+        match self {
+            // Binomial tree: ceil(log2 p) rounds of the full message.
+            Collective::Broadcast => lg * (alpha + n * beta),
+            // Rabenseifner: 2·log2(p)·α + 2·(p−1)/p·n·β.
+            Collective::Allreduce => 2.0 * lg * alpha + 2.0 * (p - 1.0) / p * n * beta,
+            // Pairwise exchange: (p−1) rounds of n/p bytes each.
+            Collective::AllToAll => (p - 1.0) * (alpha + n / p * beta),
+            // Ring: (p−1) rounds of n/p bytes.
+            Collective::Allgather => (p - 1.0) * (alpha + n / p * beta),
+            // Dissemination barrier: ceil(log2 p) zero-byte rounds.
+            Collective::Barrier => lg * alpha,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::InstanceCatalog;
+
+    fn ty(name: &str) -> InstanceType {
+        let c = InstanceCatalog::paper_2014();
+        c.get(c.by_name(name).unwrap()).clone()
+    }
+
+    fn shape(ranks: u32, per_node: u32) -> CommShape {
+        CommShape { ranks, ranks_per_node: per_node }
+    }
+
+    #[test]
+    fn single_rank_costs_nothing() {
+        for coll in [
+            Collective::Broadcast,
+            Collective::Allreduce,
+            Collective::AllToAll,
+            Collective::Allgather,
+            Collective::Barrier,
+        ] {
+            assert_eq!(coll.seconds(&ty("m1.small"), shape(1, 1), 1e6), 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_memory_much_faster_than_network() {
+        let cc2 = ty("cc2.8xlarge");
+        let on_node = Collective::AllToAll.seconds(&cc2, shape(32, 32), 1e6);
+        let cross = Collective::AllToAll.seconds(&cc2, shape(32, 8), 1e6);
+        assert!(on_node < cross / 3.0, "on {on_node} vs cross {cross}");
+    }
+
+    #[test]
+    fn barrier_is_latency_only() {
+        let small = ty("m1.small");
+        let b0 = Collective::Barrier.seconds(&small, shape(128, 1), 0.0);
+        let b1 = Collective::Barrier.seconds(&small, shape(128, 1), 1e9);
+        assert_eq!(b0, b1, "barrier must ignore payload");
+        // 7 rounds × 0.5 ms.
+        assert!((b0 - 7.0 * 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alltoall_scales_worse_than_allreduce_in_latency() {
+        // (p−1)·α vs 2·log2(p)·α: at 128 ranks, 127 vs 14 rounds.
+        let small = ty("m1.small");
+        let a2a = Collective::AllToAll.seconds(&small, shape(128, 1), 0.0);
+        let ar = Collective::Allreduce.seconds(&small, shape(128, 1), 0.0);
+        assert!(a2a > 5.0 * ar, "a2a {a2a} vs allreduce {ar}");
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_message_size() {
+        let small = ty("m1.small");
+        let s1 = Collective::Broadcast.seconds(&small, shape(64, 1), 1e6);
+        let s2 = Collective::Broadcast.seconds(&small, shape(64, 1), 2e6);
+        assert!(s2 > s1);
+        // Latency-only part is identical; bandwidth doubles.
+        let lat = Collective::Broadcast.seconds(&small, shape(64, 1), 0.0);
+        assert!(((s2 - lat) / (s1 - lat) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_network_speeds_up_collectives() {
+        let sh = shape(128, 1);
+        let small = Collective::Allreduce.seconds(&ty("m1.small"), sh, 1e7);
+        let sh_cc2 = shape(128, 32);
+        let cc2 = Collective::Allreduce.seconds(&ty("cc2.8xlarge"), sh_cc2, 1e7);
+        assert!(cc2 < small);
+    }
+
+    #[test]
+    fn shape_helpers() {
+        assert_eq!(shape(128, 32).nodes(), 4);
+        assert!(!shape(32, 32).multi_node());
+        assert!(shape(33, 32).multi_node());
+    }
+}

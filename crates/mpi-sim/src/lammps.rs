@@ -1,0 +1,129 @@
+//! Analytic workload model of LAMMPS (Large-scale Atomic/Molecular
+//! Massively Parallel Simulator).
+//!
+//! The paper's real-world application (Section 5.3.1): a molecular-dynamics
+//! run with a **fixed problem size** and a varying process count. Its key
+//! property, which the paper leans on, is that the communication *share*
+//! grows with the process count: with few processes each rank owns many
+//! atoms (compute-heavy); with many processes the halo surface per rank
+//! shrinks more slowly than the owned volume, so the run becomes
+//! communication-intensive and the optimizer flips from "powerless" m1
+//! instances to cc2.8xlarge.
+
+use crate::profile::{AppProfile, CommPattern};
+use serde::{Deserialize, Serialize};
+
+/// A LAMMPS-style molecular dynamics workload: Lennard-Jones melt on a 3D
+/// spatial decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lammps {
+    /// Total number of atoms (fixed while processes vary, per the paper).
+    pub atoms: u64,
+    /// Number of timesteps.
+    pub timesteps: u32,
+    /// Sustained floating point work per atom per timestep (force
+    /// computation over the neighbor list; ~0.5 kFLOP for LJ with a
+    /// standard cutoff).
+    pub flop_per_atom_step: f64,
+    /// Bytes exchanged per halo atom per timestep (positions out, forces
+    /// back).
+    pub bytes_per_halo_atom: f64,
+}
+
+impl Lammps {
+    /// The configuration used in our Figure 5 reproduction: a 256k-atom
+    /// melt run for 20k steps. Strong scaling over a fixed atom count is
+    /// what the paper exploits: at 32 processes each rank owns 8k atoms
+    /// (computation-dominated); at 128 the per-rank halo surface and
+    /// per-step message latency dominate and the run becomes
+    /// communication-intensive.
+    pub fn paper() -> Self {
+        Self {
+            atoms: 256_000,
+            timesteps: 20_000,
+            flop_per_atom_step: 500.0,
+            bytes_per_halo_atom: 32.0,
+        }
+    }
+
+    /// Build the profile for a run on `processes` ranks.
+    ///
+    /// # Panics
+    /// Panics if `processes == 0`.
+    pub fn profile(&self, processes: u32) -> AppProfile {
+        assert!(processes > 0, "need at least one process");
+        let n = processes as f64;
+        let atoms = self.atoms as f64;
+        let steps = self.timesteps as f64;
+
+        let total_gflop = atoms * steps * self.flop_per_atom_step / 1e9;
+
+        // Each rank owns atoms/n atoms in a compact cube; its halo is the
+        // six faces of that cube, one atom-layer deep.
+        let per_rank_atoms = atoms / n;
+        let face_atoms = per_rank_atoms.powf(2.0 / 3.0);
+        let halo_atoms_per_rank = 6.0 * face_atoms;
+        let comm_gb = halo_atoms_per_rank * self.bytes_per_halo_atom * steps * n / 1e9;
+
+        AppProfile {
+            name: format!("LAMMPS-{}p", processes),
+            processes,
+            total_gflop,
+            data_send_gb: comm_gb,
+            data_recv_gb: comm_gb,
+            io_seq_gb: 0.0,
+            io_rnd_gb: 0.0,
+            pattern: CommPattern::Neighbor3D,
+            // ~200 B of state per atom (position, velocity, force, neighbor
+            // list share) plus runtime image.
+            image_gb_per_process: 0.05 + per_rank_atoms * 200.0 / 1e9,
+            iterations: self.timesteps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_is_independent_of_process_count() {
+        let l = Lammps::paper();
+        let a = l.profile(32);
+        let b = l.profile(128);
+        assert!((a.total_gflop - b.total_gflop).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_share_grows_with_processes() {
+        // The paper: "as the number of processes increases, the
+        // communication proportion is increasing".
+        let l = Lammps::paper();
+        let share = |p: u32| {
+            let pr = l.profile(p);
+            pr.data_send_gb / pr.total_gflop
+        };
+        assert!(share(128) > share(32));
+        assert!(share(512) > share(128));
+    }
+
+    #[test]
+    fn per_rank_compute_shrinks_with_processes() {
+        let l = Lammps::paper();
+        assert!(l.profile(128).gflop_per_rank() < l.profile(32).gflop_per_rank());
+    }
+
+    #[test]
+    fn image_shrinks_with_processes_but_keeps_floor() {
+        let l = Lammps::paper();
+        let small = l.profile(1024).image_gb_per_process;
+        let big = l.profile(8).image_gb_per_process;
+        assert!(small < big);
+        assert!(small >= 0.05);
+    }
+
+    #[test]
+    fn profile_names_process_count() {
+        assert_eq!(Lammps::paper().profile(32).name, "LAMMPS-32p");
+    }
+}

@@ -1,0 +1,232 @@
+//! Phase-structured MPI programs for the discrete-event simulator.
+//!
+//! An [`AppProfile`] summarizes *totals*; a [`Program`] lays those totals
+//! out in time as a sequence of BSP supersteps — compute, halo exchange /
+//! collective, optional I/O — with a checkpoint opportunity after each
+//! superstep, which is where OpenMPI+BLCR can coordinate a dump.
+
+use crate::collective::Collective;
+use crate::profile::{AppProfile, CommPattern};
+use serde::{Deserialize, Serialize};
+
+/// One phase of an MPI program, with per-rank resource demands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Local computation: `gflop` of work per rank, perfectly parallel.
+    Compute {
+        /// Work per rank, GFLOP.
+        gflop: f64,
+    },
+    /// Synchronized communication step (halo exchange or collective):
+    /// every rank sends/receives `gb` and no rank proceeds until all
+    /// complete.
+    Exchange {
+        /// Volume per rank, GB.
+        gb: f64,
+        /// Traffic pattern, for the off-node fraction.
+        pattern: CommPattern,
+        /// Communication rounds folded into this phase (application
+        /// iterations per superstep) — each pays per-message latency.
+        rounds: f64,
+    },
+    /// A synchronized MPI collective operation, costed with the α–β
+    /// models of [`crate::collective`].
+    Collective {
+        /// Which collective.
+        op: Collective,
+        /// Payload per rank, bytes.
+        bytes_per_rank: f64,
+        /// Back-to-back invocations folded into this phase.
+        rounds: f64,
+    },
+    /// Local I/O.
+    Io {
+        /// Sequential volume per rank, GB.
+        seq_gb: f64,
+        /// Random-access volume per rank, GB.
+        rnd_gb: f64,
+    },
+    /// A point where a coordinated checkpoint may be taken (superstep
+    /// boundary). Zero cost unless the runtime decides to checkpoint here.
+    CheckpointOpportunity,
+}
+
+/// A schedulable MPI program: phases plus identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (from the profile).
+    pub name: String,
+    /// Rank count.
+    pub processes: u32,
+    /// The phase list, executed in order by all ranks.
+    pub phases: Vec<Phase>,
+}
+
+impl Program {
+    /// Lay out `profile` as `supersteps` identical BSP supersteps. More
+    /// supersteps mean finer checkpoint granularity and more barriers, at
+    /// higher simulation cost; callers typically pick
+    /// `min(profile.iterations, a few hundred)`.
+    ///
+    /// # Panics
+    /// Panics if `supersteps == 0`.
+    pub fn from_profile(profile: &AppProfile, supersteps: u32) -> Self {
+        assert!(supersteps > 0, "need at least one superstep");
+        let s = supersteps as f64;
+        let n = profile.processes as f64;
+        let compute = Phase::Compute { gflop: profile.total_gflop / n / s };
+        let exchange = Phase::Exchange {
+            gb: profile.comm_gb_per_rank() / s,
+            pattern: profile.pattern,
+            rounds: profile.iterations as f64 / s,
+        };
+        let io = Phase::Io {
+            seq_gb: profile.io_seq_gb / n / s,
+            rnd_gb: profile.io_rnd_gb / n / s,
+        };
+        let has_io = profile.io_seq_gb + profile.io_rnd_gb > 0.0;
+
+        let mut phases = Vec::with_capacity(supersteps as usize * 4);
+        for _ in 0..supersteps {
+            phases.push(compute);
+            phases.push(exchange);
+            if has_io {
+                phases.push(io);
+            }
+            phases.push(Phase::CheckpointOpportunity);
+        }
+        Self {
+            name: profile.name.clone(),
+            processes: profile.processes,
+            phases,
+        }
+    }
+
+    /// Number of checkpoint opportunities.
+    pub fn opportunities(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| matches!(p, Phase::CheckpointOpportunity))
+            .count()
+    }
+
+    /// Total per-rank compute in the program, GFLOP.
+    pub fn total_gflop_per_rank(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Compute { gflop } => *gflop,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::{NpbClass, NpbKernel};
+
+    #[test]
+    fn program_conserves_compute_volume() {
+        let p = NpbKernel::Bt.profile(NpbClass::B, 128);
+        let prog = Program::from_profile(&p, 100);
+        let per_rank = prog.total_gflop_per_rank();
+        assert!((per_rank - p.gflop_per_rank()).abs() / p.gflop_per_rank() < 1e-9);
+    }
+
+    #[test]
+    fn one_opportunity_per_superstep() {
+        let p = NpbKernel::Lu.profile(NpbClass::A, 64);
+        let prog = Program::from_profile(&p, 37);
+        assert_eq!(prog.opportunities(), 37);
+    }
+
+    #[test]
+    fn io_phases_only_when_profile_has_io() {
+        let bt = Program::from_profile(&NpbKernel::Bt.profile(NpbClass::B, 128), 10);
+        assert!(!bt.phases.iter().any(|p| matches!(p, Phase::Io { .. })));
+        let btio = Program::from_profile(&NpbKernel::Btio.profile(NpbClass::B, 128), 10);
+        assert!(btio.phases.iter().any(|p| matches!(p, Phase::Io { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one superstep")]
+    fn zero_supersteps_panics() {
+        Program::from_profile(&NpbKernel::Bt.profile(NpbClass::S, 4), 0);
+    }
+}
+
+#[cfg(test)]
+mod collective_phase_tests {
+    use super::*;
+    use crate::checkpoint::CheckpointSpec;
+    use crate::cluster::ClusterSpec;
+    use crate::collective::Collective;
+    use crate::sim::Simulation;
+    use crate::storage::S3Store;
+    use ec2_market::instance::InstanceCatalog;
+
+    fn hand_built(processes: u32) -> Program {
+        Program {
+            name: "hand".into(),
+            processes,
+            phases: vec![
+                Phase::Compute { gflop: 1.0 },
+                Phase::Collective {
+                    op: Collective::Allreduce,
+                    bytes_per_rank: 1e6,
+                    rounds: 10.0,
+                },
+                Phase::CheckpointOpportunity,
+                Phase::Compute { gflop: 1.0 },
+                Phase::Collective {
+                    op: Collective::AllToAll,
+                    bytes_per_rank: 1e6,
+                    rounds: 10.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn collective_phases_execute_and_cost_time() {
+        let cat = InstanceCatalog::paper_2014();
+        let ty = cat.by_name("m1.small").unwrap();
+        let cluster = ClusterSpec::for_processes(&cat, ty, 64);
+        let profile = crate::npb::NpbKernel::Ep.profile(crate::npb::NpbClass::S, 64);
+        let ckpt = CheckpointSpec::for_app(&cat, &cluster, &profile, S3Store::paper_2014());
+        let prog = hand_built(64);
+        let sim = Simulation::new(&cat, cluster, ckpt).with_jitter(0.0);
+        let out = sim.run(&prog, None, None);
+        assert!(out.completed);
+        // Compute alone: 2 GFLOP / 0.2 GFLOP/s = 10 s.
+        let compute_h = 2.0 / 0.2 / 3600.0;
+        assert!(
+            out.wall_hours > compute_h,
+            "collectives must add time: {} vs {}",
+            out.wall_hours,
+            compute_h
+        );
+    }
+
+    #[test]
+    fn alltoall_phase_costs_more_than_allreduce() {
+        let cat = InstanceCatalog::paper_2014();
+        let ty = cat.by_name("m1.small").unwrap();
+        let cluster = ClusterSpec::for_processes(&cat, ty, 64);
+        let profile = crate::npb::NpbKernel::Ep.profile(crate::npb::NpbClass::S, 64);
+        let ckpt = CheckpointSpec::for_app(&cat, &cluster, &profile, S3Store::paper_2014());
+        // Small payloads: all-to-all pays (p-1) latencies per round vs
+        // allreduce's 2*log2(p).
+        let mk = |op| Program {
+            name: "one".into(),
+            processes: 64,
+            phases: vec![Phase::Collective { op, bytes_per_rank: 1e3, rounds: 100.0 }],
+        };
+        let sim = Simulation::new(&cat, cluster, ckpt).with_jitter(0.0);
+        let a2a = sim.run(&mk(Collective::AllToAll), None, None);
+        let ar = sim.run(&mk(Collective::Allreduce), None, None);
+        assert!(a2a.wall_hours > ar.wall_hours);
+    }
+}

@@ -1,0 +1,137 @@
+//! Amazon-S3-style reliable checkpoint store.
+//!
+//! The paper stores BLCR checkpoints on S3 (Section 4.4, "Checkpointing"):
+//! local disks evaporate with the spot instance, S3 survives. The store
+//! model captures the three quantities the cost model needs: upload time
+//! (part of the checkpoint overhead `O_i`), download time (part of the
+//! recovery overhead `R_i`) and storage cost (which the paper measures to
+//! be <0.1% of the execution cost — we keep it so that claim can be
+//! checked rather than assumed).
+
+use crate::Hours;
+use serde::{Deserialize, Serialize};
+
+/// Where checkpoint images live — the paper's Section 4.4 design decision.
+///
+/// *"If the checkpoint is stored in local disk, the data may be lost at any
+/// time when the spot instance is terminated. We choose to use Amazon S3"*.
+/// Local disk is faster and free, but an out-of-bid kill destroys the
+/// images with the instances; only a *reliable* backend makes the
+/// checkpoint-based `Ratio` recovery of the cost model valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CheckpointBackend {
+    /// Amazon S3: survives instance termination; transfer is bounded by
+    /// the per-instance network path to S3.
+    #[default]
+    S3,
+    /// Instance-local ephemeral disk: fast writes, zero storage cost,
+    /// **lost on provider termination** — checkpoints only help against
+    /// the winner-rule user terminations, not against out-of-bid kills.
+    LocalDisk,
+}
+
+impl CheckpointBackend {
+    /// Whether images survive an out-of-bid (provider) termination.
+    pub fn survives_termination(self) -> bool {
+        matches!(self, CheckpointBackend::S3)
+    }
+}
+
+/// Reliable object store with per-instance bandwidth caps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct S3Store {
+    /// Sustained upload bandwidth per instance, MB/s.
+    pub upload_mbps_per_instance: f64,
+    /// Sustained download bandwidth per instance, MB/s.
+    pub download_mbps_per_instance: f64,
+    /// Fixed per-object latency per operation, seconds (request overhead,
+    /// multipart setup).
+    pub request_overhead_s: f64,
+    /// Storage price in USD per GB-month ($0.03 in 2014).
+    pub usd_per_gb_month: f64,
+}
+
+impl S3Store {
+    /// 2014-era S3 from EC2: ~50 MB/s per instance each way, $0.03/GB-month.
+    pub fn paper_2014() -> Self {
+        Self {
+            upload_mbps_per_instance: 50.0,
+            download_mbps_per_instance: 50.0,
+            request_overhead_s: 2.0,
+            usd_per_gb_month: 0.03,
+        }
+    }
+
+    /// Wall time for `instances` machines to upload `total_gb` in parallel
+    /// (each uploads its share), in hours.
+    pub fn upload_hours(&self, total_gb: f64, instances: u32) -> Hours {
+        self.transfer_hours(total_gb, instances, self.upload_mbps_per_instance)
+    }
+
+    /// Wall time for `instances` machines to download `total_gb` in
+    /// parallel, in hours.
+    pub fn download_hours(&self, total_gb: f64, instances: u32) -> Hours {
+        self.transfer_hours(total_gb, instances, self.download_mbps_per_instance)
+    }
+
+    fn transfer_hours(&self, total_gb: f64, instances: u32, mbps: f64) -> Hours {
+        assert!(instances > 0, "need at least one instance");
+        assert!(total_gb >= 0.0, "volume must be non-negative");
+        if total_gb == 0.0 {
+            return 0.0;
+        }
+        let per_instance_gb = total_gb / instances as f64;
+        (per_instance_gb * 1000.0 / mbps + self.request_overhead_s) / 3600.0
+    }
+
+    /// Cost of holding `gb` for `hours`.
+    pub fn storage_cost(&self, gb: f64, hours: Hours) -> f64 {
+        let months = hours / (30.0 * 24.0);
+        self.usd_per_gb_month * gb * months
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_upload_scales_with_instances() {
+        let s3 = S3Store::paper_2014();
+        let one = s3.upload_hours(100.0, 1);
+        let hundred = s3.upload_hours(100.0, 100);
+        assert!(one > 50.0 * hundred, "one {one} hundred {hundred}");
+    }
+
+    #[test]
+    fn zero_volume_is_free_and_instant() {
+        let s3 = S3Store::paper_2014();
+        assert_eq!(s3.upload_hours(0.0, 4), 0.0);
+        assert_eq!(s3.storage_cost(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn request_overhead_bounds_small_transfers() {
+        let s3 = S3Store::paper_2014();
+        let t = s3.upload_hours(1e-6, 128);
+        assert!(t * 3600.0 >= s3.request_overhead_s);
+    }
+
+    #[test]
+    fn storage_cost_is_tiny_at_paper_scale() {
+        // 32 GB of checkpoints held for a 24-hour run: fractions of a cent,
+        // consistent with the paper's <0.1% claim.
+        let s3 = S3Store::paper_2014();
+        let c = s3.storage_cost(32.0, 24.0);
+        assert!(c < 0.04, "cost {c}");
+    }
+
+    #[test]
+    fn upload_time_is_plausible() {
+        // 32 GB from 128 instances: 0.25 GB each at 50 MB/s = 5 s + 2 s
+        // overhead.
+        let s3 = S3Store::paper_2014();
+        let t = s3.upload_hours(32.0, 128) * 3600.0;
+        assert!((t - 7.0).abs() < 0.5, "t {t}");
+    }
+}

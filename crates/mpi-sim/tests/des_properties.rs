@@ -1,0 +1,81 @@
+//! Property-based tests of the discrete-event MPI simulator's invariants.
+
+use ec2_market::instance::InstanceCatalog;
+use mpi_sim::checkpoint::CheckpointSpec;
+use mpi_sim::cluster::ClusterSpec;
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::program::Program;
+use mpi_sim::sim::Simulation;
+use mpi_sim::storage::S3Store;
+use proptest::prelude::*;
+
+fn setup(procs: u32) -> (InstanceCatalog, ClusterSpec, CheckpointSpec, Program) {
+    let cat = InstanceCatalog::paper_2014();
+    let ty = cat.by_name("m1.medium").unwrap();
+    let profile = NpbKernel::Bt.profile(NpbClass::A, procs).repeated(20);
+    let cluster = ClusterSpec::for_processes(&cat, ty, procs);
+    let ckpt = CheckpointSpec::for_app(&cat, &cluster, &profile, S3Store::paper_2014());
+    let program = Program::from_profile(&profile, 40);
+    (cat, cluster, ckpt, program)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accounting invariants hold for any failure time and checkpoint
+    /// interval: saved ≤ productive ≤ wall, and completion implies all
+    /// progress is durable.
+    #[test]
+    fn accounting_invariants(
+        fail_frac in 0.0f64..1.5,
+        interval_frac in 0.01f64..1.2,
+    ) {
+        let (cat, cluster, ckpt, program) = setup(32);
+        let sim = Simulation::new(&cat, cluster, ckpt);
+        let clean = sim.run(&program, None, None);
+        prop_assert!(clean.completed);
+
+        let interval = clean.wall_hours * interval_frac;
+        let fail_at = clean.wall_hours * fail_frac;
+        let out = sim.run(&program, Some(interval), Some(fail_at));
+
+        prop_assert!(out.saved_progress_hours <= out.productive_hours + 1e-9);
+        prop_assert!(out.productive_hours <= out.wall_hours + 1e-9);
+        prop_assert!(out.wall_hours <= fail_at.max(clean.wall_hours * 1.5) + 1e-9);
+        if out.completed {
+            prop_assert!((out.saved_progress_hours - out.productive_hours).abs() < 1e-9);
+        } else {
+            prop_assert!(out.wall_hours <= fail_at + 1e-9);
+        }
+    }
+
+    /// A later failure never yields less durable progress (checkpoints
+    /// only accumulate).
+    #[test]
+    fn progress_monotone_in_failure_time(t1 in 0.05f64..0.5, dt in 0.0f64..0.5) {
+        let (cat, cluster, ckpt, program) = setup(16);
+        let sim = Simulation::new(&cat, cluster, ckpt);
+        let clean = sim.run(&program, None, None);
+        let interval = clean.wall_hours / 10.0;
+        let a = sim.run(&program, Some(interval), Some(clean.wall_hours * t1));
+        let b = sim.run(&program, Some(interval), Some(clean.wall_hours * (t1 + dt)));
+        prop_assert!(b.saved_progress_hours >= a.saved_progress_hours - 1e-9);
+    }
+
+    /// Shorter checkpoint intervals never reduce the progress that
+    /// survives a mid-run failure, and strictly increase checkpoint count
+    /// (until the overhead-bound floor).
+    #[test]
+    fn denser_checkpoints_save_no_less(frac in 0.3f64..0.9) {
+        let (cat, cluster, ckpt, program) = setup(16);
+        let sim = Simulation::new(&cat, cluster, ckpt);
+        let clean = sim.run(&program, None, None);
+        let fail_at = clean.wall_hours * frac;
+        let coarse = sim.run(&program, Some(clean.wall_hours / 4.0), Some(fail_at));
+        let fine = sim.run(&program, Some(clean.wall_hours / 16.0), Some(fail_at));
+        prop_assert!(fine.checkpoints_taken >= coarse.checkpoints_taken);
+        prop_assert!(
+            fine.saved_progress_hours >= coarse.saved_progress_hours - clean.wall_hours / 4.0
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Windowed Algorithm-1 execution against realized traces.
+//!
+//! [`AdaptiveRunner`] drives the paper's adaptive loop: at every window
+//! boundary it rebuilds the market view from the most recent
+//! `history_hours` of prices *ending at the current trace time*, asks
+//! [`AdaptivePlanner`] for the residual plan, and replays at most `T_m`
+//! hours of it. Durable progress (the best checkpoint across circle
+//! groups, stored on S3) carries across windows. Setting
+//! `update_maintenance = false` reproduces the w/o-MT ablation: the plan
+//! computed in the first window is reused verbatim forever.
+
+use crate::exec::{Finisher, PlanRunner, RunOutcome};
+use crate::Hours;
+use ec2_market::market::SpotMarket;
+use serde::{Deserialize, Serialize};
+use sompi_core::adaptive::{AdaptiveConfig, AdaptivePlanner, WindowDecision};
+use sompi_core::problem::Problem;
+use sompi_core::view::MarketView;
+
+/// Outcome of one adaptive execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveOutcome {
+    /// The completed-run outcome (cost, wall time, deadline flag).
+    pub run: RunOutcome,
+    /// Number of optimization windows executed.
+    pub windows: u32,
+    /// Number of times the plan changed between consecutive windows.
+    pub plan_changes: u32,
+}
+
+/// Replays the adaptive algorithm against a market.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRunner<'a> {
+    market: &'a SpotMarket,
+    planner: AdaptivePlanner,
+    /// Re-plan each window (true = SOMPI, false = the w/o-MT ablation).
+    pub update_maintenance: bool,
+}
+
+impl<'a> AdaptiveRunner<'a> {
+    /// Create a runner.
+    pub fn new(market: &'a SpotMarket, config: AdaptiveConfig) -> Self {
+        Self {
+            market,
+            planner: AdaptivePlanner::new(config),
+            update_maintenance: true,
+        }
+    }
+
+    /// Disable update maintenance (the w/o-MT ablation).
+    pub fn without_maintenance(mut self) -> Self {
+        self.update_maintenance = false;
+        self
+    }
+
+    /// Execute `problem` starting at trace offset `start` (the planner
+    /// sees only prices before `start` at the first window).
+    pub fn run(&self, problem: &Problem, start: Hours) -> AdaptiveOutcome {
+        let cfg = self.planner.config;
+        let runner = PlanRunner::new(self.market, problem.deadline);
+
+        let mut elapsed: Hours = 0.0;
+        let mut done_fraction: f64 = 0.0;
+        let mut spot_cost = 0.0;
+        let mut windows = 0u32;
+        let mut plan_changes = 0u32;
+        let mut current_plan: Option<sompi_core::model::Plan> = None;
+        // Last computed plan together with the residual fraction it was
+        // sized for — reused (rescaled) by plan continuity and by the
+        // w/o-MT ablation.
+        let mut frozen_full: Option<(sompi_core::model::Plan, f64)> = None;
+        // Fraction the current full-scale plan was made for (continuity
+        // rescaling) and whether the last window demands a re-plan.
+        let mut replan_needed = true;
+        let mut groups_failed = 0u32;
+
+        loop {
+            let remaining = 1.0 - done_fraction;
+            if remaining <= 1e-9 {
+                // Finished on spot.
+                let run = RunOutcome {
+                    total_cost: spot_cost,
+                    spot_cost,
+                    od_cost: 0.0,
+                    wall_hours: elapsed,
+                    finisher: Finisher::Spot(
+                        current_plan
+                            .as_ref()
+                            .and_then(|p| p.groups.first().map(|(g, _)| g.id))
+                            .expect("completed on spot implies a spot plan"),
+                    ),
+                    groups_failed,
+                    met_deadline: elapsed <= problem.deadline,
+                };
+                return AdaptiveOutcome { run, windows, plan_changes };
+            }
+
+            let now = start + elapsed;
+            let history_start = (now - cfg.history_hours).max(0.0);
+            let view = MarketView::from_market(
+                self.market,
+                history_start,
+                (now - history_start).max(cfg.window_hours.min(1.0)),
+            );
+
+            // Deadline guard (Algorithm 1 line 7, applied on every path
+            // including the frozen w/o-MT one — it is deadline
+            // enforcement, not update maintenance): switch to on-demand
+            // when the deadline "could not be satisfied" any other way —
+            // i.e. when even the fastest *spot* completion of the residual
+            // no longer fits, and on-demand still (barely) does. While a
+            // spot plan can still make the deadline, keep gambling: that
+            // is the whole premise of the hybrid execution.
+            let leftover = problem.deadline - elapsed;
+            let fastest = problem.baseline();
+            let od_needed = fastest.exec_hours * remaining + fastest.recovery_hours;
+            let spot_needed = problem
+                .candidates
+                .iter()
+                .map(|c| c.exec_hours * remaining)
+                .fold(f64::INFINITY, f64::min);
+            if od_needed >= leftover && spot_needed >= leftover {
+                let mut od = *fastest;
+                od.exec_hours *= remaining;
+                let mut hours = od.exec_hours;
+                if done_fraction > 0.0 {
+                    hours += od.recovery_hours;
+                }
+                let od_cost =
+                    runner
+                        .billing()
+                        .on_demand_cost(od.unit_price, hours, od.instances);
+                let wall = elapsed + hours;
+                let run = RunOutcome {
+                    total_cost: spot_cost + od_cost,
+                    spot_cost,
+                    od_cost,
+                    wall_hours: wall,
+                    finisher: Finisher::OnDemand,
+                    groups_failed,
+                    met_deadline: wall <= problem.deadline,
+                };
+                return AdaptiveOutcome { run, windows, plan_changes };
+            }
+
+            // Plan continuity: a healthy plan (progress made, nobody killed
+            // out-of-bid) is kept across window boundaries — re-launching
+            // different instances every `T_m` pays launch waits and
+            // partial-hour billing for nothing. Update maintenance
+            // re-plans at the events where fresh market knowledge matters:
+            // failures, stalls, and the initial launch. w/o-MT never
+            // re-plans at all.
+            let reuse = frozen_full.is_some() && (!self.update_maintenance || !replan_needed);
+            let decision = if reuse {
+                let (frozen, made_for) = frozen_full.as_ref().expect("checked");
+                WindowDecision::Hybrid(frozen.scaled((remaining / made_for).min(1.0)))
+            } else {
+                self.planner.plan_window(problem, remaining, elapsed, &view)
+            };
+
+            match decision {
+                WindowDecision::FinishOnDemand(plan) => {
+                    // Run the residual on demand and stop.
+                    let od = &plan.on_demand;
+                    let mut hours = od.exec_hours; // already residual-scaled
+                    if done_fraction > 0.0 {
+                        hours += od.recovery_hours;
+                    }
+                    let od_cost =
+                        runner
+                            .billing()
+                            .on_demand_cost(od.unit_price, hours, od.instances);
+                    let wall = elapsed + hours;
+                    let run = RunOutcome {
+                        total_cost: spot_cost + od_cost,
+                        spot_cost,
+                        od_cost,
+                        wall_hours: wall,
+                        finisher: Finisher::OnDemand,
+                        groups_failed,
+                        met_deadline: wall <= problem.deadline,
+                    };
+                    return AdaptiveOutcome { run, windows, plan_changes };
+                }
+                WindowDecision::Hybrid(plan) => {
+                    if !reuse {
+                        if self.update_maintenance {
+                            if let Some(prev) = &current_plan {
+                                if *prev != plan {
+                                    plan_changes += 1;
+                                }
+                            }
+                        }
+                        // Remember this plan and what residual it was
+                        // sized for, for later continuity rescaling.
+                        frozen_full = Some((plan.clone(), remaining));
+                    }
+                    // Execute one window of the (residual) plan. The plan's
+                    // groups carry residual exec_hours already; replay them
+                    // fully (fraction 1.0 of the residual problem). The
+                    // window never overruns the deadline budget: Algorithm 1
+                    // re-evaluates at the deadline at the latest.
+                    let win = cfg
+                        .window_hours
+                        .min((problem.deadline - elapsed).max(0.25));
+                    // `reuse` means the same healthy instances keep
+                    // running across the boundary: no fresh launch wait.
+                    let w = runner.run_window_carried(&plan, now, 1.0, Some(win), reuse);
+                    spot_cost += w.spot_cost;
+                    groups_failed += w.groups_failed;
+                    // Re-plan when the window went badly: someone was
+                    // killed out-of-bid, or no durable progress was made.
+                    replan_needed = w.groups_failed > 0 || w.saved_fraction <= 1e-9;
+                    // saved_fraction is relative to the residual plan.
+                    done_fraction += remaining * (w.saved_fraction / 1.0).min(1.0);
+                    if w.completed_by.is_some() {
+                        done_fraction = 1.0;
+                    }
+                    // Advance at least a little to guarantee progress even
+                    // if nothing launched.
+                    elapsed += w.elapsed.max(cfg.window_hours.min(0.25));
+                    windows += 1;
+                    current_plan = Some(plan);
+                }
+            }
+
+            // Safety valve: never loop past the trace horizon.
+            if start + elapsed >= self.market.horizon() {
+                let view_plan = current_plan.clone().expect("looped at least once");
+                let residual = (1.0 - done_fraction).max(0.0);
+                let od = &view_plan.on_demand;
+                let hours = od.exec_hours * residual + od.recovery_hours;
+                let od_cost =
+                    runner
+                        .billing()
+                        .on_demand_cost(od.unit_price, hours, od.instances);
+                let wall = elapsed + hours;
+                let run = RunOutcome {
+                    total_cost: spot_cost + od_cost,
+                    spot_cost,
+                    od_cost,
+                    wall_hours: wall,
+                    finisher: Finisher::OnDemand,
+                    groups_failed,
+                    met_deadline: wall <= problem.deadline,
+                };
+                return AdaptiveOutcome { run, windows, plan_changes };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+    use mpi_sim::npb::{NpbClass, NpbKernel};
+    use mpi_sim::storage::S3Store;
+    use sompi_core::twolevel::OptimizerConfig;
+
+    fn setup(seed: u64) -> (SpotMarket, Problem) {
+        let cat = InstanceCatalog::paper_2014();
+        let prof = MarketProfile::paper_2014(&cat);
+        let market =
+            SpotMarket::generate(cat, &TraceGenerator::new(prof, seed), 400.0, 1.0 / 12.0);
+        let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+        let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+            .iter()
+            .map(|n| market.catalog().by_name(n).unwrap())
+            .collect();
+        let problem =
+            Problem::build(&market, &profile, 3.0, Some(&types), S3Store::paper_2014());
+        (market, problem)
+    }
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            window_hours: 1.0,
+            history_hours: 48.0,
+            optimizer: OptimizerConfig { kappa: 2, bid_levels: 3, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn completes_and_reports_cost() {
+        let (market, problem) = setup(41);
+        let out = AdaptiveRunner::new(&market, config()).run(&problem, 60.0);
+        assert!(out.run.total_cost > 0.0);
+        assert!(out.run.wall_hours > 0.0);
+        assert!(out.windows >= 1);
+    }
+
+    #[test]
+    fn without_maintenance_never_replans() {
+        let (market, problem) = setup(43);
+        let out = AdaptiveRunner::new(&market, config())
+            .without_maintenance()
+            .run(&problem, 60.0);
+        assert_eq!(out.plan_changes, 0);
+    }
+
+    #[test]
+    fn deterministic_given_offset() {
+        let (market, problem) = setup(47);
+        let r = AdaptiveRunner::new(&market, config());
+        let a = r.run(&problem, 72.0);
+        let b = r.run(&problem, 72.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn meets_loose_deadline_on_calm_markets() {
+        let (market, problem) = setup(53);
+        // Sample several offsets; the adaptive runner should usually meet
+        // the loose deadline (3 h vs ~1.1 h baseline).
+        let r = AdaptiveRunner::new(&market, config());
+        let met = (0..5)
+            .map(|i| r.run(&problem, 60.0 + 40.0 * i as f64))
+            .filter(|o| o.run.met_deadline)
+            .count();
+        assert!(met >= 3, "only {met}/5 met the deadline");
+    }
+}

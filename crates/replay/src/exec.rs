@@ -1,0 +1,552 @@
+//! Replaying one static plan against realized spot price traces.
+//!
+//! Semantics, matching the paper's execution model:
+//!
+//! * each circle group launches at the first instant (≥ the start offset)
+//!   its bid covers the spot price — "otherwise it waits";
+//! * a group dies the moment the realized price exceeds its bid
+//!   (out-of-bid event);
+//! * while alive, a group alternates `F_i` productive hours with `O_i`
+//!   checkpoint overhead;
+//! * the first group to finish the application wins and every other group
+//!   is terminated by the user (charged per 2014 billing: partial hours
+//!   charged on user termination, free on provider termination);
+//! * if all groups die first, the best checkpoint across groups seeds an
+//!   on-demand recovery run that starts once the last group is dead.
+//!
+//! [`PlanRunner::run`] replays a full plan to completion (with the
+//! on-demand fallback); [`PlanRunner::run_window`] replays at most one
+//! optimization window and reports the intermediate state, which is what
+//! the Algorithm-1 adaptive runner consumes.
+
+use crate::{Hours, Usd};
+use ec2_market::billing::{BillingModel, Termination};
+use ec2_market::market::{CircleGroupId, SpotMarket};
+use serde::{Deserialize, Serialize};
+use sompi_core::model::Plan;
+
+/// Who completed the application in a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Finisher {
+    /// A circle group finished on spot.
+    Spot(CircleGroupId),
+    /// The on-demand fallback finished the job.
+    OnDemand,
+}
+
+/// Outcome of replaying one plan from one start offset to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Total realized cost, USD.
+    pub total_cost: Usd,
+    /// Spot share of the cost.
+    pub spot_cost: Usd,
+    /// On-demand share of the cost.
+    pub od_cost: Usd,
+    /// Wall-clock duration from the start offset to completion, hours.
+    pub wall_hours: Hours,
+    /// Who finished the job.
+    pub finisher: Finisher,
+    /// Number of circle groups terminated by out-of-bid events.
+    pub groups_failed: u32,
+    /// Whether the plan's deadline was met.
+    pub met_deadline: bool,
+}
+
+/// State after replaying (at most) one window of a plan — no on-demand
+/// fallback applied yet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowOutcome {
+    /// Spot cost accrued in the window, USD.
+    pub spot_cost: Usd,
+    /// Wall hours consumed (from the window start to completion, last
+    /// death, or window cutoff — whichever ended the window).
+    pub elapsed: Hours,
+    /// Application fraction completed *and durable* at window end: the
+    /// full target fraction on completion, else the best checkpoint.
+    pub saved_fraction: f64,
+    /// Which group completed, if any.
+    pub completed_by: Option<CircleGroupId>,
+    /// Out-of-bid terminations in the window.
+    pub groups_failed: u32,
+}
+
+/// Lifecycle of one group within a window.
+#[derive(Debug, Clone, Copy)]
+struct GroupRun {
+    launch: Option<Hours>,
+    end: Hours,
+    termination: Termination,
+    completed: bool,
+    /// Fraction of the full application durably saved by this group.
+    saved_fraction: f64,
+}
+
+/// Replays static plans against a market's realized traces.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRunner<'a> {
+    market: &'a SpotMarket,
+    billing: BillingModel,
+    /// Deadline used for `met_deadline`, hours from the start offset.
+    pub deadline: Hours,
+}
+
+impl<'a> PlanRunner<'a> {
+    /// Create a runner with 2014 hourly billing.
+    pub fn new(market: &'a SpotMarket, deadline: Hours) -> Self {
+        Self { market, billing: BillingModel::hourly(), deadline }
+    }
+
+    /// Override the billing model.
+    pub fn with_billing(mut self, billing: BillingModel) -> Self {
+        self.billing = billing;
+        self
+    }
+
+    /// The billing model in use.
+    pub fn billing(&self) -> BillingModel {
+        self.billing
+    }
+
+    /// Replay `plan` (the full application) starting at trace offset
+    /// `start`, falling back to on-demand recovery if all replicas die.
+    ///
+    /// Spot execution is cut off at the deadline: no operator lets a
+    /// replica wait out a week-long price plateau while the deadline burns
+    /// (Algorithm 1 line 7's "run on on-demand" applies). The on-demand
+    /// recovery then completes the job — late runs are still completed,
+    /// just flagged as missing the deadline.
+    pub fn run(&self, plan: &Plan, start: Hours) -> RunOutcome {
+        let w = self.run_window(plan, start, 1.0, Some(self.deadline));
+        self.finish_with_od(plan, w, 1.0)
+    }
+
+    /// Convert a window outcome into a completed run by applying the
+    /// on-demand fallback for whatever fraction remains of `target`.
+    pub fn finish_with_od(&self, plan: &Plan, w: WindowOutcome, target: f64) -> RunOutcome {
+        let (finisher, od_cost, od_hours) = match w.completed_by {
+            Some(id) => (Finisher::Spot(id), 0.0, 0.0),
+            None => {
+                let od = &plan.on_demand;
+                let remaining = (target - w.saved_fraction).max(0.0);
+                let mut hours = od.exec_hours * remaining;
+                if remaining > 0.0 && w.saved_fraction > 0.0 {
+                    hours += od.recovery_hours; // restore a checkpoint
+                } else if remaining > 0.0 && !plan.groups.is_empty() {
+                    hours += od.recovery_hours; // reprovision after failures
+                }
+                let cost = self
+                    .billing
+                    .on_demand_cost(od.unit_price, hours, od.instances);
+                (Finisher::OnDemand, cost, hours)
+            }
+        };
+        let wall = w.elapsed + od_hours;
+        RunOutcome {
+            total_cost: w.spot_cost + od_cost,
+            spot_cost: w.spot_cost,
+            od_cost,
+            wall_hours: wall,
+            finisher,
+            groups_failed: w.groups_failed,
+            met_deadline: wall <= self.deadline,
+        }
+    }
+
+    /// Replay at most `window` hours (None = unbounded) of `plan` on
+    /// `fraction` of the application, starting at trace offset `start`.
+    /// Returns the intermediate state; no on-demand fallback is applied.
+    pub fn run_window(
+        &self,
+        plan: &Plan,
+        start: Hours,
+        fraction: f64,
+        window: Option<Hours>,
+    ) -> WindowOutcome {
+        self.run_window_carried(plan, start, fraction, window, false)
+    }
+
+    /// Like [`PlanRunner::run_window`], but with `carried = true` the
+    /// groups are *already running* at `start` (an adaptive window
+    /// boundary where healthy instances were kept): no launch wait is
+    /// paid, even if the instantaneous price is above the bid — the
+    /// instances only die when the price actually exceeds it.
+    pub fn run_window_carried(
+        &self,
+        plan: &Plan,
+        start: Hours,
+        fraction: f64,
+        window: Option<Hours>,
+        carried: bool,
+    ) -> WindowOutcome {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        let cutoff = window.map(|w| start + w).unwrap_or(f64::INFINITY);
+
+        // Phase 1: per-group lifecycle ignoring the winner rule.
+        let mut runs: Vec<GroupRun> = Vec::with_capacity(plan.groups.len());
+        for (group, decision) in &plan.groups {
+            let trace = self
+                .market
+                .trace(group.id)
+                .unwrap_or_else(|| panic!("no trace for {}", group.id));
+            let exec = group.exec_hours * fraction;
+            let interval = decision.ckpt_interval.min(group.exec_hours);
+            let ckpt_on = interval < exec;
+            let o = group.ckpt_overhead_hours;
+
+            // Launch: wait until the price is at or below the bid —
+            // unless the group was carried over already running.
+            let mut launch = None;
+            if carried {
+                launch = Some(start);
+            } else {
+                let mut t = start;
+                while t < cutoff && t < trace.duration() {
+                    if trace.price_at(t) <= decision.bid {
+                        launch = Some(t);
+                        break;
+                    }
+                    t += trace.step_hours();
+                }
+            }
+            let Some(launch_t) = launch else {
+                runs.push(GroupRun {
+                    launch: None,
+                    end: cutoff.min(trace.duration()).max(start),
+                    termination: Termination::Provider,
+                    completed: false,
+                    saved_fraction: 0.0,
+                });
+                continue;
+            };
+
+            // Death: first passage above the bid after launch.
+            let death = trace
+                .first_passage_above(launch_t, decision.bid)
+                .unwrap_or(f64::INFINITY);
+
+            // Completion wall time on this group.
+            let n_ckpt = if ckpt_on { (exec / interval).floor() } else { 0.0 };
+            let completion = launch_t + exec + o * n_ckpt;
+
+            if completion <= death && completion <= cutoff {
+                runs.push(GroupRun {
+                    launch,
+                    end: completion,
+                    termination: Termination::User,
+                    completed: true,
+                    saved_fraction: fraction,
+                });
+            } else {
+                let end = death.min(cutoff);
+                let alive = (end - launch_t).max(0.0);
+                let killed_by_provider = death <= cutoff;
+                let saved_hours = if killed_by_provider {
+                    // Out-of-bid: only completed checkpoints survive.
+                    if ckpt_on {
+                        let cycle = interval + o;
+                        ((alive / cycle).floor() * interval).min(exec)
+                    } else {
+                        0.0
+                    }
+                } else {
+                    // Window/deadline expiry is a *user* stop: the runtime
+                    // takes a final coordinated checkpoint before releasing
+                    // the instances (Algorithm 1 line 22, "checkpointing
+                    // the final state of the application as the next start
+                    // point"), so all productive progress is durable.
+                    if ckpt_on {
+                        let cycle = interval + o;
+                        let c = (alive / cycle).floor();
+                        (c * interval + (alive - c * cycle).min(interval)).min(exec)
+                    } else {
+                        alive.min(exec)
+                    }
+                };
+                runs.push(GroupRun {
+                    launch,
+                    end,
+                    termination: if killed_by_provider {
+                        Termination::Provider
+                    } else {
+                        Termination::User
+                    },
+                    completed: false,
+                    saved_fraction: if exec > 0.0 {
+                        fraction * saved_hours / exec
+                    } else {
+                        fraction
+                    },
+                });
+            }
+        }
+
+        // Phase 2: winner rule — earliest completion terminates the rest.
+        let winner = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.completed)
+            .min_by(|a, b| a.1.end.total_cmp(&b.1.end));
+
+        let mut spot_cost = 0.0;
+        let mut groups_failed = 0u32;
+
+        match winner {
+            Some((wi, w)) => {
+                let w_end = w.end;
+                for (i, (group, _)) in plan.groups.iter().enumerate() {
+                    let r = &runs[i];
+                    let Some(launch) = r.launch else { continue };
+                    let ended_before_winner = r.end <= w_end && i != wi;
+                    let (term, charge_end) = if ended_before_winner {
+                        (r.termination, r.end)
+                    } else {
+                        (Termination::User, w_end)
+                    };
+                    if ended_before_winner && r.termination == Termination::Provider {
+                        groups_failed += 1;
+                    }
+                    let trace = self.market.trace(group.id).expect("checked above");
+                    spot_cost += self.billing.spot_cost(
+                        trace,
+                        launch,
+                        charge_end.max(launch),
+                        term,
+                        group.instances,
+                    );
+                }
+                WindowOutcome {
+                    spot_cost,
+                    elapsed: w_end - start,
+                    saved_fraction: fraction,
+                    completed_by: Some(plan.groups[wi].0.id),
+                    groups_failed,
+                }
+            }
+            None => {
+                let mut last_end = start;
+                let mut best = 0.0f64;
+                for (i, (group, _)) in plan.groups.iter().enumerate() {
+                    let r = &runs[i];
+                    if let Some(launch) = r.launch {
+                        let trace = self.market.trace(group.id).expect("checked above");
+                        spot_cost += self.billing.spot_cost(
+                            trace,
+                            launch,
+                            r.end.max(launch),
+                            r.termination,
+                            group.instances,
+                        );
+                        if r.termination == Termination::Provider {
+                            groups_failed += 1;
+                        }
+                    }
+                    last_end = last_end.max(r.end);
+                    best = best.max(r.saved_fraction);
+                }
+                WindowOutcome {
+                    spot_cost,
+                    elapsed: last_end - start,
+                    saved_fraction: best,
+                    completed_by: None,
+                    groups_failed,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::trace::SpotTrace;
+    use ec2_market::zone::AvailabilityZone;
+    use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
+
+    /// One-type market with a hand-written trace for exact assertions.
+    fn tiny_market(prices: &[f64]) -> (SpotMarket, CircleGroupId) {
+        let cat = InstanceCatalog::paper_2014();
+        let ty = cat.by_name("m1.small").unwrap();
+        let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
+        let mut m = SpotMarket::new(cat);
+        m.insert(id, SpotTrace::new(1.0, prices.to_vec()));
+        (m, id)
+    }
+
+    fn group(id: CircleGroupId, t: Hours) -> CircleGroup {
+        CircleGroup {
+            id,
+            instances: 2,
+            exec_hours: t,
+            ckpt_overhead_hours: 0.0,
+            recovery_hours: 0.5,
+        }
+    }
+
+    fn od() -> OnDemandOption {
+        OnDemandOption {
+            instance_type: InstanceTypeId(4),
+            instances: 1,
+            exec_hours: 4.0,
+            unit_price: 2.0,
+            recovery_hours: 0.5,
+        }
+    }
+
+    #[test]
+    fn calm_trace_completes_on_spot() {
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(group(id, 3.0), GroupDecision { bid: 0.2, ckpt_interval: 3.0 })],
+            on_demand: od(),
+        };
+        let out = PlanRunner::new(&m, 5.0).run(&plan, 0.0);
+        assert_eq!(out.finisher, Finisher::Spot(id));
+        assert_eq!(out.groups_failed, 0);
+        assert!((out.wall_hours - 3.0).abs() < 1e-9);
+        // 3 whole hours at $0.1 × 2 instances.
+        assert!((out.spot_cost - 0.6).abs() < 1e-9);
+        assert_eq!(out.od_cost, 0.0);
+        assert!(out.met_deadline);
+    }
+
+    #[test]
+    fn out_of_bid_without_checkpoints_falls_to_od_full_rerun() {
+        // Price spikes above the bid at hour 2; 3-hour job, no checkpoints.
+        let (m, id) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let plan = Plan {
+            groups: vec![(group(id, 3.0), GroupDecision { bid: 0.2, ckpt_interval: 3.0 })],
+            on_demand: od(),
+        };
+        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        assert_eq!(out.finisher, Finisher::OnDemand);
+        assert_eq!(out.groups_failed, 1);
+        // Provider termination at hour 2: 2 whole hours charged.
+        assert!((out.spot_cost - 0.1 * 2.0 * 2.0).abs() < 1e-9);
+        // OD reruns everything: 4 h + 0.5 recovery = 4.5 → ceil 5 h × $2.
+        assert!((out.od_cost - 10.0).abs() < 1e-9);
+        assert!((out.wall_hours - (2.0 + 4.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoints_shrink_od_rerun() {
+        let (m, id) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let g = group(id, 3.0); // zero-overhead checkpoints for exactness
+        let plan = Plan {
+            groups: vec![(g, GroupDecision { bid: 0.2, ckpt_interval: 1.0 })],
+            on_demand: od(),
+        };
+        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        // Died at hour 2 with 2 checkpoints → 2/3 of app saved.
+        // OD runs 4 × (1/3) + 0.5 = 1.833 → ceil 2 h × $2 = $4.
+        assert_eq!(out.finisher, Finisher::OnDemand);
+        assert!((out.od_cost - 4.0).abs() < 1e-9, "od {}", out.od_cost);
+    }
+
+    #[test]
+    fn waits_for_launch_when_price_above_bid() {
+        // Price starts high, drops at hour 2.
+        let (m, id) = tiny_market(&[9.0, 9.0, 0.1, 0.1, 0.1, 0.1]);
+        let plan = Plan {
+            groups: vec![(group(id, 2.0), GroupDecision { bid: 0.2, ckpt_interval: 2.0 })],
+            on_demand: od(),
+        };
+        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        assert_eq!(out.finisher, Finisher::Spot(id));
+        // Launched at 2, done at 4 → wall 4 from start.
+        assert!((out.wall_hours - 4.0).abs() < 1e-9);
+        // Charged 2 hours only.
+        assert!((out.spot_cost - 0.1 * 2.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_launches_goes_straight_od() {
+        let (m, id) = tiny_market(&[9.0; 6]);
+        let plan = Plan {
+            groups: vec![(group(id, 2.0), GroupDecision { bid: 0.2, ckpt_interval: 2.0 })],
+            on_demand: od(),
+        };
+        let out = PlanRunner::new(&m, 20.0).run(&plan, 0.0);
+        assert_eq!(out.finisher, Finisher::OnDemand);
+        assert_eq!(out.spot_cost, 0.0);
+        assert!(out.od_cost > 0.0);
+    }
+
+    #[test]
+    fn winner_kills_slower_replica_and_pays_partial_hour() {
+        let cat = InstanceCatalog::paper_2014();
+        let small = cat.by_name("m1.small").unwrap();
+        let id_a = CircleGroupId::new(small, AvailabilityZone::UsEast1a);
+        let id_b = CircleGroupId::new(small, AvailabilityZone::UsEast1b);
+        let mut m = SpotMarket::new(cat);
+        m.insert(id_a, SpotTrace::new(1.0, vec![0.1; 24]));
+        m.insert(id_b, SpotTrace::new(1.0, vec![0.05; 24]));
+        let plan = Plan {
+            groups: vec![
+                (group(id_a, 2.5), GroupDecision { bid: 0.2, ckpt_interval: 2.5 }),
+                (group(id_b, 8.0), GroupDecision { bid: 0.2, ckpt_interval: 8.0 }),
+            ],
+            on_demand: od(),
+        };
+        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        assert_eq!(out.finisher, Finisher::Spot(id_a));
+        assert!((out.wall_hours - 2.5).abs() < 1e-9);
+        // Both groups user-terminated at 2.5 → 3 hours charged each.
+        let expect = 0.1 * 3.0 * 2.0 + 0.05 * 3.0 * 2.0;
+        assert!((out.spot_cost - expect).abs() < 1e-9, "{}", out.spot_cost);
+    }
+
+    #[test]
+    fn pure_od_plan_runs_on_demand_from_scratch() {
+        let (m, _) = tiny_market(&[0.1; 6]);
+        let plan = Plan { groups: vec![], on_demand: od() };
+        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        assert_eq!(out.finisher, Finisher::OnDemand);
+        // Full rerun, no recovery (nothing to restore), 4 h × $2.
+        assert!((out.od_cost - 8.0).abs() < 1e-9, "od {}", out.od_cost);
+        assert!((out.wall_hours - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_flag_reflects_wall_clock() {
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(group(id, 3.0), GroupDecision { bid: 0.2, ckpt_interval: 3.0 })],
+            on_demand: od(),
+        };
+        assert!(PlanRunner::new(&m, 3.5).run(&plan, 0.0).met_deadline);
+        assert!(!PlanRunner::new(&m, 2.5).run(&plan, 0.0).met_deadline);
+    }
+
+    #[test]
+    fn window_cutoff_reports_intermediate_state() {
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(group(id, 6.0), GroupDecision { bid: 0.2, ckpt_interval: 1.0 })],
+            on_demand: od(),
+        };
+        let w = PlanRunner::new(&m, 100.0).run_window(&plan, 0.0, 1.0, Some(2.0));
+        assert!(w.completed_by.is_none());
+        assert_eq!(w.groups_failed, 0);
+        // Two checkpoints at zero overhead → 2/6 saved.
+        assert!((w.saved_fraction - 2.0 / 6.0).abs() < 1e-9);
+        assert!((w.elapsed - 2.0).abs() < 1e-9);
+        // User termination at window end: 2 whole hours charged.
+        assert!((w.spot_cost - 0.1 * 2.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_fraction_scales_execution() {
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(group(id, 6.0), GroupDecision { bid: 0.2, ckpt_interval: 6.0 })],
+            on_demand: od(),
+        };
+        // Half the app: 3 hours.
+        let w = PlanRunner::new(&m, 100.0).run_window(&plan, 0.0, 0.5, None);
+        assert_eq!(w.completed_by, Some(id));
+        assert!((w.elapsed - 3.0).abs() < 1e-9);
+        assert!((w.saved_fraction - 0.5).abs() < 1e-9);
+    }
+}

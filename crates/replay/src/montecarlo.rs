@@ -1,0 +1,225 @@
+//! Parallel Monte-Carlo evaluation over random trace start points.
+//!
+//! The paper repeats the trace-replay simulation "one million times" from
+//! random start points. [`MonteCarlo`] distributes seeded replicas across
+//! threads with crossbeam's scoped threads; results are deterministic for
+//! a (seed, replica-count) pair regardless of thread count, because each
+//! replica's start offset derives only from the seed and its index.
+
+use crate::exec::{Finisher, PlanRunner, RunOutcome};
+use crate::stats::Summary;
+use crate::Hours;
+use ec2_market::market::SpotMarket;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sompi_core::model::Plan;
+
+/// Aggregated Monte-Carlo result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McResult {
+    /// Summary of total cost, USD.
+    pub cost: Summary,
+    /// Summary of wall-clock time, hours.
+    pub time: Summary,
+    /// Fraction of replicas meeting the deadline.
+    pub deadline_rate: f64,
+    /// Fraction of replicas finished on spot (vs on-demand fallback).
+    pub spot_finish_rate: f64,
+    /// Mean number of out-of-bid terminations per replica.
+    pub mean_failures: f64,
+}
+
+impl McResult {
+    /// Build from raw outcomes.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "no outcomes to aggregate");
+        let costs: Vec<f64> = outcomes.iter().map(|o| o.total_cost).collect();
+        let times: Vec<f64> = outcomes.iter().map(|o| o.wall_hours).collect();
+        let n = outcomes.len() as f64;
+        Self {
+            cost: Summary::of(&costs),
+            time: Summary::of(&times),
+            deadline_rate: outcomes.iter().filter(|o| o.met_deadline).count() as f64 / n,
+            spot_finish_rate: outcomes
+                .iter()
+                .filter(|o| matches!(o.finisher, Finisher::Spot(_)))
+                .count() as f64
+                / n,
+            mean_failures: outcomes.iter().map(|o| o.groups_failed as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Monte-Carlo driver over a market region.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// RNG seed for start-offset sampling.
+    pub seed: u64,
+    /// Earliest admissible start offset (hours) — leave room for the
+    /// planner's history window before it.
+    pub offset_min: Hours,
+    /// Latest admissible start offset (hours) — leave room for the
+    /// execution after it.
+    pub offset_max: Hours,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl MonteCarlo {
+    /// A driver with sensible experiment defaults.
+    pub fn new(replicas: usize, seed: u64, offset_min: Hours, offset_max: Hours) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        Self { replicas, seed, offset_min, offset_max, threads }
+    }
+
+    /// Deterministic start offset of replica `i`.
+    fn offset(&self, i: usize) -> Hours {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+        rng.gen_range(self.offset_min..self.offset_max)
+    }
+
+    /// Run `f(start_offset)` for every replica in parallel and aggregate.
+    /// `f` must be deterministic in the offset.
+    pub fn evaluate<F>(&self, f: F) -> McResult
+    where
+        F: Fn(Hours) -> RunOutcome + Sync,
+    {
+        assert!(self.replicas > 0, "need at least one replica");
+        assert!(
+            self.offset_max > self.offset_min,
+            "offset window must be non-empty"
+        );
+        let outcomes = if self.threads <= 1 {
+            (0..self.replicas).map(|i| f(self.offset(i))).collect::<Vec<_>>()
+        } else {
+            let chunk = self.replicas.div_ceil(self.threads);
+            let mut results: Vec<Vec<RunOutcome>> = Vec::new();
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for t in 0..self.threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(self.replicas);
+                    if lo >= hi {
+                        break;
+                    }
+                    let f = &f;
+                    handles.push(s.spawn(move |_| {
+                        (lo..hi).map(|i| f(self.offset(i))).collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    results.push(h.join().expect("MC worker panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            results.into_iter().flatten().collect()
+        };
+        McResult::from_outcomes(&outcomes)
+    }
+
+    /// Convenience: Monte-Carlo over a static plan via [`PlanRunner`].
+    pub fn run_plan(&self, market: &SpotMarket, plan: &Plan, deadline: Hours) -> McResult {
+        let runner = PlanRunner::new(market, deadline);
+        self.evaluate(|start| runner.run(plan, start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::InstanceCatalog;
+    use ec2_market::market::CircleGroupId;
+    use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+    use ec2_market::zone::AvailabilityZone;
+    use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
+
+    fn market(seed: u64) -> SpotMarket {
+        let cat = InstanceCatalog::paper_2014();
+        let prof = MarketProfile::paper_2014(&cat);
+        SpotMarket::generate(cat, &TraceGenerator::new(prof, seed), 300.0, 1.0 / 12.0)
+    }
+
+    fn simple_plan(market: &SpotMarket) -> Plan {
+        let small = market.catalog().by_name("m1.small").unwrap();
+        let cc2 = market.catalog().by_name("cc2.8xlarge").unwrap();
+        let id = CircleGroupId::new(small, AvailabilityZone::UsEast1b);
+        let group = CircleGroup {
+            id,
+            instances: 128,
+            exec_hours: 1.5,
+            ckpt_overhead_hours: 0.02,
+            recovery_hours: 0.1,
+        };
+        Plan {
+            groups: vec![(group, GroupDecision { bid: 0.02, ckpt_interval: 0.5 })],
+            on_demand: OnDemandOption {
+                instance_type: cc2,
+                instances: 4,
+                exec_hours: 1.0,
+                unit_price: 2.0,
+                recovery_hours: 0.1,
+            },
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m = market(61);
+        let plan = simple_plan(&m);
+        let base = MonteCarlo { replicas: 64, seed: 5, offset_min: 48.0, offset_max: 250.0, threads: 1 };
+        let seq = base.run_plan(&m, &plan, 3.0);
+        let par = MonteCarlo { threads: 4, ..base }.run_plan(&m, &plan, 3.0);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn different_seeds_sample_different_offsets() {
+        let m = market(61);
+        let plan = simple_plan(&m);
+        let a = MonteCarlo { replicas: 32, seed: 1, offset_min: 48.0, offset_max: 250.0, threads: 2 }
+            .run_plan(&m, &plan, 3.0);
+        let b = MonteCarlo { replicas: 32, seed: 2, offset_min: 48.0, offset_max: 250.0, threads: 2 }
+            .run_plan(&m, &plan, 3.0);
+        // Statistically all-but-certain to differ on a volatile market.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let m = market(67);
+        let plan = simple_plan(&m);
+        let r = MonteCarlo { replicas: 50, seed: 9, offset_min: 48.0, offset_max: 250.0, threads: 4 }
+            .run_plan(&m, &plan, 3.0);
+        assert_eq!(r.cost.n, 50);
+        assert!(r.cost.mean > 0.0);
+        assert!(r.cost.min <= r.cost.mean && r.cost.mean <= r.cost.max);
+        assert!((0.0..=1.0).contains(&r.deadline_rate));
+        assert!((0.0..=1.0).contains(&r.spot_finish_rate));
+    }
+
+    #[test]
+    fn cheap_stable_zone_usually_finishes_on_spot() {
+        // us-east-1b m1.small is Calm: bidding ~2.3× base should almost
+        // always ride through.
+        let m = market(71);
+        let plan = simple_plan(&m);
+        let r = MonteCarlo { replicas: 40, seed: 3, offset_min: 48.0, offset_max: 250.0, threads: 4 }
+            .run_plan(&m, &plan, 3.0);
+        assert!(r.spot_finish_rate > 0.7, "spot rate {}", r.spot_finish_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let m = market(61);
+        let plan = simple_plan(&m);
+        MonteCarlo { replicas: 0, seed: 1, offset_min: 0.0, offset_max: 1.0, threads: 1 }
+            .run_plan(&m, &plan, 1.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Extension: persistent spot requests with checkpoint-resume relaunch.
+//!
+//! The paper's model treats an out-of-bid kill as the end of a circle
+//! group — recovery happens on demand. Real spot tooling (and AWS's later
+//! *persistent* spot requests) instead re-acquires capacity when the price
+//! comes back under the bid and resumes from the latest checkpoint. This
+//! module replays that policy for a single circle group plan, so the
+//! repository can quantify what the paper's model leaves on the table
+//! (and when it does not: relaunching burns deadline waiting out spikes).
+
+use crate::exec::Finisher;
+use crate::{Hours, Usd};
+use ec2_market::billing::{BillingModel, Termination};
+use ec2_market::market::SpotMarket;
+use serde::{Deserialize, Serialize};
+use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
+
+/// Outcome of a persistent-request replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaunchOutcome {
+    /// Total realized cost (spot + any final on-demand), USD.
+    pub total_cost: Usd,
+    /// Spot share.
+    pub spot_cost: Usd,
+    /// On-demand share (only if the deadline forces a bail-out).
+    pub od_cost: Usd,
+    /// Wall hours from request to completion.
+    pub wall_hours: Hours,
+    /// Number of spot incarnations (1 = never killed).
+    pub incarnations: u32,
+    /// Who finished.
+    pub finisher: Finisher,
+    /// Whether the deadline was met.
+    pub met_deadline: bool,
+}
+
+/// Replay one circle group with persistent relaunch semantics.
+///
+/// The group keeps a durable best checkpoint; each incarnation waits for
+/// the price to come under the bid, restores (`R_i`), and continues.
+/// At the last moment the on-demand fallback can still meet the deadline
+/// with the remaining work, the policy bails out to on-demand.
+pub fn run_persistent(
+    market: &SpotMarket,
+    group: &CircleGroup,
+    decision: &GroupDecision,
+    od: &OnDemandOption,
+    start: Hours,
+    deadline: Hours,
+) -> RelaunchOutcome {
+    let billing = BillingModel::hourly();
+    let trace = market
+        .trace(group.id)
+        .unwrap_or_else(|| panic!("no trace for {}", group.id));
+    let interval = decision.ckpt_interval.min(group.exec_hours);
+    let ckpt_on = interval < group.exec_hours;
+    let o = group.ckpt_overhead_hours;
+
+    let mut now = start;
+    let mut saved: Hours = 0.0; // durable productive progress
+    let mut spot_cost = 0.0;
+    let mut incarnations = 0u32;
+
+    loop {
+        let remaining = group.exec_hours - saved;
+        // Bail-out guard: the latest time on-demand can still finish.
+        let od_hours = od.exec_hours * (remaining / group.exec_hours) + od.recovery_hours;
+        let latest_od_start = start + deadline - od_hours;
+        if now >= latest_od_start || now >= start + deadline {
+            let od_cost = billing.on_demand_cost(od.unit_price, od_hours, od.instances);
+            let wall = (now - start) + od_hours;
+            return RelaunchOutcome {
+                total_cost: spot_cost + od_cost,
+                spot_cost,
+                od_cost,
+                wall_hours: wall,
+                incarnations,
+                finisher: Finisher::OnDemand,
+                met_deadline: wall <= deadline,
+            };
+        }
+
+        // Wait for a launchable price (bounded by the bail-out guard).
+        let mut launch = None;
+        let mut t = now;
+        while t < latest_od_start && t < trace.duration() {
+            if trace.price_at(t) <= decision.bid {
+                launch = Some(t);
+                break;
+            }
+            t += trace.step_hours();
+        }
+        let Some(mut launch_t) = launch else {
+            now = latest_od_start;
+            continue; // guard fires next iteration
+        };
+        incarnations += 1;
+        // Restoring a checkpoint costs recovery time on re-incarnations.
+        if saved > 0.0 {
+            launch_t += group.recovery_hours;
+        }
+
+        let death = trace
+            .first_passage_above(launch_t, decision.bid)
+            .unwrap_or(f64::INFINITY);
+        let n_ckpt = if ckpt_on { (remaining / interval).floor() } else { 0.0 };
+        let completion = launch_t + remaining + o * n_ckpt;
+
+        if completion <= death && completion <= latest_od_start + od_hours {
+            // Completed on spot (possibly slightly past the guard if the
+            // run was already in flight — allowed, it beats bailing).
+            spot_cost += billing.spot_cost(
+                trace,
+                launch_t.min(completion),
+                completion,
+                Termination::User,
+                group.instances,
+            );
+            let wall = completion - start;
+            return RelaunchOutcome {
+                total_cost: spot_cost,
+                spot_cost,
+                od_cost: 0.0,
+                wall_hours: wall,
+                incarnations,
+                finisher: Finisher::Spot(group.id),
+                met_deadline: wall <= deadline,
+            };
+        }
+
+        // Killed (or guard reached) before completion.
+        let end = death.min(latest_od_start.max(launch_t));
+        if end > launch_t {
+            let alive = end - launch_t;
+            if ckpt_on {
+                let cycle = interval + o;
+                saved = (saved + (alive / cycle).floor() * interval).min(group.exec_hours);
+            }
+            spot_cost += billing.spot_cost(
+                trace,
+                launch_t,
+                end,
+                if death <= end { Termination::Provider } else { Termination::User },
+                group.instances,
+            );
+        }
+        now = end.max(now + trace.step_hours());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::market::CircleGroupId;
+    use ec2_market::trace::SpotTrace;
+    use ec2_market::zone::AvailabilityZone;
+
+    fn market(prices: &[f64]) -> (SpotMarket, CircleGroupId) {
+        let cat = InstanceCatalog::paper_2014();
+        let ty = cat.by_name("m1.small").unwrap();
+        let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
+        let mut m = SpotMarket::new(cat);
+        m.insert(id, SpotTrace::new(1.0, prices.to_vec()));
+        (m, id)
+    }
+
+    fn group(id: CircleGroupId, exec: Hours) -> CircleGroup {
+        CircleGroup {
+            id,
+            instances: 2,
+            exec_hours: exec,
+            ckpt_overhead_hours: 0.0,
+            recovery_hours: 0.0,
+        }
+    }
+
+    fn od() -> OnDemandOption {
+        OnDemandOption {
+            instance_type: InstanceTypeId(4),
+            instances: 1,
+            exec_hours: 4.0,
+            unit_price: 2.0,
+            recovery_hours: 0.5,
+        }
+    }
+
+    #[test]
+    fn uninterrupted_run_has_one_incarnation() {
+        let (m, id) = market(&[0.1; 48]);
+        let g = group(id, 3.0);
+        let d = GroupDecision { bid: 0.2, ckpt_interval: 1.0 };
+        let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        assert_eq!(out.incarnations, 1);
+        assert_eq!(out.finisher, Finisher::Spot(id));
+        assert!((out.wall_hours - 3.0).abs() < 1e-9);
+        assert_eq!(out.od_cost, 0.0);
+    }
+
+    #[test]
+    fn relaunch_resumes_from_checkpoint() {
+        // Price: 2 cheap hours, 2 expensive, then cheap forever.
+        let mut p = vec![0.1, 0.1, 9.0, 9.0];
+        p.extend(vec![0.1; 44]);
+        let (m, id) = market(&p);
+        let g = group(id, 3.0);
+        let d = GroupDecision { bid: 0.2, ckpt_interval: 1.0 };
+        let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        // Incarnation 1 runs [0,2) and saves 2 checkpoints; incarnation 2
+        // starts at hour 4 and needs 1 more hour.
+        assert_eq!(out.incarnations, 2);
+        assert_eq!(out.finisher, Finisher::Spot(id));
+        assert!((out.wall_hours - 5.0).abs() < 1e-9, "wall {}", out.wall_hours);
+        // Billed: 2 whole hours at 0.1 (first life, provider-killed, no
+        // partial) + 1 hour at 0.1 (second life) × 2 instances.
+        assert!((out.spot_cost - 0.1 * 3.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_checkpoints_relaunch_restarts_from_zero() {
+        let mut p = vec![0.1, 0.1, 9.0];
+        p.extend(vec![0.1; 44]);
+        let (m, id) = market(&p);
+        let g = group(id, 3.0);
+        let d = GroupDecision { bid: 0.2, ckpt_interval: 3.0 }; // no ckpt
+        let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        assert_eq!(out.incarnations, 2);
+        // Second life needs the full 3 hours: finishes at 3 + 3 = 6.
+        assert!((out.wall_hours - 6.0).abs() < 1e-9, "wall {}", out.wall_hours);
+    }
+
+    #[test]
+    fn deadline_pressure_forces_od_bailout() {
+        // Price too high forever: the guard fires and on-demand finishes.
+        let (m, id) = market(&[9.0; 48]);
+        let g = group(id, 3.0);
+        let d = GroupDecision { bid: 0.2, ckpt_interval: 1.0 };
+        let out = run_persistent(&m, &g, &d, &od(), 0.0, 10.0);
+        assert_eq!(out.finisher, Finisher::OnDemand);
+        assert_eq!(out.incarnations, 0);
+        assert!(out.met_deadline);
+        assert_eq!(out.spot_cost, 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut p = vec![0.1; 10];
+        p[4] = 9.0;
+        p.extend(vec![0.1; 30]);
+        let (m, id) = market(&p);
+        let g = group(id, 6.0);
+        let d = GroupDecision { bid: 0.2, ckpt_interval: 0.5 };
+        let a = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        let b = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        assert_eq!(a, b);
+    }
+}

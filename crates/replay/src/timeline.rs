@@ -1,0 +1,379 @@
+//! Structured event timelines for replayed executions.
+//!
+//! [`timeline`] re-walks one plan against the realized traces and emits the
+//! narrative an operator debugging a run wants: when each circle group
+//! launched, checkpointed, died or won, and when the on-demand fallback
+//! took over. It is computed independently from [`crate::exec`]'s
+//! accounting and cross-checked against it in tests — a second
+//! implementation of the execution semantics guarding the first.
+
+use crate::exec::{Finisher, PlanRunner};
+use crate::Hours;
+use ec2_market::market::{CircleGroupId, SpotMarket};
+use serde::{Deserialize, Serialize};
+use sompi_core::model::Plan;
+
+/// One event in a replayed execution. Times are absolute trace hours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A circle group's instances came up (price at or below the bid).
+    Launched {
+        /// The group.
+        group: CircleGroupId,
+        /// When.
+        at: Hours,
+    },
+    /// A coordinated checkpoint completed.
+    Checkpointed {
+        /// The group.
+        group: CircleGroupId,
+        /// When the dump finished.
+        at: Hours,
+        /// Productive hours durably saved so far.
+        saved_hours: Hours,
+    },
+    /// Out-of-bid: the provider reclaimed the group's instances.
+    OutOfBid {
+        /// The group.
+        group: CircleGroupId,
+        /// When.
+        at: Hours,
+    },
+    /// The group finished the application — the winner.
+    Completed {
+        /// The group.
+        group: CircleGroupId,
+        /// When.
+        at: Hours,
+    },
+    /// A still-running group was terminated by the user (winner rule or
+    /// deadline cutoff).
+    UserTerminated {
+        /// The group.
+        group: CircleGroupId,
+        /// When.
+        at: Hours,
+    },
+    /// The on-demand fallback started on the residual work.
+    OnDemandStarted {
+        /// When.
+        at: Hours,
+        /// Fraction of the application still to execute.
+        remaining_fraction: f64,
+    },
+}
+
+impl Event {
+    /// Absolute time of the event.
+    pub fn at(&self) -> Hours {
+        match *self {
+            Event::Launched { at, .. }
+            | Event::Checkpointed { at, .. }
+            | Event::OutOfBid { at, .. }
+            | Event::Completed { at, .. }
+            | Event::UserTerminated { at, .. }
+            | Event::OnDemandStarted { at, .. } => at,
+        }
+    }
+}
+
+/// Compute the event timeline of replaying `plan` from `start` with a
+/// deadline cutoff, mirroring [`PlanRunner::run`] semantics.
+pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours) -> Vec<Event> {
+    let cutoff = start + deadline;
+    let mut events: Vec<Event> = Vec::new();
+
+    // Per-group walk.
+    struct G {
+        id: CircleGroupId,
+        completion: Option<Hours>,
+        end: Hours,
+        died: bool,
+        saved_fraction: f64,
+    }
+    let mut walks: Vec<G> = Vec::new();
+
+    for (group, decision) in &plan.groups {
+        let trace = market.trace(group.id).expect("plan group must have a trace");
+        let interval = decision.ckpt_interval.min(group.exec_hours);
+        let ckpt_on = interval < group.exec_hours;
+        let o = group.ckpt_overhead_hours;
+
+        // Launch.
+        let mut t = start;
+        let mut launch = None;
+        while t < cutoff && t < trace.duration() {
+            if trace.price_at(t) <= decision.bid {
+                launch = Some(t);
+                break;
+            }
+            t += trace.step_hours();
+        }
+        let Some(launch_t) = launch else {
+            walks.push(G {
+                id: group.id,
+                completion: None,
+                end: cutoff,
+                died: false,
+                saved_fraction: 0.0,
+            });
+            continue;
+        };
+        events.push(Event::Launched { group: group.id, at: launch_t });
+
+        let death = trace
+            .first_passage_above(launch_t, decision.bid)
+            .unwrap_or(f64::INFINITY);
+        let n_ckpt = if ckpt_on { (group.exec_hours / interval).floor() } else { 0.0 };
+        let completion = launch_t + group.exec_hours + o * n_ckpt;
+        let end = completion.min(death).min(cutoff);
+
+        // Checkpoint events up to `end`.
+        let mut saved = 0.0;
+        if ckpt_on {
+            let cycle = interval + o;
+            let mut k = 1.0;
+            loop {
+                let at = launch_t + k * cycle;
+                if at > end || k * interval >= group.exec_hours {
+                    break;
+                }
+                saved = k * interval;
+                events.push(Event::Checkpointed {
+                    group: group.id,
+                    at,
+                    saved_hours: saved,
+                });
+                k += 1.0;
+            }
+        }
+
+        if completion <= death && completion <= cutoff {
+            events.push(Event::Completed { group: group.id, at: completion });
+            walks.push(G {
+                id: group.id,
+                completion: Some(completion),
+                end: completion,
+                died: false,
+                saved_fraction: 1.0,
+            });
+        } else if death <= cutoff {
+            events.push(Event::OutOfBid { group: group.id, at: death });
+            walks.push(G {
+                id: group.id,
+                completion: None,
+                end: death,
+                died: true,
+                saved_fraction: saved / group.exec_hours,
+            });
+        } else {
+            walks.push(G {
+                id: group.id,
+                completion: None,
+                end: cutoff,
+                died: false,
+                // User stop takes a final checkpoint (Algorithm 1 line 22).
+                saved_fraction: ((cutoff - launch_t).min(group.exec_hours)
+                    / group.exec_hours)
+                    .clamp(0.0, 1.0),
+            });
+        }
+    }
+
+    // Winner rule.
+    let winner_end = walks
+        .iter()
+        .filter_map(|w| w.completion)
+        .fold(f64::INFINITY, f64::min);
+    if winner_end.is_finite() {
+        // Drop events after the winner and user-terminate the others.
+        events.retain(|e| e.at() <= winner_end);
+        for w in &walks {
+            if w.completion != Some(winner_end) && w.end > winner_end {
+                events.push(Event::UserTerminated { group: w.id, at: winner_end });
+            }
+        }
+    } else {
+        // All dead / cut off: on-demand takes over at the last end.
+        let last_end = walks.iter().map(|w| w.end).fold(start, f64::max);
+        for w in &walks {
+            if !w.died && !plan.groups.is_empty() && w.end >= cutoff {
+                events.push(Event::UserTerminated { group: w.id, at: w.end });
+            }
+        }
+        let best = walks.iter().map(|w| w.saved_fraction).fold(0.0, f64::max);
+        events.push(Event::OnDemandStarted {
+            at: last_end,
+            remaining_fraction: (1.0 - best).max(0.0),
+        });
+    }
+
+    events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    events
+}
+
+/// Render a timeline as indented text (one event per line).
+pub fn render(events: &[Event], start: Hours) -> String {
+    let mut out = String::new();
+    for e in events {
+        let rel = e.at() - start;
+        let line = match e {
+            Event::Launched { group, .. } => format!("{group} launched"),
+            Event::Checkpointed { group, saved_hours, .. } => {
+                format!("{group} checkpointed ({saved_hours:.2} h saved)")
+            }
+            Event::OutOfBid { group, .. } => format!("{group} killed out-of-bid"),
+            Event::Completed { group, .. } => format!("{group} COMPLETED"),
+            Event::UserTerminated { group, .. } => format!("{group} terminated by user"),
+            Event::OnDemandStarted { remaining_fraction, .. } => {
+                format!(
+                    "on-demand fallback starts ({:.0}% of work remaining)",
+                    remaining_fraction * 100.0
+                )
+            }
+        };
+        out.push_str(&format!("  t+{rel:7.2}h  {line}\n"));
+    }
+    out
+}
+
+/// Convenience: the timeline plus the runner's outcome, guaranteed
+/// consistent (used in tests and by the CLI).
+pub fn timeline_checked(
+    market: &SpotMarket,
+    plan: &Plan,
+    start: Hours,
+    deadline: Hours,
+) -> (Vec<Event>, crate::exec::RunOutcome) {
+    let events = timeline(market, plan, start, deadline);
+    let outcome = PlanRunner::new(market, deadline).run(plan, start);
+    // Consistency: a Completed event exists iff the runner finished on spot.
+    let completed = events.iter().any(|e| matches!(e, Event::Completed { .. }));
+    debug_assert_eq!(
+        completed,
+        matches!(outcome.finisher, Finisher::Spot(_)),
+        "timeline and runner disagree on the finisher"
+    );
+    (events, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::trace::SpotTrace;
+    use ec2_market::zone::AvailabilityZone;
+    use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
+
+    fn market(prices: &[f64]) -> (SpotMarket, CircleGroupId) {
+        let cat = InstanceCatalog::paper_2014();
+        let ty = cat.by_name("m1.small").unwrap();
+        let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
+        let mut m = SpotMarket::new(cat);
+        m.insert(id, SpotTrace::new(1.0, prices.to_vec()));
+        (m, id)
+    }
+
+    fn plan(id: CircleGroupId, exec: f64, interval: f64) -> Plan {
+        Plan {
+            groups: vec![(
+                CircleGroup {
+                    id,
+                    instances: 2,
+                    exec_hours: exec,
+                    ckpt_overhead_hours: 0.0,
+                    recovery_hours: 0.1,
+                },
+                GroupDecision { bid: 0.2, ckpt_interval: interval },
+            )],
+            on_demand: OnDemandOption {
+                instance_type: InstanceTypeId(4),
+                instances: 1,
+                exec_hours: 4.0,
+                unit_price: 2.0,
+                recovery_hours: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_run_produces_launch_checkpoints_completion() {
+        let (m, id) = market(&[0.1; 24]);
+        let p = plan(id, 3.0, 1.0);
+        let (events, outcome) = timeline_checked(&m, &p, 0.0, 10.0);
+        assert!(matches!(events[0], Event::Launched { at, .. } if at == 0.0));
+        let ckpts = events
+            .iter()
+            .filter(|e| matches!(e, Event::Checkpointed { .. }))
+            .count();
+        assert_eq!(ckpts, 2, "checkpoints at 1h and 2h (completion at 3h)");
+        assert!(matches!(events.last(), Some(Event::Completed { at, .. }) if *at == 3.0));
+        assert!(matches!(outcome.finisher, Finisher::Spot(_)));
+    }
+
+    #[test]
+    fn out_of_bid_run_ends_with_od_start() {
+        let (m, id) = market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let p = plan(id, 3.0, 1.0);
+        let (events, outcome) = timeline_checked(&m, &p, 0.0, 10.0);
+        assert!(events.iter().any(|e| matches!(e, Event::OutOfBid { at, .. } if *at == 2.0)));
+        let od = events
+            .iter()
+            .find_map(|e| match e {
+                Event::OnDemandStarted { remaining_fraction, .. } => Some(*remaining_fraction),
+                _ => None,
+            })
+            .expect("od start event");
+        // Two checkpoints saved 2/3 of the 3-hour job.
+        assert!((od - 1.0 / 3.0).abs() < 1e-9);
+        assert!(matches!(outcome.finisher, Finisher::OnDemand));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let (m, id) = market(&[0.1; 24]);
+        let p = plan(id, 5.0, 0.7);
+        let events = timeline(&m, &p, 2.0, 20.0);
+        for w in events.windows(2) {
+            assert!(w[0].at() <= w[1].at());
+        }
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let (m, id) = market(&[0.1; 24]);
+        let p = plan(id, 2.0, 2.0);
+        let events = timeline(&m, &p, 0.0, 10.0);
+        let text = render(&events, 0.0);
+        assert!(text.contains("launched"));
+        assert!(text.contains("COMPLETED"));
+    }
+
+    #[test]
+    fn consistency_with_runner_across_many_scenarios() {
+        // Fuzz-ish consistency sweep over hand-built price shapes.
+        for (i, prices) in [
+            vec![0.1; 30],
+            vec![9.0; 30],
+            {
+                let mut v = vec![0.1; 30];
+                v[3] = 9.0;
+                v
+            },
+            {
+                let mut v = vec![0.1; 30];
+                v[1] = 9.0;
+                v[2] = 9.0;
+                v
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (m, id) = market(&prices);
+            let p = plan(id, 3.0, 1.0);
+            let (_, _) = timeline_checked(&m, &p, 0.0, 12.0);
+            let _ = i;
+        }
+    }
+}

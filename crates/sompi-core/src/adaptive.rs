@@ -1,0 +1,201 @@
+//! The adaptive update-maintenance algorithm — Section 4.3, Algorithm 1.
+//!
+//! Spot price distributions drift, so a plan computed once from stale
+//! history degrades (the paper's w/o-MT ablation). Algorithm 1 splits the
+//! execution into optimization windows of size `T_m`: at each window
+//! boundary it re-estimates the failure-rate functions from the *previous*
+//! window's prices, re-solves the two-level optimization for the residual
+//! application, and — when the deadline can no longer be met — abandons
+//! spot and finishes on demand.
+//!
+//! This module holds the planning half (what to do at a window boundary);
+//! the execution half (tracking realized progress against real traces)
+//! lives in the `replay` crate, which feeds realized progress back in as
+//! `remaining_fraction`.
+
+use crate::model::Plan;
+use crate::problem::Problem;
+use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
+use crate::view::MarketView;
+use crate::Hours;
+use serde::{Deserialize, Serialize};
+
+/// Adaptive algorithm knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// `T_m`: optimization window size, hours (paper default ≈ 15).
+    pub window_hours: Hours,
+    /// History length used for each re-estimation, hours (the paper uses
+    /// "the previous two days" offline and the previous window online).
+    pub history_hours: Hours,
+    /// The inner optimizer's configuration.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            window_hours: 15.0,
+            history_hours: 48.0,
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+}
+
+/// What Algorithm 1 decides at a window boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WindowDecision {
+    /// Keep executing on spot with this plan for the next window.
+    Hybrid(Plan),
+    /// The deadline is at risk: finish the residual work on demand
+    /// (Algorithm 1 lines 7–9).
+    FinishOnDemand(Plan),
+}
+
+impl WindowDecision {
+    /// The plan to execute either way.
+    pub fn plan(&self) -> &Plan {
+        match self {
+            WindowDecision::Hybrid(p) | WindowDecision::FinishOnDemand(p) => p,
+        }
+    }
+}
+
+/// Stateless planner for Algorithm 1's per-window decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePlanner {
+    /// Configuration.
+    pub config: AdaptiveConfig,
+}
+
+impl AdaptivePlanner {
+    /// Create a planner.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        Self { config }
+    }
+
+    /// Decide the next window's plan.
+    ///
+    /// * `base` — the original problem (full application),
+    /// * `remaining_fraction` — residual work in `(0, 1]`,
+    /// * `elapsed` — wall hours consumed so far,
+    /// * `view` — estimators over the *latest* history window.
+    pub fn plan_window(
+        &self,
+        base: &Problem,
+        remaining_fraction: f64,
+        elapsed: Hours,
+        view: &MarketView,
+    ) -> WindowDecision {
+        let leftover = base.deadline - elapsed;
+        let residual = base.residual(remaining_fraction, leftover.max(0.0));
+
+        // Algorithm 1 line 7: if even the fastest on-demand execution of
+        // the residual cannot meet the leftover deadline budget, bail out
+        // to on-demand immediately (nothing better exists).
+        let fastest = residual.baseline();
+        if fastest.exec_hours + fastest.recovery_hours > leftover {
+            return WindowDecision::FinishOnDemand(Plan::on_demand_only(*fastest));
+        }
+
+        // Otherwise re-optimize the residual against the fresh view. The
+        // optimizer's own `E[Time] ≤ leftover` constraint (with graceful
+        // on-demand fallback when nothing feasible exists) is the paper's
+        // deadline control; when it returns a pure on-demand plan, treat
+        // that as the Algorithm-1 bail-out.
+        let OptimizedPlan { plan, .. } =
+            TwoLevelOptimizer::new(&residual, view, self.config.optimizer).optimize();
+        if plan.groups.is_empty() {
+            return WindowDecision::FinishOnDemand(plan);
+        }
+        WindowDecision::Hybrid(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::market::SpotMarket;
+    use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+    use mpi_sim::npb::{NpbClass, NpbKernel};
+    use mpi_sim::storage::S3Store;
+
+    fn setup() -> (SpotMarket, Problem) {
+        let cat = InstanceCatalog::paper_2014();
+        let prof = MarketProfile::paper_2014(&cat);
+        let market =
+            SpotMarket::generate(cat, &TraceGenerator::new(prof, 31), 300.0, 1.0 / 12.0);
+        let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+        let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+            .iter()
+            .map(|n| market.catalog().by_name(n).unwrap())
+            .collect();
+        let problem =
+            Problem::build(&market, &profile, 4.0, Some(&types), S3Store::paper_2014());
+        (market, problem)
+    }
+
+    fn planner() -> AdaptivePlanner {
+        AdaptivePlanner::new(AdaptiveConfig {
+            window_hours: 1.0,
+            history_hours: 48.0,
+            optimizer: OptimizerConfig { kappa: 2, bid_levels: 3, ..Default::default() },
+        })
+    }
+
+    #[test]
+    fn plenty_of_time_stays_hybrid() {
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let d = planner().plan_window(&problem, 1.0, 0.0, &view);
+        assert!(matches!(d, WindowDecision::Hybrid(_)));
+        assert!(!d.plan().groups.is_empty());
+    }
+
+    #[test]
+    fn exhausted_deadline_finishes_on_demand() {
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        // 95% of the deadline gone, whole app remaining.
+        let d = planner().plan_window(&problem, 1.0, problem.deadline * 0.95, &view);
+        assert!(matches!(d, WindowDecision::FinishOnDemand(_)));
+        assert!(d.plan().groups.is_empty());
+    }
+
+    #[test]
+    fn residual_shrinks_with_progress() {
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let d = planner().plan_window(&problem, 0.25, 0.5, &view);
+        // With 25% of the work left, the chosen groups' exec times must be
+        // a quarter of the originals.
+        if let WindowDecision::Hybrid(plan) = d {
+            for (g, _) in &plan.groups {
+                let orig = problem.candidate(g.id).unwrap();
+                assert!((g.exec_hours - orig.exec_hours * 0.25).abs() < 1e-9);
+            }
+        } else {
+            panic!("expected hybrid decision");
+        }
+    }
+
+    #[test]
+    fn later_views_change_plans_when_market_shifts() {
+        // Re-planning with a different history window is the whole point of
+        // update maintenance; verify the planner actually consumes the view.
+        let (market, problem) = setup();
+        let early = MarketView::from_market(&market, 0.0, 48.0);
+        let late = MarketView::from_market(&market, 200.0, 48.0);
+        let p = planner();
+        let d1 = p.plan_window(&problem, 1.0, 0.0, &early);
+        let d2 = p.plan_window(&problem, 1.0, 0.0, &late);
+        // Plans may coincide on calm markets; at minimum both must be
+        // valid hybrid decisions with launchable bids.
+        for d in [&d1, &d2] {
+            for (g, dec) in &d.plan().groups {
+                assert!(dec.bid > 0.0, "group {} has nonpositive bid", g.id);
+            }
+        }
+    }
+}

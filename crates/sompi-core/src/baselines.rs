@@ -1,0 +1,394 @@
+//! Every comparison strategy from the paper's evaluation (Sections 5.3 and
+//! 5.4.2), behind one [`Strategy`] trait so experiments can sweep them.
+//!
+//! | Name        | Paper description |
+//! |-------------|-------------------|
+//! | `OnDemandOnly` | cheapest on-demand type meeting the deadline |
+//! | `Marathe`   | Marathe et al. \[30\]: replicated execution of one fixed instance type (cc2.8xlarge) across availability zones, near-on-demand bids |
+//! | `MaratheOpt`| Marathe with the instance type chosen by cost model |
+//! | `SpotInf`   | single spot group, effectively infinite bid ($999) |
+//! | `SpotAvg`   | single spot group, bid = average historical price |
+//! | `Sompi`     | the full two-level optimizer |
+//! | `SompiNoReplication` | SOMPI restricted to one circle group (w/o-RP) |
+//! | `SompiNoCheckpoint`  | SOMPI with checkpointing disabled (w/o-CK) |
+//! | `AllUnable` | one spot group, no checkpoints, no replication |
+
+use crate::cost::{evaluate_plan, Evaluation};
+use crate::model::{GroupDecision, Plan};
+use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
+use crate::phi::optimal_interval;
+use crate::problem::Problem;
+use crate::twolevel::{OptimizerConfig, TwoLevelOptimizer};
+use crate::view::MarketView;
+
+/// A planning strategy: maps (problem, market history) to a plan.
+pub trait Strategy {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+    /// Produce the plan this strategy would execute.
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan;
+
+    /// Convenience: plan and evaluate under the cost model.
+    fn plan_and_evaluate(&self, problem: &Problem, view: &MarketView) -> (Plan, Evaluation) {
+        let plan = self.plan(problem, view);
+        let eval = evaluate_plan(&plan, view)
+            .expect("strategies must produce launchable plans");
+        (plan, eval)
+    }
+}
+
+/// The evaluation's *On-demand* method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnDemandOnly;
+
+impl Strategy for OnDemandOnly {
+    fn name(&self) -> &'static str {
+        "On-demand"
+    }
+
+    fn plan(&self, problem: &Problem, _view: &MarketView) -> Plan {
+        Plan::on_demand_only(select_on_demand(
+            &problem.on_demand,
+            problem.deadline,
+            DEFAULT_SLACK,
+        ))
+    }
+}
+
+/// Marathe et al.: replicate one fixed instance type — the fastest
+/// (cc2.8xlarge in the paper's catalog, "they utilize CC2 instances as
+/// default setting") — across all its availability zones, bid at the
+/// type's on-demand price, checkpoint at a Young/Daly interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Marathe;
+
+impl Strategy for Marathe {
+    fn name(&self) -> &'static str {
+        "Marathe"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        // Identify the fixed type: the most capable (fastest) candidate —
+        // cc2.8xlarge in the paper's catalog — unless the problem was built
+        // without it.
+        let target = problem
+            .on_demand
+            .iter()
+            .min_by(|a, b| a.exec_hours.total_cmp(&b.exec_hours))
+            .expect("problem must offer on-demand options");
+        let mut groups = Vec::new();
+        for c in &problem.candidates {
+            if c.id.instance_type != target.instance_type {
+                continue;
+            }
+            let bid = target.unit_price; // bid at the on-demand price
+            let interval = optimal_interval(c, bid, view);
+            groups.push((*c, GroupDecision { bid, ckpt_interval: interval }));
+        }
+        Plan { groups, on_demand: *target }
+    }
+}
+
+/// Marathe with the replicated instance type optimized: try each candidate
+/// type, keep the cheapest (by the cost model) that meets the deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaratheOpt;
+
+impl Strategy for MaratheOpt {
+    fn name(&self) -> &'static str {
+        "Marathe-Opt"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        let mut best: Option<(Plan, Evaluation)> = None;
+        for od in &problem.on_demand {
+            let mut groups = Vec::new();
+            for c in &problem.candidates {
+                if c.id.instance_type != od.instance_type {
+                    continue;
+                }
+                let bid = od.unit_price;
+                let interval = optimal_interval(c, bid, view);
+                groups.push((*c, GroupDecision { bid, ckpt_interval: interval }));
+            }
+            if groups.is_empty() {
+                continue;
+            }
+            let plan = Plan { groups, on_demand: *od };
+            let Some(eval) = evaluate_plan(&plan, view) else {
+                continue;
+            };
+            let feasible = eval.meets(problem.deadline);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    let b_feasible = b.meets(problem.deadline);
+                    match (feasible, b_feasible) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => eval.expected_cost < b.expected_cost,
+                    }
+                }
+            };
+            if better {
+                best = Some((plan, eval));
+            }
+        }
+        best.map(|(p, _)| p)
+            .unwrap_or_else(|| OnDemandOnly.plan(problem, view))
+    }
+}
+
+/// Spot-Inf: one spot group with an effectively infinite bid ($999), no
+/// checkpointing, no replication; the group with minimal expected cost
+/// meeting the deadline wins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpotInf;
+
+/// The "infinite" bid used by the paper's Spot-Inf heuristic.
+pub const INFINITE_BID: f64 = 999.0;
+
+impl Strategy for SpotInf {
+    fn name(&self) -> &'static str {
+        "Spot-Inf"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        single_group_plan(problem, view, |_, _| INFINITE_BID)
+    }
+}
+
+/// Spot-Avg: like Spot-Inf but bidding the average historical price.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpotAvg;
+
+impl Strategy for SpotAvg {
+    fn name(&self) -> &'static str {
+        "Spot-Avg"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        single_group_plan(problem, view, |view, id| view.mean_price(id))
+    }
+}
+
+fn single_group_plan(
+    problem: &Problem,
+    view: &MarketView,
+    bid_of: impl Fn(&MarketView, ec2_market::market::CircleGroupId) -> f64,
+) -> Plan {
+    let od = select_on_demand(&problem.on_demand, problem.deadline, DEFAULT_SLACK);
+    let mut best: Option<(Plan, Evaluation)> = None;
+    for c in &problem.candidates {
+        let bid = bid_of(view, c.id);
+        let decision = GroupDecision { bid, ckpt_interval: c.exec_hours };
+        let plan = Plan { groups: vec![(*c, decision)], on_demand: od };
+        let Some(eval) = evaluate_plan(&plan, view) else {
+            continue;
+        };
+        let feasible = eval.meets(problem.deadline);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => {
+                let bf = b.meets(problem.deadline);
+                match (feasible, bf) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => eval.expected_cost < b.expected_cost,
+                }
+            }
+        };
+        if better {
+            best = Some((plan, eval));
+        }
+    }
+    best.map(|(p, _)| p)
+        .unwrap_or_else(|| Plan::on_demand_only(od))
+}
+
+/// The full SOMPI optimizer as a [`Strategy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sompi {
+    /// Optimizer knobs.
+    pub config: OptimizerConfig,
+}
+
+impl Strategy for Sompi {
+    fn name(&self) -> &'static str {
+        "SOMPI"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        TwoLevelOptimizer::new(problem, view, self.config).optimize().plan
+    }
+}
+
+/// w/o-RP: SOMPI restricted to a single circle group (checkpointing only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SompiNoReplication {
+    /// Optimizer knobs (κ is forced to 1).
+    pub config: OptimizerConfig,
+}
+
+impl Strategy for SompiNoReplication {
+    fn name(&self) -> &'static str {
+        "w/o-RP"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        let cfg = OptimizerConfig { kappa: 1, ..self.config };
+        TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
+    }
+}
+
+/// w/o-CK: SOMPI with checkpointing disabled (replication only). Uses the
+/// interval-grid hook with a single point `F = T_i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SompiNoCheckpoint {
+    /// Optimizer knobs (interval forced to `T_i`).
+    pub config: OptimizerConfig,
+}
+
+impl Strategy for SompiNoCheckpoint {
+    fn name(&self) -> &'static str {
+        "w/o-CK"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        let cfg = OptimizerConfig { interval_grid: Some(1), ..self.config };
+        TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
+    }
+}
+
+/// All-Unable: single group, no checkpointing — bid still optimized, which
+/// is the strongest version of "no fault tolerance at all".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllUnable {
+    /// Optimizer knobs (κ = 1 and interval forced to `T_i`).
+    pub config: OptimizerConfig,
+}
+
+impl Strategy for AllUnable {
+    fn name(&self) -> &'static str {
+        "All-Unable"
+    }
+
+    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+        let cfg = OptimizerConfig { kappa: 1, interval_grid: Some(1), ..self.config };
+        TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::market::SpotMarket;
+    use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+    use mpi_sim::npb::{NpbClass, NpbKernel};
+    use mpi_sim::storage::S3Store;
+
+    fn setup() -> (SpotMarket, Problem, MarketView) {
+        let cat = InstanceCatalog::paper_2014();
+        let prof = MarketProfile::paper_2014(&cat);
+        let market =
+            SpotMarket::generate(cat, &TraceGenerator::new(prof, 21), 200.0, 1.0 / 12.0);
+        let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+        let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+            .iter()
+            .map(|n| market.catalog().by_name(n).unwrap())
+            .collect();
+        let problem =
+            Problem::build(&market, &profile, 3.0, Some(&types), S3Store::paper_2014());
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        (market, problem, view)
+    }
+
+    #[test]
+    fn on_demand_only_uses_no_spot() {
+        let (_, p, v) = setup();
+        let plan = OnDemandOnly.plan(&p, &v);
+        assert_eq!(plan.replication_degree(), 0);
+    }
+
+    #[test]
+    fn marathe_replicates_cc2_across_zones() {
+        let (m, p, v) = setup();
+        let plan = Marathe.plan(&p, &v);
+        let cc2 = m.catalog().by_name("cc2.8xlarge").unwrap();
+        assert_eq!(plan.replication_degree(), 3); // three zones
+        for (g, d) in &plan.groups {
+            assert_eq!(g.id.instance_type, cc2);
+            assert!((d.bid - 2.0).abs() < 1e-12); // on-demand price bid
+        }
+        assert_eq!(plan.on_demand.instance_type, cc2);
+    }
+
+    #[test]
+    fn marathe_opt_single_type_but_chosen() {
+        let (_, p, v) = setup();
+        let plan = MaratheOpt.plan(&p, &v);
+        assert!(!plan.groups.is_empty());
+        let ty = plan.groups[0].0.id.instance_type;
+        assert!(plan.groups.iter().all(|(g, _)| g.id.instance_type == ty));
+        // For compute-intensive BT under a loose deadline, Marathe-Opt
+        // should pick something cheaper than cc2.8xlarge.
+        let (_, eval_opt) = MaratheOpt.plan_and_evaluate(&p, &v);
+        let (_, eval_fixed) = Marathe.plan_and_evaluate(&p, &v);
+        assert!(eval_opt.expected_cost <= eval_fixed.expected_cost + 1e-9);
+    }
+
+    #[test]
+    fn spot_inf_never_fails() {
+        let (_, p, v) = setup();
+        let (plan, eval) = SpotInf.plan_and_evaluate(&p, &v);
+        assert_eq!(plan.replication_degree(), 1);
+        assert_eq!(plan.groups[0].1.bid, INFINITE_BID);
+        assert!(eval.p_all_fail < 1e-9);
+    }
+
+    #[test]
+    fn spot_avg_bids_the_mean() {
+        let (_, p, v) = setup();
+        let plan = SpotAvg.plan(&p, &v);
+        assert_eq!(plan.replication_degree(), 1);
+        let (g, d) = &plan.groups[0];
+        assert!((d.bid - v.mean_price(g.id)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablations_respect_their_restrictions() {
+        let (_, p, v) = setup();
+        let cfg = OptimizerConfig { kappa: 2, bid_levels: 3, ..OptimizerConfig::default() };
+        let no_rp = SompiNoReplication { config: cfg }.plan(&p, &v);
+        assert!(no_rp.replication_degree() <= 1);
+        let no_ck = SompiNoCheckpoint { config: cfg }.plan(&p, &v);
+        for (g, d) in &no_ck.groups {
+            assert!(d.ckpt_interval >= g.exec_hours, "checkpointing not disabled");
+        }
+        let none = AllUnable { config: cfg }.plan(&p, &v);
+        assert!(none.replication_degree() <= 1);
+        for (g, d) in &none.groups {
+            assert!(d.ckpt_interval >= g.exec_hours);
+        }
+    }
+
+    #[test]
+    fn sompi_beats_or_ties_every_restricted_variant_in_expectation() {
+        let (_, p, v) = setup();
+        let cfg = OptimizerConfig { kappa: 2, bid_levels: 3, ..OptimizerConfig::default() };
+        let (_, full) = Sompi { config: cfg }.plan_and_evaluate(&p, &v);
+        for (name, eval) in [
+            ("w/o-RP", SompiNoReplication { config: cfg }.plan_and_evaluate(&p, &v).1),
+            ("w/o-CK", SompiNoCheckpoint { config: cfg }.plan_and_evaluate(&p, &v).1),
+            ("All-Unable", AllUnable { config: cfg }.plan_and_evaluate(&p, &v).1),
+        ] {
+            assert!(
+                full.expected_cost <= eval.expected_cost + 1e-9,
+                "SOMPI {} vs {name} {}",
+                full.expected_cost,
+                eval.expected_cost
+            );
+        }
+    }
+}

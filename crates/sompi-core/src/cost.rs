@@ -1,0 +1,596 @@
+//! The expected monetary cost and execution time model — Formulas 1–11.
+//!
+//! The paper defines
+//!
+//! ```text
+//! E[Cost] = Σ_{t⃗} f(P⃗, t⃗) · Cost(t⃗, F⃗, d)        (Formula 2)
+//! f(P⃗, t⃗) = Π_i f_i(P_i, t_i)                      (Formula 3, independence)
+//! ```
+//!
+//! with `t_i` the hour bucket in which circle group `i` suffers its first
+//! out-of-bid event (`t_i = T_i` meaning "completes"). A naive sum is
+//! `O(T^K)`. Because (a) completed groups end at a *deterministic* wall
+//! time `W_i = T_i + O_i·⌊T_i/F_i⌋` and (b) failure times are independent
+//! across groups, the sum factors exactly over the `2^K` complete/fail
+//! patterns:
+//!
+//! * For a pattern with completing set `C ≠ ∅` the run ends at
+//!   `W* = min_{i∈C} W_i` (the paper's hybrid rule: the first finished
+//!   replica wins and everything else is terminated). Each failed group's
+//!   contribution `E[min(e_j, W*) | j fails]` is a 1-D sum.
+//! * For the all-fail pattern, `E[max_j e_j]` (Formula 10) and
+//!   `E[min_j Ratio_j]` (Formulas 7/11) are computed from products of
+//!   per-group CDFs — again 1-D.
+//!
+//! Total: `O(2^K · K · T)` exact, no sampling. `replay` cross-checks this
+//! model against Monte-Carlo trace replay (the paper's §5.4.1 accuracy
+//! study, max relative difference ≈ 15%).
+
+use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
+use crate::view::MarketView;
+use crate::{Hours, Usd};
+use serde::{Deserialize, Serialize};
+
+/// Everything the evaluator needs to know about one circle group at one
+/// realized bid price: the paper's `f_i(P_i, ·)` and `S_i(P_i)` plus the
+/// group constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupAssessment {
+    /// The group and its constants.
+    pub group: CircleGroup,
+    /// The decision (bid + checkpoint interval) this assessment is for.
+    pub decision: GroupDecision,
+    /// `S_i(P_i)`: expected spot price while running, USD/instance-hour.
+    pub expected_price: Usd,
+    /// P[group survives until it completes the application].
+    pub survival: f64,
+    /// Unconditional failure probabilities per hour bucket `[t, t+1)`,
+    /// covering the group's full wall-clock horizon (measured from launch).
+    pub fail_buckets: Vec<f64>,
+    /// Expected wait before the group can launch at this bid ("otherwise
+    /// it waits"). Shifts every wall-clock quantity; costs nothing (idle
+    /// requests are not billed).
+    pub launch_delay: Hours,
+}
+
+impl GroupAssessment {
+    /// Assess `group` under `decision` against market history.
+    ///
+    /// Returns `None` when the bid admits no launch at all (no historical
+    /// price at or below it) — such a group cannot be part of a plan.
+    pub fn assess(
+        group: CircleGroup,
+        decision: GroupDecision,
+        view: &MarketView,
+    ) -> Option<Self> {
+        let expected_price = view.expected_price(group.id, decision.bid)?;
+        let horizon = group
+            .completion_wall_hours(decision.ckpt_interval)
+            .ceil()
+            .max(1.0) as usize;
+        let f = view.failure_fn(group.id, decision.bid, horizon);
+        Some(Self {
+            group,
+            decision,
+            expected_price,
+            survival: f.survival(),
+            fail_buckets: f.buckets().to_vec(),
+            launch_delay: view.launch_delay(group.id, decision.bid),
+        })
+    }
+
+    /// Probability the group fails before completing.
+    pub fn prob_fail(&self) -> f64 {
+        1.0 - self.survival
+    }
+
+    /// Wall-clock end time when completing: launch delay + `W_i`.
+    pub fn completion_wall(&self) -> Hours {
+        self.launch_delay + self.group.completion_wall_hours(self.decision.ckpt_interval)
+    }
+
+    /// Running wall time (excluding launch delay) the group's own horizon
+    /// spans: `W_i` without the delay.
+    fn run_wall(&self) -> Hours {
+        self.group.completion_wall_hours(self.decision.ckpt_interval)
+    }
+
+    /// Representative wall-clock failure instant (from the start offset,
+    /// including launch delay) for bucket `t` (bucket midpoint).
+    fn fail_wall(&self, t: usize) -> Hours {
+        self.launch_delay + self.fail_run_wall(t)
+    }
+
+    /// Billed running time until the bucket-`t` failure (no launch delay —
+    /// waiting requests are free).
+    fn fail_run_wall(&self, t: usize) -> Hours {
+        let tau = t as f64 + 0.5;
+        // Wall time ≈ productive time within the horizon: checkpoints
+        // already consumed some of it. Invert approximately by scaling.
+        let w = self.run_wall();
+        let productive = if w > 0.0 {
+            tau * self.group.exec_hours / w
+        } else {
+            tau
+        };
+        self.group
+            .wall_at_failure(productive.min(self.group.exec_hours), self.decision.ckpt_interval)
+            .min(w)
+    }
+
+    /// Productive progress ratio remaining after a failure in bucket `t`.
+    fn fail_ratio(&self, t: usize) -> f64 {
+        let tau = t as f64 + 0.5;
+        let w = self.run_wall();
+        let productive = if w > 0.0 {
+            tau * self.group.exec_hours / w
+        } else {
+            tau
+        };
+        self.group
+            .remaining_ratio(productive.min(self.group.exec_hours), self.decision.ckpt_interval)
+    }
+
+    /// Hourly spot cost of the whole group (all `M_i` instances).
+    fn hourly_cost(&self) -> Usd {
+        self.expected_price * self.group.instances as f64
+    }
+
+    /// `E[min(e_j, cap) | fail]` — expected *billed* hours for a failed
+    /// group that gets terminated by the user at absolute time `cap` if
+    /// still alive, under 2014 hourly billing: an out-of-bid (provider)
+    /// kill gets its last partial hour free (`floor`), a user termination
+    /// is charged the started hour (`ceil`). Launch delay defers the
+    /// billing window but is itself free.
+    fn expected_billed_capped(&self, cap: Hours) -> Hours {
+        let run_cap = (cap - self.launch_delay).max(0.0);
+        let pf = self.prob_fail();
+        if pf <= 0.0 {
+            return run_cap.ceil().min(self.run_wall().ceil());
+        }
+        let mut acc = 0.0;
+        for (t, p) in self.fail_buckets.iter().enumerate() {
+            let t_run = self.fail_run_wall(t);
+            let billed = if t_run <= run_cap {
+                t_run.floor() // provider kill: partial hour free
+            } else {
+                run_cap.ceil() // user kill at the winner's completion
+            };
+            acc += p * billed;
+        }
+        acc / pf
+    }
+
+    /// `E[billed hours | fail]` until the out-of-bid event (provider
+    /// kill: partial last hour free).
+    fn expected_billed(&self) -> Hours {
+        self.expected_billed_capped(f64::INFINITY)
+    }
+}
+
+/// Result of evaluating a plan under the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// `E[Cost]`, USD (Formula 2).
+    pub expected_cost: Usd,
+    /// `E[Time]`, hours (Formula 8).
+    pub expected_time: Hours,
+    /// Probability that every circle group fails and the on-demand
+    /// fallback runs.
+    pub p_all_fail: f64,
+    /// Expected spot-instance share of the cost (Formula 5).
+    pub expected_spot_cost: Usd,
+    /// Expected on-demand share of the cost (Formula 6).
+    pub expected_od_cost: Usd,
+}
+
+impl Evaluation {
+    /// Whether the plan meets `deadline` in expectation (the paper's
+    /// constraint in Formula 1).
+    pub fn meets(&self, deadline: Hours) -> bool {
+        self.expected_time <= deadline
+    }
+}
+
+/// Evaluate a set of assessed circle groups plus the on-demand fallback.
+///
+/// An empty assessment list models a pure on-demand plan: the application
+/// runs once, from scratch, on the fallback option.
+pub fn evaluate(groups: &[GroupAssessment], od: &OnDemandOption) -> Evaluation {
+    let k = groups.len();
+    if k == 0 {
+        let cost = od.full_cost_billed();
+        return Evaluation {
+            expected_cost: cost,
+            expected_time: od.exec_hours,
+            p_all_fail: 1.0,
+            expected_spot_cost: 0.0,
+            expected_od_cost: cost,
+        };
+    }
+    assert!(k <= 16, "evaluation is exponential in group count; got {k}");
+
+    let mut e_cost = 0.0;
+    let mut e_time = 0.0;
+    let mut e_spot = 0.0;
+    let mut e_od = 0.0;
+
+    // Patterns with at least one completing group.
+    for mask in 1u32..(1 << k) {
+        let mut p = 1.0;
+        let mut w_star = f64::INFINITY;
+        for (i, g) in groups.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                p *= g.survival;
+                w_star = w_star.min(g.completion_wall());
+            } else {
+                p *= g.prob_fail();
+            }
+        }
+        if p <= 0.0 {
+            continue;
+        }
+        let mut cost = 0.0;
+        for (i, g) in groups.iter().enumerate() {
+            let hours = if mask & (1 << i) != 0 {
+                // Completing groups run until the winner finishes (their
+                // own waiting time is not billed); user termination
+                // charges the started hour.
+                (w_star - g.launch_delay)
+                    .max(0.0)
+                    .min(g.run_wall())
+                    .ceil()
+            } else {
+                g.expected_billed_capped(w_star)
+            };
+            cost += g.hourly_cost() * hours;
+        }
+        e_cost += p * cost;
+        e_spot += p * cost;
+        e_time += p * w_star;
+    }
+
+    // All-fail pattern: on-demand recovery.
+    let p0: f64 = groups.iter().map(GroupAssessment::prob_fail).product();
+    if p0 > 0.0 {
+        let spot: f64 = groups
+            .iter()
+            .map(|g| g.hourly_cost() * g.expected_billed())
+            .sum();
+        let e_max_wall = expected_max_wall(groups);
+        let e_min_ratio = expected_min_ratio(groups);
+        let od_hours = od.exec_hours * e_min_ratio + od.recovery_hours;
+        // On-demand is billed in whole started instance-hours.
+        let od_cost = od_hours.ceil() * od.unit_price * od.instances as f64;
+        e_cost += p0 * (spot + od_cost);
+        e_spot += p0 * spot;
+        e_od += p0 * od_cost;
+        e_time += p0 * (e_max_wall + od_hours);
+    }
+
+    Evaluation {
+        expected_cost: e_cost,
+        expected_time: e_time,
+        p_all_fail: p0,
+        expected_spot_cost: e_spot,
+        expected_od_cost: e_od,
+    }
+}
+
+/// Convenience: assess every group of a plan and evaluate it. Returns
+/// `None` if any group's bid admits no launch.
+pub fn evaluate_plan(plan: &Plan, view: &MarketView) -> Option<Evaluation> {
+    let mut assessed = Vec::with_capacity(plan.groups.len());
+    for (g, d) in &plan.groups {
+        assessed.push(GroupAssessment::assess(*g, *d, view)?);
+    }
+    Some(evaluate(&assessed, &plan.on_demand))
+}
+
+/// `E[max_j e_j | all fail]` — expected wall time at which the *last*
+/// circle group dies (Formula 10). Exact, via the product of conditional
+/// CDFs of the independent per-group failure walls.
+fn expected_max_wall(groups: &[GroupAssessment]) -> Hours {
+    // Collect every attainable wall value.
+    let mut values: Vec<Hours> = Vec::new();
+    for g in groups {
+        for t in 0..g.fail_buckets.len() {
+            if g.fail_buckets[t] > 0.0 {
+                values.push(g.fail_wall(t));
+            }
+        }
+    }
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    values.dedup();
+
+    let cdf = |g: &GroupAssessment, x: Hours| -> f64 {
+        let pf = g.prob_fail();
+        if pf <= 0.0 {
+            return 1.0; // vacuous: group can't be in the all-fail pattern
+        }
+        let mut acc = 0.0;
+        for (t, p) in g.fail_buckets.iter().enumerate() {
+            if g.fail_wall(t) <= x {
+                acc += p;
+            }
+        }
+        acc / pf
+    };
+
+    let mut e = 0.0;
+    let mut prev_cdf = 0.0;
+    for &v in &values {
+        let joint: f64 = groups.iter().map(|g| cdf(g, v)).product();
+        e += v * (joint - prev_cdf);
+        prev_cdf = joint;
+    }
+    e
+}
+
+/// `E[min_j Ratio_j | all fail]` — expected remaining work fraction at the
+/// best checkpoint across groups (Formulas 7 and 11). Exact via products
+/// of conditional complementary CDFs.
+fn expected_min_ratio(groups: &[GroupAssessment]) -> f64 {
+    let mut values: Vec<f64> = Vec::new();
+    for g in groups {
+        for t in 0..g.fail_buckets.len() {
+            if g.fail_buckets[t] > 0.0 {
+                values.push(g.fail_ratio(t));
+            }
+        }
+    }
+    if values.is_empty() {
+        return 1.0;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    values.dedup();
+
+    // P[Ratio_j >= r | fail]
+    let ccdf = |g: &GroupAssessment, r: f64| -> f64 {
+        let pf = g.prob_fail();
+        if pf <= 0.0 {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        for (t, p) in g.fail_buckets.iter().enumerate() {
+            if g.fail_ratio(t) >= r {
+                acc += p;
+            }
+        }
+        acc / pf
+    };
+
+    // E[min] = Σ_m v_m · (P[min ≥ v_m] − P[min ≥ v_{m+1}])
+    let mut e = 0.0;
+    for (m, &v) in values.iter().enumerate() {
+        let p_ge_v: f64 = groups.iter().map(|g| ccdf(g, v)).product();
+        let p_ge_next: f64 = if m + 1 < values.len() {
+            groups.iter().map(|g| ccdf(g, values[m + 1])).product()
+        } else {
+            0.0
+        };
+        e += v * (p_ge_v - p_ge_next);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::InstanceTypeId;
+    use ec2_market::market::CircleGroupId;
+    use ec2_market::zone::AvailabilityZone;
+
+    fn group(t: Hours) -> CircleGroup {
+        CircleGroup {
+            id: CircleGroupId::new(InstanceTypeId(0), AvailabilityZone::UsEast1a),
+            instances: 4,
+            exec_hours: t,
+            ckpt_overhead_hours: 0.02,
+            recovery_hours: 0.1,
+        }
+    }
+
+    fn od() -> OnDemandOption {
+        OnDemandOption {
+            instance_type: InstanceTypeId(4),
+            instances: 4,
+            exec_hours: 2.0,
+            unit_price: 2.0,
+            recovery_hours: 0.1,
+        }
+    }
+
+    /// Hand-built assessment: survival `s`, uniform failure mass over
+    /// `horizon` buckets, expected price `price`.
+    fn assessment(t: Hours, s: f64, price: f64, interval: Hours) -> GroupAssessment {
+        let g = group(t);
+        let horizon = g.completion_wall_hours(interval).ceil().max(1.0) as usize;
+        let per = (1.0 - s) / horizon as f64;
+        GroupAssessment {
+            group: g,
+            decision: GroupDecision { bid: 1.0, ckpt_interval: interval },
+            expected_price: price,
+            survival: s,
+            fail_buckets: vec![per; horizon],
+            launch_delay: 0.0,
+        }
+    }
+
+    #[test]
+    fn pure_on_demand_plan_costs_full_run() {
+        let e = evaluate(&[], &od());
+        assert!((e.expected_cost - 16.0).abs() < 1e-12);
+        assert!((e.expected_time - 2.0).abs() < 1e-12);
+        assert_eq!(e.p_all_fail, 1.0);
+    }
+
+    #[test]
+    fn certain_survivor_costs_its_full_run_only() {
+        // One group that never fails: cost = S·W·M, time = W.
+        let a = assessment(3.0, 1.0, 0.1, 3.0); // no checkpoints
+        let e = evaluate(std::slice::from_ref(&a), &od());
+        assert!((e.expected_time - 3.0).abs() < 1e-9);
+        assert!((e.expected_cost - 0.1 * 3.0 * 4.0).abs() < 1e-9);
+        assert_eq!(e.p_all_fail, 0.0);
+        assert_eq!(e.expected_od_cost, 0.0);
+    }
+
+    #[test]
+    fn certain_failure_without_checkpoints_pays_od_full_rerun() {
+        let a = assessment(3.0, 0.0, 0.1, 3.0); // always fails, no ckpt
+        let e = evaluate(&[a], &od());
+        assert_eq!(e.p_all_fail, 1.0);
+        // Ratio = 1 everywhere → full on-demand run + recovery, billed in
+        // whole hours: ceil(2.0 + 0.1) = 3 h × $2 × 4.
+        let od_cost = 3.0 * 2.0 * 4.0;
+        assert!(
+            (e.expected_od_cost - od_cost).abs() < 1e-9,
+            "od {}",
+            e.expected_od_cost
+        );
+        // Spot cost: uniform failure at bucket midpoints 0.5/1.5/2.5 h;
+        // provider kills waive the partial hour → floor → 0/1/2 → mean 1.
+        assert!((e.expected_spot_cost - 0.1 * 4.0 * 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoints_reduce_od_recovery_cost() {
+        let no_ck = assessment(4.0, 0.0, 0.05, 4.0);
+        let with_ck = assessment(4.0, 0.0, 0.05, 1.0);
+        let e_no = evaluate(&[no_ck], &od());
+        let e_ck = evaluate(&[with_ck], &od());
+        assert!(
+            e_ck.expected_od_cost < e_no.expected_od_cost,
+            "ck {} vs no {}",
+            e_ck.expected_od_cost,
+            e_no.expected_od_cost
+        );
+    }
+
+    #[test]
+    fn replication_reduces_all_fail_probability() {
+        let a = assessment(3.0, 0.6, 0.1, 3.0);
+        let e1 = evaluate(std::slice::from_ref(&a), &od());
+        let e2 = evaluate(&[a.clone(), a.clone()], &od());
+        let e3 = evaluate(&[a.clone(), a.clone(), a], &od());
+        assert!((e1.p_all_fail - 0.4).abs() < 1e-12);
+        assert!((e2.p_all_fail - 0.16).abs() < 1e-12);
+        assert!((e3.p_all_fail - 0.064).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_replica_sets_completion_time() {
+        let slow = assessment(5.0, 1.0, 0.01, 5.0);
+        let fast = assessment(2.0, 1.0, 0.01, 2.0);
+        let e = evaluate(&[slow, fast], &od());
+        // Both always survive; the fast one finishes at 2.0 and the slow
+        // one is killed then.
+        assert!((e.expected_time - 2.0).abs() < 1e-9);
+        // Both groups charged 2 hours.
+        assert!((e.expected_spot_cost - 2.0 * (0.01 * 4.0) * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_matches_brute_force_enumeration() {
+        // Cross-check the 2^K decomposition against the naive O(T^K) sum
+        // for K = 2 with small horizons.
+        let a = assessment(2.0, 0.5, 0.1, 2.0);
+        let b = assessment(3.0, 0.25, 0.2, 3.0);
+        let fast = evaluate(&[a.clone(), b.clone()], &od());
+
+        // Brute force: states per group = buckets + "complete".
+        let states = |g: &GroupAssessment| -> Vec<(f64, Option<usize>)> {
+            let mut v: Vec<(f64, Option<usize>)> = g
+                .fail_buckets
+                .iter()
+                .enumerate()
+                .map(|(t, p)| (*p, Some(t)))
+                .collect();
+            v.push((g.survival, None));
+            v
+        };
+        let odo = od();
+        let mut cost = 0.0;
+        let mut time = 0.0;
+        for (pa, sa) in states(&a) {
+            for (pb, sb) in states(&b) {
+                let p = pa * pb;
+                if p == 0.0 {
+                    continue;
+                }
+                let groups = [(&a, sa), (&b, sb)];
+                let completions: Vec<Hours> = groups
+                    .iter()
+                    .filter(|(_, s)| s.is_none())
+                    .map(|(g, _)| g.completion_wall())
+                    .collect();
+                if let Some(w) = completions.iter().cloned().reduce(f64::min) {
+                    let mut c = 0.0;
+                    for (g, s) in groups {
+                        // 2014 billing: provider kills floor, user
+                        // terminations (winner cutoff / completion) ceil.
+                        let h = match s {
+                            None => w.ceil(),
+                            Some(t) => {
+                                if g.fail_wall(t) <= w {
+                                    g.fail_wall(t).floor()
+                                } else {
+                                    w.ceil()
+                                }
+                            }
+                        };
+                        c += g.hourly_cost() * h;
+                    }
+                    cost += p * c;
+                    time += p * w;
+                } else {
+                    let mut c = 0.0;
+                    let mut max_wall: f64 = 0.0;
+                    let mut min_ratio: f64 = 1.0;
+                    for (g, s) in groups {
+                        let t = s.unwrap();
+                        c += g.hourly_cost() * g.fail_wall(t).floor();
+                        max_wall = max_wall.max(g.fail_wall(t));
+                        min_ratio = min_ratio.min(g.fail_ratio(t));
+                    }
+                    let od_h = odo.exec_hours * min_ratio + odo.recovery_hours;
+                    c += od_h.ceil() * odo.unit_price * odo.instances as f64;
+                    cost += p * c;
+                    time += p * (max_wall + od_h);
+                }
+            }
+        }
+        assert!(
+            (fast.expected_cost - cost).abs() / cost < 1e-9,
+            "fast {} vs brute {}",
+            fast.expected_cost,
+            cost
+        );
+        assert!(
+            (fast.expected_time - time).abs() / time < 1e-9,
+            "fast {} vs brute {}",
+            fast.expected_time,
+            time
+        );
+    }
+
+    #[test]
+    fn meets_deadline_check() {
+        let a = assessment(3.0, 1.0, 0.1, 3.0);
+        let e = evaluate(&[a], &od());
+        assert!(e.meets(3.0));
+        assert!(!e.meets(2.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn too_many_groups_rejected() {
+        let a = assessment(1.0, 0.5, 0.1, 1.0);
+        let groups = vec![a; 17];
+        evaluate(&groups, &od());
+    }
+}

@@ -1,0 +1,152 @@
+//! Logarithmic bid-price search grid — Section 4.2.2.
+//!
+//! The paper: *"we do not search the entire solution space with the same
+//! granularity. Instead, as the bid price increases, the interval between
+//! searched points is increased"* — i.e. candidate bids are `H / 2^l`.
+//! This shrinks the per-group bid space from `O(P)` to `O(log₂ H)` while
+//! keeping resolution where it matters: near the low prices where the
+//! failure rate changes fastest (the paper's Figure 4 observation).
+
+use crate::Usd;
+use serde::{Deserialize, Serialize};
+
+/// A logarithmic grid of candidate bid prices for one circle group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BidGrid {
+    bids: Vec<Usd>,
+}
+
+impl BidGrid {
+    /// Build the grid `{H, H/2, H/4, …}` with `levels` points, where `H`
+    /// is the highest historical price of the group.
+    ///
+    /// # Panics
+    /// Panics if `levels == 0` or `max_price` is not positive and finite.
+    pub fn logarithmic(max_price: Usd, levels: u32) -> Self {
+        assert!(levels > 0, "need at least one level");
+        assert!(
+            max_price.is_finite() && max_price > 0.0,
+            "max price must be positive"
+        );
+        let bids = (0..levels).map(|l| max_price / f64::powi(2.0, l as i32)).collect();
+        Self { bids }
+    }
+
+    /// A uniform grid with the same cardinality, used by the ablation bench
+    /// to show why the logarithmic spacing wins.
+    pub fn uniform(max_price: Usd, levels: u32) -> Self {
+        assert!(levels > 0, "need at least one level");
+        assert!(
+            max_price.is_finite() && max_price > 0.0,
+            "max price must be positive"
+        );
+        let bids = (1..=levels)
+            .rev()
+            .map(|l| max_price * l as f64 / levels as f64)
+            .collect();
+        Self { bids }
+    }
+
+    /// Prepend a guard point `factor × max` above the historical maximum.
+    ///
+    /// Bidding strictly above `H` costs nothing extra in expectation (spot
+    /// usage is billed at the market price, and `S_i(P)` is unchanged for
+    /// `P ≥ H`) but survives small upward drift of a calm zone's plateau
+    /// beyond the training window — the overfitting failure mode of
+    /// bidding exactly `H` on a flat trace.
+    pub fn with_top_margin(mut self, factor: f64) -> Self {
+        assert!(factor > 1.0, "margin factor must exceed 1");
+        let top = self.bids[0] * factor;
+        self.bids.insert(0, top);
+        self
+    }
+
+    /// Candidate bids, highest first.
+    pub fn bids(&self) -> &[Usd] {
+        &self.bids
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// Whether the grid is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.bids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logarithmic_halves() {
+        let g = BidGrid::logarithmic(8.0, 4);
+        assert_eq!(g.bids(), &[8.0, 4.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn uniform_spacing() {
+        let g = BidGrid::uniform(8.0, 4);
+        assert_eq!(g.bids(), &[8.0, 6.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn first_point_is_always_h() {
+        // The paper: bidding H means "terminated in extremely low
+        // probability, which we can ignore" — the grid must include it.
+        for levels in 1..10 {
+            assert_eq!(BidGrid::logarithmic(3.5, levels).bids()[0], 3.5);
+        }
+    }
+
+    #[test]
+    fn log_grid_is_denser_at_low_prices() {
+        let g = BidGrid::logarithmic(100.0, 8);
+        let below_10: usize = g.bids().iter().filter(|&&b| b <= 10.0).count();
+        let u = BidGrid::uniform(100.0, 8);
+        let below_10_uniform: usize = u.bids().iter().filter(|&&b| b <= 10.0).count();
+        assert!(below_10 > below_10_uniform);
+    }
+
+    #[test]
+    fn grid_is_strictly_decreasing_and_positive() {
+        let g = BidGrid::logarithmic(5.0, 10);
+        for w in g.bids().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!(g.bids().iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        BidGrid::logarithmic(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_price_panics() {
+        BidGrid::logarithmic(0.0, 3);
+    }
+}
+
+#[cfg(test)]
+mod margin_tests {
+    use super::*;
+
+    #[test]
+    fn top_margin_prepends_guard_point() {
+        let g = BidGrid::logarithmic(8.0, 3).with_top_margin(1.25);
+        assert_eq!(g.bids(), &[10.0, 8.0, 4.0, 2.0]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn margin_must_exceed_one() {
+        let _ = BidGrid::logarithmic(8.0, 3).with_top_margin(1.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Plan and decision types — the paper's Table 1 notation as data.
+
+use crate::{Hours, Usd};
+use ec2_market::instance::InstanceTypeId;
+use ec2_market::market::CircleGroupId;
+use serde::{Deserialize, Serialize};
+
+/// A candidate circle group with its application-specific constants:
+/// `M_i`, `T_i`, `O_i`, `R_i` from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircleGroup {
+    /// Which market this group buys from (instance type × zone).
+    pub id: CircleGroupId,
+    /// `M_i`: number of spot instances in the group.
+    pub instances: u32,
+    /// `T_i`: productive execution time of the application on this group,
+    /// hours (excludes checkpoint/recovery overheads).
+    pub exec_hours: Hours,
+    /// `O_i`: overhead of one coordinated checkpoint, hours.
+    pub ckpt_overhead_hours: Hours,
+    /// `R_i`: overhead of recovering from the latest checkpoint, hours.
+    pub recovery_hours: Hours,
+}
+
+impl CircleGroup {
+    /// Number of checkpoints taken if the group runs `productive` hours at
+    /// interval `interval` (the paper's `⌊t_i / F_i⌋`). An interval at or
+    /// above `T_i` means checkpointing is disabled.
+    pub fn checkpoints_by(&self, productive: Hours, interval: Hours) -> u32 {
+        if interval >= self.exec_hours || interval <= 0.0 {
+            return 0;
+        }
+        (productive / interval).floor() as u32
+    }
+
+    /// Wall-clock hours at which the group completes the application when
+    /// undisturbed: `T_i + O_i · ⌊T_i / F_i⌋`.
+    pub fn completion_wall_hours(&self, interval: Hours) -> Hours {
+        self.exec_hours
+            + self.ckpt_overhead_hours * self.checkpoints_by(self.exec_hours, interval) as f64
+    }
+
+    /// Wall-clock hours consumed when the group fails after `productive`
+    /// productive hours.
+    pub fn wall_at_failure(&self, productive: Hours, interval: Hours) -> Hours {
+        productive + self.ckpt_overhead_hours * self.checkpoints_by(productive, interval) as f64
+    }
+
+    /// The paper's `Ratio(t_i, F_i)`: fraction of the application still to
+    /// run after a failure at productive time `productive`, given the
+    /// checkpoints taken by then. 1 when nothing was saved, 0 at completion.
+    pub fn remaining_ratio(&self, productive: Hours, interval: Hours) -> f64 {
+        if productive >= self.exec_hours {
+            return 0.0;
+        }
+        let saved =
+            self.checkpoints_by(productive, interval) as f64 * interval.min(self.exec_hours);
+        (1.0 - saved / self.exec_hours).clamp(0.0, 1.0)
+    }
+}
+
+/// The optimizer's decision for one circle group: bid price `P_i` and
+/// checkpoint interval `F_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupDecision {
+    /// `P_i`: bid price, USD/hour per instance.
+    pub bid: Usd,
+    /// `F_i`: checkpoint interval in productive hours. A value at or above
+    /// the group's `T_i` disables checkpointing (paper: "If `F_i = T_i`, we
+    /// do not use checkpoints for this circle group").
+    pub ckpt_interval: Hours,
+}
+
+/// An on-demand recovery option: type `d` with `T_d`, `D_d`, `M_d`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnDemandOption {
+    /// Instance type.
+    pub instance_type: InstanceTypeId,
+    /// `M_d`: instances needed to host the job.
+    pub instances: u32,
+    /// `T_d`: full-application execution time on this type, hours.
+    pub exec_hours: Hours,
+    /// `D_d`: on-demand unit price, USD/instance-hour.
+    pub unit_price: Usd,
+    /// Overhead of restoring the best checkpoint onto this cluster, hours.
+    pub recovery_hours: Hours,
+}
+
+impl OnDemandOption {
+    /// Cost of running the whole application on demand (Formula 12).
+    pub fn full_cost(&self) -> Usd {
+        self.exec_hours * self.unit_price * self.instances as f64
+    }
+
+    /// Cost of the full run under 2014 hourly billing (whole started
+    /// instance-hours) — what an actual baseline execution would be
+    /// charged, used to normalize experiment results.
+    pub fn full_cost_billed(&self) -> Usd {
+        self.exec_hours.ceil() * self.unit_price * self.instances as f64
+    }
+
+    /// Cost of running `ratio` of the application plus recovery.
+    pub fn recovery_cost(&self, ratio: f64) -> Usd {
+        (self.exec_hours * ratio + self.recovery_hours)
+            * self.unit_price
+            * self.instances as f64
+    }
+}
+
+/// A complete execution plan: chosen circle groups with their decisions,
+/// plus the on-demand fallback.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Replicated spot executions. Empty means pure on-demand.
+    pub groups: Vec<(CircleGroup, GroupDecision)>,
+    /// The on-demand recovery (and pure-on-demand) option.
+    pub on_demand: OnDemandOption,
+}
+
+impl Plan {
+    /// A plan that runs everything on demand.
+    pub fn on_demand_only(od: OnDemandOption) -> Self {
+        Self { groups: Vec::new(), on_demand: od }
+    }
+
+    /// Number of circle groups used (the paper's `k`).
+    pub fn replication_degree(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The same decisions applied to `fraction` of the application:
+    /// execution times scale, overheads and prices do not. Used to re-run
+    /// a frozen plan on residual work (the w/o-MT ablation).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn scaled(&self, fraction: f64) -> Plan {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "scale fraction must be in (0, 1]"
+        );
+        let mut p = self.clone();
+        for (g, _) in &mut p.groups {
+            g.exec_hours *= fraction;
+        }
+        p.on_demand.exec_hours *= fraction;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::zone::AvailabilityZone;
+
+    fn group(t: f64, o: f64) -> CircleGroup {
+        CircleGroup {
+            id: CircleGroupId::new(InstanceTypeId(0), AvailabilityZone::UsEast1a),
+            instances: 8,
+            exec_hours: t,
+            ckpt_overhead_hours: o,
+            recovery_hours: 0.1,
+        }
+    }
+
+    #[test]
+    fn checkpoints_count_floors() {
+        let g = group(10.0, 0.02);
+        assert_eq!(g.checkpoints_by(4.9, 1.0), 4);
+        assert_eq!(g.checkpoints_by(5.0, 1.0), 5);
+        assert_eq!(g.checkpoints_by(0.5, 1.0), 0);
+    }
+
+    #[test]
+    fn interval_at_exec_time_disables_checkpointing() {
+        let g = group(10.0, 0.02);
+        assert_eq!(g.checkpoints_by(9.9, 10.0), 0);
+        assert_eq!(g.checkpoints_by(9.9, 15.0), 0);
+        assert_eq!(g.completion_wall_hours(10.0), 10.0);
+    }
+
+    #[test]
+    fn completion_includes_checkpoint_overheads() {
+        let g = group(10.0, 0.1);
+        // 10 checkpoints at interval 1.0 → +1.0 hours.
+        assert!((g.completion_wall_hours(1.0) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_ratio_cases() {
+        let g = group(10.0, 0.02);
+        // Before the first checkpoint everything is lost.
+        assert_eq!(g.remaining_ratio(0.5, 1.0), 1.0);
+        // After 3 checkpoints at interval 1.0, 3 hours are saved.
+        assert!((g.remaining_ratio(3.5, 1.0) - 0.7).abs() < 1e-12);
+        // Completion.
+        assert_eq!(g.remaining_ratio(10.0, 1.0), 0.0);
+        // No checkpointing: always 1 until completion.
+        assert_eq!(g.remaining_ratio(9.9, 10.0), 1.0);
+    }
+
+    #[test]
+    fn ratio_is_monotone_nonincreasing_in_progress() {
+        let g = group(8.0, 0.05);
+        let mut prev = 1.0;
+        for k in 0..80 {
+            let r = g.remaining_ratio(k as f64 * 0.1, 0.75);
+            assert!(r <= prev + 1e-12);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn od_costs() {
+        let od = OnDemandOption {
+            instance_type: InstanceTypeId(4),
+            instances: 4,
+            exec_hours: 2.0,
+            unit_price: 2.0,
+            recovery_hours: 0.1,
+        };
+        assert!((od.full_cost() - 16.0).abs() < 1e-12);
+        assert!((od.recovery_cost(0.5) - (1.0 + 0.1) * 8.0).abs() < 1e-12);
+        assert!(od.recovery_cost(0.0) > 0.0); // recovery itself costs
+    }
+
+    #[test]
+    fn plan_helpers() {
+        let od = OnDemandOption {
+            instance_type: InstanceTypeId(0),
+            instances: 1,
+            exec_hours: 1.0,
+            unit_price: 1.0,
+            recovery_hours: 0.0,
+        };
+        let p = Plan::on_demand_only(od);
+        assert_eq!(p.replication_degree(), 0);
+    }
+
+    #[test]
+    fn scaled_plan_shrinks_exec_but_not_overheads() {
+        let od = OnDemandOption {
+            instance_type: InstanceTypeId(4),
+            instances: 4,
+            exec_hours: 2.0,
+            unit_price: 2.0,
+            recovery_hours: 0.1,
+        };
+        let plan = Plan {
+            groups: vec![(
+                group(10.0, 0.05),
+                GroupDecision { bid: 0.1, ckpt_interval: 1.0 },
+            )],
+            on_demand: od,
+        };
+        let half = plan.scaled(0.5);
+        assert!((half.groups[0].0.exec_hours - 5.0).abs() < 1e-12);
+        assert_eq!(half.groups[0].0.ckpt_overhead_hours, 0.05);
+        assert_eq!(half.groups[0].1.bid, 0.1);
+        assert!((half.on_demand.exec_hours - 1.0).abs() < 1e-12);
+        assert_eq!(half.on_demand.recovery_hours, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale fraction")]
+    fn scaled_rejects_over_one() {
+        let od = OnDemandOption {
+            instance_type: InstanceTypeId(0),
+            instances: 1,
+            exec_hours: 1.0,
+            unit_price: 1.0,
+            recovery_hours: 0.0,
+        };
+        Plan::on_demand_only(od).scaled(1.5);
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let od = OnDemandOption {
+            instance_type: InstanceTypeId(4),
+            instances: 4,
+            exec_hours: 2.0,
+            unit_price: 2.0,
+            recovery_hours: 0.1,
+        };
+        let plan = Plan {
+            groups: vec![(
+                group(10.0, 0.05),
+                GroupDecision { bid: 0.123, ckpt_interval: 0.75 },
+            )],
+            on_demand: od,
+        };
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: Plan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(plan, back);
+    }
+}

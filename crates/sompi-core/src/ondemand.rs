@@ -1,0 +1,97 @@
+//! On-demand instance type selection — Section 4.1, Formulas 12–13.
+//!
+//! The monetary cost of the on-demand fallback is independent of the spot
+//! decisions, so the paper selects the type `d*` first: minimize
+//! `T_d · D_d · M_d` subject to `T_d ≤ Deadline · (1 − Slack)`, where the
+//! Slack (20% by default, per the paper's parameter study) reserves time
+//! for checkpointing and recovery.
+
+use crate::model::OnDemandOption;
+use crate::Hours;
+
+/// Default slack, from the paper's Section 5.2 study ("we select the slack
+/// as 20% in our experiments").
+pub const DEFAULT_SLACK: f64 = 0.20;
+
+/// Select the cheapest on-demand option whose execution time fits within
+/// `deadline · (1 − slack)`.
+///
+/// Falls back to the *fastest* option when none fits (the deadline is
+/// infeasible even on demand; the fastest type is the least-bad recovery
+/// vehicle — the paper's Algorithm 1 does the same when the deadline can
+/// no longer be satisfied).
+pub fn select_on_demand(
+    options: &[OnDemandOption],
+    deadline: Hours,
+    slack: f64,
+) -> OnDemandOption {
+    assert!(!options.is_empty(), "need at least one on-demand option");
+    assert!((0.0..1.0).contains(&slack), "slack must be in [0, 1)");
+    let budget = deadline * (1.0 - slack);
+    options
+        .iter()
+        .filter(|o| o.exec_hours <= budget)
+        .min_by(|a, b| a.full_cost().total_cmp(&b.full_cost()))
+        .or_else(|| {
+            options
+                .iter()
+                .min_by(|a, b| a.exec_hours.total_cmp(&b.exec_hours))
+        })
+        .copied()
+        .expect("non-empty options")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::InstanceTypeId;
+
+    fn opt(ty: usize, t: Hours, price: f64, m: u32) -> OnDemandOption {
+        OnDemandOption {
+            instance_type: InstanceTypeId(ty),
+            instances: m,
+            exec_hours: t,
+            unit_price: price,
+            recovery_hours: 0.05,
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_fitting_option() {
+        // Option 0: slow but cheap (cost 4.0); option 1: fast, pricier
+        // (cost 6.0). Both fit a deadline of 10.
+        let opts = [opt(0, 4.0, 1.0, 1), opt(1, 2.0, 3.0, 1)];
+        let d = select_on_demand(&opts, 10.0, 0.2);
+        assert_eq!(d.instance_type, InstanceTypeId(0));
+    }
+
+    #[test]
+    fn slack_shrinks_the_budget() {
+        // Deadline 5, slack 20% → budget 4.0; the slow option (4.0 h) fits
+        // exactly. Slack 30% → budget 3.5; only the fast one fits.
+        let opts = [opt(0, 4.0, 1.0, 1), opt(1, 2.0, 3.0, 1)];
+        assert_eq!(select_on_demand(&opts, 5.0, 0.2).instance_type, InstanceTypeId(0));
+        assert_eq!(select_on_demand(&opts, 5.0, 0.3).instance_type, InstanceTypeId(1));
+    }
+
+    #[test]
+    fn infeasible_deadline_falls_back_to_fastest() {
+        let opts = [opt(0, 4.0, 1.0, 1), opt(1, 2.0, 3.0, 1)];
+        let d = select_on_demand(&opts, 0.5, 0.2);
+        assert_eq!(d.instance_type, InstanceTypeId(1));
+    }
+
+    #[test]
+    fn cost_accounts_for_instance_count() {
+        // Type 0: 1 h × $1 × 10 instances = $10; type 1: 1 h × $5 × 1 = $5.
+        let opts = [opt(0, 1.0, 1.0, 10), opt(1, 1.0, 5.0, 1)];
+        let d = select_on_demand(&opts, 10.0, 0.2);
+        assert_eq!(d.instance_type, InstanceTypeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_options_panics() {
+        select_on_demand(&[], 1.0, 0.2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Cost/time Pareto frontier over candidate plans.
+//!
+//! The paper fixes a deadline and minimizes expected cost. A user choosing
+//! the deadline wants the whole trade-off curve: for each achievable
+//! expected completion time, the cheapest plan. [`frontier`] reuses the
+//! two-level search but keeps every non-dominated `(E[Time], E[Cost])`
+//! configuration instead of a single optimum — one search, the entire
+//! Figure-7-style curve.
+
+use crate::cost::{evaluate, Evaluation, GroupAssessment};
+use crate::logsearch::BidGrid;
+use crate::model::{GroupDecision, Plan};
+use crate::ondemand::select_on_demand;
+use crate::phi::optimal_interval;
+use crate::problem::Problem;
+use crate::twolevel::{GridKind, OptimizerConfig};
+use crate::view::MarketView;
+use serde::{Deserialize, Serialize};
+
+/// One point on the cost/time frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The plan achieving this point.
+    pub plan: Plan,
+    /// Its model evaluation.
+    pub evaluation: Evaluation,
+}
+
+/// Enumerate the non-dominated `(E[Time], E[Cost])` plans reachable by the
+/// two-level search (no deadline constraint — that is the caller's slider).
+/// Points are returned sorted by expected time ascending; expected cost is
+/// then strictly decreasing.
+pub fn frontier(problem: &Problem, view: &MarketView, config: OptimizerConfig) -> Vec<ParetoPoint> {
+    // Deadline-independent on-demand fallback: the fastest type (any other
+    // choice only shifts the whole frontier).
+    let od = select_on_demand(&problem.on_demand, f64::MAX, config.slack);
+
+    // Assess candidates once per (group, bid).
+    let mut options: Vec<Vec<GroupAssessment>> = Vec::new();
+    for group in &problem.candidates {
+        let max_bid = view.max_bid(group.id);
+        let mut opts = Vec::new();
+        if max_bid.is_finite() && max_bid > 0.0 {
+            let min_price = view.min_price(group.id).max(1e-6);
+            let span = ((max_bid / min_price).log2().ceil() as u32 + 1).max(2);
+            let levels = span.min(config.bid_levels.max(2));
+            let mut grid = match config.grid {
+                GridKind::Logarithmic => BidGrid::logarithmic(max_bid, levels),
+                GridKind::Uniform => BidGrid::uniform(max_bid, levels),
+            };
+            if let Some(m) = config.top_margin {
+                grid = grid.with_top_margin(m);
+            }
+            for &bid in grid.bids() {
+                let interval = optimal_interval(group, bid, view);
+                let decision = GroupDecision { bid, ckpt_interval: interval };
+                if let Some(a) = GroupAssessment::assess(*group, decision, view) {
+                    opts.push(a);
+                }
+            }
+        }
+        options.push(opts);
+    }
+
+    // Collect every evaluated configuration (pure OD + k-subsets).
+    let mut points: Vec<ParetoPoint> = vec![ParetoPoint {
+        plan: Plan::on_demand_only(od),
+        evaluation: evaluate(&[], &od),
+    }];
+
+    let n = problem.candidates.len();
+    let k_max = config.kappa.min(n);
+    let mut subset: Vec<usize> = Vec::new();
+    collect(n, k_max, 0, &mut subset, &mut |chosen: &[usize]| {
+        if chosen.iter().any(|&g| options[g].is_empty()) {
+            return;
+        }
+        let mut idx = vec![0usize; chosen.len()];
+        loop {
+            let assessed: Vec<GroupAssessment> = chosen
+                .iter()
+                .zip(&idx)
+                .map(|(&g, &i)| options[g][i].clone())
+                .collect();
+            let eval = evaluate(&assessed, &od);
+            points.push(ParetoPoint {
+                plan: Plan {
+                    groups: assessed.iter().map(|a| (a.group, a.decision)).collect(),
+                    on_demand: od,
+                },
+                evaluation: eval,
+            });
+            let mut pos = 0;
+            loop {
+                if pos == idx.len() {
+                    return;
+                }
+                idx[pos] += 1;
+                if idx[pos] < options[chosen[pos]].len() {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+            }
+        }
+    });
+
+    // Non-dominated filter: sort by time, keep strictly-cheaper survivors.
+    points.sort_by(|a, b| {
+        a.evaluation
+            .expected_time
+            .total_cmp(&b.evaluation.expected_time)
+            .then(a.evaluation.expected_cost.total_cmp(&b.evaluation.expected_cost))
+    });
+    let mut out: Vec<ParetoPoint> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    for p in points {
+        if p.evaluation.expected_cost < best_cost - 1e-12 {
+            best_cost = p.evaluation.expected_cost;
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Visit subsets of `0..n` of size 1..=k_max.
+fn collect(
+    n: usize,
+    k_max: usize,
+    start: usize,
+    acc: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if !acc.is_empty() {
+        f(acc);
+    }
+    if acc.len() == k_max {
+        return;
+    }
+    for i in start..n {
+        acc.push(i);
+        collect(n, k_max, i + 1, acc, f);
+        acc.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+    use ec2_market::market::SpotMarket;
+    use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+    use mpi_sim::npb::{NpbClass, NpbKernel};
+    use mpi_sim::storage::S3Store;
+
+    fn setup() -> (Problem, MarketView) {
+        let cat = InstanceCatalog::paper_2014();
+        let prof = MarketProfile::paper_2014(&cat);
+        let market =
+            SpotMarket::generate(cat, &TraceGenerator::new(prof, 55), 200.0, 1.0 / 12.0);
+        let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+        let types: Vec<InstanceTypeId> =
+            ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+                .iter()
+                .map(|n| market.catalog().by_name(n).unwrap())
+                .collect();
+        let problem = Problem::build(&market, &profile, f64::MAX, Some(&types), S3Store::paper_2014());
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        (problem, view)
+    }
+
+    #[test]
+    fn frontier_is_strictly_improving() {
+        let (problem, view) = setup();
+        let cfg = OptimizerConfig { kappa: 2, bid_levels: 4, ..Default::default() };
+        let f = frontier(&problem, &view, cfg);
+        assert!(f.len() >= 2, "expect at least OD and one spot point");
+        for w in f.windows(2) {
+            assert!(w[0].evaluation.expected_time <= w[1].evaluation.expected_time);
+            assert!(w[0].evaluation.expected_cost > w[1].evaluation.expected_cost);
+        }
+    }
+
+    #[test]
+    fn frontier_dominates_single_deadline_optimum() {
+        // For any deadline, the cheapest frontier point meeting it is at
+        // least as good as the two-level optimizer's answer (same search
+        // space, so costs must match within float noise).
+        use crate::twolevel::TwoLevelOptimizer;
+        let (mut problem, view) = setup();
+        let cfg = OptimizerConfig { kappa: 2, bid_levels: 4, ..Default::default() };
+        let f = frontier(&problem, &view, cfg);
+        for factor in [1.1, 1.5] {
+            problem.deadline = problem.baseline_time() * factor;
+            let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
+            let best_on_frontier = f
+                .iter()
+                .filter(|p| p.evaluation.expected_time <= problem.deadline)
+                .map(|p| p.evaluation.expected_cost)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best_on_frontier <= opt.evaluation.expected_cost + 1e-6,
+                "frontier {} vs optimizer {} at factor {factor}",
+                best_on_frontier,
+                opt.evaluation.expected_cost
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_contains_pure_on_demand_or_better() {
+        let (problem, view) = setup();
+        let cfg = OptimizerConfig { kappa: 1, bid_levels: 3, ..Default::default() };
+        let f = frontier(&problem, &view, cfg);
+        // The fastest point is at most the OD time (something must serve
+        // the impatient end of the curve).
+        let fastest = &f[0];
+        assert!(fastest.evaluation.expected_time <= problem.baseline_time() * 1.05 + 1.0);
+    }
+}

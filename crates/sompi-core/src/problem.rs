@@ -1,0 +1,262 @@
+//! Problem construction: turning (application profile, market, deadline)
+//! into the optimizer's inputs.
+//!
+//! For every candidate circle group we pre-compute the paper's per-group
+//! constants — `M_i` (instance count), `T_i` (productive execution time,
+//! via the TAU-style estimator in `mpi-sim`), `O_i` (checkpoint overhead)
+//! and `R_i` (recovery overhead) — and for every instance type an
+//! [`OnDemandOption`] (`T_d`, `D_d`, `M_d`).
+
+use crate::model::{CircleGroup, OnDemandOption};
+use crate::Hours;
+use ec2_market::instance::InstanceTypeId;
+use ec2_market::market::{CircleGroupId, SpotMarket};
+use mpi_sim::checkpoint::CheckpointSpec;
+use mpi_sim::cluster::ClusterSpec;
+use mpi_sim::profile::AppProfile;
+use mpi_sim::storage::S3Store;
+use serde::{Deserialize, Serialize};
+
+/// A fully specified optimization problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// Application name, for reports.
+    pub app: String,
+    /// Process count `N`.
+    pub processes: u32,
+    /// User deadline, hours.
+    pub deadline: Hours,
+    /// Candidate circle groups (`K` of them) with per-group constants.
+    pub candidates: Vec<CircleGroup>,
+    /// On-demand options, one per instance type.
+    pub on_demand: Vec<OnDemandOption>,
+}
+
+impl Problem {
+    /// Build a problem from a market and an application profile.
+    ///
+    /// `candidate_types` restricts which instance types may host circle
+    /// groups (the paper uses m1.small, m1.medium, c3.xlarge, cc2.8xlarge);
+    /// pass `None` to allow every type present in the market. On-demand
+    /// options are built for the same set.
+    pub fn build(
+        market: &SpotMarket,
+        profile: &AppProfile,
+        deadline: Hours,
+        candidate_types: Option<&[InstanceTypeId]>,
+        store: S3Store,
+    ) -> Self {
+        let catalog = market.catalog();
+        let allowed = |ty: InstanceTypeId| {
+            candidate_types.map(|list| list.contains(&ty)).unwrap_or(true)
+        };
+
+        let mut candidates = Vec::new();
+        for id in market.groups() {
+            if !allowed(id.instance_type) {
+                continue;
+            }
+            let cluster = ClusterSpec::for_processes(catalog, id.instance_type, profile.processes);
+            let exec = cluster.estimate(catalog, profile).total_hours();
+            let ckpt = CheckpointSpec::for_app(catalog, &cluster, profile, store);
+            candidates.push(CircleGroup {
+                id,
+                instances: cluster.instances,
+                exec_hours: exec,
+                ckpt_overhead_hours: ckpt.overhead_hours(),
+                recovery_hours: ckpt.recovery_hours(),
+            });
+        }
+
+        let mut on_demand = Vec::new();
+        let mut seen = Vec::new();
+        for id in market.groups() {
+            let ty = id.instance_type;
+            if !allowed(ty) || seen.contains(&ty) {
+                continue;
+            }
+            seen.push(ty);
+            let cluster = ClusterSpec::for_processes(catalog, ty, profile.processes);
+            let exec = cluster.estimate(catalog, profile).total_hours();
+            let ckpt = CheckpointSpec::for_app(catalog, &cluster, profile, store);
+            on_demand.push(OnDemandOption {
+                instance_type: ty,
+                instances: cluster.instances,
+                exec_hours: exec,
+                unit_price: catalog.get(ty).on_demand_price,
+                recovery_hours: ckpt.recovery_hours_on(cluster.instances),
+            });
+        }
+
+        Self {
+            app: profile.name.clone(),
+            processes: profile.processes,
+            deadline,
+            candidates,
+            on_demand,
+        }
+    }
+
+    /// The *Baseline* of the evaluation: the on-demand execution with the
+    /// minimal execution time. Its time and cost normalize every result.
+    pub fn baseline(&self) -> &OnDemandOption {
+        self.on_demand
+            .iter()
+            .min_by(|a, b| a.exec_hours.total_cmp(&b.exec_hours))
+            .expect("problem must offer at least one on-demand option")
+    }
+
+    /// Baseline execution time (fastest on-demand), hours.
+    pub fn baseline_time(&self) -> Hours {
+        self.baseline().exec_hours
+    }
+
+    /// Baseline cost, USD (raw hours — the model's normalization).
+    pub fn baseline_cost(&self) -> f64 {
+        self.baseline().full_cost()
+    }
+
+    /// Baseline cost under 2014 hourly billing — the normalization used by
+    /// replay experiments, matching what the baseline run would be charged.
+    pub fn baseline_cost_billed(&self) -> f64 {
+        self.baseline().full_cost_billed()
+    }
+
+    /// The candidate group buying from `id`, if any.
+    pub fn candidate(&self, id: CircleGroupId) -> Option<&CircleGroup> {
+        self.candidates.iter().find(|c| c.id == id)
+    }
+
+    /// A copy of the problem with all remaining work scaled by `fraction`
+    /// (the adaptive algorithm re-optimizes the residual application) and
+    /// the deadline replaced.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn residual(&self, fraction: f64, deadline: Hours) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "residual fraction must be in (0, 1]"
+        );
+        let mut p = self.clone();
+        for c in &mut p.candidates {
+            c.exec_hours *= fraction;
+        }
+        for od in &mut p.on_demand {
+            od.exec_hours *= fraction;
+        }
+        p.deadline = deadline;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2_market::instance::InstanceCatalog;
+    use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+    use mpi_sim::npb::{NpbClass, NpbKernel};
+
+    fn market() -> SpotMarket {
+        let cat = InstanceCatalog::paper_2014();
+        let prof = MarketProfile::paper_2014(&cat);
+        SpotMarket::generate(cat, &TraceGenerator::new(prof, 7), 96.0, 1.0 / 12.0)
+    }
+
+    fn paper_types(m: &SpotMarket) -> Vec<InstanceTypeId> {
+        ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+            .iter()
+            .map(|n| m.catalog().by_name(n).unwrap())
+            .collect()
+    }
+
+    fn bt_problem() -> Problem {
+        let m = market();
+        let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+        let types = paper_types(&m);
+        Problem::build(&m, &profile, 2.0, Some(&types), S3Store::paper_2014())
+    }
+
+    #[test]
+    fn builds_candidates_for_allowed_types_only() {
+        let p = bt_problem();
+        // 4 types × 3 zones.
+        assert_eq!(p.candidates.len(), 12);
+        assert_eq!(p.on_demand.len(), 4);
+    }
+
+    #[test]
+    fn candidate_constants_are_positive_and_sane() {
+        let p = bt_problem();
+        for c in &p.candidates {
+            assert!(c.exec_hours > 0.0);
+            assert!(c.ckpt_overhead_hours > 0.0);
+            assert!(c.recovery_hours > c.ckpt_overhead_hours * 0.5);
+            assert!(c.instances >= 4);
+            // Checkpoint overhead must be a small fraction of the run.
+            assert!(c.ckpt_overhead_hours < 0.1 * c.exec_hours);
+        }
+    }
+
+    #[test]
+    fn baseline_is_fastest_on_demand() {
+        let p = bt_problem();
+        let b = p.baseline();
+        for od in &p.on_demand {
+            assert!(b.exec_hours <= od.exec_hours);
+        }
+        // For compute-intensive BT, cc2.8xlarge is the fastest type.
+        let m = market();
+        assert_eq!(
+            b.instance_type,
+            m.catalog().by_name("cc2.8xlarge").unwrap()
+        );
+    }
+
+    #[test]
+    fn baseline_time_is_about_an_hour_for_bt_200_repeats() {
+        // Keeps the experiment scale consistent with the paper's hourly
+        // spot dynamics.
+        let p = bt_problem();
+        let t = p.baseline_time();
+        assert!(t > 0.5 && t < 4.0, "baseline {t}h");
+    }
+
+    #[test]
+    fn m1_small_within_loose_deadline_of_baseline() {
+        // Figure 7(a) selects m1.small under a +50% deadline, so its
+        // execution time must be within ~1.6× of the baseline.
+        let p = bt_problem();
+        let m = market();
+        let small = m.catalog().by_name("m1.small").unwrap();
+        let t = p
+            .candidates
+            .iter()
+            .find(|c| c.id.instance_type == small)
+            .unwrap()
+            .exec_hours;
+        assert!(
+            t < 1.6 * p.baseline_time(),
+            "m1.small {t} vs baseline {}",
+            p.baseline_time()
+        );
+    }
+
+    #[test]
+    fn residual_scales_work_and_deadline() {
+        let p = bt_problem();
+        let r = p.residual(0.5, 1.0);
+        assert_eq!(r.deadline, 1.0);
+        for (c, rc) in p.candidates.iter().zip(&r.candidates) {
+            assert!((rc.exec_hours - c.exec_hours * 0.5).abs() < 1e-12);
+            // Overheads unchanged.
+            assert_eq!(rc.ckpt_overhead_hours, c.ckpt_overhead_hours);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "residual fraction")]
+    fn residual_rejects_zero() {
+        bt_problem().residual(0.0, 1.0);
+    }
+}

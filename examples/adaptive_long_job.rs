@@ -1,0 +1,97 @@
+//! A long job on a drifting market: Algorithm 1's windowed adaptation,
+//! window by window.
+//!
+//! A ~24-hour BT workload executes on a non-stationary market whose price
+//! levels re-roll every ~100 hours. Every `T_m = 10` hours the adaptive
+//! optimizer re-estimates failure rates from the freshest history and
+//! re-plans the residual work; durable progress (the best checkpoint,
+//! held in the S3 model) carries across windows.
+//!
+//! ```bash
+//! cargo run --release --example adaptive_long_job
+//! ```
+
+use ec2_market::instance::InstanceCatalog;
+use ec2_market::market::SpotMarket;
+use ec2_market::trace::SpotTrace;
+use ec2_market::tracegen::{TraceGenConfig, ZoneVolatility};
+use ec2_market::zone::AvailabilityZone;
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::storage::S3Store;
+use replay::adaptive_exec::AdaptiveRunner;
+use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::problem::Problem;
+use sompi_core::twolevel::OptimizerConfig;
+
+/// Non-stationary market: 100-hour segments with re-rolled price levels.
+fn drifting_market() -> SpotMarket {
+    let catalog = InstanceCatalog::paper_2014();
+    let mut market = SpotMarket::new(catalog.clone());
+    let levels = [1.0, 1.8, 0.7, 1.3, 2.0, 0.9];
+    for (id, ty) in catalog.iter() {
+        for (zi, zone) in AvailabilityZone::PAPER_ZONES.into_iter().enumerate() {
+            let mut trace: Option<SpotTrace> = None;
+            for (si, level) in levels.iter().enumerate() {
+                let cfg = TraceGenConfig::preset(
+                    ty.on_demand_price * 0.12 * level,
+                    ZoneVolatility::Volatile,
+                );
+                let piece =
+                    cfg.generate(100.0, 1.0 / 12.0, (id.0 * 31 + zi * 7 + si) as u64);
+                match &mut trace {
+                    None => trace = Some(piece),
+                    Some(t) => t.extend_from(&piece),
+                }
+            }
+            market.insert(
+                ec2_market::market::CircleGroupId::new(id, zone),
+                trace.unwrap(),
+            );
+        }
+    }
+    market
+}
+
+fn main() {
+    let market = drifting_market();
+    let app = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(4000);
+    let mut problem = Problem::build(&market, &app, f64::MAX, None, S3Store::paper_2014());
+    problem.deadline = problem.baseline_time() * 1.5;
+    println!(
+        "job: {} — baseline {:.1} h, deadline {:.1} h\n",
+        app.name,
+        problem.baseline_time(),
+        problem.deadline
+    );
+
+    let config = AdaptiveConfig {
+        window_hours: 10.0,
+        history_hours: 48.0,
+        optimizer: OptimizerConfig { kappa: 3, bid_levels: 5, ..Default::default() },
+    };
+
+    for (label, maintain) in [("with update maintenance (SOMPI)", true), ("frozen plan (w/o-MT)", false)] {
+        let mut runner = AdaptiveRunner::new(&market, config);
+        if !maintain {
+            runner = runner.without_maintenance();
+        }
+        let mut costs = Vec::new();
+        let mut met = 0;
+        let n = 8;
+        for i in 0..n {
+            let out = runner.run(&problem, 60.0 + i as f64 * 55.0);
+            costs.push(out.run.total_cost);
+            met += out.run.met_deadline as usize;
+        }
+        let mean = costs.iter().sum::<f64>() / n as f64;
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        println!("{label}:");
+        println!(
+            "  mean bill ${mean:.2}  worst ${max:.2}  deadline met {met}/{n}  (baseline ${:.2})\n",
+            problem.baseline_cost_billed()
+        );
+    }
+    println!("On a drifting market the frozen plan keeps bidding against a price");
+    println!("distribution that no longer exists; re-estimating every window keeps");
+    println!("the bids and instance mix aligned with reality (Algorithm 1).");
+}

@@ -1,0 +1,77 @@
+//! The whole cost/deadline trade-off in one search: the Pareto frontier of
+//! `(E[Time], E[Cost])` plans for an application, without fixing a
+//! deadline up front.
+//!
+//! ```bash
+//! cargo run --release --example cost_frontier [BT|SP|LU|FT|IS|BTIO]
+//! ```
+
+use ec2_market::instance::InstanceCatalog;
+use ec2_market::market::SpotMarket;
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::storage::S3Store;
+use sompi_core::pareto::frontier;
+use sompi_core::problem::Problem;
+use sompi_core::twolevel::OptimizerConfig;
+use sompi_core::view::MarketView;
+
+fn main() {
+    let kernel = match std::env::args().nth(1).as_deref() {
+        Some("SP") => NpbKernel::Sp,
+        Some("LU") => NpbKernel::Lu,
+        Some("FT") => NpbKernel::Ft,
+        Some("IS") => NpbKernel::Is,
+        Some("BTIO") => NpbKernel::Btio,
+        _ => NpbKernel::Bt,
+    };
+    let catalog = InstanceCatalog::paper_2014();
+    let profile = MarketProfile::paper_2014(&catalog);
+    let market = SpotMarket::generate(
+        catalog,
+        &TraceGenerator::new(profile, 17),
+        200.0,
+        1.0 / 12.0,
+    );
+    let app = kernel.profile(NpbClass::B, 128).repeated(200);
+    let problem = Problem::build(&market, &app, f64::MAX, None, S3Store::paper_2014());
+    let view = MarketView::from_market(&market, 0.0, 48.0);
+
+    let points = frontier(
+        &problem,
+        &view,
+        OptimizerConfig { kappa: 2, bid_levels: 6, ..Default::default() },
+    );
+
+    println!(
+        "{}: {} non-dominated plans (baseline {:.2} h / ${:.2} billed)\n",
+        app.name,
+        points.len(),
+        problem.baseline_time(),
+        problem.baseline_cost_billed()
+    );
+    println!("{:>10} {:>12} {:>10}  plan", "E[time] h", "E[cost] $", "vs base");
+    for p in &points {
+        let mut types: Vec<String> = p
+            .plan
+            .groups
+            .iter()
+            .map(|(g, _)| market.instance_type(g.id).name.clone())
+            .collect();
+        types.sort();
+        types.dedup();
+        let desc = if types.is_empty() {
+            "pure on-demand".to_string()
+        } else {
+            format!("spot[{}]", types.join(","))
+        };
+        println!(
+            "{:>10.2} {:>12.2} {:>9.0}%  {desc}",
+            p.evaluation.expected_time,
+            p.evaluation.expected_cost,
+            (1.0 - p.evaluation.expected_cost / problem.baseline_cost_billed()) * 100.0,
+        );
+    }
+    println!("\nPick your deadline anywhere on the curve; every point is the");
+    println!("cheapest plan achieving that expected completion time.");
+}

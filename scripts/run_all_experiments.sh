@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure reproduction into results/.
+# SOMPI_REPLICAS controls Monte-Carlo sample counts (default 100 here).
+set -u
+cd "$(dirname "$0")/.."
+export SOMPI_REPLICAS="${SOMPI_REPLICAS:-100}"
+BINS=(
+  fig1_traces fig2_histograms fig4_failure_rate
+  fig5_cost_comparison table2_exec_time fig6_heuristics
+  fig7_deadline_sweep fig8_fault_tolerance
+  param_slack param_kappa param_window
+  accuracy_failure_rate accuracy_model
+  ablation_search ablation_billing ext_relaunch sensitivity_profiling
+)
+cargo build --release -p sompi-bench || exit 1
+for b in "${BINS[@]}"; do
+  echo "=== $b (replicas=$SOMPI_REPLICAS) ==="
+  ./target/release/"$b" > "results/$b.txt" 2>&1
+  echo "    -> results/$b.txt ($?)"
+done

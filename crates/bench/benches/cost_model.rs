@@ -17,14 +17,17 @@ fn assessment(exec: f64, survival: f64, horizon: usize) -> GroupAssessment {
         ckpt_overhead_hours: 0.02,
         recovery_hours: 0.1,
     };
-    GroupAssessment {
+    GroupAssessment::from_parts(
         group,
-        decision: GroupDecision { bid: 0.1, ckpt_interval: exec / 8.0 },
-        expected_price: 0.03,
+        GroupDecision {
+            bid: 0.1,
+            ckpt_interval: exec / 8.0,
+        },
+        0.03,
         survival,
-        fail_buckets: vec![(1.0 - survival) / horizon as f64; horizon],
-        launch_delay: 0.2,
-    }
+        vec![(1.0 - survival) / horizon as f64; horizon],
+        0.2,
+    )
 }
 
 fn od() -> OnDemandOption {
@@ -44,8 +47,9 @@ fn bench_evaluate(c: &mut Criterion) {
         let groups: Vec<_> = (0..k)
             .map(|i| assessment(3.0 + i as f64 * 0.5, 0.6, 8))
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(k), &groups, |b, groups| {
-            b.iter(|| evaluate(std::hint::black_box(groups), &odo))
+        let refs: Vec<&GroupAssessment> = groups.iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &refs, |b, refs| {
+            b.iter(|| evaluate(std::hint::black_box(refs), &odo))
         });
     }
     g.finish();
@@ -53,8 +57,9 @@ fn bench_evaluate(c: &mut Criterion) {
     let mut g = c.benchmark_group("evaluate_by_horizon");
     for t in [4usize, 16, 48, 96] {
         let groups: Vec<_> = (0..3).map(|_| assessment(t as f64, 0.6, t)).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(t), &groups, |b, groups| {
-            b.iter(|| evaluate(std::hint::black_box(groups), &odo))
+        let refs: Vec<&GroupAssessment> = groups.iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(t), &refs, |b, refs| {
+            b.iter(|| evaluate(std::hint::black_box(refs), &odo))
         });
     }
     g.finish();

@@ -9,8 +9,8 @@ use ec2_market::tracegen::{TraceGenConfig, ZoneVolatility};
 fn bench_estimators(c: &mut Criterion) {
     let mut g = c.benchmark_group("failure_rate_exact");
     for hours in [24.0, 48.0, 96.0] {
-        let trace = TraceGenConfig::preset(0.03, ZoneVolatility::Volatile)
-            .generate(hours, 1.0 / 12.0, 7);
+        let trace =
+            TraceGenConfig::preset(0.03, ZoneVolatility::Volatile).generate(hours, 1.0 / 12.0, 7);
         let est = FailureEstimator::from_window(trace.window(0.0, f64::INFINITY));
         g.bench_with_input(BenchmarkId::from_parameter(hours as u32), &est, |b, est| {
             b.iter(|| est.failure_rate_exact(std::hint::black_box(0.05), 24))
@@ -35,9 +35,7 @@ fn bench_estimators(c: &mut Criterion) {
     });
     c.bench_function("expected_spot_price_table_build", |b| {
         b.iter(|| {
-            ec2_market::failure::ExpectedSpotPrice::from_window(
-                trace.window(0.0, f64::INFINITY),
-            )
+            ec2_market::failure::ExpectedSpotPrice::from_window(trace.window(0.0, f64::INFINITY))
         })
     });
 }

@@ -15,7 +15,11 @@ fn bench_replay(c: &mut Criterion) {
     let problem = build_problem(&market, &profile, LOOSE);
     let view = planning_view(&market);
     let plan = Sompi {
-        config: OptimizerConfig { kappa: 3, bid_levels: 4, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 3,
+            bid_levels: 4,
+            ..Default::default()
+        },
     }
     .plan(&problem, &view);
     let runner = PlanRunner::new(&market, problem.deadline);
@@ -31,16 +35,20 @@ fn bench_replay(c: &mut Criterion) {
     let mut g = c.benchmark_group("monte_carlo_batch");
     g.sample_size(10);
     for threads in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let mc = MonteCarlo {
-                replicas: 256,
-                seed: 11,
-                offset_min: 48.0,
-                offset_max: 260.0,
-                threads,
-            };
-            b.iter(|| mc.run_plan(&market, &plan, problem.deadline))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mc = MonteCarlo {
+                    replicas: 256,
+                    seed: 11,
+                    offset_min: 48.0,
+                    offset_max: 260.0,
+                    threads,
+                };
+                b.iter(|| mc.run_plan(&market, &plan, problem.deadline))
+            },
+        );
     }
     g.finish();
 }

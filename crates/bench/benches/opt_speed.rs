@@ -4,7 +4,11 @@
 //! ~10^16 evaluations; dimension reduction (F = φ(P)) brings it to
 //! (bids)^K per subset and the logarithmic grid to (log₂ H)^K ≈ 2000.
 //! These benchmarks measure the real cost of each level on the same
-//! problem, plus the κ scaling.
+//! problem, plus the κ scaling and the parallel-search speedup.
+//!
+//! The search-level and κ groups pin `threads: 1` so they keep measuring
+//! the algorithmic cost of each ablation; `parallel_scaling` varies the
+//! worker count on the paper-scale configuration (κ = 4, 12 bid levels).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sompi_bench::{build_problem, npb_workload, paper_market, planning_view, LOOSE};
@@ -21,7 +25,12 @@ fn bench_search_levels(c: &mut Criterion) {
 
     // Full method: φ(P) + logarithmic grid.
     g.bench_function("phi_log_grid", |b| {
-        let cfg = OptimizerConfig { kappa: 2, bid_levels: 5, ..Default::default() };
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 5,
+            threads: 1,
+            ..Default::default()
+        };
         b.iter(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize())
     });
     // Ablation 1: drop Theorem 1, search intervals on a grid too.
@@ -30,6 +39,7 @@ fn bench_search_levels(c: &mut Criterion) {
             kappa: 2,
             bid_levels: 5,
             interval_grid: Some(5),
+            threads: 1,
             ..Default::default()
         };
         b.iter(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize())
@@ -40,6 +50,7 @@ fn bench_search_levels(c: &mut Criterion) {
             kappa: 2,
             bid_levels: 5,
             grid: GridKind::Uniform,
+            threads: 1,
             ..Default::default()
         };
         b.iter(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize())
@@ -50,9 +61,36 @@ fn bench_search_levels(c: &mut Criterion) {
     g.sample_size(10);
     for kappa in [1usize, 2, 3] {
         g.bench_with_input(BenchmarkId::from_parameter(kappa), &kappa, |b, &kappa| {
-            let cfg = OptimizerConfig { kappa, bid_levels: 3, ..Default::default() };
+            let cfg = OptimizerConfig {
+                kappa,
+                bid_levels: 3,
+                threads: 1,
+                ..Default::default()
+            };
             b.iter(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize())
         });
+    }
+    g.finish();
+
+    // Paper-scale search (κ = 4, 12 bid levels) at increasing worker
+    // counts. The result is bit-identical at every setting; only the
+    // wall clock should move.
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = OptimizerConfig {
+                    kappa: 4,
+                    bid_levels: 12,
+                    threads,
+                    ..Default::default()
+                };
+                b.iter(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize())
+            },
+        );
     }
     g.finish();
 }

@@ -45,9 +45,7 @@ fn bench_simulation(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{procs}r_{steps}s")),
             &(program, sim),
-            |b, (program, sim)| {
-                b.iter(|| sim.run(std::hint::black_box(program), Some(0.05), None))
-            },
+            |b, (program, sim)| b.iter(|| sim.run(std::hint::black_box(program), Some(0.05), None)),
         );
     }
     g.finish();

@@ -21,7 +21,11 @@ use sompi_core::twolevel::OptimizerConfig;
 fn main() {
     let market = paper_market(20140816, 400.0);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 3, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 3,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
     let strategies: Vec<(&str, &dyn Strategy)> = vec![
         ("On-demand", &OnDemandOnly),

@@ -13,8 +13,7 @@ fn main() {
     let mut diffs: Vec<f64> = Vec::new();
     // Per-zone breakdown: us-east-1b hosts the calm/flat regimes, 1a the
     // violent ones — the paper's real traces sat between the two.
-    let mut by_zone: std::collections::BTreeMap<AvailabilityZone, Vec<f64>> =
-        Default::default();
+    let mut by_zone: std::collections::BTreeMap<AvailabilityZone, Vec<f64>> = Default::default();
 
     for id in market.groups().collect::<Vec<_>>() {
         let trace = market.trace(id).expect("generated");
@@ -47,17 +46,22 @@ fn main() {
         }
     }
 
-    let frac_below = |x: f64| {
-        diffs.iter().filter(|d| **d < x).count() as f64 / diffs.len() as f64
-    };
+    let frac_below = |x: f64| diffs.iter().filter(|d| **d < x).count() as f64 / diffs.len() as f64;
     println!("Failure-rate function accuracy (train 72 h / test 24 h)\n");
     let mut t = Table::new(["threshold", "fraction of cells below"]);
     for thr in [0.03, 0.05, 0.10, 0.20, 0.50] {
-        t.row([format!("{:.0}%", thr * 100.0), format!("{:.1}%", frac_below(thr) * 100.0)]);
+        t.row([
+            format!("{:.0}%", thr * 100.0),
+            format!("{:.1}%", frac_below(thr) * 100.0),
+        ]);
     }
     t.print();
     let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
-    println!("\ncells: {}   mean relative difference: {:.1}%", diffs.len(), mean * 100.0);
+    println!(
+        "\ncells: {}   mean relative difference: {:.1}%",
+        diffs.len(),
+        mean * 100.0
+    );
 
     println!("\nBy zone (volatility regime):");
     for (zone, ds) in &by_zone {
@@ -70,6 +74,10 @@ fn main() {
         );
     }
     println!("(Paper on real 2014 traces: ~90% below 3%, ~98% below 5%. Our synthetic");
-    println!(" market is sparser per window — {:.0} samples/day at {:.0}-minute steps —", 24.0 / STEP_HOURS, STEP_HOURS * 60.0);
+    println!(
+        " market is sparser per window — {:.0} samples/day at {:.0}-minute steps —",
+        24.0 / STEP_HOURS,
+        STEP_HOURS * 60.0
+    );
     println!(" so day-to-day estimates are noisier; the stationarity claim is what matters.)");
 }

@@ -20,7 +20,11 @@ fn main() {
     let market = paper_market(20140814, 400.0);
     let view = planning_view(&market);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 3, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 3,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
     let strategies: Vec<(&str, &dyn Strategy)> = vec![
         ("Marathe", &Marathe),
@@ -30,7 +34,9 @@ fn main() {
     ];
 
     println!("Cost-model accuracy: Formula 1 vs Monte-Carlo replay\n");
-    let mut t = Table::new(["app", "deadline", "strategy", "model $", "replay $", "rel diff"]);
+    let mut t = Table::new([
+        "app", "deadline", "strategy", "model $", "replay $", "rel diff",
+    ]);
     let mut diffs = Vec::new();
     for kernel in [NpbKernel::Bt, NpbKernel::Ft, NpbKernel::Btio] {
         let profile = npb_workload(kernel);
@@ -38,7 +44,9 @@ fn main() {
             let problem = build_problem(&market, &profile, headroom);
             for (sname, strat) in &strategies {
                 let plan = strat.plan(&problem, &view);
-                let Some(eval) = evaluate_plan(&plan, &view) else { continue };
+                let Some(eval) = evaluate_plan(&plan, &view) else {
+                    continue;
+                };
                 // Replay close to the training window: the paper's premise
                 // is that the price distribution is stable over a *short*
                 // horizon, so the model is only claimed valid there.
@@ -62,7 +70,8 @@ fn main() {
     t.print();
     diffs.sort_by(|a, b| a.total_cmp(b));
     let below = |x: f64| diffs.iter().filter(|d| **d < x).count() as f64 / diffs.len() as f64;
-    println!("\nrelative differences: <5%: {:.0}%   5-10%: {:.0}%   max: {:.0}%",
+    println!(
+        "\nrelative differences: <5%: {:.0}%   5-10%: {:.0}%   max: {:.0}%",
         below(0.05) * 100.0,
         (below(0.10) - below(0.05)) * 100.0,
         diffs.last().unwrap() * 100.0

@@ -12,8 +12,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use replay::relaunch::run_persistent;
 use replay::{Finisher, PlanRunner};
 use sompi_bench::{
-    build_problem, planning_view, repeat_to_hours, replicas, stress_market, Table, LOOSE,
-    PROCESSES,
+    build_problem, planning_view, repeat_to_hours, replicas, stress_market, Table, LOOSE, PROCESSES,
 };
 use sompi_core::baselines::{SompiNoReplication, Strategy};
 use sompi_core::model::Plan;
@@ -27,7 +26,11 @@ fn main() {
 
     // A single-group plan (the relaunch policy is per-group).
     let strat = SompiNoReplication {
-        config: OptimizerConfig { kappa: 1, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 1,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
     let plan = strat.plan(&problem, &view);
     let Some((group, decision)) = plan.groups.first().copied() else {
@@ -37,13 +40,21 @@ fn main() {
     let ty = market.instance_type(group.id);
     println!(
         "group: {} @ {} x{}, bid ${:.4}, F = {:.2} h, T_i = {:.2} h, deadline {:.2} h\n",
-        ty.name, group.id.zone, group.instances, decision.bid, decision.ckpt_interval,
-        group.exec_hours, problem.deadline
+        ty.name,
+        group.id.zone,
+        group.instances,
+        decision.bid,
+        decision.ckpt_interval,
+        group.exec_hours,
+        problem.deadline
     );
 
     let n = replicas().min(64);
     let runner = PlanRunner::new(&market, problem.deadline);
-    let single_plan = Plan { groups: vec![(group, decision)], on_demand: plan.on_demand };
+    let single_plan = Plan {
+        groups: vec![(group, decision)],
+        on_demand: plan.on_demand,
+    };
 
     let mut rows: Vec<(&str, Vec<f64>, usize, usize, f64)> = Vec::new();
     for mode in ["paper (die once)", "persistent relaunch"] {

@@ -51,9 +51,15 @@ fn main() {
     // The qualitative claims of Section 2, checked mechanically.
     let medium = cat.by_name("m1.medium").unwrap();
     let large = cat.by_name("m1.large").unwrap();
-    let m1a = market.trace(CircleGroupId::new(medium, AvailabilityZone::UsEast1a)).unwrap();
-    let m1b = market.trace(CircleGroupId::new(medium, AvailabilityZone::UsEast1b)).unwrap();
-    let l1a = market.trace(CircleGroupId::new(large, AvailabilityZone::UsEast1a)).unwrap();
+    let m1a = market
+        .trace(CircleGroupId::new(medium, AvailabilityZone::UsEast1a))
+        .unwrap();
+    let m1b = market
+        .trace(CircleGroupId::new(medium, AvailabilityZone::UsEast1b))
+        .unwrap();
+    let l1a = market
+        .trace(CircleGroupId::new(large, AvailabilityZone::UsEast1a))
+        .unwrap();
     println!("\nPaper observations reproduced:");
     println!(
         "  m1.medium@us-east-1a spikes to {:.2} (>= 8x base): {}",

@@ -43,5 +43,7 @@ fn main() {
         stable &= tv < 0.35;
     }
     println!("\nDistribution stable across days (all TV < 0.35): {stable}");
-    println!("(The paper uses this stability to justify estimating failure rates from recent history.)");
+    println!(
+        "(The paper uses this stability to justify estimating failure rates from recent history.)"
+    );
 }

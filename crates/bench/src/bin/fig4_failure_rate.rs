@@ -21,7 +21,13 @@ fn main() {
         let h = est.max_price();
 
         println!("{name}@us-east-1a (H = {h:.4}):");
-        let mut t = Table::new(["bid/H", "bid ($)", "P[fail<=12h]", "S(P) ($)", "launch frac"]);
+        let mut t = Table::new([
+            "bid/H",
+            "bid ($)",
+            "P[fail<=12h]",
+            "S(P) ($)",
+            "launch frac",
+        ]);
         let mut prev_fail = 1.0f64;
         let mut monotone = true;
         for i in 1..=10 {

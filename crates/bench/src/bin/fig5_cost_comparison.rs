@@ -15,10 +15,13 @@ use sompi_core::twolevel::OptimizerConfig;
 fn main() {
     let market = paper_market(20140805, 400.0);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 4, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 4,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
-    let strategies: Vec<&dyn Strategy> =
-        vec![&OnDemandOnly, &Marathe, &MaratheOpt, &sompi];
+    let strategies: Vec<&dyn Strategy> = vec![&OnDemandOnly, &Marathe, &MaratheOpt, &sompi];
 
     let apps: Vec<(String, mpi_sim::profile::AppProfile)> = NpbKernel::ALL
         .iter()

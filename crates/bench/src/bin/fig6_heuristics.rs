@@ -18,7 +18,11 @@ use sompi_core::twolevel::OptimizerConfig;
 fn main() {
     let market = paper_market(20140807, 400.0);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 4, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 4,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
     let strategies: Vec<(&str, &dyn Strategy)> = vec![
         ("On-demand", &OnDemandOnly),
@@ -27,7 +31,10 @@ fn main() {
         ("SOMPI", &sompi),
     ];
     let classes: [(&str, &[NpbKernel]); 3] = [
-        ("Computation", &[NpbKernel::Bt, NpbKernel::Sp, NpbKernel::Lu]),
+        (
+            "Computation",
+            &[NpbKernel::Bt, NpbKernel::Sp, NpbKernel::Lu],
+        ),
         ("Communication", &[NpbKernel::Ft, NpbKernel::Is]),
         ("IO", &[NpbKernel::Btio]),
     ];
@@ -64,7 +71,8 @@ fn main() {
         t.print();
         let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
         let s = avg(&class_means[3]);
-        println!("\nSOMPI vs Spot-Inf: {:.0}% cheaper; vs Spot-Avg: {:.0}% cheaper",
+        println!(
+            "\nSOMPI vs Spot-Inf: {:.0}% cheaper; vs Spot-Avg: {:.0}% cheaper",
             (1.0 - s / avg(&class_means[1])) * 100.0,
             (1.0 - s / avg(&class_means[2])) * 100.0,
         );

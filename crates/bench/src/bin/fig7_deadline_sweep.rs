@@ -18,7 +18,11 @@ use sompi_core::twolevel::OptimizerConfig;
 fn main() {
     let market = paper_market(20140808, 400.0);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 4, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 4,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
 
     for kernel in [NpbKernel::Bt, NpbKernel::Ft, NpbKernel::Btio] {
@@ -39,9 +43,17 @@ fn main() {
                 .collect();
             types.sort();
             types.dedup();
-            let od_name = market.catalog().get(plan.on_demand.instance_type).name.clone();
+            let od_name = market
+                .catalog()
+                .get(plan.on_demand.instance_type)
+                .name
+                .clone();
             let desc = format!("spot[{}] od[{}]", types.join(","), od_name);
-            let marker = if desc != prev_types { "  <- switch" } else { "" };
+            let marker = if desc != prev_types {
+                "  <- switch"
+            } else {
+                ""
+            };
             prev_types = desc.clone();
             t.row([
                 format!("+{:.0}%", pct * 100.0),

@@ -27,7 +27,11 @@ fn main() {
     // window are genuinely exercised.
     let market = stress_market(20140809, 700.0);
     let profile = repeat_to_hours(NpbKernel::Bt.profile(NpbClass::B, PROCESSES), 24.0);
-    let cfg = OptimizerConfig { kappa: 2, bid_levels: 8, ..Default::default() };
+    let cfg = OptimizerConfig {
+        kappa: 2,
+        bid_levels: 8,
+        ..Default::default()
+    };
     let adaptive_cfg = AdaptiveConfig {
         window_hours: 15.0,
         history_hours: 48.0,
@@ -92,11 +96,17 @@ fn main() {
                 .map(|(_, r)| r.cost.mean)
                 .expect("row exists")
         };
-        println!("\n  SOMPI vs w/o-RP: {:.0}% cheaper (paper: >25%)",
-            (1.0 - cost("SOMPI") / cost("w/o-RP")) * 100.0);
-        println!("  SOMPI vs w/o-CK: {:.0}% cheaper (paper: >25%)",
-            (1.0 - cost("SOMPI") / cost("w/o-CK")) * 100.0);
-        println!("  SOMPI vs w/o-MT: {:.0}% cheaper (paper: ~15%)",
-            (1.0 - cost("SOMPI") / cost("w/o-MT")) * 100.0);
+        println!(
+            "\n  SOMPI vs w/o-RP: {:.0}% cheaper (paper: >25%)",
+            (1.0 - cost("SOMPI") / cost("w/o-RP")) * 100.0
+        );
+        println!(
+            "  SOMPI vs w/o-CK: {:.0}% cheaper (paper: >25%)",
+            (1.0 - cost("SOMPI") / cost("w/o-CK")) * 100.0
+        );
+        println!(
+            "  SOMPI vs w/o-MT: {:.0}% cheaper (paper: ~15%)",
+            (1.0 - cost("SOMPI") / cost("w/o-MT")) * 100.0
+        );
     }
 }

@@ -30,7 +30,11 @@ fn main() {
     for kappa in 1..=6 {
         // Small grid: the study isolates the C(K,k)·L^k growth in κ;
         // deep grids at κ = 6 would take hours.
-        let cfg = OptimizerConfig { kappa, bid_levels: 4, ..Default::default() };
+        let cfg = OptimizerConfig {
+            kappa,
+            bid_levels: 4,
+            ..Default::default()
+        };
         let started = Instant::now();
         let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
         let elapsed = started.elapsed().as_secs_f64();

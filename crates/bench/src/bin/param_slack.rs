@@ -8,9 +8,7 @@
 
 use mpi_sim::npb::NpbKernel;
 use replay::PlanRunner;
-use sompi_bench::{
-    build_problem, monte_carlo, npb_workload, planning_view, stress_market, Table,
-};
+use sompi_bench::{build_problem, monte_carlo, npb_workload, planning_view, stress_market, Table};
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::twolevel::OptimizerConfig;
 
@@ -29,7 +27,12 @@ fn main() {
     let mut t = Table::new(["slack", "norm. cost", "norm. time", "dl met"]);
     for slack in [0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40] {
         let sompi = Sompi {
-            config: OptimizerConfig { kappa: 3, bid_levels: 10, slack, ..Default::default() },
+            config: OptimizerConfig {
+                kappa: 3,
+                bid_levels: 10,
+                slack,
+                ..Default::default()
+            },
         };
         let plan = sompi.plan(&problem, &view);
         let mc = monte_carlo(&market, problem.deadline + 6.0, 6000);

@@ -28,7 +28,11 @@ fn main() {
         let cfg = AdaptiveConfig {
             window_hours: window,
             history_hours: 48.0,
-            optimizer: OptimizerConfig { kappa: 2, bid_levels: 8, ..Default::default() },
+            optimizer: OptimizerConfig {
+                kappa: 2,
+                bid_levels: 8,
+                ..Default::default()
+            },
         };
         let runner = AdaptiveRunner::new(&market, cfg);
         let mc = monte_carlo(&market, problem.deadline + 10.0, 8000);

@@ -37,7 +37,11 @@ fn main() {
     let truth = build_problem(&market, &profile, LOOSE);
     let view = planning_view(&market);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 3, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 3,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
 
     println!("Profiling-error sensitivity (BT, loose deadline)\n");

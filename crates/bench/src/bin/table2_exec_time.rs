@@ -16,20 +16,15 @@ use sompi_core::twolevel::OptimizerConfig;
 fn main() {
     let market = paper_market(20140806, 400.0);
     let sompi = Sompi {
-        config: OptimizerConfig { kappa: 4, bid_levels: 10, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 4,
+            bid_levels: 10,
+            ..Default::default()
+        },
     };
 
     println!("Table 2 — normalized execution time (1.0 = Baseline Time)\n");
-    let mut t = Table::new([
-        "deadline",
-        "method",
-        "BT",
-        "SP",
-        "LU",
-        "FT",
-        "IS",
-        "BTIO",
-    ]);
+    let mut t = Table::new(["deadline", "method", "BT", "SP", "LU", "FT", "IS", "BTIO"]);
     for (dl_name, headroom) in [("Loose", LOOSE), ("Tight", TIGHT)] {
         for (mname, strat) in [
             ("Marathe-Opt", &MaratheOpt as &dyn Strategy),

@@ -61,7 +61,6 @@ pub fn stress_market(seed: u64, duration_hours: f64) -> SpotMarket {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-
     const SEGMENT_HOURS: f64 = 50.0;
     let catalog = InstanceCatalog::paper_2014();
     let mut market = SpotMarket::new(catalog.clone());
@@ -91,8 +90,7 @@ pub fn stress_market(seed: u64, duration_hours: f64) -> SpotMarket {
                 // preset volatility (10-100x on-demand spikes) supplies
                 // the out-of-bid risk.
                 let level: f64 = level_rng.gen_range(0.6..2.2);
-                let cfg =
-                    TraceGenConfig::preset(ty.on_demand_price * discount * level, vol);
+                let cfg = TraceGenConfig::preset(ty.on_demand_price * discount * level, vol);
                 let piece = cfg.generate(
                     SEGMENT_HOURS,
                     STEP_HOURS,
@@ -156,7 +154,13 @@ pub fn lammps_workload(processes: u32) -> AppProfile {
 pub fn build_problem(market: &SpotMarket, profile: &AppProfile, headroom: f64) -> Problem {
     let types = paper_types(market);
     // Two-pass: build once to learn the baseline, then set the deadline.
-    let mut p = Problem::build(market, profile, f64::MAX, Some(&types), S3Store::paper_2014());
+    let mut p = Problem::build(
+        market,
+        profile,
+        f64::MAX,
+        Some(&types),
+        S3Store::paper_2014(),
+    );
     p.deadline = p.baseline_time() * (1.0 + headroom);
     p
 }

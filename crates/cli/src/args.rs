@@ -33,7 +33,11 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::Unknown(flag) => write!(f, "unknown flag --{flag}"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag}: expected {expected}, got {value:?}")
             }
             ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
@@ -65,7 +69,10 @@ impl Args {
             }
             i += 1;
         }
-        Self { positional, options }
+        Self {
+            positional,
+            options,
+        }
     }
 
     /// Positional arguments.
@@ -160,14 +167,20 @@ mod tests {
         let a = parse(&["--x", "abc"]);
         assert!(matches!(
             a.f64_or("x", 0.0),
-            Err(ArgError::BadValue { expected: "number", .. })
+            Err(ArgError::BadValue {
+                expected: "number",
+                ..
+            })
         ));
     }
 
     #[test]
     fn unknown_flags_detected() {
         let a = parse(&["--app", "BT", "--tyop", "q"]);
-        assert_eq!(a.check_known(&["app"]), Err(ArgError::Unknown("tyop".into())));
+        assert_eq!(
+            a.check_known(&["app"]),
+            Err(ArgError::Unknown("tyop".into()))
+        );
         assert!(a.check_known(&["app", "tyop"]).is_ok());
     }
 

@@ -177,7 +177,15 @@ mod tests {
         let a = app_from(&args(&["--app", "ft", "--class", "A", "--procs", "64"])).unwrap();
         assert_eq!(a.name, "FT.Ax200");
         assert_eq!(a.processes, 64);
-        let l = app_from(&args(&["--app", "LAMMPS", "--procs", "32", "--repeats", "1"])).unwrap();
+        let l = app_from(&args(&[
+            "--app",
+            "LAMMPS",
+            "--procs",
+            "32",
+            "--repeats",
+            "1",
+        ]))
+        .unwrap();
         assert!(l.name.starts_with("LAMMPS-32p"));
         assert!(app_from(&args(&["--app", "NOPE"])).is_err());
         assert!(app_from(&args(&["--procs", "0"])).is_err());

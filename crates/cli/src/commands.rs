@@ -16,7 +16,7 @@ use std::io::Write;
 
 const PLAN_FLAGS: &[&str] = &[
     "feed", "seed", "hours", "step", "app", "class", "procs", "repeats", "deadline", "kappa",
-    "levels", "slack", "strategy", "json", "history",
+    "levels", "slack", "strategy", "json", "history", "threads",
 ];
 
 /// Pick the planning strategy from `--strategy`.
@@ -24,7 +24,14 @@ fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
     let kappa = args.u64_or("kappa", 4)? as usize;
     let levels = args.u64_or("levels", 12)? as u32;
     let slack = args.f64_or("slack", 0.2)?;
-    let config = OptimizerConfig { kappa, bid_levels: levels, slack, ..Default::default() };
+    let threads = args.u64_or("threads", 0)? as usize;
+    let config = OptimizerConfig {
+        kappa,
+        bid_levels: levels,
+        slack,
+        threads,
+        ..Default::default()
+    };
     Ok(match args.str_or("strategy", "sompi").to_lowercase().as_str() {
         "sompi" => Box::new(Sompi { config }),
         "on-demand" | "ondemand" => Box::new(OnDemandOnly),
@@ -95,8 +102,12 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "expected_time": eval.expected_time,
             "p_all_fail": eval.p_all_fail,
         });
-        writeln!(out, "{}", serde_json::to_string_pretty(&doc).expect("serializable"))
-            .map_err(|e| CliError::Other(e.to_string()))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
         return Ok(());
     }
 
@@ -151,13 +162,23 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             "spot_finish_rate": result.spot_finish_rate,
             "normalized_cost": result.cost.mean / problem.baseline_cost_billed(),
         });
-        writeln!(out, "{}", serde_json::to_string_pretty(&doc).expect("serializable"))
-            .map_err(|e| CliError::Other(e.to_string()))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
         return Ok(());
     }
 
-    writeln!(out, "{} via {}: {} replicas", problem.app, strategy.name(), replicas)
-        .map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "{} via {}: {} replicas",
+        problem.app,
+        strategy.name(),
+        replicas
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
     writeln!(
         out,
         "  cost: mean ${:.2} (std {:.2}, p95 {:.2})  = {:.3} x baseline",
@@ -285,7 +306,16 @@ mod tests {
     fn plan_prints_groups_and_model() {
         let out = run(
             cmd_plan,
-            &["--hours", "100", "--repeats", "50", "--kappa", "2", "--levels", "3"],
+            &[
+                "--hours",
+                "100",
+                "--repeats",
+                "50",
+                "--kappa",
+                "2",
+                "--levels",
+                "3",
+            ],
         );
         assert!(out.contains("plan ("), "{out}");
         assert!(out.contains("E[cost]"), "{out}");
@@ -296,7 +326,17 @@ mod tests {
     fn plan_json_is_valid() {
         let out = run(
             cmd_plan,
-            &["--hours", "100", "--repeats", "50", "--kappa", "1", "--levels", "2", "--json"],
+            &[
+                "--hours",
+                "100",
+                "--repeats",
+                "50",
+                "--kappa",
+                "1",
+                "--levels",
+                "2",
+                "--json",
+            ],
         );
         let doc: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         assert!(doc["expected_cost"].as_f64().unwrap() > 0.0);
@@ -308,8 +348,16 @@ mod tests {
         let out = run(
             cmd_replay,
             &[
-                "--hours", "200", "--repeats", "50", "--kappa", "1", "--levels", "2",
-                "--replicas", "8",
+                "--hours",
+                "200",
+                "--repeats",
+                "50",
+                "--kappa",
+                "1",
+                "--levels",
+                "2",
+                "--replicas",
+                "8",
             ],
         );
         assert!(out.contains("met"), "{out}");
@@ -321,8 +369,18 @@ mod tests {
         let out = run(
             cmd_sweep,
             &[
-                "--hours", "200", "--repeats", "50", "--kappa", "1", "--levels", "2",
-                "--replicas", "4", "--points", "3",
+                "--hours",
+                "200",
+                "--repeats",
+                "50",
+                "--kappa",
+                "1",
+                "--levels",
+                "2",
+                "--replicas",
+                "4",
+                "--points",
+                "3",
             ],
         );
         // Header + 3 data lines.
@@ -347,8 +405,7 @@ mod tests {
     #[test]
     fn unknown_strategy_is_rejected() {
         let mut buf = Vec::new();
-        let err =
-            cmd_plan(&args(&["--strategy", "magic", "--hours", "60"]), &mut buf).unwrap_err();
+        let err = cmd_plan(&args(&["--strategy", "magic", "--hours", "60"]), &mut buf).unwrap_err();
         assert!(err.to_string().contains("unknown strategy"));
     }
 }

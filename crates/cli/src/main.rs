@@ -31,6 +31,7 @@ COMMON FLAGS:
     --deadline F               deadline as multiple of Baseline Time (default 1.5)
     --strategy sompi|on-demand|marathe|marathe-opt|spot-inf|spot-avg
     --kappa K --levels L --slack S      optimizer knobs (default 4, 12, 0.2)
+    --threads N                optimizer worker threads (0 = all cores, default)
     --seed N --hours H --step H         synthetic market shape
     --feed FILE                import AWS spot price history instead
     --history H                planning history window, hours (default 48)

@@ -47,12 +47,16 @@ pub struct BillingModel {
 impl BillingModel {
     /// 2014-era hourly billing.
     pub fn hourly() -> Self {
-        Self { policy: BillingPolicy::HourlyRoundUp }
+        Self {
+            policy: BillingPolicy::HourlyRoundUp,
+        }
     }
 
     /// Modern per-second billing.
     pub fn per_second() -> Self {
-        Self { policy: BillingPolicy::PerSecond }
+        Self {
+            policy: BillingPolicy::PerSecond,
+        }
     }
 
     /// Cost of `count` on-demand instances at `unit_price` running for

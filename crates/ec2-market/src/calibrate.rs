@@ -97,7 +97,9 @@ pub fn calibrate(window: TraceWindow<'_>, spike_threshold: f64) -> Calibration {
     };
 
     // Calm level statistics in log space.
-    let base = if calm.is_empty() { median } else {
+    let base = if calm.is_empty() {
+        median
+    } else {
         let mut c = calm.clone();
         c.sort_by(|a, b| a.total_cmp(b));
         c[c.len() / 2]
@@ -198,10 +200,7 @@ mod tests {
         };
         let m0 = med(&original);
         let m1 = med(&clone);
-        assert!(
-            (m1 / m0 - 1.0).abs() < 0.3,
-            "median drifted: {m0} -> {m1}"
-        );
+        assert!((m1 / m0 - 1.0).abs() < 0.3, "median drifted: {m0} -> {m1}");
     }
 
     #[test]

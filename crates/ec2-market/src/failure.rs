@@ -42,7 +42,11 @@ impl FailureRateFn {
             (mass - 1.0).abs() < 1e-6,
             "failure distribution mass must be 1, got {mass}"
         );
-        Self { bid, buckets, survival }
+        Self {
+            bid,
+            buckets,
+            survival,
+        }
     }
 
     /// The bid price this function was estimated for.
@@ -436,9 +440,7 @@ mod tests {
     fn mttf_of_geometric_hazard_is_plausible() {
         // Hourly independent failure with p = 0.25 per hour has MTTF 4h
         // (geometric mean 1/p, measured from bucket midpoints ≈ 3.5–4.5).
-        let buckets: Vec<f64> = (0..40)
-            .map(|t| 0.25 * (0.75f64).powi(t))
-            .collect();
+        let buckets: Vec<f64> = (0..40).map(|t| 0.25 * (0.75f64).powi(t)).collect();
         let survival = 1.0 - buckets.iter().sum::<f64>();
         let f = FailureRateFn::new(0.1, buckets, survival);
         let mttf = f.mean_time_to_failure().unwrap();

@@ -83,13 +83,18 @@ pub fn parse_feed(input: &str) -> Result<Vec<PriceEvent>, FeedError> {
         if cols.len() < 4 {
             return Err(FeedError::MissingColumns { line });
         }
-        let timestamp_s: f64 = cols[0]
-            .parse()
-            .map_err(|_| FeedError::BadNumber { line, field: cols[0].into() })?;
-        let price: f64 = cols[3]
-            .trim_start_matches('$')
-            .parse()
-            .map_err(|_| FeedError::BadNumber { line, field: cols[3].into() })?;
+        let timestamp_s: f64 = cols[0].parse().map_err(|_| FeedError::BadNumber {
+            line,
+            field: cols[0].into(),
+        })?;
+        let price: f64 =
+            cols[3]
+                .trim_start_matches('$')
+                .parse()
+                .map_err(|_| FeedError::BadNumber {
+                    line,
+                    field: cols[3].into(),
+                })?;
         events.push(PriceEvent {
             timestamp_s,
             instance_type: cols[1].to_string(),

@@ -40,7 +40,12 @@ impl PriceHistogram {
             counts[idx] += 1;
         }
         let total = window.len() as u64;
-        Self { lo, hi, counts, total }
+        Self {
+            lo,
+            hi,
+            counts,
+            total,
+        }
     }
 
     /// Number of bins.
@@ -92,11 +97,7 @@ impl PriceHistogram {
         );
         let a = self.frequencies();
         let b = other.frequencies();
-        0.5 * a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
+        0.5 * a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>()
     }
 }
 
@@ -170,6 +171,10 @@ mod tests {
         let t = TraceGenConfig::preset(0.03, ZoneVolatility::Calm).generate(384.0, 1.0 / 12.0, 5);
         let d1 = PriceHistogram::from_window(t.window(0.0, 192.0), 0.0, 0.1, 10);
         let d2 = PriceHistogram::from_window(t.window(192.0, 192.0), 0.0, 0.1, 10);
-        assert!(d1.total_variation(&d2) < 0.5, "tv {}", d1.total_variation(&d2));
+        assert!(
+            d1.total_variation(&d2) < 0.5,
+            "tv {}",
+            d1.total_variation(&d2)
+        );
     }
 }

@@ -152,12 +152,18 @@ impl InstanceCatalog {
 
     /// Look up a type by AWS name.
     pub fn by_name(&self, name: &str) -> Option<InstanceTypeId> {
-        self.types.iter().position(|t| t.name == name).map(InstanceTypeId)
+        self.types
+            .iter()
+            .position(|t| t.name == name)
+            .map(InstanceTypeId)
     }
 
     /// Iterate over `(id, type)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (InstanceTypeId, &InstanceType)> {
-        self.types.iter().enumerate().map(|(i, t)| (InstanceTypeId(i), t))
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (InstanceTypeId(i), t))
     }
 
     /// Number of types in the catalog.
@@ -178,7 +184,13 @@ mod tests {
     #[test]
     fn paper_catalog_has_the_five_types() {
         let c = InstanceCatalog::paper_2014();
-        for name in ["m1.small", "m1.medium", "m1.large", "c3.xlarge", "cc2.8xlarge"] {
+        for name in [
+            "m1.small",
+            "m1.medium",
+            "m1.large",
+            "c3.xlarge",
+            "cc2.8xlarge",
+        ] {
             assert!(c.by_name(name).is_some(), "missing {name}");
         }
         assert_eq!(c.len(), 5);

@@ -18,9 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identity of a circle group's market: an instance type in a zone.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CircleGroupId {
     /// Instance type of every instance in the group.
     pub instance_type: InstanceTypeId,
@@ -31,7 +29,10 @@ pub struct CircleGroupId {
 impl CircleGroupId {
     /// Construct from parts.
     pub fn new(instance_type: InstanceTypeId, zone: AvailabilityZone) -> Self {
-        Self { instance_type, zone }
+        Self {
+            instance_type,
+            zone,
+        }
     }
 }
 
@@ -52,7 +53,10 @@ pub struct SpotMarket {
 impl SpotMarket {
     /// An empty market over a catalog.
     pub fn new(catalog: InstanceCatalog) -> Self {
-        Self { catalog, traces: BTreeMap::new() }
+        Self {
+            catalog,
+            traces: BTreeMap::new(),
+        }
     }
 
     /// Generate a full market from a [`TraceGenerator`]: one trace per
@@ -186,10 +190,6 @@ mod tests {
         let catalog = InstanceCatalog::paper_2014();
         let ty = catalog.by_name("m1.small").unwrap();
         let m = SpotMarket::new(catalog);
-        m.history(
-            CircleGroupId::new(ty, AvailabilityZone::UsEast1a),
-            0.0,
-            1.0,
-        );
+        m.history(CircleGroupId::new(ty, AvailabilityZone::UsEast1a), 0.0, 1.0);
     }
 }

@@ -109,7 +109,10 @@ impl TraceGenConfig {
     /// # Panics
     /// Panics if `amplitude` is not in `[0, 1)`.
     pub fn with_diurnal(mut self, amplitude: f64) -> Self {
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
         self.diurnal_amplitude = amplitude;
         self
     }
@@ -135,8 +138,7 @@ impl TraceGenConfig {
             // at hour 2, matching business-hours load.
             let season = if self.diurnal_amplitude > 0.0 {
                 let hour = i as f64 * step_hours;
-                1.0 + self.diurnal_amplitude
-                    * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos()
+                1.0 + self.diurnal_amplitude * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos()
             } else {
                 1.0
             };
@@ -194,7 +196,9 @@ pub struct MarketProfile {
 impl MarketProfile {
     /// Empty profile.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// The calibration used throughout this reproduction, mirroring the
@@ -328,12 +332,18 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(gen(ZoneVolatility::Volatile, 7), gen(ZoneVolatility::Volatile, 7));
+        assert_eq!(
+            gen(ZoneVolatility::Volatile, 7),
+            gen(ZoneVolatility::Volatile, 7)
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(gen(ZoneVolatility::Volatile, 7), gen(ZoneVolatility::Volatile, 8));
+        assert_ne!(
+            gen(ZoneVolatility::Volatile, 7),
+            gen(ZoneVolatility::Volatile, 8)
+        );
     }
 
     #[test]
@@ -422,7 +432,10 @@ mod tests {
         prof.set(id, z, custom.clone());
         assert_eq!(prof.get(id, z), Some(&custom));
         // No duplicate entries.
-        assert_eq!(prof.pairs().filter(|&(t, zz)| t == id && zz == z).count(), 1);
+        assert_eq!(
+            prof.pairs().filter(|&(t, zz)| t == id && zz == z).count(),
+            1
+        );
     }
 }
 

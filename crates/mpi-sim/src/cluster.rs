@@ -38,7 +38,11 @@ impl ClusterSpec {
     /// per core — the paper's `M_i = N / k` (ceiling).
     pub fn for_processes(catalog: &InstanceCatalog, ty: InstanceTypeId, processes: u32) -> Self {
         let instances = catalog.get(ty).instances_for(processes);
-        Self { instance_type: ty, instances, processes }
+        Self {
+            instance_type: ty,
+            instances,
+            processes,
+        }
     }
 
     /// Ranks co-resident on each (fully packed) instance.
@@ -107,7 +111,9 @@ fn estimate_on(ty: &InstanceType, instances: u32, profile: &AppProfile) -> TimeB
     // Network: split per-rank traffic into off-node (NIC, shared by the
     // instance's ranks) and on-node (shared memory).
     let total_comm_gb = profile.data_send_gb.max(profile.data_recv_gb);
-    let off_frac = profile.pattern.off_node_fraction(ranks_per_node, profile.processes);
+    let off_frac = profile
+        .pattern
+        .off_node_fraction(ranks_per_node, profile.processes);
     let off_gb_per_instance = total_comm_gb * off_frac / m;
     let nic_gbs = ty.network_gbps / 8.0; // GB/s
     let off_s = if off_gb_per_instance > 0.0 {
@@ -119,7 +125,9 @@ fn estimate_on(ty: &InstanceType, instances: u32, profile: &AppProfile) -> TimeB
     let on_s = on_gb_per_instance / SHARED_MEM_GBPS;
     // Latency: each iteration is a communication round; every off-node
     // message pays the instance type's MPI latency.
-    let msgs = profile.pattern.off_node_messages(ranks_per_node, profile.processes);
+    let msgs = profile
+        .pattern
+        .off_node_messages(ranks_per_node, profile.processes);
     let latency_s = profile.iterations as f64 * msgs * ty.latency_ms / 1000.0;
     let network_s = off_s + on_s + latency_s;
 
@@ -168,7 +176,11 @@ mod tests {
     fn comm_kernels_are_comm_dominated_on_m1small() {
         for k in [NpbKernel::Ft, NpbKernel::Is] {
             let b = breakdown(k, "m1.small", 128);
-            assert!(b.comm_fraction() > 0.6, "{k}: comm {:.2}", b.comm_fraction());
+            assert!(
+                b.comm_fraction() > 0.6,
+                "{k}: comm {:.2}",
+                b.comm_fraction()
+            );
         }
     }
 
@@ -217,7 +229,11 @@ mod tests {
         let b = ClusterSpec::for_processes(&cat, cc2, 32).estimate(&cat, &profile);
         // 32 ranks fit in one cc2.8xlarge: no NIC time, no sync latency;
         // network time is shared-memory only and small.
-        assert!(b.network_hours * 3600.0 < 10.0, "{}", b.network_hours * 3600.0);
+        assert!(
+            b.network_hours * 3600.0 < 10.0,
+            "{}",
+            b.network_hours * 3600.0
+        );
     }
 
     #[test]

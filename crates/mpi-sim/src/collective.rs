@@ -100,7 +100,10 @@ mod tests {
     }
 
     fn shape(ranks: u32, per_node: u32) -> CommShape {
-        CommShape { ranks, ranks_per_node: per_node }
+        CommShape {
+            ranks,
+            ranks_per_node: per_node,
+        }
     }
 
     #[test]

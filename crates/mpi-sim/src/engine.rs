@@ -56,7 +56,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -75,7 +79,11 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past: {time} < {}",
             self.now
         );
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -36,8 +36,8 @@
 //! ```
 
 pub mod checkpoint;
-pub mod collective;
 pub mod cluster;
+pub mod collective;
 pub mod engine;
 pub mod lammps;
 pub mod npb;
@@ -47,8 +47,8 @@ pub mod sim;
 pub mod storage;
 
 pub use checkpoint::CheckpointSpec;
-pub use collective::{Collective, CommShape};
 pub use cluster::{ClusterSpec, TimeBreakdown};
+pub use collective::{Collective, CommShape};
 pub use lammps::Lammps;
 pub use npb::{NpbClass, NpbKernel};
 pub use profile::{AppProfile, CommPattern};

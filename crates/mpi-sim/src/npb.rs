@@ -345,9 +345,17 @@ mod tests {
         // Published NPB class-B totals (Gop): BT ≈ 673, SP ≈ 408, LU ≈ 477,
         // FT ≈ 92, IS ≈ 3.3. Our 4×A scaling lands within 15%.
         let bt = NpbKernel::Bt.profile(NpbClass::B, 128);
-        assert!((bt.total_gflop - 673.0).abs() / 673.0 < 0.15, "{}", bt.total_gflop);
+        assert!(
+            (bt.total_gflop - 673.0).abs() / 673.0 < 0.15,
+            "{}",
+            bt.total_gflop
+        );
         let ft = NpbKernel::Ft.profile(NpbClass::B, 128);
-        assert!((ft.total_gflop - 92.0).abs() / 92.0 < 0.15, "{}", ft.total_gflop);
+        assert!(
+            (ft.total_gflop - 92.0).abs() / 92.0 < 0.15,
+            "{}",
+            ft.total_gflop
+        );
     }
 
     #[test]
@@ -394,7 +402,13 @@ mod tests {
     fn classes_scale_work_monotonically() {
         for k in NpbKernel::ALL {
             let mut prev = 0.0;
-            for c in [NpbClass::S, NpbClass::W, NpbClass::A, NpbClass::B, NpbClass::C] {
+            for c in [
+                NpbClass::S,
+                NpbClass::W,
+                NpbClass::A,
+                NpbClass::B,
+                NpbClass::C,
+            ] {
                 let p = k.profile(c, 64);
                 assert!(p.total_gflop > prev, "{k} {c}");
                 prev = p.total_gflop;

@@ -184,7 +184,11 @@ mod tests {
 
     #[test]
     fn off_node_fraction_boundary_cases() {
-        for pat in [CommPattern::Neighbor3D, CommPattern::AllToAll, CommPattern::Ring] {
+        for pat in [
+            CommPattern::Neighbor3D,
+            CommPattern::AllToAll,
+            CommPattern::Ring,
+        ] {
             // All ranks on one node: everything is shared memory.
             assert_eq!(pat.off_node_fraction(128, 128), 0.0);
             assert_eq!(pat.off_node_fraction(200, 128), 0.0);
@@ -208,7 +212,11 @@ mod tests {
 
     #[test]
     fn off_node_fraction_monotone_in_ranks_per_node() {
-        for pat in [CommPattern::Neighbor3D, CommPattern::AllToAll, CommPattern::Ring] {
+        for pat in [
+            CommPattern::Neighbor3D,
+            CommPattern::AllToAll,
+            CommPattern::Ring,
+        ] {
             let mut prev = 1.0;
             for c in [1u32, 2, 4, 8, 16, 32, 64, 128] {
                 let f = pat.off_node_fraction(c, 128);

@@ -74,7 +74,9 @@ impl Program {
         assert!(supersteps > 0, "need at least one superstep");
         let s = supersteps as f64;
         let n = profile.processes as f64;
-        let compute = Phase::Compute { gflop: profile.total_gflop / n / s };
+        let compute = Phase::Compute {
+            gflop: profile.total_gflop / n / s,
+        };
         let exchange = Phase::Exchange {
             gb: profile.comm_gb_per_rank() / s,
             pattern: profile.pattern,
@@ -222,7 +224,11 @@ mod collective_phase_tests {
         let mk = |op| Program {
             name: "one".into(),
             processes: 64,
-            phases: vec![Phase::Collective { op, bytes_per_rank: 1e3, rounds: 100.0 }],
+            phases: vec![Phase::Collective {
+                op,
+                bytes_per_rank: 1e3,
+                rounds: 100.0,
+            }],
         };
         let sim = Simulation::new(&cat, cluster, ckpt).with_jitter(0.0);
         let a2a = sim.run(&mk(Collective::AllToAll), None, None);

@@ -55,8 +55,17 @@ enum Ev {
 
 impl<'a> Simulation<'a> {
     /// Create a simulation with the default ±2% rank jitter.
-    pub fn new(catalog: &'a InstanceCatalog, cluster: ClusterSpec, checkpoint: CheckpointSpec) -> Self {
-        Self { catalog, cluster, checkpoint, jitter: 0.02 }
+    pub fn new(
+        catalog: &'a InstanceCatalog,
+        cluster: ClusterSpec,
+        checkpoint: CheckpointSpec,
+    ) -> Self {
+        Self {
+            catalog,
+            cluster,
+            checkpoint,
+            jitter: 0.02,
+        }
     }
 
     /// Override the rank speed jitter (0 disables it).
@@ -124,12 +133,20 @@ impl<'a> Simulation<'a> {
                         productive += dur;
                     }
                 }
-                Phase::Exchange { gb, pattern, rounds } => {
+                Phase::Exchange {
+                    gb,
+                    pattern,
+                    rounds,
+                } => {
                     let dur =
                         exchange_hours(ty, &self.cluster, gb, pattern, rounds, program.processes);
                     step(&mut wall, &mut productive, dur, fail_at);
                 }
-                Phase::Collective { op, bytes_per_rank, rounds } => {
+                Phase::Collective {
+                    op,
+                    bytes_per_rank,
+                    rounds,
+                } => {
                     let shape = crate::collective::CommShape {
                         ranks: program.processes,
                         ranks_per_node: self.cluster.ranks_per_instance(self.catalog),
@@ -233,7 +250,12 @@ mod tests {
         ty: &str,
         procs: u32,
         repeats: u32,
-    ) -> (InstanceCatalog, ClusterSpec, crate::profile::AppProfile, CheckpointSpec) {
+    ) -> (
+        InstanceCatalog,
+        ClusterSpec,
+        crate::profile::AppProfile,
+        CheckpointSpec,
+    ) {
         let cat = InstanceCatalog::paper_2014();
         let id = cat.by_name(ty).unwrap();
         let cluster = ClusterSpec::for_processes(&cat, id, procs);
@@ -261,8 +283,12 @@ mod tests {
     fn jitter_slows_execution_monotonically() {
         let (cat, cluster, profile, ckpt) = setup(NpbKernel::Bt, "m1.small", 128, 1);
         let prog = Program::from_profile(&profile, 50);
-        let t0 = Simulation::new(&cat, cluster, ckpt).with_jitter(0.0).run(&prog, None, None);
-        let t5 = Simulation::new(&cat, cluster, ckpt).with_jitter(0.05).run(&prog, None, None);
+        let t0 = Simulation::new(&cat, cluster, ckpt)
+            .with_jitter(0.0)
+            .run(&prog, None, None);
+        let t5 = Simulation::new(&cat, cluster, ckpt)
+            .with_jitter(0.05)
+            .run(&prog, None, None);
         assert!(t5.wall_hours > t0.wall_hours);
     }
 

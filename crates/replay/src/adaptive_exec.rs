@@ -92,7 +92,11 @@ impl<'a> AdaptiveRunner<'a> {
                     groups_failed,
                     met_deadline: elapsed <= problem.deadline,
                 };
-                return AdaptiveOutcome { run, windows, plan_changes };
+                return AdaptiveOutcome {
+                    run,
+                    windows,
+                    plan_changes,
+                };
             }
 
             let now = start + elapsed;
@@ -126,10 +130,9 @@ impl<'a> AdaptiveRunner<'a> {
                 if done_fraction > 0.0 {
                     hours += od.recovery_hours;
                 }
-                let od_cost =
-                    runner
-                        .billing()
-                        .on_demand_cost(od.unit_price, hours, od.instances);
+                let od_cost = runner
+                    .billing()
+                    .on_demand_cost(od.unit_price, hours, od.instances);
                 let wall = elapsed + hours;
                 let run = RunOutcome {
                     total_cost: spot_cost + od_cost,
@@ -140,7 +143,11 @@ impl<'a> AdaptiveRunner<'a> {
                     groups_failed,
                     met_deadline: wall <= problem.deadline,
                 };
-                return AdaptiveOutcome { run, windows, plan_changes };
+                return AdaptiveOutcome {
+                    run,
+                    windows,
+                    plan_changes,
+                };
             }
 
             // Plan continuity: a healthy plan (progress made, nobody killed
@@ -180,7 +187,11 @@ impl<'a> AdaptiveRunner<'a> {
                         groups_failed,
                         met_deadline: wall <= problem.deadline,
                     };
-                    return AdaptiveOutcome { run, windows, plan_changes };
+                    return AdaptiveOutcome {
+                        run,
+                        windows,
+                        plan_changes,
+                    };
                 }
                 WindowDecision::Hybrid(plan) => {
                     if !reuse {
@@ -200,9 +211,7 @@ impl<'a> AdaptiveRunner<'a> {
                     // fully (fraction 1.0 of the residual problem). The
                     // window never overruns the deadline budget: Algorithm 1
                     // re-evaluates at the deadline at the latest.
-                    let win = cfg
-                        .window_hours
-                        .min((problem.deadline - elapsed).max(0.25));
+                    let win = cfg.window_hours.min((problem.deadline - elapsed).max(0.25));
                     // `reuse` means the same healthy instances keep
                     // running across the boundary: no fresh launch wait.
                     let w = runner.run_window_carried(&plan, now, 1.0, Some(win), reuse);
@@ -230,10 +239,9 @@ impl<'a> AdaptiveRunner<'a> {
                 let residual = (1.0 - done_fraction).max(0.0);
                 let od = &view_plan.on_demand;
                 let hours = od.exec_hours * residual + od.recovery_hours;
-                let od_cost =
-                    runner
-                        .billing()
-                        .on_demand_cost(od.unit_price, hours, od.instances);
+                let od_cost = runner
+                    .billing()
+                    .on_demand_cost(od.unit_price, hours, od.instances);
                 let wall = elapsed + hours;
                 let run = RunOutcome {
                     total_cost: spot_cost + od_cost,
@@ -244,7 +252,11 @@ impl<'a> AdaptiveRunner<'a> {
                     groups_failed,
                     met_deadline: wall <= problem.deadline,
                 };
-                return AdaptiveOutcome { run, windows, plan_changes };
+                return AdaptiveOutcome {
+                    run,
+                    windows,
+                    plan_changes,
+                };
             }
         }
     }
@@ -262,15 +274,13 @@ mod tests {
     fn setup(seed: u64) -> (SpotMarket, Problem) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, seed), 400.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, seed), 400.0, 1.0 / 12.0);
         let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
         let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
             .iter()
             .map(|n| market.catalog().by_name(n).unwrap())
             .collect();
-        let problem =
-            Problem::build(&market, &profile, 3.0, Some(&types), S3Store::paper_2014());
+        let problem = Problem::build(&market, &profile, 3.0, Some(&types), S3Store::paper_2014());
         (market, problem)
     }
 
@@ -278,7 +288,11 @@ mod tests {
         AdaptiveConfig {
             window_hours: 1.0,
             history_hours: 48.0,
-            optimizer: OptimizerConfig { kappa: 2, bid_levels: 3, ..Default::default() },
+            optimizer: OptimizerConfig {
+                kappa: 2,
+                bid_levels: 3,
+                ..Default::default()
+            },
         }
     }
 

@@ -94,7 +94,11 @@ pub struct PlanRunner<'a> {
 impl<'a> PlanRunner<'a> {
     /// Create a runner with 2014 hourly billing.
     pub fn new(market: &'a SpotMarket, deadline: Hours) -> Self {
-        Self { market, billing: BillingModel::hourly(), deadline }
+        Self {
+            market,
+            billing: BillingModel::hourly(),
+            deadline,
+        }
     }
 
     /// Override the billing model.
@@ -179,7 +183,10 @@ impl<'a> PlanRunner<'a> {
         window: Option<Hours>,
         carried: bool,
     ) -> WindowOutcome {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1]"
+        );
         let cutoff = window.map(|w| start + w).unwrap_or(f64::INFINITY);
 
         // Phase 1: per-group lifecycle ignoring the winner rule.
@@ -226,7 +233,11 @@ impl<'a> PlanRunner<'a> {
                 .unwrap_or(f64::INFINITY);
 
             // Completion wall time on this group.
-            let n_ckpt = if ckpt_on { (exec / interval).floor() } else { 0.0 };
+            let n_ckpt = if ckpt_on {
+                (exec / interval).floor()
+            } else {
+                0.0
+            };
             let completion = launch_t + exec + o * n_ckpt;
 
             if completion <= death && completion <= cutoff {
@@ -398,7 +409,13 @@ mod tests {
     fn calm_trace_completes_on_spot() {
         let (m, id) = tiny_market(&[0.1; 24]);
         let plan = Plan {
-            groups: vec![(group(id, 3.0), GroupDecision { bid: 0.2, ckpt_interval: 3.0 })],
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 3.0,
+                },
+            )],
             on_demand: od(),
         };
         let out = PlanRunner::new(&m, 5.0).run(&plan, 0.0);
@@ -416,7 +433,13 @@ mod tests {
         // Price spikes above the bid at hour 2; 3-hour job, no checkpoints.
         let (m, id) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
         let plan = Plan {
-            groups: vec![(group(id, 3.0), GroupDecision { bid: 0.2, ckpt_interval: 3.0 })],
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 3.0,
+                },
+            )],
             on_demand: od(),
         };
         let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
@@ -434,7 +457,13 @@ mod tests {
         let (m, id) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
         let g = group(id, 3.0); // zero-overhead checkpoints for exactness
         let plan = Plan {
-            groups: vec![(g, GroupDecision { bid: 0.2, ckpt_interval: 1.0 })],
+            groups: vec![(
+                g,
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
             on_demand: od(),
         };
         let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
@@ -449,7 +478,13 @@ mod tests {
         // Price starts high, drops at hour 2.
         let (m, id) = tiny_market(&[9.0, 9.0, 0.1, 0.1, 0.1, 0.1]);
         let plan = Plan {
-            groups: vec![(group(id, 2.0), GroupDecision { bid: 0.2, ckpt_interval: 2.0 })],
+            groups: vec![(
+                group(id, 2.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 2.0,
+                },
+            )],
             on_demand: od(),
         };
         let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
@@ -464,7 +499,13 @@ mod tests {
     fn never_launches_goes_straight_od() {
         let (m, id) = tiny_market(&[9.0; 6]);
         let plan = Plan {
-            groups: vec![(group(id, 2.0), GroupDecision { bid: 0.2, ckpt_interval: 2.0 })],
+            groups: vec![(
+                group(id, 2.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 2.0,
+                },
+            )],
             on_demand: od(),
         };
         let out = PlanRunner::new(&m, 20.0).run(&plan, 0.0);
@@ -484,8 +525,20 @@ mod tests {
         m.insert(id_b, SpotTrace::new(1.0, vec![0.05; 24]));
         let plan = Plan {
             groups: vec![
-                (group(id_a, 2.5), GroupDecision { bid: 0.2, ckpt_interval: 2.5 }),
-                (group(id_b, 8.0), GroupDecision { bid: 0.2, ckpt_interval: 8.0 }),
+                (
+                    group(id_a, 2.5),
+                    GroupDecision {
+                        bid: 0.2,
+                        ckpt_interval: 2.5,
+                    },
+                ),
+                (
+                    group(id_b, 8.0),
+                    GroupDecision {
+                        bid: 0.2,
+                        ckpt_interval: 8.0,
+                    },
+                ),
             ],
             on_demand: od(),
         };
@@ -500,7 +553,10 @@ mod tests {
     #[test]
     fn pure_od_plan_runs_on_demand_from_scratch() {
         let (m, _) = tiny_market(&[0.1; 6]);
-        let plan = Plan { groups: vec![], on_demand: od() };
+        let plan = Plan {
+            groups: vec![],
+            on_demand: od(),
+        };
         let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
         assert_eq!(out.finisher, Finisher::OnDemand);
         // Full rerun, no recovery (nothing to restore), 4 h × $2.
@@ -512,7 +568,13 @@ mod tests {
     fn deadline_flag_reflects_wall_clock() {
         let (m, id) = tiny_market(&[0.1; 24]);
         let plan = Plan {
-            groups: vec![(group(id, 3.0), GroupDecision { bid: 0.2, ckpt_interval: 3.0 })],
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 3.0,
+                },
+            )],
             on_demand: od(),
         };
         assert!(PlanRunner::new(&m, 3.5).run(&plan, 0.0).met_deadline);
@@ -523,7 +585,13 @@ mod tests {
     fn window_cutoff_reports_intermediate_state() {
         let (m, id) = tiny_market(&[0.1; 24]);
         let plan = Plan {
-            groups: vec![(group(id, 6.0), GroupDecision { bid: 0.2, ckpt_interval: 1.0 })],
+            groups: vec![(
+                group(id, 6.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
             on_demand: od(),
         };
         let w = PlanRunner::new(&m, 100.0).run_window(&plan, 0.0, 1.0, Some(2.0));
@@ -540,7 +608,13 @@ mod tests {
     fn residual_fraction_scales_execution() {
         let (m, id) = tiny_market(&[0.1; 24]);
         let plan = Plan {
-            groups: vec![(group(id, 6.0), GroupDecision { bid: 0.2, ckpt_interval: 6.0 })],
+            groups: vec![(
+                group(id, 6.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 6.0,
+                },
+            )],
             on_demand: od(),
         };
         // Half the app: 3 hours.

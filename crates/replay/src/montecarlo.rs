@@ -75,7 +75,13 @@ impl MonteCarlo {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(16);
-        Self { replicas, seed, offset_min, offset_max, threads }
+        Self {
+            replicas,
+            seed,
+            offset_min,
+            offset_max,
+            threads,
+        }
     }
 
     /// Deterministic start offset of replica `i`.
@@ -96,7 +102,9 @@ impl MonteCarlo {
             "offset window must be non-empty"
         );
         let outcomes = if self.threads <= 1 {
-            (0..self.replicas).map(|i| f(self.offset(i))).collect::<Vec<_>>()
+            (0..self.replicas)
+                .map(|i| f(self.offset(i)))
+                .collect::<Vec<_>>()
         } else {
             let chunk = self.replicas.div_ceil(self.threads);
             let mut results: Vec<Vec<RunOutcome>> = Vec::new();
@@ -109,9 +117,9 @@ impl MonteCarlo {
                         break;
                     }
                     let f = &f;
-                    handles.push(s.spawn(move |_| {
-                        (lo..hi).map(|i| f(self.offset(i))).collect::<Vec<_>>()
-                    }));
+                    handles.push(
+                        s.spawn(move |_| (lo..hi).map(|i| f(self.offset(i))).collect::<Vec<_>>()),
+                    );
                 }
                 for h in handles {
                     results.push(h.join().expect("MC worker panicked"));
@@ -157,7 +165,13 @@ mod tests {
             recovery_hours: 0.1,
         };
         Plan {
-            groups: vec![(group, GroupDecision { bid: 0.02, ckpt_interval: 0.5 })],
+            groups: vec![(
+                group,
+                GroupDecision {
+                    bid: 0.02,
+                    ckpt_interval: 0.5,
+                },
+            )],
             on_demand: OnDemandOption {
                 instance_type: cc2,
                 instances: 4,
@@ -172,7 +186,13 @@ mod tests {
     fn deterministic_across_thread_counts() {
         let m = market(61);
         let plan = simple_plan(&m);
-        let base = MonteCarlo { replicas: 64, seed: 5, offset_min: 48.0, offset_max: 250.0, threads: 1 };
+        let base = MonteCarlo {
+            replicas: 64,
+            seed: 5,
+            offset_min: 48.0,
+            offset_max: 250.0,
+            threads: 1,
+        };
         let seq = base.run_plan(&m, &plan, 3.0);
         let par = MonteCarlo { threads: 4, ..base }.run_plan(&m, &plan, 3.0);
         assert_eq!(seq, par);
@@ -182,10 +202,22 @@ mod tests {
     fn different_seeds_sample_different_offsets() {
         let m = market(61);
         let plan = simple_plan(&m);
-        let a = MonteCarlo { replicas: 32, seed: 1, offset_min: 48.0, offset_max: 250.0, threads: 2 }
-            .run_plan(&m, &plan, 3.0);
-        let b = MonteCarlo { replicas: 32, seed: 2, offset_min: 48.0, offset_max: 250.0, threads: 2 }
-            .run_plan(&m, &plan, 3.0);
+        let a = MonteCarlo {
+            replicas: 32,
+            seed: 1,
+            offset_min: 48.0,
+            offset_max: 250.0,
+            threads: 2,
+        }
+        .run_plan(&m, &plan, 3.0);
+        let b = MonteCarlo {
+            replicas: 32,
+            seed: 2,
+            offset_min: 48.0,
+            offset_max: 250.0,
+            threads: 2,
+        }
+        .run_plan(&m, &plan, 3.0);
         // Statistically all-but-certain to differ on a volatile market.
         assert_ne!(a, b);
     }
@@ -194,8 +226,14 @@ mod tests {
     fn aggregates_are_consistent() {
         let m = market(67);
         let plan = simple_plan(&m);
-        let r = MonteCarlo { replicas: 50, seed: 9, offset_min: 48.0, offset_max: 250.0, threads: 4 }
-            .run_plan(&m, &plan, 3.0);
+        let r = MonteCarlo {
+            replicas: 50,
+            seed: 9,
+            offset_min: 48.0,
+            offset_max: 250.0,
+            threads: 4,
+        }
+        .run_plan(&m, &plan, 3.0);
         assert_eq!(r.cost.n, 50);
         assert!(r.cost.mean > 0.0);
         assert!(r.cost.min <= r.cost.mean && r.cost.mean <= r.cost.max);
@@ -209,8 +247,14 @@ mod tests {
         // always ride through.
         let m = market(71);
         let plan = simple_plan(&m);
-        let r = MonteCarlo { replicas: 40, seed: 3, offset_min: 48.0, offset_max: 250.0, threads: 4 }
-            .run_plan(&m, &plan, 3.0);
+        let r = MonteCarlo {
+            replicas: 40,
+            seed: 3,
+            offset_min: 48.0,
+            offset_max: 250.0,
+            threads: 4,
+        }
+        .run_plan(&m, &plan, 3.0);
         assert!(r.spot_finish_rate > 0.7, "spot rate {}", r.spot_finish_rate);
     }
 
@@ -219,7 +263,13 @@ mod tests {
     fn zero_replicas_panics() {
         let m = market(61);
         let plan = simple_plan(&m);
-        MonteCarlo { replicas: 0, seed: 1, offset_min: 0.0, offset_max: 1.0, threads: 1 }
-            .run_plan(&m, &plan, 1.0);
+        MonteCarlo {
+            replicas: 0,
+            seed: 1,
+            offset_min: 0.0,
+            offset_max: 1.0,
+            threads: 1,
+        }
+        .run_plan(&m, &plan, 1.0);
     }
 }

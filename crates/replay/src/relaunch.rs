@@ -103,7 +103,11 @@ pub fn run_persistent(
         let death = trace
             .first_passage_above(launch_t, decision.bid)
             .unwrap_or(f64::INFINITY);
-        let n_ckpt = if ckpt_on { (remaining / interval).floor() } else { 0.0 };
+        let n_ckpt = if ckpt_on {
+            (remaining / interval).floor()
+        } else {
+            0.0
+        };
         let completion = launch_t + remaining + o * n_ckpt;
 
         if completion <= death && completion <= latest_od_start + od_hours {
@@ -140,7 +144,11 @@ pub fn run_persistent(
                 trace,
                 launch_t,
                 end,
-                if death <= end { Termination::Provider } else { Termination::User },
+                if death <= end {
+                    Termination::Provider
+                } else {
+                    Termination::User
+                },
                 group.instances,
             );
         }
@@ -189,7 +197,10 @@ mod tests {
     fn uninterrupted_run_has_one_incarnation() {
         let (m, id) = market(&[0.1; 48]);
         let g = group(id, 3.0);
-        let d = GroupDecision { bid: 0.2, ckpt_interval: 1.0 };
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
         let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
         assert_eq!(out.incarnations, 1);
         assert_eq!(out.finisher, Finisher::Spot(id));
@@ -204,13 +215,20 @@ mod tests {
         p.extend(vec![0.1; 44]);
         let (m, id) = market(&p);
         let g = group(id, 3.0);
-        let d = GroupDecision { bid: 0.2, ckpt_interval: 1.0 };
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
         let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
         // Incarnation 1 runs [0,2) and saves 2 checkpoints; incarnation 2
         // starts at hour 4 and needs 1 more hour.
         assert_eq!(out.incarnations, 2);
         assert_eq!(out.finisher, Finisher::Spot(id));
-        assert!((out.wall_hours - 5.0).abs() < 1e-9, "wall {}", out.wall_hours);
+        assert!(
+            (out.wall_hours - 5.0).abs() < 1e-9,
+            "wall {}",
+            out.wall_hours
+        );
         // Billed: 2 whole hours at 0.1 (first life, provider-killed, no
         // partial) + 1 hour at 0.1 (second life) × 2 instances.
         assert!((out.spot_cost - 0.1 * 3.0 * 2.0).abs() < 1e-9);
@@ -222,11 +240,18 @@ mod tests {
         p.extend(vec![0.1; 44]);
         let (m, id) = market(&p);
         let g = group(id, 3.0);
-        let d = GroupDecision { bid: 0.2, ckpt_interval: 3.0 }; // no ckpt
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 3.0,
+        }; // no ckpt
         let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
         assert_eq!(out.incarnations, 2);
         // Second life needs the full 3 hours: finishes at 3 + 3 = 6.
-        assert!((out.wall_hours - 6.0).abs() < 1e-9, "wall {}", out.wall_hours);
+        assert!(
+            (out.wall_hours - 6.0).abs() < 1e-9,
+            "wall {}",
+            out.wall_hours
+        );
     }
 
     #[test]
@@ -234,7 +259,10 @@ mod tests {
         // Price too high forever: the guard fires and on-demand finishes.
         let (m, id) = market(&[9.0; 48]);
         let g = group(id, 3.0);
-        let d = GroupDecision { bid: 0.2, ckpt_interval: 1.0 };
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
         let out = run_persistent(&m, &g, &d, &od(), 0.0, 10.0);
         assert_eq!(out.finisher, Finisher::OnDemand);
         assert_eq!(out.incarnations, 0);
@@ -249,7 +277,10 @@ mod tests {
         p.extend(vec![0.1; 30]);
         let (m, id) = market(&p);
         let g = group(id, 6.0);
-        let d = GroupDecision { bid: 0.2, ckpt_interval: 0.5 };
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 0.5,
+        };
         let a = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
         let b = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
         assert_eq!(a, b);

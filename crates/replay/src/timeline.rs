@@ -94,7 +94,9 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
     let mut walks: Vec<G> = Vec::new();
 
     for (group, decision) in &plan.groups {
-        let trace = market.trace(group.id).expect("plan group must have a trace");
+        let trace = market
+            .trace(group.id)
+            .expect("plan group must have a trace");
         let interval = decision.ckpt_interval.min(group.exec_hours);
         let ckpt_on = interval < group.exec_hours;
         let o = group.ckpt_overhead_hours;
@@ -119,12 +121,19 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
             });
             continue;
         };
-        events.push(Event::Launched { group: group.id, at: launch_t });
+        events.push(Event::Launched {
+            group: group.id,
+            at: launch_t,
+        });
 
         let death = trace
             .first_passage_above(launch_t, decision.bid)
             .unwrap_or(f64::INFINITY);
-        let n_ckpt = if ckpt_on { (group.exec_hours / interval).floor() } else { 0.0 };
+        let n_ckpt = if ckpt_on {
+            (group.exec_hours / interval).floor()
+        } else {
+            0.0
+        };
         let completion = launch_t + group.exec_hours + o * n_ckpt;
         let end = completion.min(death).min(cutoff);
 
@@ -149,7 +158,10 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
         }
 
         if completion <= death && completion <= cutoff {
-            events.push(Event::Completed { group: group.id, at: completion });
+            events.push(Event::Completed {
+                group: group.id,
+                at: completion,
+            });
             walks.push(G {
                 id: group.id,
                 completion: Some(completion),
@@ -158,7 +170,10 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
                 saved_fraction: 1.0,
             });
         } else if death <= cutoff {
-            events.push(Event::OutOfBid { group: group.id, at: death });
+            events.push(Event::OutOfBid {
+                group: group.id,
+                at: death,
+            });
             walks.push(G {
                 id: group.id,
                 completion: None,
@@ -173,8 +188,7 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
                 end: cutoff,
                 died: false,
                 // User stop takes a final checkpoint (Algorithm 1 line 22).
-                saved_fraction: ((cutoff - launch_t).min(group.exec_hours)
-                    / group.exec_hours)
+                saved_fraction: ((cutoff - launch_t).min(group.exec_hours) / group.exec_hours)
                     .clamp(0.0, 1.0),
             });
         }
@@ -190,7 +204,10 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
         events.retain(|e| e.at() <= winner_end);
         for w in &walks {
             if w.completion != Some(winner_end) && w.end > winner_end {
-                events.push(Event::UserTerminated { group: w.id, at: winner_end });
+                events.push(Event::UserTerminated {
+                    group: w.id,
+                    at: winner_end,
+                });
             }
         }
     } else {
@@ -198,7 +215,10 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
         let last_end = walks.iter().map(|w| w.end).fold(start, f64::max);
         for w in &walks {
             if !w.died && !plan.groups.is_empty() && w.end >= cutoff {
-                events.push(Event::UserTerminated { group: w.id, at: w.end });
+                events.push(Event::UserTerminated {
+                    group: w.id,
+                    at: w.end,
+                });
             }
         }
         let best = walks.iter().map(|w| w.saved_fraction).fold(0.0, f64::max);
@@ -219,13 +239,17 @@ pub fn render(events: &[Event], start: Hours) -> String {
         let rel = e.at() - start;
         let line = match e {
             Event::Launched { group, .. } => format!("{group} launched"),
-            Event::Checkpointed { group, saved_hours, .. } => {
+            Event::Checkpointed {
+                group, saved_hours, ..
+            } => {
                 format!("{group} checkpointed ({saved_hours:.2} h saved)")
             }
             Event::OutOfBid { group, .. } => format!("{group} killed out-of-bid"),
             Event::Completed { group, .. } => format!("{group} COMPLETED"),
             Event::UserTerminated { group, .. } => format!("{group} terminated by user"),
-            Event::OnDemandStarted { remaining_fraction, .. } => {
+            Event::OnDemandStarted {
+                remaining_fraction, ..
+            } => {
                 format!(
                     "on-demand fallback starts ({:.0}% of work remaining)",
                     remaining_fraction * 100.0
@@ -284,7 +308,10 @@ mod tests {
                     ckpt_overhead_hours: 0.0,
                     recovery_hours: 0.1,
                 },
-                GroupDecision { bid: 0.2, ckpt_interval: interval },
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: interval,
+                },
             )],
             on_demand: OnDemandOption {
                 instance_type: InstanceTypeId(4),
@@ -316,11 +343,15 @@ mod tests {
         let (m, id) = market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
         let p = plan(id, 3.0, 1.0);
         let (events, outcome) = timeline_checked(&m, &p, 0.0, 10.0);
-        assert!(events.iter().any(|e| matches!(e, Event::OutOfBid { at, .. } if *at == 2.0)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::OutOfBid { at, .. } if *at == 2.0)));
         let od = events
             .iter()
             .find_map(|e| match e {
-                Event::OnDemandStarted { remaining_fraction, .. } => Some(*remaining_fraction),
+                Event::OnDemandStarted {
+                    remaining_fraction, ..
+                } => Some(*remaining_fraction),
                 _ => None,
             })
             .expect("od start event");

@@ -124,15 +124,13 @@ mod tests {
     fn setup() -> (SpotMarket, Problem) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 31), 300.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 31), 300.0, 1.0 / 12.0);
         let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
         let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
             .iter()
             .map(|n| market.catalog().by_name(n).unwrap())
             .collect();
-        let problem =
-            Problem::build(&market, &profile, 4.0, Some(&types), S3Store::paper_2014());
+        let problem = Problem::build(&market, &profile, 4.0, Some(&types), S3Store::paper_2014());
         (market, problem)
     }
 
@@ -140,7 +138,11 @@ mod tests {
         AdaptivePlanner::new(AdaptiveConfig {
             window_hours: 1.0,
             history_hours: 48.0,
-            optimizer: OptimizerConfig { kappa: 2, bid_levels: 3, ..Default::default() },
+            optimizer: OptimizerConfig {
+                kappa: 2,
+                bid_levels: 3,
+                ..Default::default()
+            },
         })
     }
 

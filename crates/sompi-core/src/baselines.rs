@@ -31,8 +31,7 @@ pub trait Strategy {
     /// Convenience: plan and evaluate under the cost model.
     fn plan_and_evaluate(&self, problem: &Problem, view: &MarketView) -> (Plan, Evaluation) {
         let plan = self.plan(problem, view);
-        let eval = evaluate_plan(&plan, view)
-            .expect("strategies must produce launchable plans");
+        let eval = evaluate_plan(&plan, view).expect("strategies must produce launchable plans");
         (plan, eval)
     }
 }
@@ -83,9 +82,18 @@ impl Strategy for Marathe {
             }
             let bid = target.unit_price; // bid at the on-demand price
             let interval = optimal_interval(c, bid, view);
-            groups.push((*c, GroupDecision { bid, ckpt_interval: interval }));
+            groups.push((
+                *c,
+                GroupDecision {
+                    bid,
+                    ckpt_interval: interval,
+                },
+            ));
         }
-        Plan { groups, on_demand: *target }
+        Plan {
+            groups,
+            on_demand: *target,
+        }
     }
 }
 
@@ -109,12 +117,21 @@ impl Strategy for MaratheOpt {
                 }
                 let bid = od.unit_price;
                 let interval = optimal_interval(c, bid, view);
-                groups.push((*c, GroupDecision { bid, ckpt_interval: interval }));
+                groups.push((
+                    *c,
+                    GroupDecision {
+                        bid,
+                        ckpt_interval: interval,
+                    },
+                ));
             }
             if groups.is_empty() {
                 continue;
             }
-            let plan = Plan { groups, on_demand: *od };
+            let plan = Plan {
+                groups,
+                on_demand: *od,
+            };
             let Some(eval) = evaluate_plan(&plan, view) else {
                 continue;
             };
@@ -181,8 +198,14 @@ fn single_group_plan(
     let mut best: Option<(Plan, Evaluation)> = None;
     for c in &problem.candidates {
         let bid = bid_of(view, c.id);
-        let decision = GroupDecision { bid, ckpt_interval: c.exec_hours };
-        let plan = Plan { groups: vec![(*c, decision)], on_demand: od };
+        let decision = GroupDecision {
+            bid,
+            ckpt_interval: c.exec_hours,
+        };
+        let plan = Plan {
+            groups: vec![(*c, decision)],
+            on_demand: od,
+        };
         let Some(eval) = evaluate_plan(&plan, view) else {
             continue;
         };
@@ -219,7 +242,9 @@ impl Strategy for Sompi {
     }
 
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
-        TwoLevelOptimizer::new(problem, view, self.config).optimize().plan
+        TwoLevelOptimizer::new(problem, view, self.config)
+            .optimize()
+            .plan
     }
 }
 
@@ -236,7 +261,10 @@ impl Strategy for SompiNoReplication {
     }
 
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
-        let cfg = OptimizerConfig { kappa: 1, ..self.config };
+        let cfg = OptimizerConfig {
+            kappa: 1,
+            ..self.config
+        };
         TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
     }
 }
@@ -255,7 +283,10 @@ impl Strategy for SompiNoCheckpoint {
     }
 
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
-        let cfg = OptimizerConfig { interval_grid: Some(1), ..self.config };
+        let cfg = OptimizerConfig {
+            interval_grid: Some(1),
+            ..self.config
+        };
         TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
     }
 }
@@ -274,7 +305,11 @@ impl Strategy for AllUnable {
     }
 
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
-        let cfg = OptimizerConfig { kappa: 1, interval_grid: Some(1), ..self.config };
+        let cfg = OptimizerConfig {
+            kappa: 1,
+            interval_grid: Some(1),
+            ..self.config
+        };
         TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
     }
 }
@@ -291,15 +326,13 @@ mod tests {
     fn setup() -> (SpotMarket, Problem, MarketView) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 21), 200.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 21), 200.0, 1.0 / 12.0);
         let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
         let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
             .iter()
             .map(|n| market.catalog().by_name(n).unwrap())
             .collect();
-        let problem =
-            Problem::build(&market, &profile, 3.0, Some(&types), S3Store::paper_2014());
+        let problem = Problem::build(&market, &profile, 3.0, Some(&types), S3Store::paper_2014());
         let view = MarketView::from_market(&market, 0.0, 48.0);
         (market, problem, view)
     }
@@ -359,12 +392,19 @@ mod tests {
     #[test]
     fn ablations_respect_their_restrictions() {
         let (_, p, v) = setup();
-        let cfg = OptimizerConfig { kappa: 2, bid_levels: 3, ..OptimizerConfig::default() };
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            ..OptimizerConfig::default()
+        };
         let no_rp = SompiNoReplication { config: cfg }.plan(&p, &v);
         assert!(no_rp.replication_degree() <= 1);
         let no_ck = SompiNoCheckpoint { config: cfg }.plan(&p, &v);
         for (g, d) in &no_ck.groups {
-            assert!(d.ckpt_interval >= g.exec_hours, "checkpointing not disabled");
+            assert!(
+                d.ckpt_interval >= g.exec_hours,
+                "checkpointing not disabled"
+            );
         }
         let none = AllUnable { config: cfg }.plan(&p, &v);
         assert!(none.replication_degree() <= 1);
@@ -376,12 +416,29 @@ mod tests {
     #[test]
     fn sompi_beats_or_ties_every_restricted_variant_in_expectation() {
         let (_, p, v) = setup();
-        let cfg = OptimizerConfig { kappa: 2, bid_levels: 3, ..OptimizerConfig::default() };
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            ..OptimizerConfig::default()
+        };
         let (_, full) = Sompi { config: cfg }.plan_and_evaluate(&p, &v);
         for (name, eval) in [
-            ("w/o-RP", SompiNoReplication { config: cfg }.plan_and_evaluate(&p, &v).1),
-            ("w/o-CK", SompiNoCheckpoint { config: cfg }.plan_and_evaluate(&p, &v).1),
-            ("All-Unable", AllUnable { config: cfg }.plan_and_evaluate(&p, &v).1),
+            (
+                "w/o-RP",
+                SompiNoReplication { config: cfg }
+                    .plan_and_evaluate(&p, &v)
+                    .1,
+            ),
+            (
+                "w/o-CK",
+                SompiNoCheckpoint { config: cfg }
+                    .plan_and_evaluate(&p, &v)
+                    .1,
+            ),
+            (
+                "All-Unable",
+                AllUnable { config: cfg }.plan_and_evaluate(&p, &v).1,
+            ),
         ] {
             assert!(
                 full.expected_cost <= eval.expected_cost + 1e-9,

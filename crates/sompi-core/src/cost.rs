@@ -25,15 +25,33 @@
 //! Total: `O(2^K · K · T)` exact, no sampling. `replay` cross-checks this
 //! model against Monte-Carlo trace replay (the paper's §5.4.1 accuracy
 //! study, max relative difference ≈ 15%).
+//!
+//! # Hot-path design
+//!
+//! [`evaluate`] is called once per candidate configuration by the odometer
+//! loop in [`crate::twolevel`] — millions of times at paper scale. Two
+//! things keep it allocation-free per call:
+//!
+//! * It borrows its groups (`&[&GroupAssessment]`), so callers compose
+//!   candidates from pre-assessed options without cloning `fail_buckets`.
+//! * Every per-bucket quantity (`fail_wall`, billed floors, remaining
+//!   ratios) is precomputed once in [`GroupAssessment::from_parts`] and
+//!   looked up in the loops; the only buffer the all-fail branch needs
+//!   lives in a caller-reusable [`EvalScratch`].
 
 use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use crate::view::MarketView;
 use crate::{Hours, Usd};
 use serde::{Deserialize, Serialize};
 
+/// Tolerance for probability-mass conservation: `survival + Σ fail_buckets`
+/// may drift from 1 by at most this before the tail is renormalized.
+const MASS_TOLERANCE: f64 = 1e-9;
+
 /// Everything the evaluator needs to know about one circle group at one
 /// realized bid price: the paper's `f_i(P_i, ·)` and `S_i(P_i)` plus the
-/// group constants.
+/// group constants, with every per-bucket quantity precomputed so that
+/// [`evaluate`] is pure table lookups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupAssessment {
     /// The group and its constants.
@@ -46,11 +64,23 @@ pub struct GroupAssessment {
     pub survival: f64,
     /// Unconditional failure probabilities per hour bucket `[t, t+1)`,
     /// covering the group's full wall-clock horizon (measured from launch).
+    /// Always satisfies `survival + Σ fail_buckets ≈ 1`.
     pub fail_buckets: Vec<f64>,
     /// Expected wait before the group can launch at this bid ("otherwise
     /// it waits"). Shifts every wall-clock quantity; costs nothing (idle
     /// requests are not billed).
     pub launch_delay: Hours,
+    /// Precomputed `fail_wall(t)` per bucket: wall-clock failure instant
+    /// including launch delay.
+    wall_at_bucket: Vec<Hours>,
+    /// Precomputed `fail_run_wall(t)` per bucket: billed running time until
+    /// the bucket-`t` failure (no launch delay).
+    run_wall_at_bucket: Vec<Hours>,
+    /// Precomputed `fail_run_wall(t).floor()` per bucket: billed hours of a
+    /// provider kill (partial last hour free under 2014 billing).
+    billed_floor_at_bucket: Vec<Hours>,
+    /// Precomputed `fail_ratio(t)` per bucket: remaining work fraction.
+    ratio_at_bucket: Vec<f64>,
 }
 
 impl GroupAssessment {
@@ -58,25 +88,89 @@ impl GroupAssessment {
     ///
     /// Returns `None` when the bid admits no launch at all (no historical
     /// price at or below it) — such a group cannot be part of a plan.
-    pub fn assess(
-        group: CircleGroup,
-        decision: GroupDecision,
-        view: &MarketView,
-    ) -> Option<Self> {
+    pub fn assess(group: CircleGroup, decision: GroupDecision, view: &MarketView) -> Option<Self> {
         let expected_price = view.expected_price(group.id, decision.bid)?;
         let horizon = group
             .completion_wall_hours(decision.ckpt_interval)
             .ceil()
             .max(1.0) as usize;
         let f = view.failure_fn(group.id, decision.bid, horizon);
-        Some(Self {
+        Some(Self::from_parts(
             group,
             decision,
             expected_price,
-            survival: f.survival(),
-            fail_buckets: f.buckets().to_vec(),
-            launch_delay: view.launch_delay(group.id, decision.bid),
-        })
+            f.survival(),
+            f.buckets().to_vec(),
+            view.launch_delay(group.id, decision.bid),
+        ))
+    }
+
+    /// Build an assessment from raw parts, restoring probability-mass
+    /// conservation and precomputing the per-bucket tables.
+    ///
+    /// Estimators that truncate the failure horizon drop tail mass; the
+    /// dropped mass is folded back proportionally into the failure buckets
+    /// so that `survival + Σ fail_buckets = 1` always holds (a violated
+    /// invariant would silently skew every expectation downstream).
+    pub fn from_parts(
+        group: CircleGroup,
+        decision: GroupDecision,
+        expected_price: Usd,
+        survival: f64,
+        mut fail_buckets: Vec<f64>,
+        launch_delay: Hours,
+    ) -> Self {
+        let bucket_mass: f64 = fail_buckets.iter().sum();
+        let target = 1.0 - survival;
+        if bucket_mass > 0.0 && (bucket_mass - target).abs() > MASS_TOLERANCE {
+            let scale = target / bucket_mass;
+            for b in &mut fail_buckets {
+                *b *= scale;
+            }
+        }
+        debug_assert!(
+            bucket_mass <= 0.0 || (survival + fail_buckets.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+            "probability mass not conserved: survival {survival} + buckets {}",
+            fail_buckets.iter().sum::<f64>()
+        );
+
+        let w = group.completion_wall_hours(decision.ckpt_interval);
+        let n = fail_buckets.len();
+        let mut wall_at_bucket = Vec::with_capacity(n);
+        let mut run_wall_at_bucket = Vec::with_capacity(n);
+        let mut billed_floor_at_bucket = Vec::with_capacity(n);
+        let mut ratio_at_bucket = Vec::with_capacity(n);
+        for t in 0..n {
+            let tau = t as f64 + 0.5;
+            // Wall time ≈ productive time within the horizon: checkpoints
+            // already consumed some of it. Invert approximately by scaling.
+            let productive = if w > 0.0 {
+                tau * group.exec_hours / w
+            } else {
+                tau
+            };
+            let productive = productive.min(group.exec_hours);
+            let run_wall = group
+                .wall_at_failure(productive, decision.ckpt_interval)
+                .min(w);
+            wall_at_bucket.push(launch_delay + run_wall);
+            run_wall_at_bucket.push(run_wall);
+            billed_floor_at_bucket.push(run_wall.floor());
+            ratio_at_bucket.push(group.remaining_ratio(productive, decision.ckpt_interval));
+        }
+
+        Self {
+            group,
+            decision,
+            expected_price,
+            survival,
+            fail_buckets,
+            launch_delay,
+            wall_at_bucket,
+            run_wall_at_bucket,
+            billed_floor_at_bucket,
+            ratio_at_bucket,
+        }
     }
 
     /// Probability the group fails before completing.
@@ -86,49 +180,28 @@ impl GroupAssessment {
 
     /// Wall-clock end time when completing: launch delay + `W_i`.
     pub fn completion_wall(&self) -> Hours {
-        self.launch_delay + self.group.completion_wall_hours(self.decision.ckpt_interval)
+        self.launch_delay
+            + self
+                .group
+                .completion_wall_hours(self.decision.ckpt_interval)
     }
 
     /// Running wall time (excluding launch delay) the group's own horizon
     /// spans: `W_i` without the delay.
     fn run_wall(&self) -> Hours {
-        self.group.completion_wall_hours(self.decision.ckpt_interval)
+        self.group
+            .completion_wall_hours(self.decision.ckpt_interval)
     }
 
     /// Representative wall-clock failure instant (from the start offset,
     /// including launch delay) for bucket `t` (bucket midpoint).
     fn fail_wall(&self, t: usize) -> Hours {
-        self.launch_delay + self.fail_run_wall(t)
-    }
-
-    /// Billed running time until the bucket-`t` failure (no launch delay —
-    /// waiting requests are free).
-    fn fail_run_wall(&self, t: usize) -> Hours {
-        let tau = t as f64 + 0.5;
-        // Wall time ≈ productive time within the horizon: checkpoints
-        // already consumed some of it. Invert approximately by scaling.
-        let w = self.run_wall();
-        let productive = if w > 0.0 {
-            tau * self.group.exec_hours / w
-        } else {
-            tau
-        };
-        self.group
-            .wall_at_failure(productive.min(self.group.exec_hours), self.decision.ckpt_interval)
-            .min(w)
+        self.wall_at_bucket[t]
     }
 
     /// Productive progress ratio remaining after a failure in bucket `t`.
     fn fail_ratio(&self, t: usize) -> f64 {
-        let tau = t as f64 + 0.5;
-        let w = self.run_wall();
-        let productive = if w > 0.0 {
-            tau * self.group.exec_hours / w
-        } else {
-            tau
-        };
-        self.group
-            .remaining_ratio(productive.min(self.group.exec_hours), self.decision.ckpt_interval)
+        self.ratio_at_bucket[t]
     }
 
     /// Hourly spot cost of the whole group (all `M_i` instances).
@@ -148,13 +221,13 @@ impl GroupAssessment {
         if pf <= 0.0 {
             return run_cap.ceil().min(self.run_wall().ceil());
         }
+        let run_cap_ceil = run_cap.ceil();
         let mut acc = 0.0;
         for (t, p) in self.fail_buckets.iter().enumerate() {
-            let t_run = self.fail_run_wall(t);
-            let billed = if t_run <= run_cap {
-                t_run.floor() // provider kill: partial hour free
+            let billed = if self.run_wall_at_bucket[t] <= run_cap {
+                self.billed_floor_at_bucket[t] // provider kill: partial hour free
             } else {
-                run_cap.ceil() // user kill at the winner's completion
+                run_cap_ceil // user kill at the winner's completion
             };
             acc += p * billed;
         }
@@ -192,11 +265,39 @@ impl Evaluation {
     }
 }
 
+/// Reusable workspace for [`evaluate_with_scratch`]: holds the candidate
+/// wall/ratio value collection used by the all-fail branch so repeated
+/// evaluations (the optimizer's odometer loop) do not allocate.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    values: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// An empty workspace. Buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Evaluate a set of assessed circle groups plus the on-demand fallback.
 ///
 /// An empty assessment list models a pure on-demand plan: the application
 /// runs once, from scratch, on the fallback option.
-pub fn evaluate(groups: &[GroupAssessment], od: &OnDemandOption) -> Evaluation {
+///
+/// Convenience wrapper over [`evaluate_with_scratch`] that allocates a
+/// fresh scratch; hot loops should hold their own [`EvalScratch`].
+pub fn evaluate(groups: &[&GroupAssessment], od: &OnDemandOption) -> Evaluation {
+    evaluate_with_scratch(groups, od, &mut EvalScratch::new())
+}
+
+/// [`evaluate`] with a caller-provided scratch buffer (allocation-free once
+/// the scratch has warmed up).
+pub fn evaluate_with_scratch(
+    groups: &[&GroupAssessment],
+    od: &OnDemandOption,
+    scratch: &mut EvalScratch,
+) -> Evaluation {
     let k = groups.len();
     if k == 0 {
         let cost = od.full_cost_billed();
@@ -236,10 +337,7 @@ pub fn evaluate(groups: &[GroupAssessment], od: &OnDemandOption) -> Evaluation {
                 // Completing groups run until the winner finishes (their
                 // own waiting time is not billed); user termination
                 // charges the started hour.
-                (w_star - g.launch_delay)
-                    .max(0.0)
-                    .min(g.run_wall())
-                    .ceil()
+                (w_star - g.launch_delay).max(0.0).min(g.run_wall()).ceil()
             } else {
                 g.expected_billed_capped(w_star)
             };
@@ -251,14 +349,14 @@ pub fn evaluate(groups: &[GroupAssessment], od: &OnDemandOption) -> Evaluation {
     }
 
     // All-fail pattern: on-demand recovery.
-    let p0: f64 = groups.iter().map(GroupAssessment::prob_fail).product();
+    let p0: f64 = groups.iter().map(|g| g.prob_fail()).product();
     if p0 > 0.0 {
         let spot: f64 = groups
             .iter()
             .map(|g| g.hourly_cost() * g.expected_billed())
             .sum();
-        let e_max_wall = expected_max_wall(groups);
-        let e_min_ratio = expected_min_ratio(groups);
+        let e_max_wall = expected_max_wall(groups, &mut scratch.values);
+        let e_min_ratio = expected_min_ratio(groups, &mut scratch.values);
         let od_hours = od.exec_hours * e_min_ratio + od.recovery_hours;
         // On-demand is billed in whole started instance-hours.
         let od_cost = od_hours.ceil() * od.unit_price * od.instances as f64;
@@ -284,15 +382,16 @@ pub fn evaluate_plan(plan: &Plan, view: &MarketView) -> Option<Evaluation> {
     for (g, d) in &plan.groups {
         assessed.push(GroupAssessment::assess(*g, *d, view)?);
     }
-    Some(evaluate(&assessed, &plan.on_demand))
+    let refs: Vec<&GroupAssessment> = assessed.iter().collect();
+    Some(evaluate(&refs, &plan.on_demand))
 }
 
 /// `E[max_j e_j | all fail]` — expected wall time at which the *last*
 /// circle group dies (Formula 10). Exact, via the product of conditional
-/// CDFs of the independent per-group failure walls.
-fn expected_max_wall(groups: &[GroupAssessment]) -> Hours {
-    // Collect every attainable wall value.
-    let mut values: Vec<Hours> = Vec::new();
+/// CDFs of the independent per-group failure walls. `values` is a reused
+/// scratch buffer for the attainable wall values.
+fn expected_max_wall(groups: &[&GroupAssessment], values: &mut Vec<Hours>) -> Hours {
+    values.clear();
     for g in groups {
         for t in 0..g.fail_buckets.len() {
             if g.fail_buckets[t] > 0.0 {
@@ -322,7 +421,7 @@ fn expected_max_wall(groups: &[GroupAssessment]) -> Hours {
 
     let mut e = 0.0;
     let mut prev_cdf = 0.0;
-    for &v in &values {
+    for &v in values.iter() {
         let joint: f64 = groups.iter().map(|g| cdf(g, v)).product();
         e += v * (joint - prev_cdf);
         prev_cdf = joint;
@@ -332,9 +431,9 @@ fn expected_max_wall(groups: &[GroupAssessment]) -> Hours {
 
 /// `E[min_j Ratio_j | all fail]` — expected remaining work fraction at the
 /// best checkpoint across groups (Formulas 7 and 11). Exact via products
-/// of conditional complementary CDFs.
-fn expected_min_ratio(groups: &[GroupAssessment]) -> f64 {
-    let mut values: Vec<f64> = Vec::new();
+/// of conditional complementary CDFs. `values` is a reused scratch buffer.
+fn expected_min_ratio(groups: &[&GroupAssessment], values: &mut Vec<f64>) -> f64 {
+    values.clear();
     for g in groups {
         for t in 0..g.fail_buckets.len() {
             if g.fail_buckets[t] > 0.0 {
@@ -410,14 +509,17 @@ mod tests {
         let g = group(t);
         let horizon = g.completion_wall_hours(interval).ceil().max(1.0) as usize;
         let per = (1.0 - s) / horizon as f64;
-        GroupAssessment {
-            group: g,
-            decision: GroupDecision { bid: 1.0, ckpt_interval: interval },
-            expected_price: price,
-            survival: s,
-            fail_buckets: vec![per; horizon],
-            launch_delay: 0.0,
-        }
+        GroupAssessment::from_parts(
+            g,
+            GroupDecision {
+                bid: 1.0,
+                ckpt_interval: interval,
+            },
+            price,
+            s,
+            vec![per; horizon],
+            0.0,
+        )
     }
 
     #[test]
@@ -432,7 +534,7 @@ mod tests {
     fn certain_survivor_costs_its_full_run_only() {
         // One group that never fails: cost = S·W·M, time = W.
         let a = assessment(3.0, 1.0, 0.1, 3.0); // no checkpoints
-        let e = evaluate(std::slice::from_ref(&a), &od());
+        let e = evaluate(&[&a], &od());
         assert!((e.expected_time - 3.0).abs() < 1e-9);
         assert!((e.expected_cost - 0.1 * 3.0 * 4.0).abs() < 1e-9);
         assert_eq!(e.p_all_fail, 0.0);
@@ -442,7 +544,7 @@ mod tests {
     #[test]
     fn certain_failure_without_checkpoints_pays_od_full_rerun() {
         let a = assessment(3.0, 0.0, 0.1, 3.0); // always fails, no ckpt
-        let e = evaluate(&[a], &od());
+        let e = evaluate(&[&a], &od());
         assert_eq!(e.p_all_fail, 1.0);
         // Ratio = 1 everywhere → full on-demand run + recovery, billed in
         // whole hours: ceil(2.0 + 0.1) = 3 h × $2 × 4.
@@ -461,8 +563,8 @@ mod tests {
     fn checkpoints_reduce_od_recovery_cost() {
         let no_ck = assessment(4.0, 0.0, 0.05, 4.0);
         let with_ck = assessment(4.0, 0.0, 0.05, 1.0);
-        let e_no = evaluate(&[no_ck], &od());
-        let e_ck = evaluate(&[with_ck], &od());
+        let e_no = evaluate(&[&no_ck], &od());
+        let e_ck = evaluate(&[&with_ck], &od());
         assert!(
             e_ck.expected_od_cost < e_no.expected_od_cost,
             "ck {} vs no {}",
@@ -474,9 +576,9 @@ mod tests {
     #[test]
     fn replication_reduces_all_fail_probability() {
         let a = assessment(3.0, 0.6, 0.1, 3.0);
-        let e1 = evaluate(std::slice::from_ref(&a), &od());
-        let e2 = evaluate(&[a.clone(), a.clone()], &od());
-        let e3 = evaluate(&[a.clone(), a.clone(), a], &od());
+        let e1 = evaluate(&[&a], &od());
+        let e2 = evaluate(&[&a, &a], &od());
+        let e3 = evaluate(&[&a, &a, &a], &od());
         assert!((e1.p_all_fail - 0.4).abs() < 1e-12);
         assert!((e2.p_all_fail - 0.16).abs() < 1e-12);
         assert!((e3.p_all_fail - 0.064).abs() < 1e-12);
@@ -486,7 +588,7 @@ mod tests {
     fn faster_replica_sets_completion_time() {
         let slow = assessment(5.0, 1.0, 0.01, 5.0);
         let fast = assessment(2.0, 1.0, 0.01, 2.0);
-        let e = evaluate(&[slow, fast], &od());
+        let e = evaluate(&[&slow, &fast], &od());
         // Both always survive; the fast one finishes at 2.0 and the slow
         // one is killed then.
         assert!((e.expected_time - 2.0).abs() < 1e-9);
@@ -500,7 +602,7 @@ mod tests {
         // for K = 2 with small horizons.
         let a = assessment(2.0, 0.5, 0.1, 2.0);
         let b = assessment(3.0, 0.25, 0.2, 3.0);
-        let fast = evaluate(&[a.clone(), b.clone()], &od());
+        let fast = evaluate(&[&a, &b], &od());
 
         // Brute force: states per group = buckets + "complete".
         let states = |g: &GroupAssessment| -> Vec<(f64, Option<usize>)> {
@@ -581,7 +683,7 @@ mod tests {
     #[test]
     fn meets_deadline_check() {
         let a = assessment(3.0, 1.0, 0.1, 3.0);
-        let e = evaluate(&[a], &od());
+        let e = evaluate(&[&a], &od());
         assert!(e.meets(3.0));
         assert!(!e.meets(2.9));
     }
@@ -590,7 +692,74 @@ mod tests {
     #[should_panic(expected = "exponential")]
     fn too_many_groups_rejected() {
         let a = assessment(1.0, 0.5, 0.1, 1.0);
-        let groups = vec![a; 17];
+        let groups: Vec<&GroupAssessment> = std::iter::repeat(&a).take(17).collect();
         evaluate(&groups, &od());
+    }
+
+    #[test]
+    fn mass_conservation_renormalizes_dropped_tail() {
+        // An estimator that truncated its horizon: survival 0.3 but the
+        // buckets only carry 0.5 of the remaining 0.7 mass.
+        let g = group(3.0);
+        let a = GroupAssessment::from_parts(
+            g,
+            GroupDecision {
+                bid: 1.0,
+                ckpt_interval: 3.0,
+            },
+            0.1,
+            0.3,
+            vec![0.3, 0.15, 0.05], // Σ = 0.5, should be 0.7
+            0.0,
+        );
+        let total: f64 = a.survival + a.fail_buckets.iter().sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-12, "mass {total}");
+        // Proportional: the bucket shape is preserved.
+        assert!((a.fail_buckets[0] / a.fail_buckets[1] - 2.0).abs() < 1e-9);
+        assert!((a.fail_buckets[0] - 0.3 * 0.7 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_conservation_leaves_exact_distributions_alone() {
+        let a = assessment(3.0, 0.4, 0.1, 3.0);
+        let total: f64 = a.survival + a.fail_buckets.iter().sum::<f64>();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Uniform mass stays uniform.
+        assert!((a.fail_buckets[0] - a.fail_buckets[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn precomputed_tables_match_direct_formulas() {
+        // Table lookups must agree with the definitional quantities.
+        let a = assessment(4.0, 0.2, 0.1, 1.0);
+        let w = a.group.completion_wall_hours(a.decision.ckpt_interval);
+        for t in 0..a.fail_buckets.len() {
+            let tau = t as f64 + 0.5;
+            let productive = (tau * a.group.exec_hours / w).min(a.group.exec_hours);
+            let run_wall = a
+                .group
+                .wall_at_failure(productive, a.decision.ckpt_interval)
+                .min(w);
+            assert!((a.fail_wall(t) - (a.launch_delay + run_wall)).abs() < 1e-12);
+            assert!((a.billed_floor_at_bucket[t] - run_wall.floor()).abs() < 1e-12);
+            let ratio = a
+                .group
+                .remaining_ratio(productive, a.decision.ckpt_interval);
+            assert!((a.fail_ratio(t) - ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_evaluation() {
+        let a = assessment(2.0, 0.5, 0.1, 2.0);
+        let b = assessment(3.0, 0.25, 0.2, 3.0);
+        let mut scratch = EvalScratch::new();
+        // Reusing one scratch across differently-shaped evaluations must
+        // not leak state between calls.
+        let e1 = evaluate_with_scratch(&[&a, &b], &od(), &mut scratch);
+        let e2 = evaluate_with_scratch(&[&b], &od(), &mut scratch);
+        let e3 = evaluate_with_scratch(&[&a, &b], &od(), &mut scratch);
+        assert_eq!(e1, e3);
+        assert_eq!(e2, evaluate(&[&b], &od()));
     }
 }

@@ -28,7 +28,9 @@ impl BidGrid {
             max_price.is_finite() && max_price > 0.0,
             "max price must be positive"
         );
-        let bids = (0..levels).map(|l| max_price / f64::powi(2.0, l as i32)).collect();
+        let bids = (0..levels)
+            .map(|l| max_price / f64::powi(2.0, l as i32))
+            .collect();
         Self { bids }
     }
 

@@ -101,9 +101,7 @@ impl OnDemandOption {
 
     /// Cost of running `ratio` of the application plus recovery.
     pub fn recovery_cost(&self, ratio: f64) -> Usd {
-        (self.exec_hours * ratio + self.recovery_hours)
-            * self.unit_price
-            * self.instances as f64
+        (self.exec_hours * ratio + self.recovery_hours) * self.unit_price * self.instances as f64
     }
 }
 
@@ -120,7 +118,10 @@ pub struct Plan {
 impl Plan {
     /// A plan that runs everything on demand.
     pub fn on_demand_only(od: OnDemandOption) -> Self {
-        Self { groups: Vec::new(), on_demand: od }
+        Self {
+            groups: Vec::new(),
+            on_demand: od,
+        }
     }
 
     /// Number of circle groups used (the paper's `k`).
@@ -249,7 +250,10 @@ mod tests {
         let plan = Plan {
             groups: vec![(
                 group(10.0, 0.05),
-                GroupDecision { bid: 0.1, ckpt_interval: 1.0 },
+                GroupDecision {
+                    bid: 0.1,
+                    ckpt_interval: 1.0,
+                },
             )],
             on_demand: od,
         };
@@ -286,7 +290,10 @@ mod tests {
         let plan = Plan {
             groups: vec![(
                 group(10.0, 0.05),
-                GroupDecision { bid: 0.123, ckpt_interval: 0.75 },
+                GroupDecision {
+                    bid: 0.123,
+                    ckpt_interval: 0.75,
+                },
             )],
             on_demand: od,
         };

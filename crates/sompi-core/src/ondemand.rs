@@ -20,11 +20,7 @@ pub const DEFAULT_SLACK: f64 = 0.20;
 /// infeasible even on demand; the fastest type is the least-bad recovery
 /// vehicle — the paper's Algorithm 1 does the same when the deadline can
 /// no longer be satisfied).
-pub fn select_on_demand(
-    options: &[OnDemandOption],
-    deadline: Hours,
-    slack: f64,
-) -> OnDemandOption {
+pub fn select_on_demand(options: &[OnDemandOption], deadline: Hours, slack: f64) -> OnDemandOption {
     assert!(!options.is_empty(), "need at least one on-demand option");
     assert!((0.0..1.0).contains(&slack), "slack must be in [0, 1)");
     let budget = deadline * (1.0 - slack);
@@ -70,8 +66,14 @@ mod tests {
         // Deadline 5, slack 20% → budget 4.0; the slow option (4.0 h) fits
         // exactly. Slack 30% → budget 3.5; only the fast one fits.
         let opts = [opt(0, 4.0, 1.0, 1), opt(1, 2.0, 3.0, 1)];
-        assert_eq!(select_on_demand(&opts, 5.0, 0.2).instance_type, InstanceTypeId(0));
-        assert_eq!(select_on_demand(&opts, 5.0, 0.3).instance_type, InstanceTypeId(1));
+        assert_eq!(
+            select_on_demand(&opts, 5.0, 0.2).instance_type,
+            InstanceTypeId(0)
+        );
+        assert_eq!(
+            select_on_demand(&opts, 5.0, 0.3).instance_type,
+            InstanceTypeId(1)
+        );
     }
 
     #[test]

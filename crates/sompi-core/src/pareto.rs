@@ -53,7 +53,10 @@ pub fn frontier(problem: &Problem, view: &MarketView, config: OptimizerConfig) -
             }
             for &bid in grid.bids() {
                 let interval = optimal_interval(group, bid, view);
-                let decision = GroupDecision { bid, ckpt_interval: interval };
+                let decision = GroupDecision {
+                    bid,
+                    ckpt_interval: interval,
+                };
                 if let Some(a) = GroupAssessment::assess(*group, decision, view) {
                     opts.push(a);
                 }
@@ -76,16 +79,14 @@ pub fn frontier(problem: &Problem, view: &MarketView, config: OptimizerConfig) -
             return;
         }
         let mut idx = vec![0usize; chosen.len()];
+        let mut refs: Vec<&GroupAssessment> = Vec::with_capacity(chosen.len());
         loop {
-            let assessed: Vec<GroupAssessment> = chosen
-                .iter()
-                .zip(&idx)
-                .map(|(&g, &i)| options[g][i].clone())
-                .collect();
-            let eval = evaluate(&assessed, &od);
+            refs.clear();
+            refs.extend(chosen.iter().zip(&idx).map(|(&g, &i)| &options[g][i]));
+            let eval = evaluate(&refs, &od);
             points.push(ParetoPoint {
                 plan: Plan {
-                    groups: assessed.iter().map(|a| (a.group, a.decision)).collect(),
+                    groups: refs.iter().map(|a| (a.group, a.decision)).collect(),
                     on_demand: od,
                 },
                 evaluation: eval,
@@ -110,7 +111,11 @@ pub fn frontier(problem: &Problem, view: &MarketView, config: OptimizerConfig) -
         a.evaluation
             .expected_time
             .total_cmp(&b.evaluation.expected_time)
-            .then(a.evaluation.expected_cost.total_cmp(&b.evaluation.expected_cost))
+            .then(
+                a.evaluation
+                    .expected_cost
+                    .total_cmp(&b.evaluation.expected_cost),
+            )
     });
     let mut out: Vec<ParetoPoint> = Vec::new();
     let mut best_cost = f64::INFINITY;
@@ -156,15 +161,19 @@ mod tests {
     fn setup() -> (Problem, MarketView) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 55), 200.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 55), 200.0, 1.0 / 12.0);
         let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
-        let types: Vec<InstanceTypeId> =
-            ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
-                .iter()
-                .map(|n| market.catalog().by_name(n).unwrap())
-                .collect();
-        let problem = Problem::build(&market, &profile, f64::MAX, Some(&types), S3Store::paper_2014());
+        let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+            .iter()
+            .map(|n| market.catalog().by_name(n).unwrap())
+            .collect();
+        let problem = Problem::build(
+            &market,
+            &profile,
+            f64::MAX,
+            Some(&types),
+            S3Store::paper_2014(),
+        );
         let view = MarketView::from_market(&market, 0.0, 48.0);
         (problem, view)
     }
@@ -172,7 +181,11 @@ mod tests {
     #[test]
     fn frontier_is_strictly_improving() {
         let (problem, view) = setup();
-        let cfg = OptimizerConfig { kappa: 2, bid_levels: 4, ..Default::default() };
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            ..Default::default()
+        };
         let f = frontier(&problem, &view, cfg);
         assert!(f.len() >= 2, "expect at least OD and one spot point");
         for w in f.windows(2) {
@@ -188,7 +201,11 @@ mod tests {
         // space, so costs must match within float noise).
         use crate::twolevel::TwoLevelOptimizer;
         let (mut problem, view) = setup();
-        let cfg = OptimizerConfig { kappa: 2, bid_levels: 4, ..Default::default() };
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            ..Default::default()
+        };
         let f = frontier(&problem, &view, cfg);
         for factor in [1.1, 1.5] {
             problem.deadline = problem.baseline_time() * factor;
@@ -210,7 +227,11 @@ mod tests {
     #[test]
     fn frontier_contains_pure_on_demand_or_better() {
         let (problem, view) = setup();
-        let cfg = OptimizerConfig { kappa: 1, bid_levels: 3, ..Default::default() };
+        let cfg = OptimizerConfig {
+            kappa: 1,
+            bid_levels: 3,
+            ..Default::default()
+        };
         let f = frontier(&problem, &view, cfg);
         // The fastest point is at most the OD time (something must serve
         // the impatient end of the curve).

@@ -101,8 +101,7 @@ mod tests {
         use ec2_market::tracegen::{MarketProfile, TraceGenerator};
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 11), 200.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 11), 200.0, 1.0 / 12.0);
         let view = crate::view::MarketView::from_market(&market, 0.0, 96.0);
         let id = market
             .groups()

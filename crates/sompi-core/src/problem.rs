@@ -48,7 +48,9 @@ impl Problem {
     ) -> Self {
         let catalog = market.catalog();
         let allowed = |ty: InstanceTypeId| {
-            candidate_types.map(|list| list.contains(&ty)).unwrap_or(true)
+            candidate_types
+                .map(|list| list.contains(&ty))
+                .unwrap_or(true)
         };
 
         let mut candidates = Vec::new();
@@ -207,10 +209,7 @@ mod tests {
         }
         // For compute-intensive BT, cc2.8xlarge is the fastest type.
         let m = market();
-        assert_eq!(
-            b.instance_type,
-            m.catalog().by_name("cc2.8xlarge").unwrap()
-        );
+        assert_eq!(b.instance_type, m.catalog().by_name("cc2.8xlarge").unwrap());
     }
 
     #[test]

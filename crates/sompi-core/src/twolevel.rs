@@ -13,15 +13,31 @@
 //! `C(K, k)` subsets are tried and the cheapest feasible configuration
 //! wins. The optimizer also always considers the pure on-demand plan, so
 //! it degrades gracefully when no spot configuration meets the deadline.
+//!
+//! # Parallel search
+//!
+//! The `C(K, k)` subsets are fanned out across [`OptimizerConfig::threads`]
+//! workers (crossbeam scoped threads, the same pattern as `replay`'s
+//! Monte-Carlo): every worker runs the bid odometer over its contiguous
+//! chunk of the subset list with worker-local state — an incumbent, an
+//! evaluation counter, and reused scratch buffers — and the per-worker
+//! winners are merged under a *total* candidate order: feasibility first,
+//! then lower expected cost, then the lexicographic bid-vector tie-break
+//! (higher bids win — see [`beats`]), then the unique enumeration ordinal
+//! `(subset index, odometer step)`. Because that order is total and
+//! independent of how the subset list is chunked, the returned
+//! [`OptimizedPlan`] — plan, evaluation, and `evaluations_performed` — is
+//! identical at any thread count.
 
-use crate::cost::{evaluate, Evaluation, GroupAssessment};
+use crate::cost::{evaluate, evaluate_with_scratch, EvalScratch, Evaluation, GroupAssessment};
 use crate::logsearch::BidGrid;
-use crate::model::{GroupDecision, Plan};
+use crate::model::{GroupDecision, OnDemandOption, Plan};
 use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
 use crate::phi::optimal_interval;
 use crate::problem::Problem;
 use crate::view::MarketView;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Which bid grid shape to search (logarithmic is the paper's; uniform
 /// exists for the ablation bench).
@@ -64,6 +80,9 @@ pub struct OptimizerConfig {
     /// a large fraction of runs; this knob trades expected cost for
     /// per-run deadline reliability. `None` reproduces the paper.
     pub min_spot_success: Option<f64>,
+    /// Worker threads for the subset search: `0` = one per available
+    /// core, `1` = sequential. The result is identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -76,6 +95,7 @@ impl Default for OptimizerConfig {
             top_margin: Some(1.25),
             interval_grid: None,
             min_spot_success: None,
+            threads: 0,
         }
     }
 }
@@ -93,6 +113,87 @@ pub struct OptimizedPlan {
     pub evaluations_performed: u64,
 }
 
+/// A worker's best candidate so far, carrying enough to compare under the
+/// total candidate order and to rebuild the winning plan once at the end.
+struct Candidate {
+    feasible: bool,
+    eval: Evaluation,
+    /// Bid vector in subset order — the deterministic tie-breaker.
+    bids: Vec<f64>,
+    /// Indices into `problem.candidates` (the chosen subset).
+    subset: Vec<usize>,
+    /// Odometer position: per-slot index into each group's option list.
+    idx: Vec<usize>,
+    /// Unique enumeration ordinal `(global subset index, odometer step)`
+    /// — the final tie-breaker that makes the candidate order total.
+    ordinal: (usize, u64),
+}
+
+/// Lexicographic comparison of a candidate's bid vector (iterator form,
+/// so the hot path compares without materializing a `Vec`) against an
+/// incumbent's stored bids. Shorter vectors order before their extensions.
+fn cmp_bids(current: impl Iterator<Item = f64>, incumbent: &[f64]) -> Ordering {
+    let mut n = 0usize;
+    for b in current {
+        match incumbent.get(n) {
+            None => return Ordering::Greater,
+            Some(inc) => match b.total_cmp(inc) {
+                Ordering::Equal => {}
+                other => return other,
+            },
+        }
+        n += 1;
+    }
+    if n < incumbent.len() {
+        Ordering::Less
+    } else {
+        Ordering::Equal
+    }
+}
+
+/// Whether a freshly evaluated candidate beats the incumbent under the
+/// total order: feasible first, then lower expected cost, then the
+/// lexicographically *greater* bid vector, then the earlier enumeration
+/// ordinal.
+///
+/// Higher bids win cost ties deliberately: equal modeled cost means the
+/// historical window never separates the two bids, and the higher one can
+/// only be safer on prices beyond that window. (The bid grids are
+/// highest-first, so this also matches the sequential first-seen rule.)
+fn beats(
+    feasible: bool,
+    eval: &Evaluation,
+    bids: impl Iterator<Item = f64>,
+    ordinal: (usize, u64),
+    incumbent: &Candidate,
+) -> bool {
+    match (feasible, incumbent.feasible) {
+        (true, false) => return true,
+        (false, true) => return false,
+        _ => {}
+    }
+    match eval.expected_cost.total_cmp(&incumbent.eval.expected_cost) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => match cmp_bids(bids, &incumbent.bids) {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => ordinal < incumbent.ordinal,
+        },
+    }
+}
+
+/// Resolve the configured thread count: `0` = one per available core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// SOMPI's offline optimizer over one problem + market view.
 #[derive(Debug, Clone)]
 pub struct TwoLevelOptimizer<'a> {
@@ -104,16 +205,130 @@ pub struct TwoLevelOptimizer<'a> {
 impl<'a> TwoLevelOptimizer<'a> {
     /// Create an optimizer.
     pub fn new(problem: &'a Problem, view: &'a MarketView, config: OptimizerConfig) -> Self {
-        Self { problem, view, config }
+        Self {
+            problem,
+            view,
+            config,
+        }
     }
 
     /// Run the full search and return the cheapest feasible plan.
     pub fn optimize(&self) -> OptimizedPlan {
-        let od = select_on_demand(&self.problem.on_demand, self.problem.deadline, self.config.slack);
+        let od = select_on_demand(
+            &self.problem.on_demand,
+            self.problem.deadline,
+            self.config.slack,
+        );
+        let options = self.assess_options();
 
-        // Candidate assessments per (group, bid level, interval option).
-        // Index: options[g] = list of viable (decision, assessment).
-        let mut options: Vec<Vec<GroupAssessment>> = Vec::with_capacity(self.problem.candidates.len());
+        // The pure on-demand plan is the incumbent the search must beat.
+        let od_eval = evaluate(&[], &od);
+        let od_feasible = od_eval.meets(self.problem.deadline);
+
+        // Precollect the k-subsets (k ascending, lexicographic within k)
+        // so they can be chunked across workers with stable global indices.
+        let n = self.problem.candidates.len();
+        let k_max = self.config.kappa.min(n);
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut acc = Vec::new();
+        for k in 1..=k_max {
+            enumerate_subsets(n, k, 0, &mut acc, &mut |s: &[usize]| {
+                subsets.push(s.to_vec());
+            });
+        }
+
+        let threads = resolve_threads(self.config.threads).min(subsets.len().max(1));
+        let results: Vec<(u64, Option<Candidate>)> = if threads <= 1 {
+            vec![self.search_chunk(&options, &od, 0, &subsets)]
+        } else {
+            let chunk = subsets.len().div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = (lo + chunk).min(subsets.len());
+                    if lo >= hi {
+                        break;
+                    }
+                    let slice = &subsets[lo..hi];
+                    let options = &options;
+                    let od = &od;
+                    handles.push(s.spawn(move |_| self.search_chunk(options, od, lo, slice)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed")
+        };
+
+        // Deterministic merge: worker-local winners fold under the same
+        // total order the workers used, so chunking cannot change the
+        // result, and the evaluation counters sum to the serial count.
+        let mut evaluations: u64 = 1; // the on-demand incumbent
+        let mut best: Option<Candidate> = None;
+        for (count, cand) in results {
+            evaluations += count;
+            if let Some(c) = cand {
+                let replace = match &best {
+                    None => true,
+                    Some(b) => beats(c.feasible, &c.eval, c.bids.iter().copied(), c.ordinal, b),
+                };
+                if replace {
+                    best = Some(c);
+                }
+            }
+        }
+
+        // The winning spot candidate must still beat the on-demand
+        // incumbent — strictly, as in the sequential algorithm, so ties
+        // keep the simpler on-demand plan.
+        if let Some(c) = best {
+            let spot_wins = match (c.feasible, od_feasible) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => c.eval.expected_cost < od_eval.expected_cost,
+            };
+            if spot_wins {
+                let plan = Plan {
+                    groups: c
+                        .subset
+                        .iter()
+                        .zip(&c.idx)
+                        .map(|(&g, &i)| {
+                            let a = &options[g][i];
+                            (a.group, a.decision)
+                        })
+                        .collect(),
+                    on_demand: od,
+                };
+                return OptimizedPlan {
+                    plan,
+                    evaluation: c.eval,
+                    evaluations_performed: evaluations,
+                };
+            }
+        }
+        OptimizedPlan {
+            plan: Plan::on_demand_only(od),
+            evaluation: od_eval,
+            evaluations_performed: evaluations,
+        }
+    }
+
+    /// Assess every candidate (group, bid level, interval) option once, up
+    /// front. Index: `options[g]` = list of viable assessments for group
+    /// `g`.
+    ///
+    /// Options that cannot complete before the deadline even when they
+    /// survive are dropped: the runtime switches to on-demand rather than
+    /// ride a replica past the deadline, so crediting such a group as a
+    /// completion winner would let rare deadline-missing patterns
+    /// subsidize `E[Cost]`.
+    fn assess_options(&self) -> Vec<Vec<GroupAssessment>> {
+        let mut options: Vec<Vec<GroupAssessment>> =
+            Vec::with_capacity(self.problem.candidates.len());
         for group in &self.problem.candidates {
             let max_bid = self.view.max_bid(group.id);
             if !(max_bid.is_finite() && max_bid > 0.0) {
@@ -139,90 +354,104 @@ impl<'a> TwoLevelOptimizer<'a> {
                         .collect(),
                 };
                 for interval in intervals {
-                    let decision = GroupDecision { bid, ckpt_interval: interval };
+                    let decision = GroupDecision {
+                        bid,
+                        ckpt_interval: interval,
+                    };
                     if let Some(a) = GroupAssessment::assess(*group, decision, self.view) {
-                        opts.push(a);
+                        if a.completion_wall() <= self.problem.deadline {
+                            opts.push(a);
+                        }
                     }
                 }
             }
             options.push(opts);
         }
+        options
+    }
 
-        // Start from the pure on-demand plan as the incumbent.
-        let mut evaluations: u64 = 1;
-        let od_plan = Plan::on_demand_only(od);
-        let od_eval = evaluate(&[], &od);
-        let mut best: (Plan, Evaluation) = (od_plan, od_eval);
-        let mut best_feasible = od_eval.meets(self.problem.deadline);
+    /// Search one contiguous chunk of the subset list with worker-local
+    /// state: a reused borrow buffer, a reused odometer, an
+    /// [`EvalScratch`], a local incumbent, and a local evaluation counter.
+    /// `start` is the chunk's offset into the global subset list (the
+    /// ordinal base), so ordinals are globally unique and chunk-invariant.
+    fn search_chunk(
+        &self,
+        options: &[Vec<GroupAssessment>],
+        od: &OnDemandOption,
+        start: usize,
+        subsets: &[Vec<usize>],
+    ) -> (u64, Option<Candidate>) {
+        let mut evaluations = 0u64;
+        let mut best: Option<Candidate> = None;
+        let mut refs: Vec<&GroupAssessment> = Vec::new();
+        let mut idx: Vec<usize> = Vec::new();
+        let mut scratch = EvalScratch::new();
 
-        // Enumerate k-subsets of candidate groups for k = 1..=κ.
-        let k_max = self.config.kappa.min(self.problem.candidates.len());
-        let n = self.problem.candidates.len();
-        let mut subset = Vec::new();
-        for k in 1..=k_max {
-            enumerate_subsets(n, k, 0, &mut subset, &mut |chosen: &[usize]| {
-                // Odometer over each chosen group's option list.
-                if chosen.iter().any(|&g| options[g].is_empty()) {
-                    return;
+        for (offset, chosen) in subsets.iter().enumerate() {
+            if chosen.iter().any(|&g| options[g].is_empty()) {
+                continue;
+            }
+            let subset_ordinal = start + offset;
+            idx.clear();
+            idx.resize(chosen.len(), 0);
+            let mut step = 0u64;
+            let mut exhausted = false;
+            while !exhausted {
+                refs.clear();
+                refs.extend(chosen.iter().zip(&idx).map(|(&g, &i)| &options[g][i]));
+                let eval = evaluate_with_scratch(&refs, od, &mut scratch);
+                evaluations += 1;
+                let feasible = eval.meets(self.problem.deadline)
+                    && self
+                        .config
+                        .min_spot_success
+                        .map(|q| eval.p_all_fail <= 1.0 - q)
+                        .unwrap_or(true);
+                let ordinal = (subset_ordinal, step);
+                let replace = match &best {
+                    None => true,
+                    Some(b) => beats(
+                        feasible,
+                        &eval,
+                        refs.iter().map(|a| a.decision.bid),
+                        ordinal,
+                        b,
+                    ),
+                };
+                if replace {
+                    best = Some(Candidate {
+                        feasible,
+                        eval,
+                        bids: refs.iter().map(|a| a.decision.bid).collect(),
+                        subset: chosen.clone(),
+                        idx: idx.clone(),
+                        ordinal,
+                    });
                 }
-                let mut idx = vec![0usize; chosen.len()];
+                step += 1;
+                // Advance odometer.
+                let mut pos = 0;
                 loop {
-                    let assessed: Vec<GroupAssessment> = chosen
-                        .iter()
-                        .zip(&idx)
-                        .map(|(&g, &i)| options[g][i].clone())
-                        .collect();
-                    let eval = evaluate(&assessed, &od);
-                    evaluations += 1;
-                    let feasible = eval.meets(self.problem.deadline)
-                        && self
-                            .config
-                            .min_spot_success
-                            .map(|q| eval.p_all_fail <= 1.0 - q)
-                            .unwrap_or(true);
-                    let better = match (feasible, best_feasible) {
-                        (true, false) => true,
-                        (true, true) => eval.expected_cost < best.1.expected_cost,
-                        (false, false) => eval.expected_cost < best.1.expected_cost,
-                        (false, true) => false,
-                    };
-                    if better {
-                        let plan = Plan {
-                            groups: assessed
-                                .iter()
-                                .map(|a| (a.group, a.decision))
-                                .collect(),
-                            on_demand: od,
-                        };
-                        best = (plan, eval);
-                        best_feasible = feasible;
+                    if pos == idx.len() {
+                        exhausted = true;
+                        break;
                     }
-                    // Advance odometer.
-                    let mut pos = 0;
-                    loop {
-                        if pos == idx.len() {
-                            return;
-                        }
-                        idx[pos] += 1;
-                        if idx[pos] < options[chosen[pos]].len() {
-                            break;
-                        }
-                        idx[pos] = 0;
-                        pos += 1;
+                    idx[pos] += 1;
+                    if idx[pos] < options[chosen[pos]].len() {
+                        break;
                     }
+                    idx[pos] = 0;
+                    pos += 1;
                 }
-            });
+            }
         }
-
-        OptimizedPlan {
-            plan: best.0,
-            evaluation: best.1,
-            evaluations_performed: evaluations,
-        }
+        (evaluations, best)
     }
 }
 
 /// Visit every `k`-subset of `0..n` (lexicographic), calling `f` with each.
+/// Visits nothing when `k > n` (instead of underflowing the loop bound).
 fn enumerate_subsets(
     n: usize,
     k: usize,
@@ -235,6 +464,9 @@ fn enumerate_subsets(
         return;
     }
     let remaining = k - acc.len();
+    if remaining > n.saturating_sub(start) {
+        return; // not enough elements left — covers k > n
+    }
     for i in start..=(n - remaining) {
         acc.push(i);
         enumerate_subsets(n, k, i + 1, acc, f);
@@ -254,8 +486,7 @@ mod tests {
     fn setup() -> (SpotMarket, Problem, MarketView) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 13), 200.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 13), 200.0, 1.0 / 12.0);
         let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
         let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
             .iter()
@@ -273,7 +504,11 @@ mod tests {
     }
 
     fn small_config() -> OptimizerConfig {
-        OptimizerConfig { kappa: 2, bid_levels: 3, ..OptimizerConfig::default() }
+        OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            ..OptimizerConfig::default()
+        }
     }
 
     #[test]
@@ -295,7 +530,11 @@ mod tests {
     fn respects_kappa() {
         let (_, problem, view) = setup();
         for kappa in 1..=3 {
-            let cfg = OptimizerConfig { kappa, bid_levels: 2, ..OptimizerConfig::default() };
+            let cfg = OptimizerConfig {
+                kappa,
+                bid_levels: 2,
+                ..OptimizerConfig::default()
+            };
             let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
             assert!(opt.plan.replication_degree() <= kappa);
         }
@@ -307,13 +546,21 @@ mod tests {
         let cheap = TwoLevelOptimizer::new(
             &problem,
             &view,
-            OptimizerConfig { kappa: 2, bid_levels: 2, ..OptimizerConfig::default() },
+            OptimizerConfig {
+                kappa: 2,
+                bid_levels: 2,
+                ..OptimizerConfig::default()
+            },
         )
         .optimize();
         let rich = TwoLevelOptimizer::new(
             &problem,
             &view,
-            OptimizerConfig { kappa: 2, bid_levels: 5, ..OptimizerConfig::default() },
+            OptimizerConfig {
+                kappa: 2,
+                bid_levels: 5,
+                ..OptimizerConfig::default()
+            },
         )
         .optimize();
         // The 5-level grid contains the 2-level grid, so the optimum can
@@ -337,7 +584,10 @@ mod tests {
     #[test]
     fn search_space_matches_formula() {
         // evaluations ≈ 1 (OD) + Σ_k C(K,k)·L^k for the chosen κ and L.
-        let (_, problem, view) = setup();
+        // Loose deadline so no option is pruned for deadline viability and
+        // the count reflects the raw search space.
+        let (_, mut problem, view) = setup();
+        problem.deadline = 100.0;
         let cfg = OptimizerConfig {
             kappa: 2,
             bid_levels: 2,
@@ -350,8 +600,7 @@ mod tests {
         let expected = 1 + k_total * l + k_total * (k_total - 1) / 2 * l * l;
         // Unlaunchable bids can reduce the count slightly.
         assert!(
-            opt.evaluations_performed <= expected
-                && opt.evaluations_performed > expected / 2,
+            opt.evaluations_performed <= expected && opt.evaluations_performed > expected / 2,
             "evals {} vs expected {expected}",
             opt.evaluations_performed
         );
@@ -363,7 +612,11 @@ mod tests {
         let phi = TwoLevelOptimizer::new(
             &problem,
             &view,
-            OptimizerConfig { kappa: 1, bid_levels: 3, ..OptimizerConfig::default() },
+            OptimizerConfig {
+                kappa: 1,
+                bid_levels: 3,
+                ..OptimizerConfig::default()
+            },
         )
         .optimize();
         let grid = TwoLevelOptimizer::new(
@@ -397,6 +650,58 @@ mod tests {
         });
         assert_eq!(count, 10); // C(5,3)
     }
+
+    #[test]
+    fn subset_enumeration_handles_k_larger_than_n() {
+        // Regression: `k > n` used to underflow `n - remaining` (usize)
+        // and panic; it must simply visit nothing.
+        let mut count = 0usize;
+        let mut acc = Vec::new();
+        enumerate_subsets(3, 5, 0, &mut acc, &mut |_| count += 1);
+        assert_eq!(count, 0);
+        assert!(acc.is_empty());
+        // And n = 0 with k > 0 likewise.
+        enumerate_subsets(0, 1, 0, &mut acc, &mut |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let (_, problem, view) = setup();
+        let base = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            ..OptimizerConfig::default()
+        };
+        let serial =
+            TwoLevelOptimizer::new(&problem, &view, OptimizerConfig { threads: 1, ..base })
+                .optimize();
+        for threads in [2usize, 8] {
+            let parallel =
+                TwoLevelOptimizer::new(&problem, &view, OptimizerConfig { threads, ..base })
+                    .optimize();
+            assert_eq!(serial, parallel, "threads={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn bid_vector_tiebreak_is_a_total_order() {
+        assert_eq!(
+            cmp_bids([0.5, 0.25].into_iter(), &[0.5, 0.25]),
+            Ordering::Equal
+        );
+        assert_eq!(
+            cmp_bids([0.5, 0.2].into_iter(), &[0.5, 0.25]),
+            Ordering::Less
+        );
+        assert_eq!(
+            cmp_bids([0.5, 0.3].into_iter(), &[0.5, 0.25]),
+            Ordering::Greater
+        );
+        // A prefix orders before its extensions.
+        assert_eq!(cmp_bids([0.5].into_iter(), &[0.5, 0.25]), Ordering::Less);
+        assert_eq!(cmp_bids([0.5, 0.25].into_iter(), &[0.5]), Ordering::Greater);
+    }
 }
 
 #[cfg(test)]
@@ -412,14 +717,12 @@ mod chance_constraint_tests {
     fn min_spot_success_tightens_plans() {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 97), 200.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 97), 200.0, 1.0 / 12.0);
         let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
-        let types: Vec<InstanceTypeId> =
-            ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
-                .iter()
-                .map(|n| market.catalog().by_name(n).unwrap())
-                .collect();
+        let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+            .iter()
+            .map(|n| market.catalog().by_name(n).unwrap())
+            .collect();
         let mut problem = crate::problem::Problem::build(
             &market,
             &profile,
@@ -430,8 +733,15 @@ mod chance_constraint_tests {
         problem.deadline = problem.baseline_time() * 1.5;
         let view = crate::view::MarketView::from_market(&market, 0.0, 48.0);
 
-        let base = OptimizerConfig { kappa: 2, bid_levels: 6, ..Default::default() };
-        let strict = OptimizerConfig { min_spot_success: Some(0.999), ..base };
+        let base = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 6,
+            ..Default::default()
+        };
+        let strict = OptimizerConfig {
+            min_spot_success: Some(0.999),
+            ..base
+        };
         let free = TwoLevelOptimizer::new(&problem, &view, base).optimize();
         let safe = TwoLevelOptimizer::new(&problem, &view, strict).optimize();
         // The chance constraint can only restrict the feasible set: cost

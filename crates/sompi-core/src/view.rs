@@ -93,8 +93,7 @@ mod tests {
     fn view() -> (SpotMarket, MarketView) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
-        let market =
-            SpotMarket::generate(cat, &TraceGenerator::new(prof, 3), 96.0, 1.0 / 12.0);
+        let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 3), 96.0, 1.0 / 12.0);
         let v = MarketView::from_market(&market, 0.0, 48.0);
         (market, v)
     }
@@ -130,7 +129,10 @@ mod tests {
     fn mean_price_matches_unbounded_expected_price() {
         let (_, v) = view();
         let id = v.groups().next().unwrap();
-        assert_eq!(v.mean_price(id), v.expected_price(id, f64::INFINITY).unwrap());
+        assert_eq!(
+            v.mean_price(id),
+            v.expected_price(id, f64::INFINITY).unwrap()
+        );
     }
 
     #[test]

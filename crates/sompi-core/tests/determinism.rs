@@ -1,0 +1,95 @@
+//! Parallel-search determinism: the two-level optimizer must return a
+//! bit-identical `OptimizedPlan` — plan, evaluation, and the number of
+//! candidate evaluations — at every thread count, on every market.
+//!
+//! Workers search disjoint chunks of the C(K,k) subset enumeration and
+//! merge local incumbents under a total order (feasibility, expected
+//! cost, bid vector, enumeration ordinal), so the chunking must be
+//! unobservable in the result.
+
+use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+use ec2_market::market::SpotMarket;
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::storage::S3Store;
+use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
+use sompi_core::{MarketView, Problem};
+
+fn problem_on(seed: u64, kernel: NpbKernel, deadline: f64) -> (Problem, MarketView) {
+    let cat = InstanceCatalog::paper_2014();
+    let prof = MarketProfile::paper_2014(&cat);
+    let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, seed), 200.0, 1.0 / 12.0);
+    let profile = kernel.profile(NpbClass::B, 128).repeated(200);
+    let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+        .iter()
+        .map(|n| market.catalog().by_name(n).unwrap())
+        .collect();
+    let problem = Problem::build(
+        &market,
+        &profile,
+        deadline,
+        Some(&types),
+        S3Store::paper_2014(),
+    );
+    let view = MarketView::from_market(&market, 0.0, 48.0);
+    (problem, view)
+}
+
+fn assert_thread_invariant(problem: &Problem, view: &MarketView, cfg: OptimizerConfig) {
+    let serial =
+        TwoLevelOptimizer::new(problem, view, OptimizerConfig { threads: 1, ..cfg }).optimize();
+    assert!(serial.evaluations_performed > 0);
+    for threads in [2usize, 3, 8, 0] {
+        let parallel =
+            TwoLevelOptimizer::new(problem, view, OptimizerConfig { threads, ..cfg }).optimize();
+        assert_eq!(
+            parallel, serial,
+            "threads = {threads} diverged from serial (kappa = {}, levels = {})",
+            cfg.kappa, cfg.bid_levels
+        );
+    }
+}
+
+/// Paper-scale search (κ = 4, 12 bid levels) on the default seeded market.
+#[test]
+fn paper_scale_plan_is_thread_invariant() {
+    let (problem, view) = problem_on(13, NpbKernel::Bt, 3.0);
+    assert_thread_invariant(&problem, &view, OptimizerConfig::default());
+}
+
+/// A second market (different seed, workload, and deadline) so the
+/// invariance is not an artifact of one incumbent trajectory.
+#[test]
+fn second_market_plan_is_thread_invariant() {
+    let (problem, view) = problem_on(97, NpbKernel::Sp, 2.5);
+    assert_thread_invariant(&problem, &view, OptimizerConfig::default());
+}
+
+/// Small odd-shaped searches: subset counts that do not divide evenly
+/// across workers, and κ = 1 where chunks hold a single subset each.
+#[test]
+fn uneven_chunking_is_thread_invariant() {
+    let (problem, view) = problem_on(13, NpbKernel::Bt, 3.0);
+    for (kappa, bid_levels) in [(1, 3), (2, 5), (3, 2)] {
+        let cfg = OptimizerConfig {
+            kappa,
+            bid_levels,
+            ..OptimizerConfig::default()
+        };
+        assert_thread_invariant(&problem, &view, cfg);
+    }
+}
+
+/// The Theorem 1 ablation multiplies per-subset work; the merge must
+/// still be invariant when the odometer covers interval grids too.
+#[test]
+fn interval_grid_search_is_thread_invariant() {
+    let (problem, view) = problem_on(97, NpbKernel::Bt, 3.0);
+    let cfg = OptimizerConfig {
+        kappa: 2,
+        bid_levels: 4,
+        interval_grid: Some(3),
+        ..OptimizerConfig::default()
+    };
+    assert_thread_invariant(&problem, &view, cfg);
+}

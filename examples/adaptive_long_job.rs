@@ -36,8 +36,7 @@ fn drifting_market() -> SpotMarket {
                     ty.on_demand_price * 0.12 * level,
                     ZoneVolatility::Volatile,
                 );
-                let piece =
-                    cfg.generate(100.0, 1.0 / 12.0, (id.0 * 31 + zi * 7 + si) as u64);
+                let piece = cfg.generate(100.0, 1.0 / 12.0, (id.0 * 31 + zi * 7 + si) as u64);
                 match &mut trace {
                     None => trace = Some(piece),
                     Some(t) => t.extend_from(&piece),
@@ -67,10 +66,17 @@ fn main() {
     let config = AdaptiveConfig {
         window_hours: 10.0,
         history_hours: 48.0,
-        optimizer: OptimizerConfig { kappa: 3, bid_levels: 5, ..Default::default() },
+        optimizer: OptimizerConfig {
+            kappa: 3,
+            bid_levels: 5,
+            ..Default::default()
+        },
     };
 
-    for (label, maintain) in [("with update maintenance (SOMPI)", true), ("frozen plan (w/o-MT)", false)] {
+    for (label, maintain) in [
+        ("with update maintenance (SOMPI)", true),
+        ("frozen plan (w/o-MT)", false),
+    ] {
         let mut runner = AdaptiveRunner::new(&market, config);
         if !maintain {
             runner = runner.without_maintenance();

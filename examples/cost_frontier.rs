@@ -40,7 +40,11 @@ fn main() {
     let points = frontier(
         &problem,
         &view,
-        OptimizerConfig { kappa: 2, bid_levels: 6, ..Default::default() },
+        OptimizerConfig {
+            kappa: 2,
+            bid_levels: 6,
+            ..Default::default()
+        },
     );
 
     println!(
@@ -50,7 +54,10 @@ fn main() {
         problem.baseline_time(),
         problem.baseline_cost_billed()
     );
-    println!("{:>10} {:>12} {:>10}  plan", "E[time] h", "E[cost] $", "vs base");
+    println!(
+        "{:>10} {:>12} {:>10}  plan",
+        "E[time] h", "E[cost] $", "vs base"
+    );
     for p in &points {
         let mut types: Vec<String> = p
             .plan

@@ -30,15 +30,12 @@ fn main() {
 
     let catalog = InstanceCatalog::paper_2014();
     let profile = MarketProfile::paper_2014(&catalog);
-    let market = SpotMarket::generate(
-        catalog,
-        &TraceGenerator::new(profile, 7),
-        400.0,
-        1.0 / 12.0,
-    );
+    let market = SpotMarket::generate(catalog, &TraceGenerator::new(profile, 7), 400.0, 1.0 / 12.0);
     let app = kernel.profile(NpbClass::B, 128).repeated(200);
     let view = MarketView::from_market(&market, 0.0, 48.0);
-    let sompi = Sompi { config: OptimizerConfig::default() };
+    let sompi = Sompi {
+        config: OptimizerConfig::default(),
+    };
 
     let base = Problem::build(&market, &app, f64::MAX, None, S3Store::paper_2014());
     println!(
@@ -48,7 +45,10 @@ fn main() {
         base.baseline_cost_billed(),
         market.catalog().get(base.baseline().instance_type).name
     );
-    println!("{:<10} {:>10} {:>8} {:>8}  spot mix", "deadline", "avg bill", "saving", "met");
+    println!(
+        "{:<10} {:>10} {:>8} {:>8}  spot mix",
+        "deadline", "avg bill", "saving", "met"
+    );
     for headroom in [0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
         let mut problem = base.clone();
         problem.deadline = base.baseline_time() * (1.0 + headroom);

@@ -25,15 +25,12 @@ use sompi_core::view::MarketView;
 fn main() {
     let catalog = InstanceCatalog::paper_2014();
     let prof = MarketProfile::paper_2014(&catalog);
-    let market = SpotMarket::generate(
-        catalog,
-        &TraceGenerator::new(prof, 99),
-        400.0,
-        1.0 / 12.0,
-    );
+    let market = SpotMarket::generate(catalog, &TraceGenerator::new(prof, 99), 400.0, 1.0 / 12.0);
     let lammps = Lammps::paper();
     let view = MarketView::from_market(&market, 0.0, 48.0);
-    let sompi = Sompi { config: OptimizerConfig::default() };
+    let sompi = Sompi {
+        config: OptimizerConfig::default(),
+    };
 
     println!(
         "LAMMPS melt: {} atoms, {} timesteps, fixed problem size\n",

@@ -23,7 +23,12 @@ fn main() {
 
     // Closed-form estimate vs discrete-event execution.
     let estimate = cluster.estimate(&catalog, &app);
-    println!("{} on {} x{}", app.name, catalog.get(ty).name, cluster.instances);
+    println!(
+        "{} on {} x{}",
+        app.name,
+        catalog.get(ty).name,
+        cluster.instances
+    );
     println!(
         "  analytic estimate: {:.3} h  (compute {:.0}%, network {:.0}%, io {:.0}%)",
         estimate.total_hours(),
@@ -43,11 +48,19 @@ fn main() {
 
     let clean = sim.run(&program, None, None);
     println!("\nDES, failure-free, no checkpoints:");
-    println!("  wall {:.3} h (vs analytic {:.3} h)", clean.wall_hours, estimate.total_hours());
+    println!(
+        "  wall {:.3} h (vs analytic {:.3} h)",
+        clean.wall_hours,
+        estimate.total_hours()
+    );
 
     let failure_at = clean.wall_hours * 0.7;
     println!("\nout-of-bid event injected at {failure_at:.3} h:");
-    for interval in [None, Some(clean.wall_hours / 4.0), Some(clean.wall_hours / 20.0)] {
+    for interval in [
+        None,
+        Some(clean.wall_hours / 4.0),
+        Some(clean.wall_hours / 20.0),
+    ] {
         let out = sim.run(&program, interval, Some(failure_at));
         let label = match interval {
             None => "no checkpoints ".to_string(),

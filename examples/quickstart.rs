@@ -53,9 +53,14 @@ fn main() {
 
     // 4. Optimize against the first two days of history.
     let view = MarketView::from_market(&market, 0.0, 48.0);
-    let sompi = Sompi { config: OptimizerConfig::default() };
+    let sompi = Sompi {
+        config: OptimizerConfig::default(),
+    };
     let plan = sompi.plan(&problem, &view);
-    println!("\nSOMPI plan ({} circle groups):", plan.replication_degree());
+    println!(
+        "\nSOMPI plan ({} circle groups):",
+        plan.replication_degree()
+    );
     for (group, decision) in &plan.groups {
         let ty = market.instance_type(group.id);
         println!(

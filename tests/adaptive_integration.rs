@@ -18,10 +18,8 @@ fn shifting_market() -> SpotMarket {
     let mut market = SpotMarket::new(catalog.clone());
     for (id, ty) in catalog.iter() {
         for (zi, zone) in AvailabilityZone::PAPER_ZONES.into_iter().enumerate() {
-            let cfg1 =
-                TraceGenConfig::preset(ty.on_demand_price * 0.10, ZoneVolatility::Volatile);
-            let cfg2 =
-                TraceGenConfig::preset(ty.on_demand_price * 0.22, ZoneVolatility::Volatile);
+            let cfg1 = TraceGenConfig::preset(ty.on_demand_price * 0.10, ZoneVolatility::Volatile);
+            let cfg2 = TraceGenConfig::preset(ty.on_demand_price * 0.22, ZoneVolatility::Volatile);
             let mut t = cfg1.generate(150.0, 1.0 / 12.0, (id.0 * 11 + zi) as u64);
             t.extend_from(&cfg2.generate(150.0, 1.0 / 12.0, (id.0 * 13 + zi + 5) as u64));
             market.insert(CircleGroupId::new(id, zone), t);
@@ -41,7 +39,11 @@ fn config(window: f64) -> AdaptiveConfig {
     AdaptiveConfig {
         window_hours: window,
         history_hours: 48.0,
-        optimizer: OptimizerConfig { kappa: 2, bid_levels: 3, ..Default::default() },
+        optimizer: OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            ..Default::default()
+        },
     }
 }
 

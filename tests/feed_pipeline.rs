@@ -23,7 +23,11 @@ fn synthetic_feed() -> String {
     for hour in 0..200u32 {
         let ts = hour as f64 * 3600.0;
         let spike = hour % 24 == 10; // daily spike in 1a
-        let p1a = if spike { 2.0 } else { 0.008 + 0.001 * ((hour % 5) as f64) };
+        let p1a = if spike {
+            2.0
+        } else {
+            0.008 + 0.001 * ((hour % 5) as f64)
+        };
         let p1b = 0.0075 + 0.0005 * ((hour % 3) as f64);
         writeln!(f, "{ts} m1.small us-east-1a {p1a:.4}").unwrap();
         writeln!(f, "{ts} m1.small us-east-1b {p1b:.4}").unwrap();
@@ -61,10 +65,17 @@ fn imported_feed_supports_full_planning_pipeline() {
 
     let view = MarketView::from_market(&market, 0.0, 48.0);
     let plan = Sompi {
-        config: OptimizerConfig { kappa: 2, bid_levels: 4, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            ..Default::default()
+        },
     }
     .plan(&problem, &view);
-    assert!(!plan.groups.is_empty(), "spot plan expected on a cheap market");
+    assert!(
+        !plan.groups.is_empty(),
+        "spot plan expected on a cheap market"
+    );
 
     let out = PlanRunner::new(&market, problem.deadline).run(&plan, 60.0);
     assert!(out.total_cost > 0.0);
@@ -87,7 +98,11 @@ fn calibration_of_imported_trace_detects_the_daily_spike() {
     // Spike amplitude ≈ 2.0 / 0.009 ≈ 200× the base.
     assert!(cal.config.spike_multiplier.1 > 50.0);
     // Base recovered near the calm level.
-    assert!((cal.config.base_price - 0.009).abs() < 0.004, "{}", cal.config.base_price);
+    assert!(
+        (cal.config.base_price - 0.009).abs() < 0.004,
+        "{}",
+        cal.config.base_price
+    );
 }
 
 #[test]
@@ -98,7 +113,11 @@ fn flat_zone_of_the_feed_is_preferred_by_the_optimizer() {
     problem.deadline = problem.baseline_time() * 1.5;
     let view = MarketView::from_market(&market, 0.0, 48.0);
     let plan = Sompi {
-        config: OptimizerConfig { kappa: 1, bid_levels: 4, ..Default::default() },
+        config: OptimizerConfig {
+            kappa: 1,
+            bid_levels: 4,
+            ..Default::default()
+        },
     }
     .plan(&problem, &view);
     // With κ = 1 the single chosen group should be the spike-free 1b zone.

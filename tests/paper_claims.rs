@@ -17,7 +17,12 @@ use sompi_core::view::MarketView;
 fn market() -> SpotMarket {
     let catalog = InstanceCatalog::paper_2014();
     let profile = MarketProfile::paper_2014(&catalog);
-    SpotMarket::generate(catalog, &TraceGenerator::new(profile, 777), 300.0, 1.0 / 12.0)
+    SpotMarket::generate(
+        catalog,
+        &TraceGenerator::new(profile, 777),
+        300.0,
+        1.0 / 12.0,
+    )
 }
 
 fn paper_types(m: &SpotMarket) -> Vec<InstanceTypeId> {
@@ -49,12 +54,24 @@ fn run(m: &SpotMarket, kernel: NpbKernel, headroom: f64, s: &dyn Strategy) -> (M
     p.deadline = p.baseline_time() * (1.0 + headroom);
     let view = MarketView::from_market(m, 0.0, 48.0);
     let plan = s.plan(&p, &view);
-    let mc = MonteCarlo { replicas: 24, seed: 1, offset_min: 48.0, offset_max: 260.0, threads: 4 };
+    let mc = MonteCarlo {
+        replicas: 24,
+        seed: 1,
+        offset_min: 48.0,
+        offset_max: 260.0,
+        threads: 4,
+    };
     (mc.run_plan(m, &plan, p.deadline), p)
 }
 
 fn sompi() -> Sompi {
-    Sompi { config: OptimizerConfig { kappa: 3, bid_levels: 4, ..Default::default() } }
+    Sompi {
+        config: OptimizerConfig {
+            kappa: 3,
+            bid_levels: 4,
+            ..Default::default()
+        },
+    }
 }
 
 #[test]
@@ -65,9 +82,24 @@ fn headline_ordering_for_bt() {
     let (mar, _) = run(&m, NpbKernel::Bt, 0.5, &Marathe);
     let (opt, _) = run(&m, NpbKernel::Bt, 0.5, &MaratheOpt);
     let (s, _) = run(&m, NpbKernel::Bt, 0.5, &sompi());
-    assert!(s.cost.mean < opt.cost.mean, "SOMPI {} vs Opt {}", s.cost.mean, opt.cost.mean);
-    assert!(opt.cost.mean <= mar.cost.mean * 1.01, "Opt {} vs Marathe {}", opt.cost.mean, mar.cost.mean);
-    assert!(mar.cost.mean < od.cost.mean, "Marathe {} vs OD {}", mar.cost.mean, od.cost.mean);
+    assert!(
+        s.cost.mean < opt.cost.mean,
+        "SOMPI {} vs Opt {}",
+        s.cost.mean,
+        opt.cost.mean
+    );
+    assert!(
+        opt.cost.mean <= mar.cost.mean * 1.01,
+        "Opt {} vs Marathe {}",
+        opt.cost.mean,
+        mar.cost.mean
+    );
+    assert!(
+        mar.cost.mean < od.cost.mean,
+        "Marathe {} vs OD {}",
+        mar.cost.mean,
+        od.cost.mean
+    );
 }
 
 #[test]
@@ -78,7 +110,12 @@ fn marathe_equals_marathe_opt_under_tight_deadline() {
     let (mar, _) = run(&m, NpbKernel::Bt, 0.05, &Marathe);
     let (opt, _) = run(&m, NpbKernel::Bt, 0.05, &MaratheOpt);
     let rel = (mar.cost.mean - opt.cost.mean).abs() / mar.cost.mean;
-    assert!(rel < 0.05, "Marathe {} vs Opt {} differ {rel}", mar.cost.mean, opt.cost.mean);
+    assert!(
+        rel < 0.05,
+        "Marathe {} vs Opt {} differ {rel}",
+        mar.cost.mean,
+        opt.cost.mean
+    );
 }
 
 #[test]
@@ -146,7 +183,12 @@ fn spot_inf_reduces_cost_but_with_higher_variance_than_sompi() {
     let (od, _) = run(&m, NpbKernel::Bt, 0.5, &OnDemandOnly);
     let (inf, _) = run(&m, NpbKernel::Bt, 0.5, &SpotInf);
     let (s, _) = run(&m, NpbKernel::Bt, 0.5, &sompi());
-    assert!(inf.cost.mean < od.cost.mean, "Spot-Inf {} vs OD {}", inf.cost.mean, od.cost.mean);
+    assert!(
+        inf.cost.mean < od.cost.mean,
+        "Spot-Inf {} vs OD {}",
+        inf.cost.mean,
+        od.cost.mean
+    );
     // SOMPI searches a superset of Spot-Inf's configurations, so it can at
     // worst tie (it does tie when the safest single group is also optimal).
     assert!(

@@ -16,7 +16,12 @@ use sompi_core::view::MarketView;
 fn market(seed: u64) -> SpotMarket {
     let catalog = InstanceCatalog::paper_2014();
     let profile = MarketProfile::paper_2014(&catalog);
-    SpotMarket::generate(catalog, &TraceGenerator::new(profile, seed), 260.0, 1.0 / 12.0)
+    SpotMarket::generate(
+        catalog,
+        &TraceGenerator::new(profile, seed),
+        260.0,
+        1.0 / 12.0,
+    )
 }
 
 fn paper_types(m: &SpotMarket) -> Vec<InstanceTypeId> {
@@ -35,7 +40,11 @@ fn problem(m: &SpotMarket, headroom: f64) -> Problem {
 }
 
 fn small_cfg() -> OptimizerConfig {
-    OptimizerConfig { kappa: 2, bid_levels: 3, ..Default::default() }
+    OptimizerConfig {
+        kappa: 2,
+        bid_levels: 3,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -43,9 +52,18 @@ fn sompi_beats_on_demand_in_replay() {
     let m = market(101);
     let p = problem(&m, 0.5);
     let view = MarketView::from_market(&m, 0.0, 48.0);
-    let sompi_plan = Sompi { config: small_cfg() }.plan(&p, &view);
+    let sompi_plan = Sompi {
+        config: small_cfg(),
+    }
+    .plan(&p, &view);
     let od_plan = OnDemandOnly.plan(&p, &view);
-    let mc = MonteCarlo { replicas: 24, seed: 9, offset_min: 48.0, offset_max: 220.0, threads: 4 };
+    let mc = MonteCarlo {
+        replicas: 24,
+        seed: 9,
+        offset_min: 48.0,
+        offset_max: 220.0,
+        threads: 4,
+    };
     let s = mc.run_plan(&m, &sompi_plan, p.deadline);
     let o = mc.run_plan(&m, &od_plan, p.deadline);
     assert!(
@@ -62,8 +80,17 @@ fn replays_are_deterministic_end_to_end() {
     let m = market(102);
     let p = problem(&m, 0.5);
     let view = MarketView::from_market(&m, 0.0, 48.0);
-    let plan = Sompi { config: small_cfg() }.plan(&p, &view);
-    let mc = MonteCarlo { replicas: 12, seed: 4, offset_min: 48.0, offset_max: 200.0, threads: 3 };
+    let plan = Sompi {
+        config: small_cfg(),
+    }
+    .plan(&p, &view);
+    let mc = MonteCarlo {
+        replicas: 12,
+        seed: 4,
+        offset_min: 48.0,
+        offset_max: 200.0,
+        threads: 3,
+    };
     let a = mc.run_plan(&m, &plan, p.deadline);
     let b = mc.run_plan(&m, &plan, p.deadline);
     assert_eq!(a, b);
@@ -76,7 +103,10 @@ fn every_replay_completes_the_application() {
     let m = market(103);
     let p = problem(&m, 0.2);
     let view = MarketView::from_market(&m, 0.0, 48.0);
-    let plan = Sompi { config: small_cfg() }.plan(&p, &view);
+    let plan = Sompi {
+        config: small_cfg(),
+    }
+    .plan(&p, &view);
     let runner = PlanRunner::new(&m, p.deadline);
     for i in 0..24 {
         let out = runner.run(&plan, 50.0 + i as f64 * 8.0);
@@ -98,7 +128,10 @@ fn tight_deadline_plans_stay_feasible() {
     let m = market(104);
     let tight = problem(&m, 0.05);
     let view = MarketView::from_market(&m, 0.0, 48.0);
-    let plan = Sompi { config: small_cfg() }.plan(&tight, &view);
+    let plan = Sompi {
+        config: small_cfg(),
+    }
+    .plan(&tight, &view);
     // The paper's constraint is on the expectation: E[Time] <= Deadline.
     let eval = sompi_core::cost::evaluate_plan(&plan, &view).expect("launchable plan");
     assert!(
@@ -111,9 +144,9 @@ fn tight_deadline_plans_stay_feasible() {
     // chosen group must be able to finish within the deadline itself.
     if !plan.groups.is_empty() {
         assert!(
-            plan.groups.iter().any(|(g, d)| {
-                g.completion_wall_hours(d.ckpt_interval) <= tight.deadline
-            }),
+            plan.groups
+                .iter()
+                .any(|(g, d)| { g.completion_wall_hours(d.ckpt_interval) <= tight.deadline }),
             "no group can finish by the deadline"
         );
     }

@@ -97,16 +97,17 @@ proptest! {
         let mk = |s: f64| {
             let g = group(id, 3.0, 0.02, 0.1);
             let horizon = 4;
-            GroupAssessment {
-                group: g,
-                decision: GroupDecision { bid: 1.0, ckpt_interval: 1.0 },
-                expected_price: price,
-                survival: s,
-                fail_buckets: vec![(1.0 - s) / horizon as f64; horizon],
-                launch_delay: 0.0,
-            }
+            GroupAssessment::from_parts(
+                g,
+                GroupDecision { bid: 1.0, ckpt_interval: 1.0 },
+                price,
+                s,
+                vec![(1.0 - s) / horizon as f64; horizon],
+                0.0,
+            )
         };
-        let e = evaluate(&[mk(s1), mk(s2)], &od_option());
+        let (a1, a2) = (mk(s1), mk(s2));
+        let e = evaluate(&[&a1, &a2], &od_option());
         prop_assert!((e.p_all_fail - (1.0 - s1) * (1.0 - s2)).abs() < 1e-9);
         prop_assert!(
             (e.expected_cost - (e.expected_spot_cost + e.expected_od_cost)).abs() < 1e-9

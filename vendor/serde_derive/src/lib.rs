@@ -1,0 +1,405 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Parses the deriving item directly from the token stream (no `syn` —
+//! the build environment is offline) and generates `to_value` /
+//! `from_value` impls against `::serde::{Serialize, Deserialize, Value,
+//! DeError}`. Supported shapes — the only ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype serialization for one field, array otherwise),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (serde's external
+//!   representation: `"Variant"`, `{"Variant": inner}`).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; the macro panics on them so misuse fails loudly at compile
+//! time rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (named fields) or index (tuple fields).
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// `a: T, pub b: U, ...` → ["a", "b", ...]
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        }
+        i += 1; // name
+        i += 1; // `:`
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    names
+}
+
+/// Skip a type (plus the trailing comma); commas nested in `<...>` or
+/// groups don't terminate.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a possible discriminant and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?"))
+                .collect();
+            format!(
+                "if !v.is_object() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::msg(\n\
+                         ::std::format!(\"expected object for {name}, got {{v:?}}\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&v[{i}usize])?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let _ = v;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Obj(::std::vec![{}]),",
+                        binds.join(", "),
+                        obj_entry(vn, &inner)
+                    )
+                }
+                Fields::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                        .collect();
+                    let inner = format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "));
+                    format!(
+                        "{name}::{vn} {{ {} }} => ::serde::Value::Obj(::std::vec![{}]),",
+                        fields.join(", "),
+                        obj_entry(vn, &inner)
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push(format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+            )),
+            Fields::Tuple(n) => {
+                let init = if *n == 1 {
+                    format!("{name}::{vn}(::serde::Deserialize::from_value(inner)?)")
+                } else {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&inner[{i}usize])?"))
+                        .collect();
+                    format!("{name}::{vn}({})", items.join(", "))
+                };
+                data_arms.push(format!("\"{vn}\" => ::std::result::Result::Ok({init}),"));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\"))?")
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let err = format!(
+        "::std::result::Result::Err(::serde::DeError::msg(\
+             ::std::format!(\"unexpected value for enum {name}: {{v:?}}\")))"
+    );
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         _ => {err},\n\
+                     }},\n\
+                     ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                         let (key, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match key.as_str() {{\n\
+                             {data}\n\
+                             _ => {err},\n\
+                         }}\n\
+                     }}\n\
+                     _ => {err},\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}

@@ -1,0 +1,401 @@
+//! Offline shim of the `serde_json` API subset this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`json!`], and
+//! [`Value`] (re-exported from the vendored `serde`, where it doubles as
+//! the serialization data model).
+//!
+//! The writer emits numbers with Rust's shortest-round-trip float
+//! formatting, so `T → string → T` round-trips are exact for every finite
+//! value; non-finite floats serialize as `null` (serde_json-compatible).
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Serialization error (kept for API compatibility; the shim writer is
+/// infallible).
+pub type Error = DeError;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError::msg(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    T::from_value(&v)
+}
+
+/// Build a [`Value`] in place, `serde_json::json!`-style.
+///
+/// Supports the forms this workspace uses: object literals with
+/// expression values, array literals, and plain expressions (anything
+/// implementing the shim's `Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Arr(::std::vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Obj(::std::vec![
+            $( (::std::string::String::from($key), $crate::json!($value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        ::serde::Serialize::to_value(&$other)
+    };
+}
+
+// ----------------------------------------------------------------- writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => write_seq(
+            out,
+            indent,
+            depth,
+            '[',
+            ']',
+            items.iter(),
+            |out, item, d| write_value(out, item, indent, d),
+        ),
+        Value::Obj(fields) => write_seq(
+            out,
+            indent,
+            depth,
+            '{',
+            '}',
+            fields.iter(),
+            |out, (k, val), d| {
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * depth {
+                out.push(' ');
+            }
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Rust's Display for f64 is shortest-round-trip.
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::msg(format!(
+                "expected `{}` at byte {} of JSON input",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(_) => self.parse_number(),
+            None => Err(DeError::msg("unexpected end of JSON input")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, DeError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(DeError::msg(format!(
+                "invalid literal at byte {} of JSON input",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::msg("non-UTF8 number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| DeError::msg(format!("invalid number `{text}` at byte {start}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(DeError::msg("unterminated JSON string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| DeError::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| DeError::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| DeError::msg("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::msg("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(DeError::msg("bad escape in JSON string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| DeError::msg("non-UTF8 JSON string"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, DeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, DeError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => {
+                    return Err(DeError::msg(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = json!({
+            "a": 1.5,
+            "b": [1, 2, 3],
+            "c": "hi \"there\"",
+            "d": true,
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back["a"].as_f64(), Some(1.5));
+        assert!(back["b"].is_array());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let inner = json!({"inner": [0.25, -3.0]});
+        let v = json!({ "outer": inner });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats_are_exact() {
+        let x = 0.1f64 + 0.2;
+        let s = to_string(&x).unwrap();
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(x, back);
+    }
+}

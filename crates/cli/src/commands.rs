@@ -12,11 +12,28 @@ use sompi_core::cost::evaluate_plan;
 use sompi_core::model::Plan;
 use sompi_core::twolevel::OptimizerConfig;
 use sompi_core::view::MarketView;
+use sompi_obs::{parse_jsonl, JsonlRecorder, NullRecorder, Recorder, RunReport, TraceLevel};
 use std::io::Write;
 
 const PLAN_FLAGS: &[&str] = &[
-    "feed", "seed", "hours", "step", "app", "class", "procs", "repeats", "deadline", "kappa",
-    "levels", "slack", "strategy", "json", "history", "threads",
+    "feed",
+    "seed",
+    "hours",
+    "step",
+    "app",
+    "class",
+    "procs",
+    "repeats",
+    "deadline",
+    "kappa",
+    "levels",
+    "slack",
+    "strategy",
+    "json",
+    "history",
+    "threads",
+    "trace-out",
+    "trace-level",
 ];
 
 /// Pick the planning strategy from `--strategy`.
@@ -50,6 +67,34 @@ fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
 fn view_from(market: &SpotMarket, args: &Args) -> Result<MarketView, CliError> {
     let history = args.f64_or("history", 48.0)?;
     Ok(MarketView::from_market(market, 0.0, history))
+}
+
+/// Build the optional JSONL trace sink from `--trace-out` /
+/// `--trace-level` (default level `summary` once a path is given).
+fn trace_sink_from(args: &Args) -> Result<Option<JsonlRecorder>, CliError> {
+    let level = match args.get("trace-level") {
+        None => TraceLevel::Summary,
+        Some(v) => v.parse().map_err(CliError::Other)?,
+    };
+    match args.get("trace-out") {
+        None => Ok(None),
+        Some(path) => JsonlRecorder::create(std::path::Path::new(path), level)
+            .map(Some)
+            .map_err(|e| CliError::Other(format!("--trace-out {path}: {e}"))),
+    }
+}
+
+/// Flush a trace sink and surface any events lost to I/O errors.
+fn finish_trace(sink: &JsonlRecorder, path: &str) -> Result<(), CliError> {
+    sink.flush()
+        .map_err(|e| CliError::Other(format!("--trace-out {path}: {e}")))?;
+    if sink.write_errors() > 0 {
+        return Err(CliError::Other(format!(
+            "--trace-out {path}: {} event(s) lost to write errors",
+            sink.write_errors()
+        )));
+    }
+    Ok(())
 }
 
 /// Render a plan for humans.
@@ -86,7 +131,15 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let problem = problem_from(&market, &app, args)?;
     let view = view_from(&market, args)?;
     let strategy = strategy_from(args)?;
-    let plan = strategy.plan(&problem, &view);
+    let sink = trace_sink_from(args)?;
+    let recorder: &dyn Recorder = match &sink {
+        Some(s) => s,
+        None => &NullRecorder,
+    };
+    let plan = strategy.plan_recorded(&problem, &view, recorder);
+    if let Some(s) = &sink {
+        finish_trace(s, args.get("trace-out").unwrap_or(""))?;
+    }
     let eval = evaluate_plan(&plan, &view)
         .ok_or_else(|| CliError::Other("plan has an unlaunchable bid".into()))?;
 
@@ -141,7 +194,12 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let problem = problem_from(&market, &app, args)?;
     let view = view_from(&market, args)?;
     let strategy = strategy_from(args)?;
-    let plan = strategy.plan(&problem, &view);
+    let sink = trace_sink_from(args)?;
+    let recorder: &dyn Recorder = match &sink {
+        Some(s) => s,
+        None => &NullRecorder,
+    };
+    let plan = strategy.plan_recorded(&problem, &view, recorder);
 
     let replicas = args.u64_or("replicas", 100)? as usize;
     let seed = args.u64_or("mc-seed", 1)?;
@@ -150,6 +208,14 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let max = (market.horizon() - margin).max(history + 1.0);
     let mc = MonteCarlo::new(replicas, seed, history, max);
     let result = mc.run_plan(&market, &plan, problem.deadline);
+
+    // Tracing records one deterministic replay (the Monte-Carlo sweep
+    // would interleave replica timelines into an unreadable stream).
+    if let Some(s) = &sink {
+        let start = history + 1.0;
+        replay::PlanRunner::new(&market, problem.deadline).run_recorded(&plan, start, s);
+        finish_trace(s, args.get("trace-out").unwrap_or(""))?;
+    }
 
     if args.flag("json") {
         let doc = serde_json::json!({
@@ -246,9 +312,29 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `sompi trace summarize <file.jsonl>` — render a recorded execution
+/// trace as a human-readable run report.
+fn cmd_trace_summarize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    args.check_known(&[])?;
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| CliError::Other("usage: sompi trace summarize <file.jsonl>".into()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Other(format!("{path}: {e}")))?;
+    let events = parse_jsonl(&text).map_err(CliError::Other)?;
+    write!(out, "{}", RunReport::from_events(&events).render())
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    Ok(())
+}
+
 /// `sompi trace` — summarize (and optionally calibrate against) a market's
-/// traces.
+/// traces; `sompi trace summarize <file.jsonl>` renders a recorded
+/// execution trace instead.
 pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.positional().first().map(String::as_str) == Some("summarize") {
+        return cmd_trace_summarize(args, out);
+    }
     args.check_known(&["feed", "seed", "hours", "step", "calibrate", "json"])?;
     let market = market_from(args)?;
     let do_cal = args.flag("calibrate");
@@ -393,6 +479,69 @@ mod tests {
         assert!(out.contains("m1.small@us-east-1a"), "{out}");
         assert!(out.contains("base $"), "{out}");
         assert_eq!(out.lines().count(), 16); // header + 15 groups
+    }
+
+    #[test]
+    fn replay_trace_out_writes_jsonl_and_summarize_renders_it() {
+        let dir = std::env::temp_dir().join(format!("sompi-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let p = path.to_str().unwrap();
+        run(
+            cmd_replay,
+            &[
+                "--hours",
+                "200",
+                "--repeats",
+                "50",
+                "--kappa",
+                "1",
+                "--levels",
+                "2",
+                "--replicas",
+                "4",
+                "--trace-out",
+                p,
+                "--trace-level",
+                "detail",
+            ],
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = parse_jsonl(&text).expect("schema-valid trace");
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"PlanSearchStarted"), "{kinds:?}");
+        assert!(kinds.contains(&"PlanSelected"), "{kinds:?}");
+        assert!(kinds.contains(&"RunCompleted"), "{kinds:?}");
+
+        let report = run(cmd_trace, &["summarize", p]);
+        assert!(report.contains("plan search"), "{report}");
+        assert!(report.contains("outcome"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_trace_level_is_rejected() {
+        let mut buf = Vec::new();
+        let err = cmd_plan(
+            &args(&[
+                "--hours",
+                "60",
+                "--trace-out",
+                "/tmp/x.jsonl",
+                "--trace-level",
+                "loud",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown trace level"), "{err}");
+    }
+
+    #[test]
+    fn summarize_requires_a_path() {
+        let mut buf = Vec::new();
+        let err = cmd_trace(&args(&["summarize"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
     }
 
     #[test]

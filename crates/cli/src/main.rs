@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! sompi plan   [--app BT --class B --procs 128 --deadline 1.5 ...]
-//! sompi replay [... --replicas 200]
+//! sompi replay [... --replicas 200]     (alias: sompi run)
 //! sompi sweep  [... --from 1.05 --to 2.0 --points 6]
 //! sompi trace  [--feed history.txt | --seed 42 --hours 336] [--calibrate]
+//! sompi trace summarize run.jsonl
 //! ```
 
 use sompi_cli::args::Args;
@@ -19,9 +20,10 @@ USAGE:
 
 COMMANDS:
     plan      optimize bids/checkpoints/fallback for one application
-    replay    plan, then Monte-Carlo replay against the market
+    replay    plan, then Monte-Carlo replay against the market (alias: run)
     sweep     cost vs deadline-factor sweep
     trace     summarize market traces (optionally --calibrate)
+    trace summarize FILE    render a recorded .jsonl execution trace
 
 COMMON FLAGS:
     --app BT|SP|LU|FT|IS|BTIO|CG|MG|EP|LAMMPS   (default BT)
@@ -37,6 +39,8 @@ COMMON FLAGS:
     --history H                planning history window, hours (default 48)
     --replicas N --mc-seed N   Monte-Carlo controls
     --json                     machine-readable output (plan, replay)
+    --trace-out FILE           write a JSONL event trace (plan, replay)
+    --trace-level off|summary|detail    trace verbosity (default summary)
 ";
 
 fn main() {
@@ -49,7 +53,7 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     let result = match command {
         "plan" => commands::cmd_plan(&args, &mut stdout),
-        "replay" => commands::cmd_replay(&args, &mut stdout),
+        "replay" | "run" => commands::cmd_replay(&args, &mut stdout),
         "sweep" => commands::cmd_sweep(&args, &mut stdout),
         "trace" => commands::cmd_trace(&args, &mut stdout),
         "help" | "--help" | "-h" => {

@@ -19,6 +19,18 @@ use serde::{Deserialize, Serialize};
 
 /// The estimated failure-rate function of one circle group at one bid price:
 /// a sub-distribution over hourly failure buckets plus the survival mass.
+///
+/// ```
+/// use ec2_market::failure::FailureRateFn;
+///
+/// // 10% chance of dying in hour [0,1), 30% in [1,2), 60% survival.
+/// let f = FailureRateFn::new(0.2, vec![0.1, 0.3], 0.6);
+/// assert_eq!(f.horizon(), 2);
+/// assert_eq!(f.prob_fail_in(0), 0.1);
+/// assert_eq!(f.prob_fail_in(5), 0.0); // past the horizon
+/// assert!((f.prob_fail() - 0.4).abs() < 1e-12);
+/// assert!(f.mean_time_to_failure().is_some());
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureRateFn {
     bid: Usd,
@@ -164,6 +176,29 @@ impl ExpectedSpotPrice {
 
 /// Estimates failure-rate functions and expected spot prices from a price
 /// history window (typically "the previous two days", per the paper).
+///
+/// ```
+/// use ec2_market::failure::FailureEstimator;
+/// use ec2_market::trace::SpotTrace;
+///
+/// // 48 h of calm $0.10 prices with one $1.00 spike at hour 10.
+/// let mut prices = vec![0.1; 48];
+/// prices[10] = 1.0;
+/// let trace = SpotTrace::new(1.0, prices);
+///
+/// let est = FailureEstimator::from_window(trace.window(0.0, 48.0));
+/// assert_eq!(est.max_price(), 1.0);
+///
+/// // Bidding $0.50 loses only to the single spike, so most of the
+/// // exhaustively-enumerated start points survive a 12 h horizon
+/// // (only starts within 12 h before the spike die).
+/// let f = est.failure_rate_exact(0.5, 12);
+/// assert!(f.survival() > 0.5);
+///
+/// // S_i(P): the mean of historical prices at or below the bid.
+/// let s = est.expected_spot_price().mean_below(0.5).unwrap();
+/// assert!((s - 0.1).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct FailureEstimator {
     step_hours: Hours,

@@ -44,6 +44,24 @@ impl fmt::Display for CircleGroupId {
 
 /// A collection of spot price traces keyed by circle group, plus the
 /// instance catalog they refer to.
+///
+/// ```
+/// use ec2_market::instance::InstanceCatalog;
+/// use ec2_market::market::{CircleGroupId, SpotMarket};
+/// use ec2_market::trace::SpotTrace;
+/// use ec2_market::zone::AvailabilityZone;
+///
+/// let catalog = InstanceCatalog::paper_2014();
+/// let ty = catalog.by_name("m1.small").unwrap();
+/// let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
+///
+/// let mut market = SpotMarket::new(catalog);
+/// market.insert(id, SpotTrace::new(1.0, vec![0.1, 0.2, 0.1]));
+///
+/// assert_eq!(market.groups().count(), 1);
+/// assert_eq!(market.instance_type(id).name, "m1.small");
+/// assert_eq!(market.trace(id).unwrap().len(), 3);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpotMarket {
     catalog: InstanceCatalog,

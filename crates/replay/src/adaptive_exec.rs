@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use sompi_core::adaptive::{AdaptiveConfig, AdaptivePlanner, WindowDecision};
 use sompi_core::problem::Problem;
 use sompi_core::view::MarketView;
+use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
 
 /// Outcome of one adaptive execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,6 +27,24 @@ pub struct AdaptiveOutcome {
     pub windows: u32,
     /// Number of times the plan changed between consecutive windows.
     pub plan_changes: u32,
+}
+
+/// Emit the `RunCompleted` event for a finished adaptive run.
+fn emit_run_completed(recorder: &dyn Recorder, out: &RunOutcome, windows: u32, plan_changes: u32) {
+    emit(recorder, TraceLevel::Summary, || Event::RunCompleted {
+        finisher: match out.finisher {
+            Finisher::Spot(id) => format!("spot:{id}"),
+            Finisher::OnDemand => "on-demand".to_string(),
+        },
+        total_cost: out.total_cost,
+        spot_cost: out.spot_cost,
+        od_cost: out.od_cost,
+        wall_hours: out.wall_hours,
+        met_deadline: out.met_deadline,
+        groups_failed: out.groups_failed,
+        windows: Some(windows),
+        plan_changes: Some(plan_changes),
+    });
 }
 
 /// Replays the adaptive algorithm against a market.
@@ -56,6 +75,21 @@ impl<'a> AdaptiveRunner<'a> {
     /// Execute `problem` starting at trace offset `start` (the planner
     /// sees only prices before `start` at the first window).
     pub fn run(&self, problem: &Problem, start: Hours) -> AdaptiveOutcome {
+        self.run_recorded(problem, start, &NullRecorder)
+    }
+
+    /// [`AdaptiveRunner::run`], narrating the windowed loop to `recorder`:
+    /// a `WindowReplanned` per window boundary (with the inner optimizer's
+    /// search events on real re-plans, or `reused: true` under plan
+    /// continuity / w/o-MT), the replay's `GroupFailed`/`CheckpointTaken`
+    /// timeline, an `OnDemandFallback` when the loop abandons spot, and a
+    /// final `RunCompleted` carrying the window/plan-change tallies.
+    pub fn run_recorded(
+        &self,
+        problem: &Problem,
+        start: Hours,
+        recorder: &dyn Recorder,
+    ) -> AdaptiveOutcome {
         let cfg = self.planner.config;
         let runner = PlanRunner::new(self.market, problem.deadline);
 
@@ -92,6 +126,7 @@ impl<'a> AdaptiveRunner<'a> {
                     groups_failed,
                     met_deadline: elapsed <= problem.deadline,
                 };
+                emit_run_completed(recorder, &run, windows, plan_changes);
                 return AdaptiveOutcome {
                     run,
                     windows,
@@ -133,6 +168,13 @@ impl<'a> AdaptiveRunner<'a> {
                 let od_cost = runner
                     .billing()
                     .on_demand_cost(od.unit_price, hours, od.instances);
+                emit(recorder, TraceLevel::Summary, || Event::OnDemandFallback {
+                    at_hours: start + elapsed,
+                    remaining_fraction: remaining,
+                    od_hours: hours,
+                    od_cost,
+                    reason: "deadline-guard".to_string(),
+                });
                 let wall = elapsed + hours;
                 let run = RunOutcome {
                     total_cost: spot_cost + od_cost,
@@ -143,6 +185,7 @@ impl<'a> AdaptiveRunner<'a> {
                     groups_failed,
                     met_deadline: wall <= problem.deadline,
                 };
+                emit_run_completed(recorder, &run, windows, plan_changes);
                 return AdaptiveOutcome {
                     run,
                     windows,
@@ -160,9 +203,19 @@ impl<'a> AdaptiveRunner<'a> {
             let reuse = frozen_full.is_some() && (!self.update_maintenance || !replan_needed);
             let decision = if reuse {
                 let (frozen, made_for) = frozen_full.as_ref().expect("checked");
-                WindowDecision::Hybrid(frozen.scaled((remaining / made_for).min(1.0)))
+                let d = WindowDecision::Hybrid(frozen.scaled((remaining / made_for).min(1.0)));
+                emit(recorder, TraceLevel::Summary, || Event::WindowReplanned {
+                    window: windows,
+                    elapsed_hours: elapsed,
+                    remaining_fraction: remaining,
+                    reused: true,
+                    decision: "hybrid".to_string(),
+                    groups: d.plan().groups.len() as u32,
+                });
+                d
             } else {
-                self.planner.plan_window(problem, remaining, elapsed, &view)
+                self.planner
+                    .plan_window_recorded(problem, remaining, elapsed, &view, windows, recorder)
             };
 
             match decision {
@@ -177,6 +230,13 @@ impl<'a> AdaptiveRunner<'a> {
                         runner
                             .billing()
                             .on_demand_cost(od.unit_price, hours, od.instances);
+                    emit(recorder, TraceLevel::Summary, || Event::OnDemandFallback {
+                        at_hours: start + elapsed,
+                        remaining_fraction: remaining,
+                        od_hours: hours,
+                        od_cost,
+                        reason: "replan".to_string(),
+                    });
                     let wall = elapsed + hours;
                     let run = RunOutcome {
                         total_cost: spot_cost + od_cost,
@@ -187,6 +247,7 @@ impl<'a> AdaptiveRunner<'a> {
                         groups_failed,
                         met_deadline: wall <= problem.deadline,
                     };
+                    emit_run_completed(recorder, &run, windows, plan_changes);
                     return AdaptiveOutcome {
                         run,
                         windows,
@@ -214,7 +275,14 @@ impl<'a> AdaptiveRunner<'a> {
                     let win = cfg.window_hours.min((problem.deadline - elapsed).max(0.25));
                     // `reuse` means the same healthy instances keep
                     // running across the boundary: no fresh launch wait.
-                    let w = runner.run_window_carried(&plan, now, 1.0, Some(win), reuse);
+                    let w = runner.run_window_carried_recorded(
+                        &plan,
+                        now,
+                        1.0,
+                        Some(win),
+                        reuse,
+                        recorder,
+                    );
                     spot_cost += w.spot_cost;
                     groups_failed += w.groups_failed;
                     // Re-plan when the window went badly: someone was
@@ -242,6 +310,13 @@ impl<'a> AdaptiveRunner<'a> {
                 let od_cost = runner
                     .billing()
                     .on_demand_cost(od.unit_price, hours, od.instances);
+                emit(recorder, TraceLevel::Summary, || Event::OnDemandFallback {
+                    at_hours: start + elapsed,
+                    remaining_fraction: residual,
+                    od_hours: hours,
+                    od_cost,
+                    reason: "trace-horizon".to_string(),
+                });
                 let wall = elapsed + hours;
                 let run = RunOutcome {
                     total_cost: spot_cost + od_cost,
@@ -252,6 +327,7 @@ impl<'a> AdaptiveRunner<'a> {
                     groups_failed,
                     met_deadline: wall <= problem.deadline,
                 };
+                emit_run_completed(recorder, &run, windows, plan_changes);
                 return AdaptiveOutcome {
                     run,
                     windows,

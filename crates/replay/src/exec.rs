@@ -24,6 +24,7 @@ use ec2_market::billing::{BillingModel, Termination};
 use ec2_market::market::{CircleGroupId, SpotMarket};
 use serde::{Deserialize, Serialize};
 use sompi_core::model::Plan;
+use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
 
 /// Who completed the application in a replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +81,11 @@ struct GroupRun {
     completed: bool,
     /// Fraction of the full application durably saved by this group.
     saved_fraction: f64,
+    /// Durable checkpoints behind `saved_fraction` (interval checkpoints,
+    /// plus the final coordinated one on a user stop). Trace-event detail.
+    ckpts: u32,
+    /// Trace hour at which the last durable checkpoint finished.
+    ckpt_at: Hours,
 }
 
 /// Replays static plans against a market's realized traces.
@@ -121,8 +127,50 @@ impl<'a> PlanRunner<'a> {
     /// recovery then completes the job — late runs are still completed,
     /// just flagged as missing the deadline.
     pub fn run(&self, plan: &Plan, start: Hours) -> RunOutcome {
-        let w = self.run_window(plan, start, 1.0, Some(self.deadline));
-        self.finish_with_od(plan, w, 1.0)
+        self.run_recorded(plan, start, &NullRecorder)
+    }
+
+    /// [`PlanRunner::run`], emitting the failure/checkpoint/fallback
+    /// timeline to `recorder`: `GroupFailed` and `CheckpointTaken` events
+    /// from the window replay, one `OnDemandFallback` if spot did not
+    /// finish, and a final `RunCompleted`. All `at_hours` are on the
+    /// market-trace clock (the same clock as `start`).
+    pub fn run_recorded(&self, plan: &Plan, start: Hours, recorder: &dyn Recorder) -> RunOutcome {
+        let w = self.run_window_carried_recorded(
+            plan,
+            start,
+            1.0,
+            Some(self.deadline),
+            false,
+            recorder,
+        );
+        let out = self.finish_with_od(plan, w, 1.0);
+        // A planned pure-on-demand run is not a *fallback*; only emit one
+        // when spot groups existed and did not finish.
+        if w.completed_by.is_none() && !plan.groups.is_empty() {
+            emit(recorder, TraceLevel::Summary, || Event::OnDemandFallback {
+                at_hours: start + w.elapsed,
+                remaining_fraction: (1.0 - w.saved_fraction).max(0.0),
+                od_hours: out.wall_hours - w.elapsed,
+                od_cost: out.od_cost,
+                reason: "all-groups-failed".to_string(),
+            });
+        }
+        emit(recorder, TraceLevel::Summary, || Event::RunCompleted {
+            finisher: match out.finisher {
+                Finisher::Spot(id) => format!("spot:{id}"),
+                Finisher::OnDemand => "on-demand".to_string(),
+            },
+            total_cost: out.total_cost,
+            spot_cost: out.spot_cost,
+            od_cost: out.od_cost,
+            wall_hours: out.wall_hours,
+            met_deadline: out.met_deadline,
+            groups_failed: out.groups_failed,
+            windows: None,
+            plan_changes: None,
+        });
+        out
     }
 
     /// Convert a window outcome into a completed run by applying the
@@ -183,6 +231,21 @@ impl<'a> PlanRunner<'a> {
         window: Option<Hours>,
         carried: bool,
     ) -> WindowOutcome {
+        self.run_window_carried_recorded(plan, start, fraction, window, carried, &NullRecorder)
+    }
+
+    /// [`PlanRunner::run_window_carried`], emitting `GroupFailed` (Summary)
+    /// and `CheckpointTaken` (Detail) events once per-group lifecycles are
+    /// settled — i.e. after the winner rule classifies each termination.
+    pub fn run_window_carried_recorded(
+        &self,
+        plan: &Plan,
+        start: Hours,
+        fraction: f64,
+        window: Option<Hours>,
+        carried: bool,
+        recorder: &dyn Recorder,
+    ) -> WindowOutcome {
         assert!(
             fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0,1]"
@@ -223,6 +286,8 @@ impl<'a> PlanRunner<'a> {
                     termination: Termination::Provider,
                     completed: false,
                     saved_fraction: 0.0,
+                    ckpts: 0,
+                    ckpt_at: start,
                 });
                 continue;
             };
@@ -247,31 +312,39 @@ impl<'a> PlanRunner<'a> {
                     termination: Termination::User,
                     completed: true,
                     saved_fraction: fraction,
+                    ckpts: n_ckpt as u32,
+                    ckpt_at: completion,
                 });
             } else {
                 let end = death.min(cutoff);
                 let alive = (end - launch_t).max(0.0);
                 let killed_by_provider = death <= cutoff;
-                let saved_hours = if killed_by_provider {
+                let (saved_hours, ckpts, ckpt_at) = if killed_by_provider {
                     // Out-of-bid: only completed checkpoints survive.
                     if ckpt_on {
                         let cycle = interval + o;
-                        ((alive / cycle).floor() * interval).min(exec)
+                        let c = (alive / cycle).floor();
+                        ((c * interval).min(exec), c as u32, launch_t + c * cycle)
                     } else {
-                        0.0
+                        (0.0, 0, end)
                     }
                 } else {
                     // Window/deadline expiry is a *user* stop: the runtime
                     // takes a final coordinated checkpoint before releasing
                     // the instances (Algorithm 1 line 22, "checkpointing
                     // the final state of the application as the next start
-                    // point"), so all productive progress is durable.
+                    // point"), so all productive progress is durable. That
+                    // final checkpoint counts as one more durable one.
                     if ckpt_on {
                         let cycle = interval + o;
                         let c = (alive / cycle).floor();
-                        (c * interval + (alive - c * cycle).min(interval)).min(exec)
+                        (
+                            (c * interval + (alive - c * cycle).min(interval)).min(exec),
+                            c as u32 + 1,
+                            end,
+                        )
                     } else {
-                        alive.min(exec)
+                        (alive.min(exec), 1, end)
                     }
                 };
                 runs.push(GroupRun {
@@ -288,6 +361,8 @@ impl<'a> PlanRunner<'a> {
                     } else {
                         fraction
                     },
+                    ckpts,
+                    ckpt_at,
                 });
             }
         }
@@ -316,6 +391,11 @@ impl<'a> PlanRunner<'a> {
                     };
                     if ended_before_winner && r.termination == Termination::Provider {
                         groups_failed += 1;
+                        emit(recorder, TraceLevel::Summary, || Event::GroupFailed {
+                            group: group.id.to_string(),
+                            at_hours: r.end,
+                            saved_fraction: r.saved_fraction,
+                        });
                     }
                     let trace = self.market.trace(group.id).expect("checked above");
                     spot_cost += self.billing.spot_cost(
@@ -348,8 +428,21 @@ impl<'a> PlanRunner<'a> {
                             r.termination,
                             group.instances,
                         );
+                        if r.saved_fraction > 0.0 {
+                            emit(recorder, TraceLevel::Detail, || Event::CheckpointTaken {
+                                group: group.id.to_string(),
+                                at_hours: r.ckpt_at,
+                                count: r.ckpts,
+                                saved_fraction: r.saved_fraction,
+                            });
+                        }
                         if r.termination == Termination::Provider {
                             groups_failed += 1;
+                            emit(recorder, TraceLevel::Summary, || Event::GroupFailed {
+                                group: group.id.to_string(),
+                                at_hours: r.end,
+                                saved_fraction: r.saved_fraction,
+                            });
                         }
                     }
                     last_end = last_end.max(r.end);

@@ -56,7 +56,7 @@ pub mod timeline;
 pub use adaptive_exec::{AdaptiveOutcome, AdaptiveRunner};
 pub use exec::{Finisher, PlanRunner, RunOutcome};
 pub use montecarlo::{McResult, MonteCarlo};
-pub use relaunch::{run_persistent, RelaunchOutcome};
+pub use relaunch::{run_persistent, run_persistent_recorded, RelaunchOutcome};
 pub use stats::Summary;
 pub use timeline::{timeline, timeline_checked, Event};
 

@@ -14,6 +14,7 @@ use ec2_market::billing::{BillingModel, Termination};
 use ec2_market::market::SpotMarket;
 use serde::{Deserialize, Serialize};
 use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
+use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
 
 /// Outcome of a persistent-request replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,24 @@ pub fn run_persistent(
     start: Hours,
     deadline: Hours,
 ) -> RelaunchOutcome {
+    run_persistent_recorded(market, group, decision, od, start, deadline, &NullRecorder)
+}
+
+/// [`run_persistent`], emitting trace events: one [`Event::GroupFailed`]
+/// per provider-killed incarnation, [`Event::CheckpointTaken`] when an
+/// incarnation banks durable progress, [`Event::OnDemandFallback`] with
+/// reason `"bail-out"` when the deadline guard fires, and a final
+/// [`Event::RunCompleted`]. All `at_hours` are on the market-trace clock.
+#[allow(clippy::too_many_arguments)]
+pub fn run_persistent_recorded(
+    market: &SpotMarket,
+    group: &CircleGroup,
+    decision: &GroupDecision,
+    od: &OnDemandOption,
+    start: Hours,
+    deadline: Hours,
+    recorder: &dyn Recorder,
+) -> RelaunchOutcome {
     let billing = BillingModel::hourly();
     let trace = market
         .trace(group.id)
@@ -60,6 +79,7 @@ pub fn run_persistent(
     let mut saved: Hours = 0.0; // durable productive progress
     let mut spot_cost = 0.0;
     let mut incarnations = 0u32;
+    let mut kills = 0u32;
 
     loop {
         let remaining = group.exec_hours - saved;
@@ -69,7 +89,7 @@ pub fn run_persistent(
         if now >= latest_od_start || now >= start + deadline {
             let od_cost = billing.on_demand_cost(od.unit_price, od_hours, od.instances);
             let wall = (now - start) + od_hours;
-            return RelaunchOutcome {
+            let out = RelaunchOutcome {
                 total_cost: spot_cost + od_cost,
                 spot_cost,
                 od_cost,
@@ -78,6 +98,15 @@ pub fn run_persistent(
                 finisher: Finisher::OnDemand,
                 met_deadline: wall <= deadline,
             };
+            emit(recorder, TraceLevel::Summary, || Event::OnDemandFallback {
+                at_hours: now,
+                remaining_fraction: remaining / group.exec_hours,
+                od_hours,
+                od_cost,
+                reason: "bail-out".to_string(),
+            });
+            emit_relaunch_completed(recorder, &out, kills);
+            return out;
         }
 
         // Wait for a launchable price (bounded by the bail-out guard).
@@ -121,7 +150,7 @@ pub fn run_persistent(
                 group.instances,
             );
             let wall = completion - start;
-            return RelaunchOutcome {
+            let out = RelaunchOutcome {
                 total_cost: spot_cost,
                 spot_cost,
                 od_cost: 0.0,
@@ -130,6 +159,8 @@ pub fn run_persistent(
                 finisher: Finisher::Spot(group.id),
                 met_deadline: wall <= deadline,
             };
+            emit_relaunch_completed(recorder, &out, kills);
+            return out;
         }
 
         // Killed (or guard reached) before completion.
@@ -138,22 +169,58 @@ pub fn run_persistent(
             let alive = end - launch_t;
             if ckpt_on {
                 let cycle = interval + o;
-                saved = (saved + (alive / cycle).floor() * interval).min(group.exec_hours);
+                let banked = (alive / cycle).floor();
+                let before = saved;
+                saved = (saved + banked * interval).min(group.exec_hours);
+                if saved > before {
+                    emit(recorder, TraceLevel::Detail, || Event::CheckpointTaken {
+                        group: group.id.to_string(),
+                        at_hours: launch_t + banked * cycle,
+                        count: banked as u32,
+                        saved_fraction: saved / group.exec_hours,
+                    });
+                }
             }
+            let provider_kill = death <= end;
             spot_cost += billing.spot_cost(
                 trace,
                 launch_t,
                 end,
-                if death <= end {
+                if provider_kill {
                     Termination::Provider
                 } else {
                     Termination::User
                 },
                 group.instances,
             );
+            if provider_kill {
+                kills += 1;
+                emit(recorder, TraceLevel::Summary, || Event::GroupFailed {
+                    group: group.id.to_string(),
+                    at_hours: end,
+                    saved_fraction: saved / group.exec_hours,
+                });
+            }
         }
         now = end.max(now + trace.step_hours());
     }
+}
+
+fn emit_relaunch_completed(recorder: &dyn Recorder, out: &RelaunchOutcome, kills: u32) {
+    emit(recorder, TraceLevel::Summary, || Event::RunCompleted {
+        finisher: match out.finisher {
+            Finisher::Spot(id) => format!("spot:{id}"),
+            Finisher::OnDemand => "on-demand".to_string(),
+        },
+        total_cost: out.total_cost,
+        spot_cost: out.spot_cost,
+        od_cost: out.od_cost,
+        wall_hours: out.wall_hours,
+        met_deadline: out.met_deadline,
+        groups_failed: kills,
+        windows: None,
+        plan_changes: None,
+    });
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
 use crate::Hours;
 use serde::{Deserialize, Serialize};
+use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
 
 /// Adaptive algorithm knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,6 +88,46 @@ impl AdaptivePlanner {
         elapsed: Hours,
         view: &MarketView,
     ) -> WindowDecision {
+        self.plan_window_recorded(base, remaining_fraction, elapsed, view, 0, &NullRecorder)
+    }
+
+    /// [`AdaptivePlanner::plan_window`], emitting trace events: the inner
+    /// optimizer's search events (when it runs) plus one `WindowReplanned`
+    /// with `reused: false` describing the decision. `window` is the
+    /// 0-based index of the window being planned; it only labels the
+    /// event.
+    pub fn plan_window_recorded(
+        &self,
+        base: &Problem,
+        remaining_fraction: f64,
+        elapsed: Hours,
+        view: &MarketView,
+        window: u32,
+        recorder: &dyn Recorder,
+    ) -> WindowDecision {
+        let decision = self.decide(base, remaining_fraction, elapsed, view, recorder);
+        emit(recorder, TraceLevel::Summary, || Event::WindowReplanned {
+            window,
+            elapsed_hours: elapsed,
+            remaining_fraction,
+            reused: false,
+            decision: match &decision {
+                WindowDecision::Hybrid(_) => "hybrid".to_string(),
+                WindowDecision::FinishOnDemand(_) => "finish-on-demand".to_string(),
+            },
+            groups: decision.plan().groups.len() as u32,
+        });
+        decision
+    }
+
+    fn decide(
+        &self,
+        base: &Problem,
+        remaining_fraction: f64,
+        elapsed: Hours,
+        view: &MarketView,
+        recorder: &dyn Recorder,
+    ) -> WindowDecision {
         let leftover = base.deadline - elapsed;
         let residual = base.residual(remaining_fraction, leftover.max(0.0));
 
@@ -104,7 +145,8 @@ impl AdaptivePlanner {
         // deadline control; when it returns a pure on-demand plan, treat
         // that as the Algorithm-1 bail-out.
         let OptimizedPlan { plan, .. } =
-            TwoLevelOptimizer::new(&residual, view, self.config.optimizer).optimize();
+            TwoLevelOptimizer::new(&residual, view, self.config.optimizer)
+                .optimize_recorded(recorder);
         if plan.groups.is_empty() {
             return WindowDecision::FinishOnDemand(plan);
         }

@@ -20,6 +20,7 @@ use crate::phi::optimal_interval;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
+use sompi_obs::Recorder;
 
 /// A planning strategy: maps (problem, market history) to a plan.
 pub trait Strategy {
@@ -27,6 +28,16 @@ pub trait Strategy {
     fn name(&self) -> &'static str;
     /// Produce the plan this strategy would execute.
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan;
+
+    /// [`Strategy::plan`], emitting trace events to `recorder` where the
+    /// strategy supports it. The default ignores the recorder (baselines
+    /// have no search to narrate); [`Sompi`] overrides it to surface the
+    /// two-level optimizer's `PlanSearchStarted`/`SubsetEvaluated`/
+    /// `PlanSelected` stream.
+    fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
+        let _ = recorder;
+        self.plan(problem, view)
+    }
 
     /// Convenience: plan and evaluate under the cost model.
     fn plan_and_evaluate(&self, problem: &Problem, view: &MarketView) -> (Plan, Evaluation) {
@@ -244,6 +255,12 @@ impl Strategy for Sompi {
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
         TwoLevelOptimizer::new(problem, view, self.config)
             .optimize()
+            .plan
+    }
+
+    fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
+        TwoLevelOptimizer::new(problem, view, self.config)
+            .optimize_recorded(recorder)
             .plan
     }
 }

@@ -17,6 +17,12 @@ use crate::view::MarketView;
 use crate::{Hours, Usd};
 
 /// Compute `φ_i(P_i)`: the checkpoint interval for `group` at bid `bid`.
+///
+/// This is the Theorem 1 substitution: the optimizer never searches over
+/// `F` directly — each bid maps to its interval via the market view's
+/// failure estimate. The chosen interval per group is surfaced in
+/// `SubsetEvaluated.phi_intervals` trace events (see
+/// `docs/OBSERVABILITY.md`).
 pub fn optimal_interval(group: &CircleGroup, bid: Usd, view: &MarketView) -> Hours {
     // Estimate MTTF over the group's own wall-clock horizon (without
     // checkpoints yet — a first-order self-consistent choice: O_i ≪ T_i).
@@ -27,6 +33,26 @@ pub fn optimal_interval(group: &CircleGroup, bid: Usd, view: &MarketView) -> Hou
 
 /// The Young/Daly interval given an MTTF estimate; exposed separately for
 /// tests and for the ablation bench that sweeps MTTF directly.
+///
+/// ```
+/// use sompi_core::phi::interval_from_mttf;
+/// use sompi_core::CircleGroup;
+/// use ec2_market::instance::InstanceTypeId;
+/// use ec2_market::market::CircleGroupId;
+/// use ec2_market::zone::AvailabilityZone;
+///
+/// let group = CircleGroup {
+///     id: CircleGroupId::new(InstanceTypeId(0), AvailabilityZone::UsEast1a),
+///     instances: 4,
+///     exec_hours: 100.0,
+///     ckpt_overhead_hours: 0.02,
+///     recovery_hours: 0.1,
+/// };
+/// // MTTF 25 h → F* = sqrt(2 · 0.02 · 25) = 1.0 h.
+/// assert!((interval_from_mttf(&group, Some(25.0)) - 1.0).abs() < 1e-12);
+/// // No observed failure mass → checkpointing disabled (F = T).
+/// assert_eq!(interval_from_mttf(&group, None), 100.0);
+/// ```
 pub fn interval_from_mttf(group: &CircleGroup, mttf: Option<Hours>) -> Hours {
     match mttf {
         // No observed failures: do not checkpoint.

@@ -23,7 +23,8 @@
 //! evaluation counter, and reused scratch buffers — and the per-worker
 //! winners are merged under a *total* candidate order: feasibility first,
 //! then lower expected cost, then the lexicographic bid-vector tie-break
-//! (higher bids win — see [`beats`]), then the unique enumeration ordinal
+//! (higher bids win — see the private `beats` helper), then the unique
+//! enumeration ordinal
 //! `(subset index, odometer step)`. Because that order is total and
 //! independent of how the subset list is chunked, the returned
 //! [`OptimizedPlan`] — plan, evaluation, and `evaluations_performed` — is
@@ -37,6 +38,7 @@ use crate::phi::optimal_interval;
 use crate::problem::Problem;
 use crate::view::MarketView;
 use serde::{Deserialize, Serialize};
+use sompi_obs::{emit, Event, NullRecorder, PhaseTimer, Recorder, TraceLevel};
 use std::cmp::Ordering;
 
 /// Which bid grid shape to search (logarithmic is the paper's; uniform
@@ -51,6 +53,19 @@ pub enum GridKind {
 }
 
 /// Optimizer knobs, with the paper's defaults.
+///
+/// ```
+/// use sompi_core::OptimizerConfig;
+///
+/// let cfg = OptimizerConfig::default();
+/// assert_eq!(cfg.kappa, 4);        // §5.2: diminishing returns past 4
+/// assert_eq!(cfg.bid_levels, 12);  // log₂ grid cap per group
+/// assert_eq!(cfg.threads, 0);      // 0 = one worker per core
+///
+/// // Struct-update syntax is the idiomatic way to tweak one knob:
+/// let quick = OptimizerConfig { kappa: 2, bid_levels: 3, ..cfg };
+/// assert_eq!(quick.slack, cfg.slack);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OptimizerConfig {
     /// κ: maximum number of circle groups used simultaneously (paper
@@ -103,6 +118,31 @@ impl Default for OptimizerConfig {
 /// The optimizer's output: the chosen plan, its model evaluation, and how
 /// many candidate configurations were evaluated (the search-space metric
 /// of Section 4.2.2).
+///
+/// The count always includes the pure on-demand incumbent, so it is at
+/// least 1 even when no spot option is viable:
+///
+/// ```
+/// use sompi_core::{OptimizedPlan, Plan, OnDemandOption, evaluate};
+/// use ec2_market::instance::InstanceTypeId;
+///
+/// let od = OnDemandOption {
+///     instance_type: InstanceTypeId(0),
+///     instances: 4,
+///     exec_hours: 10.0,
+///     unit_price: 0.25,
+///     recovery_hours: 0.1,
+/// };
+/// let opt = OptimizedPlan {
+///     plan: Plan::on_demand_only(od),
+///     evaluation: evaluate(&[], &od),
+///     evaluations_performed: 1,
+/// };
+/// assert!(opt.plan.groups.is_empty());
+/// assert!(opt.evaluations_performed >= 1);
+/// // 2014 hourly billing: 10 whole hours × $0.25 × 4 instances.
+/// assert_eq!(opt.evaluation.expected_cost, 10.0);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizedPlan {
     /// The selected plan.
@@ -127,6 +167,17 @@ struct Candidate {
     /// Unique enumeration ordinal `(global subset index, odometer step)`
     /// — the final tie-breaker that makes the candidate order total.
     ordinal: (usize, u64),
+}
+
+/// One worker's search result: its incumbent plus the plain `u64`
+/// counters the hot loop maintains (evaluations, feasible hits, subsets
+/// walked). These merge at join into the total evaluation count and, when
+/// a recorder wants Detail, one `SubsetEvaluated` event per worker.
+struct WorkerStats {
+    evaluations: u64,
+    feasible: u64,
+    subsets: u64,
+    best: Option<Candidate>,
 }
 
 /// Lexicographic comparison of a candidate's bid vector (iterator form,
@@ -213,13 +264,30 @@ impl<'a> TwoLevelOptimizer<'a> {
     }
 
     /// Run the full search and return the cheapest feasible plan.
+    ///
+    /// Equivalent to [`TwoLevelOptimizer::optimize_recorded`] with a
+    /// [`NullRecorder`]: no event is ever constructed, so the search is
+    /// exactly as fast and allocation-free as before instrumentation
+    /// existed (asserted by `tests/alloc_guard.rs` and the `opt_speed`
+    /// bench).
     pub fn optimize(&self) -> OptimizedPlan {
+        self.optimize_recorded(&NullRecorder)
+    }
+
+    /// Run the full search, emitting structured events to `recorder`:
+    /// one `PlanSearchStarted`, one `SubsetEvaluated` per worker (Detail
+    /// level, in worker-index order, merged at join), and one
+    /// `PlanSelected`. The hot candidate loop only increments worker-local
+    /// `u64` counters; events are built outside it.
+    pub fn optimize_recorded(&self, recorder: &dyn Recorder) -> OptimizedPlan {
         let od = select_on_demand(
             &self.problem.on_demand,
             self.problem.deadline,
             self.config.slack,
         );
-        let options = self.assess_options();
+        let assess_timer = PhaseTimer::start();
+        let (options, options_considered, options_pruned) = self.assess_options();
+        let assess_secs = assess_timer.elapsed_secs();
 
         // The pure on-demand plan is the incumbent the search must beat.
         let od_eval = evaluate(&[], &od);
@@ -238,7 +306,19 @@ impl<'a> TwoLevelOptimizer<'a> {
         }
 
         let threads = resolve_threads(self.config.threads).min(subsets.len().max(1));
-        let results: Vec<(u64, Option<Candidate>)> = if threads <= 1 {
+        emit(recorder, TraceLevel::Summary, || Event::PlanSearchStarted {
+            candidates: n as u32,
+            kappa: self.config.kappa as u32,
+            bid_levels: self.config.bid_levels,
+            threads: threads as u32,
+            subsets: subsets.len() as u64,
+            options_considered,
+            options_pruned,
+            deadline_hours: self.problem.deadline,
+        });
+
+        let search_timer = PhaseTimer::start();
+        let results: Vec<WorkerStats> = if threads <= 1 {
             vec![self.search_chunk(&options, &od, 0, &subsets)]
         } else {
             let chunk = subsets.len().div_ceil(threads);
@@ -263,14 +343,43 @@ impl<'a> TwoLevelOptimizer<'a> {
             .expect("crossbeam scope failed")
         };
 
+        let search_secs = search_timer.elapsed_secs();
+
+        // Per-worker counters surface as Detail events in worker-index
+        // order — the deterministic per-worker view of the search.
+        for (worker, stats) in results.iter().enumerate() {
+            emit(recorder, TraceLevel::Detail, || Event::SubsetEvaluated {
+                worker: worker as u32,
+                subsets: stats.subsets,
+                evaluations: stats.evaluations,
+                feasible: stats.feasible,
+                best_cost: stats
+                    .best
+                    .as_ref()
+                    .filter(|c| c.feasible)
+                    .map(|c| c.eval.expected_cost),
+                phi_intervals: stats
+                    .best
+                    .as_ref()
+                    .map(|c| {
+                        c.subset
+                            .iter()
+                            .zip(&c.idx)
+                            .map(|(&g, &i)| options[g][i].decision.ckpt_interval)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            });
+        }
+
         // Deterministic merge: worker-local winners fold under the same
         // total order the workers used, so chunking cannot change the
         // result, and the evaluation counters sum to the serial count.
         let mut evaluations: u64 = 1; // the on-demand incumbent
         let mut best: Option<Candidate> = None;
-        for (count, cand) in results {
-            evaluations += count;
-            if let Some(c) = cand {
+        for stats in results {
+            evaluations += stats.evaluations;
+            if let Some(c) = stats.best {
                 let replace = match &best {
                     None => true,
                     Some(b) => beats(c.feasible, &c.eval, c.bids.iter().copied(), c.ordinal, b),
@@ -303,6 +412,17 @@ impl<'a> TwoLevelOptimizer<'a> {
                         .collect(),
                     on_demand: od,
                 };
+                emit(recorder, TraceLevel::Summary, || Event::PlanSelected {
+                    source: "spot".to_string(),
+                    groups: plan.groups.len() as u32,
+                    expected_cost: c.eval.expected_cost,
+                    expected_time: c.eval.expected_time,
+                    p_all_fail: c.eval.p_all_fail,
+                    slack: self.config.slack,
+                    evaluations,
+                    assess_secs,
+                    search_secs,
+                });
                 return OptimizedPlan {
                     plan,
                     evaluation: c.eval,
@@ -310,6 +430,17 @@ impl<'a> TwoLevelOptimizer<'a> {
                 };
             }
         }
+        emit(recorder, TraceLevel::Summary, || Event::PlanSelected {
+            source: "on-demand".to_string(),
+            groups: 0,
+            expected_cost: od_eval.expected_cost,
+            expected_time: od_eval.expected_time,
+            p_all_fail: od_eval.p_all_fail,
+            slack: self.config.slack,
+            evaluations,
+            assess_secs,
+            search_secs,
+        });
         OptimizedPlan {
             plan: Plan::on_demand_only(od),
             evaluation: od_eval,
@@ -326,7 +457,13 @@ impl<'a> TwoLevelOptimizer<'a> {
     /// ride a replica past the deadline, so crediting such a group as a
     /// completion winner would let rare deadline-missing patterns
     /// subsidize `E[Cost]`.
-    fn assess_options(&self) -> Vec<Vec<GroupAssessment>> {
+    ///
+    /// Also returns `(considered, pruned)`: how many (group, bid,
+    /// interval) options were assessed and how many the deadline prune
+    /// discarded — the numerator/denominator of the report's prune rate.
+    fn assess_options(&self) -> (Vec<Vec<GroupAssessment>>, u64, u64) {
+        let mut considered = 0u64;
+        let mut pruned = 0u64;
         let mut options: Vec<Vec<GroupAssessment>> =
             Vec::with_capacity(self.problem.candidates.len());
         for group in &self.problem.candidates {
@@ -358,16 +495,19 @@ impl<'a> TwoLevelOptimizer<'a> {
                         bid,
                         ckpt_interval: interval,
                     };
+                    considered += 1;
                     if let Some(a) = GroupAssessment::assess(*group, decision, self.view) {
                         if a.completion_wall() <= self.problem.deadline {
                             opts.push(a);
+                        } else {
+                            pruned += 1;
                         }
                     }
                 }
             }
             options.push(opts);
         }
-        options
+        (options, considered, pruned)
     }
 
     /// Search one contiguous chunk of the subset list with worker-local
@@ -381,8 +521,10 @@ impl<'a> TwoLevelOptimizer<'a> {
         od: &OnDemandOption,
         start: usize,
         subsets: &[Vec<usize>],
-    ) -> (u64, Option<Candidate>) {
+    ) -> WorkerStats {
         let mut evaluations = 0u64;
+        let mut feasible_hits = 0u64;
+        let mut subsets_walked = 0u64;
         let mut best: Option<Candidate> = None;
         let mut refs: Vec<&GroupAssessment> = Vec::new();
         let mut idx: Vec<usize> = Vec::new();
@@ -392,6 +534,7 @@ impl<'a> TwoLevelOptimizer<'a> {
             if chosen.iter().any(|&g| options[g].is_empty()) {
                 continue;
             }
+            subsets_walked += 1;
             let subset_ordinal = start + offset;
             idx.clear();
             idx.resize(chosen.len(), 0);
@@ -408,6 +551,7 @@ impl<'a> TwoLevelOptimizer<'a> {
                         .min_spot_success
                         .map(|q| eval.p_all_fail <= 1.0 - q)
                         .unwrap_or(true);
+                feasible_hits += feasible as u64;
                 let ordinal = (subset_ordinal, step);
                 let replace = match &best {
                     None => true,
@@ -446,7 +590,12 @@ impl<'a> TwoLevelOptimizer<'a> {
                 }
             }
         }
-        (evaluations, best)
+        WorkerStats {
+            evaluations,
+            feasible: feasible_hits,
+            subsets: subsets_walked,
+            best,
+        }
     }
 }
 

@@ -1,0 +1,112 @@
+//! Allocation guards for the optimizer's hot path.
+//!
+//! The observability layer promises that a disabled recorder is free: the
+//! candidate loop may not allocate, and `optimize_recorded` with tracing
+//! off must allocate exactly as much as the unrecorded `optimize`. A
+//! counting global allocator makes both claims testable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+use ec2_market::market::SpotMarket;
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::storage::S3Store;
+use sompi_core::cost::{evaluate_with_scratch, EvalScratch, GroupAssessment};
+use sompi_core::model::GroupDecision;
+use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
+use sompi_core::{MarketView, Problem};
+use sompi_obs::{RingRecorder, TraceLevel};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting on; return its result and the count.
+fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (out, ALLOCS.load(Ordering::SeqCst))
+}
+
+fn setup() -> (Problem, MarketView) {
+    let cat = InstanceCatalog::paper_2014();
+    let prof = MarketProfile::paper_2014(&cat);
+    let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 31), 200.0, 1.0 / 12.0);
+    let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+    let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+        .iter()
+        .map(|n| market.catalog().by_name(n).unwrap())
+        .collect();
+    let problem = Problem::build(&market, &profile, 4.0, Some(&types), S3Store::paper_2014());
+    let view = MarketView::from_market(&market, 0.0, 48.0);
+    (problem, view)
+}
+
+// One test function: the counter is process-global, and the default test
+// harness runs `#[test]`s concurrently.
+#[test]
+fn null_recorder_adds_zero_allocations() {
+    let (problem, view) = setup();
+
+    // (1) A warmed `evaluate_with_scratch` call is allocation-free.
+    let group = *problem.candidates.first().expect("candidates");
+    let decision = GroupDecision {
+        bid: 10.0,
+        ckpt_interval: 1.0,
+    };
+    let assessed = GroupAssessment::assess(group, decision, &view).expect("launchable");
+    let refs = [&assessed];
+    let od = *problem.baseline();
+    let mut scratch = EvalScratch::new();
+    evaluate_with_scratch(&refs, &od, &mut scratch); // warm the buffers
+    let (eval, allocs) = counted(|| evaluate_with_scratch(&refs, &od, &mut scratch));
+    assert!(eval.expected_cost > 0.0);
+    assert_eq!(allocs, 0, "warmed evaluate_with_scratch allocated");
+
+    // (2) `optimize_recorded` with tracing off allocates exactly as much
+    // as the unrecorded `optimize` — the recorder hook itself is free.
+    let cfg = OptimizerConfig {
+        kappa: 2,
+        bid_levels: 3,
+        threads: 1,
+        ..Default::default()
+    };
+    TwoLevelOptimizer::new(&problem, &view, cfg).optimize(); // warm lazies
+    let (base_plan, base_allocs) =
+        counted(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize());
+    let off = RingRecorder::new(TraceLevel::Off, 8);
+    let (rec_plan, rec_allocs) =
+        counted(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize_recorded(&off));
+    assert_eq!(base_plan.plan, rec_plan.plan);
+    assert!(off.is_empty(), "Off-level recorder captured events");
+    assert_eq!(
+        base_allocs, rec_allocs,
+        "tracing-off optimize allocated differently from plain optimize"
+    );
+}

@@ -1,0 +1,326 @@
+//! Typed trace events and the verbosity levels that gate them.
+//!
+//! Every observable moment in the SOMPI pipeline — plan search, adaptive
+//! re-planning, replayed failures, checkpoints, fallbacks — is one
+//! [`Event`] variant. The full schema (fields, units, emission sites) is
+//! documented in `docs/OBSERVABILITY.md`; the serialized form is serde's
+//! external enum representation, one JSON object per line in a `.jsonl`
+//! trace.
+
+use serde::{Deserialize, Serialize};
+
+/// Trace verbosity. Levels are totally ordered: `Off < Summary < Detail`.
+///
+/// A [`Recorder`](crate::Recorder) advertises the maximum level it wants;
+/// emission sites tag each event with the level it belongs to and skip
+/// construction entirely when the recorder's level is below it.
+///
+/// ```
+/// use sompi_obs::TraceLevel;
+///
+/// assert!(TraceLevel::Off < TraceLevel::Summary);
+/// assert!(TraceLevel::Summary < TraceLevel::Detail);
+/// assert_eq!("detail".parse::<TraceLevel>(), Ok(TraceLevel::Detail));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Record nothing (the [`NullRecorder`](crate::NullRecorder) level).
+    Off,
+    /// Decision-level events: searches, selections, replans, fallbacks,
+    /// failures, completions.
+    Summary,
+    /// Everything, including per-worker search statistics and checkpoint
+    /// ticks.
+    Detail,
+}
+
+impl std::str::FromStr for TraceLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TraceLevel::Off),
+            "summary" => Ok(TraceLevel::Summary),
+            "detail" => Ok(TraceLevel::Detail),
+            other => Err(format!(
+                "unknown trace level `{other}` (expected off|summary|detail)"
+            )),
+        }
+    }
+}
+
+/// One structured observation from the SOMPI pipeline.
+///
+/// Variants serialize in serde's external enum representation — a
+/// single-key JSON object `{"VariantName": {fields...}}` — which is the
+/// JSONL wire format consumed by `sompi trace summarize` and documented in
+/// `docs/OBSERVABILITY.md`.
+///
+/// All `*_hours` fields are hours on the market-trace clock (the same
+/// clock as spot-price history offsets); `*_secs` fields are wall-clock
+/// seconds of optimizer work on the host running the search.
+///
+/// ```
+/// use sompi_obs::Event;
+///
+/// let e = Event::GroupFailed {
+///     group: "g0".to_string(),
+///     at_hours: 5.0,
+///     saved_fraction: 0.25,
+/// };
+/// let line = serde_json::to_string(&e).unwrap();
+/// assert!(line.starts_with("{\"GroupFailed\":"));
+/// let back: Event = serde_json::from_str(&line).unwrap();
+/// assert_eq!(back.kind(), "GroupFailed");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// The two-level optimizer is about to enumerate κ-subsets.
+    /// Emitted once per `optimize_recorded` call, after per-group bid/φ
+    /// options are assessed but before any subset is evaluated.
+    PlanSearchStarted {
+        /// Number of circle groups the market offers (K).
+        candidates: u32,
+        /// κ cap on replication degree (subsets of size 1..=κ).
+        kappa: u32,
+        /// Bid grid resolution per group.
+        bid_levels: u32,
+        /// Worker threads the search will actually use (after resolving 0
+        /// = auto).
+        threads: u32,
+        /// Total number of subsets that will be enumerated: Σ C(K, k).
+        subsets: u64,
+        /// Per-group (bid, φ) options assessed across all groups.
+        options_considered: u64,
+        /// Options discarded because their completion wall time exceeds
+        /// the deadline (the Theorem-1 prune).
+        options_pruned: u64,
+        /// Job deadline in hours.
+        deadline_hours: f64,
+    },
+    /// Per-worker aggregate search statistics, merged at join.
+    /// One event per worker, emitted in worker-index order after the
+    /// parallel search completes. Detail level.
+    SubsetEvaluated {
+        /// Worker index (0-based).
+        worker: u32,
+        /// Subsets this worker enumerated.
+        subsets: u64,
+        /// Bid-vector candidates this worker evaluated.
+        evaluations: u64,
+        /// Candidates that met the deadline feasibility bar.
+        feasible: u64,
+        /// Expected cost of this worker's incumbent, if it found a
+        /// feasible one.
+        best_cost: Option<f64>,
+        /// φ checkpoint intervals (hours) of the incumbent's groups —
+        /// the Theorem 1 witness for the winning candidate.
+        phi_intervals: Vec<f64>,
+    },
+    /// The optimizer committed to a plan.
+    /// Emitted once per `optimize_recorded` call, after the merge.
+    PlanSelected {
+        /// `"spot"` when a hybrid spot plan won, `"on-demand"` when the
+        /// pure on-demand baseline was cheaper (or nothing was feasible).
+        source: String,
+        /// Number of circle groups in the winning plan (0 for pure
+        /// on-demand).
+        groups: u32,
+        /// Expected monetary cost of the plan (USD).
+        expected_cost: f64,
+        /// Expected completion time (hours).
+        expected_time: f64,
+        /// Probability that every spot group fails before completion.
+        p_all_fail: f64,
+        /// Slack factor the on-demand fallback budget was scaled by
+        /// (Formulas 12–13 decoupling knob).
+        slack: f64,
+        /// Total candidate evaluations across all workers.
+        evaluations: u64,
+        /// Wall seconds spent precomputing per-group assessments.
+        assess_secs: f64,
+        /// Wall seconds spent in the parallel subset search.
+        search_secs: f64,
+    },
+    /// The adaptive loop (Algorithm 1) crossed a window boundary.
+    /// Emitted by `AdaptivePlanner::plan_window_recorded` on a real
+    /// re-plan and by `AdaptiveRunner` when the previous plan is reused.
+    WindowReplanned {
+        /// 0-based index of the window being planned.
+        window: u32,
+        /// Hours elapsed since the run started.
+        elapsed_hours: f64,
+        /// Fraction of total work still outstanding (0..=1).
+        remaining_fraction: f64,
+        /// True when the previous window's plan was carried over without
+        /// a fresh search.
+        reused: bool,
+        /// `"hybrid"` or `"finish-on-demand"`.
+        decision: String,
+        /// Spot circle groups in the window's plan.
+        groups: u32,
+    },
+    /// A replayed spot group was terminated by the provider (price rose
+    /// above its bid) before the work completed.
+    GroupFailed {
+        /// Circle-group id, e.g. `"g2"`.
+        group: String,
+        /// Market-trace hour at which the group died.
+        at_hours: f64,
+        /// Fraction of the group's work preserved in checkpoints at death.
+        saved_fraction: f64,
+    },
+    /// A replayed group banked checkpoint progress. Detail level; one
+    /// cumulative event per group per replay segment, not one per tick.
+    CheckpointTaken {
+        /// Circle-group id.
+        group: String,
+        /// Market-trace hour of the last completed checkpoint.
+        at_hours: f64,
+        /// Completed checkpoints in this segment.
+        count: u32,
+        /// Cumulative fraction of work saved after the last checkpoint.
+        saved_fraction: f64,
+    },
+    /// Replay abandoned spot and bought on-demand capacity to finish.
+    OnDemandFallback {
+        /// Market-trace hour at which the fallback began.
+        at_hours: f64,
+        /// Fraction of work still outstanding at fallback time.
+        remaining_fraction: f64,
+        /// On-demand hours purchased.
+        od_hours: f64,
+        /// On-demand cost (USD).
+        od_cost: f64,
+        /// Why: `"all-groups-failed"`, `"deadline-guard"`, `"replan"`,
+        /// `"trace-horizon"`, or `"bail-out"`.
+        reason: String,
+    },
+    /// A replayed run finished (success or not).
+    RunCompleted {
+        /// `"spot:<group-id>"` when a spot group finished the job,
+        /// `"on-demand"` otherwise.
+        finisher: String,
+        /// Total money spent (USD).
+        total_cost: f64,
+        /// Spot portion of the cost (USD).
+        spot_cost: f64,
+        /// On-demand portion of the cost (USD).
+        od_cost: f64,
+        /// Wall hours from start to completion.
+        wall_hours: f64,
+        /// Whether completion beat the deadline.
+        met_deadline: bool,
+        /// Spot groups the provider killed during the run.
+        groups_failed: u32,
+        /// Windows executed (adaptive runs only).
+        windows: Option<u32>,
+        /// Times the adaptive loop changed plan (adaptive runs only).
+        plan_changes: Option<u32>,
+    },
+}
+
+impl Event {
+    /// The variant name, as it appears as the single key on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PlanSearchStarted { .. } => "PlanSearchStarted",
+            Event::SubsetEvaluated { .. } => "SubsetEvaluated",
+            Event::PlanSelected { .. } => "PlanSelected",
+            Event::WindowReplanned { .. } => "WindowReplanned",
+            Event::GroupFailed { .. } => "GroupFailed",
+            Event::CheckpointTaken { .. } => "CheckpointTaken",
+            Event::OnDemandFallback { .. } => "OnDemandFallback",
+            Event::RunCompleted { .. } => "RunCompleted",
+        }
+    }
+
+    /// The verbosity level this event belongs to. High-volume events
+    /// (per-worker stats, checkpoint ticks) are [`TraceLevel::Detail`];
+    /// everything else is [`TraceLevel::Summary`].
+    pub fn level(&self) -> TraceLevel {
+        match self {
+            Event::SubsetEvaluated { .. } | Event::CheckpointTaken { .. } => TraceLevel::Detail,
+            _ => TraceLevel::Summary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_orders() {
+        let levels: Vec<TraceLevel> = ["off", "summary", "detail"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        assert!("verbose".parse::<TraceLevel>().is_err());
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let events = vec![
+            Event::PlanSearchStarted {
+                candidates: 12,
+                kappa: 2,
+                bid_levels: 6,
+                threads: 1,
+                subsets: 78,
+                options_considered: 72,
+                options_pruned: 3,
+                deadline_hours: 100.0,
+            },
+            Event::SubsetEvaluated {
+                worker: 0,
+                subsets: 78,
+                evaluations: 1200,
+                feasible: 900,
+                best_cost: Some(41.5),
+                phi_intervals: vec![2.5, 3.0],
+            },
+            Event::SubsetEvaluated {
+                worker: 1,
+                subsets: 0,
+                evaluations: 0,
+                feasible: 0,
+                best_cost: None,
+                phi_intervals: vec![],
+            },
+            Event::RunCompleted {
+                finisher: "spot:g1".to_string(),
+                total_cost: 40.0,
+                spot_cost: 40.0,
+                od_cost: 0.0,
+                wall_hours: 90.0,
+                met_deadline: true,
+                groups_failed: 1,
+                windows: None,
+                plan_changes: Some(2),
+            },
+        ];
+        for e in &events {
+            let line = serde_json::to_string(e).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, e, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn external_tagging_is_the_wire_format() {
+        let e = Event::WindowReplanned {
+            window: 3,
+            elapsed_hours: 45.0,
+            remaining_fraction: 0.4,
+            reused: false,
+            decision: "hybrid".to_string(),
+            groups: 2,
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.starts_with("{\"WindowReplanned\":{\"window\":3,"));
+        assert_eq!(e.kind(), "WindowReplanned");
+        assert_eq!(e.level(), TraceLevel::Summary);
+    }
+}

@@ -1,0 +1,139 @@
+//! Monotonic counters and phase timers.
+//!
+//! These are the numeric backbone behind the rates a run report prints:
+//! candidates evaluated per second, prune rate, per-phase wall time. They
+//! are deliberately tiny — a counter is one relaxed atomic, a stopwatch is
+//! one `Instant` — so instrumented code can use them unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic event counter shareable across threads.
+///
+/// ```
+/// use sompi_obs::Counter;
+///
+/// let evals = Counter::new();
+/// evals.inc();
+/// evals.add(41);
+/// assert_eq!(evals.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A started stopwatch for one pipeline phase.
+///
+/// ```
+/// use sompi_obs::PhaseTimer;
+///
+/// let t = PhaseTimer::start();
+/// let secs = t.elapsed_secs();
+/// assert!(secs >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimer {
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        PhaseTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall seconds since [`PhaseTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Events per second, or 0 when the denominator is degenerate.
+///
+/// ```
+/// use sompi_obs::rate_per_sec;
+///
+/// assert_eq!(rate_per_sec(100, 2.0), 50.0);
+/// assert_eq!(rate_per_sec(100, 0.0), 0.0);
+/// ```
+pub fn rate_per_sec(count: u64, secs: f64) -> f64 {
+    if secs > 0.0 && secs.is_finite() {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Pruned fraction of a considered population, in `[0, 1]`.
+///
+/// ```
+/// use sompi_obs::prune_rate;
+///
+/// assert_eq!(prune_rate(5, 20), 0.25);
+/// assert_eq!(prune_rate(0, 0), 0.0);
+/// ```
+pub fn prune_rate(pruned: u64, considered: u64) -> f64 {
+    if considered == 0 {
+        0.0
+    } else {
+        pruned as f64 / considered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn timer_is_monotonic() {
+        let t = PhaseTimer::start();
+        let a = t.elapsed_secs();
+        let b = t.elapsed_secs();
+        assert!(b >= a && a >= 0.0);
+    }
+
+    #[test]
+    fn rates_handle_degenerate_denominators() {
+        assert_eq!(rate_per_sec(10, f64::NAN), 0.0);
+        assert_eq!(rate_per_sec(10, -1.0), 0.0);
+        assert_eq!(prune_rate(3, 4), 0.75);
+    }
+}

@@ -1,0 +1,491 @@
+//! Turn a stream of [`Event`]s into a human-readable run report — the
+//! engine behind `sompi trace summarize`.
+
+use crate::event::Event;
+use crate::metrics::{prune_rate, rate_per_sec};
+use std::fmt;
+
+/// Aggregated view of one trace, ready to render.
+///
+/// Build it from parsed events, then `Display` it (or call
+/// [`RunReport::render`]):
+///
+/// ```
+/// use sompi_obs::{Event, RunReport};
+///
+/// let events = vec![Event::RunCompleted {
+///     finisher: "on-demand".to_string(),
+///     total_cost: 12.5,
+///     spot_cost: 2.5,
+///     od_cost: 10.0,
+///     wall_hours: 48.0,
+///     met_deadline: true,
+///     groups_failed: 2,
+///     windows: Some(3),
+///     plan_changes: Some(1),
+/// }];
+/// let report = RunReport::from_events(&events);
+/// let text = report.render();
+/// assert!(text.contains("on-demand"));
+/// assert!(text.contains("12.5"));
+/// ```
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// (kind, occurrences) in first-seen order.
+    pub event_counts: Vec<(&'static str, usize)>,
+    /// Last `PlanSearchStarted` seen, if any.
+    search: Option<SearchStats>,
+    /// Every `PlanSelected`, in trace order.
+    selections: Vec<Selection>,
+    /// Window decisions, in trace order.
+    windows: Vec<WindowLine>,
+    /// Failure / checkpoint / fallback timeline, in trace order.
+    timeline: Vec<TimelineLine>,
+    /// Final `RunCompleted`, if the trace has one.
+    outcome: Option<Outcome>,
+}
+
+#[derive(Debug)]
+struct SearchStats {
+    candidates: u32,
+    kappa: u32,
+    bid_levels: u32,
+    threads: u32,
+    subsets: u64,
+    options_considered: u64,
+    options_pruned: u64,
+    deadline_hours: f64,
+    /// Summed over `SubsetEvaluated` worker events (Detail traces only).
+    worker_evaluations: u64,
+    worker_feasible: u64,
+    workers: usize,
+}
+
+#[derive(Debug)]
+struct Selection {
+    source: String,
+    groups: u32,
+    expected_cost: f64,
+    expected_time: f64,
+    p_all_fail: f64,
+    slack: f64,
+    evaluations: u64,
+    assess_secs: f64,
+    search_secs: f64,
+}
+
+#[derive(Debug)]
+struct WindowLine {
+    window: u32,
+    elapsed_hours: f64,
+    remaining_fraction: f64,
+    reused: bool,
+    decision: String,
+    groups: u32,
+}
+
+#[derive(Debug)]
+struct TimelineLine {
+    at_hours: f64,
+    text: String,
+}
+
+#[derive(Debug)]
+struct Outcome {
+    finisher: String,
+    total_cost: f64,
+    spot_cost: f64,
+    od_cost: f64,
+    wall_hours: f64,
+    met_deadline: bool,
+    groups_failed: u32,
+    windows: Option<u32>,
+    plan_changes: Option<u32>,
+}
+
+impl RunReport {
+    /// Fold a trace into a report. Events arrive in emission order; the
+    /// report preserves that order for the timeline sections.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut report = RunReport::default();
+        for event in events {
+            report.bump(event.kind());
+            match event {
+                Event::PlanSearchStarted {
+                    candidates,
+                    kappa,
+                    bid_levels,
+                    threads,
+                    subsets,
+                    options_considered,
+                    options_pruned,
+                    deadline_hours,
+                } => {
+                    report.search = Some(SearchStats {
+                        candidates: *candidates,
+                        kappa: *kappa,
+                        bid_levels: *bid_levels,
+                        threads: *threads,
+                        subsets: *subsets,
+                        options_considered: *options_considered,
+                        options_pruned: *options_pruned,
+                        deadline_hours: *deadline_hours,
+                        worker_evaluations: 0,
+                        worker_feasible: 0,
+                        workers: 0,
+                    });
+                }
+                Event::SubsetEvaluated {
+                    evaluations,
+                    feasible,
+                    ..
+                } => {
+                    if let Some(s) = report.search.as_mut() {
+                        s.worker_evaluations += evaluations;
+                        s.worker_feasible += feasible;
+                        s.workers += 1;
+                    }
+                }
+                Event::PlanSelected {
+                    source,
+                    groups,
+                    expected_cost,
+                    expected_time,
+                    p_all_fail,
+                    slack,
+                    evaluations,
+                    assess_secs,
+                    search_secs,
+                } => report.selections.push(Selection {
+                    source: source.clone(),
+                    groups: *groups,
+                    expected_cost: *expected_cost,
+                    expected_time: *expected_time,
+                    p_all_fail: *p_all_fail,
+                    slack: *slack,
+                    evaluations: *evaluations,
+                    assess_secs: *assess_secs,
+                    search_secs: *search_secs,
+                }),
+                Event::WindowReplanned {
+                    window,
+                    elapsed_hours,
+                    remaining_fraction,
+                    reused,
+                    decision,
+                    groups,
+                } => report.windows.push(WindowLine {
+                    window: *window,
+                    elapsed_hours: *elapsed_hours,
+                    remaining_fraction: *remaining_fraction,
+                    reused: *reused,
+                    decision: decision.clone(),
+                    groups: *groups,
+                }),
+                Event::GroupFailed {
+                    group,
+                    at_hours,
+                    saved_fraction,
+                } => report.timeline.push(TimelineLine {
+                    at_hours: *at_hours,
+                    text: format!(
+                        "group {group} killed by provider ({:.0}% of work saved)",
+                        saved_fraction * 100.0
+                    ),
+                }),
+                Event::CheckpointTaken {
+                    group,
+                    at_hours,
+                    count,
+                    saved_fraction,
+                } => report.timeline.push(TimelineLine {
+                    at_hours: *at_hours,
+                    text: format!(
+                        "group {group} banked {count} checkpoint(s) ({:.0}% of work saved)",
+                        saved_fraction * 100.0
+                    ),
+                }),
+                Event::OnDemandFallback {
+                    at_hours,
+                    remaining_fraction,
+                    od_hours,
+                    od_cost,
+                    reason,
+                } => report.timeline.push(TimelineLine {
+                    at_hours: *at_hours,
+                    text: format!(
+                        "on-demand fallback ({reason}): {:.0}% of work left, \
+                         {od_hours:.2} h on-demand for ${od_cost:.2}",
+                        remaining_fraction * 100.0
+                    ),
+                }),
+                Event::RunCompleted {
+                    finisher,
+                    total_cost,
+                    spot_cost,
+                    od_cost,
+                    wall_hours,
+                    met_deadline,
+                    groups_failed,
+                    windows,
+                    plan_changes,
+                } => {
+                    report.outcome = Some(Outcome {
+                        finisher: finisher.clone(),
+                        total_cost: *total_cost,
+                        spot_cost: *spot_cost,
+                        od_cost: *od_cost,
+                        wall_hours: *wall_hours,
+                        met_deadline: *met_deadline,
+                        groups_failed: *groups_failed,
+                        windows: *windows,
+                        plan_changes: *plan_changes,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// Render the report as plain text (same output as `Display`).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SOMPI run report")?;
+        writeln!(f, "================")?;
+        let total: usize = self.event_counts.iter().map(|(_, n)| n).sum();
+        write!(f, "events: {total}")?;
+        for (kind, n) in &self.event_counts {
+            write!(f, "  {kind}={n}")?;
+        }
+        writeln!(f)?;
+
+        if let Some(s) = &self.search {
+            writeln!(f, "\nplan search")?;
+            writeln!(f, "-----------")?;
+            writeln!(
+                f,
+                "  {} circle groups, kappa={}, {} bid levels, {} thread(s), deadline {:.1} h",
+                s.candidates, s.kappa, s.bid_levels, s.threads, s.deadline_hours
+            )?;
+            writeln!(
+                f,
+                "  {} subsets enumerated; {} per-group options considered, {} pruned ({:.1}% prune rate)",
+                s.subsets,
+                s.options_considered,
+                s.options_pruned,
+                prune_rate(s.options_pruned, s.options_considered) * 100.0
+            )?;
+            if s.workers > 0 {
+                writeln!(
+                    f,
+                    "  workers: {} reporting, {} evaluations ({} feasible)",
+                    s.workers, s.worker_evaluations, s.worker_feasible
+                )?;
+            }
+        }
+
+        for sel in &self.selections {
+            writeln!(f, "\nplan selected ({})", sel.source)?;
+            writeln!(f, "-------------")?;
+            writeln!(
+                f,
+                "  {} group(s), expected ${:.2} over {:.1} h (P[all fail]={:.4}, slack={:.2})",
+                sel.groups, sel.expected_cost, sel.expected_time, sel.p_all_fail, sel.slack
+            )?;
+            writeln!(
+                f,
+                "  {} evaluations in {:.3} s search + {:.3} s assess ({:.0} eval/s)",
+                sel.evaluations,
+                sel.search_secs,
+                sel.assess_secs,
+                rate_per_sec(sel.evaluations, sel.search_secs)
+            )?;
+        }
+
+        if !self.windows.is_empty() {
+            writeln!(f, "\nadaptive windows")?;
+            writeln!(f, "----------------")?;
+            for w in &self.windows {
+                writeln!(
+                    f,
+                    "  window {:>2} @ {:>7.2} h: {:>5.1}% left, {} ({} group(s)){}",
+                    w.window,
+                    w.elapsed_hours,
+                    w.remaining_fraction * 100.0,
+                    w.decision,
+                    w.groups,
+                    if w.reused { " [plan reused]" } else { "" }
+                )?;
+            }
+        }
+
+        if !self.timeline.is_empty() {
+            writeln!(f, "\ntimeline")?;
+            writeln!(f, "--------")?;
+            for line in &self.timeline {
+                writeln!(f, "  t={:>8.2} h  {}", line.at_hours, line.text)?;
+            }
+        }
+
+        if let Some(o) = &self.outcome {
+            writeln!(f, "\noutcome")?;
+            writeln!(f, "-------")?;
+            writeln!(
+                f,
+                "  finished by {} in {:.2} h — deadline {}",
+                o.finisher,
+                o.wall_hours,
+                if o.met_deadline { "met" } else { "MISSED" }
+            )?;
+            writeln!(
+                f,
+                "  cost ${:.4} total = ${:.4} spot + ${:.4} on-demand; {} group(s) failed",
+                o.total_cost, o.spot_cost, o.od_cost, o.groups_failed
+            )?;
+            if let (Some(w), Some(p)) = (o.windows, o.plan_changes) {
+                writeln!(f, "  adaptive: {w} window(s), {p} plan change(s)")?;
+            }
+        } else {
+            writeln!(f, "\n(no RunCompleted event — trace covers planning only)")?;
+        }
+        Ok(())
+    }
+}
+
+impl RunReport {
+    fn bump(&mut self, kind: &'static str) {
+        match self.event_counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.event_counts.push((kind, 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_trace() -> Vec<Event> {
+        vec![
+            Event::PlanSearchStarted {
+                candidates: 4,
+                kappa: 2,
+                bid_levels: 6,
+                threads: 2,
+                subsets: 10,
+                options_considered: 24,
+                options_pruned: 6,
+                deadline_hours: 60.0,
+            },
+            Event::SubsetEvaluated {
+                worker: 0,
+                subsets: 5,
+                evaluations: 100,
+                feasible: 80,
+                best_cost: Some(20.0),
+                phi_intervals: vec![2.0],
+            },
+            Event::SubsetEvaluated {
+                worker: 1,
+                subsets: 5,
+                evaluations: 120,
+                feasible: 90,
+                best_cost: Some(21.0),
+                phi_intervals: vec![2.5],
+            },
+            Event::PlanSelected {
+                source: "spot".to_string(),
+                groups: 1,
+                expected_cost: 20.0,
+                expected_time: 50.0,
+                p_all_fail: 0.01,
+                slack: 1.0,
+                evaluations: 220,
+                assess_secs: 0.01,
+                search_secs: 0.1,
+            },
+            Event::WindowReplanned {
+                window: 0,
+                elapsed_hours: 0.0,
+                remaining_fraction: 1.0,
+                reused: false,
+                decision: "hybrid".to_string(),
+                groups: 1,
+            },
+            Event::GroupFailed {
+                group: "g0".to_string(),
+                at_hours: 12.0,
+                saved_fraction: 0.4,
+            },
+            Event::OnDemandFallback {
+                at_hours: 12.0,
+                remaining_fraction: 0.6,
+                od_hours: 30.0,
+                od_cost: 15.0,
+                reason: "all-groups-failed".to_string(),
+            },
+            Event::RunCompleted {
+                finisher: "on-demand".to_string(),
+                total_cost: 18.0,
+                spot_cost: 3.0,
+                od_cost: 15.0,
+                wall_hours: 42.0,
+                met_deadline: true,
+                groups_failed: 1,
+                windows: Some(1),
+                plan_changes: Some(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn report_aggregates_all_sections() {
+        let report = RunReport::from_events(&full_trace());
+        let text = report.render();
+        assert!(text.contains("plan search"), "{text}");
+        assert!(text.contains("220 evaluations"), "{text}");
+        assert!(text.contains("25.0% prune rate"), "{text}");
+        assert!(
+            text.contains("workers: 2 reporting, 220 evaluations"),
+            "{text}"
+        );
+        assert!(text.contains("adaptive windows"), "{text}");
+        assert!(text.contains("killed by provider"), "{text}");
+        assert!(
+            text.contains("on-demand fallback (all-groups-failed)"),
+            "{text}"
+        );
+        assert!(text.contains("deadline met"), "{text}");
+        assert!(text.contains("$18.0000 total"), "{text}");
+        assert!(text.contains("1 window(s), 0 plan change(s)"), "{text}");
+    }
+
+    #[test]
+    fn planning_only_trace_notes_missing_outcome() {
+        let events = &full_trace()[..4];
+        let text = RunReport::from_events(events).render();
+        assert!(text.contains("planning only"), "{text}");
+        assert!(!text.contains("outcome\n-------"), "{text}");
+    }
+
+    #[test]
+    fn event_counts_preserve_first_seen_order() {
+        let report = RunReport::from_events(&full_trace());
+        let kinds: Vec<&str> = report.event_counts.iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds[0], "PlanSearchStarted");
+        assert_eq!(
+            report
+                .event_counts
+                .iter()
+                .find(|(k, _)| *k == "SubsetEvaluated")
+                .unwrap()
+                .1,
+            2
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! Golden-trace tests: each instrumented path emits exactly the events the
+//! observability contract (docs/OBSERVABILITY.md) promises, with field
+//! values tied back to the returned outcome — not merely "something was
+//! recorded".
+
+use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+use ec2_market::market::{CircleGroupId, SpotMarket};
+use ec2_market::trace::SpotTrace;
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use ec2_market::zone::AvailabilityZone;
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::storage::S3Store;
+use replay::{AdaptiveRunner, PlanRunner};
+use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
+use sompi_core::problem::Problem;
+use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
+use sompi_core::view::MarketView;
+use sompi_obs::{parse_jsonl, Event, JsonlRecorder, RingRecorder, TraceLevel};
+use std::sync::{Arc, Mutex};
+
+fn seeded_market() -> (SpotMarket, Problem) {
+    let cat = InstanceCatalog::paper_2014();
+    let prof = MarketProfile::paper_2014(&cat);
+    let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 31), 300.0, 1.0 / 12.0);
+    let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+    let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+        .iter()
+        .map(|n| market.catalog().by_name(n).unwrap())
+        .collect();
+    let problem = Problem::build(&market, &profile, 4.0, Some(&types), S3Store::paper_2014());
+    (market, problem)
+}
+
+/// One-type market with a hand-written trace for exact assertions.
+fn tiny_market(prices: &[f64]) -> (SpotMarket, CircleGroupId) {
+    let cat = InstanceCatalog::paper_2014();
+    let ty = cat.by_name("m1.small").unwrap();
+    let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
+    let mut m = SpotMarket::new(cat);
+    m.insert(id, SpotTrace::new(1.0, prices.to_vec()));
+    (m, id)
+}
+
+fn od() -> OnDemandOption {
+    OnDemandOption {
+        instance_type: InstanceTypeId(4),
+        instances: 1,
+        exec_hours: 4.0,
+        unit_price: 2.0,
+        recovery_hours: 0.5,
+    }
+}
+
+#[test]
+fn twolevel_search_emits_golden_sequence() {
+    let (market, problem) = seeded_market();
+    let view = MarketView::from_market(&market, 0.0, 48.0);
+    let config = OptimizerConfig {
+        kappa: 2,
+        bid_levels: 3,
+        threads: 1,
+        ..Default::default()
+    };
+    let ring = RingRecorder::new(TraceLevel::Detail, 64);
+    let out = TwoLevelOptimizer::new(&problem, &view, config).optimize_recorded(&ring);
+    let events = ring.take();
+
+    // Exactly: PlanSearchStarted, one SubsetEvaluated per worker (1 here),
+    // PlanSelected — in that order.
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds,
+        ["PlanSearchStarted", "SubsetEvaluated", "PlanSelected"],
+        "{kinds:?}"
+    );
+
+    let Event::PlanSearchStarted {
+        kappa,
+        bid_levels,
+        threads,
+        subsets,
+        ..
+    } = &events[0]
+    else {
+        panic!("first event");
+    };
+    assert_eq!((*kappa, *bid_levels, *threads), (2, 3, 1));
+    assert!(*subsets > 0);
+
+    let Event::SubsetEvaluated {
+        worker,
+        evaluations,
+        feasible,
+        best_cost,
+        phi_intervals,
+        ..
+    } = &events[1]
+    else {
+        panic!("second event");
+    };
+    assert_eq!(*worker, 0);
+    assert!(*evaluations > 0 && *feasible <= *evaluations);
+    // The single worker's incumbent is the final plan (threads = 1), so
+    // its best cost and φ intervals must match the returned plan exactly.
+    assert_eq!(*best_cost, Some(out.evaluation.expected_cost));
+    let plan_intervals: Vec<f64> = out
+        .plan
+        .groups
+        .iter()
+        .map(|(_, d)| d.ckpt_interval)
+        .collect();
+    assert_eq!(*phi_intervals, plan_intervals);
+
+    let Event::PlanSelected {
+        source,
+        groups,
+        expected_cost,
+        expected_time,
+        ..
+    } = &events[2]
+    else {
+        panic!("third event");
+    };
+    assert_eq!(source, "spot");
+    assert_eq!(*groups as usize, out.plan.groups.len());
+    assert_eq!(*expected_cost, out.evaluation.expected_cost);
+    assert_eq!(*expected_time, out.evaluation.expected_time);
+}
+
+#[test]
+fn recorded_search_matches_unrecorded_search() {
+    let (market, problem) = seeded_market();
+    let view = MarketView::from_market(&market, 0.0, 48.0);
+    let config = OptimizerConfig {
+        kappa: 2,
+        bid_levels: 3,
+        ..Default::default()
+    };
+    let ring = RingRecorder::new(TraceLevel::Detail, 64);
+    let a = TwoLevelOptimizer::new(&problem, &view, config).optimize();
+    let b = TwoLevelOptimizer::new(&problem, &view, config).optimize_recorded(&ring);
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.evaluation.expected_cost, b.evaluation.expected_cost);
+}
+
+#[test]
+fn failed_run_emits_exact_timeline() {
+    // Cheap for 2 h, then priced out forever: the group banks 2 interval
+    // checkpoints, is provider-killed at t=2, and on-demand finishes.
+    let mut prices = vec![0.1, 0.1];
+    prices.extend(vec![9.0; 22]);
+    let (m, id) = tiny_market(&prices);
+    let plan = Plan {
+        groups: vec![(
+            CircleGroup {
+                id,
+                instances: 2,
+                exec_hours: 3.0,
+                ckpt_overhead_hours: 0.0,
+                recovery_hours: 0.5,
+            },
+            GroupDecision {
+                bid: 0.2,
+                ckpt_interval: 1.0,
+            },
+        )],
+        on_demand: od(),
+    };
+    let ring = RingRecorder::new(TraceLevel::Detail, 64);
+    let out = PlanRunner::new(&m, 8.0).run_recorded(&plan, 0.0, &ring);
+    let events = ring.take();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds,
+        [
+            "CheckpointTaken",
+            "GroupFailed",
+            "OnDemandFallback",
+            "RunCompleted"
+        ],
+        "{kinds:?}"
+    );
+
+    let Event::CheckpointTaken {
+        group,
+        at_hours,
+        count,
+        saved_fraction,
+    } = &events[0]
+    else {
+        panic!("checkpoint");
+    };
+    assert_eq!(group, &id.to_string());
+    assert_eq!(*count, 2);
+    assert!((at_hours - 2.0).abs() < 1e-9);
+    assert!((saved_fraction - 2.0 / 3.0).abs() < 1e-9);
+
+    let Event::GroupFailed {
+        at_hours,
+        saved_fraction,
+        ..
+    } = &events[1]
+    else {
+        panic!("group failed");
+    };
+    assert!((at_hours - 2.0).abs() < 1e-9);
+    assert!((saved_fraction - 2.0 / 3.0).abs() < 1e-9);
+
+    let Event::OnDemandFallback {
+        remaining_fraction,
+        od_cost,
+        reason,
+        ..
+    } = &events[2]
+    else {
+        panic!("fallback");
+    };
+    assert_eq!(reason, "all-groups-failed");
+    assert!((remaining_fraction - 1.0 / 3.0).abs() < 1e-9);
+    assert!((od_cost - out.od_cost).abs() < 1e-9);
+
+    let Event::RunCompleted {
+        finisher,
+        total_cost,
+        spot_cost,
+        od_cost,
+        wall_hours,
+        met_deadline,
+        groups_failed,
+        windows,
+        ..
+    } = &events[3]
+    else {
+        panic!("run completed");
+    };
+    assert_eq!(finisher, "on-demand");
+    assert_eq!(*total_cost, out.total_cost);
+    assert_eq!(*spot_cost, out.spot_cost);
+    assert_eq!(*od_cost, out.od_cost);
+    assert_eq!(*wall_hours, out.wall_hours);
+    assert_eq!(*met_deadline, out.met_deadline);
+    assert_eq!(*groups_failed, 1);
+    assert_eq!(*windows, None);
+}
+
+#[test]
+fn adaptive_run_emits_one_replan_per_window() {
+    let (market, problem) = seeded_market();
+    let config = AdaptiveConfig {
+        window_hours: 0.2,
+        history_hours: 48.0,
+        optimizer: OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            threads: 1,
+            ..Default::default()
+        },
+    };
+    let ring = RingRecorder::new(TraceLevel::Summary, 256);
+    let out = AdaptiveRunner::new(&market, config).run_recorded(&problem, 60.0, &ring);
+    let events = ring.take();
+
+    let replans = events
+        .iter()
+        .filter(|e| e.kind() == "WindowReplanned")
+        .count();
+    assert_eq!(replans as u32, out.windows);
+
+    let completed: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "RunCompleted")
+        .collect();
+    assert_eq!(completed.len(), 1);
+    let Event::RunCompleted {
+        total_cost,
+        windows,
+        plan_changes,
+        ..
+    } = completed[0]
+    else {
+        unreachable!();
+    };
+    assert_eq!(*total_cost, out.run.total_cost);
+    assert_eq!(*windows, Some(out.windows));
+    assert_eq!(*plan_changes, Some(out.plan_changes));
+}
+
+#[test]
+fn persistent_relaunch_narrates_incarnations() {
+    // 2 cheap hours, 2 expensive, then cheap: incarnation 1 dies at t=2
+    // with 2 checkpoints banked; incarnation 2 finishes on spot.
+    let mut prices = vec![0.1, 0.1, 9.0, 9.0];
+    prices.extend(vec![0.1; 44]);
+    let (m, id) = tiny_market(&prices);
+    let g = CircleGroup {
+        id,
+        instances: 2,
+        exec_hours: 3.0,
+        ckpt_overhead_hours: 0.0,
+        recovery_hours: 0.0,
+    };
+    let d = GroupDecision {
+        bid: 0.2,
+        ckpt_interval: 1.0,
+    };
+    let ring = RingRecorder::new(TraceLevel::Detail, 64);
+    let out = replay::run_persistent_recorded(&m, &g, &d, &od(), 0.0, 40.0, &ring);
+    let events = ring.take();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds,
+        ["CheckpointTaken", "GroupFailed", "RunCompleted"],
+        "{kinds:?}"
+    );
+    let Event::GroupFailed { at_hours, .. } = &events[1] else {
+        panic!("group failed");
+    };
+    assert!((at_hours - 2.0).abs() < 1e-9);
+    let Event::RunCompleted {
+        finisher,
+        total_cost,
+        groups_failed,
+        ..
+    } = &events[2]
+    else {
+        panic!("run completed");
+    };
+    assert_eq!(finisher, &format!("spot:{id}"));
+    assert_eq!(*total_cost, out.total_cost);
+    assert_eq!(*groups_failed, 1);
+}
+
+#[test]
+fn committed_fixture_parses_and_renders() {
+    // The fixture under tests/fixtures/ is what CI feeds to
+    // `sompi trace summarize`; it must stay schema-valid.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/sample_trace.jsonl"
+    );
+    let text = std::fs::read_to_string(path).expect("fixture exists");
+    let events = parse_jsonl(&text).expect("fixture is schema-valid");
+    assert!(events.iter().any(|e| e.kind() == "PlanSelected"));
+    assert!(events.iter().any(|e| e.kind() == "RunCompleted"));
+    let report = sompi_obs::RunReport::from_events(&events).render();
+    assert!(report.contains("outcome"), "{report}");
+}
+
+#[test]
+fn jsonl_round_trip_preserves_the_golden_sequence() {
+    // Same scenario as `failed_run_emits_exact_timeline`, but through the
+    // JSONL sink: serialize → parse → identical event list.
+    let mut prices = vec![0.1, 0.1];
+    prices.extend(vec![9.0; 22]);
+    let (m, id) = tiny_market(&prices);
+    let plan = Plan {
+        groups: vec![(
+            CircleGroup {
+                id,
+                instances: 2,
+                exec_hours: 3.0,
+                ckpt_overhead_hours: 0.0,
+                recovery_hours: 0.5,
+            },
+            GroupDecision {
+                bid: 0.2,
+                ckpt_interval: 1.0,
+            },
+        )],
+        on_demand: od(),
+    };
+
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let sink = JsonlRecorder::to_writer(Box::new(Shared(buf.clone())), TraceLevel::Detail);
+    let ring = RingRecorder::new(TraceLevel::Detail, 64);
+    let runner = PlanRunner::new(&m, 8.0);
+    runner.run_recorded(&plan, 0.0, &sink);
+    runner.run_recorded(&plan, 0.0, &ring);
+    sink.flush().unwrap();
+    assert_eq!(sink.write_errors(), 0);
+
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let parsed = parse_jsonl(&text).expect("schema-valid");
+    assert_eq!(parsed, ring.take());
+}

@@ -34,6 +34,9 @@ const PLAN_FLAGS: &[&str] = &[
     "threads",
     "trace-out",
     "trace-level",
+    "no-prune-dominance",
+    "no-prune-bound",
+    "no-shared-incumbent",
 ];
 
 /// Pick the planning strategy from `--strategy`.
@@ -47,6 +50,11 @@ fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
         bid_levels: levels,
         slack,
         threads,
+        // Pruning ablation switches; all stages preserve the exact
+        // optimum, so disabling them only changes planner wall-clock.
+        prune_dominance: !args.flag("no-prune-dominance"),
+        prune_bound: !args.flag("no-prune-bound"),
+        shared_incumbent: !args.flag("no-shared-incumbent"),
         ..Default::default()
     };
     Ok(match args.str_or("strategy", "sompi").to_lowercase().as_str() {

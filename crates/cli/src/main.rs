@@ -34,6 +34,9 @@ COMMON FLAGS:
     --strategy sompi|on-demand|marathe|marathe-opt|spot-inf|spot-avg
     --kappa K --levels L --slack S      optimizer knobs (default 4, 12, 0.2)
     --threads N                optimizer worker threads (0 = all cores, default)
+    --no-prune-dominance / --no-prune-bound / --no-shared-incumbent
+                               disable exactness-preserving search pruning stages
+                               (ablation; the optimum never changes)
     --seed N --hours H --step H         synthetic market shape
     --feed FILE                import AWS spot price history instead
     --history H                planning history window, hours (default 48)

@@ -13,7 +13,7 @@ use crate::exec::{Finisher, PlanRunner, RunOutcome};
 use crate::Hours;
 use ec2_market::market::SpotMarket;
 use serde::{Deserialize, Serialize};
-use sompi_core::adaptive::{AdaptiveConfig, AdaptivePlanner, WindowDecision};
+use sompi_core::adaptive::{AdaptiveConfig, AdaptivePlanner, PlanCache, WindowDecision};
 use sompi_core::problem::Problem;
 use sompi_core::view::MarketView;
 use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
@@ -107,6 +107,11 @@ impl<'a> AdaptiveRunner<'a> {
         // rescaling) and whether the last window demands a re-plan.
         let mut replan_needed = true;
         let mut groups_failed = 0u32;
+        // Fingerprint cache for adaptive-window plan reuse: when the
+        // market view is (within tolerance) the one a previous window
+        // planned against, the planner skips the two-level search and
+        // rescales the cached plan instead.
+        let mut cache = PlanCache::default();
 
         loop {
             let remaining = 1.0 - done_fraction;
@@ -201,6 +206,7 @@ impl<'a> AdaptiveRunner<'a> {
             // failures, stalls, and the initial launch. w/o-MT never
             // re-plans at all.
             let reuse = frozen_full.is_some() && (!self.update_maintenance || !replan_needed);
+            let mut fingerprint_hit = false;
             let decision = if reuse {
                 let (frozen, made_for) = frozen_full.as_ref().expect("checked");
                 let d = WindowDecision::Hybrid(frozen.scaled((remaining / made_for).min(1.0)));
@@ -211,11 +217,15 @@ impl<'a> AdaptiveRunner<'a> {
                     reused: true,
                     decision: "hybrid".to_string(),
                     groups: d.plan().groups.len() as u32,
+                    fingerprint_hit: false,
                 });
                 d
             } else {
-                self.planner
-                    .plan_window_recorded(problem, remaining, elapsed, &view, windows, recorder)
+                let (d, hit) = self.planner.plan_window_cached(
+                    problem, remaining, elapsed, &view, windows, &mut cache, recorder,
+                );
+                fingerprint_hit = hit;
+                d
             };
 
             match decision {
@@ -256,7 +266,10 @@ impl<'a> AdaptiveRunner<'a> {
                 }
                 WindowDecision::Hybrid(plan) => {
                     if !reuse {
-                        if self.update_maintenance {
+                        // A fingerprint hit re-issues the cached plan
+                        // (rescaled), so it is not a plan *change* even
+                        // though the residual hours differ.
+                        if self.update_maintenance && !fingerprint_hit {
                             if let Some(prev) = &current_plan {
                                 if *prev != plan {
                                     plan_changes += 1;
@@ -285,6 +298,13 @@ impl<'a> AdaptiveRunner<'a> {
                     );
                     spot_cost += w.spot_cost;
                     groups_failed += w.groups_failed;
+                    // An out-of-bid kill invalidates the cached plan: the
+                    // realized market just diverged from what the
+                    // fingerprint digested, even if the digest still
+                    // matches within tolerance.
+                    if w.groups_failed > 0 {
+                        cache.clear();
+                    }
                     // Re-plan when the window went badly: someone was
                     // killed out-of-bid, or no durable progress was made.
                     replan_needed = w.groups_failed > 0 || w.saved_fraction <= 1e-9;

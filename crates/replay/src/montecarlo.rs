@@ -31,13 +31,16 @@ pub struct McResult {
 }
 
 impl McResult {
-    /// Build from raw outcomes.
-    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Self {
-        assert!(!outcomes.is_empty(), "no outcomes to aggregate");
+    /// Build from raw outcomes. Returns `None` when `outcomes` is empty —
+    /// there is no meaningful aggregate of zero replicas.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Option<Self> {
+        if outcomes.is_empty() {
+            return None;
+        }
         let costs: Vec<f64> = outcomes.iter().map(|o| o.total_cost).collect();
         let times: Vec<f64> = outcomes.iter().map(|o| o.wall_hours).collect();
         let n = outcomes.len() as f64;
-        Self {
+        Some(Self {
             cost: Summary::of(&costs),
             time: Summary::of(&times),
             deadline_rate: outcomes.iter().filter(|o| o.met_deadline).count() as f64 / n,
@@ -47,7 +50,7 @@ impl McResult {
                 .count() as f64
                 / n,
             mean_failures: outcomes.iter().map(|o| o.groups_failed as f64).sum::<f64>() / n,
-        }
+        })
     }
 }
 
@@ -64,23 +67,23 @@ pub struct MonteCarlo {
     /// Latest admissible start offset (hours) — leave room for the
     /// execution after it.
     pub offset_max: Hours,
-    /// Worker threads (1 = sequential).
+    /// Worker threads, with the same semantics as
+    /// `OptimizerConfig::threads`: `0` = one worker per available core,
+    /// `1` = sequential, `n` = exactly `n` workers. Results are identical
+    /// at any value — only wall-clock changes.
     pub threads: usize,
 }
 
 impl MonteCarlo {
-    /// A driver with sensible experiment defaults.
+    /// A driver with sensible experiment defaults: all cores (`threads =
+    /// 0`), no artificial cap.
     pub fn new(replicas: usize, seed: u64, offset_min: Hours, offset_max: Hours) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16);
         Self {
             replicas,
             seed,
             offset_min,
             offset_max,
-            threads,
+            threads: 0,
         }
     }
 
@@ -101,16 +104,23 @@ impl MonteCarlo {
             self.offset_max > self.offset_min,
             "offset window must be non-empty"
         );
-        let outcomes = if self.threads <= 1 {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let outcomes = if threads <= 1 {
             (0..self.replicas)
                 .map(|i| f(self.offset(i)))
                 .collect::<Vec<_>>()
         } else {
-            let chunk = self.replicas.div_ceil(self.threads);
+            let chunk = self.replicas.div_ceil(threads);
             let mut results: Vec<Vec<RunOutcome>> = Vec::new();
             crossbeam::thread::scope(|s| {
                 let mut handles = Vec::new();
-                for t in 0..self.threads {
+                for t in 0..threads {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(self.replicas);
                     if lo >= hi {
@@ -129,6 +139,7 @@ impl MonteCarlo {
             results.into_iter().flatten().collect()
         };
         McResult::from_outcomes(&outcomes)
+            .expect("replicas > 0 was asserted, so outcomes is non-empty")
     }
 
     /// Convenience: Monte-Carlo over a static plan via [`PlanRunner`].
@@ -195,7 +206,19 @@ mod tests {
         };
         let seq = base.run_plan(&m, &plan, 3.0);
         let par = MonteCarlo { threads: 4, ..base }.run_plan(&m, &plan, 3.0);
+        let all = MonteCarlo { threads: 0, ..base }.run_plan(&m, &plan, 3.0);
         assert_eq!(seq, par);
+        assert_eq!(seq, all);
+    }
+
+    #[test]
+    fn empty_outcomes_aggregate_to_none() {
+        assert!(McResult::from_outcomes(&[]).is_none());
+    }
+
+    #[test]
+    fn new_defaults_to_all_cores() {
+        assert_eq!(MonteCarlo::new(10, 1, 0.0, 1.0).threads, 0);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! lives in the `replay` crate, which feeds realized progress back in as
 //! `remaining_fraction`.
 
+use crate::cost::evaluate_plan;
 use crate::model::Plan;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
 use crate::Hours;
+use ec2_market::market::CircleGroupId;
 use serde::{Deserialize, Serialize};
 use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
 
@@ -91,6 +93,65 @@ impl AdaptivePlanner {
         self.plan_window_recorded(base, remaining_fraction, elapsed, view, 0, &NullRecorder)
     }
 
+    /// [`AdaptivePlanner::plan_window`] with a [`PlanCache`]: when the
+    /// view's [`ViewFingerprint`] matches the cached one within the
+    /// cache's tolerance, the Algorithm-1 line-7 guard passes, and the
+    /// cached plan — rescaled to the current residual — is still feasible
+    /// under the *fresh* estimators, the re-optimization is skipped
+    /// entirely and the window emits `WindowReplanned { reused: true,
+    /// fingerprint_hit: true }`. Returns the decision plus whether the
+    /// cache satisfied it. Misses fall through to
+    /// [`AdaptivePlanner::plan_window_recorded`] and refresh the cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_window_cached(
+        &self,
+        base: &Problem,
+        remaining_fraction: f64,
+        elapsed: Hours,
+        view: &MarketView,
+        window: u32,
+        cache: &mut PlanCache,
+        recorder: &dyn Recorder,
+    ) -> (WindowDecision, bool) {
+        let fingerprint = ViewFingerprint::digest(view);
+        let leftover = base.deadline - elapsed;
+        if let Some(plan) = cache.recall(&fingerprint, remaining_fraction) {
+            // The market looks unchanged. Reuse only if the decision
+            // would still be Hybrid: the fastest on-demand bail-out check
+            // passes and the rescaled incumbent remains feasible when
+            // re-evaluated against the latest estimators.
+            let residual = base.residual(remaining_fraction, leftover.max(0.0));
+            let fastest = residual.baseline();
+            if fastest.exec_hours + fastest.recovery_hours <= leftover {
+                if let Some(eval) = evaluate_plan(&plan, view) {
+                    let feasible = eval.meets(leftover)
+                        && self
+                            .config
+                            .optimizer
+                            .min_spot_success
+                            .map(|q| eval.p_all_fail <= 1.0 - q)
+                            .unwrap_or(true);
+                    if feasible {
+                        emit(recorder, TraceLevel::Summary, || Event::WindowReplanned {
+                            window,
+                            elapsed_hours: elapsed,
+                            remaining_fraction,
+                            reused: true,
+                            decision: "hybrid".to_string(),
+                            groups: plan.groups.len() as u32,
+                            fingerprint_hit: true,
+                        });
+                        return (WindowDecision::Hybrid(plan), true);
+                    }
+                }
+            }
+        }
+        let decision =
+            self.plan_window_recorded(base, remaining_fraction, elapsed, view, window, recorder);
+        cache.store(fingerprint, &decision, remaining_fraction);
+        (decision, false)
+    }
+
     /// [`AdaptivePlanner::plan_window`], emitting trace events: the inner
     /// optimizer's search events (when it runs) plus one `WindowReplanned`
     /// with `reused: false` describing the decision. `window` is the
@@ -116,6 +177,7 @@ impl AdaptivePlanner {
                 WindowDecision::FinishOnDemand(_) => "finish-on-demand".to_string(),
             },
             groups: decision.plan().groups.len() as u32,
+            fingerprint_hit: false,
         });
         decision
     }
@@ -151,6 +213,154 @@ impl AdaptivePlanner {
             return WindowDecision::FinishOnDemand(plan);
         }
         WindowDecision::Hybrid(plan)
+    }
+}
+
+/// Hour horizon of the fingerprint's failure-rate probe. Fixed so two
+/// views are digested identically regardless of the residual problem.
+const FINGERPRINT_PROBE_HORIZON: usize = 24;
+
+/// Compact digest of the market state a [`MarketView`] exposes: per
+/// candidate circle group, the price-range statistics and a failure-rate
+/// probe that the two-level optimizer's inputs are derived from. Two
+/// views with matching fingerprints (within a relative tolerance) lead
+/// the optimizer to near-identical assessments, which is what makes
+/// skipping a window's re-optimization safe in practice — the reuse path
+/// additionally re-checks the cached plan's feasibility against the
+/// fresh view before committing (see
+/// [`AdaptivePlanner::plan_window_cached`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewFingerprint {
+    /// Per group: `[min price, mean price, max bid, launch delay at the
+    /// probe bid, survival at the probe bid]`. Groups a view cannot
+    /// launch (non-finite or non-positive max bid) digest as zeros.
+    entries: Vec<(CircleGroupId, [f64; 5])>,
+}
+
+impl ViewFingerprint {
+    /// Digest a view. Cost: one failure-rate estimation per group (at a
+    /// single probe bid), versus `bid_levels` of them per group for a
+    /// full re-optimization.
+    pub fn digest(view: &MarketView) -> Self {
+        let entries = view
+            .groups()
+            .map(|id| {
+                let max_bid = view.max_bid(id);
+                if !(max_bid.is_finite() && max_bid > 0.0) {
+                    return (id, [0.0; 5]);
+                }
+                // Probe at half the historical maximum: the middle of the
+                // log₂ grid, where failure rates move fastest when the
+                // price distribution drifts.
+                let probe = max_bid * 0.5;
+                let f = view.failure_fn(id, probe, FINGERPRINT_PROBE_HORIZON);
+                (
+                    id,
+                    [
+                        view.min_price(id),
+                        view.mean_price(id),
+                        max_bid,
+                        view.launch_delay(id, probe),
+                        f.survival(),
+                    ],
+                )
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Whether every component matches within the relative tolerance
+    /// `|a − b| ≤ tol · max(|a|, |b|, 1e-9)`. Group sets must be
+    /// identical.
+    pub fn matches(&self, other: &Self, tolerance: f64) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|((ia, a), (ib, b))| {
+                    ia == ib
+                        && a.iter().zip(b).all(|(x, y)| {
+                            (x - y).abs() <= tolerance * x.abs().max(y.abs()).max(1e-9)
+                        })
+                })
+    }
+}
+
+/// One-entry cache for [`AdaptivePlanner::plan_window_cached`]: the last
+/// *hybrid* window decision, keyed by the [`ViewFingerprint`] it was
+/// planned under and the residual fraction it was planned for. The cached
+/// plan is rescaled from its original fraction on every recall, so
+/// repeated reuse does not compound scaling drift.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    tolerance: f64,
+    entry: Option<CacheEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    fingerprint: ViewFingerprint,
+    plan: Plan,
+    /// Residual work fraction the cached plan was optimized for.
+    made_for: f64,
+}
+
+impl PlanCache {
+    /// Relative fingerprint tolerance used by the adaptive runner: 2%
+    /// drift in any digest component forces a real re-optimization.
+    pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+    /// Create an empty cache with the given relative tolerance.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        Self {
+            tolerance,
+            entry: None,
+        }
+    }
+
+    /// The cached plan rescaled to `remaining_fraction`, if the
+    /// fingerprint matches within tolerance. Feasibility is the caller's
+    /// check — the cache only answers "has the market moved?".
+    fn recall(&self, fingerprint: &ViewFingerprint, remaining_fraction: f64) -> Option<Plan> {
+        let e = self.entry.as_ref()?;
+        if !e.fingerprint.matches(fingerprint, self.tolerance) {
+            return None;
+        }
+        if !(remaining_fraction > 0.0 && e.made_for > 0.0) {
+            return None;
+        }
+        Some(e.plan.scaled((remaining_fraction / e.made_for).min(1.0)))
+    }
+
+    /// Remember a freshly planned decision. Only hybrid plans are worth
+    /// caching; a finish-on-demand decision clears the cache (subsequent
+    /// windows run on demand and never consult it).
+    fn store(&mut self, fingerprint: ViewFingerprint, decision: &WindowDecision, made_for: f64) {
+        match decision {
+            WindowDecision::Hybrid(plan) => {
+                self.entry = Some(CacheEntry {
+                    fingerprint,
+                    plan: plan.clone(),
+                    made_for,
+                });
+            }
+            WindowDecision::FinishOnDemand(_) => self.entry = None,
+        }
+    }
+
+    /// Drop the cached entry (e.g. after realized progress diverges from
+    /// the plan — a group failure invalidates the incumbent regardless of
+    /// what prices did).
+    pub fn clear(&mut self) {
+        self.entry = None;
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_TOLERANCE)
     }
 }
 
@@ -222,6 +432,79 @@ mod tests {
         } else {
             panic!("expected hybrid decision");
         }
+    }
+
+    #[test]
+    fn fingerprint_matches_itself_and_tracks_market_drift() {
+        let (market, _) = setup();
+        let early = MarketView::from_market(&market, 0.0, 48.0);
+        let late = MarketView::from_market(&market, 200.0, 48.0);
+        let fp_early = ViewFingerprint::digest(&early);
+        let fp_early_again = ViewFingerprint::digest(&early);
+        assert!(fp_early.matches(&fp_early_again, 0.0), "digest not stable");
+        // 200 h apart on a generated market, at least one group's price
+        // statistics must have moved beyond 2%.
+        let fp_late = ViewFingerprint::digest(&late);
+        assert!(
+            !fp_early.matches(&fp_late, PlanCache::DEFAULT_TOLERANCE),
+            "distant windows should not fingerprint-match"
+        );
+    }
+
+    #[test]
+    fn cached_window_reuses_only_when_view_is_static() {
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let p = planner();
+        let mut cache = PlanCache::default();
+        let (d1, hit1) =
+            p.plan_window_cached(&problem, 1.0, 0.0, &view, 0, &mut cache, &NullRecorder);
+        assert!(!hit1, "cold cache cannot hit");
+        assert!(matches!(d1, WindowDecision::Hybrid(_)));
+
+        // Same view, slightly less work left: must hit, and the reused
+        // plan must be the incumbent rescaled — not a fresh search.
+        let (d2, hit2) =
+            p.plan_window_cached(&problem, 0.8, 0.1, &view, 1, &mut cache, &NullRecorder);
+        assert!(hit2, "static view should fingerprint-hit");
+        let (p1, p2) = (d1.plan(), d2.plan());
+        assert_eq!(p1.groups.len(), p2.groups.len());
+        for ((g1, dec1), (g2, dec2)) in p1.groups.iter().zip(&p2.groups) {
+            assert_eq!(g1.id, g2.id);
+            assert_eq!(dec1.bid, dec2.bid);
+            assert!((g2.exec_hours - g1.exec_hours * 0.8).abs() < 1e-9);
+        }
+
+        // A distant history window must miss and re-plan.
+        let late = MarketView::from_market(&market, 200.0, 48.0);
+        let (_, hit3) =
+            p.plan_window_cached(&problem, 0.6, 0.2, &late, 2, &mut cache, &NullRecorder);
+        assert!(!hit3, "shifted market must force a re-optimization");
+    }
+
+    #[test]
+    fn cached_window_still_bails_out_on_hopeless_deadlines() {
+        // A fingerprint hit must not override Algorithm 1 line 7: with
+        // the deadline nearly exhausted the decision has to flip to
+        // finish-on-demand even though the market never moved.
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let p = planner();
+        let mut cache = PlanCache::default();
+        let (_, hit1) =
+            p.plan_window_cached(&problem, 1.0, 0.0, &view, 0, &mut cache, &NullRecorder);
+        assert!(!hit1);
+        let (d, hit) = p.plan_window_cached(
+            &problem,
+            1.0,
+            problem.deadline * 0.95,
+            &view,
+            1,
+            &mut cache,
+            &NullRecorder,
+        );
+        assert!(!hit, "hopeless deadline must not reuse");
+        assert!(matches!(d, WindowDecision::FinishOnDemand(_)));
     }
 
     #[test]

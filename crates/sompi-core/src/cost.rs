@@ -239,6 +239,58 @@ impl GroupAssessment {
     fn expected_billed(&self) -> Hours {
         self.expected_billed_capped(f64::INFINITY)
     }
+
+    /// Whether two assessments of the *same group* are indistinguishable
+    /// to [`evaluate`]: identical in every field the evaluator reads —
+    /// which is everything except `decision.bid`. Two bids with no
+    /// historical price strictly between them produce bitwise-identical
+    /// assessments (same launch set, same failure function, same φ), and
+    /// then only the higher bid can win under the optimizer's total order
+    /// (higher bids break cost ties). That makes the lower bid safe to
+    /// drop before enumeration — the bid-collapse dominance filter in
+    /// [`crate::pareto::collapse_bid_dominated`].
+    pub fn eval_equivalent(&self, other: &Self) -> bool {
+        self.group == other.group
+            && self.decision.ckpt_interval == other.decision.ckpt_interval
+            && self.expected_price == other.expected_price
+            && self.survival == other.survival
+            && self.launch_delay == other.launch_delay
+            && self.fail_buckets == other.fail_buckets
+            && self.wall_at_bucket == other.wall_at_bucket
+            && self.run_wall_at_bucket == other.run_wall_at_bucket
+            && self.billed_floor_at_bucket == other.billed_floor_at_bucket
+            && self.ratio_at_bucket == other.ratio_at_bucket
+    }
+
+    /// Admissible lower bound on this option's additive contribution to
+    /// `E[Cost]` in *any* candidate containing it, given that no group in
+    /// the candidate can complete before wall time `w_min`.
+    ///
+    /// Derivation (`r = hourly_cost`, `cap = ⌈(w_min − delay)₊⌉`):
+    ///
+    /// * In every pattern where the group survives (total probability
+    ///   `survival`), it is billed
+    ///   `⌈clamp(w* − delay, 0, run_wall)⌉` hours with `w* ≥ w_min`, and
+    ///   that expression is monotone in `w*`.
+    /// * In every pattern where it fails in bucket `t` (total probability
+    ///   `fail_buckets[t]`), it is billed either the provider-kill floor
+    ///   `billed_floor[t]` or the user-kill `⌈(w* − delay)₊⌉ ≥ cap`; both
+    ///   branches are ≥ `min(billed_floor[t], cap)`. The all-fail pattern
+    ///   bills the floor and adds a nonnegative on-demand recovery cost.
+    ///
+    /// Summing the per-group bounds over a candidate therefore never
+    /// exceeds its true expected cost — the branch-and-bound prune in
+    /// `twolevel::search_chunk` is exact.
+    pub fn cost_lower_bound(&self, w_min: Hours) -> Usd {
+        let run_cap = (w_min - self.launch_delay).max(0.0);
+        let surv_hours = run_cap.min(self.run_wall()).ceil();
+        let cap_ceil = run_cap.ceil();
+        let mut fail_hours = 0.0;
+        for (t, p) in self.fail_buckets.iter().enumerate() {
+            fail_hours += p * self.billed_floor_at_bucket[t].min(cap_ceil);
+        }
+        self.hourly_cost() * (self.survival * surv_hours + fail_hours)
+    }
 }
 
 /// Result of evaluating a plan under the cost model.
@@ -692,7 +744,7 @@ mod tests {
     #[should_panic(expected = "exponential")]
     fn too_many_groups_rejected() {
         let a = assessment(1.0, 0.5, 0.1, 1.0);
-        let groups: Vec<&GroupAssessment> = std::iter::repeat(&a).take(17).collect();
+        let groups: Vec<&GroupAssessment> = std::iter::repeat_n(&a, 17).collect();
         evaluate(&groups, &od());
     }
 
@@ -746,6 +798,63 @@ mod tests {
                 .group
                 .remaining_ratio(productive, a.decision.ckpt_interval);
             assert!((a.fail_ratio(t) - ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eval_equivalent_ignores_only_the_bid() {
+        let a = assessment(3.0, 0.6, 0.1, 3.0);
+        let mut b = a.clone();
+        b.decision.bid = 2.0 * a.decision.bid;
+        assert!(a.eval_equivalent(&b), "bid must not break equivalence");
+        // Any evaluator-visible difference breaks it.
+        let mut c = a.clone();
+        c.survival += 1e-12;
+        assert!(!a.eval_equivalent(&c));
+        let mut d = a.clone();
+        d.launch_delay = 0.25;
+        assert!(!a.eval_equivalent(&d));
+    }
+
+    #[test]
+    fn cost_lower_bound_is_admissible() {
+        // Σ_i lb_i(w_min) ≤ E[Cost] for every candidate, where w_min is
+        // the smallest completion wall among the candidate's groups.
+        let pool = [
+            assessment(2.0, 0.5, 0.1, 2.0),
+            assessment(3.0, 0.25, 0.2, 3.0),
+            assessment(4.0, 0.9, 0.05, 1.0),
+            assessment(1.0, 0.0, 0.3, 1.0),
+        ];
+        let odo = od();
+        for i in 0..pool.len() {
+            for j in 0..pool.len() {
+                let refs = [&pool[i], &pool[j]];
+                let w_min = refs
+                    .iter()
+                    .map(|g| g.completion_wall())
+                    .fold(f64::INFINITY, f64::min);
+                let e = evaluate(&refs, &odo);
+                let lb: f64 = refs.iter().map(|g| g.cost_lower_bound(w_min)).sum();
+                assert!(
+                    lb <= e.expected_cost + 1e-9,
+                    "lb {lb} > cost {} for ({i},{j})",
+                    e.expected_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_lower_bound_is_monotone_in_w_min() {
+        // A tighter (larger) completion floor can only raise the bound —
+        // the property the branch-and-bound sort relies on.
+        let a = assessment(3.0, 0.6, 0.1, 3.0);
+        let mut prev = 0.0;
+        for w in [0.5, 1.0, 2.0, 3.0, 5.0] {
+            let lb = a.cost_lower_bound(w);
+            assert!(lb >= prev - 1e-12, "lb regressed at w_min={w}");
+            prev = lb;
         }
     }
 

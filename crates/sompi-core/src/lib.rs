@@ -43,12 +43,12 @@ pub mod problem;
 pub mod twolevel;
 pub mod view;
 
-pub use adaptive::{AdaptiveConfig, AdaptivePlanner};
+pub use adaptive::{AdaptiveConfig, AdaptivePlanner, PlanCache, ViewFingerprint};
 pub use cost::{evaluate, Evaluation, GroupAssessment};
 pub use logsearch::BidGrid;
 pub use model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 pub use ondemand::select_on_demand;
-pub use pareto::{frontier, ParetoPoint};
+pub use pareto::{collapse_bid_dominated, frontier, ParetoPoint};
 pub use phi::optimal_interval;
 pub use problem::Problem;
 pub use twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};

@@ -6,6 +6,12 @@
 //! two-level search but keeps every non-dominated `(E[Time], E[Cost])`
 //! configuration instead of a single optimum — one search, the entire
 //! Figure-7-style curve.
+//!
+//! The module also hosts [`collapse_bid_dominated`], the exactness-
+//! preserving per-group dominance filter shared by [`frontier`] and the
+//! two-level optimizer (DESIGN.md §8): when two bids on the same group are
+//! indistinguishable to the evaluator, only the higher one can ever win,
+//! so the lower one is dropped before any subset is enumerated.
 
 use crate::cost::{evaluate, Evaluation, GroupAssessment};
 use crate::logsearch::BidGrid;
@@ -16,6 +22,38 @@ use crate::problem::Problem;
 use crate::twolevel::{GridKind, OptimizerConfig};
 use crate::view::MarketView;
 use serde::{Deserialize, Serialize};
+
+/// Drop every assessment that is *bid-collapse dominated*: an option `A`
+/// is removed iff an earlier option `B` in the list has a strictly higher
+/// bid and [`GroupAssessment::eval_equivalent`] state. Returns how many
+/// options were removed; the relative order of survivors is preserved.
+///
+/// Exactness (the full argument is in DESIGN.md §8): the evaluator never
+/// reads `decision.bid`, so substituting `B` for `A` inside any candidate
+/// leaves the evaluation bit-identical while making the bid vector
+/// lexicographically greater — and the optimizer's total order breaks
+/// cost ties toward greater bid vectors, before the enumeration ordinal.
+/// The exhaustive winner therefore never contains a dominated option, and
+/// since removal preserves the survivors' enumeration order, ordinal
+/// tie-breaks among survivors are unchanged too.
+///
+/// Callers must pass options in bid-descending order (the order
+/// [`BidGrid`] produces), so a dominator always precedes its victims.
+pub fn collapse_bid_dominated(opts: &mut Vec<GroupAssessment>) -> u64 {
+    let mut kept = 0usize;
+    for i in 0..opts.len() {
+        let dominated = opts[..kept]
+            .iter()
+            .any(|b| b.decision.bid > opts[i].decision.bid && b.eval_equivalent(&opts[i]));
+        if !dominated {
+            opts.swap(kept, i);
+            kept += 1;
+        }
+    }
+    let removed = (opts.len() - kept) as u64;
+    opts.truncate(kept);
+    removed
+}
 
 /// One point on the cost/time frontier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,6 +99,11 @@ pub fn frontier(problem: &Problem, view: &MarketView, config: OptimizerConfig) -
                     opts.push(a);
                 }
             }
+            // Exact and output-invariant here too: collapsed duplicates
+            // produce identical (E[Time], E[Cost]) points, and the kept
+            // (higher-bid) twin enumerates first anyway, so the stable
+            // non-dominated filter below returns the same frontier.
+            collapse_bid_dominated(&mut opts);
         }
         options.push(opts);
     }
@@ -221,6 +264,73 @@ mod tests {
                 best_on_frontier,
                 opt.evaluation.expected_cost
             );
+        }
+    }
+
+    #[test]
+    fn collapse_drops_only_lower_bid_twins() {
+        use crate::model::CircleGroup;
+        use ec2_market::market::CircleGroupId;
+        use ec2_market::zone::AvailabilityZone;
+
+        let g = CircleGroup {
+            id: CircleGroupId::new(InstanceTypeId(0), AvailabilityZone::UsEast1a),
+            instances: 4,
+            exec_hours: 3.0,
+            ckpt_overhead_hours: 0.02,
+            recovery_hours: 0.1,
+        };
+        let make = |bid: f64, survival: f64| {
+            let horizon = g.completion_wall_hours(3.0).ceil().max(1.0) as usize;
+            let per = (1.0 - survival) / horizon as f64;
+            GroupAssessment::from_parts(
+                g,
+                GroupDecision {
+                    bid,
+                    ckpt_interval: 3.0,
+                },
+                0.1,
+                survival,
+                vec![per; horizon],
+                0.0,
+            )
+        };
+        // Bid-descending, as BidGrid produces. 0.8 and 0.4 are evaluator-
+        // identical twins of 1.0; 0.2 genuinely differs.
+        let mut opts = vec![
+            make(1.0, 0.9),
+            make(0.8, 0.9),
+            make(0.4, 0.9),
+            make(0.2, 0.5),
+        ];
+        let removed = collapse_bid_dominated(&mut opts);
+        assert_eq!(removed, 2);
+        let bids: Vec<f64> = opts.iter().map(|a| a.decision.bid).collect();
+        assert_eq!(bids, vec![1.0, 0.2], "survivor order must be preserved");
+        // Idempotent.
+        assert_eq!(collapse_bid_dominated(&mut opts), 0);
+    }
+
+    #[test]
+    fn frontier_matches_unfiltered_enumeration() {
+        // The collapse inside `frontier` must not change the curve: it
+        // only removes points whose (time, cost) twin — the higher bid —
+        // enumerates first and survives the stable dominated filter.
+        let (problem, view) = setup();
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            ..Default::default()
+        };
+        let f = frontier(&problem, &view, cfg);
+        for w in f.windows(2) {
+            assert!(w[0].evaluation.expected_cost > w[1].evaluation.expected_cost);
+        }
+        // Every surviving plan's bids are launchable under the view.
+        for p in &f {
+            for (g, d) in &p.plan.groups {
+                assert!(view.expected_price(g.id, d.bid).is_some());
+            }
         }
     }
 

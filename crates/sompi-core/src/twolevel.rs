@@ -40,6 +40,7 @@ use crate::view::MarketView;
 use serde::{Deserialize, Serialize};
 use sompi_obs::{emit, Event, NullRecorder, PhaseTimer, Recorder, TraceLevel};
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Which bid grid shape to search (logarithmic is the paper's; uniform
 /// exists for the ablation bench).
@@ -61,6 +62,9 @@ pub enum GridKind {
 /// assert_eq!(cfg.kappa, 4);        // §5.2: diminishing returns past 4
 /// assert_eq!(cfg.bid_levels, 12);  // log₂ grid cap per group
 /// assert_eq!(cfg.threads, 0);      // 0 = one worker per core
+/// assert!(cfg.prune_dominance);    // exact pruning is on by default
+/// assert!(cfg.prune_bound);
+/// assert!(cfg.shared_incumbent);
 ///
 /// // Struct-update syntax is the idiomatic way to tweak one knob:
 /// let quick = OptimizerConfig { kappa: 2, bid_levels: 3, ..cfg };
@@ -98,6 +102,30 @@ pub struct OptimizerConfig {
     /// Worker threads for the subset search: `0` = one per available
     /// core, `1` = sequential. The result is identical at any setting.
     pub threads: usize,
+    /// Drop per-group options whose only difference from a surviving
+    /// higher-bid option is the bid itself (DESIGN.md §8.1). Exact: the
+    /// returned plan, evaluation, and tie-breaks are unchanged. Off
+    /// reproduces the raw enumeration (the `evaluations_performed` count
+    /// shrinks with the filter on, since dominated options are never
+    /// enumerated).
+    #[serde(default = "default_true")]
+    pub prune_dominance: bool,
+    /// Branch-and-bound inside the odometer walk: skip bid-vector
+    /// suffixes whose admissible cost lower bound (DESIGN.md §8.2) cannot
+    /// beat the incumbent. Exact and count-preserving —
+    /// `evaluations_performed` still reports the full enumeration size.
+    #[serde(default = "default_true")]
+    pub prune_bound: bool,
+    /// Share the incumbent cost bound across worker threads through a
+    /// relaxed `AtomicU64` (DESIGN.md §8.3). Only strengthens
+    /// `prune_bound`'s pruning; the deterministic total-order merge keeps
+    /// the result identical at any thread count.
+    #[serde(default = "default_true")]
+    pub shared_incumbent: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for OptimizerConfig {
@@ -111,6 +139,9 @@ impl Default for OptimizerConfig {
             interval_grid: None,
             min_spot_success: None,
             threads: 0,
+            prune_dominance: true,
+            prune_bound: true,
+            shared_incumbent: true,
         }
     }
 }
@@ -177,6 +208,13 @@ struct WorkerStats {
     evaluations: u64,
     feasible: u64,
     subsets: u64,
+    /// Enumerated positions the branch-and-bound walk never evaluated
+    /// (already counted inside `evaluations`, which reports the full
+    /// enumeration size for count determinism).
+    skipped: u64,
+    /// Times this worker published a strictly better feasible cost to
+    /// the incumbent bound (shared or local).
+    tightenings: u64,
     best: Option<Candidate>,
 }
 
@@ -286,12 +324,38 @@ impl<'a> TwoLevelOptimizer<'a> {
             self.config.slack,
         );
         let assess_timer = PhaseTimer::start();
-        let (options, options_considered, options_pruned) = self.assess_options();
+        let (options, options_considered, options_pruned, options_dominated) =
+            self.assess_options();
         let assess_secs = assess_timer.elapsed_secs();
 
         // The pure on-demand plan is the incumbent the search must beat.
         let od_eval = evaluate(&[], &od);
         let od_feasible = od_eval.meets(self.problem.deadline);
+
+        // Per-group minimum completion wall, the `w_min` input of the
+        // admissible lower bound (DESIGN.md §8.2). Infinite for groups
+        // with no viable options (such groups skip their subsets anyway).
+        let min_wall: Vec<f64> = options
+            .iter()
+            .map(|opts| {
+                opts.iter()
+                    .map(|a| a.completion_wall())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+
+        // The incumbent cost bound candidates must beat, as IEEE bits
+        // (non-negative floats order identically as u64 bits, so
+        // `fetch_min` over bits is `fetch_min` over costs). Seeded with
+        // the on-demand incumbent when it is feasible — the search only
+        // keeps spot candidates that beat it anyway.
+        let od_seed_bound = if od_feasible {
+            od_eval.expected_cost
+        } else {
+            f64::INFINITY
+        };
+        let shared_bound = AtomicU64::new(od_seed_bound.to_bits());
+        let use_shared = self.config.shared_incumbent && self.config.prune_bound;
 
         // Precollect the k-subsets (k ascending, lexicographic within k)
         // so they can be chunked across workers with stable global indices.
@@ -315,11 +379,13 @@ impl<'a> TwoLevelOptimizer<'a> {
             options_considered,
             options_pruned,
             deadline_hours: self.problem.deadline,
+            options_dominated,
         });
 
         let search_timer = PhaseTimer::start();
         let results: Vec<WorkerStats> = if threads <= 1 {
-            vec![self.search_chunk(&options, &od, 0, &subsets)]
+            let shared = use_shared.then_some(&shared_bound);
+            vec![self.search_chunk(&options, &od, 0, &subsets, &min_wall, shared, od_seed_bound)]
         } else {
             let chunk = subsets.len().div_ceil(threads);
             crossbeam::thread::scope(|s| {
@@ -333,7 +399,11 @@ impl<'a> TwoLevelOptimizer<'a> {
                     let slice = &subsets[lo..hi];
                     let options = &options;
                     let od = &od;
-                    handles.push(s.spawn(move |_| self.search_chunk(options, od, lo, slice)));
+                    let min_wall = &min_wall;
+                    let shared = use_shared.then_some(&shared_bound);
+                    handles.push(s.spawn(move |_| {
+                        self.search_chunk(options, od, lo, slice, min_wall, shared, od_seed_bound)
+                    }));
                 }
                 handles
                     .into_iter()
@@ -369,6 +439,7 @@ impl<'a> TwoLevelOptimizer<'a> {
                             .collect()
                     })
                     .unwrap_or_default(),
+                skipped: stats.skipped,
             });
         }
 
@@ -376,9 +447,13 @@ impl<'a> TwoLevelOptimizer<'a> {
         // total order the workers used, so chunking cannot change the
         // result, and the evaluation counters sum to the serial count.
         let mut evaluations: u64 = 1; // the on-demand incumbent
+        let mut evals_skipped: u64 = 0;
+        let mut bound_tightenings: u64 = 0;
         let mut best: Option<Candidate> = None;
         for stats in results {
             evaluations += stats.evaluations;
+            evals_skipped += stats.skipped;
+            bound_tightenings += stats.tightenings;
             if let Some(c) = stats.best {
                 let replace = match &best {
                     None => true,
@@ -422,6 +497,8 @@ impl<'a> TwoLevelOptimizer<'a> {
                     evaluations,
                     assess_secs,
                     search_secs,
+                    evals_skipped,
+                    bound_tightenings,
                 });
                 return OptimizedPlan {
                     plan,
@@ -440,6 +517,8 @@ impl<'a> TwoLevelOptimizer<'a> {
             evaluations,
             assess_secs,
             search_secs,
+            evals_skipped,
+            bound_tightenings,
         });
         OptimizedPlan {
             plan: Plan::on_demand_only(od),
@@ -458,12 +537,15 @@ impl<'a> TwoLevelOptimizer<'a> {
     /// completion winner would let rare deadline-missing patterns
     /// subsidize `E[Cost]`.
     ///
-    /// Also returns `(considered, pruned)`: how many (group, bid,
-    /// interval) options were assessed and how many the deadline prune
-    /// discarded — the numerator/denominator of the report's prune rate.
-    fn assess_options(&self) -> (Vec<Vec<GroupAssessment>>, u64, u64) {
+    /// Also returns `(considered, pruned, dominated)`: how many (group,
+    /// bid, interval) options were assessed, how many the deadline prune
+    /// discarded — the numerator/denominator of the report's prune rate —
+    /// and how many survivors the exact bid-collapse dominance filter
+    /// ([`crate::pareto::collapse_bid_dominated`]) removed afterwards.
+    fn assess_options(&self) -> (Vec<Vec<GroupAssessment>>, u64, u64, u64) {
         let mut considered = 0u64;
         let mut pruned = 0u64;
+        let mut dominated = 0u64;
         let mut options: Vec<Vec<GroupAssessment>> =
             Vec::with_capacity(self.problem.candidates.len());
         for group in &self.problem.candidates {
@@ -505,9 +587,16 @@ impl<'a> TwoLevelOptimizer<'a> {
                     }
                 }
             }
+            if self.config.prune_dominance {
+                // Exact: grids enumerate bids highest-first, which is the
+                // descending order the collapse requires, and a dropped
+                // option's higher-bid twin wins every tie it could have
+                // won (DESIGN.md §8.1).
+                dominated += crate::pareto::collapse_bid_dominated(&mut opts);
+            }
             options.push(opts);
         }
-        (options, considered, pruned)
+        (options, considered, pruned, dominated)
     }
 
     /// Search one contiguous chunk of the subset list with worker-local
@@ -515,20 +604,54 @@ impl<'a> TwoLevelOptimizer<'a> {
     /// [`EvalScratch`], a local incumbent, and a local evaluation counter.
     /// `start` is the chunk's offset into the global subset list (the
     /// ordinal base), so ordinals are globally unique and chunk-invariant.
+    ///
+    /// With [`OptimizerConfig::prune_bound`] on, each subset runs a
+    /// branch-and-bound walk (DESIGN.md §8.2): the slots' options are
+    /// rank-sorted by the admissible per-group lower bound
+    /// [`GroupAssessment::cost_lower_bound`], and whole rank suffixes
+    /// whose summed lower bound exceeds the incumbent cost are skipped
+    /// without evaluation. `shared_bound` (cost as IEEE bits) is the
+    /// cross-worker incumbent when [`OptimizerConfig::shared_incumbent`]
+    /// is on; otherwise the worker prunes against a local bound seeded
+    /// from `od_seed_bound`. Pruning never removes a candidate that could
+    /// win under the total order, so the returned incumbent — and with it
+    /// the merged [`OptimizedPlan`] — is bit-identical to the exhaustive
+    /// walk. The reported `evaluations` counter always carries the full
+    /// enumeration size; actually-skipped positions are tallied in
+    /// `skipped` for observability only.
+    #[allow(clippy::too_many_arguments)]
     fn search_chunk(
         &self,
         options: &[Vec<GroupAssessment>],
         od: &OnDemandOption,
         start: usize,
         subsets: &[Vec<usize>],
+        min_wall: &[f64],
+        shared_bound: Option<&AtomicU64>,
+        od_seed_bound: f64,
     ) -> WorkerStats {
         let mut evaluations = 0u64;
         let mut feasible_hits = 0u64;
         let mut subsets_walked = 0u64;
+        let mut skipped = 0u64;
+        let mut tightenings = 0u64;
         let mut best: Option<Candidate> = None;
         let mut refs: Vec<&GroupAssessment> = Vec::new();
         let mut idx: Vec<usize> = Vec::new();
         let mut scratch = EvalScratch::new();
+        // Branch-and-bound scratch, reused across subsets: per-slot
+        // `(lower bound, original option index)` pairs rank-sorted
+        // ascending, slot cardinalities, mixed-radix step weights, and
+        // prefix sums of the per-slot minimum bounds.
+        let mut lb_sorted: Vec<Vec<(f64, usize)>> = Vec::new();
+        let mut lens: Vec<usize> = Vec::new();
+        let mut weights: Vec<u64> = Vec::new();
+        let mut head_min: Vec<f64> = Vec::new();
+        // Worker-local incumbent bound, used when no shared bound is
+        // installed. Either way the bound only ever holds feasible
+        // candidate costs (or the on-demand seed), so strict pruning
+        // against it is exact (DESIGN.md §8.3).
+        let mut local_bound = od_seed_bound;
 
         for (offset, chosen) in subsets.iter().enumerate() {
             if chosen.iter().any(|&g| options[g].is_empty()) {
@@ -536,15 +659,171 @@ impl<'a> TwoLevelOptimizer<'a> {
             }
             subsets_walked += 1;
             let subset_ordinal = start + offset;
+            let product: u64 = chosen
+                .iter()
+                .map(|&g| options[g].len() as u64)
+                .fold(1, u64::saturating_mul);
+            // Count the full enumeration up front: the published
+            // `evaluations_performed` stays the paper's search-space
+            // metric, identical at any thread count and unchanged by how
+            // many positions branch-and-bound manages to skip.
+            evaluations += product;
+
+            if !self.config.prune_bound {
+                // Exhaustive odometer walk — the pre-pruning algorithm,
+                // kept verbatim as the ablation baseline.
+                idx.clear();
+                idx.resize(chosen.len(), 0);
+                let mut step = 0u64;
+                let mut exhausted = false;
+                while !exhausted {
+                    refs.clear();
+                    refs.extend(chosen.iter().zip(&idx).map(|(&g, &i)| &options[g][i]));
+                    let eval = evaluate_with_scratch(&refs, od, &mut scratch);
+                    let feasible = eval.meets(self.problem.deadline)
+                        && self
+                            .config
+                            .min_spot_success
+                            .map(|q| eval.p_all_fail <= 1.0 - q)
+                            .unwrap_or(true);
+                    feasible_hits += feasible as u64;
+                    let ordinal = (subset_ordinal, step);
+                    let replace = match &best {
+                        None => true,
+                        Some(b) => beats(
+                            feasible,
+                            &eval,
+                            refs.iter().map(|a| a.decision.bid),
+                            ordinal,
+                            b,
+                        ),
+                    };
+                    if replace {
+                        best = Some(Candidate {
+                            feasible,
+                            eval,
+                            bids: refs.iter().map(|a| a.decision.bid).collect(),
+                            subset: chosen.clone(),
+                            idx: idx.clone(),
+                            ordinal,
+                        });
+                    }
+                    step += 1;
+                    // Advance odometer.
+                    let mut pos = 0;
+                    loop {
+                        if pos == idx.len() {
+                            exhausted = true;
+                            break;
+                        }
+                        idx[pos] += 1;
+                        if idx[pos] < options[chosen[pos]].len() {
+                            break;
+                        }
+                        idx[pos] = 0;
+                        pos += 1;
+                    }
+                }
+                continue;
+            }
+
+            // Branch-and-bound walk over the same combinations.
+            let m = chosen.len();
+            let w_min = chosen
+                .iter()
+                .map(|&g| min_wall[g])
+                .fold(f64::INFINITY, f64::min);
+            while lb_sorted.len() < m {
+                lb_sorted.push(Vec::new());
+            }
+            lens.clear();
+            weights.clear();
+            head_min.clear();
+            let mut weight = 1u64;
+            let mut head = 0.0f64;
+            for (slot, &g) in chosen.iter().enumerate() {
+                let opts = &options[g];
+                let lb = &mut lb_sorted[slot];
+                lb.clear();
+                lb.extend(
+                    opts.iter()
+                        .enumerate()
+                        .map(|(i, a)| (a.cost_lower_bound(w_min), i)),
+                );
+                // Unstable sort is deterministic here: the (bound, index)
+                // keys are unique by index.
+                lb.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                lens.push(opts.len());
+                weights.push(weight);
+                weight = weight.saturating_mul(opts.len() as u64);
+                head_min.push(head);
+                head += lb[0].0;
+            }
+            head_min.push(head); // head_min[m] = Σ per-slot minima
+
+            // `idx` now holds per-slot *ranks* into `lb_sorted`, not
+            // original option indices; ordinals and the stored candidate
+            // are translated back through `lb_sorted[slot][rank].1`.
             idx.clear();
-            idx.resize(chosen.len(), 0);
-            let mut step = 0u64;
+            idx.resize(m, 0);
+            let mut evaluated_here = 0u64;
             let mut exhausted = false;
             while !exhausted {
+                let bound = match shared_bound {
+                    Some(s) => f64::from_bits(s.load(AtomicOrdering::Relaxed)),
+                    None => local_bound,
+                };
+                let lb_total: f64 = (0..m).map(|s| lb_sorted[s][idx[s]].0).sum();
+                if lb_total > bound {
+                    // Prune. Advance at the highest slot `h` whose fixed
+                    // tail is already hopeless: every combination keeping
+                    // ranks `h..` has lower bound ≥ head_min[h] +
+                    // suffix(h), so all of them can be skipped at once.
+                    // The condition is not monotone in the slot (the
+                    // suffix shrinks while the head grows), so scan all
+                    // slots; `h = 0` degenerates to skipping just the
+                    // current combination.
+                    let mut h = 0usize;
+                    let mut suffix = lb_total;
+                    for s in 1..=m {
+                        suffix -= lb_sorted[s - 1][idx[s - 1]].0;
+                        if head_min[s] + suffix > bound {
+                            h = s;
+                        }
+                    }
+                    if h == m {
+                        // Even the all-minima combination is over bound:
+                        // the rest of this subset is hopeless.
+                        exhausted = true;
+                    } else {
+                        for r in idx.iter_mut().take(h) {
+                            *r = 0;
+                        }
+                        let mut pos = h;
+                        loop {
+                            if pos == m {
+                                exhausted = true;
+                                break;
+                            }
+                            idx[pos] += 1;
+                            if idx[pos] < lens[pos] {
+                                break;
+                            }
+                            idx[pos] = 0;
+                            pos += 1;
+                        }
+                    }
+                    continue;
+                }
                 refs.clear();
-                refs.extend(chosen.iter().zip(&idx).map(|(&g, &i)| &options[g][i]));
+                refs.extend(
+                    chosen
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, &g)| &options[g][lb_sorted[slot][idx[slot]].1]),
+                );
                 let eval = evaluate_with_scratch(&refs, od, &mut scratch);
-                evaluations += 1;
+                evaluated_here += 1;
                 let feasible = eval.meets(self.problem.deadline)
                     && self
                         .config
@@ -552,6 +831,34 @@ impl<'a> TwoLevelOptimizer<'a> {
                         .map(|q| eval.p_all_fail <= 1.0 - q)
                         .unwrap_or(true);
                 feasible_hits += feasible as u64;
+                if feasible {
+                    // Publish the cost to the incumbent bound. Only
+                    // feasible costs enter it, so pruning can never drop
+                    // a candidate that would beat a feasible incumbent.
+                    let bits = eval.expected_cost.to_bits();
+                    match shared_bound {
+                        Some(s) => {
+                            let prev = s.fetch_min(bits, AtomicOrdering::Relaxed);
+                            if bits < prev {
+                                tightenings += 1;
+                            }
+                        }
+                        None => {
+                            if eval.expected_cost < local_bound {
+                                local_bound = eval.expected_cost;
+                                tightenings += 1;
+                            }
+                        }
+                    }
+                }
+                // The enumeration step the unsorted odometer would have
+                // assigned this combination — ordinals must not depend
+                // on the lower-bound sort.
+                let step = (0..m).fold(0u64, |acc, slot| {
+                    acc.saturating_add(
+                        weights[slot].saturating_mul(lb_sorted[slot][idx[slot]].1 as u64),
+                    )
+                });
                 let ordinal = (subset_ordinal, step);
                 let replace = match &best {
                     None => true,
@@ -569,31 +876,33 @@ impl<'a> TwoLevelOptimizer<'a> {
                         eval,
                         bids: refs.iter().map(|a| a.decision.bid).collect(),
                         subset: chosen.clone(),
-                        idx: idx.clone(),
+                        idx: (0..m).map(|slot| lb_sorted[slot][idx[slot]].1).collect(),
                         ordinal,
                     });
                 }
-                step += 1;
-                // Advance odometer.
+                // Advance the rank odometer (rank 0 fastest).
                 let mut pos = 0;
                 loop {
-                    if pos == idx.len() {
+                    if pos == m {
                         exhausted = true;
                         break;
                     }
                     idx[pos] += 1;
-                    if idx[pos] < options[chosen[pos]].len() {
+                    if idx[pos] < lens[pos] {
                         break;
                     }
                     idx[pos] = 0;
                     pos += 1;
                 }
             }
+            skipped += product.saturating_sub(evaluated_here);
         }
         WorkerStats {
             evaluations,
             feasible: feasible_hits,
             subsets: subsets_walked,
+            skipped,
+            tightenings,
             best,
         }
     }
@@ -632,7 +941,7 @@ mod tests {
     use mpi_sim::npb::{NpbClass, NpbKernel};
     use mpi_sim::storage::S3Store;
 
-    fn setup() -> (SpotMarket, Problem, MarketView) {
+    pub(super) fn setup() -> (SpotMarket, Problem, MarketView) {
         let cat = InstanceCatalog::paper_2014();
         let prof = MarketProfile::paper_2014(&cat);
         let market = SpotMarket::generate(cat, &TraceGenerator::new(prof, 13), 200.0, 1.0 / 12.0);
@@ -698,6 +1007,9 @@ mod tests {
             OptimizerConfig {
                 kappa: 2,
                 bid_levels: 2,
+                // Dominance collapse can shrink a richer grid back down to
+                // the same option count; this test pins the *raw* space.
+                prune_dominance: false,
                 ..OptimizerConfig::default()
             },
         )
@@ -708,6 +1020,7 @@ mod tests {
             OptimizerConfig {
                 kappa: 2,
                 bid_levels: 5,
+                prune_dominance: false,
                 ..OptimizerConfig::default()
             },
         )
@@ -897,5 +1210,149 @@ mod chance_constraint_tests {
         // may not improve, and the chosen plan must satisfy it.
         assert!(safe.evaluation.expected_cost >= free.evaluation.expected_cost - 1e-9);
         assert!(safe.evaluation.p_all_fail <= 0.001 + 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod assess_options_tests {
+    use super::tests::setup;
+    use super::*;
+    use ec2_market::market::CircleGroupId;
+
+    /// Grid size `assess_options` should enumerate for one group,
+    /// mirroring its span/levels/margin arithmetic.
+    fn expected_grid_len(view: &MarketView, cfg: &OptimizerConfig, id: CircleGroupId) -> u64 {
+        let max_bid = view.max_bid(id);
+        assert!(max_bid > 0.0, "fixture group must be launchable");
+        let min_price = view.min_price(id).max(1e-6);
+        let span_levels = ((max_bid / min_price).log2().ceil() as u32 + 1).max(2);
+        let levels = span_levels.min(cfg.bid_levels.max(2));
+        // `with_top_margin` prepends one guard point above `H_i`.
+        levels as u64 + cfg.top_margin.map_or(0, |_| 1)
+    }
+
+    #[test]
+    fn assess_options_pins_considered_and_pruned_counters() {
+        let (_, problem, view) = setup();
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            prune_dominance: false,
+            ..OptimizerConfig::default()
+        };
+        let opt = TwoLevelOptimizer::new(&problem, &view, cfg);
+        let (options, considered, pruned, dominated) = opt.assess_options();
+
+        // One candidate decision per grid point (φ fixes the interval, so
+        // the interval dimension contributes a factor of exactly 1).
+        let expected: u64 = problem
+            .candidates
+            .iter()
+            .map(|g| expected_grid_len(&view, &cfg, g.id))
+            .sum();
+        assert_eq!(considered, expected);
+        assert_eq!(dominated, 0, "collapse disabled, nothing may be dropped");
+        let kept: u64 = options.iter().map(|o| o.len() as u64).sum();
+        assert!(kept > 0, "loose deadline must keep some options");
+        // Every considered decision is kept, deadline-pruned, or was
+        // unassessable (no launch at that bid) — never double-counted.
+        assert!(kept + pruned <= considered);
+
+        // A margin-free grid loses exactly the guard point per group.
+        let no_margin = OptimizerConfig {
+            top_margin: None,
+            ..cfg
+        };
+        let (_, considered_nm, _, _) =
+            TwoLevelOptimizer::new(&problem, &view, no_margin).assess_options();
+        assert_eq!(considered_nm, considered - problem.candidates.len() as u64);
+    }
+
+    #[test]
+    fn assess_options_deadline_pruning_shows_in_counter() {
+        let (_, mut problem, view) = setup();
+        // A deadline just above the fastest group's wall forces the slower
+        // end of every grid out, without emptying the space.
+        problem.deadline = 1.2;
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            prune_dominance: false,
+            ..OptimizerConfig::default()
+        };
+        let (options, considered, pruned, _) =
+            TwoLevelOptimizer::new(&problem, &view, cfg).assess_options();
+        let kept: u64 = options.iter().map(|o| o.len() as u64).sum();
+        assert!(pruned > 0, "tight deadline must prune something");
+        assert!(kept + pruned <= considered);
+    }
+
+    #[test]
+    fn assess_options_dominated_counter_matches_kept_delta() {
+        let (_, problem, view) = setup();
+        let base = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 6,
+            ..OptimizerConfig::default()
+        };
+        let raw = OptimizerConfig {
+            prune_dominance: false,
+            ..base
+        };
+        let (opts_raw, considered_raw, pruned_raw, dominated_raw) =
+            TwoLevelOptimizer::new(&problem, &view, raw).assess_options();
+        let (opts_dom, considered_dom, pruned_dom, dominated_dom) =
+            TwoLevelOptimizer::new(&problem, &view, base).assess_options();
+        // The collapse runs after assessment: considered/pruned are
+        // untouched, and `dominated` accounts exactly for the kept delta.
+        assert_eq!(considered_raw, considered_dom);
+        assert_eq!(pruned_raw, pruned_dom);
+        assert_eq!(dominated_raw, 0);
+        let kept_raw: u64 = opts_raw.iter().map(|o| o.len() as u64).sum();
+        let kept_dom: u64 = opts_dom.iter().map(|o| o.len() as u64).sum();
+        assert_eq!(kept_raw - kept_dom, dominated_dom);
+    }
+
+    #[test]
+    fn assess_options_skips_unlaunchable_groups() {
+        use ec2_market::failure::FailureEstimator;
+        use ec2_market::trace::SpotTrace;
+        use std::collections::BTreeMap;
+
+        let (market, problem, _) = setup();
+        // Rebuild the view, zeroing out one candidate's price history: a
+        // group whose observed max price is 0 has no bid range at all.
+        let dead = problem.candidates[0].id;
+        let zero_trace = SpotTrace::new(1.0 / 12.0, vec![0.0; 12 * 48]);
+        let estimators: BTreeMap<_, _> = market
+            .groups()
+            .map(|id| {
+                let est = if id == dead {
+                    FailureEstimator::from_window(zero_trace.window(0.0, 48.0))
+                } else {
+                    market.estimator(id, 0.0, 48.0)
+                };
+                (id, est)
+            })
+            .collect();
+        let view = MarketView::from_estimators(estimators);
+
+        let cfg = OptimizerConfig {
+            kappa: 2,
+            bid_levels: 4,
+            ..OptimizerConfig::default()
+        };
+        let opt = TwoLevelOptimizer::new(&problem, &view, cfg);
+        let (options, considered, _, _) = opt.assess_options();
+        assert!(options[0].is_empty(), "dead group must offer no options");
+        // The dead group contributes nothing to `considered` either.
+        let expected: u64 = problem.candidates[1..]
+            .iter()
+            .map(|g| expected_grid_len(&view, &cfg, g.id))
+            .sum();
+        assert_eq!(considered, expected);
+        // The optimizer still produces a plan from the remaining groups.
+        let out = opt.optimize();
+        assert!(out.plan.groups.iter().all(|(g, _)| g.id != dead));
     }
 }

@@ -97,6 +97,11 @@ pub enum Event {
         options_pruned: u64,
         /// Job deadline in hours.
         deadline_hours: f64,
+        /// Deadline-surviving options removed by the exact bid-collapse
+        /// dominance filter (DESIGN.md §8.1). Defaults to 0 for traces
+        /// written before the pruning layer existed.
+        #[serde(default)]
+        options_dominated: u64,
     },
     /// Per-worker aggregate search statistics, merged at join.
     /// One event per worker, emitted in worker-index order after the
@@ -116,6 +121,13 @@ pub enum Event {
         /// φ checkpoint intervals (hours) of the incumbent's groups —
         /// the Theorem 1 witness for the winning candidate.
         phi_intervals: Vec<f64>,
+        /// Enumerated bid-vector positions the branch-and-bound walk
+        /// skipped without evaluating (already included in
+        /// `evaluations`, which reports the full enumeration size).
+        /// Timing-dependent when the incumbent bound is shared across
+        /// workers. Defaults to 0 for pre-pruning traces.
+        #[serde(default)]
+        skipped: u64,
     },
     /// The optimizer committed to a plan.
     /// Emitted once per `optimize_recorded` call, after the merge.
@@ -141,6 +153,15 @@ pub enum Event {
         assess_secs: f64,
         /// Wall seconds spent in the parallel subset search.
         search_secs: f64,
+        /// Positions skipped by branch-and-bound across all workers
+        /// (subset of `evaluations`; timing-dependent with a shared
+        /// incumbent). Defaults to 0 for pre-pruning traces.
+        #[serde(default)]
+        evals_skipped: u64,
+        /// Times a worker published a strictly better feasible cost to
+        /// the incumbent bound. Defaults to 0 for pre-pruning traces.
+        #[serde(default)]
+        bound_tightenings: u64,
     },
     /// The adaptive loop (Algorithm 1) crossed a window boundary.
     /// Emitted by `AdaptivePlanner::plan_window_recorded` on a real
@@ -159,6 +180,12 @@ pub enum Event {
         decision: String,
         /// Spot circle groups in the window's plan.
         groups: u32,
+        /// True when the reuse came from the market-fingerprint cache: an
+        /// unchanged `MarketView` digest plus a still-feasible incumbent
+        /// plan let the window skip re-optimization entirely. Defaults to
+        /// false for pre-cache traces.
+        #[serde(default)]
+        fingerprint_hit: bool,
     },
     /// A replayed spot group was terminated by the provider (price rose
     /// above its bid) before the work completed.
@@ -272,6 +299,7 @@ mod tests {
                 options_considered: 72,
                 options_pruned: 3,
                 deadline_hours: 100.0,
+                options_dominated: 9,
             },
             Event::SubsetEvaluated {
                 worker: 0,
@@ -280,6 +308,7 @@ mod tests {
                 feasible: 900,
                 best_cost: Some(41.5),
                 phi_intervals: vec![2.5, 3.0],
+                skipped: 600,
             },
             Event::SubsetEvaluated {
                 worker: 1,
@@ -288,6 +317,7 @@ mod tests {
                 feasible: 0,
                 best_cost: None,
                 phi_intervals: vec![],
+                skipped: 0,
             },
             Event::RunCompleted {
                 finisher: "spot:g1".to_string(),
@@ -317,10 +347,35 @@ mod tests {
             reused: false,
             decision: "hybrid".to_string(),
             groups: 2,
+            fingerprint_hit: false,
         };
         let line = serde_json::to_string(&e).unwrap();
         assert!(line.starts_with("{\"WindowReplanned\":{\"window\":3,"));
         assert_eq!(e.kind(), "WindowReplanned");
         assert_eq!(e.level(), TraceLevel::Summary);
+    }
+
+    #[test]
+    fn pre_pruning_traces_still_parse() {
+        // Fields added by the pruning layer are `#[serde(default)]` so
+        // traces written before it existed keep deserializing.
+        let old = r#"{"WindowReplanned":{"window":1,"elapsed_hours":12.0,
+            "remaining_fraction":0.5,"reused":true,"decision":"hybrid",
+            "groups":2}}"#;
+        let e: Event = serde_json::from_str(old).unwrap();
+        match e {
+            Event::WindowReplanned {
+                fingerprint_hit, ..
+            } => assert!(!fingerprint_hit),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let old = r#"{"SubsetEvaluated":{"worker":0,"subsets":5,
+            "evaluations":10,"feasible":3,"best_cost":null,
+            "phi_intervals":[]}}"#;
+        let e: Event = serde_json::from_str(old).unwrap();
+        match e {
+            Event::SubsetEvaluated { skipped, .. } => assert_eq!(skipped, 0),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -54,10 +54,12 @@ struct SearchStats {
     subsets: u64,
     options_considered: u64,
     options_pruned: u64,
+    options_dominated: u64,
     deadline_hours: f64,
     /// Summed over `SubsetEvaluated` worker events (Detail traces only).
     worker_evaluations: u64,
     worker_feasible: u64,
+    worker_skipped: u64,
     workers: usize,
 }
 
@@ -72,6 +74,8 @@ struct Selection {
     evaluations: u64,
     assess_secs: f64,
     search_secs: f64,
+    evals_skipped: u64,
+    bound_tightenings: u64,
 }
 
 #[derive(Debug)]
@@ -80,6 +84,7 @@ struct WindowLine {
     elapsed_hours: f64,
     remaining_fraction: f64,
     reused: bool,
+    fingerprint_hit: bool,
     decision: String,
     groups: u32,
 }
@@ -120,6 +125,7 @@ impl RunReport {
                     options_considered,
                     options_pruned,
                     deadline_hours,
+                    options_dominated,
                 } => {
                     report.search = Some(SearchStats {
                         candidates: *candidates,
@@ -129,20 +135,24 @@ impl RunReport {
                         subsets: *subsets,
                         options_considered: *options_considered,
                         options_pruned: *options_pruned,
+                        options_dominated: *options_dominated,
                         deadline_hours: *deadline_hours,
                         worker_evaluations: 0,
                         worker_feasible: 0,
+                        worker_skipped: 0,
                         workers: 0,
                     });
                 }
                 Event::SubsetEvaluated {
                     evaluations,
                     feasible,
+                    skipped,
                     ..
                 } => {
                     if let Some(s) = report.search.as_mut() {
                         s.worker_evaluations += evaluations;
                         s.worker_feasible += feasible;
+                        s.worker_skipped += skipped;
                         s.workers += 1;
                     }
                 }
@@ -156,6 +166,8 @@ impl RunReport {
                     evaluations,
                     assess_secs,
                     search_secs,
+                    evals_skipped,
+                    bound_tightenings,
                 } => report.selections.push(Selection {
                     source: source.clone(),
                     groups: *groups,
@@ -166,6 +178,8 @@ impl RunReport {
                     evaluations: *evaluations,
                     assess_secs: *assess_secs,
                     search_secs: *search_secs,
+                    evals_skipped: *evals_skipped,
+                    bound_tightenings: *bound_tightenings,
                 }),
                 Event::WindowReplanned {
                     window,
@@ -174,11 +188,13 @@ impl RunReport {
                     reused,
                     decision,
                     groups,
+                    fingerprint_hit,
                 } => report.windows.push(WindowLine {
                     window: *window,
                     elapsed_hours: *elapsed_hours,
                     remaining_fraction: *remaining_fraction,
                     reused: *reused,
+                    fingerprint_hit: *fingerprint_hit,
                     decision: decision.clone(),
                     groups: *groups,
                 }),
@@ -280,12 +296,27 @@ impl fmt::Display for RunReport {
                 s.options_pruned,
                 prune_rate(s.options_pruned, s.options_considered) * 100.0
             )?;
+            if s.options_dominated > 0 {
+                writeln!(
+                    f,
+                    "  {} options removed by bid-collapse dominance",
+                    s.options_dominated
+                )?;
+            }
             if s.workers > 0 {
                 writeln!(
                     f,
                     "  workers: {} reporting, {} evaluations ({} feasible)",
                     s.workers, s.worker_evaluations, s.worker_feasible
                 )?;
+                if s.worker_skipped > 0 {
+                    writeln!(
+                        f,
+                        "  branch-and-bound skipped {} of those positions ({:.1}%)",
+                        s.worker_skipped,
+                        prune_rate(s.worker_skipped, s.worker_evaluations) * 100.0
+                    )?;
+                }
             }
         }
 
@@ -305,6 +336,13 @@ impl fmt::Display for RunReport {
                 sel.assess_secs,
                 rate_per_sec(sel.evaluations, sel.search_secs)
             )?;
+            if sel.evals_skipped > 0 {
+                writeln!(
+                    f,
+                    "  {} positions pruned by the incumbent bound ({} tightening(s))",
+                    sel.evals_skipped, sel.bound_tightenings
+                )?;
+            }
         }
 
         if !self.windows.is_empty() {
@@ -319,7 +357,13 @@ impl fmt::Display for RunReport {
                     w.remaining_fraction * 100.0,
                     w.decision,
                     w.groups,
-                    if w.reused { " [plan reused]" } else { "" }
+                    if w.fingerprint_hit {
+                        " [plan reused: fingerprint hit]"
+                    } else if w.reused {
+                        " [plan reused]"
+                    } else {
+                        ""
+                    }
                 )?;
             }
         }
@@ -381,6 +425,7 @@ mod tests {
                 options_considered: 24,
                 options_pruned: 6,
                 deadline_hours: 60.0,
+                options_dominated: 4,
             },
             Event::SubsetEvaluated {
                 worker: 0,
@@ -389,6 +434,7 @@ mod tests {
                 feasible: 80,
                 best_cost: Some(20.0),
                 phi_intervals: vec![2.0],
+                skipped: 10,
             },
             Event::SubsetEvaluated {
                 worker: 1,
@@ -397,6 +443,7 @@ mod tests {
                 feasible: 90,
                 best_cost: Some(21.0),
                 phi_intervals: vec![2.5],
+                skipped: 30,
             },
             Event::PlanSelected {
                 source: "spot".to_string(),
@@ -408,6 +455,8 @@ mod tests {
                 evaluations: 220,
                 assess_secs: 0.01,
                 search_secs: 0.1,
+                evals_skipped: 40,
+                bound_tightenings: 3,
             },
             Event::WindowReplanned {
                 window: 0,
@@ -416,6 +465,7 @@ mod tests {
                 reused: false,
                 decision: "hybrid".to_string(),
                 groups: 1,
+                fingerprint_hit: false,
             },
             Event::GroupFailed {
                 group: "g0".to_string(),
@@ -452,6 +502,18 @@ mod tests {
         assert!(text.contains("25.0% prune rate"), "{text}");
         assert!(
             text.contains("workers: 2 reporting, 220 evaluations"),
+            "{text}"
+        );
+        assert!(
+            text.contains("4 options removed by bid-collapse dominance"),
+            "{text}"
+        );
+        assert!(
+            text.contains("branch-and-bound skipped 40 of those positions"),
+            "{text}"
+        );
+        assert!(
+            text.contains("40 positions pruned by the incumbent bound (3 tightening(s))"),
             "{text}"
         );
         assert!(text.contains("adaptive windows"), "{text}");

@@ -10,7 +10,8 @@ BINS=(
   fig7_deadline_sweep fig8_fault_tolerance
   param_slack param_kappa param_window
   accuracy_failure_rate accuracy_model
-  ablation_search ablation_billing ext_relaunch sensitivity_profiling
+  ablation_search ablation_billing ablation_parallel ablation_prune
+  ext_relaunch sensitivity_profiling
 )
 cargo build --release -p sompi-bench || exit 1
 for b in "${BINS[@]}"; do

@@ -57,7 +57,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = crate::thread::scope(|s| {
             let mut handles = Vec::new();
             for chunk in data.chunks(2) {

@@ -11,15 +11,33 @@
 //! * enums with unit, tuple, and struct variants (serde's external
 //!   representation: `"Variant"`, `{"Variant": inner}`).
 //!
-//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! The only `#[serde(...)]` helper attributes supported are
+//! `#[serde(default)]` and `#[serde(default = "path")]` on *named* fields
+//! (struct or enum-struct-variant): on deserialization a missing (or
+//! explicitly null) field takes `Default::default()` / `path()` instead of
+//! erroring, which is what lets newer event schemas read older traces.
+//! Generic types and every other serde attribute are intentionally not
 //! supported; the macro panics on them so misuse fails loudly at compile
 //! time rather than silently mis-serializing.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How a named field fills in when the key is absent from the input.
+enum DefaultKind {
+    /// `#[serde(default)]` → `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` → `path()`.
+    Path(String),
+}
+
+struct NamedField {
+    name: String,
+    default: Option<DefaultKind>,
+}
+
 /// One parsed field: its name (named fields) or index (tuple fields).
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -40,7 +58,7 @@ enum Item {
     },
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -51,7 +69,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -127,25 +145,99 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// `a: T, pub b: U, ...` → ["a", "b", ...]
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// `a: T, pub b: U, ...` → named fields, honoring `#[serde(default)]`.
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = take_field_attrs(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
-        match &tokens[i] {
-            TokenTree::Ident(id) => names.push(id.to_string()),
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
             other => panic!("serde shim derive: expected field name, got {other}"),
-        }
+        };
         i += 1; // name
         i += 1; // `:`
         skip_type_until_comma(&tokens, &mut i);
+        fields.push(NamedField { name, default });
     }
-    names
+    fields
+}
+
+/// Like [`skip_attrs_and_vis`], but extracts a `#[serde(default)]` /
+/// `#[serde(default = "path")]` marker from the attributes it skips.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<DefaultKind> {
+    let mut default = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if let Some(kind) = parse_serde_default(g.stream()) {
+                        default = Some(kind);
+                    }
+                }
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Inspect one attribute's bracket content. Returns the default marker for
+/// `serde(default)` / `serde(default = "path")`, `None` for non-serde
+/// attributes (doc comments etc.), and panics on any other serde attribute.
+fn parse_serde_default(attr: TokenStream) -> Option<DefaultKind> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match inner.first() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "default" => {
+                    if inner.len() == 1 {
+                        Some(DefaultKind::Trait)
+                    } else {
+                        match (inner.get(1), inner.get(2)) {
+                            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                                if eq.as_char() == '=' && inner.len() == 3 =>
+                            {
+                                let quoted = lit.to_string();
+                                let path = quoted
+                                    .strip_prefix('"')
+                                    .and_then(|s| s.strip_suffix('"'))
+                                    .unwrap_or_else(|| {
+                                        panic!(
+                                            "serde shim derive: `default = {quoted}` must be a \
+                                             string literal naming a function"
+                                        )
+                                    });
+                                Some(DefaultKind::Path(path.to_string()))
+                            }
+                            _ => panic!(
+                                "serde shim derive: malformed `#[serde(default ...)]` attribute"
+                            ),
+                        }
+                    }
+                }
+                other => panic!(
+                    "serde shim derive: unsupported serde attribute {other:?} \
+                     (only `default` / `default = \"path\"` are implemented)"
+                ),
+            }
+        }
+        _ => None,
+    }
 }
 
 /// Skip a type (plus the trailing comma); commas nested in `<...>` or
@@ -228,12 +320,38 @@ fn obj_entry(key: &str, value_expr: &str) -> String {
     format!("(::std::string::String::from(\"{key}\"), {value_expr})")
 }
 
+/// Deserialization initializer for one named field. A field with a
+/// `#[serde(default)]` marker substitutes its default when the key is
+/// missing (`Value::field` yields `Null` for absent keys) instead of
+/// bubbling a decode error — everything else decodes strictly.
+fn named_field_init(f: &NamedField, obj_expr: &str) -> String {
+    let n = &f.name;
+    match &f.default {
+        None => format!("{n}: ::serde::Deserialize::from_value({obj_expr}.field(\"{n}\"))?"),
+        Some(kind) => {
+            let default_expr = match kind {
+                DefaultKind::Trait => "::std::default::Default::default()".to_string(),
+                DefaultKind::Path(path) => format!("{path}()"),
+            };
+            format!(
+                "{n}: match {obj_expr}.field(\"{n}\") {{\n\
+                     ::serde::Value::Null => {default_expr},\n\
+                     present => ::serde::Deserialize::from_value(present)?,\n\
+                 }}"
+            )
+        }
+    }
+}
+
 fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Named(names) => {
             let entries: Vec<String> = names
                 .iter()
-                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .map(|f| {
+                    let n = &f.name;
+                    obj_entry(n, &format!("::serde::Serialize::to_value(&self.{n})"))
+                })
                 .collect();
             format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
         }
@@ -256,10 +374,7 @@ fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
 fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Named(names) => {
-            let inits: Vec<String> = names
-                .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?"))
-                .collect();
+            let inits: Vec<String> = names.iter().map(|f| named_field_init(f, "v")).collect();
             format!(
                 "if !v.is_object() {{\n\
                      return ::std::result::Result::Err(::serde::DeError::msg(\n\
@@ -319,12 +434,16 @@ fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
                 Fields::Named(fields) => {
                     let entries: Vec<String> = fields
                         .iter()
-                        .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                        .map(|f| {
+                            let n = &f.name;
+                            obj_entry(n, &format!("::serde::Serialize::to_value({n})"))
+                        })
                         .collect();
                     let inner = format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "));
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                     format!(
                         "{name}::{vn} {{ {} }} => ::serde::Value::Obj(::std::vec![{}]),",
-                        fields.join(", "),
+                        binds.join(", "),
                         obj_entry(vn, &inner)
                     )
                 }
@@ -364,9 +483,7 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
             Fields::Named(fields) => {
                 let inits: Vec<String> = fields
                     .iter()
-                    .map(|f| {
-                        format!("{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\"))?")
-                    })
+                    .map(|f| named_field_init(f, "inner"))
                     .collect();
                 data_arms.push(format!(
                     "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",

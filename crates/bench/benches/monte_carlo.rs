@@ -24,11 +24,12 @@ fn bench_replay(c: &mut Criterion) {
     .plan(&problem, &view);
     let runner = PlanRunner::new(&market, problem.deadline);
 
+    let ctx = replay::ExecContext::new();
     c.bench_function("single_replay", |b| {
         let mut offset = 50.0;
         b.iter(|| {
             offset = if offset > 230.0 { 50.0 } else { offset + 1.7 };
-            runner.run(std::hint::black_box(&plan), offset)
+            runner.run(std::hint::black_box(&plan), offset, &ctx)
         })
     });
 
@@ -46,7 +47,7 @@ fn bench_replay(c: &mut Criterion) {
                     offset_max: 260.0,
                     threads,
                 };
-                b.iter(|| mc.run_plan(&market, &plan, problem.deadline))
+                b.iter(|| mc.run_plan(&market, &plan, problem.deadline, &ctx))
             },
         );
     }

@@ -49,14 +49,17 @@ fn main() {
             for (name, strat) in &strategies {
                 let plan = strat.plan(&problem, &view);
                 let mc = monte_carlo(&market, problem.deadline + 6.0, 4321);
+                let ctx = replay::ExecContext::new();
                 let hourly = {
                     let runner = PlanRunner::new(&market, problem.deadline);
-                    mc.evaluate(|s| runner.run(&plan, s))
+                    mc.evaluate(|s| runner.run(&plan, s, &ctx))
+                        .expect("replay succeeds")
                 };
                 let exact = {
                     let runner = PlanRunner::new(&market, problem.deadline)
                         .with_billing(BillingModel::per_second());
-                    mc.evaluate(|s| runner.run(&plan, s))
+                    mc.evaluate(|s| runner.run(&plan, s, &ctx))
+                        .expect("replay succeeds")
                 };
                 t.row([
                     name.to_string(),

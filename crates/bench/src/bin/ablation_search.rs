@@ -69,7 +69,10 @@ fn main() {
         let elapsed = started.elapsed().as_secs_f64();
         let mc = monte_carlo(&market, problem.deadline + 6.0, 1234);
         let runner = PlanRunner::new(&market, problem.deadline);
-        let r = mc.evaluate(|start| runner.run(&opt.plan, start));
+        let ctx = replay::ExecContext::new();
+        let r = mc
+            .evaluate(|start| runner.run(&opt.plan, start, &ctx))
+            .expect("replay succeeds");
         t.row([
             name.to_string(),
             format!("{}", opt.evaluations_performed),

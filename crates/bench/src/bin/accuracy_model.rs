@@ -53,7 +53,10 @@ fn main() {
                 let mut mc = monte_carlo(&market, problem.deadline + 6.0, 9000);
                 mc.offset_max = mc.offset_min + 72.0;
                 let runner = PlanRunner::new(&market, problem.deadline);
-                let r = mc.evaluate(|start| runner.run(&plan, start));
+                let ctx = replay::ExecContext::new();
+                let r = mc
+                    .evaluate(|start| runner.run(&plan, start, &ctx))
+                    .expect("replay succeeds");
                 let rel = (eval.expected_cost - r.cost.mean).abs() / r.cost.mean.max(1e-9);
                 diffs.push(rel);
                 t.row([

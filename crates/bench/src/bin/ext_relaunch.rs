@@ -65,7 +65,9 @@ fn main() {
         for i in 0..n {
             let start = 50.0 + i as f64 * (400.0 / n as f64);
             if mode.starts_with("paper") {
-                let o = runner.run(&single_plan, start);
+                let o = runner
+                    .run(&single_plan, start, &replay::ExecContext::new())
+                    .expect("replay succeeds");
                 costs.push(o.total_cost);
                 spot_finishes += matches!(o.finisher, Finisher::Spot(_)) as usize;
                 met += o.met_deadline as usize;
@@ -78,7 +80,9 @@ fn main() {
                     &single_plan.on_demand,
                     start,
                     problem.deadline,
-                );
+                    &replay::ExecContext::new(),
+                )
+                .expect("relaunch succeeds");
                 costs.push(o.total_cost);
                 spot_finishes += matches!(o.finisher, Finisher::Spot(_)) as usize;
                 met += o.met_deadline as usize;

@@ -55,11 +55,14 @@ fn main() {
             ("w/o-CK", Box::new(SompiNoCheckpoint { config: cfg })),
         ];
         let view = planning_view(&market);
+        let ctx = replay::ExecContext::new();
         for (name, strat) in &statics {
             let plan = strat.plan(&problem, &view);
             let mc = monte_carlo(&market, margin, 5000);
             let runner = PlanRunner::new(&market, problem.deadline);
-            let r = mc.evaluate(|start| runner.run(&plan, start));
+            let r = mc
+                .evaluate(|start| runner.run(&plan, start, &ctx))
+                .expect("replay succeeds");
             rows.push((name.to_string(), r));
         }
 
@@ -67,7 +70,9 @@ fn main() {
         {
             let runner = AdaptiveRunner::new(&market, adaptive_cfg).without_maintenance();
             let mc = monte_carlo(&market, margin, 5001);
-            let r = mc.evaluate(|start| runner.run(&problem, start).run);
+            let r = mc
+                .evaluate(|start| Ok(runner.run(&problem, start, &ctx)?.run))
+                .expect("replay succeeds");
             rows.push(("w/o-MT".to_string(), r));
         }
         // Full SOMPI with update maintenance.
@@ -75,7 +80,9 @@ fn main() {
             let _ = Sompi { config: cfg }; // the adaptive runner embeds the optimizer
             let runner = AdaptiveRunner::new(&market, adaptive_cfg);
             let mc = monte_carlo(&market, margin, 5001);
-            let r = mc.evaluate(|start| runner.run(&problem, start).run);
+            let r = mc
+                .evaluate(|start| Ok(runner.run(&problem, start, &ctx)?.run))
+                .expect("replay succeeds");
             rows.push(("SOMPI".to_string(), r));
         }
 

@@ -40,7 +40,10 @@ fn main() {
         let elapsed = started.elapsed().as_secs_f64();
         let mc = monte_carlo(&market, problem.deadline + 6.0, 7000);
         let runner = PlanRunner::new(&market, problem.deadline);
-        let r = mc.evaluate(|start| runner.run(&opt.plan, start));
+        let ctx = replay::ExecContext::new();
+        let r = mc
+            .evaluate(|start| runner.run(&opt.plan, start, &ctx))
+            .expect("replay succeeds");
         t.row([
             format!("{kappa}"),
             format!("{:.3}", r.cost.mean / problem.baseline_cost_billed()),

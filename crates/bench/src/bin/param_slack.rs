@@ -37,7 +37,10 @@ fn main() {
         let plan = sompi.plan(&problem, &view);
         let mc = monte_carlo(&market, problem.deadline + 6.0, 6000);
         let runner = PlanRunner::new(&market, problem.deadline);
-        let r = mc.evaluate(|start| runner.run(&plan, start));
+        let ctx = replay::ExecContext::new();
+        let r = mc
+            .evaluate(|start| runner.run(&plan, start, &ctx))
+            .expect("replay succeeds");
         t.row([
             format!("{:.0}%", slack * 100.0),
             format!("{:.3}", r.cost.mean / problem.baseline_cost_billed()),

@@ -38,11 +38,14 @@ fn main() {
         let mc = monte_carlo(&market, problem.deadline + 10.0, 8000);
         let mut windows_total = 0u64;
         let windows_cell = std::sync::atomic::AtomicU64::new(0);
-        let r = mc.evaluate(|start| {
-            let out = runner.run(&problem, start);
-            windows_cell.fetch_add(out.windows as u64, std::sync::atomic::Ordering::Relaxed);
-            out.run
-        });
+        let ctx = replay::ExecContext::new();
+        let r = mc
+            .evaluate(|start| {
+                let out = runner.run(&problem, start, &ctx)?;
+                windows_cell.fetch_add(out.windows as u64, std::sync::atomic::Ordering::Relaxed);
+                Ok(out.run)
+            })
+            .expect("replay succeeds");
         windows_total += windows_cell.load(std::sync::atomic::Ordering::Relaxed);
         t.row([
             format!("{window:.0}"),

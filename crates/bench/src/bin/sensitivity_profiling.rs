@@ -79,7 +79,10 @@ fn main() {
             }
             let mc = monte_carlo(&market, truth.deadline + 6.0, 7777);
             let runner = PlanRunner::new(&market, truth.deadline);
-            let r = mc.evaluate(|s| runner.run(&real_plan, s));
+            let ctx = replay::ExecContext::new();
+            let r = mc
+                .evaluate(|s| runner.run(&real_plan, s, &ctx))
+                .expect("replay succeeds");
             cells.push(format!("{:.3}", r.cost.mean / truth.baseline_cost_billed()));
             if i == 1 {
                 sompi_dl = r.deadline_rate;

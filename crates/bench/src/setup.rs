@@ -183,7 +183,11 @@ pub fn replicas() -> usize {
 /// planning history and leave `margin_hours` of trace for execution.
 pub fn monte_carlo(market: &SpotMarket, margin_hours: f64, seed: u64) -> MonteCarlo {
     let max = (market.horizon() - margin_hours).max(HISTORY_HOURS + 1.0);
-    MonteCarlo::new(replicas(), seed, HISTORY_HOURS, max)
+    MonteCarlo::builder()
+        .replicas(replicas())
+        .seed(seed)
+        .offsets(HISTORY_HOURS, max)
+        .build()
 }
 
 /// Plan with `strategy` once (offline, against the planning view) and
@@ -199,7 +203,9 @@ pub fn evaluate_strategy(
     let margin = problem.baseline_time() * 4.0 + 4.0;
     let mc = monte_carlo(market, margin, mc_seed);
     let runner = PlanRunner::new(market, problem.deadline);
-    mc.evaluate(|start| runner.run(&plan, start))
+    let ctx = replay::ExecContext::new();
+    mc.evaluate(|start| runner.run(&plan, start, &ctx))
+        .expect("replay succeeds on generated markets")
 }
 
 /// Normalized (cost, time) pair against the problem's baseline. Cost is

@@ -5,7 +5,9 @@
 
 use crate::args::Args;
 use crate::build::{app_from, market_from, problem_from, CliError};
+use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
 use ec2_market::market::SpotMarket;
+use replay::exec::ExecContext;
 use replay::montecarlo::MonteCarlo;
 use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotAvg, SpotInf, Strategy};
 use sompi_core::cost::evaluate_plan;
@@ -75,6 +77,20 @@ fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
 fn view_from(market: &SpotMarket, args: &Args) -> Result<MarketView, CliError> {
     let history = args.f64_or("history", 48.0)?;
     Ok(MarketView::from_market(market, 0.0, history))
+}
+
+/// Build the optional fault injector from `--faults <spec>` /
+/// `--fault-seed <n>`. The spec grammar is
+/// `storm=RATE[xPROB],storm-hours=H,ckpt-fail=P,ckpt-latency=P:H,`
+/// `restore-corrupt=P,feed-gap=P` (comma-separated, any subset).
+fn faults_from(args: &Args, market: &SpotMarket) -> Result<Option<FaultInjector>, CliError> {
+    let Some(spec) = args.get("faults") else {
+        return Ok(None);
+    };
+    let seed = args.u64_or("fault-seed", 42)?;
+    // FaultPlan::parse errors already name the offending `--faults` term.
+    let plan = FaultPlan::parse(spec, seed).map_err(CliError::Other)?;
+    Ok(Some(FaultInjector::new(plan, market.horizon())))
 }
 
 /// Build the optional JSONL trace sink from `--trace-out` /
@@ -195,7 +211,7 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// `sompi replay` — plan, then Monte-Carlo replay over the market.
 pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut flags = PLAN_FLAGS.to_vec();
-    flags.extend(["replicas", "mc-seed", "timeline"]);
+    flags.extend(["replicas", "mc-seed", "timeline", "faults", "fault-seed"]);
     args.check_known(&flags)?;
     let market = market_from(args)?;
     let app = app_from(args)?;
@@ -208,20 +224,34 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         None => &NullRecorder,
     };
     let plan = strategy.plan_recorded(&problem, &view, recorder);
+    let injector = faults_from(args, &market)?;
+    let mut ctx = ExecContext::new();
+    if let Some(inj) = &injector {
+        // Faulted checkpoint I/O retries under the standard policy.
+        ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
+    }
 
     let replicas = args.u64_or("replicas", 100)? as usize;
     let seed = args.u64_or("mc-seed", 1)?;
     let history = args.f64_or("history", 48.0)?;
     let margin = problem.baseline_time() * 4.0 + 4.0;
     let max = (market.horizon() - margin).max(history + 1.0);
-    let mc = MonteCarlo::new(replicas, seed, history, max);
-    let result = mc.run_plan(&market, &plan, problem.deadline);
+    let mc = MonteCarlo::builder()
+        .replicas(replicas)
+        .seed(seed)
+        .offsets(history, max)
+        .build();
+    let result = mc
+        .run_plan(&market, &plan, problem.deadline, &ctx)
+        .map_err(|e| CliError::Other(e.to_string()))?;
 
     // Tracing records one deterministic replay (the Monte-Carlo sweep
     // would interleave replica timelines into an unreadable stream).
     if let Some(s) = &sink {
         let start = history + 1.0;
-        replay::PlanRunner::new(&market, problem.deadline).run_recorded(&plan, start, s);
+        replay::PlanRunner::new(&market, problem.deadline)
+            .run(&plan, start, &ctx.with_recorder(s))
+            .map_err(|e| CliError::Other(e.to_string()))?;
         finish_trace(s, args.get("trace-out").unwrap_or(""))?;
     }
 
@@ -306,8 +336,14 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let plan = strategy.plan(&p, &view);
         let margin = p.baseline_time() * 4.0 + 4.0;
         let max = (market.horizon() - margin).max(49.0);
-        let mc = MonteCarlo::new(replicas, 1, 48.0, max);
-        let r = mc.run_plan(&market, &plan, p.deadline);
+        let mc = MonteCarlo::builder()
+            .replicas(replicas)
+            .seed(1)
+            .offsets(48.0, max)
+            .build();
+        let r = mc
+            .run_plan(&market, &plan, p.deadline, &ExecContext::new())
+            .map_err(|e| CliError::Other(e.to_string()))?;
         writeln!(
             out,
             "{:<10.2} {:>12.3} {:>7.0}%",
@@ -456,6 +492,41 @@ mod tests {
         );
         assert!(out.contains("met"), "{out}");
         assert!(out.contains("x baseline"), "{out}");
+    }
+
+    #[test]
+    fn replay_with_faults_is_deterministic() {
+        let flags = [
+            "--hours",
+            "200",
+            "--repeats",
+            "50",
+            "--kappa",
+            "1",
+            "--levels",
+            "2",
+            "--replicas",
+            "4",
+            "--faults",
+            "storm=0.02x0.5,ckpt-fail=0.05",
+            "--fault-seed",
+            "7",
+        ];
+        let first = run(cmd_replay, &flags);
+        let second = run(cmd_replay, &flags);
+        assert_eq!(first, second);
+        assert!(first.contains("met"), "{first}");
+    }
+
+    #[test]
+    fn bad_fault_spec_is_rejected() {
+        let mut buf = Vec::new();
+        let err = cmd_replay(
+            &args(&["--hours", "100", "--faults", "gremlins=1.0"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--faults"), "{err}");
     }
 
     #[test]

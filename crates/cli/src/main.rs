@@ -41,6 +41,9 @@ COMMON FLAGS:
     --feed FILE                import AWS spot price history instead
     --history H                planning history window, hours (default 48)
     --replicas N --mc-seed N   Monte-Carlo controls
+    --faults SPEC              inject deterministic faults during replay, e.g.
+                               storm=0.05x0.5,ckpt-fail=0.1,feed-gap=0.2
+    --fault-seed N             fault-injection seed (default 42)
     --json                     machine-readable output (plan, replay)
     --trace-out FILE           write a JSONL event trace (plan, replay)
     --trace-level off|summary|detail    trace verbosity (default summary)

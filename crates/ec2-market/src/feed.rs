@@ -47,6 +47,11 @@ pub enum FeedError {
     },
     /// No events at all.
     Empty,
+    /// A non-positive resampling step.
+    BadStep {
+        /// The offending step, hours.
+        step_hours: f64,
+    },
 }
 
 impl std::fmt::Display for FeedError {
@@ -59,6 +64,9 @@ impl std::fmt::Display for FeedError {
                 write!(f, "line {line}: cannot parse number from {field:?}")
             }
             FeedError::Empty => write!(f, "feed contained no events"),
+            FeedError::BadStep { step_hours } => {
+                write!(f, "resampling step {step_hours} h must be positive")
+            }
         }
     }
 }
@@ -111,13 +119,16 @@ pub fn parse_feed(input: &str) -> Result<Vec<PriceEvent>, FeedError> {
 /// Resample one (type, zone)'s events into a uniform [`SpotTrace`] with
 /// last-observation-carried-forward semantics.
 ///
-/// Returns `None` for an empty event list. Events before the first sample
-/// seed the initial price; the trace spans from the earliest to the latest
-/// event timestamp.
-pub fn resample(events: &[PriceEvent], step_hours: Hours) -> Option<SpotTrace> {
-    assert!(step_hours > 0.0, "step must be positive");
+/// Errors on an empty event list ([`FeedError::Empty`]) or a non-positive
+/// step ([`FeedError::BadStep`]). Events before the first sample seed the
+/// initial price; the trace spans from the earliest to the latest event
+/// timestamp.
+pub fn resample(events: &[PriceEvent], step_hours: Hours) -> Result<SpotTrace, FeedError> {
+    if step_hours <= 0.0 || step_hours.is_nan() {
+        return Err(FeedError::BadStep { step_hours });
+    }
     if events.is_empty() {
-        return None;
+        return Err(FeedError::Empty);
     }
     let mut sorted: Vec<&PriceEvent> = events.iter().collect();
     sorted.sort_by(|a, b| a.timestamp_s.total_cmp(&b.timestamp_s));
@@ -137,7 +148,7 @@ pub fn resample(events: &[PriceEvent], step_hours: Hours) -> Option<SpotTrace> {
         }
         prices.push(current);
     }
-    Some(SpotTrace::new(step_hours, prices))
+    Ok(SpotTrace::new(step_hours, prices))
 }
 
 /// Split a mixed feed into per-(type, zone) traces.
@@ -154,7 +165,7 @@ pub fn traces_by_group(
     }
     buckets
         .into_iter()
-        .filter_map(|(k, v)| resample(&v, step_hours).map(|t| (k, t)))
+        .filter_map(|(k, v)| resample(&v, step_hours).ok().map(|t| (k, t)))
         .collect()
 }
 
@@ -246,6 +257,21 @@ mod tests {
         let f = est.failure_rate_exact(0.015, 2);
         // Bidding $0.015 must fail when the price hits $0.020.
         assert!(f.prob_fail() > 0.0);
+    }
+
+    #[test]
+    fn resample_rejects_bad_inputs_without_panicking() {
+        let events = parse_feed(FEED).unwrap();
+        assert_eq!(resample(&[], 1.0), Err(FeedError::Empty));
+        assert_eq!(
+            resample(&events, 0.0),
+            Err(FeedError::BadStep { step_hours: 0.0 })
+        );
+        assert_eq!(
+            resample(&events, -1.0),
+            Err(FeedError::BadStep { step_hours: -1.0 })
+        );
+        assert!(resample(&events, f64::NAN).is_err());
     }
 
     #[test]

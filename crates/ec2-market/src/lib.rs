@@ -43,6 +43,7 @@
 pub mod billing;
 pub mod calibrate;
 pub mod failure;
+pub mod fault;
 pub mod feed;
 pub mod histogram;
 pub mod instance;
@@ -54,6 +55,7 @@ pub mod zone;
 pub use billing::{BillingModel, BillingPolicy};
 pub use calibrate::{calibrate, Calibration};
 pub use failure::{ExpectedSpotPrice, FailureEstimator, FailureRateFn};
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy, Storm};
 pub use feed::{parse_feed, resample, traces_by_group, PriceEvent};
 pub use histogram::PriceHistogram;
 pub use instance::{InstanceCatalog, InstanceType, InstanceTypeId};

@@ -89,6 +89,21 @@ impl S3Store {
         let months = hours / (30.0 * 24.0);
         self.usd_per_gb_month * gb * months
     }
+
+    /// Wall time for an upload that fails `failed_attempts` times before
+    /// succeeding: every attempt pays the full transfer (S3 multipart
+    /// uploads that die mid-flight are discarded, not resumed), so the
+    /// total is `(failed_attempts + 1) × upload_hours`. Backoff waits
+    /// between attempts are the executor's business (`ec2-market`'s
+    /// `RetryPolicy`), not the store's — this is pure transfer time.
+    pub fn upload_hours_with_retries(
+        &self,
+        total_gb: f64,
+        instances: u32,
+        failed_attempts: u32,
+    ) -> Hours {
+        (failed_attempts as f64 + 1.0) * self.upload_hours(total_gb, instances)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +139,14 @@ mod tests {
         let s3 = S3Store::paper_2014();
         let c = s3.storage_cost(32.0, 24.0);
         assert!(c < 0.04, "cost {c}");
+    }
+
+    #[test]
+    fn retried_uploads_pay_full_transfer_per_attempt() {
+        let s3 = S3Store::paper_2014();
+        let clean = s3.upload_hours(32.0, 128);
+        assert_eq!(s3.upload_hours_with_retries(32.0, 128, 0), clean);
+        assert!((s3.upload_hours_with_retries(32.0, 128, 2) - 3.0 * clean).abs() < 1e-12);
     }
 
     #[test]

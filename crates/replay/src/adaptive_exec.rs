@@ -9,14 +9,17 @@
 //! `update_maintenance = false` reproduces the w/o-MT ablation: the plan
 //! computed in the first window is reused verbatim forever.
 
-use crate::exec::{Finisher, PlanRunner, RunOutcome};
+use crate::exec::{ExecContext, Finisher, PlanRunner, RunOutcome};
 use crate::Hours;
 use ec2_market::market::SpotMarket;
 use serde::{Deserialize, Serialize};
-use sompi_core::adaptive::{AdaptiveConfig, AdaptivePlanner, PlanCache, WindowDecision};
+use sompi_core::adaptive::{
+    AdaptiveConfig, AdaptivePlanner, PlanCache, PlanContext, WindowDecision,
+};
+use sompi_core::error::SompiError;
 use sompi_core::problem::Problem;
 use sompi_core::view::MarketView;
-use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
+use sompi_obs::{emit, Event, Recorder, TraceLevel};
 
 /// Outcome of one adaptive execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,23 +76,26 @@ impl<'a> AdaptiveRunner<'a> {
     }
 
     /// Execute `problem` starting at trace offset `start` (the planner
-    /// sees only prices before `start` at the first window).
-    pub fn run(&self, problem: &Problem, start: Hours) -> AdaptiveOutcome {
-        self.run_recorded(problem, start, &NullRecorder)
-    }
-
-    /// [`AdaptiveRunner::run`], narrating the windowed loop to `recorder`:
-    /// a `WindowReplanned` per window boundary (with the inner optimizer's
-    /// search events on real re-plans, or `reused: true` under plan
-    /// continuity / w/o-MT), the replay's `GroupFailed`/`CheckpointTaken`
-    /// timeline, an `OnDemandFallback` when the loop abandons spot, and a
-    /// final `RunCompleted` carrying the window/plan-change tallies.
-    pub fn run_recorded(
+    /// sees only prices before `start` at the first window), narrating
+    /// the windowed loop to the context's recorder: a `WindowReplanned`
+    /// per window boundary (with the inner optimizer's search events on
+    /// real re-plans, or `reused: true` under plan continuity / w/o-MT),
+    /// the replay's `GroupFailed`/`CheckpointTaken` timeline, an
+    /// `OnDemandFallback` when the loop abandons spot, and a final
+    /// `RunCompleted` carrying the window/plan-change tallies.
+    ///
+    /// Under a fault injector, market-feed gaps degrade gracefully: a
+    /// gapped window re-plans against the last valid market view (the
+    /// one from the most recent un-gapped window) instead of fresh
+    /// prices, emitting `FaultInjected`/`DegradedMode` — and the planner
+    /// itself prefers the cached plan over re-searching a stale view.
+    pub fn run(
         &self,
         problem: &Problem,
         start: Hours,
-        recorder: &dyn Recorder,
-    ) -> AdaptiveOutcome {
+        ctx: &ExecContext<'_>,
+    ) -> Result<AdaptiveOutcome, SompiError> {
+        let recorder = ctx.recorder;
         let cfg = self.planner.config;
         let runner = PlanRunner::new(self.market, problem.deadline);
 
@@ -112,6 +118,9 @@ impl<'a> AdaptiveRunner<'a> {
         // planned against, the planner skips the two-level search and
         // rescales the cached plan instead.
         let mut cache = PlanCache::default();
+        // Coordinates (history start, length) of the last market view
+        // built from a healthy feed — what a gapped window falls back to.
+        let mut last_view: Option<(Hours, Hours)> = None;
 
         loop {
             let remaining = 1.0 - done_fraction;
@@ -132,20 +141,47 @@ impl<'a> AdaptiveRunner<'a> {
                     met_deadline: elapsed <= problem.deadline,
                 };
                 emit_run_completed(recorder, &run, windows, plan_changes);
-                return AdaptiveOutcome {
+                return Ok(AdaptiveOutcome {
                     run,
                     windows,
                     plan_changes,
-                };
+                });
             }
 
             let now = start + elapsed;
             let history_start = (now - cfg.history_hours).max(0.0);
-            let view = MarketView::from_market(
-                self.market,
+            let fresh = (
                 history_start,
                 (now - history_start).max(cfg.window_hours.min(1.0)),
             );
+            // Feed gap: the price feed for this window is missing or
+            // stale. Re-plan against the last valid view instead of the
+            // gapped one; on the very first window there is nothing older
+            // to fall back to and the gapped view is used best-effort.
+            let gap = ctx.faults.is_some_and(|f| f.feed_gap_at(windows));
+            let (vh, vl) = if gap {
+                emit(recorder, TraceLevel::Summary, || Event::FaultInjected {
+                    class: "feed-gap".to_string(),
+                    group: None,
+                    at_hours: now,
+                    detail: windows as f64,
+                });
+                if let Some(prev) = last_view {
+                    emit(recorder, TraceLevel::Summary, || Event::DegradedMode {
+                        mode: "stale-market-view".to_string(),
+                        group: None,
+                        at_hours: now,
+                        reason: "feed-gap".to_string(),
+                    });
+                    prev
+                } else {
+                    fresh
+                }
+            } else {
+                last_view = Some(fresh);
+                fresh
+            };
+            let view = MarketView::from_market(self.market, vh, vl);
 
             // Deadline guard (Algorithm 1 line 7, applied on every path
             // including the frozen w/o-MT one — it is deadline
@@ -156,7 +192,7 @@ impl<'a> AdaptiveRunner<'a> {
             // spot plan can still make the deadline, keep gambling: that
             // is the whole premise of the hybrid execution.
             let leftover = problem.deadline - elapsed;
-            let fastest = problem.baseline();
+            let fastest = problem.try_baseline()?;
             let od_needed = fastest.exec_hours * remaining + fastest.recovery_hours;
             let spot_needed = problem
                 .candidates
@@ -191,11 +227,11 @@ impl<'a> AdaptiveRunner<'a> {
                     met_deadline: wall <= problem.deadline,
                 };
                 emit_run_completed(recorder, &run, windows, plan_changes);
-                return AdaptiveOutcome {
+                return Ok(AdaptiveOutcome {
                     run,
                     windows,
                     plan_changes,
-                };
+                });
             }
 
             // Plan continuity: a healthy plan (progress made, nobody killed
@@ -221,11 +257,19 @@ impl<'a> AdaptiveRunner<'a> {
                 });
                 d
             } else {
-                let (d, hit) = self.planner.plan_window_cached(
-                    problem, remaining, elapsed, &view, windows, &mut cache, recorder,
-                );
-                fingerprint_hit = hit;
-                d
+                let planned = {
+                    let mut pctx = PlanContext::new()
+                        .with_recorder(recorder)
+                        .with_cache(&mut cache)
+                        .with_window(windows);
+                    if let Some(f) = ctx.faults {
+                        pctx = pctx.with_faults(f);
+                    }
+                    self.planner
+                        .plan_window(problem, remaining, elapsed, &view, &mut pctx)?
+                };
+                fingerprint_hit = planned.fingerprint_hit;
+                planned.decision
             };
 
             match decision {
@@ -258,11 +302,11 @@ impl<'a> AdaptiveRunner<'a> {
                         met_deadline: wall <= problem.deadline,
                     };
                     emit_run_completed(recorder, &run, windows, plan_changes);
-                    return AdaptiveOutcome {
+                    return Ok(AdaptiveOutcome {
                         run,
                         windows,
                         plan_changes,
-                    };
+                    });
                 }
                 WindowDecision::Hybrid(plan) => {
                     if !reuse {
@@ -288,14 +332,7 @@ impl<'a> AdaptiveRunner<'a> {
                     let win = cfg.window_hours.min((problem.deadline - elapsed).max(0.25));
                     // `reuse` means the same healthy instances keep
                     // running across the boundary: no fresh launch wait.
-                    let w = runner.run_window_carried_recorded(
-                        &plan,
-                        now,
-                        1.0,
-                        Some(win),
-                        reuse,
-                        recorder,
-                    );
+                    let w = runner.run_window(&plan, now, 1.0, Some(win), reuse, ctx)?;
                     spot_cost += w.spot_cost;
                     groups_failed += w.groups_failed;
                     // An out-of-bid kill invalidates the cached plan: the
@@ -348,13 +385,28 @@ impl<'a> AdaptiveRunner<'a> {
                     met_deadline: wall <= problem.deadline,
                 };
                 emit_run_completed(recorder, &run, windows, plan_changes);
-                return AdaptiveOutcome {
+                return Ok(AdaptiveOutcome {
                     run,
                     windows,
                     plan_changes,
-                };
+                });
             }
         }
+    }
+
+    /// Deprecated shim over [`AdaptiveRunner::run`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `run` with an `ExecContext` (recorder via `ExecContext::with_recorder`)"
+    )]
+    pub fn run_recorded(
+        &self,
+        problem: &Problem,
+        start: Hours,
+        recorder: &dyn Recorder,
+    ) -> AdaptiveOutcome {
+        self.run(problem, start, &ExecContext::new().with_recorder(recorder))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -392,10 +444,14 @@ mod tests {
         }
     }
 
+    fn run(r: &AdaptiveRunner<'_>, problem: &Problem, start: Hours) -> AdaptiveOutcome {
+        r.run(problem, start, &ExecContext::new()).unwrap()
+    }
+
     #[test]
     fn completes_and_reports_cost() {
         let (market, problem) = setup(41);
-        let out = AdaptiveRunner::new(&market, config()).run(&problem, 60.0);
+        let out = run(&AdaptiveRunner::new(&market, config()), &problem, 60.0);
         assert!(out.run.total_cost > 0.0);
         assert!(out.run.wall_hours > 0.0);
         assert!(out.windows >= 1);
@@ -404,9 +460,8 @@ mod tests {
     #[test]
     fn without_maintenance_never_replans() {
         let (market, problem) = setup(43);
-        let out = AdaptiveRunner::new(&market, config())
-            .without_maintenance()
-            .run(&problem, 60.0);
+        let r = AdaptiveRunner::new(&market, config()).without_maintenance();
+        let out = run(&r, &problem, 60.0);
         assert_eq!(out.plan_changes, 0);
     }
 
@@ -414,8 +469,8 @@ mod tests {
     fn deterministic_given_offset() {
         let (market, problem) = setup(47);
         let r = AdaptiveRunner::new(&market, config());
-        let a = r.run(&problem, 72.0);
-        let b = r.run(&problem, 72.0);
+        let a = run(&r, &problem, 72.0);
+        let b = run(&r, &problem, 72.0);
         assert_eq!(a, b);
     }
 
@@ -426,9 +481,42 @@ mod tests {
         // the loose deadline (3 h vs ~1.1 h baseline).
         let r = AdaptiveRunner::new(&market, config());
         let met = (0..5)
-            .map(|i| r.run(&problem, 60.0 + 40.0 * i as f64))
+            .map(|i| run(&r, &problem, 60.0 + 40.0 * i as f64))
             .filter(|o| o.run.met_deadline)
             .count();
         assert!(met >= 3, "only {met}/5 met the deadline");
+    }
+
+    #[test]
+    fn permanent_feed_gap_still_completes() {
+        use ec2_market::fault::{FaultInjector, FaultPlan};
+        let (market, problem) = setup(41);
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 11,
+                feed_gap_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            market.horizon(),
+        );
+        let r = AdaptiveRunner::new(&market, config());
+        let out = r
+            .run(&problem, 60.0, &ExecContext::new().with_faults(&inj))
+            .unwrap();
+        // Every window gapped: the first plans best-effort on the gapped
+        // view, later windows reuse it — the run still finishes and the
+        // accounting stays coherent.
+        assert!(out.run.total_cost > 0.0);
+        assert!(out.run.wall_hours > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_answers() {
+        let (market, problem) = setup(41);
+        let r = AdaptiveRunner::new(&market, config());
+        let a = r.run_recorded(&problem, 60.0, &sompi_obs::NullRecorder);
+        let b = run(&r, &problem, 60.0);
+        assert_eq!(a, b);
     }
 }

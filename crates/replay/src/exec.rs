@@ -5,7 +5,8 @@
 //! * each circle group launches at the first instant (≥ the start offset)
 //!   its bid covers the spot price — "otherwise it waits";
 //! * a group dies the moment the realized price exceeds its bid
-//!   (out-of-bid event);
+//!   (out-of-bid event) — or, under fault injection, when a spot kill
+//!   storm reclaims it;
 //! * while alive, a group alternates `F_i` productive hours with `O_i`
 //!   checkpoint overhead;
 //! * the first group to finish the application wins and every other group
@@ -17,14 +18,87 @@
 //! [`PlanRunner::run`] replays a full plan to completion (with the
 //! on-demand fallback); [`PlanRunner::run_window`] replays at most one
 //! optimization window and reports the intermediate state, which is what
-//! the Algorithm-1 adaptive runner consumes.
+//! the Algorithm-1 adaptive runner consumes. Both take an
+//! [`ExecContext`] bundling the trace recorder, the optional
+//! [`FaultInjector`], and the [`RetryPolicy`] for checkpoint I/O — all
+//! no-ops by default, in which case the replay is bit-identical to the
+//! pre-resilience executor.
+//!
+//! # Fault semantics
+//!
+//! * **Kill storms** terminate a group like an out-of-bid event
+//!   (provider termination: the partial hour is free) at the earliest
+//!   storm that reclaims the group.
+//! * **Checkpoint upload failures** cost the overhead `O_i` per failed
+//!   attempt plus the retry policy's deterministic backoff; when the
+//!   policy is exhausted the group degrades to running *without*
+//!   checkpoints — it keeps executing, but only previously banked
+//!   checkpoints survive a later kill, and the final coordinated
+//!   checkpoint at a user stop is also lost.
+//! * **Latency spikes** add hours to the affected upload.
+//! * **Restore corruption** hits the on-demand recovery: the best
+//!   checkpoint reads corrupt and recovery falls back one checkpoint
+//!   interval (`WindowOutcome::ckpt_step_fraction`).
 
 use crate::{Hours, Usd};
 use ec2_market::billing::{BillingModel, Termination};
+use ec2_market::fault::{FaultInjector, RetryPolicy};
 use ec2_market::market::{CircleGroupId, SpotMarket};
 use serde::{Deserialize, Serialize};
-use sompi_core::model::Plan;
+use sompi_core::error::SompiError;
+use sompi_core::model::{CircleGroup, GroupDecision, Plan};
 use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
+
+/// Everything an executor call may consult besides the plan and the
+/// market: the trace recorder, an optional fault injector, and the retry
+/// policy for faulted checkpoint I/O and relaunches.
+/// [`ExecContext::default`] is all no-ops — replays under it are
+/// bit-identical to the pre-resilience executor.
+#[derive(Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// Trace event sink.
+    pub recorder: &'a dyn Recorder,
+    /// Fault oracle; `None` injects nothing.
+    pub faults: Option<&'a FaultInjector>,
+    /// Retry/backoff policy for faulted operations (checkpoint uploads,
+    /// relaunch pacing). The default [`RetryPolicy::none`] never waits.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ExecContext<'_> {
+    fn default() -> Self {
+        Self {
+            recorder: &NullRecorder,
+            faults: None,
+            retry: RetryPolicy::none(),
+        }
+    }
+}
+
+impl<'a> ExecContext<'a> {
+    /// All-no-op context (same as [`ExecContext::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record trace events into `recorder`.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Inject faults from `faults`.
+    pub fn with_faults(mut self, faults: &'a FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Retry faulted operations under `retry`.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
 
 /// Who completed the application in a replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,10 +144,14 @@ pub struct WindowOutcome {
     pub completed_by: Option<CircleGroupId>,
     /// Out-of-bid terminations in the window.
     pub groups_failed: u32,
+    /// Application fraction one banked checkpoint of the best surviving
+    /// group represents — how much a corrupt restore falls back by.
+    /// Defaults to 0 for outcomes recorded before fault injection.
+    #[serde(default)]
+    pub ckpt_step_fraction: f64,
 }
 
 /// Lifecycle of one group within a window.
-#[derive(Debug, Clone, Copy)]
 struct GroupRun {
     launch: Option<Hours>,
     end: Hours,
@@ -86,6 +164,11 @@ struct GroupRun {
     ckpts: u32,
     /// Trace hour at which the last durable checkpoint finished.
     ckpt_at: Hours,
+    /// Application fraction one banked interval checkpoint represents.
+    step_fraction: f64,
+    /// Buffered fault events `(at_hours, event)`, settled in phase 2
+    /// (only events at or before the group's charge end are real).
+    events: Vec<(Hours, Event)>,
 }
 
 /// Replays static plans against a market's realized traces.
@@ -126,37 +209,37 @@ impl<'a> PlanRunner<'a> {
     /// (Algorithm 1 line 7's "run on on-demand" applies). The on-demand
     /// recovery then completes the job — late runs are still completed,
     /// just flagged as missing the deadline.
-    pub fn run(&self, plan: &Plan, start: Hours) -> RunOutcome {
-        self.run_recorded(plan, start, &NullRecorder)
-    }
-
-    /// [`PlanRunner::run`], emitting the failure/checkpoint/fallback
-    /// timeline to `recorder`: `GroupFailed` and `CheckpointTaken` events
-    /// from the window replay, one `OnDemandFallback` if spot did not
-    /// finish, and a final `RunCompleted`. All `at_hours` are on the
-    /// market-trace clock (the same clock as `start`).
-    pub fn run_recorded(&self, plan: &Plan, start: Hours, recorder: &dyn Recorder) -> RunOutcome {
-        let w = self.run_window_carried_recorded(
-            plan,
-            start,
-            1.0,
-            Some(self.deadline),
-            false,
-            recorder,
-        );
-        let out = self.finish_with_od(plan, w, 1.0);
+    ///
+    /// Emits the failure/checkpoint/fallback timeline to the context's
+    /// recorder: `GroupFailed`, `CheckpointTaken`, and fault events from
+    /// the window replay, one `OnDemandFallback` if spot did not finish,
+    /// and a final `RunCompleted`. All `at_hours` are on the market-trace
+    /// clock (the same clock as `start`).
+    ///
+    /// Errors with [`SompiError::UnknownGroup`] when the plan references
+    /// a circle group the market has no trace for.
+    pub fn run(
+        &self,
+        plan: &Plan,
+        start: Hours,
+        ctx: &ExecContext<'_>,
+    ) -> Result<RunOutcome, SompiError> {
+        let w = self.run_window(plan, start, 1.0, Some(self.deadline), false, ctx)?;
+        let out = self.finish_with_od(plan, w, 1.0, start, ctx);
         // A planned pure-on-demand run is not a *fallback*; only emit one
         // when spot groups existed and did not finish.
         if w.completed_by.is_none() && !plan.groups.is_empty() {
-            emit(recorder, TraceLevel::Summary, || Event::OnDemandFallback {
-                at_hours: start + w.elapsed,
-                remaining_fraction: (1.0 - w.saved_fraction).max(0.0),
-                od_hours: out.wall_hours - w.elapsed,
-                od_cost: out.od_cost,
-                reason: "all-groups-failed".to_string(),
+            emit(ctx.recorder, TraceLevel::Summary, || {
+                Event::OnDemandFallback {
+                    at_hours: start + w.elapsed,
+                    remaining_fraction: (1.0 - w.saved_fraction).max(0.0),
+                    od_hours: out.wall_hours - w.elapsed,
+                    od_cost: out.od_cost,
+                    reason: "all-groups-failed".to_string(),
+                }
             });
         }
-        emit(recorder, TraceLevel::Summary, || Event::RunCompleted {
+        emit(ctx.recorder, TraceLevel::Summary, || Event::RunCompleted {
             finisher: match out.finisher {
                 Finisher::Spot(id) => format!("spot:{id}"),
                 Finisher::OnDemand => "on-demand".to_string(),
@@ -170,19 +253,65 @@ impl<'a> PlanRunner<'a> {
             windows: None,
             plan_changes: None,
         });
-        out
+        Ok(out)
+    }
+
+    /// Deprecated shim over [`PlanRunner::run`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `run` with an `ExecContext` (recorder via `ExecContext::with_recorder`)"
+    )]
+    pub fn run_recorded(&self, plan: &Plan, start: Hours, recorder: &dyn Recorder) -> RunOutcome {
+        self.run(plan, start, &ExecContext::new().with_recorder(recorder))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convert a window outcome into a completed run by applying the
     /// on-demand fallback for whatever fraction remains of `target`.
-    pub fn finish_with_od(&self, plan: &Plan, w: WindowOutcome, target: f64) -> RunOutcome {
+    /// `start` is the trace offset the window began at (it anchors fault
+    /// event timestamps). Under an injector with restore corruption, the
+    /// recovery may find the best checkpoint corrupt and fall back one
+    /// checkpoint interval (re-executing the lost slice on demand).
+    pub fn finish_with_od(
+        &self,
+        plan: &Plan,
+        w: WindowOutcome,
+        target: f64,
+        start: Hours,
+        ctx: &ExecContext<'_>,
+    ) -> RunOutcome {
         let (finisher, od_cost, od_hours) = match w.completed_by {
             Some(id) => (Finisher::Spot(id), 0.0, 0.0),
             None => {
                 let od = &plan.on_demand;
-                let remaining = (target - w.saved_fraction).max(0.0);
+                let mut saved = w.saved_fraction;
+                let mut remaining = (target - saved).max(0.0);
+                if remaining > 0.0 && saved > 0.0 {
+                    if let Some(inj) = ctx.faults {
+                        // One restore per recovery, keyed by the saved
+                        // state so distinct recoveries draw independently.
+                        if inj.restore_corrupted((saved * 1e9) as u64, 0) {
+                            let lost = w.ckpt_step_fraction.min(saved).max(0.0);
+                            saved -= lost;
+                            remaining = (target - saved).max(0.0);
+                            let at = start + w.elapsed;
+                            emit(ctx.recorder, TraceLevel::Summary, || Event::FaultInjected {
+                                class: "restore-corruption".to_string(),
+                                group: None,
+                                at_hours: at,
+                                detail: lost,
+                            });
+                            emit(ctx.recorder, TraceLevel::Summary, || Event::DegradedMode {
+                                mode: "previous-checkpoint".to_string(),
+                                group: None,
+                                at_hours: at,
+                                reason: "restore-corruption".to_string(),
+                            });
+                        }
+                    }
+                }
                 let mut hours = od.exec_hours * remaining;
-                if remaining > 0.0 && w.saved_fraction > 0.0 {
+                if remaining > 0.0 && saved > 0.0 {
                     hours += od.recovery_hours; // restore a checkpoint
                 } else if remaining > 0.0 && !plan.groups.is_empty() {
                     hours += od.recovery_hours; // reprovision after failures
@@ -207,49 +336,30 @@ impl<'a> PlanRunner<'a> {
 
     /// Replay at most `window` hours (None = unbounded) of `plan` on
     /// `fraction` of the application, starting at trace offset `start`.
-    /// Returns the intermediate state; no on-demand fallback is applied.
+    /// With `carried = true` the groups are *already running* at `start`
+    /// (an adaptive window boundary where healthy instances were kept):
+    /// no launch wait is paid, even if the instantaneous price is above
+    /// the bid — the instances only die when the price actually exceeds
+    /// it. Returns the intermediate state; no on-demand fallback is
+    /// applied. `GroupFailed` (Summary), `CheckpointTaken` (Detail), and
+    /// fault events are emitted once per-group lifecycles are settled —
+    /// i.e. after the winner rule classifies each termination.
+    ///
+    /// Errors with [`SompiError::InvalidFraction`] for a `fraction`
+    /// outside `(0, 1]` and [`SompiError::UnknownGroup`] for a plan group
+    /// the market has no trace for.
     pub fn run_window(
         &self,
         plan: &Plan,
         start: Hours,
         fraction: f64,
         window: Option<Hours>,
-    ) -> WindowOutcome {
-        self.run_window_carried(plan, start, fraction, window, false)
-    }
-
-    /// Like [`PlanRunner::run_window`], but with `carried = true` the
-    /// groups are *already running* at `start` (an adaptive window
-    /// boundary where healthy instances were kept): no launch wait is
-    /// paid, even if the instantaneous price is above the bid — the
-    /// instances only die when the price actually exceeds it.
-    pub fn run_window_carried(
-        &self,
-        plan: &Plan,
-        start: Hours,
-        fraction: f64,
-        window: Option<Hours>,
         carried: bool,
-    ) -> WindowOutcome {
-        self.run_window_carried_recorded(plan, start, fraction, window, carried, &NullRecorder)
-    }
-
-    /// [`PlanRunner::run_window_carried`], emitting `GroupFailed` (Summary)
-    /// and `CheckpointTaken` (Detail) events once per-group lifecycles are
-    /// settled — i.e. after the winner rule classifies each termination.
-    pub fn run_window_carried_recorded(
-        &self,
-        plan: &Plan,
-        start: Hours,
-        fraction: f64,
-        window: Option<Hours>,
-        carried: bool,
-        recorder: &dyn Recorder,
-    ) -> WindowOutcome {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "fraction must be in (0,1]"
-        );
+        ctx: &ExecContext<'_>,
+    ) -> Result<WindowOutcome, SompiError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(SompiError::InvalidFraction { fraction });
+        }
         let cutoff = window.map(|w| start + w).unwrap_or(f64::INFINITY);
 
         // Phase 1: per-group lifecycle ignoring the winner rule.
@@ -258,11 +368,9 @@ impl<'a> PlanRunner<'a> {
             let trace = self
                 .market
                 .trace(group.id)
-                .unwrap_or_else(|| panic!("no trace for {}", group.id));
-            let exec = group.exec_hours * fraction;
-            let interval = decision.ckpt_interval.min(group.exec_hours);
-            let ckpt_on = interval < exec;
-            let o = group.ckpt_overhead_hours;
+                .ok_or_else(|| SompiError::UnknownGroup {
+                    group: group.id.to_string(),
+                })?;
 
             // Launch: wait until the price is at or below the bid —
             // unless the group was carried over already running.
@@ -288,83 +396,53 @@ impl<'a> PlanRunner<'a> {
                     saved_fraction: 0.0,
                     ckpts: 0,
                     ckpt_at: start,
+                    step_fraction: 0.0,
+                    events: Vec::new(),
                 });
                 continue;
             };
 
-            // Death: first passage above the bid after launch.
-            let death = trace
+            // Death: first passage above the bid after launch — or an
+            // injected kill storm, whichever reclaims the group first.
+            let price_death = trace
                 .first_passage_above(launch_t, decision.bid)
                 .unwrap_or(f64::INFINITY);
+            let storm_death = ctx
+                .faults
+                .and_then(|f| f.storm_kill_after(group.id, launch_t))
+                .unwrap_or(f64::INFINITY);
+            let storm_killed = storm_death < price_death;
+            let death = price_death.min(storm_death);
 
-            // Completion wall time on this group.
-            let n_ckpt = if ckpt_on {
-                (exec / interval).floor()
+            let io_faults = ctx
+                .faults
+                .is_some_and(|f| f.plan().ckpt_fail_prob > 0.0 || f.plan().ckpt_latency_prob > 0.0);
+            let mut run = if io_faults {
+                walk_group(
+                    group,
+                    decision,
+                    ctx.faults.expect("io_faults implies injector"),
+                    &ctx.retry,
+                    fraction,
+                    launch_t,
+                    death,
+                    cutoff,
+                )
             } else {
-                0.0
+                closed_form_group(group, decision, fraction, launch_t, death, cutoff)
             };
-            let completion = launch_t + exec + o * n_ckpt;
-
-            if completion <= death && completion <= cutoff {
-                runs.push(GroupRun {
-                    launch,
-                    end: completion,
-                    termination: Termination::User,
-                    completed: true,
-                    saved_fraction: fraction,
-                    ckpts: n_ckpt as u32,
-                    ckpt_at: completion,
-                });
-            } else {
-                let end = death.min(cutoff);
-                let alive = (end - launch_t).max(0.0);
-                let killed_by_provider = death <= cutoff;
-                let (saved_hours, ckpts, ckpt_at) = if killed_by_provider {
-                    // Out-of-bid: only completed checkpoints survive.
-                    if ckpt_on {
-                        let cycle = interval + o;
-                        let c = (alive / cycle).floor();
-                        ((c * interval).min(exec), c as u32, launch_t + c * cycle)
-                    } else {
-                        (0.0, 0, end)
-                    }
-                } else {
-                    // Window/deadline expiry is a *user* stop: the runtime
-                    // takes a final coordinated checkpoint before releasing
-                    // the instances (Algorithm 1 line 22, "checkpointing
-                    // the final state of the application as the next start
-                    // point"), so all productive progress is durable. That
-                    // final checkpoint counts as one more durable one.
-                    if ckpt_on {
-                        let cycle = interval + o;
-                        let c = (alive / cycle).floor();
-                        (
-                            (c * interval + (alive - c * cycle).min(interval)).min(exec),
-                            c as u32 + 1,
-                            end,
-                        )
-                    } else {
-                        (alive.min(exec), 1, end)
-                    }
-                };
-                runs.push(GroupRun {
-                    launch,
-                    end,
-                    termination: if killed_by_provider {
-                        Termination::Provider
-                    } else {
-                        Termination::User
+            if storm_killed && run.end >= storm_death && run.termination == Termination::Provider {
+                run.events.push((
+                    storm_death,
+                    Event::FaultInjected {
+                        class: "spot-kill-storm".to_string(),
+                        group: Some(group.id.to_string()),
+                        at_hours: storm_death,
+                        detail: 0.0,
                     },
-                    completed: false,
-                    saved_fraction: if exec > 0.0 {
-                        fraction * saved_hours / exec
-                    } else {
-                        fraction
-                    },
-                    ckpts,
-                    ckpt_at,
-                });
+                ));
             }
+            runs.push(run);
         }
 
         // Phase 2: winner rule — earliest completion terminates the rest.
@@ -376,8 +454,9 @@ impl<'a> PlanRunner<'a> {
 
         let mut spot_cost = 0.0;
         let mut groups_failed = 0u32;
+        let recorder = ctx.recorder;
 
-        match winner {
+        let outcome = match winner {
             Some((wi, w)) => {
                 let w_end = w.end;
                 for (i, (group, _)) in plan.groups.iter().enumerate() {
@@ -389,6 +468,11 @@ impl<'a> PlanRunner<'a> {
                     } else {
                         (Termination::User, w_end)
                     };
+                    for (at, e) in &r.events {
+                        if *at <= charge_end {
+                            emit(recorder, e.level(), || e.clone());
+                        }
+                    }
                     if ended_before_winner && r.termination == Termination::Provider {
                         groups_failed += 1;
                         emit(recorder, TraceLevel::Summary, || Event::GroupFailed {
@@ -412,11 +496,13 @@ impl<'a> PlanRunner<'a> {
                     saved_fraction: fraction,
                     completed_by: Some(plan.groups[wi].0.id),
                     groups_failed,
+                    ckpt_step_fraction: 0.0,
                 }
             }
             None => {
                 let mut last_end = start;
                 let mut best = 0.0f64;
+                let mut best_step = 0.0f64;
                 for (i, (group, _)) in plan.groups.iter().enumerate() {
                     let r = &runs[i];
                     if let Some(launch) = r.launch {
@@ -428,6 +514,9 @@ impl<'a> PlanRunner<'a> {
                             r.termination,
                             group.instances,
                         );
+                        for (_, e) in &r.events {
+                            emit(recorder, e.level(), || e.clone());
+                        }
                         if r.saved_fraction > 0.0 {
                             emit(recorder, TraceLevel::Detail, || Event::CheckpointTaken {
                                 group: group.id.to_string(),
@@ -446,7 +535,10 @@ impl<'a> PlanRunner<'a> {
                         }
                     }
                     last_end = last_end.max(r.end);
-                    best = best.max(r.saved_fraction);
+                    if r.saved_fraction > best {
+                        best = r.saved_fraction;
+                        best_step = r.step_fraction;
+                    }
                 }
                 WindowOutcome {
                     spot_cost,
@@ -454,15 +546,455 @@ impl<'a> PlanRunner<'a> {
                     saved_fraction: best,
                     completed_by: None,
                     groups_failed,
+                    ckpt_step_fraction: best_step,
                 }
             }
+        };
+        Ok(outcome)
+    }
+
+    /// Deprecated shim over [`PlanRunner::run_window`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `run_window` with an `ExecContext` (recorder via \
+                `ExecContext::with_recorder`)"
+    )]
+    pub fn run_window_carried(
+        &self,
+        plan: &Plan,
+        start: Hours,
+        fraction: f64,
+        window: Option<Hours>,
+        carried: bool,
+    ) -> WindowOutcome {
+        self.run_window(plan, start, fraction, window, carried, &ExecContext::new())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Deprecated shim over [`PlanRunner::run_window`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `run_window` with an `ExecContext` (recorder via \
+                `ExecContext::with_recorder`)"
+    )]
+    pub fn run_window_carried_recorded(
+        &self,
+        plan: &Plan,
+        start: Hours,
+        fraction: f64,
+        window: Option<Hours>,
+        carried: bool,
+        recorder: &dyn Recorder,
+    ) -> WindowOutcome {
+        self.run_window(
+            plan,
+            start,
+            fraction,
+            window,
+            carried,
+            &ExecContext::new().with_recorder(recorder),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// The fault-free lifecycle in closed form — the paper's execution model,
+/// bit-identical to the pre-resilience executor (a storm-truncated
+/// `death` composes transparently: a storm kill is just an earlier
+/// provider termination).
+fn closed_form_group(
+    group: &CircleGroup,
+    decision: &GroupDecision,
+    fraction: f64,
+    launch_t: Hours,
+    death: Hours,
+    cutoff: Hours,
+) -> GroupRun {
+    let exec = group.exec_hours * fraction;
+    let interval = decision.ckpt_interval.min(group.exec_hours);
+    let ckpt_on = interval < exec;
+    let o = group.ckpt_overhead_hours;
+    let step_fraction = step_fraction(group, decision, fraction);
+
+    let n_ckpt = if ckpt_on {
+        (exec / interval).floor()
+    } else {
+        0.0
+    };
+    let completion = launch_t + exec + o * n_ckpt;
+
+    if completion <= death && completion <= cutoff {
+        return GroupRun {
+            launch: Some(launch_t),
+            end: completion,
+            termination: Termination::User,
+            completed: true,
+            saved_fraction: fraction,
+            ckpts: n_ckpt as u32,
+            ckpt_at: completion,
+            step_fraction,
+            events: Vec::new(),
+        };
+    }
+    let end = death.min(cutoff);
+    let alive = (end - launch_t).max(0.0);
+    let killed_by_provider = death <= cutoff;
+    let (saved_hours, ckpts, ckpt_at) = if killed_by_provider {
+        // Out-of-bid: only completed checkpoints survive.
+        if ckpt_on {
+            let cycle = interval + o;
+            let c = (alive / cycle).floor();
+            ((c * interval).min(exec), c as u32, launch_t + c * cycle)
+        } else {
+            (0.0, 0, end)
         }
+    } else {
+        // Window/deadline expiry is a *user* stop: the runtime takes a
+        // final coordinated checkpoint before releasing the instances
+        // (Algorithm 1 line 22, "checkpointing the final state of the
+        // application as the next start point"), so all productive
+        // progress is durable. That final checkpoint counts as one more
+        // durable one.
+        if ckpt_on {
+            let cycle = interval + o;
+            let c = (alive / cycle).floor();
+            (
+                (c * interval + (alive - c * cycle).min(interval)).min(exec),
+                c as u32 + 1,
+                end,
+            )
+        } else {
+            (alive.min(exec), 1, end)
+        }
+    };
+    GroupRun {
+        launch: Some(launch_t),
+        end,
+        termination: if killed_by_provider {
+            Termination::Provider
+        } else {
+            Termination::User
+        },
+        completed: false,
+        saved_fraction: if exec > 0.0 {
+            fraction * saved_hours / exec
+        } else {
+            fraction
+        },
+        ckpts,
+        ckpt_at,
+        step_fraction,
+        events: Vec::new(),
+    }
+}
+
+/// Application fraction one banked interval checkpoint represents.
+fn step_fraction(group: &CircleGroup, decision: &GroupDecision, fraction: f64) -> f64 {
+    let exec = group.exec_hours * fraction;
+    let interval = decision.ckpt_interval.min(group.exec_hours);
+    if exec > 0.0 && interval < exec {
+        fraction * interval / exec
+    } else {
+        fraction
+    }
+}
+
+/// The lifecycle under active checkpoint-I/O faults, walked one
+/// checkpoint cycle at a time. Coincides with [`closed_form_group`] when
+/// no fault fires. Deterministic: every fault decision is a pure hash of
+/// the injector seed and the (group, checkpoint ordinal, attempt)
+/// coordinates, and the walk visits checkpoints in time order.
+#[allow(clippy::too_many_arguments)]
+fn walk_group(
+    group: &CircleGroup,
+    decision: &GroupDecision,
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    fraction: f64,
+    launch_t: Hours,
+    death: Hours,
+    cutoff: Hours,
+) -> GroupRun {
+    let exec = group.exec_hours * fraction;
+    let interval = decision.ckpt_interval.min(group.exec_hours);
+    let ckpt_on = interval < exec;
+    let o = group.ckpt_overhead_hours;
+    let stop = death.min(cutoff);
+    let user_stop = cutoff < death;
+    let gid = group.id.to_string();
+    let gkey = ec2_market::fault::group_key(group.id);
+
+    let mut t = launch_t;
+    let mut done: Hours = 0.0; // productive hours completed
+    let mut saved: Hours = 0.0; // productive hours durable in checkpoints
+    let mut ckpts = 0u32;
+    let mut ckpt_at = launch_t;
+    let mut degraded = false;
+    let mut ordinal = 0u32;
+    let mut events: Vec<(Hours, Event)> = Vec::new();
+
+    // Bank whatever a user stop can make durable: the final coordinated
+    // checkpoint saves all productive progress — unless checkpoint
+    // storage was lost, or the final upload itself fails every attempt.
+    let finish_user_stop = |done: Hours,
+                            saved: &mut Hours,
+                            ckpts: &mut u32,
+                            ckpt_at: &mut Hours,
+                            ordinal: u32,
+                            degraded: bool,
+                            events: &mut Vec<(Hours, Event)>| {
+        if degraded {
+            return;
+        }
+        let slot = ordinal + 1;
+        let mut banked = true;
+        for attempt in 1..=retry.max_attempts.max(1) {
+            if injector.ckpt_upload_fails(group.id, slot, attempt) {
+                events.push((
+                    stop,
+                    Event::FaultInjected {
+                        class: "ckpt-upload-failure".to_string(),
+                        group: Some(gid.clone()),
+                        at_hours: stop,
+                        detail: slot as f64,
+                    },
+                ));
+                let last = attempt == retry.max_attempts.max(1);
+                events.push((
+                    stop,
+                    Event::RetryAttempted {
+                        op: "ckpt-upload".to_string(),
+                        group: gid.clone(),
+                        at_hours: stop,
+                        attempt,
+                        backoff_hours: 0.0,
+                        gave_up: last,
+                    },
+                ));
+                if last {
+                    banked = false;
+                }
+            } else {
+                break;
+            }
+        }
+        if banked && done > *saved {
+            *saved = done;
+            *ckpts += 1;
+            *ckpt_at = stop;
+        }
+    };
+
+    loop {
+        let run_left = (exec - done).max(0.0);
+        if !ckpt_on || degraded {
+            // No (more) checkpoints: straight run to completion.
+            let completion = t + run_left;
+            if completion <= stop {
+                return GroupRun {
+                    launch: Some(launch_t),
+                    end: completion,
+                    termination: Termination::User,
+                    completed: true,
+                    saved_fraction: fraction,
+                    ckpts,
+                    ckpt_at: completion,
+                    step_fraction: step_fraction(group, decision, fraction),
+                    events,
+                };
+            }
+            let done_at_stop = done + (stop - t).max(0.0).min(run_left);
+            if user_stop {
+                finish_user_stop(
+                    done_at_stop,
+                    &mut saved,
+                    &mut ckpts,
+                    &mut ckpt_at,
+                    ordinal,
+                    degraded,
+                    &mut events,
+                );
+            }
+            break;
+        }
+
+        let seg = interval.min(run_left);
+        let seg_end = t + seg;
+        if seg_end > stop {
+            // Died or stopped mid-segment.
+            let done_at_stop = done + (stop - t).max(0.0).min(seg);
+            if user_stop {
+                finish_user_stop(
+                    done_at_stop,
+                    &mut saved,
+                    &mut ckpts,
+                    &mut ckpt_at,
+                    ordinal,
+                    degraded,
+                    &mut events,
+                );
+            }
+            break;
+        }
+        done += seg;
+        t = seg_end;
+        if seg < interval - 1e-12 {
+            // Partial tail segment: the application completes without a
+            // trailing checkpoint (matches the closed form's
+            // ⌊exec/interval⌋ checkpoints).
+            return GroupRun {
+                launch: Some(launch_t),
+                end: t,
+                termination: Termination::User,
+                completed: true,
+                saved_fraction: fraction,
+                ckpts,
+                ckpt_at,
+                step_fraction: step_fraction(group, decision, fraction),
+                events,
+            };
+        }
+
+        // A full interval completed: take checkpoint `ordinal`.
+        ordinal += 1;
+        let latency = injector.ckpt_latency_spike(group.id, ordinal);
+        let mut interrupted = false;
+        for attempt in 1..=retry.max_attempts.max(1) {
+            let mut upload = o;
+            if attempt == 1 {
+                if let Some(extra) = latency {
+                    upload += extra;
+                    events.push((
+                        t,
+                        Event::FaultInjected {
+                            class: "ckpt-latency-spike".to_string(),
+                            group: Some(gid.clone()),
+                            at_hours: t,
+                            detail: extra,
+                        },
+                    ));
+                }
+            }
+            let finish = t + upload;
+            if finish > stop {
+                // Killed or stopped during the upload: not durable.
+                interrupted = true;
+                break;
+            }
+            t = finish;
+            if !injector.ckpt_upload_fails(group.id, ordinal, attempt) {
+                saved = done;
+                ckpts += 1;
+                ckpt_at = t;
+                break;
+            }
+            events.push((
+                t,
+                Event::FaultInjected {
+                    class: "ckpt-upload-failure".to_string(),
+                    group: Some(gid.clone()),
+                    at_hours: t,
+                    detail: ordinal as f64,
+                },
+            ));
+            if attempt < retry.max_attempts.max(1) {
+                let backoff =
+                    retry.backoff_hours(injector.plan().seed, gkey ^ ordinal as u64, attempt);
+                events.push((
+                    t,
+                    Event::RetryAttempted {
+                        op: "ckpt-upload".to_string(),
+                        group: gid.clone(),
+                        at_hours: t,
+                        attempt,
+                        backoff_hours: backoff,
+                        gave_up: false,
+                    },
+                ));
+                t += backoff;
+                if t > stop {
+                    interrupted = true;
+                    break;
+                }
+            } else {
+                events.push((
+                    t,
+                    Event::RetryAttempted {
+                        op: "ckpt-upload".to_string(),
+                        group: gid.clone(),
+                        at_hours: t,
+                        attempt,
+                        backoff_hours: 0.0,
+                        gave_up: true,
+                    },
+                ));
+                events.push((
+                    t,
+                    Event::DegradedMode {
+                        mode: "no-checkpoint".to_string(),
+                        group: Some(gid.clone()),
+                        at_hours: t,
+                        reason: "ckpt-upload-retries-exhausted".to_string(),
+                    },
+                ));
+                degraded = true;
+            }
+        }
+        if interrupted {
+            if user_stop {
+                finish_user_stop(
+                    done,
+                    &mut saved,
+                    &mut ckpts,
+                    &mut ckpt_at,
+                    ordinal,
+                    degraded,
+                    &mut events,
+                );
+            }
+            break;
+        }
+        if done >= exec - 1e-12 {
+            // The final interval landed exactly on completion: done.
+            return GroupRun {
+                launch: Some(launch_t),
+                end: t,
+                termination: Termination::User,
+                completed: true,
+                saved_fraction: fraction,
+                ckpts,
+                ckpt_at: t,
+                step_fraction: step_fraction(group, decision, fraction),
+                events,
+            };
+        }
+    }
+
+    GroupRun {
+        launch: Some(launch_t),
+        end: stop,
+        termination: if user_stop {
+            Termination::User
+        } else {
+            Termination::Provider
+        },
+        completed: false,
+        saved_fraction: if exec > 0.0 {
+            fraction * saved.min(exec) / exec
+        } else {
+            fraction
+        },
+        ckpts,
+        ckpt_at,
+        step_fraction: step_fraction(group, decision, fraction),
+        events,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ec2_market::fault::FaultPlan;
     use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
     use ec2_market::trace::SpotTrace;
     use ec2_market::zone::AvailabilityZone;
@@ -498,6 +1030,12 @@ mod tests {
         }
     }
 
+    fn run(m: &SpotMarket, deadline: Hours, plan: &Plan, start: Hours) -> RunOutcome {
+        PlanRunner::new(m, deadline)
+            .run(plan, start, &ExecContext::new())
+            .unwrap()
+    }
+
     #[test]
     fn calm_trace_completes_on_spot() {
         let (m, id) = tiny_market(&[0.1; 24]);
@@ -511,7 +1049,7 @@ mod tests {
             )],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 5.0).run(&plan, 0.0);
+        let out = run(&m, 5.0, &plan, 0.0);
         assert_eq!(out.finisher, Finisher::Spot(id));
         assert_eq!(out.groups_failed, 0);
         assert!((out.wall_hours - 3.0).abs() < 1e-9);
@@ -535,7 +1073,7 @@ mod tests {
             )],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        let out = run(&m, 10.0, &plan, 0.0);
         assert_eq!(out.finisher, Finisher::OnDemand);
         assert_eq!(out.groups_failed, 1);
         // Provider termination at hour 2: 2 whole hours charged.
@@ -559,7 +1097,7 @@ mod tests {
             )],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        let out = run(&m, 10.0, &plan, 0.0);
         // Died at hour 2 with 2 checkpoints → 2/3 of app saved.
         // OD runs 4 × (1/3) + 0.5 = 1.833 → ceil 2 h × $2 = $4.
         assert_eq!(out.finisher, Finisher::OnDemand);
@@ -580,7 +1118,7 @@ mod tests {
             )],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        let out = run(&m, 10.0, &plan, 0.0);
         assert_eq!(out.finisher, Finisher::Spot(id));
         // Launched at 2, done at 4 → wall 4 from start.
         assert!((out.wall_hours - 4.0).abs() < 1e-9);
@@ -601,7 +1139,7 @@ mod tests {
             )],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 20.0).run(&plan, 0.0);
+        let out = run(&m, 20.0, &plan, 0.0);
         assert_eq!(out.finisher, Finisher::OnDemand);
         assert_eq!(out.spot_cost, 0.0);
         assert!(out.od_cost > 0.0);
@@ -635,7 +1173,7 @@ mod tests {
             ],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        let out = run(&m, 10.0, &plan, 0.0);
         assert_eq!(out.finisher, Finisher::Spot(id_a));
         assert!((out.wall_hours - 2.5).abs() < 1e-9);
         // Both groups user-terminated at 2.5 → 3 hours charged each.
@@ -650,7 +1188,7 @@ mod tests {
             groups: vec![],
             on_demand: od(),
         };
-        let out = PlanRunner::new(&m, 10.0).run(&plan, 0.0);
+        let out = run(&m, 10.0, &plan, 0.0);
         assert_eq!(out.finisher, Finisher::OnDemand);
         // Full rerun, no recovery (nothing to restore), 4 h × $2.
         assert!((out.od_cost - 8.0).abs() < 1e-9, "od {}", out.od_cost);
@@ -670,8 +1208,8 @@ mod tests {
             )],
             on_demand: od(),
         };
-        assert!(PlanRunner::new(&m, 3.5).run(&plan, 0.0).met_deadline);
-        assert!(!PlanRunner::new(&m, 2.5).run(&plan, 0.0).met_deadline);
+        assert!(run(&m, 3.5, &plan, 0.0).met_deadline);
+        assert!(!run(&m, 2.5, &plan, 0.0).met_deadline);
     }
 
     #[test]
@@ -687,7 +1225,9 @@ mod tests {
             )],
             on_demand: od(),
         };
-        let w = PlanRunner::new(&m, 100.0).run_window(&plan, 0.0, 1.0, Some(2.0));
+        let w = PlanRunner::new(&m, 100.0)
+            .run_window(&plan, 0.0, 1.0, Some(2.0), false, &ExecContext::new())
+            .unwrap();
         assert!(w.completed_by.is_none());
         assert_eq!(w.groups_failed, 0);
         // Two checkpoints at zero overhead → 2/6 saved.
@@ -711,9 +1251,228 @@ mod tests {
             on_demand: od(),
         };
         // Half the app: 3 hours.
-        let w = PlanRunner::new(&m, 100.0).run_window(&plan, 0.0, 0.5, None);
+        let w = PlanRunner::new(&m, 100.0)
+            .run_window(&plan, 0.0, 0.5, None, false, &ExecContext::new())
+            .unwrap();
         assert_eq!(w.completed_by, Some(id));
         assert!((w.elapsed - 3.0).abs() < 1e-9);
         assert!((w.saved_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_inputs_are_errors_not_panics() {
+        let (m, id) = tiny_market(&[0.1; 6]);
+        let plan = Plan {
+            groups: vec![(
+                group(id, 2.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 2.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        let r = PlanRunner::new(&m, 10.0);
+        assert!(matches!(
+            r.run_window(&plan, 0.0, 0.0, None, false, &ExecContext::new()),
+            Err(SompiError::InvalidFraction { .. })
+        ));
+        // A plan group the market has never heard of.
+        let ghost = CircleGroupId::new(
+            m.catalog().by_name("m1.small").unwrap(),
+            AvailabilityZone::UsEast1c,
+        );
+        let bad = Plan {
+            groups: vec![(
+                group(ghost, 2.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 2.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        assert!(matches!(
+            r.run(&bad, 0.0, &ExecContext::new()),
+            Err(SompiError::UnknownGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn quiet_injector_is_bit_identical_to_no_injector() {
+        let (m, id) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let plan = Plan {
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        let inj = FaultInjector::new(FaultPlan::quiet(), 100.0);
+        let r = PlanRunner::new(&m, 10.0);
+        let plain = r.run(&plan, 0.0, &ExecContext::new()).unwrap();
+        let faulted = r
+            .run(&plan, 0.0, &ExecContext::new().with_faults(&inj))
+            .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn storm_kills_group_the_price_trace_would_spare() {
+        // Calm trace: without faults the 3-hour job completes on spot.
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        // A dense storm stream with certain membership: the first storm
+        // after launch kills the group.
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 17,
+                storm_rate_per_hour: 1.0,
+                storm_group_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            24.0,
+        );
+        let first_storm = inj.storms()[0].at_hours;
+        let out = PlanRunner::new(&m, 10.0)
+            .run(&plan, 0.0, &ExecContext::new().with_faults(&inj))
+            .unwrap();
+        assert_eq!(out.finisher, Finisher::OnDemand, "storm must kill spot");
+        assert_eq!(out.groups_failed, 1);
+        // The group died exactly at the first storm; with zero-overhead
+        // hourly checkpoints it banked floor(first_storm) of 3 hours.
+        let banked = (first_storm.floor().min(3.0) / 3.0_f64).min(1.0);
+        let remaining = 1.0 - banked;
+        let od_hours = 4.0 * remaining + 0.5;
+        assert!(
+            (out.wall_hours - (first_storm + od_hours)).abs() < 1e-9,
+            "wall {} vs storm {first_storm}",
+            out.wall_hours
+        );
+    }
+
+    #[test]
+    fn exhausted_ckpt_retries_degrade_to_no_checkpoint() {
+        // Certain upload failure: every checkpoint attempt fails, so the
+        // group degrades and banks nothing — but still completes (the
+        // kill never comes) and still wins the window.
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 3,
+                ckpt_fail_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            24.0,
+        );
+        let out = PlanRunner::new(&m, 10.0)
+            .run(&plan, 0.0, &ExecContext::new().with_faults(&inj))
+            .unwrap();
+        // Zero checkpoint overhead: completion time unchanged.
+        assert_eq!(out.finisher, Finisher::Spot(id));
+        assert!((out.wall_hours - 3.0).abs() < 1e-9);
+
+        // Same faults, but the price kills the group at hour 2: nothing
+        // was banked, so on-demand reruns the whole job.
+        let (m2, id2) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let plan2 = Plan {
+            groups: vec![(
+                group(id2, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        let out2 = PlanRunner::new(&m2, 10.0)
+            .run(&plan2, 0.0, &ExecContext::new().with_faults(&inj))
+            .unwrap();
+        assert_eq!(out2.finisher, Finisher::OnDemand);
+        // Full rerun: 4 h + 0.5 recovery (reprovision) = 4.5 → $10.
+        assert!((out2.od_cost - 10.0).abs() < 1e-9, "od {}", out2.od_cost);
+    }
+
+    #[test]
+    fn restore_corruption_falls_back_one_checkpoint() {
+        // Group dies at hour 2 with 2 of 3 hourly checkpoints banked.
+        let (m, id) = tiny_market(&[0.1, 0.1, 9.0, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let plan = Plan {
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 1.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 1,
+                restore_corrupt_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            24.0,
+        );
+        let r = PlanRunner::new(&m, 10.0);
+        let clean = r.run(&plan, 0.0, &ExecContext::new()).unwrap();
+        let corrupt = r
+            .run(&plan, 0.0, &ExecContext::new().with_faults(&inj))
+            .unwrap();
+        // Clean: 2/3 saved → OD 4/3 h + 0.5 = 1.83 → $4.
+        // Corrupt: falls back to 1/3 saved → OD 8/3 h + 0.5 = 3.17 → $8.
+        assert!((clean.od_cost - 4.0).abs() < 1e-9);
+        assert!(
+            (corrupt.od_cost - 8.0).abs() < 1e-9,
+            "od {}",
+            corrupt.od_cost
+        );
+        assert!(corrupt.total_cost > clean.total_cost);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let (m, id) = tiny_market(&[0.1; 24]);
+        let plan = Plan {
+            groups: vec![(
+                group(id, 3.0),
+                GroupDecision {
+                    bid: 0.2,
+                    ckpt_interval: 3.0,
+                },
+            )],
+            on_demand: od(),
+        };
+        let r = PlanRunner::new(&m, 5.0);
+        let out = r.run_recorded(&plan, 0.0, &NullRecorder);
+        assert_eq!(out.finisher, Finisher::Spot(id));
+        let w = r.run_window_carried(&plan, 0.0, 1.0, Some(1.0), false);
+        assert!(w.completed_by.is_none());
+        let w2 = r.run_window_carried_recorded(&plan, 0.0, 1.0, Some(1.0), false, &NullRecorder);
+        assert_eq!(w, w2);
     }
 }

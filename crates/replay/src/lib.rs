@@ -42,7 +42,9 @@
 //! let view = MarketView::from_market(&market, 0.0, 48.0);
 //! let cfg = OptimizerConfig { kappa: 1, bid_levels: 3, ..Default::default() };
 //! let plan = Sompi { config: cfg }.plan(&problem, &view);
-//! let outcome = PlanRunner::new(&market, problem.deadline).run(&plan, 60.0);
+//! let outcome = PlanRunner::new(&market, problem.deadline)
+//!     .run(&plan, 60.0, &replay::ExecContext::new())
+//!     .unwrap();
 //! assert!(outcome.total_cost > 0.0);
 //! ```
 
@@ -54,9 +56,11 @@ pub mod stats;
 pub mod timeline;
 
 pub use adaptive_exec::{AdaptiveOutcome, AdaptiveRunner};
-pub use exec::{Finisher, PlanRunner, RunOutcome};
-pub use montecarlo::{McResult, MonteCarlo};
-pub use relaunch::{run_persistent, run_persistent_recorded, RelaunchOutcome};
+pub use exec::{ExecContext, Finisher, PlanRunner, RunOutcome, WindowOutcome};
+pub use montecarlo::{McResult, MonteCarlo, MonteCarloBuilder};
+#[allow(deprecated)]
+pub use relaunch::run_persistent_recorded;
+pub use relaunch::{run_persistent, RelaunchOutcome};
 pub use stats::Summary;
 pub use timeline::{timeline, timeline_checked, Event};
 

@@ -6,13 +6,14 @@
 //! a (seed, replica-count) pair regardless of thread count, because each
 //! replica's start offset derives only from the seed and its index.
 
-use crate::exec::{Finisher, PlanRunner, RunOutcome};
+use crate::exec::{ExecContext, Finisher, PlanRunner, RunOutcome};
 use crate::stats::Summary;
 use crate::Hours;
 use ec2_market::market::SpotMarket;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use sompi_core::error::SompiError;
 use sompi_core::model::Plan;
 
 /// Aggregated Monte-Carlo result.
@@ -31,16 +32,17 @@ pub struct McResult {
 }
 
 impl McResult {
-    /// Build from raw outcomes. Returns `None` when `outcomes` is empty —
-    /// there is no meaningful aggregate of zero replicas.
-    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Option<Self> {
+    /// Build from raw outcomes. `Err(SompiError::NoOutcomes)` when
+    /// `outcomes` is empty — there is no meaningful aggregate of zero
+    /// replicas.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Result<Self, SompiError> {
         if outcomes.is_empty() {
-            return None;
+            return Err(SompiError::NoOutcomes);
         }
         let costs: Vec<f64> = outcomes.iter().map(|o| o.total_cost).collect();
         let times: Vec<f64> = outcomes.iter().map(|o| o.wall_hours).collect();
         let n = outcomes.len() as f64;
-        Some(Self {
+        Ok(Self {
             cost: Summary::of(&costs),
             time: Summary::of(&times),
             deadline_rate: outcomes.iter().filter(|o| o.met_deadline).count() as f64 / n,
@@ -74,9 +76,71 @@ pub struct MonteCarlo {
     pub threads: usize,
 }
 
+/// Builder for [`MonteCarlo`] (see [`MonteCarlo::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloBuilder {
+    mc: MonteCarlo,
+}
+
+impl MonteCarloBuilder {
+    /// Number of replicas.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.mc.replicas = replicas;
+        self
+    }
+
+    /// RNG seed for start-offset sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.mc.seed = seed;
+        self
+    }
+
+    /// Admissible start-offset window `[min, max)`, hours.
+    pub fn offsets(mut self, min: Hours, max: Hours) -> Self {
+        self.mc.offset_min = min;
+        self.mc.offset_max = max;
+        self
+    }
+
+    /// Worker threads (`0` = all cores, `1` = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.mc.threads = threads;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> MonteCarlo {
+        self.mc
+    }
+}
+
 impl MonteCarlo {
     /// A driver with sensible experiment defaults: all cores (`threads =
     /// 0`), no artificial cap.
+    ///
+    /// ```
+    /// use replay::montecarlo::MonteCarlo;
+    /// let mc = MonteCarlo::builder()
+    ///     .replicas(64)
+    ///     .seed(7)
+    ///     .offsets(48.0, 250.0)
+    ///     .build();
+    /// assert_eq!(mc.threads, 0);
+    /// ```
+    pub fn builder() -> MonteCarloBuilder {
+        MonteCarloBuilder {
+            mc: MonteCarlo {
+                replicas: 100,
+                seed: 0,
+                offset_min: 0.0,
+                offset_max: 1.0,
+                threads: 0,
+            },
+        }
+    }
+
+    /// Deprecated positional constructor.
+    #[deprecated(since = "0.4.0", note = "use `MonteCarlo::builder()`")]
     pub fn new(replicas: usize, seed: u64, offset_min: Hours, offset_max: Hours) -> Self {
         Self {
             replicas,
@@ -94,16 +158,24 @@ impl MonteCarlo {
     }
 
     /// Run `f(start_offset)` for every replica in parallel and aggregate.
-    /// `f` must be deterministic in the offset.
-    pub fn evaluate<F>(&self, f: F) -> McResult
+    /// `f` must be deterministic in the offset. The first replica error
+    /// (in replica order, independent of thread count) aborts the
+    /// aggregate; an empty or inverted configuration is
+    /// [`SompiError::InvalidConfig`].
+    pub fn evaluate<F>(&self, f: F) -> Result<McResult, SompiError>
     where
-        F: Fn(Hours) -> RunOutcome + Sync,
+        F: Fn(Hours) -> Result<RunOutcome, SompiError> + Sync,
     {
-        assert!(self.replicas > 0, "need at least one replica");
-        assert!(
-            self.offset_max > self.offset_min,
-            "offset window must be non-empty"
-        );
+        if self.replicas == 0 {
+            return Err(SompiError::InvalidConfig {
+                message: "need at least one replica".to_string(),
+            });
+        }
+        if self.offset_max <= self.offset_min {
+            return Err(SompiError::InvalidConfig {
+                message: "offset window must be non-empty".to_string(),
+            });
+        }
         let threads = if self.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -111,13 +183,11 @@ impl MonteCarlo {
         } else {
             self.threads
         };
-        let outcomes = if threads <= 1 {
-            (0..self.replicas)
-                .map(|i| f(self.offset(i)))
-                .collect::<Vec<_>>()
+        let outcomes: Result<Vec<RunOutcome>, SompiError> = if threads <= 1 {
+            (0..self.replicas).map(|i| f(self.offset(i))).collect()
         } else {
             let chunk = self.replicas.div_ceil(threads);
-            let mut results: Vec<Vec<RunOutcome>> = Vec::new();
+            let mut results: Vec<Vec<Result<RunOutcome, SompiError>>> = Vec::new();
             crossbeam::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -138,14 +208,23 @@ impl MonteCarlo {
             .expect("crossbeam scope failed");
             results.into_iter().flatten().collect()
         };
-        McResult::from_outcomes(&outcomes)
-            .expect("replicas > 0 was asserted, so outcomes is non-empty")
+        McResult::from_outcomes(&outcomes?)
     }
 
     /// Convenience: Monte-Carlo over a static plan via [`PlanRunner`].
-    pub fn run_plan(&self, market: &SpotMarket, plan: &Plan, deadline: Hours) -> McResult {
+    /// The context's fault injector and retry policy apply to every
+    /// replica (the fault timeline is a property of the trace clock, so
+    /// replicas starting at different offsets see different storm
+    /// alignments — exactly like real correlated outages).
+    pub fn run_plan(
+        &self,
+        market: &SpotMarket,
+        plan: &Plan,
+        deadline: Hours,
+        ctx: &ExecContext<'_>,
+    ) -> Result<McResult, SompiError> {
         let runner = PlanRunner::new(market, deadline);
-        self.evaluate(|start| runner.run(plan, start))
+        self.evaluate(|start| runner.run(plan, start, ctx))
     }
 }
 
@@ -193,6 +272,10 @@ mod tests {
         }
     }
 
+    fn run(mc: &MonteCarlo, m: &SpotMarket, plan: &Plan, deadline: Hours) -> McResult {
+        mc.run_plan(m, plan, deadline, &ExecContext::new()).unwrap()
+    }
+
     #[test]
     fn deterministic_across_thread_counts() {
         let m = market(61);
@@ -204,43 +287,44 @@ mod tests {
             offset_max: 250.0,
             threads: 1,
         };
-        let seq = base.run_plan(&m, &plan, 3.0);
-        let par = MonteCarlo { threads: 4, ..base }.run_plan(&m, &plan, 3.0);
-        let all = MonteCarlo { threads: 0, ..base }.run_plan(&m, &plan, 3.0);
+        let seq = run(&base, &m, &plan, 3.0);
+        let par = run(&MonteCarlo { threads: 4, ..base }, &m, &plan, 3.0);
+        let all = run(&MonteCarlo { threads: 0, ..base }, &m, &plan, 3.0);
         assert_eq!(seq, par);
         assert_eq!(seq, all);
     }
 
     #[test]
-    fn empty_outcomes_aggregate_to_none() {
-        assert!(McResult::from_outcomes(&[]).is_none());
+    fn empty_outcomes_aggregate_to_error() {
+        assert_eq!(McResult::from_outcomes(&[]), Err(SompiError::NoOutcomes));
     }
 
     #[test]
-    fn new_defaults_to_all_cores() {
-        assert_eq!(MonteCarlo::new(10, 1, 0.0, 1.0).threads, 0);
+    fn builder_defaults_to_all_cores() {
+        let mc = MonteCarlo::builder().replicas(10).seed(1).build();
+        assert_eq!(mc.threads, 0);
+        assert_eq!(mc.replicas, 10);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_constructor_still_answers() {
+        let mc = MonteCarlo::new(10, 1, 0.0, 1.0);
+        assert_eq!(mc.threads, 0);
+        assert_eq!(mc.offset_max, 1.0);
     }
 
     #[test]
     fn different_seeds_sample_different_offsets() {
         let m = market(61);
         let plan = simple_plan(&m);
-        let a = MonteCarlo {
-            replicas: 32,
-            seed: 1,
-            offset_min: 48.0,
-            offset_max: 250.0,
-            threads: 2,
-        }
-        .run_plan(&m, &plan, 3.0);
-        let b = MonteCarlo {
-            replicas: 32,
-            seed: 2,
-            offset_min: 48.0,
-            offset_max: 250.0,
-            threads: 2,
-        }
-        .run_plan(&m, &plan, 3.0);
+        let base = MonteCarlo::builder()
+            .replicas(32)
+            .offsets(48.0, 250.0)
+            .threads(2)
+            .build();
+        let a = run(&MonteCarlo { seed: 1, ..base }, &m, &plan, 3.0);
+        let b = run(&MonteCarlo { seed: 2, ..base }, &m, &plan, 3.0);
         // Statistically all-but-certain to differ on a volatile market.
         assert_ne!(a, b);
     }
@@ -249,14 +333,13 @@ mod tests {
     fn aggregates_are_consistent() {
         let m = market(67);
         let plan = simple_plan(&m);
-        let r = MonteCarlo {
-            replicas: 50,
-            seed: 9,
-            offset_min: 48.0,
-            offset_max: 250.0,
-            threads: 4,
-        }
-        .run_plan(&m, &plan, 3.0);
+        let mc = MonteCarlo::builder()
+            .replicas(50)
+            .seed(9)
+            .offsets(48.0, 250.0)
+            .threads(4)
+            .build();
+        let r = run(&mc, &m, &plan, 3.0);
         assert_eq!(r.cost.n, 50);
         assert!(r.cost.mean > 0.0);
         assert!(r.cost.min <= r.cost.mean && r.cost.mean <= r.cost.max);
@@ -270,29 +353,35 @@ mod tests {
         // always ride through.
         let m = market(71);
         let plan = simple_plan(&m);
-        let r = MonteCarlo {
-            replicas: 40,
-            seed: 3,
-            offset_min: 48.0,
-            offset_max: 250.0,
-            threads: 4,
-        }
-        .run_plan(&m, &plan, 3.0);
+        let mc = MonteCarlo::builder()
+            .replicas(40)
+            .seed(3)
+            .offsets(48.0, 250.0)
+            .threads(4)
+            .build();
+        let r = run(&mc, &m, &plan, 3.0);
         assert!(r.spot_finish_rate > 0.7, "spot rate {}", r.spot_finish_rate);
     }
 
     #[test]
-    #[should_panic(expected = "at least one replica")]
-    fn zero_replicas_panics() {
+    fn zero_replicas_is_an_error() {
         let m = market(61);
         let plan = simple_plan(&m);
-        MonteCarlo {
-            replicas: 0,
-            seed: 1,
-            offset_min: 0.0,
-            offset_max: 1.0,
-            threads: 1,
-        }
-        .run_plan(&m, &plan, 1.0);
+        let mc = MonteCarlo::builder().replicas(0).offsets(0.0, 1.0).build();
+        assert!(matches!(
+            mc.run_plan(&m, &plan, 1.0, &ExecContext::new()),
+            Err(SompiError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn replica_errors_propagate() {
+        let mc = MonteCarlo::builder()
+            .replicas(8)
+            .offsets(0.0, 1.0)
+            .threads(2)
+            .build();
+        let r = mc.evaluate(|_| Err(SompiError::NoOutcomes));
+        assert_eq!(r, Err(SompiError::NoOutcomes));
     }
 }

@@ -7,14 +7,22 @@
 //! module replays that policy for a single circle group plan, so the
 //! repository can quantify what the paper's model leaves on the table
 //! (and when it does not: relaunching burns deadline waiting out spikes).
+//!
+//! Under an [`ExecContext`] with faults, three resilience behaviors kick
+//! in: kill storms end incarnations the price trace would have spared,
+//! the retry policy paces re-incarnations after provider kills (backing
+//! off instead of hammering a reclaimed pool), and a corrupt checkpoint
+//! restore falls back one checkpoint interval of durable progress.
 
-use crate::exec::Finisher;
+use crate::exec::{ExecContext, Finisher};
 use crate::{Hours, Usd};
 use ec2_market::billing::{BillingModel, Termination};
+use ec2_market::fault::group_key;
 use ec2_market::market::SpotMarket;
 use serde::{Deserialize, Serialize};
+use sompi_core::error::SompiError;
 use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption};
-use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
+use sompi_obs::{emit, Event, Recorder, TraceLevel};
 
 /// Outcome of a persistent-request replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,6 +49,16 @@ pub struct RelaunchOutcome {
 /// the price to come under the bid, restores (`R_i`), and continues.
 /// At the last moment the on-demand fallback can still meet the deadline
 /// with the remaining work, the policy bails out to on-demand.
+///
+/// Emits trace events to the context's recorder: one
+/// [`Event::GroupFailed`] per provider-killed incarnation,
+/// [`Event::CheckpointTaken`] when an incarnation banks durable progress,
+/// [`Event::OnDemandFallback`] with reason `"bail-out"` when the deadline
+/// guard fires, fault events under an injector, and a final
+/// [`Event::RunCompleted`]. All `at_hours` are on the market-trace clock.
+///
+/// Errors with [`SompiError::UnknownGroup`] when the market has no trace
+/// for `group`.
 pub fn run_persistent(
     market: &SpotMarket,
     group: &CircleGroup,
@@ -48,32 +66,20 @@ pub fn run_persistent(
     od: &OnDemandOption,
     start: Hours,
     deadline: Hours,
-) -> RelaunchOutcome {
-    run_persistent_recorded(market, group, decision, od, start, deadline, &NullRecorder)
-}
-
-/// [`run_persistent`], emitting trace events: one [`Event::GroupFailed`]
-/// per provider-killed incarnation, [`Event::CheckpointTaken`] when an
-/// incarnation banks durable progress, [`Event::OnDemandFallback`] with
-/// reason `"bail-out"` when the deadline guard fires, and a final
-/// [`Event::RunCompleted`]. All `at_hours` are on the market-trace clock.
-#[allow(clippy::too_many_arguments)]
-pub fn run_persistent_recorded(
-    market: &SpotMarket,
-    group: &CircleGroup,
-    decision: &GroupDecision,
-    od: &OnDemandOption,
-    start: Hours,
-    deadline: Hours,
-    recorder: &dyn Recorder,
-) -> RelaunchOutcome {
+    ctx: &ExecContext<'_>,
+) -> Result<RelaunchOutcome, SompiError> {
+    let recorder = ctx.recorder;
     let billing = BillingModel::hourly();
     let trace = market
         .trace(group.id)
-        .unwrap_or_else(|| panic!("no trace for {}", group.id));
+        .ok_or_else(|| SompiError::UnknownGroup {
+            group: group.id.to_string(),
+        })?;
     let interval = decision.ckpt_interval.min(group.exec_hours);
     let ckpt_on = interval < group.exec_hours;
     let o = group.ckpt_overhead_hours;
+    let seed = ctx.faults.map(|f| f.plan().seed).unwrap_or(0);
+    let gkey = group_key(group.id);
 
     let mut now = start;
     let mut saved: Hours = 0.0; // durable productive progress
@@ -106,7 +112,7 @@ pub fn run_persistent_recorded(
                 reason: "bail-out".to_string(),
             });
             emit_relaunch_completed(recorder, &out, kills);
-            return out;
+            return Ok(out);
         }
 
         // Wait for a launchable price (bounded by the bail-out guard).
@@ -124,14 +130,44 @@ pub fn run_persistent_recorded(
             continue; // guard fires next iteration
         };
         incarnations += 1;
-        // Restoring a checkpoint costs recovery time on re-incarnations.
+        // Restoring a checkpoint costs recovery time on re-incarnations —
+        // and under an injector the restore can read a corrupt image, in
+        // which case the incarnation falls back one checkpoint interval.
+        let mut remaining = remaining;
         if saved > 0.0 {
-            launch_t += group.recovery_hours;
+            if let Some(inj) = ctx.faults {
+                if inj.restore_corrupted_for(group.id, incarnations) {
+                    let lost = if ckpt_on { interval.min(saved) } else { saved };
+                    saved -= lost;
+                    remaining = group.exec_hours - saved;
+                    let at = launch_t;
+                    emit(recorder, TraceLevel::Summary, || Event::FaultInjected {
+                        class: "restore-corruption".to_string(),
+                        group: Some(group.id.to_string()),
+                        at_hours: at,
+                        detail: lost / group.exec_hours,
+                    });
+                    emit(recorder, TraceLevel::Summary, || Event::DegradedMode {
+                        mode: "previous-checkpoint".to_string(),
+                        group: Some(group.id.to_string()),
+                        at_hours: at,
+                        reason: "restore-corruption".to_string(),
+                    });
+                }
+            }
+            if saved > 0.0 {
+                launch_t += group.recovery_hours;
+            }
         }
 
-        let death = trace
+        let price_death = trace
             .first_passage_above(launch_t, decision.bid)
             .unwrap_or(f64::INFINITY);
+        let storm_death = ctx
+            .faults
+            .and_then(|f| f.storm_kill_after(group.id, launch_t))
+            .unwrap_or(f64::INFINITY);
+        let death = price_death.min(storm_death);
         let n_ckpt = if ckpt_on {
             (remaining / interval).floor()
         } else {
@@ -160,7 +196,7 @@ pub fn run_persistent_recorded(
                 met_deadline: wall <= deadline,
             };
             emit_relaunch_completed(recorder, &out, kills);
-            return out;
+            return Ok(out);
         }
 
         // Killed (or guard reached) before completion.
@@ -195,6 +231,14 @@ pub fn run_persistent_recorded(
             );
             if provider_kill {
                 kills += 1;
+                if storm_death <= end && storm_death < price_death {
+                    emit(recorder, TraceLevel::Summary, || Event::FaultInjected {
+                        class: "spot-kill-storm".to_string(),
+                        group: Some(group.id.to_string()),
+                        at_hours: storm_death,
+                        detail: 0.0,
+                    });
+                }
                 emit(recorder, TraceLevel::Summary, || Event::GroupFailed {
                     group: group.id.to_string(),
                     at_hours: end,
@@ -203,7 +247,54 @@ pub fn run_persistent_recorded(
             }
         }
         now = end.max(now + trace.step_hours());
+        // Retry pacing: after a provider kill, back off before scanning
+        // for the next incarnation — re-requesting a just-reclaimed pool
+        // immediately tends to land in the same storm.
+        if death <= end && !ctx.retry.is_noop() {
+            let backoff = ctx
+                .retry
+                .backoff_hours(seed, gkey ^ incarnations as u64, kills.max(1));
+            if backoff > 0.0 {
+                emit(recorder, TraceLevel::Summary, || Event::RetryAttempted {
+                    op: "relaunch".to_string(),
+                    group: group.id.to_string(),
+                    at_hours: end,
+                    attempt: incarnations,
+                    backoff_hours: backoff,
+                    gave_up: false,
+                });
+                now += backoff;
+            }
+        }
     }
+}
+
+/// Deprecated shim over [`run_persistent`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `run_persistent` with an `ExecContext` (recorder via \
+            `ExecContext::with_recorder`)"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_persistent_recorded(
+    market: &SpotMarket,
+    group: &CircleGroup,
+    decision: &GroupDecision,
+    od: &OnDemandOption,
+    start: Hours,
+    deadline: Hours,
+    recorder: &dyn Recorder,
+) -> RelaunchOutcome {
+    run_persistent(
+        market,
+        group,
+        decision,
+        od,
+        start,
+        deadline,
+        &ExecContext::new().with_recorder(recorder),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn emit_relaunch_completed(recorder: &dyn Recorder, out: &RelaunchOutcome, kills: u32) {
@@ -226,6 +317,7 @@ fn emit_relaunch_completed(recorder: &dyn Recorder, out: &RelaunchOutcome, kills
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
     use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
     use ec2_market::market::CircleGroupId;
     use ec2_market::trace::SpotTrace;
@@ -260,6 +352,16 @@ mod tests {
         }
     }
 
+    fn run(
+        m: &SpotMarket,
+        g: &CircleGroup,
+        d: &GroupDecision,
+        start: Hours,
+        deadline: Hours,
+    ) -> RelaunchOutcome {
+        run_persistent(m, g, d, &od(), start, deadline, &ExecContext::new()).unwrap()
+    }
+
     #[test]
     fn uninterrupted_run_has_one_incarnation() {
         let (m, id) = market(&[0.1; 48]);
@@ -268,7 +370,7 @@ mod tests {
             bid: 0.2,
             ckpt_interval: 1.0,
         };
-        let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        let out = run(&m, &g, &d, 0.0, 40.0);
         assert_eq!(out.incarnations, 1);
         assert_eq!(out.finisher, Finisher::Spot(id));
         assert!((out.wall_hours - 3.0).abs() < 1e-9);
@@ -286,7 +388,7 @@ mod tests {
             bid: 0.2,
             ckpt_interval: 1.0,
         };
-        let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        let out = run(&m, &g, &d, 0.0, 40.0);
         // Incarnation 1 runs [0,2) and saves 2 checkpoints; incarnation 2
         // starts at hour 4 and needs 1 more hour.
         assert_eq!(out.incarnations, 2);
@@ -311,7 +413,7 @@ mod tests {
             bid: 0.2,
             ckpt_interval: 3.0,
         }; // no ckpt
-        let out = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        let out = run(&m, &g, &d, 0.0, 40.0);
         assert_eq!(out.incarnations, 2);
         // Second life needs the full 3 hours: finishes at 3 + 3 = 6.
         assert!(
@@ -330,7 +432,7 @@ mod tests {
             bid: 0.2,
             ckpt_interval: 1.0,
         };
-        let out = run_persistent(&m, &g, &d, &od(), 0.0, 10.0);
+        let out = run(&m, &g, &d, 0.0, 10.0);
         assert_eq!(out.finisher, Finisher::OnDemand);
         assert_eq!(out.incarnations, 0);
         assert!(out.met_deadline);
@@ -348,8 +450,151 @@ mod tests {
             bid: 0.2,
             ckpt_interval: 0.5,
         };
-        let a = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
-        let b = run_persistent(&m, &g, &d, &od(), 0.0, 40.0);
+        let a = run(&m, &g, &d, 0.0, 40.0);
+        let b = run(&m, &g, &d, 0.0, 40.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn storms_create_extra_incarnations() {
+        // A calm trace the price would never kill — with a dense storm
+        // stream, the persistent request keeps dying and relaunching.
+        let (m, id) = market(&[0.1; 48]);
+        let g = group(id, 6.0);
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 23,
+                storm_rate_per_hour: 0.5,
+                storm_group_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            48.0,
+        );
+        let calm = run(&m, &g, &d, 0.0, 40.0);
+        let stormy = run_persistent(
+            &m,
+            &g,
+            &d,
+            &od(),
+            0.0,
+            40.0,
+            &ExecContext::new().with_faults(&inj),
+        )
+        .unwrap();
+        assert_eq!(calm.incarnations, 1);
+        assert!(
+            stormy.incarnations > calm.incarnations,
+            "storms must force relaunches, got {}",
+            stormy.incarnations
+        );
+        // Checkpoint-resume still converges to completion or bail-out.
+        assert!(stormy.wall_hours >= calm.wall_hours);
+    }
+
+    #[test]
+    fn retry_policy_paces_relaunches() {
+        // Stormy scenario with backoff: each provider kill must be
+        // followed by a `RetryAttempted` relaunch-pacing event with a
+        // positive deterministic backoff, and the run stays reproducible.
+        use sompi_obs::{RingRecorder, TraceLevel};
+        let (m, id) = market(&[0.1; 48]);
+        let g = group(id, 6.0);
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 23,
+                storm_rate_per_hour: 0.5,
+                storm_group_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            48.0,
+        );
+        let ring = RingRecorder::new(TraceLevel::Summary, 4096);
+        let ctx = ExecContext::new()
+            .with_faults(&inj)
+            .with_retry(RetryPolicy::default_io())
+            .with_recorder(&ring);
+        let paced = run_persistent(&m, &g, &d, &od(), 0.0, 40.0, &ctx).unwrap();
+        let kills = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e, sompi_obs::Event::GroupFailed { .. }))
+            .count();
+        let pacings: Vec<f64> = ring
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                sompi_obs::Event::RetryAttempted {
+                    op, backoff_hours, ..
+                } if op == "relaunch" => Some(*backoff_hours),
+                _ => None,
+            })
+            .collect();
+        assert!(kills > 0, "storms must kill at least one incarnation");
+        assert_eq!(pacings.len(), kills, "one pacing decision per kill");
+        assert!(pacings.iter().all(|b| *b > 0.0));
+        let again = run_persistent(&m, &g, &d, &od(), 0.0, 40.0, &ctx).unwrap();
+        assert_eq!(paced, again);
+    }
+
+    #[test]
+    fn restore_corruption_loses_one_interval() {
+        // Killed at hour 2 with 2 banked checkpoints; certain corruption
+        // on restore drops one interval, so incarnation 2 has 2 h left
+        // instead of 1: completion at 4 + 2 = 6 instead of 5.
+        let mut p = vec![0.1, 0.1, 9.0, 9.0];
+        p.extend(vec![0.1; 44]);
+        let (m, id) = market(&p);
+        let g = group(id, 3.0);
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
+        let inj = FaultInjector::new(
+            FaultPlan {
+                seed: 5,
+                restore_corrupt_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            48.0,
+        );
+        let clean = run(&m, &g, &d, 0.0, 40.0);
+        let corrupt = run_persistent(
+            &m,
+            &g,
+            &d,
+            &od(),
+            0.0,
+            40.0,
+            &ExecContext::new().with_faults(&inj),
+        )
+        .unwrap();
+        assert!((clean.wall_hours - 5.0).abs() < 1e-9);
+        assert!(
+            (corrupt.wall_hours - 6.0).abs() < 1e-9,
+            "wall {}",
+            corrupt.wall_hours
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_answers() {
+        let (m, id) = market(&[0.1; 48]);
+        let g = group(id, 3.0);
+        let d = GroupDecision {
+            bid: 0.2,
+            ckpt_interval: 1.0,
+        };
+        let a = run_persistent_recorded(&m, &g, &d, &od(), 0.0, 40.0, &sompi_obs::NullRecorder);
+        let b = run(&m, &g, &d, 0.0, 40.0);
         assert_eq!(a, b);
     }
 }

@@ -270,7 +270,11 @@ pub fn timeline_checked(
     deadline: Hours,
 ) -> (Vec<Event>, crate::exec::RunOutcome) {
     let events = timeline(market, plan, start, deadline);
-    let outcome = PlanRunner::new(market, deadline).run(plan, start);
+    // `timeline` above already panics on a plan group without a trace,
+    // so unwrapping here keeps the two walks' contracts aligned.
+    let outcome = PlanRunner::new(market, deadline)
+        .run(plan, start, &crate::exec::ExecContext::new())
+        .unwrap_or_else(|e| panic!("{e}"));
     // Consistency: a Completed event exists iff the runner finished on spot.
     let completed = events.iter().any(|e| matches!(e, Event::Completed { .. }));
     debug_assert_eq!(

@@ -14,11 +14,13 @@
 //! `remaining_fraction`.
 
 use crate::cost::evaluate_plan;
+use crate::error::SompiError;
 use crate::model::Plan;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
 use crate::Hours;
+use ec2_market::fault::FaultInjector;
 use ec2_market::market::CircleGroupId;
 use serde::{Deserialize, Serialize};
 use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
@@ -35,6 +37,24 @@ pub struct AdaptiveConfig {
     pub optimizer: OptimizerConfig,
 }
 
+impl AdaptiveConfig {
+    /// Start building a config from the defaults. Preferred over growing
+    /// positional constructors as knobs accumulate:
+    ///
+    /// ```
+    /// use sompi_core::AdaptiveConfig;
+    ///
+    /// let cfg = AdaptiveConfig::builder().window_hours(10.0).build();
+    /// assert_eq!(cfg.window_hours, 10.0);
+    /// assert_eq!(cfg.history_hours, AdaptiveConfig::default().history_hours);
+    /// ```
+    pub fn builder() -> AdaptiveConfigBuilder {
+        AdaptiveConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
 impl Default for AdaptiveConfig {
     fn default() -> Self {
         Self {
@@ -43,6 +63,112 @@ impl Default for AdaptiveConfig {
             optimizer: OptimizerConfig::default(),
         }
     }
+}
+
+/// Builder for [`AdaptiveConfig`]; see [`AdaptiveConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfigBuilder {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveConfigBuilder {
+    /// Set `T_m`, the optimization window size in hours.
+    pub fn window_hours(mut self, hours: Hours) -> Self {
+        self.config.window_hours = hours;
+        self
+    }
+
+    /// Set the history length used for each re-estimation, hours.
+    pub fn history_hours(mut self, hours: Hours) -> Self {
+        self.config.history_hours = hours;
+        self
+    }
+
+    /// Set the inner optimizer configuration.
+    pub fn optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.config.optimizer = optimizer;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> AdaptiveConfig {
+        self.config
+    }
+}
+
+/// Everything a window-planning call may consult besides the problem and
+/// the market view: the trace recorder, an optional plan-reuse cache, an
+/// optional fault injector (for market-feed gaps), and the window index
+/// for event labeling. [`PlanContext::default`] is all no-ops, so the
+/// simplest call is `planner.plan_window(&p, 1.0, 0.0, &view, &mut
+/// PlanContext::default())`.
+pub struct PlanContext<'a> {
+    /// Trace event sink.
+    pub recorder: &'a dyn Recorder,
+    /// Plan-reuse cache consulted (and refreshed) when present.
+    pub cache: Option<&'a mut PlanCache>,
+    /// Fault injector; the planner consults it for market-feed gaps at
+    /// this window and prefers the cached plan over a fresh search when
+    /// the feed is gapped.
+    pub faults: Option<&'a FaultInjector>,
+    /// 0-based index of the window being planned (labels events and keys
+    /// feed-gap injection).
+    pub window: u32,
+}
+
+impl Default for PlanContext<'_> {
+    fn default() -> Self {
+        Self {
+            recorder: &NullRecorder,
+            cache: None,
+            faults: None,
+            window: 0,
+        }
+    }
+}
+
+impl<'a> PlanContext<'a> {
+    /// All-no-op context (same as [`PlanContext::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record trace events into `recorder`.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Consult and refresh `cache`.
+    pub fn with_cache(mut self, cache: &'a mut PlanCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Consult `faults` for market-feed gaps.
+    pub fn with_faults(mut self, faults: &'a FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Label events (and key feed-gap injection) with window index `w`.
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+/// What [`AdaptivePlanner::plan_window`] produced and how it got there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedWindow {
+    /// The window's decision.
+    pub decision: WindowDecision,
+    /// True when the decision came from the plan cache instead of a fresh
+    /// search (fingerprint hit, or feed-gap fallback to the last plan).
+    pub reused_from_cache: bool,
+    /// True when the reuse was justified by a matching market
+    /// fingerprint (false for feed-gap fallbacks).
+    pub fingerprint_hit: bool,
 }
 
 /// What Algorithm 1 decides at a window boundary.
@@ -77,31 +203,140 @@ impl AdaptivePlanner {
         Self { config }
     }
 
-    /// Decide the next window's plan.
+    /// Decide the next window's plan — the single planning entry point.
     ///
     /// * `base` — the original problem (full application),
     /// * `remaining_fraction` — residual work in `(0, 1]`,
     /// * `elapsed` — wall hours consumed so far,
-    /// * `view` — estimators over the *latest* history window.
+    /// * `view` — estimators over the *latest* history window,
+    /// * `ctx` — recorder / plan cache / fault injector / window index,
+    ///   all optional (see [`PlanContext`]).
+    ///
+    /// With a cache in the context: when the view's [`ViewFingerprint`]
+    /// matches the cached one within tolerance, the Algorithm-1 line-7
+    /// guard passes, and the cached plan — rescaled to the current
+    /// residual — is still feasible under the *fresh* estimators, the
+    /// re-optimization is skipped and the window emits `WindowReplanned
+    /// { reused: true, fingerprint_hit: true }`. With a fault injector
+    /// reporting a market-feed gap at this window, the planner degrades
+    /// gracefully instead of trusting a stale view: it falls back to the
+    /// cached plan *without* requiring a fingerprint match (emitting
+    /// `DegradedMode { mode: "stale-plan" }`), still subject to the
+    /// deadline guard and feasibility re-check.
+    ///
+    /// Errors with [`SompiError::InvalidFraction`] when
+    /// `remaining_fraction` is outside `(0, 1]` and
+    /// [`SompiError::NoOnDemandOption`] when the problem offers no
+    /// on-demand option to guard the deadline with.
     pub fn plan_window(
         &self,
         base: &Problem,
         remaining_fraction: f64,
         elapsed: Hours,
         view: &MarketView,
-    ) -> WindowDecision {
-        self.plan_window_recorded(base, remaining_fraction, elapsed, view, 0, &NullRecorder)
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<PlannedWindow, SompiError> {
+        if !(remaining_fraction > 0.0 && remaining_fraction <= 1.0) {
+            return Err(SompiError::InvalidFraction {
+                fraction: remaining_fraction,
+            });
+        }
+        let leftover = base.deadline - elapsed;
+        let gap = ctx
+            .faults
+            .map(|f| f.feed_gap_at(ctx.window))
+            .unwrap_or(false);
+
+        if let Some(cache) = ctx.cache.as_deref_mut() {
+            // On a feed gap the fresh view is suspect, so the last valid
+            // plan is preferred over re-optimizing against stale data; on
+            // a healthy feed only an unchanged market fingerprint
+            // justifies reuse.
+            let recalled = if gap {
+                cache.recall_latest(remaining_fraction)
+            } else {
+                cache.recall(&ViewFingerprint::digest(view), remaining_fraction)
+            };
+            if let Some(plan) = recalled {
+                // Reuse only if the decision would still be Hybrid: the
+                // fastest on-demand bail-out check passes and the rescaled
+                // incumbent remains feasible when re-evaluated against the
+                // latest estimators.
+                let residual = base.try_residual(remaining_fraction, leftover.max(0.0))?;
+                let fastest = residual.try_baseline()?;
+                if fastest.exec_hours + fastest.recovery_hours <= leftover {
+                    if let Some(eval) = evaluate_plan(&plan, view) {
+                        let feasible = eval.meets(leftover)
+                            && self
+                                .config
+                                .optimizer
+                                .min_spot_success
+                                .map(|q| eval.p_all_fail <= 1.0 - q)
+                                .unwrap_or(true);
+                        if feasible {
+                            let window = ctx.window;
+                            if gap {
+                                emit(ctx.recorder, TraceLevel::Summary, || Event::DegradedMode {
+                                    mode: "stale-plan".to_string(),
+                                    group: None,
+                                    at_hours: elapsed,
+                                    reason: "feed-gap".to_string(),
+                                });
+                            }
+                            emit(ctx.recorder, TraceLevel::Summary, || {
+                                Event::WindowReplanned {
+                                    window,
+                                    elapsed_hours: elapsed,
+                                    remaining_fraction,
+                                    reused: true,
+                                    decision: "hybrid".to_string(),
+                                    groups: plan.groups.len() as u32,
+                                    fingerprint_hit: !gap,
+                                }
+                            });
+                            return Ok(PlannedWindow {
+                                decision: WindowDecision::Hybrid(plan),
+                                reused_from_cache: true,
+                                fingerprint_hit: !gap,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let decision = self.decide(base, remaining_fraction, elapsed, view, ctx.recorder)?;
+        let window = ctx.window;
+        emit(ctx.recorder, TraceLevel::Summary, || {
+            Event::WindowReplanned {
+                window,
+                elapsed_hours: elapsed,
+                remaining_fraction,
+                reused: false,
+                decision: match &decision {
+                    WindowDecision::Hybrid(_) => "hybrid".to_string(),
+                    WindowDecision::FinishOnDemand(_) => "finish-on-demand".to_string(),
+                },
+                groups: decision.plan().groups.len() as u32,
+                fingerprint_hit: false,
+            }
+        });
+        if let Some(cache) = ctx.cache.as_deref_mut() {
+            cache.store(ViewFingerprint::digest(view), &decision, remaining_fraction);
+        }
+        Ok(PlannedWindow {
+            decision,
+            reused_from_cache: false,
+            fingerprint_hit: false,
+        })
     }
 
-    /// [`AdaptivePlanner::plan_window`] with a [`PlanCache`]: when the
-    /// view's [`ViewFingerprint`] matches the cached one within the
-    /// cache's tolerance, the Algorithm-1 line-7 guard passes, and the
-    /// cached plan — rescaled to the current residual — is still feasible
-    /// under the *fresh* estimators, the re-optimization is skipped
-    /// entirely and the window emits `WindowReplanned { reused: true,
-    /// fingerprint_hit: true }`. Returns the decision plus whether the
-    /// cache satisfied it. Misses fall through to
-    /// [`AdaptivePlanner::plan_window_recorded`] and refresh the cache.
+    /// Deprecated shim over [`AdaptivePlanner::plan_window`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `plan_window` with a `PlanContext` (cache via `PlanContext::with_cache`, \
+                recorder via `PlanContext::with_recorder`)"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn plan_window_cached(
         &self,
@@ -113,50 +348,27 @@ impl AdaptivePlanner {
         cache: &mut PlanCache,
         recorder: &dyn Recorder,
     ) -> (WindowDecision, bool) {
-        let fingerprint = ViewFingerprint::digest(view);
-        let leftover = base.deadline - elapsed;
-        if let Some(plan) = cache.recall(&fingerprint, remaining_fraction) {
-            // The market looks unchanged. Reuse only if the decision
-            // would still be Hybrid: the fastest on-demand bail-out check
-            // passes and the rescaled incumbent remains feasible when
-            // re-evaluated against the latest estimators.
-            let residual = base.residual(remaining_fraction, leftover.max(0.0));
-            let fastest = residual.baseline();
-            if fastest.exec_hours + fastest.recovery_hours <= leftover {
-                if let Some(eval) = evaluate_plan(&plan, view) {
-                    let feasible = eval.meets(leftover)
-                        && self
-                            .config
-                            .optimizer
-                            .min_spot_success
-                            .map(|q| eval.p_all_fail <= 1.0 - q)
-                            .unwrap_or(true);
-                    if feasible {
-                        emit(recorder, TraceLevel::Summary, || Event::WindowReplanned {
-                            window,
-                            elapsed_hours: elapsed,
-                            remaining_fraction,
-                            reused: true,
-                            decision: "hybrid".to_string(),
-                            groups: plan.groups.len() as u32,
-                            fingerprint_hit: true,
-                        });
-                        return (WindowDecision::Hybrid(plan), true);
-                    }
-                }
-            }
-        }
-        let decision =
-            self.plan_window_recorded(base, remaining_fraction, elapsed, view, window, recorder);
-        cache.store(fingerprint, &decision, remaining_fraction);
-        (decision, false)
+        let planned = self
+            .plan_window(
+                base,
+                remaining_fraction,
+                elapsed,
+                view,
+                &mut PlanContext::new()
+                    .with_recorder(recorder)
+                    .with_cache(cache)
+                    .with_window(window),
+            )
+            .expect("legacy plan_window_cached panicked on invalid inputs");
+        (planned.decision, planned.fingerprint_hit)
     }
 
-    /// [`AdaptivePlanner::plan_window`], emitting trace events: the inner
-    /// optimizer's search events (when it runs) plus one `WindowReplanned`
-    /// with `reused: false` describing the decision. `window` is the
-    /// 0-based index of the window being planned; it only labels the
-    /// event.
+    /// Deprecated shim over [`AdaptivePlanner::plan_window`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `plan_window` with a `PlanContext` (recorder via \
+                `PlanContext::with_recorder`, window via `PlanContext::with_window`)"
+    )]
     pub fn plan_window_recorded(
         &self,
         base: &Problem,
@@ -166,20 +378,17 @@ impl AdaptivePlanner {
         window: u32,
         recorder: &dyn Recorder,
     ) -> WindowDecision {
-        let decision = self.decide(base, remaining_fraction, elapsed, view, recorder);
-        emit(recorder, TraceLevel::Summary, || Event::WindowReplanned {
-            window,
-            elapsed_hours: elapsed,
+        self.plan_window(
+            base,
             remaining_fraction,
-            reused: false,
-            decision: match &decision {
-                WindowDecision::Hybrid(_) => "hybrid".to_string(),
-                WindowDecision::FinishOnDemand(_) => "finish-on-demand".to_string(),
-            },
-            groups: decision.plan().groups.len() as u32,
-            fingerprint_hit: false,
-        });
-        decision
+            elapsed,
+            view,
+            &mut PlanContext::new()
+                .with_recorder(recorder)
+                .with_window(window),
+        )
+        .expect("legacy plan_window_recorded panicked on invalid inputs")
+        .decision
     }
 
     fn decide(
@@ -189,16 +398,18 @@ impl AdaptivePlanner {
         elapsed: Hours,
         view: &MarketView,
         recorder: &dyn Recorder,
-    ) -> WindowDecision {
+    ) -> Result<WindowDecision, SompiError> {
         let leftover = base.deadline - elapsed;
-        let residual = base.residual(remaining_fraction, leftover.max(0.0));
+        let residual = base.try_residual(remaining_fraction, leftover.max(0.0))?;
 
         // Algorithm 1 line 7: if even the fastest on-demand execution of
         // the residual cannot meet the leftover deadline budget, bail out
         // to on-demand immediately (nothing better exists).
-        let fastest = residual.baseline();
+        let fastest = residual.try_baseline()?;
         if fastest.exec_hours + fastest.recovery_hours > leftover {
-            return WindowDecision::FinishOnDemand(Plan::on_demand_only(*fastest));
+            return Ok(WindowDecision::FinishOnDemand(Plan::on_demand_only(
+                *fastest,
+            )));
         }
 
         // Otherwise re-optimize the residual against the fresh view. The
@@ -210,9 +421,9 @@ impl AdaptivePlanner {
             TwoLevelOptimizer::new(&residual, view, self.config.optimizer)
                 .optimize_recorded(recorder);
         if plan.groups.is_empty() {
-            return WindowDecision::FinishOnDemand(plan);
+            return Ok(WindowDecision::FinishOnDemand(plan));
         }
-        WindowDecision::Hybrid(plan)
+        Ok(WindowDecision::Hybrid(plan))
     }
 }
 
@@ -328,6 +539,14 @@ impl PlanCache {
         if !e.fingerprint.matches(fingerprint, self.tolerance) {
             return None;
         }
+        self.recall_latest(remaining_fraction)
+    }
+
+    /// The cached plan rescaled to `remaining_fraction` regardless of
+    /// fingerprint — the feed-gap degradation path, where no trustworthy
+    /// fresh fingerprint exists (see [`AdaptivePlanner::plan_window`]).
+    fn recall_latest(&self, remaining_fraction: f64) -> Option<Plan> {
+        let e = self.entry.as_ref()?;
         if !(remaining_fraction > 0.0 && e.made_for > 0.0) {
             return None;
         }
@@ -398,11 +617,24 @@ mod tests {
         })
     }
 
+    /// Plan with an all-no-op context.
+    fn plan(
+        p: &AdaptivePlanner,
+        problem: &Problem,
+        frac: f64,
+        t: f64,
+        v: &MarketView,
+    ) -> WindowDecision {
+        p.plan_window(problem, frac, t, v, &mut PlanContext::new())
+            .unwrap()
+            .decision
+    }
+
     #[test]
     fn plenty_of_time_stays_hybrid() {
         let (market, problem) = setup();
         let view = MarketView::from_market(&market, 0.0, 48.0);
-        let d = planner().plan_window(&problem, 1.0, 0.0, &view);
+        let d = plan(&planner(), &problem, 1.0, 0.0, &view);
         assert!(matches!(d, WindowDecision::Hybrid(_)));
         assert!(!d.plan().groups.is_empty());
     }
@@ -412,7 +644,7 @@ mod tests {
         let (market, problem) = setup();
         let view = MarketView::from_market(&market, 0.0, 48.0);
         // 95% of the deadline gone, whole app remaining.
-        let d = planner().plan_window(&problem, 1.0, problem.deadline * 0.95, &view);
+        let d = plan(&planner(), &problem, 1.0, problem.deadline * 0.95, &view);
         assert!(matches!(d, WindowDecision::FinishOnDemand(_)));
         assert!(d.plan().groups.is_empty());
     }
@@ -421,7 +653,7 @@ mod tests {
     fn residual_shrinks_with_progress() {
         let (market, problem) = setup();
         let view = MarketView::from_market(&market, 0.0, 48.0);
-        let d = planner().plan_window(&problem, 0.25, 0.5, &view);
+        let d = plan(&planner(), &problem, 0.25, 0.5, &view);
         // With 25% of the work left, the chosen groups' exec times must be
         // a quarter of the originals.
         if let WindowDecision::Hybrid(plan) = d {
@@ -457,17 +689,32 @@ mod tests {
         let view = MarketView::from_market(&market, 0.0, 48.0);
         let p = planner();
         let mut cache = PlanCache::default();
-        let (d1, hit1) =
-            p.plan_window_cached(&problem, 1.0, 0.0, &view, 0, &mut cache, &NullRecorder);
-        assert!(!hit1, "cold cache cannot hit");
-        assert!(matches!(d1, WindowDecision::Hybrid(_)));
+        let w1 = p
+            .plan_window(
+                &problem,
+                1.0,
+                0.0,
+                &view,
+                &mut PlanContext::new().with_cache(&mut cache),
+            )
+            .unwrap();
+        assert!(!w1.fingerprint_hit, "cold cache cannot hit");
+        assert!(matches!(w1.decision, WindowDecision::Hybrid(_)));
 
         // Same view, slightly less work left: must hit, and the reused
         // plan must be the incumbent rescaled — not a fresh search.
-        let (d2, hit2) =
-            p.plan_window_cached(&problem, 0.8, 0.1, &view, 1, &mut cache, &NullRecorder);
-        assert!(hit2, "static view should fingerprint-hit");
-        let (p1, p2) = (d1.plan(), d2.plan());
+        let w2 = p
+            .plan_window(
+                &problem,
+                0.8,
+                0.1,
+                &view,
+                &mut PlanContext::new().with_cache(&mut cache).with_window(1),
+            )
+            .unwrap();
+        assert!(w2.fingerprint_hit, "static view should fingerprint-hit");
+        assert!(w2.reused_from_cache);
+        let (p1, p2) = (w1.decision.plan(), w2.decision.plan());
         assert_eq!(p1.groups.len(), p2.groups.len());
         for ((g1, dec1), (g2, dec2)) in p1.groups.iter().zip(&p2.groups) {
             assert_eq!(g1.id, g2.id);
@@ -477,9 +724,19 @@ mod tests {
 
         // A distant history window must miss and re-plan.
         let late = MarketView::from_market(&market, 200.0, 48.0);
-        let (_, hit3) =
-            p.plan_window_cached(&problem, 0.6, 0.2, &late, 2, &mut cache, &NullRecorder);
-        assert!(!hit3, "shifted market must force a re-optimization");
+        let w3 = p
+            .plan_window(
+                &problem,
+                0.6,
+                0.2,
+                &late,
+                &mut PlanContext::new().with_cache(&mut cache).with_window(2),
+            )
+            .unwrap();
+        assert!(
+            !w3.fingerprint_hit,
+            "shifted market must force a re-optimization"
+        );
     }
 
     #[test]
@@ -491,20 +748,27 @@ mod tests {
         let view = MarketView::from_market(&market, 0.0, 48.0);
         let p = planner();
         let mut cache = PlanCache::default();
-        let (_, hit1) =
-            p.plan_window_cached(&problem, 1.0, 0.0, &view, 0, &mut cache, &NullRecorder);
-        assert!(!hit1);
-        let (d, hit) = p.plan_window_cached(
-            &problem,
-            1.0,
-            problem.deadline * 0.95,
-            &view,
-            1,
-            &mut cache,
-            &NullRecorder,
-        );
-        assert!(!hit, "hopeless deadline must not reuse");
-        assert!(matches!(d, WindowDecision::FinishOnDemand(_)));
+        let w1 = p
+            .plan_window(
+                &problem,
+                1.0,
+                0.0,
+                &view,
+                &mut PlanContext::new().with_cache(&mut cache),
+            )
+            .unwrap();
+        assert!(!w1.fingerprint_hit);
+        let w = p
+            .plan_window(
+                &problem,
+                1.0,
+                problem.deadline * 0.95,
+                &view,
+                &mut PlanContext::new().with_cache(&mut cache).with_window(1),
+            )
+            .unwrap();
+        assert!(!w.fingerprint_hit, "hopeless deadline must not reuse");
+        assert!(matches!(w.decision, WindowDecision::FinishOnDemand(_)));
     }
 
     #[test]
@@ -515,8 +779,8 @@ mod tests {
         let early = MarketView::from_market(&market, 0.0, 48.0);
         let late = MarketView::from_market(&market, 200.0, 48.0);
         let p = planner();
-        let d1 = p.plan_window(&problem, 1.0, 0.0, &early);
-        let d2 = p.plan_window(&problem, 1.0, 0.0, &late);
+        let d1 = plan(&p, &problem, 1.0, 0.0, &early);
+        let d2 = plan(&p, &problem, 1.0, 0.0, &late);
         // Plans may coincide on calm markets; at minimum both must be
         // valid hybrid decisions with launchable bids.
         for d in [&d1, &d2] {
@@ -524,5 +788,120 @@ mod tests {
                 assert!(dec.bid > 0.0, "group {} has nonpositive bid", g.id);
             }
         }
+    }
+
+    #[test]
+    fn invalid_fraction_is_an_error_not_a_panic() {
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let err = planner()
+            .plan_window(&problem, 0.0, 0.0, &view, &mut PlanContext::new())
+            .unwrap_err();
+        assert!(matches!(err, SompiError::InvalidFraction { .. }));
+        let err = planner()
+            .plan_window(&problem, 1.5, 0.0, &view, &mut PlanContext::new())
+            .unwrap_err();
+        assert!(matches!(err, SompiError::InvalidFraction { .. }));
+    }
+
+    #[test]
+    fn feed_gap_falls_back_to_cached_plan_without_fingerprint() {
+        use ec2_market::fault::FaultPlan;
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        // The market moved enough that a fingerprint would miss...
+        let late = MarketView::from_market(&market, 200.0, 48.0);
+        let p = planner();
+        let injector = FaultInjector::new(
+            FaultPlan {
+                seed: 5,
+                feed_gap_prob: 1.0,
+                ..FaultPlan::quiet()
+            },
+            market.horizon(),
+        );
+        let mut cache = PlanCache::default();
+        let w1 = p
+            .plan_window(
+                &problem,
+                1.0,
+                0.0,
+                &view,
+                &mut PlanContext::new().with_cache(&mut cache),
+            )
+            .unwrap();
+        assert!(matches!(w1.decision, WindowDecision::Hybrid(_)));
+        // ...yet with the feed gapped the planner reuses the last valid
+        // plan instead of re-optimizing against suspect data.
+        let w2 = p
+            .plan_window(
+                &problem,
+                0.8,
+                0.2,
+                &late,
+                &mut PlanContext::new()
+                    .with_cache(&mut cache)
+                    .with_faults(&injector)
+                    .with_window(1),
+            )
+            .unwrap();
+        assert!(w2.reused_from_cache, "feed gap should reuse the last plan");
+        assert!(!w2.fingerprint_hit, "gap reuse is not a fingerprint hit");
+        for ((g1, d1), (g2, d2)) in w1
+            .decision
+            .plan()
+            .groups
+            .iter()
+            .zip(&w2.decision.plan().groups)
+        {
+            assert_eq!(g1.id, g2.id);
+            assert_eq!(d1.bid, d2.bid);
+        }
+        // Without a cached plan a gapped window still plans best-effort
+        // from the (possibly stale) view — never a panic.
+        let mut cold = PlanCache::default();
+        let w3 = p
+            .plan_window(
+                &problem,
+                1.0,
+                0.0,
+                &late,
+                &mut PlanContext::new()
+                    .with_cache(&mut cold)
+                    .with_faults(&injector),
+            )
+            .unwrap();
+        assert!(!w3.reused_from_cache);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let p = planner();
+        let d = p.plan_window_recorded(&problem, 1.0, 0.0, &view, 0, &NullRecorder);
+        assert!(matches!(d, WindowDecision::Hybrid(_)));
+        let mut cache = PlanCache::default();
+        let (_, hit) =
+            p.plan_window_cached(&problem, 1.0, 0.0, &view, 0, &mut cache, &NullRecorder);
+        assert!(!hit);
+        let (_, hit) =
+            p.plan_window_cached(&problem, 0.9, 0.1, &view, 1, &mut cache, &NullRecorder);
+        assert!(hit);
+    }
+
+    #[test]
+    fn builder_overrides_only_what_is_asked() {
+        let cfg = AdaptiveConfig::builder()
+            .window_hours(5.0)
+            .optimizer(OptimizerConfig {
+                kappa: 3,
+                ..Default::default()
+            })
+            .build();
+        assert_eq!(cfg.window_hours, 5.0);
+        assert_eq!(cfg.history_hours, AdaptiveConfig::default().history_hours);
+        assert_eq!(cfg.optimizer.kappa, 3);
     }
 }

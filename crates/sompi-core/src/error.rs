@@ -1,0 +1,95 @@
+//! The unified error type for planner/executor/feed entry points.
+//!
+//! Hand-rolled in the `thiserror` style (dependencies are vendored):
+//! every variant carries enough context to render a useful message, and
+//! the library's public fallible APIs return `Result<_, SompiError>`
+//! instead of `Result<_, String>` or panicking on user-reachable inputs.
+
+use ec2_market::feed::FeedError;
+use std::fmt;
+
+/// Everything that can go wrong in the planning/replay pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SompiError {
+    /// The problem offers no on-demand option, so neither the baseline
+    /// nor any fallback path is defined.
+    NoOnDemandOption,
+    /// A residual/remaining work fraction outside `(0, 1]`.
+    InvalidFraction {
+        /// The offending value.
+        fraction: f64,
+    },
+    /// A plan references a circle group the market has no trace for.
+    UnknownGroup {
+        /// Display form of the missing group id.
+        group: String,
+    },
+    /// An aggregate was requested over zero outcomes.
+    NoOutcomes,
+    /// A market-feed parsing or resampling failure.
+    Feed(FeedError),
+    /// A configuration value outside its documented domain.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for SompiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SompiError::NoOnDemandOption => {
+                write!(f, "problem offers no on-demand option")
+            }
+            SompiError::InvalidFraction { fraction } => {
+                write!(f, "work fraction {fraction} outside (0, 1]")
+            }
+            SompiError::UnknownGroup { group } => {
+                write!(f, "no market trace for circle group {group}")
+            }
+            SompiError::NoOutcomes => write!(f, "no outcomes to aggregate"),
+            SompiError::Feed(e) => write!(f, "market feed: {e}"),
+            SompiError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SompiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SompiError::Feed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FeedError> for SompiError {
+    fn from(e: FeedError) -> Self {
+        SompiError::Feed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_value() {
+        let e = SompiError::InvalidFraction { fraction: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = SompiError::UnknownGroup {
+            group: "m1.small@us-east-1a".to_string(),
+        };
+        assert!(e.to_string().contains("m1.small@us-east-1a"));
+    }
+
+    #[test]
+    fn feed_errors_convert_and_chain() {
+        let e: SompiError = FeedError::Empty.into();
+        assert!(matches!(e, SompiError::Feed(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SompiError::NoOutcomes).is_none());
+    }
+}

@@ -34,6 +34,7 @@
 pub mod adaptive;
 pub mod baselines;
 pub mod cost;
+pub mod error;
 pub mod logsearch;
 pub mod model;
 pub mod ondemand;
@@ -43,15 +44,19 @@ pub mod problem;
 pub mod twolevel;
 pub mod view;
 
-pub use adaptive::{AdaptiveConfig, AdaptivePlanner, PlanCache, ViewFingerprint};
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveConfigBuilder, AdaptivePlanner, PlanCache, PlanContext, PlannedWindow,
+    ViewFingerprint, WindowDecision,
+};
 pub use cost::{evaluate, Evaluation, GroupAssessment};
+pub use error::SompiError;
 pub use logsearch::BidGrid;
 pub use model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 pub use ondemand::select_on_demand;
 pub use pareto::{collapse_bid_dominated, frontier, ParetoPoint};
 pub use phi::optimal_interval;
 pub use problem::Problem;
-pub use twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
+pub use twolevel::{OptimizedPlan, OptimizerConfig, OptimizerConfigBuilder, TwoLevelOptimizer};
 pub use view::MarketView;
 
 /// Hours, matching the substrate crates.

@@ -7,6 +7,7 @@
 //! and `R_i` (recovery overhead) — and for every instance type an
 //! [`OnDemandOption`] (`T_d`, `D_d`, `M_d`).
 
+use crate::error::SompiError;
 use crate::model::{CircleGroup, OnDemandOption};
 use crate::Hours;
 use ec2_market::instance::InstanceTypeId;
@@ -101,11 +102,22 @@ impl Problem {
 
     /// The *Baseline* of the evaluation: the on-demand execution with the
     /// minimal execution time. Its time and cost normalize every result.
+    ///
+    /// # Panics
+    /// Panics if the problem offers no on-demand option. Library entry
+    /// points reached from user input use [`Problem::try_baseline`].
     pub fn baseline(&self) -> &OnDemandOption {
+        self.try_baseline()
+            .expect("problem must offer at least one on-demand option")
+    }
+
+    /// Fallible [`Problem::baseline`]: `Err(SompiError::NoOnDemandOption)`
+    /// when the problem has no on-demand options.
+    pub fn try_baseline(&self) -> Result<&OnDemandOption, SompiError> {
         self.on_demand
             .iter()
             .min_by(|a, b| a.exec_hours.total_cmp(&b.exec_hours))
-            .expect("problem must offer at least one on-demand option")
+            .ok_or(SompiError::NoOnDemandOption)
     }
 
     /// Baseline execution time (fastest on-demand), hours.
@@ -134,12 +146,23 @@ impl Problem {
     /// the deadline replaced.
     ///
     /// # Panics
-    /// Panics if `fraction` is outside `(0, 1]`.
+    /// Panics if `fraction` is outside `(0, 1]`. Library entry points
+    /// reached from user input use [`Problem::try_residual`].
     pub fn residual(&self, fraction: f64, deadline: Hours) -> Self {
         assert!(
             fraction > 0.0 && fraction <= 1.0,
             "residual fraction must be in (0, 1]"
         );
+        self.try_residual(fraction, deadline).unwrap()
+    }
+
+    /// Fallible [`Problem::residual`]:
+    /// `Err(SompiError::InvalidFraction)` when `fraction` is outside
+    /// `(0, 1]`.
+    pub fn try_residual(&self, fraction: f64, deadline: Hours) -> Result<Self, SompiError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(SompiError::InvalidFraction { fraction });
+        }
         let mut p = self.clone();
         for c in &mut p.candidates {
             c.exec_hours *= fraction;
@@ -148,7 +171,7 @@ impl Problem {
             od.exec_hours *= fraction;
         }
         p.deadline = deadline;
-        p
+        Ok(p)
     }
 }
 
@@ -257,5 +280,23 @@ mod tests {
     #[should_panic(expected = "residual fraction")]
     fn residual_rejects_zero() {
         bt_problem().residual(0.0, 1.0);
+    }
+
+    #[test]
+    fn try_variants_return_errors_instead_of_panicking() {
+        use crate::error::SompiError;
+        let p = bt_problem();
+        assert_eq!(
+            p.try_residual(0.0, 1.0),
+            Err(SompiError::InvalidFraction { fraction: 0.0 })
+        );
+        assert_eq!(
+            p.try_residual(1.5, 1.0),
+            Err(SompiError::InvalidFraction { fraction: 1.5 })
+        );
+        assert!(p.try_baseline().is_ok());
+        let mut empty = p.clone();
+        empty.on_demand.clear();
+        assert_eq!(empty.try_baseline(), Err(SompiError::NoOnDemandOption));
     }
 }

@@ -128,6 +128,103 @@ fn default_true() -> bool {
     true
 }
 
+impl OptimizerConfig {
+    /// Start building a config from the defaults. Preferred over growing
+    /// positional constructors as knobs accumulate:
+    ///
+    /// ```
+    /// use sompi_core::OptimizerConfig;
+    ///
+    /// let cfg = OptimizerConfig::builder().kappa(2).bid_levels(3).build();
+    /// assert_eq!(cfg.kappa, 2);
+    /// assert_eq!(cfg.slack, OptimizerConfig::default().slack);
+    /// ```
+    pub fn builder() -> OptimizerConfigBuilder {
+        OptimizerConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`OptimizerConfig`]; see [`OptimizerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct OptimizerConfigBuilder {
+    config: OptimizerConfig,
+}
+
+impl OptimizerConfigBuilder {
+    /// Set κ, the maximum simultaneous circle groups.
+    pub fn kappa(mut self, kappa: usize) -> Self {
+        self.config.kappa = kappa;
+        self
+    }
+
+    /// Set the per-group bid grid cap.
+    pub fn bid_levels(mut self, levels: u32) -> Self {
+        self.config.bid_levels = levels;
+        self
+    }
+
+    /// Set the on-demand selection slack.
+    pub fn slack(mut self, slack: f64) -> Self {
+        self.config.slack = slack;
+        self
+    }
+
+    /// Set the bid grid shape.
+    pub fn grid(mut self, grid: GridKind) -> Self {
+        self.config.grid = grid;
+        self
+    }
+
+    /// Set (or clear) the above-maximum guard grid point.
+    pub fn top_margin(mut self, margin: Option<f64>) -> Self {
+        self.config.top_margin = margin;
+        self
+    }
+
+    /// Set (or clear) the Theorem-1 ablation interval grid.
+    pub fn interval_grid(mut self, grid: Option<u32>) -> Self {
+        self.config.interval_grid = grid;
+        self
+    }
+
+    /// Set (or clear) the minimum spot-success probability constraint.
+    pub fn min_spot_success(mut self, q: Option<f64>) -> Self {
+        self.config.min_spot_success = q;
+        self
+    }
+
+    /// Set the worker thread count (0 = one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Toggle the bid-collapse dominance filter.
+    pub fn prune_dominance(mut self, on: bool) -> Self {
+        self.config.prune_dominance = on;
+        self
+    }
+
+    /// Toggle branch-and-bound pruning.
+    pub fn prune_bound(mut self, on: bool) -> Self {
+        self.config.prune_bound = on;
+        self
+    }
+
+    /// Toggle the cross-worker shared incumbent bound.
+    pub fn shared_incumbent(mut self, on: bool) -> Self {
+        self.config.shared_incumbent = on;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> OptimizerConfig {
+        self.config
+    }
+}
+
 impl Default for OptimizerConfig {
     fn default() -> Self {
         Self {

@@ -223,6 +223,60 @@ pub enum Event {
         /// `"trace-horizon"`, or `"bail-out"`.
         reason: String,
     },
+    /// The fault injector fired: an adversity beyond what the price trace
+    /// implies was imposed on the run. Emitted by the replay executors at
+    /// the moment the fault takes effect.
+    FaultInjected {
+        /// Fault class: `"spot-kill-storm"`, `"ckpt-upload-failure"`,
+        /// `"ckpt-latency-spike"`, `"restore-corruption"`, or
+        /// `"feed-gap"`.
+        class: String,
+        /// Circle-group id the fault hit, if group-scoped (`None` for
+        /// feed gaps and the on-demand restore).
+        group: Option<String>,
+        /// Market-trace hour at which the fault took effect.
+        at_hours: f64,
+        /// Class-specific context: added latency hours for a spike,
+        /// window index for a feed gap, checkpoint ordinal for an upload
+        /// failure, fraction lost for a restore corruption.
+        detail: f64,
+    },
+    /// An executor retried a faulted operation under its `RetryPolicy`.
+    /// One event per retry decision, including the final give-up.
+    RetryAttempted {
+        /// Operation: `"ckpt-upload"` or `"relaunch"`.
+        op: String,
+        /// Circle-group id the retry concerns.
+        group: String,
+        /// Market-trace hour of the decision.
+        at_hours: f64,
+        /// 1-based attempt number that just failed (or, for relaunch
+        /// pacing, the incarnation being delayed).
+        attempt: u32,
+        /// Deterministic backoff applied before the next attempt, hours
+        /// (0 when giving up).
+        backoff_hours: f64,
+        /// True when the policy is exhausted and the executor degrades
+        /// instead of retrying again.
+        gave_up: bool,
+    },
+    /// An executor or the adaptive planner entered a documented degraded
+    /// mode instead of failing.
+    DegradedMode {
+        /// Mode: `"no-checkpoint"` (group lost checkpoint storage and
+        /// continues bare), `"previous-checkpoint"` (restore fell back
+        /// one checkpoint), `"stale-market-view"` (planner reused the
+        /// last valid view), or `"stale-plan"` (planner reused the cached
+        /// plan without a fingerprint match).
+        mode: String,
+        /// Circle-group id, if group-scoped.
+        group: Option<String>,
+        /// Market-trace hour the degradation began.
+        at_hours: f64,
+        /// What forced it, e.g. `"ckpt-upload-retries-exhausted"` or
+        /// `"feed-gap"`.
+        reason: String,
+    },
     /// A replayed run finished (success or not).
     RunCompleted {
         /// `"spot:<group-id>"` when a spot group finished the job,
@@ -258,6 +312,9 @@ impl Event {
             Event::GroupFailed { .. } => "GroupFailed",
             Event::CheckpointTaken { .. } => "CheckpointTaken",
             Event::OnDemandFallback { .. } => "OnDemandFallback",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::RetryAttempted { .. } => "RetryAttempted",
+            Event::DegradedMode { .. } => "DegradedMode",
             Event::RunCompleted { .. } => "RunCompleted",
         }
     }
@@ -318,6 +375,26 @@ mod tests {
                 best_cost: None,
                 phi_intervals: vec![],
                 skipped: 0,
+            },
+            Event::FaultInjected {
+                class: "ckpt-upload-failure".to_string(),
+                group: Some("g1".to_string()),
+                at_hours: 7.5,
+                detail: 2.0,
+            },
+            Event::RetryAttempted {
+                op: "ckpt-upload".to_string(),
+                group: "g1".to_string(),
+                at_hours: 7.5,
+                attempt: 2,
+                backoff_hours: 0.1,
+                gave_up: false,
+            },
+            Event::DegradedMode {
+                mode: "no-checkpoint".to_string(),
+                group: Some("g1".to_string()),
+                at_hours: 8.0,
+                reason: "ckpt-upload-retries-exhausted".to_string(),
             },
             Event::RunCompleted {
                 finisher: "spot:g1".to_string(),

@@ -235,6 +235,48 @@ impl RunReport {
                         remaining_fraction * 100.0
                     ),
                 }),
+                Event::FaultInjected {
+                    class,
+                    group,
+                    at_hours,
+                    detail,
+                } => report.timeline.push(TimelineLine {
+                    at_hours: *at_hours,
+                    text: match group {
+                        Some(g) => format!("fault injected: {class} on group {g} ({detail:.3})"),
+                        None => format!("fault injected: {class} ({detail:.3})"),
+                    },
+                }),
+                Event::RetryAttempted {
+                    op,
+                    group,
+                    at_hours,
+                    attempt,
+                    backoff_hours,
+                    gave_up,
+                } => report.timeline.push(TimelineLine {
+                    at_hours: *at_hours,
+                    text: if *gave_up {
+                        format!("{op} retries exhausted for group {group} after attempt {attempt}")
+                    } else {
+                        format!(
+                            "{op} attempt {attempt} failed for group {group}; \
+                             retrying in {backoff_hours:.3} h"
+                        )
+                    },
+                }),
+                Event::DegradedMode {
+                    mode,
+                    group,
+                    at_hours,
+                    reason,
+                } => report.timeline.push(TimelineLine {
+                    at_hours: *at_hours,
+                    text: match group {
+                        Some(g) => format!("degraded mode {mode} for group {g} ({reason})"),
+                        None => format!("degraded mode {mode} ({reason})"),
+                    },
+                }),
                 Event::RunCompleted {
                     finisher,
                     total_cost,
@@ -533,6 +575,45 @@ mod tests {
         let text = RunReport::from_events(events).render();
         assert!(text.contains("planning only"), "{text}");
         assert!(!text.contains("outcome\n-------"), "{text}");
+    }
+
+    #[test]
+    fn resilience_events_render_on_the_timeline() {
+        let events = vec![
+            Event::FaultInjected {
+                class: "spot-kill-storm".to_string(),
+                group: Some("g0".to_string()),
+                at_hours: 3.0,
+                detail: 0.0,
+            },
+            Event::RetryAttempted {
+                op: "ckpt-upload".to_string(),
+                group: "g0".to_string(),
+                at_hours: 4.0,
+                attempt: 3,
+                backoff_hours: 0.0,
+                gave_up: true,
+            },
+            Event::DegradedMode {
+                mode: "stale-market-view".to_string(),
+                group: None,
+                at_hours: 5.0,
+                reason: "feed-gap".to_string(),
+            },
+        ];
+        let text = RunReport::from_events(&events).render();
+        assert!(
+            text.contains("fault injected: spot-kill-storm on group g0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ckpt-upload retries exhausted for group g0 after attempt 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("degraded mode stale-market-view (feed-gap)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -85,7 +85,13 @@ fn main() {
         let mut met = 0;
         let n = 8;
         for i in 0..n {
-            let out = runner.run(&problem, 60.0 + i as f64 * 55.0);
+            let out = runner
+                .run(
+                    &problem,
+                    60.0 + i as f64 * 55.0,
+                    &replay::ExecContext::new(),
+                )
+                .expect("adaptive run succeeds");
             costs.push(out.run.total_cost);
             met += out.run.met_deadline as usize;
         }

@@ -58,7 +58,9 @@ fn main() {
         let mut met = 0;
         let n = 12;
         for i in 0..n {
-            let out = runner.run(&plan, 50.0 + i as f64 * 25.0);
+            let out = runner
+                .run(&plan, 50.0 + i as f64 * 25.0, &replay::ExecContext::new())
+                .expect("replay succeeds");
             total += out.total_cost;
             met += out.met_deadline as usize;
         }

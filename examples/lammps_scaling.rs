@@ -55,7 +55,10 @@ fn main() {
         let mut total = 0.0;
         let n = 10;
         for i in 0..n {
-            total += runner.run(&plan, 50.0 + 30.0 * i as f64).total_cost;
+            total += runner
+                .run(&plan, 50.0 + 30.0 * i as f64, &replay::ExecContext::new())
+                .expect("replay succeeds")
+                .total_cost;
         }
         let avg = total / n as f64;
         let mut mix: Vec<String> = plan

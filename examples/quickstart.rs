@@ -82,8 +82,9 @@ fn main() {
     let mut od_total = 0.0;
     for i in 0..5 {
         let start = 60.0 + i as f64 * 50.0;
-        let s = runner.run(&plan, start);
-        let o = runner.run(&od_plan, start);
+        let ctx = replay::ExecContext::new();
+        let s = runner.run(&plan, start, &ctx).expect("replay succeeds");
+        let o = runner.run(&od_plan, start, &ctx).expect("replay succeeds");
         sompi_total += s.total_cost;
         od_total += o.total_cost;
         println!(

@@ -53,7 +53,9 @@ fn adaptive_runs_complete_with_bounded_wall() {
     let p = problem(&market);
     let runner = AdaptiveRunner::new(&market, config(1.0));
     for start in [60.0, 120.0, 200.0] {
-        let out = runner.run(&p, start);
+        let out = runner
+            .run(&p, start, &replay::ExecContext::new())
+            .expect("adaptive run succeeds");
         assert!(out.run.total_cost > 0.0);
         // Even a disastrous run is bounded: spot attempts cut off at the
         // deadline plus one on-demand pass.
@@ -75,7 +77,9 @@ fn progress_carries_across_windows() {
     let market = shifting_market();
     let p = problem(&market);
     let runner = AdaptiveRunner::new(&market, config(0.5));
-    let out = runner.run(&p, 100.0);
+    let out = runner
+        .run(&p, 100.0, &replay::ExecContext::new())
+        .expect("adaptive run succeeds");
     assert!(
         out.windows >= 2,
         "expected multiple windows, got {}",
@@ -96,10 +100,14 @@ fn maintenance_replans_but_frozen_does_not() {
     let p = problem(&market);
     // Start just before the regime shift so re-planning has something to
     // react to.
-    let with = AdaptiveRunner::new(&market, config(0.5)).run(&p, 145.0);
+    let ctx = replay::ExecContext::new();
+    let with = AdaptiveRunner::new(&market, config(0.5))
+        .run(&p, 145.0, &ctx)
+        .expect("adaptive run succeeds");
     let frozen = AdaptiveRunner::new(&market, config(0.5))
         .without_maintenance()
-        .run(&p, 145.0);
+        .run(&p, 145.0, &ctx)
+        .expect("adaptive run succeeds");
     assert_eq!(frozen.plan_changes, 0);
     // Both still complete.
     assert!(with.run.total_cost > 0.0 && frozen.run.total_cost > 0.0);
@@ -110,7 +118,9 @@ fn hopeless_deadline_goes_straight_on_demand() {
     let market = shifting_market();
     let mut p = problem(&market);
     p.deadline = p.baseline_time() * 0.5; // impossible even on demand
-    let out = AdaptiveRunner::new(&market, config(1.0)).run(&p, 60.0);
+    let out = AdaptiveRunner::new(&market, config(1.0))
+        .run(&p, 60.0, &replay::ExecContext::new())
+        .expect("adaptive run succeeds");
     assert!(matches!(out.run.finisher, replay::Finisher::OnDemand));
     assert!(!out.run.met_deadline);
     assert_eq!(out.run.spot_cost, 0.0, "no spot gambling on a lost cause");

@@ -77,7 +77,9 @@ fn imported_feed_supports_full_planning_pipeline() {
         "spot plan expected on a cheap market"
     );
 
-    let out = PlanRunner::new(&market, problem.deadline).run(&plan, 60.0);
+    let out = PlanRunner::new(&market, problem.deadline)
+        .run(&plan, 60.0, &replay::ExecContext::new())
+        .expect("replay succeeds");
     assert!(out.total_cost > 0.0);
     assert!(out.wall_hours > 0.0);
 }

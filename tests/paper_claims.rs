@@ -61,7 +61,11 @@ fn run(m: &SpotMarket, kernel: NpbKernel, headroom: f64, s: &dyn Strategy) -> (M
         offset_max: 260.0,
         threads: 4,
     };
-    (mc.run_plan(m, &plan, p.deadline), p)
+    (
+        mc.run_plan(m, &plan, p.deadline, &replay::ExecContext::new())
+            .expect("replay succeeds"),
+        p,
+    )
 }
 
 fn sompi() -> Sompi {

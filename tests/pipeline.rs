@@ -64,8 +64,13 @@ fn sompi_beats_on_demand_in_replay() {
         offset_max: 220.0,
         threads: 4,
     };
-    let s = mc.run_plan(&m, &sompi_plan, p.deadline);
-    let o = mc.run_plan(&m, &od_plan, p.deadline);
+    let ctx = replay::ExecContext::new();
+    let s = mc
+        .run_plan(&m, &sompi_plan, p.deadline, &ctx)
+        .expect("replay succeeds");
+    let o = mc
+        .run_plan(&m, &od_plan, p.deadline, &ctx)
+        .expect("replay succeeds");
     assert!(
         s.cost.mean < 0.8 * o.cost.mean,
         "SOMPI {} vs on-demand {}",
@@ -91,8 +96,13 @@ fn replays_are_deterministic_end_to_end() {
         offset_max: 200.0,
         threads: 3,
     };
-    let a = mc.run_plan(&m, &plan, p.deadline);
-    let b = mc.run_plan(&m, &plan, p.deadline);
+    let ctx = replay::ExecContext::new();
+    let a = mc
+        .run_plan(&m, &plan, p.deadline, &ctx)
+        .expect("replay succeeds");
+    let b = mc
+        .run_plan(&m, &plan, p.deadline, &ctx)
+        .expect("replay succeeds");
     assert_eq!(a, b);
 }
 
@@ -109,7 +119,9 @@ fn every_replay_completes_the_application() {
     .plan(&p, &view);
     let runner = PlanRunner::new(&m, p.deadline);
     for i in 0..24 {
-        let out = runner.run(&plan, 50.0 + i as f64 * 8.0);
+        let out = runner
+            .run(&plan, 50.0 + i as f64 * 8.0, &replay::ExecContext::new())
+            .expect("replay succeeds");
         assert!(out.total_cost > 0.0);
         assert!(out.wall_hours > 0.0);
         match out.finisher {

@@ -136,7 +136,7 @@ proptest! {
             on_demand: od_option(),
         };
         let runner = PlanRunner::new(&market, 50.0);
-        let out = runner.run(&plan, 0.0);
+        let out = runner.run(&plan, 0.0, &replay::ExecContext::new()).unwrap();
         prop_assert!(matches!(out.finisher, replay::Finisher::Spot(_)));
         prop_assert_eq!(out.od_cost, 0.0);
         let expected_wall = g.completion_wall_hours(interval);

@@ -3,6 +3,7 @@
 //! values tied back to the returned outcome — not merely "something was
 //! recorded".
 
+use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
 use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
 use ec2_market::market::{CircleGroupId, SpotMarket};
 use ec2_market::trace::SpotTrace;
@@ -10,7 +11,7 @@ use ec2_market::tracegen::{MarketProfile, TraceGenerator};
 use ec2_market::zone::AvailabilityZone;
 use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
-use replay::{AdaptiveRunner, PlanRunner};
+use replay::{AdaptiveRunner, ExecContext, PlanRunner};
 use sompi_core::adaptive::AdaptiveConfig;
 use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use sompi_core::problem::Problem;
@@ -168,7 +169,9 @@ fn failed_run_emits_exact_timeline() {
         on_demand: od(),
     };
     let ring = RingRecorder::new(TraceLevel::Detail, 64);
-    let out = PlanRunner::new(&m, 8.0).run_recorded(&plan, 0.0, &ring);
+    let out = PlanRunner::new(&m, 8.0)
+        .run(&plan, 0.0, &ExecContext::new().with_recorder(&ring))
+        .expect("replay succeeds");
     let events = ring.take();
     let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     assert_eq!(
@@ -258,7 +261,9 @@ fn adaptive_run_emits_one_replan_per_window() {
         },
     };
     let ring = RingRecorder::new(TraceLevel::Summary, 256);
-    let out = AdaptiveRunner::new(&market, config).run_recorded(&problem, 60.0, &ring);
+    let out = AdaptiveRunner::new(&market, config)
+        .run(&problem, 60.0, &ExecContext::new().with_recorder(&ring))
+        .expect("adaptive run succeeds");
     let events = ring.take();
 
     let replans = events
@@ -305,7 +310,16 @@ fn persistent_relaunch_narrates_incarnations() {
         ckpt_interval: 1.0,
     };
     let ring = RingRecorder::new(TraceLevel::Detail, 64);
-    let out = replay::run_persistent_recorded(&m, &g, &d, &od(), 0.0, 40.0, &ring);
+    let out = replay::run_persistent(
+        &m,
+        &g,
+        &d,
+        &od(),
+        0.0,
+        40.0,
+        &ExecContext::new().with_recorder(&ring),
+    )
+    .expect("relaunch succeeds");
     let events = ring.take();
     let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     assert_eq!(
@@ -386,12 +400,129 @@ fn jsonl_round_trip_preserves_the_golden_sequence() {
     let sink = JsonlRecorder::to_writer(Box::new(Shared(buf.clone())), TraceLevel::Detail);
     let ring = RingRecorder::new(TraceLevel::Detail, 64);
     let runner = PlanRunner::new(&m, 8.0);
-    runner.run_recorded(&plan, 0.0, &sink);
-    runner.run_recorded(&plan, 0.0, &ring);
+    runner
+        .run(&plan, 0.0, &ExecContext::new().with_recorder(&sink))
+        .expect("replay succeeds");
+    runner
+        .run(&plan, 0.0, &ExecContext::new().with_recorder(&ring))
+        .expect("replay succeeds");
     sink.flush().unwrap();
     assert_eq!(sink.write_errors(), 0);
 
     let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
     let parsed = parse_jsonl(&text).expect("schema-valid");
     assert_eq!(parsed, ring.take());
+}
+
+#[test]
+fn exhausted_checkpoint_retries_emit_fault_retry_and_degraded_events() {
+    // Cheap market forever, every checkpoint upload fails: the group must
+    // narrate FaultInjected per failed attempt, RetryAttempted with
+    // deterministic backoffs, and DegradedMode("no-checkpoint") once the
+    // policy gives up.
+    let (m, id) = tiny_market(&[0.1; 48]);
+    let plan = Plan {
+        groups: vec![(
+            CircleGroup {
+                id,
+                instances: 2,
+                exec_hours: 3.0,
+                ckpt_overhead_hours: 0.0,
+                recovery_hours: 0.0,
+            },
+            GroupDecision {
+                bid: 0.2,
+                ckpt_interval: 1.0,
+            },
+        )],
+        on_demand: od(),
+    };
+    let inj = FaultInjector::new(FaultPlan::parse("ckpt-fail=1.0", 9).unwrap(), m.horizon());
+    let ring = RingRecorder::new(TraceLevel::Detail, 128);
+    let ctx = ExecContext::new()
+        .with_recorder(&ring)
+        .with_faults(&inj)
+        .with_retry(RetryPolicy::default_io());
+    let out = PlanRunner::new(&m, 20.0)
+        .run(&plan, 0.0, &ctx)
+        .expect("replay succeeds");
+    assert!(out.total_cost > 0.0);
+    let events = ring.take();
+
+    let faults: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "FaultInjected")
+        .collect();
+    assert!(!faults.is_empty());
+    let Event::FaultInjected {
+        class,
+        group,
+        at_hours,
+        detail,
+    } = faults[0]
+    else {
+        unreachable!();
+    };
+    assert_eq!(class, "ckpt-upload-failure");
+    assert_eq!(group.as_deref(), Some(id.to_string().as_str()));
+    assert!(
+        (at_hours - 1.0).abs() < 1e-9,
+        "first ckpt at t=1, got {at_hours}"
+    );
+    assert_eq!(*detail, 1.0); // checkpoint ordinal
+
+    let retries: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "RetryAttempted")
+        .collect();
+    assert!(!retries.is_empty());
+    let mut saw_gave_up = false;
+    for e in &retries {
+        let Event::RetryAttempted {
+            op,
+            group,
+            attempt,
+            backoff_hours,
+            gave_up,
+            ..
+        } = e
+        else {
+            unreachable!();
+        };
+        assert_eq!(op, "ckpt-upload");
+        assert_eq!(group, &id.to_string());
+        assert!(*attempt >= 1);
+        if *gave_up {
+            saw_gave_up = true;
+            assert_eq!(*backoff_hours, 0.0);
+        } else {
+            assert!(*backoff_hours > 0.0);
+        }
+    }
+    assert!(saw_gave_up, "retry exhaustion must be narrated");
+
+    let degraded: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "DegradedMode")
+        .collect();
+    assert_eq!(degraded.len(), 1);
+    let Event::DegradedMode {
+        mode,
+        group,
+        reason,
+        ..
+    } = degraded[0]
+    else {
+        unreachable!();
+    };
+    assert_eq!(mode, "no-checkpoint");
+    assert_eq!(group.as_deref(), Some(id.to_string().as_str()));
+    assert_eq!(reason, "ckpt-upload-retries-exhausted");
+
+    // The whole fault timeline survives a JSONL round trip.
+    let json: String = events
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap() + "\n")
+        .collect();
+    assert_eq!(parse_jsonl(&json).expect("schema-valid"), events);
 }

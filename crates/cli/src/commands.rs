@@ -39,6 +39,7 @@ const PLAN_FLAGS: &[&str] = &[
     "no-prune-dominance",
     "no-prune-bound",
     "no-shared-incumbent",
+    "no-trace-index",
 ];
 
 /// Pick the planning strategy from `--strategy`.

@@ -37,6 +37,8 @@ COMMON FLAGS:
     --no-prune-dominance / --no-prune-bound / --no-shared-incumbent
                                disable exactness-preserving search pruning stages
                                (ablation; the optimum never changes)
+    --no-trace-index           disable the sparse-table trace index used by
+                               replay queries (ablation; answers never change)
     --seed N --hours H --step H         synthetic market shape
     --feed FILE                import AWS spot price history instead
     --history H                planning history window, hours (default 48)

@@ -301,6 +301,68 @@ impl FailureEstimator {
         let n = self.prices.len();
         let samples_per_hour = (1.0 / self.step_hours).round().max(1.0) as usize;
         let horizon_samples = horizon_hours * samples_per_hour;
+
+        // Distance (in samples) from each index to the first sample at or
+        // after it (circularly) whose price strictly exceeds the bid;
+        // `u32::MAX` when the bid is never exceeded. Same two-pass backward
+        // carry as `expected_launch_delay`, so the whole precompute is O(n)
+        // — it replaces an O(horizon) probe loop *per start point*, which
+        // made `failure_rate_exact` O(n · horizon).
+        let mut dist = vec![u32::MAX; n];
+        let mut next: Option<usize> = None;
+        for _pass in 0..2 {
+            for i in (0..n).rev() {
+                if self.prices[i] > bid {
+                    next = Some(i);
+                }
+                if let Some(j) = next {
+                    let d = if j >= i { j - i } else { j + n - i };
+                    dist[i] = dist[i].min(d as u32);
+                }
+            }
+        }
+
+        let mut buckets = vec![0u64; horizon_hours];
+        let mut survived = 0u64;
+        let mut used = 0u64;
+        for s in starts {
+            if self.prices[s] > bid {
+                continue; // cannot launch here
+            }
+            used += 1;
+            // The first strictly-after-`s` sample above the bid is
+            // `dist[(s+1) % n] + 1` steps ahead — exactly the `k` the
+            // replaced linear probe found, so the integer bucket counts are
+            // bit-identical to the scan (kept below as a test reference).
+            let k = match dist[(s + 1) % n] {
+                u32::MAX => usize::MAX,
+                d => d as usize + 1,
+            };
+            if k <= horizon_samples {
+                let hour = ((k - 1) / samples_per_hour).min(horizon_hours - 1);
+                buckets[hour] += 1;
+            } else {
+                survived += 1;
+            }
+        }
+
+        Self::finish(bid, horizon_hours, buckets, survived, used)
+    }
+
+    /// The original per-start probe loop, retained verbatim as the
+    /// reference implementation the O(n) carry rewrite is differentially
+    /// tested against.
+    #[cfg(test)]
+    fn estimate_by_scan(
+        &self,
+        bid: Usd,
+        horizon_hours: usize,
+        starts: impl Iterator<Item = usize>,
+    ) -> FailureRateFn {
+        assert!(horizon_hours > 0, "horizon must be positive");
+        let n = self.prices.len();
+        let samples_per_hour = (1.0 / self.step_hours).round().max(1.0) as usize;
+        let horizon_samples = horizon_hours * samples_per_hour;
         let mut buckets = vec![0u64; horizon_hours];
         let mut survived = 0u64;
         let mut used = 0u64;
@@ -325,6 +387,16 @@ impl FailureEstimator {
             }
         }
 
+        Self::finish(bid, horizon_hours, buckets, survived, used)
+    }
+
+    fn finish(
+        bid: Usd,
+        horizon_hours: usize,
+        buckets: Vec<u64>,
+        survived: u64,
+        used: u64,
+    ) -> FailureRateFn {
         if used == 0 {
             // The bid never admits a launch; model it as immediate failure,
             // which the optimizer prices as "this circle group is useless".
@@ -480,6 +552,46 @@ mod tests {
         let f = FailureRateFn::new(0.1, buckets, survival);
         let mttf = f.mean_time_to_failure().unwrap();
         assert!((mttf - 4.0).abs() < 0.6, "mttf {mttf}");
+    }
+
+    #[test]
+    fn carry_estimate_matches_scan_reference() {
+        // The O(n) distance-carry rewrite must reproduce the original
+        // O(n·horizon) probe loop bit for bit — same integer bucket counts,
+        // so the same float divisions. Exercise generated traces (sub-hour
+        // steps, wrap-around) and degenerate hand traces at several bids.
+        let gen = crate::tracegen::TraceGenConfig::preset(
+            0.05,
+            crate::tracegen::ZoneVolatility::Volatile,
+        )
+        .generate(120.0, 1.0 / 12.0, 23);
+        let estimators = [
+            estimator(gen.samples(), 1.0 / 12.0),
+            estimator(&[0.1; 5], 1.0),
+            estimator(&[0.4], 1.0),
+            estimator(&[9.0, 9.0, 0.1, 9.0, 0.1, 0.1], 0.5),
+        ];
+        for e in &estimators {
+            let max = e.max_price();
+            for bid in [0.0, 0.05, 0.09, 0.3, max, max * 2.0] {
+                for horizon in [1usize, 7, 24, 400] {
+                    let fast = e.estimate(bid, horizon, 0..e.prices.len());
+                    let slow = e.estimate_by_scan(bid, horizon, 0..e.prices.len());
+                    assert_eq!(fast, slow, "bid {bid} horizon {horizon}");
+                }
+            }
+            // Sampled start points go through the same code path.
+            let fast = e.failure_rate_sampled(0.08, 12, 200, 5);
+            let slow = e.estimate_by_scan(0.08, 12, {
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(5);
+                let n = e.prices.len();
+                let starts: Vec<usize> = (0..200).map(|_| rng.gen_range(0..n)).collect();
+                starts.into_iter()
+            });
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod failure;
 pub mod fault;
 pub mod feed;
 pub mod histogram;
+pub mod index;
 pub mod instance;
 pub mod market;
 pub mod trace;
@@ -58,6 +59,7 @@ pub use failure::{ExpectedSpotPrice, FailureEstimator, FailureRateFn};
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy, Storm};
 pub use feed::{parse_feed, resample, traces_by_group, PriceEvent};
 pub use histogram::PriceHistogram;
+pub use index::{PrefixHistogram, TraceIndex, TraceQuery};
 pub use instance::{InstanceCatalog, InstanceType, InstanceTypeId};
 pub use market::{CircleGroupId, SpotMarket};
 pub use trace::{SpotTrace, TraceWindow};

@@ -8,14 +8,16 @@
 //! happened" (a later region of the same trace) cleanly separated.
 
 use crate::failure::FailureEstimator;
+use crate::index::{TraceIndex, TraceQuery};
 use crate::instance::{InstanceCatalog, InstanceType, InstanceTypeId};
 use crate::trace::{SpotTrace, TraceWindow};
 use crate::tracegen::TraceGenerator;
 use crate::zone::AvailabilityZone;
 use crate::Hours;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identity of a circle group's market: an instance type in a zone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -62,10 +64,19 @@ impl fmt::Display for CircleGroupId {
 /// assert_eq!(market.instance_type(id).name, "m1.small");
 /// assert_eq!(market.trace(id).unwrap().len(), 3);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpotMarket {
     catalog: InstanceCatalog,
     traces: BTreeMap<CircleGroupId, SpotTrace>,
+    /// Lazily built per-trace query indexes. `OnceLock` gives exactly-once
+    /// construction behind `&self`, so Monte-Carlo worker threads share one
+    /// immutable index per trace; the slots are derived state and are not
+    /// serialized.
+    indexes: BTreeMap<CircleGroupId, OnceLock<TraceIndex>>,
+    /// Whether [`SpotMarket::query`] serves indexed queries. Disabled by
+    /// the `--no-trace-index` ablation flag; results are bit-identical
+    /// either way (enforced by the differential suite).
+    index_enabled: bool,
 }
 
 impl SpotMarket {
@@ -74,6 +85,8 @@ impl SpotMarket {
         Self {
             catalog,
             traces: BTreeMap::new(),
+            indexes: BTreeMap::new(),
+            index_enabled: true,
         }
     }
 
@@ -104,14 +117,60 @@ impl SpotMarket {
         self.catalog.get(id.instance_type)
     }
 
-    /// Insert (or replace) a trace.
+    /// Insert (or replace) a trace. Any previously built index for the
+    /// group is dropped (it would describe the old samples).
     pub fn insert(&mut self, id: CircleGroupId, trace: SpotTrace) {
         self.traces.insert(id, trace);
+        self.indexes.insert(id, OnceLock::new());
     }
 
     /// Trace for a circle group.
     pub fn trace(&self, id: CircleGroupId) -> Option<&SpotTrace> {
         self.traces.get(&id)
+    }
+
+    /// Query surface for a circle group: the trace plus — when trace
+    /// indexing is enabled — its lazily built [`TraceIndex`]. This is what
+    /// the replay executors use for launch/death searches; answers are
+    /// bit-identical whether or not the index is enabled.
+    pub fn query(&self, id: CircleGroupId) -> Option<TraceQuery<'_>> {
+        let trace = self.traces.get(&id)?;
+        let index = if self.index_enabled {
+            self.indexes
+                .get(&id)
+                .map(|slot| slot.get_or_init(|| TraceIndex::build(trace)))
+        } else {
+            None
+        };
+        Some(TraceQuery::new(trace, index))
+    }
+
+    /// Enable or disable indexed queries (the `--no-trace-index` ablation).
+    pub fn set_trace_index_enabled(&mut self, enabled: bool) {
+        self.index_enabled = enabled;
+    }
+
+    /// Whether [`SpotMarket::query`] serves indexed queries.
+    pub fn trace_index_enabled(&self) -> bool {
+        self.index_enabled
+    }
+
+    /// Builder-style [`SpotMarket::set_trace_index_enabled`]`(false)`.
+    pub fn without_trace_index(mut self) -> Self {
+        self.index_enabled = false;
+        self
+    }
+
+    /// Force-build every group's index now. Benchmarks call this so build
+    /// cost is excluded from query timings; normal use relies on the lazy
+    /// per-group build in [`SpotMarket::query`].
+    pub fn build_indexes(&self) {
+        if !self.index_enabled {
+            return;
+        }
+        for id in self.traces.keys() {
+            self.query(*id);
+        }
     }
 
     /// All circle groups with traces, in deterministic order.
@@ -149,6 +208,34 @@ impl SpotMarket {
             .values()
             .map(SpotTrace::duration)
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+// Manual serde impls: the index slots are derived state (rebuilt lazily on
+// demand) and must not leak into the serialized shape, which stays
+// `{catalog, traces}` exactly as the old derive produced; the vendored
+// `serde_derive` has no `#[serde(skip)]`. A deserialized market comes back
+// with indexing enabled — the ablation flag is a runtime switch, not data.
+impl Serialize for SpotMarket {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("catalog".to_string(), self.catalog.to_value()),
+            ("traces".to_string(), self.traces.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SpotMarket {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let catalog = InstanceCatalog::from_value(v.field("catalog"))?;
+        let traces = BTreeMap::<CircleGroupId, SpotTrace>::from_value(v.field("traces"))?;
+        let indexes = traces.keys().map(|id| (*id, OnceLock::new())).collect();
+        Ok(Self {
+            catalog,
+            traces,
+            indexes,
+            index_enabled: true,
+        })
     }
 }
 
@@ -199,6 +286,56 @@ mod tests {
         for id in m.groups().collect::<Vec<_>>() {
             let ty = m.instance_type(id);
             assert!(ty.cores >= 1);
+        }
+    }
+
+    #[test]
+    fn query_is_indexed_only_when_enabled() {
+        let mut m = paper_market();
+        let id = m.groups().next().unwrap();
+        assert!(m.trace_index_enabled());
+        assert!(m.query(id).unwrap().indexed());
+        m.set_trace_index_enabled(false);
+        assert!(!m.query(id).unwrap().indexed());
+        let m = m.without_trace_index();
+        assert!(!m.query(id).unwrap().indexed());
+    }
+
+    #[test]
+    fn indexed_and_naive_queries_agree_on_generated_market() {
+        let m = paper_market();
+        let plain = m.clone().without_trace_index();
+        m.build_indexes();
+        for id in m.groups().collect::<Vec<_>>() {
+            let qi = m.query(id).unwrap();
+            let qn = plain.query(id).unwrap();
+            assert!(qi.indexed() && !qn.indexed());
+            for k in 0..40 {
+                let start = k as f64 * 2.37;
+                let bid = qi.min_price() + (qi.max_price() - qi.min_price()) * (k as f64 / 40.0);
+                assert_eq!(
+                    qi.first_passage_above(start, bid),
+                    qn.first_passage_above(start, bid)
+                );
+                assert_eq!(
+                    qi.launch_time(start, bid, start + 30.0),
+                    qn.launch_time(start, bid, start + 30.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_skips_index_state() {
+        let m = paper_market();
+        m.build_indexes();
+        let v = m.to_value();
+        assert!(v.get("indexes").is_none() && v.get("index_enabled").is_none());
+        let back = SpotMarket::from_value(&v).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert!(back.trace_index_enabled());
+        for id in m.groups().collect::<Vec<_>>() {
+            assert_eq!(back.trace(id), m.trace(id));
         }
     }
 

@@ -8,15 +8,27 @@
 //! interchangeable.
 
 use crate::{Hours, Usd};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A uniformly sampled spot price time series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpotTrace {
     /// Sampling step in hours (e.g. `1.0 / 12.0` for 5-minute resolution).
     step_hours: Hours,
     /// Price at sample `i`, valid over `[i*step, (i+1)*step)`.
     prices: Vec<Usd>,
+    /// Cached `(max, min)` over `prices`, maintained by the constructor and
+    /// [`SpotTrace::extend_from`]. Bit-identical to the folds it replaces:
+    /// `f64::max`/`f64::min` over finite values always return one of their
+    /// arguments, so incremental updates equal a full left-fold recompute.
+    extrema: (Usd, Usd),
+}
+
+fn fold_extrema(prices: &[Usd]) -> (Usd, Usd) {
+    (
+        prices.iter().cloned().fold(0.0, f64::max),
+        prices.iter().cloned().fold(f64::INFINITY, f64::min),
+    )
 }
 
 impl SpotTrace {
@@ -32,7 +44,12 @@ impl SpotTrace {
             prices.iter().all(|p| p.is_finite() && *p >= 0.0),
             "prices must be finite and non-negative"
         );
-        Self { step_hours, prices }
+        let extrema = fold_extrema(&prices);
+        Self {
+            step_hours,
+            prices,
+            extrema,
+        }
     }
 
     /// Sampling step in hours.
@@ -80,14 +97,15 @@ impl SpotTrace {
     }
 
     /// Maximum price in the trace — the paper's `H_i`, the upper end of the
-    /// bid-price search range for this circle group.
+    /// bid-price search range for this circle group. O(1): cached at
+    /// construction.
     pub fn max_price(&self) -> Usd {
-        self.prices.iter().cloned().fold(0.0, f64::max)
+        self.extrema.0
     }
 
-    /// Minimum price in the trace.
+    /// Minimum price in the trace. O(1): cached at construction.
     pub fn min_price(&self) -> Usd {
-        self.prices.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.extrema.1
     }
 
     /// Arithmetic mean price.
@@ -124,6 +142,34 @@ impl SpotTrace {
             .map(|t| t.max(start))
     }
 
+    /// Launch-search twin of [`SpotTrace::first_passage_above`]: the
+    /// earliest time `>= start` at which the price is at or below `bid`,
+    /// searching sample boundaries only, or `None` if that time would fall
+    /// at or past `cutoff` (or past the end of the trace).
+    ///
+    /// A request launched at `start` starts immediately if the sample
+    /// containing `start` is already affordable; otherwise the price can
+    /// only change at the next sample boundary `i * step`, so boundaries
+    /// are the only candidate launch times. This replaces the executors'
+    /// old `t += step` probe loops: stepping from an arbitrary float
+    /// `start` accumulates rounding drift, while boundary times are
+    /// computed directly as `i as f64 * step` — the same arithmetic form
+    /// the indexed search uses, so both paths agree bit for bit.
+    pub fn first_time_at_or_below(&self, start: Hours, bid: Usd, cutoff: Hours) -> Option<Hours> {
+        if start >= cutoff || start >= self.duration() {
+            return None;
+        }
+        let lo = self.index_at(start);
+        if self.prices[lo] <= bid {
+            return Some(start);
+        }
+        self.prices[lo + 1..]
+            .iter()
+            .position(|&p| p <= bid)
+            .map(|off| (lo + 1 + off) as f64 * self.step_hours)
+            .filter(|&t| t < cutoff)
+    }
+
     /// Concatenate another trace (same step) onto this one. Used by the
     /// adaptive algorithm to extend the known history window by window.
     pub fn extend_from(&mut self, other: &SpotTrace) {
@@ -132,6 +178,39 @@ impl SpotTrace {
             "cannot concatenate traces with different steps"
         );
         self.prices.extend_from_slice(&other.prices);
+        self.extrema = (
+            self.extrema.0.max(other.extrema.0),
+            self.extrema.1.min(other.extrema.1),
+        );
+    }
+}
+
+// Manual serde impls: the cached extrema are derived state and must not
+// change the serialized shape (`{step_hours, prices}`), and the vendored
+// `serde_derive` has no `#[serde(skip)]`.
+impl Serialize for SpotTrace {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("step_hours".to_string(), self.step_hours.to_value()),
+            ("prices".to_string(), self.prices.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SpotTrace {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let step_hours = f64::from_value(v.field("step_hours"))?;
+        let prices = Vec::<Usd>::from_value(v.field("prices"))?;
+        if step_hours.is_nan() || step_hours <= 0.0 {
+            return Err(DeError::msg("trace step must be positive"));
+        }
+        if prices.is_empty() {
+            return Err(DeError::msg("trace must contain at least one sample"));
+        }
+        if !prices.iter().all(|p| p.is_finite() && *p >= 0.0) {
+            return Err(DeError::msg("trace prices must be finite and non-negative"));
+        }
+        Ok(SpotTrace::new(step_hours, prices))
     }
 }
 
@@ -268,6 +347,44 @@ mod tests {
         let mut a = t(&[1.0]);
         a.extend_from(&t(&[2.0, 3.0]));
         assert_eq!(a.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn extend_updates_cached_extrema() {
+        let mut a = t(&[0.5]);
+        a.extend_from(&t(&[0.9, 0.2]));
+        assert_eq!(a.max_price(), 0.9);
+        assert_eq!(a.min_price(), 0.2);
+        assert_eq!((a.max_price(), a.min_price()), {
+            let full = t(&[0.5, 0.9, 0.2]);
+            (full.max_price(), full.min_price())
+        });
+    }
+
+    #[test]
+    fn launch_search_uses_boundary_semantics() {
+        let tr = t(&[0.9, 0.9, 0.1, 0.9]); // step 0.5
+                                           // Already affordable at start: launch immediately.
+        assert_eq!(tr.first_time_at_or_below(0.0, 1.0, 99.0), Some(0.0));
+        // Affordable first at sample 2: launch at the boundary 1.0, even
+        // from a fractional start inside sample 0.
+        assert_eq!(tr.first_time_at_or_below(0.2, 0.5, 99.0), Some(1.0));
+        // Cutoff excludes the boundary (strictly-before semantics).
+        assert_eq!(tr.first_time_at_or_below(0.2, 0.5, 1.0), None);
+        // Start at or past the end never launches.
+        assert_eq!(tr.first_time_at_or_below(2.0, 1.0, 99.0), None);
+        // Never affordable within the trace.
+        assert_eq!(tr.first_time_at_or_below(0.0, 0.05, 99.0), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_skips_cached_extrema() {
+        let tr = t(&[0.1, 0.9]);
+        let v = tr.to_value();
+        assert!(v.get("extrema").is_none(), "cache must not be serialized");
+        let back = SpotTrace::from_value(&v).unwrap();
+        assert_eq!(back, tr);
+        assert!(SpotTrace::from_value(&Value::Obj(vec![])).is_err());
     }
 
     #[test]

@@ -365,28 +365,24 @@ impl<'a> PlanRunner<'a> {
         // Phase 1: per-group lifecycle ignoring the winner rule.
         let mut runs: Vec<GroupRun> = Vec::with_capacity(plan.groups.len());
         for (group, decision) in &plan.groups {
-            let trace = self
+            let query = self
                 .market
-                .trace(group.id)
+                .query(group.id)
                 .ok_or_else(|| SompiError::UnknownGroup {
                     group: group.id.to_string(),
                 })?;
+            let trace = query.trace();
 
             // Launch: wait until the price is at or below the bid —
-            // unless the group was carried over already running.
-            let mut launch = None;
-            if carried {
-                launch = Some(start);
+            // unless the group was carried over already running. The query
+            // walks the trace index (O(log n)) when indexing is enabled,
+            // and the boundary-search fallback otherwise; both return the
+            // same launch times bit for bit.
+            let launch = if carried {
+                Some(start)
             } else {
-                let mut t = start;
-                while t < cutoff && t < trace.duration() {
-                    if trace.price_at(t) <= decision.bid {
-                        launch = Some(t);
-                        break;
-                    }
-                    t += trace.step_hours();
-                }
-            }
+                query.launch_time(start, decision.bid, cutoff)
+            };
             let Some(launch_t) = launch else {
                 runs.push(GroupRun {
                     launch: None,
@@ -404,7 +400,7 @@ impl<'a> PlanRunner<'a> {
 
             // Death: first passage above the bid after launch — or an
             // injected kill storm, whichever reclaims the group first.
-            let price_death = trace
+            let price_death = query
                 .first_passage_above(launch_t, decision.bid)
                 .unwrap_or(f64::INFINITY);
             let storm_death = ctx

@@ -5,9 +5,16 @@
 //! threads with crossbeam's scoped threads; results are deterministic for
 //! a (seed, replica-count) pair regardless of thread count, because each
 //! replica's start offset derives only from the seed and its index.
+//!
+//! Aggregation streams: replicas are folded into per-chunk
+//! [`McAccumulator`]s and chunk partials merged in chunk-index order, so
+//! peak memory is O(number of chunks) — bounded by [`MAX_CHUNKS`] — rather
+//! than O(replicas). Chunk boundaries depend only on the replica count
+//! (never on the thread count), which keeps the merged result bit-identical
+//! at any `threads` setting.
 
 use crate::exec::{ExecContext, Finisher, PlanRunner, RunOutcome};
-use crate::stats::Summary;
+use crate::stats::{StreamingSummary, Summary};
 use crate::Hours;
 use ec2_market::market::SpotMarket;
 use rand::rngs::StdRng;
@@ -32,26 +39,91 @@ pub struct McResult {
 }
 
 impl McResult {
-    /// Build from raw outcomes. `Err(SompiError::NoOutcomes)` when
+    /// Build from raw outcomes in a single pass (no intermediate metric
+    /// vectors). Folds the slice through the same fixed chunking as
+    /// [`MonteCarlo::evaluate`], so for identical outcome sequences the two
+    /// paths agree bit-for-bit. `Err(SompiError::NoOutcomes)` when
     /// `outcomes` is empty — there is no meaningful aggregate of zero
     /// replicas.
     pub fn from_outcomes(outcomes: &[RunOutcome]) -> Result<Self, SompiError> {
         if outcomes.is_empty() {
             return Err(SompiError::NoOutcomes);
         }
-        let costs: Vec<f64> = outcomes.iter().map(|o| o.total_cost).collect();
-        let times: Vec<f64> = outcomes.iter().map(|o| o.wall_hours).collect();
-        let n = outcomes.len() as f64;
-        Ok(Self {
-            cost: Summary::of(&costs),
-            time: Summary::of(&times),
-            deadline_rate: outcomes.iter().filter(|o| o.met_deadline).count() as f64 / n,
-            spot_finish_rate: outcomes
-                .iter()
-                .filter(|o| matches!(o.finisher, Finisher::Spot(_)))
-                .count() as f64
-                / n,
-            mean_failures: outcomes.iter().map(|o| o.groups_failed as f64).sum::<f64>() / n,
+        let mut merged = McAccumulator::new();
+        for block in outcomes.chunks(chunk_size(outcomes.len())) {
+            let mut part = McAccumulator::new();
+            for o in block {
+                part.push(o);
+            }
+            merged.merge(&part);
+        }
+        merged.finish()
+    }
+}
+
+/// Smallest chunk a replica range is split into for streaming aggregation.
+const MIN_CHUNK: usize = 64;
+
+/// Upper bound on the number of chunk partials held at once — this, not the
+/// replica count, bounds the aggregation's peak memory.
+pub const MAX_CHUNKS: usize = 4096;
+
+/// Replicas per chunk. Depends only on the replica count, so the chunk
+/// boundaries — and therefore the merged floating-point result — are
+/// identical at every thread count.
+fn chunk_size(replicas: usize) -> usize {
+    MIN_CHUNK.max(replicas.div_ceil(MAX_CHUNKS))
+}
+
+/// Streaming aggregate of [`RunOutcome`]s: two [`StreamingSummary`] scalar
+/// accumulators plus exact integer counters. Merge partials in a fixed
+/// order (ascending chunk index) for deterministic results.
+#[derive(Debug, Clone, Default)]
+pub struct McAccumulator {
+    cost: StreamingSummary,
+    time: StreamingSummary,
+    met_deadline: u64,
+    spot_finish: u64,
+    failures: u64,
+}
+
+impl McAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one replica outcome in.
+    pub fn push(&mut self, o: &RunOutcome) {
+        self.cost.push(o.total_cost);
+        self.time.push(o.wall_hours);
+        self.met_deadline += u64::from(o.met_deadline);
+        self.spot_finish += u64::from(matches!(o.finisher, Finisher::Spot(_)));
+        self.failures += u64::from(o.groups_failed);
+    }
+
+    /// Merge another partial in.
+    pub fn merge(&mut self, other: &Self) {
+        self.cost.merge(&other.cost);
+        self.time.merge(&other.time);
+        self.met_deadline += other.met_deadline;
+        self.spot_finish += other.spot_finish;
+        self.failures += other.failures;
+    }
+
+    /// Finish into an [`McResult`]; `Err(SompiError::NoOutcomes)` when no
+    /// outcomes were accumulated.
+    pub fn finish(&self) -> Result<McResult, SompiError> {
+        if self.cost.count() == 0 {
+            return Err(SompiError::NoOutcomes);
+        }
+        let n = self.cost.count() as f64;
+        Ok(McResult {
+            cost: self.cost.summary(),
+            time: self.time.summary(),
+            deadline_rate: self.met_deadline as f64 / n,
+            spot_finish_rate: self.spot_finish as f64 / n,
+            mean_failures: self.failures as f64 / n,
         })
     }
 }
@@ -157,7 +229,14 @@ impl MonteCarlo {
         rng.gen_range(self.offset_min..self.offset_max)
     }
 
-    /// Run `f(start_offset)` for every replica in parallel and aggregate.
+    /// Run `f(start_offset)` for every replica in parallel and aggregate
+    /// by streaming: each worker folds whole chunks of replicas into
+    /// [`McAccumulator`] partials (never materializing per-replica
+    /// outcomes), and the partials merge in ascending chunk order. Chunk
+    /// boundaries depend only on the replica count, so the result is
+    /// bit-identical at every `threads` setting and peak memory is bounded
+    /// by [`MAX_CHUNKS`] partials regardless of the replica count.
+    ///
     /// `f` must be deterministic in the offset. The first replica error
     /// (in replica order, independent of thread count) aborts the
     /// aggregate; an empty or inverted configuration is
@@ -183,32 +262,63 @@ impl MonteCarlo {
         } else {
             self.threads
         };
-        let outcomes: Result<Vec<RunOutcome>, SompiError> = if threads <= 1 {
-            (0..self.replicas).map(|i| f(self.offset(i))).collect()
-        } else {
-            let chunk = self.replicas.div_ceil(threads);
-            let mut results: Vec<Vec<Result<RunOutcome, SompiError>>> = Vec::new();
-            crossbeam::thread::scope(|s| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(self.replicas);
-                    if lo >= hi {
-                        break;
-                    }
-                    let f = &f;
-                    handles.push(
-                        s.spawn(move |_| (lo..hi).map(|i| f(self.offset(i))).collect::<Vec<_>>()),
-                    );
+        let chunk = chunk_size(self.replicas);
+        let n_chunks = self.replicas.div_ceil(chunk);
+        // Fold one chunk of consecutive replicas; stops at the chunk's
+        // first replica error.
+        let run_chunk = |c: usize| -> Result<McAccumulator, SompiError> {
+            let hi = ((c + 1) * chunk).min(self.replicas);
+            let mut acc = McAccumulator::new();
+            for i in c * chunk..hi {
+                acc.push(&f(self.offset(i))?);
+            }
+            Ok(acc)
+        };
+        // One slot per chunk, filled by whichever worker ran it. A worker
+        // abandons its remaining (higher-index) chunks after an error —
+        // those can never beat the error it already holds.
+        let mut parts: Vec<Option<Result<McAccumulator, SompiError>>> =
+            (0..n_chunks).map(|_| None).collect();
+        if threads <= 1 {
+            for (c, slot) in parts.iter_mut().enumerate() {
+                let part = run_chunk(c);
+                let failed = part.is_err();
+                *slot = Some(part);
+                if failed {
+                    break;
                 }
-                for h in handles {
-                    results.push(h.join().expect("MC worker panicked"));
+            }
+        } else {
+            let per_worker = n_chunks.div_ceil(threads.min(n_chunks));
+            crossbeam::thread::scope(|s| {
+                for (w, slots) in parts.chunks_mut(per_worker).enumerate() {
+                    let run_chunk = &run_chunk;
+                    s.spawn(move |_| {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let part = run_chunk(w * per_worker + off);
+                            let failed = part.is_err();
+                            *slot = Some(part);
+                            if failed {
+                                break;
+                            }
+                        }
+                    });
                 }
             })
             .expect("crossbeam scope failed");
-            results.into_iter().flatten().collect()
-        };
-        McResult::from_outcomes(&outcomes?)
+        }
+        // Deterministic merge: ascending chunk index. The first error in
+        // chunk order is the lowest-replica-index error, because each
+        // worker fills its slots in order and stops at its first failure.
+        let mut merged = McAccumulator::new();
+        for part in parts {
+            match part {
+                Some(Ok(acc)) => merged.merge(&acc),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("unfilled chunk slot before the first error"),
+            }
+        }
+        merged.finish()
     }
 
     /// Convenience: Monte-Carlo over a static plan via [`PlanRunner`].
@@ -295,8 +405,66 @@ mod tests {
     }
 
     #[test]
+    fn multi_chunk_streaming_is_deterministic_across_thread_counts() {
+        // 200 replicas split into ceil(200/64) = 4 chunk partials, so this
+        // exercises the fixed-order merge (unlike the 64-replica test,
+        // which fits one chunk).
+        let m = market(61);
+        let plan = simple_plan(&m);
+        let base = MonteCarlo {
+            replicas: 200,
+            seed: 11,
+            offset_min: 48.0,
+            offset_max: 250.0,
+            threads: 1,
+        };
+        let seq = run(&base, &m, &plan, 3.0);
+        let par = run(&MonteCarlo { threads: 3, ..base }, &m, &plan, 3.0);
+        let all = run(&MonteCarlo { threads: 0, ..base }, &m, &plan, 3.0);
+        assert_eq!(seq, par);
+        assert_eq!(seq, all);
+    }
+
+    #[test]
+    fn from_outcomes_matches_streaming_evaluate() {
+        // Both paths fold through the same chunking, so the aggregates are
+        // bit-identical for identical outcome sequences.
+        let m = market(67);
+        let plan = simple_plan(&m);
+        let mc = MonteCarlo::builder()
+            .replicas(150)
+            .seed(4)
+            .offsets(48.0, 250.0)
+            .threads(1)
+            .build();
+        let runner = PlanRunner::new(&m, 3.0);
+        let ctx = ExecContext::new();
+        let collected = std::sync::Mutex::new(Vec::new());
+        let streamed = mc
+            .evaluate(|start| {
+                let o = runner.run(&plan, start, &ctx)?;
+                collected.lock().unwrap().push(o);
+                Ok(o)
+            })
+            .unwrap();
+        let outcomes = collected.into_inner().unwrap();
+        assert_eq!(outcomes.len(), 150);
+        assert_eq!(McResult::from_outcomes(&outcomes).unwrap(), streamed);
+    }
+
+    #[test]
+    fn chunking_is_bounded_and_thread_independent() {
+        assert_eq!(chunk_size(1), MIN_CHUNK);
+        assert_eq!(chunk_size(64), MIN_CHUNK);
+        let million = chunk_size(1_000_000);
+        assert_eq!(million, 245);
+        assert!(1_000_000usize.div_ceil(million) <= MAX_CHUNKS);
+    }
+
+    #[test]
     fn empty_outcomes_aggregate_to_error() {
         assert_eq!(McResult::from_outcomes(&[]), Err(SompiError::NoOutcomes));
+        assert_eq!(McAccumulator::new().finish(), Err(SompiError::NoOutcomes));
     }
 
     #[test]

@@ -70,11 +70,12 @@ pub fn run_persistent(
 ) -> Result<RelaunchOutcome, SompiError> {
     let recorder = ctx.recorder;
     let billing = BillingModel::hourly();
-    let trace = market
-        .trace(group.id)
+    let query = market
+        .query(group.id)
         .ok_or_else(|| SompiError::UnknownGroup {
             group: group.id.to_string(),
         })?;
+    let trace = query.trace();
     let interval = decision.ckpt_interval.min(group.exec_hours);
     let ckpt_on = interval < group.exec_hours;
     let o = group.ckpt_overhead_hours;
@@ -116,15 +117,7 @@ pub fn run_persistent(
         }
 
         // Wait for a launchable price (bounded by the bail-out guard).
-        let mut launch = None;
-        let mut t = now;
-        while t < latest_od_start && t < trace.duration() {
-            if trace.price_at(t) <= decision.bid {
-                launch = Some(t);
-                break;
-            }
-            t += trace.step_hours();
-        }
+        let launch = query.launch_time(now, decision.bid, latest_od_start);
         let Some(mut launch_t) = launch else {
             now = latest_od_start;
             continue; // guard fires next iteration
@@ -160,7 +153,7 @@ pub fn run_persistent(
             }
         }
 
-        let price_death = trace
+        let price_death = query
             .first_passage_above(launch_t, decision.bid)
             .unwrap_or(f64::INFINITY);
         let storm_death = ctx

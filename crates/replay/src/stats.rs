@@ -1,6 +1,21 @@
 //! Summary statistics for Monte-Carlo experiment results.
+//!
+//! Two ways to build a [`Summary`]:
+//!
+//! * [`Summary::of`] — exact, sort-based, needs the whole sample in memory;
+//! * [`StreamingSummary`] — O(1)-memory accumulator with a deterministic
+//!   merge, used by the Monte-Carlo driver so peak memory no longer scales
+//!   with the replica count. Moments use Welford's update and Chan's
+//!   pairwise merge; replicas are folded in fixed-size chunks and chunks
+//!   merged in index order, so the result is bit-identical at any thread
+//!   count (the chunking depends only on the sample size). `min`/`max` and
+//!   all counters are exact; `median`/`p95` come from a log₂-quantized
+//!   histogram (256 sub-bins per octave, ≲0.4% relative quantization
+//!   error), clamped to the exact `[min, max]` — a documented
+//!   approximation, adequate for the dispersion read-outs they feed.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Summary of a sample of scalar outcomes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -75,6 +90,179 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// Number of leading `f64` bits (sign + exponent + 8 mantissa bits) kept as
+/// the histogram bucket key; 256 sub-bins per octave.
+const BUCKET_SHIFT: u32 = 44;
+
+/// Bucket key for a non-negative finite value. Monotone in the value, so
+/// cumulative bucket counts give rank bounds.
+fn bucket_of(v: f64) -> u32 {
+    if v <= 0.0 {
+        0
+    } else {
+        (v.to_bits() >> BUCKET_SHIFT) as u32
+    }
+}
+
+/// Half-open value range `[lo, hi)` covered by a bucket key.
+fn bucket_bounds(key: u32) -> (f64, f64) {
+    let lo = if key == 0 {
+        0.0
+    } else {
+        f64::from_bits((key as u64) << BUCKET_SHIFT)
+    };
+    let hi = f64::from_bits(((key as u64) + 1) << BUCKET_SHIFT);
+    (lo, hi)
+}
+
+/// Log₂-quantized counting histogram for quantile estimates. Bucket counts
+/// are integers, so merging is exactly commutative and associative — the
+/// result is independent of merge order and thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct QuantileHistogram {
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl QuantileHistogram {
+    fn push(&mut self, v: f64) {
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (&key, &count) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += count;
+        }
+    }
+
+    /// Value at integer rank `r` (0-based), interpolated linearly inside the
+    /// bucket that contains the rank.
+    fn value_at_rank(&self, r: u64) -> f64 {
+        let mut before = 0u64;
+        for (&key, &count) in &self.buckets {
+            if r < before + count {
+                let (lo, hi) = bucket_bounds(key);
+                let frac = (r - before) as f64 + 0.5;
+                return lo + (hi - lo) * (frac / count as f64);
+            }
+            before += count;
+        }
+        // Ranks are always < total count; fall back to the top bucket edge.
+        f64::NAN
+    }
+
+    /// Approximate `q`-quantile of `n` accumulated values, clamped to the
+    /// exact observed `[min, max]`.
+    fn quantile(&self, q: f64, n: u64, min: f64, max: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&q) && n > 0);
+        if n == 1 {
+            return min;
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as u64;
+        let hi = pos.ceil() as u64;
+        let frac = pos - lo as f64;
+        let v = self.value_at_rank(lo) * (1.0 - frac) + self.value_at_rank(hi) * frac;
+        v.clamp(min, max)
+    }
+}
+
+/// Streaming scalar accumulator: exact count/mean/variance/min/max plus a
+/// quantized histogram for quantiles. See the module docs for the
+/// determinism and accuracy contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSummary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    hist: QuantileHistogram,
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingSummary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: QuantileHistogram::default(),
+        }
+    }
+
+    /// Number of values accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Fold one value in (Welford's update).
+    ///
+    /// # Panics
+    /// Panics on non-finite values, matching [`Summary::of`].
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "sample contains non-finite values");
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.hist.push(v);
+    }
+
+    /// Merge another accumulator in (Chan's pairwise update). Callers must
+    /// merge partials in a fixed order for bit-identical results.
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / n);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / n);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Finish into a [`Summary`].
+    ///
+    /// # Panics
+    /// Panics if no values were accumulated.
+    pub fn summary(&self) -> Summary {
+        assert!(self.n > 0, "cannot summarize an empty sample");
+        let var = if self.n > 1 {
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        } else {
+            0.0
+        };
+        Summary {
+            n: self.n as usize,
+            mean: self.mean,
+            std_dev: var.sqrt(),
+            min: self.min,
+            max: self.max,
+            median: self.hist.quantile(0.50, self.n, self.min, self.max),
+            p95: self.hist.quantile(0.95, self.n, self.min, self.max),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +317,115 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn nan_rejected() {
         Summary::of(&[1.0, f64::NAN]);
+    }
+
+    fn sample(n: usize) -> Vec<f64> {
+        // Deterministic spread over ~3 orders of magnitude.
+        (0..n)
+            .map(|i| 0.07 + (i as f64 * 0.613).sin().abs() * 40.0 + (i % 13) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_exact_moments_and_extrema() {
+        let vals = sample(500);
+        let exact = Summary::of(&vals);
+        let mut acc = StreamingSummary::new();
+        for &v in &vals {
+            acc.push(v);
+        }
+        let s = acc.summary();
+        assert_eq!(s.n, exact.n);
+        assert_eq!(s.min, exact.min);
+        assert_eq!(s.max, exact.max);
+        assert!((s.mean - exact.mean).abs() < 1e-9 * exact.mean.abs());
+        assert!((s.std_dev - exact.std_dev).abs() < 1e-9 * exact.std_dev.abs());
+    }
+
+    #[test]
+    fn streaming_quantiles_within_bucket_tolerance() {
+        let vals = sample(2000);
+        let exact = Summary::of(&vals);
+        let mut acc = StreamingSummary::new();
+        for &v in &vals {
+            acc.push(v);
+        }
+        let s = acc.summary();
+        // One log2 bucket spans a relative width of 2^-8 ≈ 0.4%; allow a
+        // little slack for the cross-rank interpolation.
+        assert!((s.median - exact.median).abs() < 0.01 * exact.median.abs());
+        assert!((s.p95 - exact.p95).abs() < 0.01 * exact.p95.abs());
+        assert!(s.median >= s.min && s.p95 <= s.max);
+    }
+
+    #[test]
+    fn streaming_chunked_merge_is_bit_identical_to_itself() {
+        // The determinism contract: identical chunk boundaries merged in
+        // index order give bit-identical results however the partials were
+        // produced.
+        let vals = sample(777);
+        let fold = |chunk: usize| {
+            let mut merged = StreamingSummary::new();
+            for c in vals.chunks(chunk) {
+                let mut part = StreamingSummary::new();
+                for &v in c {
+                    part.push(v);
+                }
+                merged.merge(&part);
+            }
+            merged.summary()
+        };
+        assert_eq!(fold(64), fold(64));
+        // Different chunkings agree to float tolerance (not necessarily
+        // bit-identical — that is why evaluate() fixes the chunk size).
+        let a = fold(64);
+        let b = fold(13);
+        assert!((a.mean - b.mean).abs() < 1e-9 * a.mean.abs());
+    }
+
+    #[test]
+    fn streaming_constant_sample_is_exact() {
+        let mut acc = StreamingSummary::new();
+        for _ in 0..100 {
+            acc.push(3.25);
+        }
+        let s = acc.summary();
+        assert_eq!(s.mean, 3.25);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.25);
+        assert_eq!(s.p95, 3.25);
+    }
+
+    #[test]
+    fn streaming_single_and_zero_values() {
+        let mut acc = StreamingSummary::new();
+        acc.push(7.0);
+        let s = acc.summary();
+        assert_eq!((s.n, s.mean, s.median, s.p95), (1, 7.0, 7.0, 7.0));
+
+        let mut zeros = StreamingSummary::new();
+        zeros.push(0.0);
+        zeros.push(0.0);
+        let z = zeros.summary();
+        assert_eq!((z.min, z.max, z.median), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn streaming_merge_with_empty_is_identity() {
+        let mut acc = StreamingSummary::new();
+        acc.push(1.0);
+        acc.push(2.0);
+        let before = acc.clone();
+        acc.merge(&StreamingSummary::new());
+        assert_eq!(acc, before);
+        let mut empty = StreamingSummary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn streaming_empty_summary_panics() {
+        StreamingSummary::new().summary();
     }
 }

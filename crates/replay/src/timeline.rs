@@ -94,23 +94,15 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
     let mut walks: Vec<G> = Vec::new();
 
     for (group, decision) in &plan.groups {
-        let trace = market
-            .trace(group.id)
+        let query = market
+            .query(group.id)
             .expect("plan group must have a trace");
         let interval = decision.ckpt_interval.min(group.exec_hours);
         let ckpt_on = interval < group.exec_hours;
         let o = group.ckpt_overhead_hours;
 
-        // Launch.
-        let mut t = start;
-        let mut launch = None;
-        while t < cutoff && t < trace.duration() {
-            if trace.price_at(t) <= decision.bid {
-                launch = Some(t);
-                break;
-            }
-            t += trace.step_hours();
-        }
+        // Launch (indexed when enabled; bit-identical either way).
+        let launch = query.launch_time(start, decision.bid, cutoff);
         let Some(launch_t) = launch else {
             walks.push(G {
                 id: group.id,
@@ -126,7 +118,7 @@ pub fn timeline(market: &SpotMarket, plan: &Plan, start: Hours, deadline: Hours)
             at: launch_t,
         });
 
-        let death = trace
+        let death = query
             .first_passage_above(launch_t, decision.bid)
             .unwrap_or(f64::INFINITY);
         let n_ckpt = if ckpt_on {

@@ -3,6 +3,8 @@
 
 use ec2_market::billing::{BillingModel, Termination};
 use ec2_market::failure::FailureEstimator;
+use ec2_market::histogram::PriceHistogram;
+use ec2_market::index::{TraceIndex, TraceQuery};
 use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
 use ec2_market::market::{CircleGroupId, SpotMarket};
 use ec2_market::trace::SpotTrace;
@@ -144,6 +146,46 @@ proptest! {
         prop_assert!(out.spot_cost > 0.0);
     }
 
+    /// Indexed trace queries are bit-identical to the naive scans for
+    /// arbitrary traces, bids, starts and cutoffs — the exactness contract
+    /// of the `--no-trace-index` ablation.
+    #[test]
+    fn indexed_queries_match_naive_scans(
+        trace in arb_trace(),
+        bid in 0.0f64..1.2,
+        start in -1.0f64..25.0,
+    ) {
+        let ix = TraceIndex::build(&trace);
+        let naive = TraceQuery::new(&trace, None);
+        let fast = TraceQuery::new(&trace, Some(&ix));
+        prop_assert!(fast.indexed() && !naive.indexed());
+        prop_assert_eq!(
+            naive.first_passage_above(start, bid),
+            fast.first_passage_above(start, bid)
+        );
+        for cutoff in [start, start + 1.0, trace.duration(), f64::INFINITY] {
+            prop_assert_eq!(
+                naive.launch_time(start, bid, cutoff),
+                fast.launch_time(start, bid, cutoff)
+            );
+        }
+    }
+
+    /// Indexed window histograms are bit-identical to the per-sample
+    /// construction for arbitrary windows.
+    #[test]
+    fn indexed_histogram_matches_per_sample_build(
+        trace in arb_trace(),
+        start in 0.0f64..10.0,
+        len in 0.5f64..30.0,
+    ) {
+        let ix = TraceIndex::build(&trace);
+        let fast = TraceQuery::new(&trace, Some(&ix));
+        let hi = trace.max_price() * 1.01;
+        let expect = PriceHistogram::from_window(trace.window(start, len), 0.0, hi, 12);
+        prop_assert_eq!(fast.histogram(start, len, 0.0, hi, 12), expect);
+    }
+
     /// Remaining-ratio bounds and monotonicity hold for arbitrary inputs.
     #[test]
     fn remaining_ratio_bounds(
@@ -159,4 +201,65 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&r1));
         prop_assert!(r2 <= r1 + 1e-12);
     }
+}
+
+/// Assert every query family agrees between the naive and indexed paths
+/// over a grid of bids, starts and cutoffs.
+fn assert_index_agrees(trace: &SpotTrace, bids: &[f64], starts: &[f64]) {
+    let ix = TraceIndex::build(trace);
+    let naive = TraceQuery::new(trace, None);
+    let fast = TraceQuery::new(trace, Some(&ix));
+    for &bid in bids {
+        for &start in starts {
+            assert_eq!(
+                naive.first_passage_above(start, bid),
+                fast.first_passage_above(start, bid),
+                "first_passage_above(start={start}, bid={bid})"
+            );
+            for cutoff in [start - 1.0, start + 0.25, trace.duration(), f64::INFINITY] {
+                assert_eq!(
+                    naive.launch_time(start, bid, cutoff),
+                    fast.launch_time(start, bid, cutoff),
+                    "launch_time(start={start}, bid={bid}, cutoff={cutoff})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn index_agrees_on_constant_price_trace() {
+    let trace = SpotTrace::new(1.0 / 12.0, vec![0.1; 60]);
+    // Bids below, exactly at, and above the constant price.
+    assert_index_agrees(&trace, &[0.05, 0.1, 0.2], &[0.0, 0.5, 3.0, 4.9, 5.0, 80.0]);
+    let ix = TraceIndex::build(&trace);
+    let fast = TraceQuery::new(&trace, Some(&ix));
+    // A bid at the constant price never passes above it but launches at once.
+    assert_eq!(fast.first_passage_above(0.0, 0.1), None);
+    assert_eq!(fast.launch_time(0.25, 0.1, f64::INFINITY), Some(0.25));
+}
+
+#[test]
+fn index_agrees_outside_the_price_range() {
+    let trace = SpotTrace::new(0.5, (0..48).map(|i| 0.1 + 0.01 * (i % 7) as f64).collect());
+    // Bid below the minimum: never launches; above the maximum: never dies.
+    assert_index_agrees(&trace, &[0.01, 0.5], &[0.0, 1.3, 11.0, 23.9]);
+    let ix = TraceIndex::build(&trace);
+    let fast = TraceQuery::new(&trace, Some(&ix));
+    assert_eq!(fast.launch_time(0.0, 0.01, f64::INFINITY), None);
+    assert_eq!(fast.first_passage_above(0.0, 0.5), None);
+}
+
+#[test]
+fn index_agrees_past_trace_end_and_on_single_sample() {
+    let trace = SpotTrace::new(0.5, vec![0.1, 0.3, 0.2, 0.05]);
+    // Starts at, beyond, and far beyond the trace end.
+    assert_index_agrees(&trace, &[0.04, 0.1, 0.25], &[1.9, 2.0, 2.1, 100.0]);
+
+    let single = SpotTrace::new(1.0, vec![0.3]);
+    assert_index_agrees(&single, &[0.1, 0.3, 0.9], &[-1.0, 0.0, 0.5, 1.0, 2.0]);
+    let ix = TraceIndex::build(&single);
+    assert_eq!(ix.len(), 1);
+    assert_eq!(ix.range_max(0, 1), 0.3);
+    assert_eq!(ix.range_min(0, 1), 0.3);
 }

@@ -27,7 +27,9 @@ fn run_study(label: &str, problem: &Problem, view: &MarketView, interval_grid: O
 
     // Serial reference: the plan every other run must reproduce exactly.
     let started = Instant::now();
-    let serial = TwoLevelOptimizer::new(problem, view, cfg(1)).optimize();
+    let serial = TwoLevelOptimizer::new(problem, view, cfg(1))
+        .optimize()
+        .unwrap();
     let serial_secs = started.elapsed().as_secs_f64();
 
     let mut t = Table::new([
@@ -46,7 +48,9 @@ fn run_study(label: &str, problem: &Problem, view: &MarketView, interval_grid: O
     ]);
     for threads in [2usize, 4, 8, 0] {
         let started = Instant::now();
-        let opt = TwoLevelOptimizer::new(problem, view, cfg(threads)).optimize();
+        let opt = TwoLevelOptimizer::new(problem, view, cfg(threads))
+            .optimize()
+            .unwrap();
         let elapsed = started.elapsed().as_secs_f64();
         let identical = opt == serial;
         t.row([

@@ -124,7 +124,9 @@ fn run_study(
         for _ in 0..iters.max(1) {
             let r = RingRecorder::new(TraceLevel::Summary, 64);
             let started = Instant::now();
-            let o = TwoLevelOptimizer::new(problem, view, cfg).optimize_recorded(&r);
+            let o = TwoLevelOptimizer::new(problem, view, cfg)
+                .optimize_recorded(&r)
+                .unwrap();
             elapsed = elapsed.min(started.elapsed().as_secs_f64());
             opt = Some(o);
             recorder = r;

@@ -65,7 +65,9 @@ fn main() {
     ]);
     for (name, cfg) in variants {
         let started = Instant::now();
-        let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
+        let opt = TwoLevelOptimizer::new(&problem, &view, cfg)
+            .optimize()
+            .unwrap();
         let elapsed = started.elapsed().as_secs_f64();
         let mc = monte_carlo(&market, problem.deadline + 6.0, 1234);
         let runner = PlanRunner::new(&market, problem.deadline);

@@ -23,8 +23,12 @@ fn main() {
             if start + 96.0 > trace.duration() {
                 continue;
             }
-            let train = market.estimator(id, start, 72.0);
-            let test = market.estimator(id, start + 72.0, 24.0);
+            let train = market
+                .try_estimator(id, start, 72.0)
+                .expect("group listed by the market");
+            let test = market
+                .try_estimator(id, start + 72.0, 24.0)
+                .expect("group listed by the market");
             let h = train.max_price();
             for frac in [0.3, 0.5, 0.8] {
                 let bid = h * frac;

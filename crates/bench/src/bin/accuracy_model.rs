@@ -44,7 +44,7 @@ fn main() {
             let problem = build_problem(&market, &profile, headroom);
             for (sname, strat) in &strategies {
                 let plan = strat.plan(&problem, &view);
-                let Some(eval) = evaluate_plan(&plan, &view) else {
+                let Ok(Some(eval)) = evaluate_plan(&plan, &view) else {
                     continue;
                 };
                 // Replay close to the training window: the paper's premise

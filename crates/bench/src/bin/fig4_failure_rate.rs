@@ -17,7 +17,9 @@ fn main() {
     for name in ["m1.small", "c3.xlarge"] {
         let ty = market.catalog().by_name(name).unwrap();
         let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
-        let est = market.estimator(id, 0.0, HISTORY_HOURS);
+        let est = market
+            .try_estimator(id, 0.0, HISTORY_HOURS)
+            .expect("group generated above");
         let h = est.max_price();
 
         println!("{name}@us-east-1a (H = {h:.4}):");

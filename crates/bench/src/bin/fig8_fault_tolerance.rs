@@ -36,6 +36,7 @@ fn main() {
         window_hours: 15.0,
         history_hours: 48.0,
         optimizer: cfg,
+        ..Default::default()
     };
 
     for (dl_name, headroom) in [("loose (+50%)", LOOSE), ("tight (+5%)", TIGHT)] {

@@ -36,7 +36,9 @@ fn main() {
             ..Default::default()
         };
         let started = Instant::now();
-        let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
+        let opt = TwoLevelOptimizer::new(&problem, &view, cfg)
+            .optimize()
+            .expect("problem candidates come from the same market");
         let elapsed = started.elapsed().as_secs_f64();
         let mc = monte_carlo(&market, problem.deadline + 6.0, 7000);
         let runner = PlanRunner::new(&market, problem.deadline);

@@ -33,6 +33,7 @@ fn main() {
                 bid_levels: 8,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let runner = AdaptiveRunner::new(&market, cfg);
         let mc = monte_carlo(&market, problem.deadline + 10.0, 8000);

@@ -7,8 +7,10 @@ use crate::args::Args;
 use crate::build::{app_from, market_from, problem_from, CliError};
 use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
 use ec2_market::market::SpotMarket;
+use replay::adaptive_exec::AdaptiveRunner;
 use replay::exec::ExecContext;
 use replay::montecarlo::MonteCarlo;
+use sompi_core::adaptive::AdaptiveConfig;
 use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotAvg, SpotInf, Strategy};
 use sompi_core::cost::evaluate_plan;
 use sompi_core::model::Plan;
@@ -42,13 +44,13 @@ const PLAN_FLAGS: &[&str] = &[
     "no-trace-index",
 ];
 
-/// Pick the planning strategy from `--strategy`.
-fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
+/// Build the inner optimizer's configuration from the shared knob flags.
+fn optimizer_from(args: &Args) -> Result<OptimizerConfig, CliError> {
     let kappa = args.u64_or("kappa", 4)? as usize;
     let levels = args.u64_or("levels", 12)? as u32;
     let slack = args.f64_or("slack", 0.2)?;
     let threads = args.u64_or("threads", 0)? as usize;
-    let config = OptimizerConfig {
+    Ok(OptimizerConfig {
         kappa,
         bid_levels: levels,
         slack,
@@ -59,7 +61,12 @@ fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
         prune_bound: !args.flag("no-prune-bound"),
         shared_incumbent: !args.flag("no-shared-incumbent"),
         ..Default::default()
-    };
+    })
+}
+
+/// Pick the planning strategy from `--strategy`.
+fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
+    let config = optimizer_from(args)?;
     Ok(match args.str_or("strategy", "sompi").to_lowercase().as_str() {
         "sompi" => Box::new(Sompi { config }),
         "on-demand" | "ondemand" => Box::new(OnDemandOnly),
@@ -166,6 +173,7 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         finish_trace(s, args.get("trace-out").unwrap_or(""))?;
     }
     let eval = evaluate_plan(&plan, &view)
+        .map_err(|e| CliError::Other(e.to_string()))?
         .ok_or_else(|| CliError::Other("plan has an unlaunchable bid".into()))?;
 
     if args.flag("json") {
@@ -212,8 +220,26 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// `sompi replay` — plan, then Monte-Carlo replay over the market.
 pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut flags = PLAN_FLAGS.to_vec();
-    flags.extend(["replicas", "mc-seed", "timeline", "faults", "fault-seed"]);
+    flags.extend([
+        "replicas",
+        "mc-seed",
+        "timeline",
+        "faults",
+        "fault-seed",
+        "adaptive",
+        "window",
+        "no-warmstart",
+        "no-bucket-reuse",
+    ]);
     args.check_known(&flags)?;
+    if args.flag("adaptive") {
+        return cmd_replay_adaptive(args, out);
+    }
+    if args.flag("no-warmstart") || args.flag("no-bucket-reuse") {
+        return Err(CliError::Other(
+            "--no-warmstart/--no-bucket-reuse only apply to --adaptive replays".into(),
+        ));
+    }
     let market = market_from(args)?;
     let app = app_from(args)?;
     let problem = problem_from(&market, &app, args)?;
@@ -311,6 +337,129 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         write!(out, "{}", replay::timeline::render(&events, start))
             .map_err(|e| CliError::Other(e.to_string()))?;
     }
+    Ok(())
+}
+
+/// `sompi replay --adaptive` — windowed Algorithm-1 execution (re-plan
+/// every `--window` hours from fresh history) Monte-Carlo replayed over
+/// the market. `--no-warmstart` / `--no-bucket-reuse` ablate the
+/// exactness-preserving warm-start layers of the re-optimizer; plans and
+/// replayed outcomes are bit-identical either way, only re-plan
+/// wall-clock changes.
+fn cmd_replay_adaptive(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let market = market_from(args)?;
+    let app = app_from(args)?;
+    let problem = problem_from(&market, &app, args)?;
+    let history = args.f64_or("history", 48.0)?;
+    let cfg = AdaptiveConfig {
+        window_hours: args.f64_or("window", 15.0)?,
+        history_hours: history,
+        optimizer: optimizer_from(args)?,
+        warmstart: !args.flag("no-warmstart"),
+        bucket_reuse: !args.flag("no-bucket-reuse"),
+    };
+    let runner = AdaptiveRunner::new(&market, cfg);
+    let injector = faults_from(args, &market)?;
+    let mut ctx = ExecContext::new();
+    if let Some(inj) = &injector {
+        ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
+    }
+
+    let replicas = args.u64_or("replicas", 100)? as usize;
+    let seed = args.u64_or("mc-seed", 1)?;
+    let margin = problem.baseline_time() * 4.0 + 4.0;
+    let max = (market.horizon() - margin).max(history + 1.0);
+    let mc = MonteCarlo::builder()
+        .replicas(replicas)
+        .seed(seed)
+        .offsets(history, max)
+        .build();
+    let windows = std::sync::atomic::AtomicU64::new(0);
+    let changes = std::sync::atomic::AtomicU64::new(0);
+    let result = mc
+        .evaluate(|start| {
+            let o = runner.run(&problem, start, &ctx)?;
+            windows.fetch_add(o.windows as u64, std::sync::atomic::Ordering::Relaxed);
+            changes.fetch_add(o.plan_changes as u64, std::sync::atomic::Ordering::Relaxed);
+            Ok(o.run)
+        })
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    let mean_windows = windows.into_inner() as f64 / replicas as f64;
+    let mean_changes = changes.into_inner() as f64 / replicas as f64;
+
+    // Tracing records one deterministic adaptive replay — including the
+    // per-window `WindowReplanned` / `WarmStartApplied` narration.
+    let sink = trace_sink_from(args)?;
+    if let Some(s) = &sink {
+        runner
+            .run(&problem, history + 1.0, &ctx.with_recorder(s))
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        finish_trace(s, args.get("trace-out").unwrap_or(""))?;
+    }
+
+    if args.flag("json") {
+        let doc = serde_json::json!({
+            "app": problem.app,
+            "strategy": "sompi-adaptive",
+            "replicas": replicas,
+            "window_hours": cfg.window_hours,
+            "warmstart": cfg.warmstart,
+            "bucket_reuse": cfg.bucket_reuse,
+            "cost": result.cost,
+            "time": result.time,
+            "deadline_rate": result.deadline_rate,
+            "spot_finish_rate": result.spot_finish_rate,
+            "normalized_cost": result.cost.mean / problem.baseline_cost_billed(),
+            "mean_windows": mean_windows,
+            "mean_plan_changes": mean_changes,
+        });
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "{} via adaptive sompi (T_m = {} h{}{}): {} replicas",
+        problem.app,
+        cfg.window_hours,
+        if cfg.warmstart { "" } else { ", no-warmstart" },
+        if cfg.bucket_reuse {
+            ""
+        } else {
+            ", no-bucket-reuse"
+        },
+        replicas
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "  cost: mean ${:.2} (std {:.2}, p95 {:.2})  = {:.3} x baseline",
+        result.cost.mean,
+        result.cost.std_dev,
+        result.cost.p95,
+        result.cost.mean / problem.baseline_cost_billed()
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "  time: mean {:.2} h (deadline {:.2} h, met {:.0}%)  finished on spot {:.0}%",
+        result.time.mean,
+        problem.deadline,
+        result.deadline_rate * 100.0,
+        result.spot_finish_rate * 100.0
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    writeln!(
+        out,
+        "  windows: {:.1} per run, {:.1} plan change(s)",
+        mean_windows, mean_changes
+    )
+    .map_err(|e| CliError::Other(e.to_string()))?;
     Ok(())
 }
 
@@ -517,6 +666,70 @@ mod tests {
         let second = run(cmd_replay, &flags);
         assert_eq!(first, second);
         assert!(first.contains("met"), "{first}");
+    }
+
+    #[test]
+    fn adaptive_replay_reports_windows() {
+        let out = run(
+            cmd_replay,
+            &[
+                "--adaptive",
+                "--hours",
+                "200",
+                "--repeats",
+                "50",
+                "--kappa",
+                "1",
+                "--levels",
+                "2",
+                "--replicas",
+                "4",
+                "--window",
+                "2",
+            ],
+        );
+        assert!(out.contains("adaptive sompi"), "{out}");
+        assert!(out.contains("windows:"), "{out}");
+    }
+
+    #[test]
+    fn warmstart_ablation_flags_do_not_change_adaptive_results() {
+        // The warm-start layers are exactness-preserving: the full
+        // Monte-Carlo report must be bit-identical with them ablated.
+        let base = [
+            "--adaptive",
+            "--hours",
+            "200",
+            "--repeats",
+            "50",
+            "--kappa",
+            "1",
+            "--levels",
+            "2",
+            "--replicas",
+            "3",
+            "--window",
+            "2",
+            "--json",
+        ];
+        let warm = run(cmd_replay, &base);
+        let mut flags = base.to_vec();
+        flags.extend(["--no-warmstart", "--no-bucket-reuse"]);
+        let cold = run(cmd_replay, &flags);
+        let wdoc: serde_json::Value = serde_json::from_str(&warm).unwrap();
+        let cdoc: serde_json::Value = serde_json::from_str(&cold).unwrap();
+        assert_eq!(wdoc["cost"], cdoc["cost"]);
+        assert_eq!(wdoc["time"], cdoc["time"]);
+        assert_eq!(wdoc["mean_windows"], cdoc["mean_windows"]);
+        assert_eq!(wdoc["warmstart"], serde_json::json!(true));
+        assert_eq!(cdoc["warmstart"], serde_json::json!(false));
+    }
+
+    #[test]
+    fn warmstart_flags_require_adaptive_mode() {
+        let mut buf = Vec::new();
+        let err = cmd_replay(&args(&["--hours", "100", "--no-warmstart"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--adaptive"), "{err}");
     }
 
     #[test]

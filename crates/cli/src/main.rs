@@ -39,6 +39,14 @@ COMMON FLAGS:
                                (ablation; the optimum never changes)
     --no-trace-index           disable the sparse-table trace index used by
                                replay queries (ablation; answers never change)
+    --adaptive                 replay the windowed Algorithm-1 loop instead of
+                               a single frozen plan (replay only)
+    --window H                 adaptive re-optimization window T_m, hours
+                               (default 15)
+    --no-warmstart / --no-bucket-reuse
+                               disable the adaptive re-optimizer's warm-start
+                               layers (ablation; plans and outcomes never
+                               change, only re-plan wall-clock)
     --seed N --hours H --step H         synthetic market shape
     --feed FILE                import AWS spot price history instead
     --history H                planning history window, hours (default 48)

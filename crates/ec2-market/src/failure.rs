@@ -119,6 +119,60 @@ impl FailureRateFn {
     }
 }
 
+/// Raw integer first-passage counts behind a [`FailureRateFn`]: how many
+/// admissible start points failed in each hour bucket, how many survived
+/// the horizon, and how many were usable at all.
+///
+/// Keeping the *integer* counts (rather than the normalized probabilities)
+/// makes horizon truncation exact: a count recorded at sample offset
+/// `k ≤ h·sph` lands in the same hour bucket for any horizon `≥ h`, and
+/// counts past `h·sph` fold into the survivors, so
+/// [`FailureCounts::to_fn`] reproduces `failure_rate_exact(bid, h)` bit
+/// for bit for every `h` up to the recorded horizon. This is what lets
+/// warm-started re-optimization reuse one table across adaptive windows
+/// whose residual horizons shrink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureCounts {
+    bid: Usd,
+    /// `buckets[t]` = number of admissible starts whose first out-of-bid
+    /// event landed in hour `[t, t+1)`.
+    buckets: Vec<u64>,
+    /// Starts that survived the full recorded horizon.
+    survived: u64,
+    /// Admissible starts (price at or below the bid).
+    used: u64,
+}
+
+impl FailureCounts {
+    /// The bid these counts were recorded for.
+    pub fn bid(&self) -> Usd {
+        self.bid
+    }
+
+    /// The recorded horizon in hours — the largest horizon `to_fn` serves.
+    pub fn horizon(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Normalize into the failure-rate function for `horizon_hours`,
+    /// truncating exactly: the result is bit-identical to
+    /// `failure_rate_exact(bid, horizon_hours)` on the same history.
+    ///
+    /// # Panics
+    /// Panics when `horizon_hours` is zero or exceeds the recorded horizon.
+    pub fn to_fn(&self, horizon_hours: usize) -> FailureRateFn {
+        assert!(horizon_hours > 0, "horizon must be positive");
+        assert!(
+            horizon_hours <= self.buckets.len(),
+            "horizon {horizon_hours} exceeds recorded horizon {}",
+            self.buckets.len()
+        );
+        let buckets = self.buckets[..horizon_hours].to_vec();
+        let survived = self.survived + self.buckets[horizon_hours..].iter().sum::<u64>();
+        FailureEstimator::finish(self.bid, horizon_hours, buckets, survived, self.used)
+    }
+}
+
 /// Precomputed `S_i(P)` table: expected spot price given the bid, plus the
 /// instant launch probability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -225,6 +279,29 @@ impl FailureEstimator {
         &self.expected
     }
 
+    /// FNV-1a digest over the history this estimator was built from (the
+    /// step size and every price sample, bit for bit). Two estimators with
+    /// equal digests produce bit-identical failure rates, launch delays,
+    /// and expected prices, so the digest is a sound cache key for
+    /// warm-started re-optimization across adaptive windows.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for shift in (0..64).step_by(8) {
+                h ^= (word >> shift) & 0xff;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.prices.len() as u64);
+        mix(self.step_hours.to_bits());
+        for &p in &self.prices {
+            mix(p.to_bits());
+        }
+        h
+    }
+
     /// Highest historical price `H_i` — the top of the bid search range.
     pub fn max_price(&self) -> Usd {
         self.expected.max_price()
@@ -276,6 +353,22 @@ impl FailureEstimator {
         self.estimate(bid, horizon_hours, starts)
     }
 
+    /// Exhaustive first-passage counts at `bid` over `horizon_hours`,
+    /// before normalization. `counts.to_fn(h)` for any `h ≤ horizon_hours`
+    /// is bit-identical to `failure_rate_exact(bid, h)`, which makes the
+    /// counts reusable across shrinking horizons without re-walking the
+    /// history.
+    pub fn failure_counts(&self, bid: Usd, horizon_hours: usize) -> FailureCounts {
+        let starts = 0..self.prices.len();
+        let (buckets, survived, used) = self.count(bid, horizon_hours, starts);
+        FailureCounts {
+            bid,
+            buckets,
+            survived,
+            used,
+        }
+    }
+
     /// The paper's Monte-Carlo estimator with `g` random start points.
     pub fn failure_rate_sampled(
         &self,
@@ -297,6 +390,18 @@ impl FailureEstimator {
         horizon_hours: usize,
         starts: impl Iterator<Item = usize>,
     ) -> FailureRateFn {
+        let (buckets, survived, used) = self.count(bid, horizon_hours, starts);
+        Self::finish(bid, horizon_hours, buckets, survived, used)
+    }
+
+    /// The shared counting core of `estimate`/`failure_counts`: integer
+    /// bucket counts, survivors, and usable starts.
+    fn count(
+        &self,
+        bid: Usd,
+        horizon_hours: usize,
+        starts: impl Iterator<Item = usize>,
+    ) -> (Vec<u64>, u64, u64) {
         assert!(horizon_hours > 0, "horizon must be positive");
         let n = self.prices.len();
         let samples_per_hour = (1.0 / self.step_hours).round().max(1.0) as usize;
@@ -346,7 +451,7 @@ impl FailureEstimator {
             }
         }
 
-        Self::finish(bid, horizon_hours, buckets, survived, used)
+        (buckets, survived, used)
     }
 
     /// The original per-start probe loop, retained verbatim as the
@@ -592,6 +697,59 @@ mod tests {
             });
             assert_eq!(fast, slow);
         }
+    }
+
+    #[test]
+    fn truncated_counts_match_direct_estimation() {
+        // `failure_counts(bid, H).to_fn(h)` must be bit-identical to
+        // `failure_rate_exact(bid, h)` for every h ≤ H — the exactness
+        // contract warm-started re-optimization relies on. Cover generated
+        // traces, degenerate traces, unlaunchable bids, and h == H.
+        let gen = crate::tracegen::TraceGenConfig::preset(
+            0.05,
+            crate::tracegen::ZoneVolatility::Volatile,
+        )
+        .generate(120.0, 1.0 / 12.0, 29);
+        let estimators = [
+            estimator(gen.samples(), 1.0 / 12.0),
+            estimator(&[0.1; 5], 1.0),
+            estimator(&[0.4], 1.0),
+            estimator(&[9.0, 9.0, 0.1, 9.0, 0.1, 0.1], 0.5),
+        ];
+        for e in &estimators {
+            let max = e.max_price();
+            for bid in [0.0, 0.05, 0.09, 0.3, max, max * 2.0] {
+                let counts = e.failure_counts(bid, 400);
+                assert_eq!(counts.horizon(), 400);
+                assert_eq!(counts.bid(), bid);
+                for horizon in [1usize, 2, 7, 24, 399, 400] {
+                    assert_eq!(
+                        counts.to_fn(horizon),
+                        e.failure_rate_exact(bid, horizon),
+                        "bid {bid} horizon {horizon}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds recorded horizon")]
+    fn truncated_counts_reject_longer_horizons() {
+        let e = estimator(&[0.1; 5], 1.0);
+        e.failure_counts(0.2, 4).to_fn(5);
+    }
+
+    #[test]
+    fn digest_separates_histories_and_sticks_to_equal_ones() {
+        let a = estimator(&[0.1, 0.2, 0.3], 1.0);
+        let b = estimator(&[0.1, 0.2, 0.3], 1.0);
+        assert_eq!(a.digest(), b.digest());
+        // Different prices, different step, and different length all move
+        // the digest.
+        assert_ne!(a.digest(), estimator(&[0.1, 0.2, 0.4], 1.0).digest());
+        assert_ne!(a.digest(), estimator(&[0.1, 0.2, 0.3], 0.5).digest());
+        assert_ne!(a.digest(), estimator(&[0.1, 0.2], 1.0).digest());
     }
 
     #[test]

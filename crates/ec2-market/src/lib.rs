@@ -35,7 +35,7 @@
 //!
 //! // Estimate the failure-rate function f(P, t) for one circle group.
 //! let group = market.groups().next().unwrap();
-//! let estimator = market.estimator(group, 0.0, 48.0);
+//! let estimator = market.try_estimator(group, 0.0, 48.0).unwrap();
 //! let f = estimator.failure_rate_exact(estimator.max_price() / 2.0, 12);
 //! assert!(f.survival() >= 0.0 && f.survival() <= 1.0);
 //! ```
@@ -55,13 +55,13 @@ pub mod zone;
 
 pub use billing::{BillingModel, BillingPolicy};
 pub use calibrate::{calibrate, Calibration};
-pub use failure::{ExpectedSpotPrice, FailureEstimator, FailureRateFn};
+pub use failure::{ExpectedSpotPrice, FailureCounts, FailureEstimator, FailureRateFn};
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy, Storm};
 pub use feed::{parse_feed, resample, traces_by_group, PriceEvent};
 pub use histogram::PriceHistogram;
 pub use index::{PrefixHistogram, TraceIndex, TraceQuery};
 pub use instance::{InstanceCatalog, InstanceType, InstanceTypeId};
-pub use market::{CircleGroupId, SpotMarket};
+pub use market::{CircleGroupId, SpotMarket, UnknownGroupError};
 pub use trace::{SpotTrace, TraceWindow};
 pub use tracegen::{MarketProfile, TraceGenConfig, TraceGenerator, ZoneVolatility};
 pub use zone::AvailabilityZone;

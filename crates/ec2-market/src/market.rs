@@ -44,6 +44,35 @@ impl fmt::Display for CircleGroupId {
     }
 }
 
+/// A lookup referenced a circle group the market holds no trace (or trace
+/// configuration) for.
+///
+/// Market lookups used to panic on unknown groups; they now return this
+/// error so callers higher up the stack can surface it as
+/// `SompiError::UnknownGroup` instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownGroupError {
+    /// Display form of the missing group id.
+    pub group: String,
+}
+
+impl UnknownGroupError {
+    /// Error for a missing (type, zone) pair.
+    pub fn new(id: CircleGroupId) -> Self {
+        Self {
+            group: id.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for UnknownGroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no market trace for circle group {}", self.group)
+    }
+}
+
+impl std::error::Error for UnknownGroupError {}
+
 /// A collection of spot price traces keyed by circle group, plus the
 /// instance catalog they refer to.
 ///
@@ -99,9 +128,7 @@ impl SpotMarket {
         step_hours: Hours,
     ) -> Self {
         let mut market = Self::new(catalog);
-        let pairs: Vec<_> = generator.profile().pairs().collect();
-        for (ty, zone) in pairs {
-            let trace = generator.generate(ty, zone, duration_hours, step_hours);
+        for (ty, zone, trace) in generator.generate_all(duration_hours, step_hours) {
             market.insert(CircleGroupId::new(ty, zone), trace);
         }
         market
@@ -189,17 +216,43 @@ impl SpotMarket {
     }
 
     /// A history window `[start, start+len)` of a group's trace, for
-    /// estimation. Panics if the group has no trace.
-    pub fn history(&self, id: CircleGroupId, start: Hours, len: Hours) -> TraceWindow<'_> {
+    /// estimation. Errors when the group has no trace.
+    pub fn try_history(
+        &self,
+        id: CircleGroupId,
+        start: Hours,
+        len: Hours,
+    ) -> Result<TraceWindow<'_>, UnknownGroupError> {
         self.traces
             .get(&id)
-            .unwrap_or_else(|| panic!("no trace for circle group {id}"))
-            .window(start, len)
+            .map(|t| t.window(start, len))
+            .ok_or_else(|| UnknownGroupError::new(id))
     }
 
     /// Failure/price estimator built on a history window of a group.
-    pub fn estimator(&self, id: CircleGroupId, start: Hours, len: Hours) -> FailureEstimator {
-        FailureEstimator::from_window(self.history(id, start, len))
+    /// Errors when the group has no trace.
+    pub fn try_estimator(
+        &self,
+        id: CircleGroupId,
+        start: Hours,
+        len: Hours,
+    ) -> Result<FailureEstimator, UnknownGroupError> {
+        Ok(FailureEstimator::from_window(
+            self.try_history(id, start, len)?,
+        ))
+    }
+
+    /// Estimators over the same history window for every traced group, in
+    /// deterministic group order. Infallible by construction — the ids come
+    /// straight from the trace map.
+    pub fn estimators(
+        &self,
+        start: Hours,
+        len: Hours,
+    ) -> impl Iterator<Item = (CircleGroupId, FailureEstimator)> + '_ {
+        self.traces
+            .iter()
+            .map(move |(id, t)| (*id, FailureEstimator::from_window(t.window(start, len))))
     }
 
     /// Shortest trace duration across all groups — the usable market horizon.
@@ -274,10 +327,14 @@ mod tests {
     fn history_and_estimator_work() {
         let m = paper_market();
         let id = m.groups().next().unwrap();
-        let w = m.history(id, 0.0, 48.0);
+        let w = m.try_history(id, 0.0, 48.0).unwrap();
         assert!(w.duration() > 47.0);
-        let est = m.estimator(id, 0.0, 48.0);
+        let est = m.try_estimator(id, 0.0, 48.0).unwrap();
         assert!(est.max_price() > 0.0);
+        let all: Vec<_> = m.estimators(0.0, 48.0).collect();
+        assert_eq!(all.len(), m.len());
+        assert_eq!(all[0].0, id);
+        assert_eq!(all[0].1.digest(), est.digest());
     }
 
     #[test]
@@ -340,11 +397,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no trace")]
-    fn history_for_unknown_group_panics() {
+    fn history_for_unknown_group_is_an_error_not_a_panic() {
         let catalog = InstanceCatalog::paper_2014();
         let ty = catalog.by_name("m1.small").unwrap();
         let m = SpotMarket::new(catalog);
-        m.history(CircleGroupId::new(ty, AvailabilityZone::UsEast1a), 0.0, 1.0);
+        let id = CircleGroupId::new(ty, AvailabilityZone::UsEast1a);
+        let err = m.try_history(id, 0.0, 1.0).unwrap_err();
+        assert_eq!(err, UnknownGroupError::new(id));
+        assert!(err.to_string().contains("no market trace for circle group"));
+        assert!(err.to_string().contains(&id.to_string()));
+        assert!(m.try_estimator(id, 0.0, 1.0).is_err());
     }
 }

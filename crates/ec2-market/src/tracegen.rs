@@ -296,27 +296,40 @@ impl TraceGenerator {
         &self.profile
     }
 
-    /// Generate the trace for a (type, zone) pair.
-    ///
-    /// # Panics
-    /// Panics if the pair is not calibrated in the profile.
-    pub fn generate(
+    /// Generate the trace for a (type, zone) pair. Errors when the pair is
+    /// not calibrated in the profile.
+    pub fn try_generate(
         &self,
         ty: InstanceTypeId,
         zone: AvailabilityZone,
         duration_hours: Hours,
         step_hours: Hours,
-    ) -> SpotTrace {
-        let cfg = self
-            .profile
-            .get(ty, zone)
-            .unwrap_or_else(|| panic!("no trace config for {ty} in {zone}"));
-        let seed = self
-            .base_seed
+    ) -> Result<SpotTrace, crate::market::UnknownGroupError> {
+        let cfg = self.profile.get(ty, zone).ok_or_else(|| {
+            crate::market::UnknownGroupError::new(crate::market::CircleGroupId::new(ty, zone))
+        })?;
+        Ok(cfg.generate(duration_hours, step_hours, self.seed_for(ty, zone)))
+    }
+
+    /// Generate traces for every calibrated (type, zone) pair, in profile
+    /// order. Infallible by construction — the pairs come straight from the
+    /// profile's own entries.
+    pub fn generate_all(
+        &self,
+        duration_hours: Hours,
+        step_hours: Hours,
+    ) -> impl Iterator<Item = (InstanceTypeId, AvailabilityZone, SpotTrace)> + '_ {
+        self.profile.entries.iter().map(move |(ty, zone, cfg)| {
+            let trace = cfg.generate(duration_hours, step_hours, self.seed_for(*ty, *zone));
+            (*ty, *zone, trace)
+        })
+    }
+
+    fn seed_for(&self, ty: InstanceTypeId, zone: AvailabilityZone) -> u64 {
+        self.base_seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add((ty.0 as u64) << 8)
-            .wrapping_add(zone.index() as u64);
-        cfg.generate(duration_hours, step_hours, seed)
+            .wrapping_add(zone.index() as u64)
     }
 }
 
@@ -414,12 +427,34 @@ mod tests {
         let prof = MarketProfile::paper_2014(&cat);
         let g = TraceGenerator::new(prof, 42);
         let medium = cat.by_name("m1.medium").unwrap();
-        let a = g.generate(medium, AvailabilityZone::UsEast1a, 72.0, STEP);
-        let c = g.generate(medium, AvailabilityZone::UsEast1c, 72.0, STEP);
+        let a = g
+            .try_generate(medium, AvailabilityZone::UsEast1a, 72.0, STEP)
+            .unwrap();
+        let c = g
+            .try_generate(medium, AvailabilityZone::UsEast1c, 72.0, STEP)
+            .unwrap();
         assert_ne!(a, c);
         // And reproducible.
-        let a2 = g.generate(medium, AvailabilityZone::UsEast1a, 72.0, STEP);
+        let a2 = g
+            .try_generate(medium, AvailabilityZone::UsEast1a, 72.0, STEP)
+            .unwrap();
         assert_eq!(a, a2);
+        // generate_all hands out the same per-pair streams.
+        let all: Vec<_> = g.generate_all(72.0, STEP).collect();
+        assert!(all
+            .iter()
+            .any(|(t, z, tr)| *t == medium && *z == AvailabilityZone::UsEast1a && *tr == a));
+        // An uncalibrated pair is an error, not a panic.
+        let mut fresh = MarketProfile::new();
+        fresh.set(
+            medium,
+            AvailabilityZone::UsEast1a,
+            TraceGenConfig::preset(0.05, ZoneVolatility::Calm),
+        );
+        let sparse = TraceGenerator::new(fresh, 1);
+        assert!(sparse
+            .try_generate(medium, AvailabilityZone::UsEast1c, 10.0, STEP)
+            .is_err());
     }
 
     #[test]

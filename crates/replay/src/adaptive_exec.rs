@@ -19,6 +19,7 @@ use sompi_core::adaptive::{
 use sompi_core::error::SompiError;
 use sompi_core::problem::Problem;
 use sompi_core::view::MarketView;
+use sompi_core::warmstart::WarmStart;
 use sompi_obs::{emit, Event, Recorder, TraceLevel};
 
 /// Outcome of one adaptive execution.
@@ -118,6 +119,14 @@ impl<'a> AdaptiveRunner<'a> {
         // planned against, the planner skips the two-level search and
         // rescales the cached plan instead.
         let mut cache = PlanCache::default();
+        // Warm-start state threaded through every real re-optimization:
+        // the previous window's plan seeds the next search's incumbent
+        // bound (and hot-first subset order), and per-(group, bid) bucket
+        // tables are reused while a group's history digest is unchanged.
+        // Exactness-preserving, so replayed outcomes are bit-identical
+        // with it on or off; the config's `warmstart`/`bucket_reuse`
+        // toggles ablate the layers individually.
+        let mut warm = WarmStart::new();
         // Coordinates (history start, length) of the last market view
         // built from a healthy feed — what a gapped window falls back to.
         let mut last_view: Option<(Hours, Hours)> = None;
@@ -261,6 +270,7 @@ impl<'a> AdaptiveRunner<'a> {
                     let mut pctx = PlanContext::new()
                         .with_recorder(recorder)
                         .with_cache(&mut cache)
+                        .with_warm(&mut warm)
                         .with_window(windows);
                     if let Some(f) = ctx.faults {
                         pctx = pctx.with_faults(f);
@@ -341,6 +351,10 @@ impl<'a> AdaptiveRunner<'a> {
                     // matches within tolerance.
                     if w.groups_failed > 0 {
                         cache.clear();
+                        // The carried plan just proved wrong about the
+                        // market; drop the seed but keep the bucket
+                        // tables (they digest the view, not the plan).
+                        warm.invalidate_plan();
                     }
                     // Re-plan when the window went badly: someone was
                     // killed out-of-bid, or no durable progress was made.
@@ -406,7 +420,7 @@ impl<'a> AdaptiveRunner<'a> {
         recorder: &dyn Recorder,
     ) -> AdaptiveOutcome {
         self.run(problem, start, &ExecContext::new().with_recorder(recorder))
-            .unwrap_or_else(|e| panic!("{e}"))
+            .expect("deprecated shim preserves the panicking contract; migrate to `run` for error handling")
     }
 }
 
@@ -441,6 +455,7 @@ mod tests {
                 bid_levels: 3,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -485,6 +500,25 @@ mod tests {
             .filter(|o| o.run.met_deadline)
             .count();
         assert!(met >= 3, "only {met}/5 met the deadline");
+    }
+
+    #[test]
+    fn warm_start_does_not_change_the_replayed_outcome() {
+        // The runner threads warm-start state through every window; the
+        // layers are exactness-preserving, so the full replayed outcome
+        // (cost, wall hours, window count, plan changes) must be
+        // bit-identical to the runner with both layers ablated off.
+        let (market, problem) = setup(47);
+        let mut cold_cfg = config();
+        cold_cfg.warmstart = false;
+        cold_cfg.bucket_reuse = false;
+        let warm_runner = AdaptiveRunner::new(&market, config());
+        let cold_runner = AdaptiveRunner::new(&market, cold_cfg);
+        for start in [60.0, 120.0, 200.0] {
+            let warm = run(&warm_runner, &problem, start);
+            let cold = run(&cold_runner, &problem, start);
+            assert_eq!(warm, cold, "offset {start}: warm start changed the run");
+        }
     }
 
     #[test]

@@ -263,7 +263,7 @@ impl<'a> PlanRunner<'a> {
     )]
     pub fn run_recorded(&self, plan: &Plan, start: Hours, recorder: &dyn Recorder) -> RunOutcome {
         self.run(plan, start, &ExecContext::new().with_recorder(recorder))
-            .unwrap_or_else(|e| panic!("{e}"))
+            .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
     }
 
     /// Convert a window outcome into a completed run by applying the
@@ -564,7 +564,7 @@ impl<'a> PlanRunner<'a> {
         carried: bool,
     ) -> WindowOutcome {
         self.run_window(plan, start, fraction, window, carried, &ExecContext::new())
-            .unwrap_or_else(|e| panic!("{e}"))
+            .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
     }
 
     /// Deprecated shim over [`PlanRunner::run_window`].
@@ -590,7 +590,7 @@ impl<'a> PlanRunner<'a> {
             carried,
             &ExecContext::new().with_recorder(recorder),
         )
-        .unwrap_or_else(|e| panic!("{e}"))
+        .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
     }
 }
 

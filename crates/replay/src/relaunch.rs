@@ -287,7 +287,7 @@ pub fn run_persistent_recorded(
         deadline,
         &ExecContext::new().with_recorder(recorder),
     )
-    .unwrap_or_else(|e| panic!("{e}"))
+    .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
 }
 
 fn emit_relaunch_completed(recorder: &dyn Recorder, out: &RelaunchOutcome, kills: u32) {

@@ -152,8 +152,18 @@ impl QuantileHistogram {
 
     /// Approximate `q`-quantile of `n` accumulated values, clamped to the
     /// exact observed `[min, max]`.
+    ///
+    /// Total on degenerate input instead of UB-adjacent: `n == 0` answers
+    /// NaN (there is no quantile of nothing), a NaN `q` answers NaN, and
+    /// out-of-range `q` clamps to `[0, 1]`. The old `debug_assert!`-only
+    /// guard let release builds underflow `n - 1` for `n == 0` and walk
+    /// ranks past the histogram, surfacing as a `clamp` panic on the
+    /// empty accumulator's inverted `[∞, -∞]` range.
     fn quantile(&self, q: f64, n: u64, min: f64, max: f64) -> f64 {
-        debug_assert!((0.0..=1.0).contains(&q) && n > 0);
+        if n == 0 || q.is_nan() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
         if n == 1 {
             return min;
         }
@@ -427,5 +437,27 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn streaming_empty_summary_panics() {
         StreamingSummary::new().summary();
+    }
+
+    #[test]
+    fn quantile_is_total_on_degenerate_inputs() {
+        let mut h = QuantileHistogram::default();
+        // n == 0: no quantile, not a panic. Release builds used to
+        // underflow `n - 1`, walk ranks past the histogram, and panic in
+        // `clamp` on the empty accumulator's inverted `[∞, -∞]` range.
+        assert!(h
+            .quantile(0.5, 0, f64::INFINITY, f64::NEG_INFINITY)
+            .is_nan());
+        h.push(4.0);
+        assert_eq!(h.quantile(0.5, 1, 4.0, 4.0), 4.0);
+        h.push(8.0);
+        // Out-of-range and NaN q: clamp into [0, 1] / answer NaN instead
+        // of interpolating at ranks that do not exist.
+        assert_eq!(h.quantile(-0.3, 2, 4.0, 8.0), h.quantile(0.0, 2, 4.0, 8.0));
+        assert_eq!(h.quantile(1.7, 2, 4.0, 8.0), h.quantile(1.0, 2, 4.0, 8.0));
+        assert!(h.quantile(f64::NAN, 2, 4.0, 8.0).is_nan());
+        // Healthy queries stay inside the observed extrema.
+        let v = h.quantile(0.9, 2, 4.0, 8.0);
+        assert!((4.0..=8.0).contains(&v));
     }
 }

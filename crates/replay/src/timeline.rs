@@ -266,7 +266,7 @@ pub fn timeline_checked(
     // so unwrapping here keeps the two walks' contracts aligned.
     let outcome = PlanRunner::new(market, deadline)
         .run(plan, start, &crate::exec::ExecContext::new())
-        .unwrap_or_else(|e| panic!("{e}"));
+        .expect("timeline above already validated every plan group against the market");
     // Consistency: a Completed event exists iff the runner finished on spot.
     let completed = events.iter().any(|e| matches!(e, Event::Completed { .. }));
     debug_assert_eq!(

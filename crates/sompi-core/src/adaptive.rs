@@ -19,6 +19,7 @@ use crate::model::Plan;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
+use crate::warmstart::WarmStart;
 use crate::Hours;
 use ec2_market::fault::FaultInjector;
 use ec2_market::market::CircleGroupId;
@@ -35,6 +36,21 @@ pub struct AdaptiveConfig {
     pub history_hours: Hours,
     /// The inner optimizer's configuration.
     pub optimizer: OptimizerConfig,
+    /// Carry the previous window's plan into the next search as an
+    /// incumbent seed and hot-first subset order (DESIGN.md §12). Both
+    /// layers are exactness-preserving; `false` is the `--no-warmstart`
+    /// ablation.
+    #[serde(default = "default_true")]
+    pub warmstart: bool,
+    /// Reuse per-`(group, bid)` failure-count tables across windows,
+    /// keyed by a digest of each group's price history. `false` is the
+    /// `--no-bucket-reuse` ablation.
+    #[serde(default = "default_true")]
+    pub bucket_reuse: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl AdaptiveConfig {
@@ -61,6 +77,8 @@ impl Default for AdaptiveConfig {
             window_hours: 15.0,
             history_hours: 48.0,
             optimizer: OptimizerConfig::default(),
+            warmstart: true,
+            bucket_reuse: true,
         }
     }
 }
@@ -90,6 +108,18 @@ impl AdaptiveConfigBuilder {
         self
     }
 
+    /// Enable/disable the plan carry-over warm start (seed + hot order).
+    pub fn warmstart(mut self, on: bool) -> Self {
+        self.config.warmstart = on;
+        self
+    }
+
+    /// Enable/disable cross-window bucket-table reuse.
+    pub fn bucket_reuse(mut self, on: bool) -> Self {
+        self.config.bucket_reuse = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> AdaptiveConfig {
         self.config
@@ -111,6 +141,14 @@ pub struct PlanContext<'a> {
     /// this window and prefers the cached plan over a fresh search when
     /// the feed is gapped.
     pub faults: Option<&'a FaultInjector>,
+    /// Warm-start state carried across windows; when present, each real
+    /// re-optimization seeds its branch-and-bound incumbent, enumerates
+    /// hot subsets first, and reuses bucket tables (all
+    /// exactness-preserving — see [`WarmStart`]). The
+    /// [`AdaptiveConfig::warmstart`]/[`AdaptiveConfig::bucket_reuse`]
+    /// toggles are re-applied to the state on every planning call, so
+    /// ablation flags win over however the state was constructed.
+    pub warm: Option<&'a mut WarmStart>,
     /// 0-based index of the window being planned (labels events and keys
     /// feed-gap injection).
     pub window: u32,
@@ -122,6 +160,7 @@ impl Default for PlanContext<'_> {
             recorder: &NullRecorder,
             cache: None,
             faults: None,
+            warm: None,
             window: 0,
         }
     }
@@ -148,6 +187,12 @@ impl<'a> PlanContext<'a> {
     /// Consult `faults` for market-feed gaps.
     pub fn with_faults(mut self, faults: &'a FaultInjector) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Thread warm-start state `warm` through this window's search.
+    pub fn with_warm(mut self, warm: &'a mut WarmStart) -> Self {
+        self.warm = Some(warm);
         self
     }
 
@@ -265,7 +310,7 @@ impl AdaptivePlanner {
                 let residual = base.try_residual(remaining_fraction, leftover.max(0.0))?;
                 let fastest = residual.try_baseline()?;
                 if fastest.exec_hours + fastest.recovery_hours <= leftover {
-                    if let Some(eval) = evaluate_plan(&plan, view) {
+                    if let Some(eval) = evaluate_plan(&plan, view)? {
                         let feasible = eval.meets(leftover)
                             && self
                                 .config
@@ -305,7 +350,14 @@ impl AdaptivePlanner {
             }
         }
 
-        let decision = self.decide(base, remaining_fraction, elapsed, view, ctx.recorder)?;
+        let decision = self.decide(
+            base,
+            remaining_fraction,
+            elapsed,
+            view,
+            ctx.recorder,
+            ctx.warm.as_deref_mut(),
+        )?;
         let window = ctx.window;
         emit(ctx.recorder, TraceLevel::Summary, || {
             Event::WindowReplanned {
@@ -398,6 +450,7 @@ impl AdaptivePlanner {
         elapsed: Hours,
         view: &MarketView,
         recorder: &dyn Recorder,
+        warm: Option<&mut WarmStart>,
     ) -> Result<WindowDecision, SompiError> {
         let leftover = base.deadline - elapsed;
         let residual = base.try_residual(remaining_fraction, leftover.max(0.0))?;
@@ -412,6 +465,21 @@ impl AdaptivePlanner {
             )));
         }
 
+        // The config's ablation toggles are authoritative: re-apply them
+        // to the carried state so `--no-warmstart`/`--no-bucket-reuse`
+        // bite even when the caller handed over a default WarmStart.
+        let mut warm = warm;
+        if let Some(w) = warm.as_deref_mut() {
+            w.use_plan = self.config.warmstart;
+            if !w.use_plan {
+                w.prev = None;
+            }
+            w.use_tables = self.config.bucket_reuse;
+            if !w.use_tables {
+                w.tables.clear();
+            }
+        }
+
         // Otherwise re-optimize the residual against the fresh view. The
         // optimizer's own `E[Time] ≤ leftover` constraint (with graceful
         // on-demand fallback when nothing feasible exists) is the paper's
@@ -419,7 +487,7 @@ impl AdaptivePlanner {
         // that as the Algorithm-1 bail-out.
         let OptimizedPlan { plan, .. } =
             TwoLevelOptimizer::new(&residual, view, self.config.optimizer)
-                .optimize_recorded(recorder);
+                .optimize_warm(recorder, warm)?;
         if plan.groups.is_empty() {
             return Ok(WindowDecision::FinishOnDemand(plan));
         }
@@ -451,12 +519,13 @@ pub struct ViewFingerprint {
 impl ViewFingerprint {
     /// Digest a view. Cost: one failure-rate estimation per group (at a
     /// single probe bid), versus `bid_levels` of them per group for a
-    /// full re-optimization.
+    /// full re-optimization. Walks the view's own estimators, so it never
+    /// hits an unknown-group lookup.
     pub fn digest(view: &MarketView) -> Self {
         let entries = view
-            .groups()
-            .map(|id| {
-                let max_bid = view.max_bid(id);
+            .estimators()
+            .map(|(id, est)| {
+                let max_bid = est.max_price();
                 if !(max_bid.is_finite() && max_bid > 0.0) {
                     return (id, [0.0; 5]);
                 }
@@ -464,14 +533,15 @@ impl ViewFingerprint {
                 // log₂ grid, where failure rates move fastest when the
                 // price distribution drifts.
                 let probe = max_bid * 0.5;
-                let f = view.failure_fn(id, probe, FINGERPRINT_PROBE_HORIZON);
+                let f = est.failure_rate_exact(probe, FINGERPRINT_PROBE_HORIZON);
+                let prices = est.expected_spot_price();
                 (
                     id,
                     [
-                        view.min_price(id),
-                        view.mean_price(id),
+                        prices.min_price(),
+                        prices.mean_below(f64::INFINITY).unwrap_or(0.0),
                         max_bid,
-                        view.launch_delay(id, probe),
+                        est.expected_launch_delay(probe),
                         f.survival(),
                     ],
                 )
@@ -545,18 +615,34 @@ impl PlanCache {
     /// The cached plan rescaled to `remaining_fraction` regardless of
     /// fingerprint — the feed-gap degradation path, where no trustworthy
     /// fresh fingerprint exists (see [`AdaptivePlanner::plan_window`]).
+    ///
+    /// Degenerate ratios answer `None` instead of producing a zero- or
+    /// NaN-scaled plan: both fractions must be finite and positive.
+    /// (`made_for = +∞` used to slip through a bare `> 0.0` check and
+    /// rescale the plan by 0, which `Plan::scaled` rejects by panicking.)
     fn recall_latest(&self, remaining_fraction: f64) -> Option<Plan> {
         let e = self.entry.as_ref()?;
-        if !(remaining_fraction > 0.0 && e.made_for > 0.0) {
+        if !(remaining_fraction.is_finite()
+            && remaining_fraction > 0.0
+            && e.made_for.is_finite()
+            && e.made_for > 0.0)
+        {
             return None;
         }
-        Some(e.plan.scaled((remaining_fraction / e.made_for).min(1.0)))
+        let ratio = (remaining_fraction / e.made_for).min(1.0);
+        Some(e.plan.scaled(ratio))
     }
 
     /// Remember a freshly planned decision. Only hybrid plans are worth
     /// caching; a finish-on-demand decision clears the cache (subsequent
-    /// windows run on demand and never consult it).
+    /// windows run on demand and never consult it). A non-finite or
+    /// non-positive `made_for` cannot be rescaled from later, so the
+    /// entry is dropped rather than stored poisoned.
     fn store(&mut self, fingerprint: ViewFingerprint, decision: &WindowDecision, made_for: f64) {
+        if !(made_for.is_finite() && made_for > 0.0) {
+            self.entry = None;
+            return;
+        }
         match decision {
             WindowDecision::Hybrid(plan) => {
                 self.entry = Some(CacheEntry {
@@ -614,6 +700,7 @@ mod tests {
                 bid_levels: 3,
                 ..Default::default()
             },
+            ..Default::default()
         })
     }
 
@@ -903,5 +990,124 @@ mod tests {
         assert_eq!(cfg.window_hours, 5.0);
         assert_eq!(cfg.history_hours, AdaptiveConfig::default().history_hours);
         assert_eq!(cfg.optimizer.kappa, 3);
+        assert!(cfg.warmstart && cfg.bucket_reuse, "warm layers default on");
+        let cfg = AdaptiveConfig::builder()
+            .warmstart(false)
+            .bucket_reuse(false)
+            .build();
+        assert!(!cfg.warmstart && !cfg.bucket_reuse);
+    }
+
+    #[test]
+    fn adaptive_config_deserializes_without_warm_fields() {
+        // Configs serialized before the warm-start layers existed must
+        // keep loading, with both layers defaulting on.
+        let optimizer = serde_json::to_string(&OptimizerConfig::default()).unwrap();
+        let json =
+            format!(r#"{{"window_hours": 10.0, "history_hours": 24.0, "optimizer": {optimizer}}}"#);
+        let cfg: AdaptiveConfig =
+            serde_json::from_str(&json).expect("pre-warmstart config should deserialize");
+        assert_eq!(cfg.window_hours, 10.0);
+        assert!(cfg.warmstart && cfg.bucket_reuse);
+    }
+
+    #[test]
+    fn cache_refuses_degenerate_rescale_ratios() {
+        // Regression: a cached `made_for = +∞` passed the old bare
+        // `> 0.0` guard and rescaled the plan by 0, which panics inside
+        // `Plan::scaled`; NaN and non-positive fractions were similarly
+        // unguarded on the recall side.
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let fp = ViewFingerprint::digest(&view);
+        let decision = plan(&planner(), &problem, 1.0, 0.0, &view);
+        assert!(matches!(decision, WindowDecision::Hybrid(_)));
+
+        for bad in [f64::INFINITY, f64::NAN, 0.0, -0.5] {
+            let mut cache = PlanCache::default();
+            cache.store(fp.clone(), &decision, bad);
+            assert!(
+                cache.recall_latest(0.5).is_none(),
+                "made_for = {bad} must not be stored as recallable"
+            );
+        }
+
+        let mut cache = PlanCache::default();
+        cache.store(fp.clone(), &decision, 0.8);
+        for bad in [f64::INFINITY, f64::NAN, 0.0, -1.0] {
+            assert!(
+                cache.recall_latest(bad).is_none(),
+                "remaining_fraction = {bad} must not rescale"
+            );
+        }
+        // Sane ratios still recall, clamped to the stored plan's size.
+        let recalled = cache.recall_latest(0.4).expect("healthy ratio recalls");
+        assert!(!recalled.groups.is_empty());
+        assert!(cache.recall_latest(0.9).is_some(), "ratio clamps at 1.0");
+    }
+
+    #[test]
+    fn warm_context_does_not_change_window_decisions() {
+        // The warm-start layers are exactness-preserving: a window planned
+        // with carried state must produce the same decision as a cold one.
+        let (market, problem) = setup();
+        let p = planner();
+        let mut warm = WarmStart::new();
+        for (window, (frac, elapsed, start)) in
+            [(1.0, 0.0, 0.0), (0.7, 0.8, 15.0), (0.4, 1.6, 30.0)]
+                .into_iter()
+                .enumerate()
+        {
+            let view = MarketView::from_market(&market, start, 48.0);
+            let cold = p
+                .plan_window(&problem, frac, elapsed, &view, &mut PlanContext::new())
+                .unwrap();
+            let warmed = p
+                .plan_window(
+                    &problem,
+                    frac,
+                    elapsed,
+                    &view,
+                    &mut PlanContext::new()
+                        .with_warm(&mut warm)
+                        .with_window(window as u32),
+                )
+                .unwrap();
+            assert_eq!(
+                cold.decision, warmed.decision,
+                "window {window}: warm context changed the decision"
+            );
+        }
+        assert!(warm.has_plan(), "warm state should carry the last plan");
+        assert!(warm.cached_groups() > 0, "bucket tables should be cached");
+    }
+
+    #[test]
+    fn config_toggles_override_the_carried_state() {
+        // `--no-warmstart` / `--no-bucket-reuse` must win even when the
+        // caller supplies a fully enabled WarmStart.
+        let (market, problem) = setup();
+        let view = MarketView::from_market(&market, 0.0, 48.0);
+        let mut cfg = planner().config;
+        cfg.warmstart = false;
+        cfg.bucket_reuse = false;
+        let p = AdaptivePlanner::new(cfg);
+        let mut warm = WarmStart::new();
+        let planned = p
+            .plan_window(
+                &problem,
+                1.0,
+                0.0,
+                &view,
+                &mut PlanContext::new().with_warm(&mut warm),
+            )
+            .unwrap();
+        assert!(matches!(planned.decision, WindowDecision::Hybrid(_)));
+        assert!(!warm.plan_carryover() && !warm.table_reuse());
+        assert!(
+            !warm.has_plan(),
+            "disabled carry-over must not store a plan"
+        );
+        assert_eq!(warm.cached_groups(), 0, "disabled reuse must not cache");
     }
 }

@@ -42,7 +42,9 @@ pub trait Strategy {
     /// Convenience: plan and evaluate under the cost model.
     fn plan_and_evaluate(&self, problem: &Problem, view: &MarketView) -> (Plan, Evaluation) {
         let plan = self.plan(problem, view);
-        let eval = evaluate_plan(&plan, view).expect("strategies must produce launchable plans");
+        let eval = evaluate_plan(&plan, view)
+            .expect("strategies only plan over the view's own groups")
+            .expect("strategies must produce launchable plans");
         (plan, eval)
     }
 }
@@ -92,7 +94,8 @@ impl Strategy for Marathe {
                 continue;
             }
             let bid = target.unit_price; // bid at the on-demand price
-            let interval = optimal_interval(c, bid, view);
+            let interval = optimal_interval(c, bid, view)
+                .expect("candidates are drawn from the view's market");
             groups.push((
                 *c,
                 GroupDecision {
@@ -127,7 +130,8 @@ impl Strategy for MaratheOpt {
                     continue;
                 }
                 let bid = od.unit_price;
-                let interval = optimal_interval(c, bid, view);
+                let interval = optimal_interval(c, bid, view)
+                    .expect("candidates are drawn from the view's market");
                 groups.push((
                     *c,
                     GroupDecision {
@@ -143,7 +147,7 @@ impl Strategy for MaratheOpt {
                 groups,
                 on_demand: *od,
             };
-            let Some(eval) = evaluate_plan(&plan, view) else {
+            let Ok(Some(eval)) = evaluate_plan(&plan, view) else {
                 continue;
             };
             let feasible = eval.meets(problem.deadline);
@@ -196,7 +200,12 @@ impl Strategy for SpotAvg {
     }
 
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
-        single_group_plan(problem, view, |view, id| view.mean_price(id))
+        single_group_plan(problem, view, |view, id| {
+            // Candidates come from the view's market; a missing group can
+            // only mean a hand-built mismatch, where a zero bid simply
+            // never launches and the option drops out below.
+            view.mean_price(id).unwrap_or(0.0)
+        })
     }
 }
 
@@ -217,7 +226,7 @@ fn single_group_plan(
             groups: vec![(*c, decision)],
             on_demand: od,
         };
-        let Some(eval) = evaluate_plan(&plan, view) else {
+        let Ok(Some(eval)) = evaluate_plan(&plan, view) else {
             continue;
         };
         let feasible = eval.meets(problem.deadline);
@@ -255,12 +264,14 @@ impl Strategy for Sompi {
     fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
         TwoLevelOptimizer::new(problem, view, self.config)
             .optimize()
+            .expect("problem candidates are drawn from the view's market")
             .plan
     }
 
     fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
         TwoLevelOptimizer::new(problem, view, self.config)
             .optimize_recorded(recorder)
+            .expect("problem candidates are drawn from the view's market")
             .plan
     }
 }
@@ -282,7 +293,10 @@ impl Strategy for SompiNoReplication {
             kappa: 1,
             ..self.config
         };
-        TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
+        TwoLevelOptimizer::new(problem, view, cfg)
+            .optimize()
+            .expect("problem candidates are drawn from the view's market")
+            .plan
     }
 }
 
@@ -304,7 +318,10 @@ impl Strategy for SompiNoCheckpoint {
             interval_grid: Some(1),
             ..self.config
         };
-        TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
+        TwoLevelOptimizer::new(problem, view, cfg)
+            .optimize()
+            .expect("problem candidates are drawn from the view's market")
+            .plan
     }
 }
 
@@ -327,7 +344,10 @@ impl Strategy for AllUnable {
             interval_grid: Some(1),
             ..self.config
         };
-        TwoLevelOptimizer::new(problem, view, cfg).optimize().plan
+        TwoLevelOptimizer::new(problem, view, cfg)
+            .optimize()
+            .expect("problem candidates are drawn from the view's market")
+            .plan
     }
 }
 
@@ -403,7 +423,7 @@ mod tests {
         let plan = SpotAvg.plan(&p, &v);
         assert_eq!(plan.replication_degree(), 1);
         let (g, d) = &plan.groups[0];
-        assert!((d.bid - v.mean_price(g.id)).abs() < 1e-12);
+        assert!((d.bid - v.mean_price(g.id).unwrap()).abs() < 1e-12);
     }
 
     #[test]

@@ -39,9 +39,11 @@
 //!   looked up in the loops; the only buffer the all-fail branch needs
 //!   lives in a caller-reusable [`EvalScratch`].
 
+use crate::error::SompiError;
 use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use crate::view::MarketView;
 use crate::{Hours, Usd};
+use ec2_market::failure::FailureEstimator;
 use serde::{Deserialize, Serialize};
 
 /// Tolerance for probability-mass conservation: `survival + Σ fail_buckets`
@@ -86,22 +88,33 @@ pub struct GroupAssessment {
 impl GroupAssessment {
     /// Assess `group` under `decision` against market history.
     ///
-    /// Returns `None` when the bid admits no launch at all (no historical
-    /// price at or below it) — such a group cannot be part of a plan.
-    pub fn assess(group: CircleGroup, decision: GroupDecision, view: &MarketView) -> Option<Self> {
-        let expected_price = view.expected_price(group.id, decision.bid)?;
-        let horizon = group
-            .completion_wall_hours(decision.ckpt_interval)
-            .ceil()
-            .max(1.0) as usize;
-        let f = view.failure_fn(group.id, decision.bid, horizon);
+    /// Returns `Ok(None)` when the bid admits no launch at all (no
+    /// historical price at or below it) — such a group cannot be part of a
+    /// plan — and `Err` when the view has no history for the group.
+    pub fn assess(
+        group: CircleGroup,
+        decision: GroupDecision,
+        view: &MarketView,
+    ) -> Result<Option<Self>, SompiError> {
+        let est = view.try_estimator(group.id)?;
+        Ok(Self::assess_with(group, decision, est))
+    }
+
+    /// [`GroupAssessment::assess`] with the estimator already in hand.
+    pub fn assess_with(
+        group: CircleGroup,
+        decision: GroupDecision,
+        est: &FailureEstimator,
+    ) -> Option<Self> {
+        let expected_price = est.expected_spot_price().mean_below(decision.bid)?;
+        let f = est.failure_rate_exact(decision.bid, assessment_horizon(&group, &decision));
         Some(Self::from_parts(
             group,
             decision,
             expected_price,
             f.survival(),
             f.buckets().to_vec(),
-            view.launch_delay(group.id, decision.bid),
+            est.expected_launch_delay(decision.bid),
         ))
     }
 
@@ -427,15 +440,30 @@ pub fn evaluate_with_scratch(
     }
 }
 
+/// The hourly horizon a group is assessed over: its full wall-clock
+/// completion time under the decision's checkpoint interval. Shared with
+/// the warm-start table cache so cached counts serve the exact horizon the
+/// cold path would have used.
+pub fn assessment_horizon(group: &CircleGroup, decision: &GroupDecision) -> usize {
+    group
+        .completion_wall_hours(decision.ckpt_interval)
+        .ceil()
+        .max(1.0) as usize
+}
+
 /// Convenience: assess every group of a plan and evaluate it. Returns
-/// `None` if any group's bid admits no launch.
-pub fn evaluate_plan(plan: &Plan, view: &MarketView) -> Option<Evaluation> {
+/// `Ok(None)` if any group's bid admits no launch, `Err` if any group is
+/// unknown to the view.
+pub fn evaluate_plan(plan: &Plan, view: &MarketView) -> Result<Option<Evaluation>, SompiError> {
     let mut assessed = Vec::with_capacity(plan.groups.len());
     for (g, d) in &plan.groups {
-        assessed.push(GroupAssessment::assess(*g, *d, view)?);
+        match GroupAssessment::assess(*g, *d, view)? {
+            Some(a) => assessed.push(a),
+            None => return Ok(None),
+        }
     }
     let refs: Vec<&GroupAssessment> = assessed.iter().collect();
-    Some(evaluate(&refs, &plan.on_demand))
+    Ok(Some(evaluate(&refs, &plan.on_demand)))
 }
 
 /// `E[max_j e_j | all fail]` — expected wall time at which the *last*

@@ -71,6 +71,12 @@ impl From<FeedError> for SompiError {
     }
 }
 
+impl From<ec2_market::UnknownGroupError> for SompiError {
+    fn from(e: ec2_market::UnknownGroupError) -> Self {
+        SompiError::UnknownGroup { group: e.group }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,8 @@
 //! * [`twolevel`] — the two-level optimizer with κ-subset selection
 //!   (§4.2.2 + §4.4),
 //! * [`adaptive`] — the windowed adaptive re-optimizer, Algorithm 1 (§4.3),
+//! * [`warmstart`] — exactness-preserving warm-start state carried across
+//!   the adaptive loop's searches (DESIGN.md §12),
 //! * [`baselines`] — every comparison strategy in the evaluation:
 //!   On-demand, Marathe, Marathe-Opt, Spot-Inf, Spot-Avg, and the
 //!   fault-tolerance ablations (§5.3, §5.4.2).
@@ -43,6 +45,7 @@ pub mod phi;
 pub mod problem;
 pub mod twolevel;
 pub mod view;
+pub mod warmstart;
 
 pub use adaptive::{
     AdaptiveConfig, AdaptiveConfigBuilder, AdaptivePlanner, PlanCache, PlanContext, PlannedWindow,
@@ -58,6 +61,7 @@ pub use phi::optimal_interval;
 pub use problem::Problem;
 pub use twolevel::{OptimizedPlan, OptimizerConfig, OptimizerConfigBuilder, TwoLevelOptimizer};
 pub use view::MarketView;
+pub use warmstart::WarmStart;
 
 /// Hours, matching the substrate crates.
 pub type Hours = f64;

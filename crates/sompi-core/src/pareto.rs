@@ -17,7 +17,7 @@ use crate::cost::{evaluate, Evaluation, GroupAssessment};
 use crate::logsearch::BidGrid;
 use crate::model::{GroupDecision, Plan};
 use crate::ondemand::select_on_demand;
-use crate::phi::optimal_interval;
+use crate::phi::optimal_interval_for;
 use crate::problem::Problem;
 use crate::twolevel::{GridKind, OptimizerConfig};
 use crate::view::MarketView;
@@ -73,37 +73,41 @@ pub fn frontier(problem: &Problem, view: &MarketView, config: OptimizerConfig) -
     // choice only shifts the whole frontier).
     let od = select_on_demand(&problem.on_demand, f64::MAX, config.slack);
 
-    // Assess candidates once per (group, bid).
+    // Assess candidates once per (group, bid). A candidate the view has
+    // no history for simply contributes no options (and so no frontier
+    // points) instead of aborting the whole curve.
     let mut options: Vec<Vec<GroupAssessment>> = Vec::new();
     for group in &problem.candidates {
-        let max_bid = view.max_bid(group.id);
         let mut opts = Vec::new();
-        if max_bid.is_finite() && max_bid > 0.0 {
-            let min_price = view.min_price(group.id).max(1e-6);
-            let span = ((max_bid / min_price).log2().ceil() as u32 + 1).max(2);
-            let levels = span.min(config.bid_levels.max(2));
-            let mut grid = match config.grid {
-                GridKind::Logarithmic => BidGrid::logarithmic(max_bid, levels),
-                GridKind::Uniform => BidGrid::uniform(max_bid, levels),
-            };
-            if let Some(m) = config.top_margin {
-                grid = grid.with_top_margin(m);
-            }
-            for &bid in grid.bids() {
-                let interval = optimal_interval(group, bid, view);
-                let decision = GroupDecision {
-                    bid,
-                    ckpt_interval: interval,
+        if let Ok(est) = view.try_estimator(group.id) {
+            let max_bid = est.max_price();
+            if max_bid.is_finite() && max_bid > 0.0 {
+                let min_price = est.expected_spot_price().min_price().max(1e-6);
+                let span = ((max_bid / min_price).log2().ceil() as u32 + 1).max(2);
+                let levels = span.min(config.bid_levels.max(2));
+                let mut grid = match config.grid {
+                    GridKind::Logarithmic => BidGrid::logarithmic(max_bid, levels),
+                    GridKind::Uniform => BidGrid::uniform(max_bid, levels),
                 };
-                if let Some(a) = GroupAssessment::assess(*group, decision, view) {
-                    opts.push(a);
+                if let Some(m) = config.top_margin {
+                    grid = grid.with_top_margin(m);
                 }
+                for &bid in grid.bids() {
+                    let interval = optimal_interval_for(group, bid, est);
+                    let decision = GroupDecision {
+                        bid,
+                        ckpt_interval: interval,
+                    };
+                    if let Some(a) = GroupAssessment::assess_with(*group, decision, est) {
+                        opts.push(a);
+                    }
+                }
+                // Exact and output-invariant here too: collapsed duplicates
+                // produce identical (E[Time], E[Cost]) points, and the kept
+                // (higher-bid) twin enumerates first anyway, so the stable
+                // non-dominated filter below returns the same frontier.
+                collapse_bid_dominated(&mut opts);
             }
-            // Exact and output-invariant here too: collapsed duplicates
-            // produce identical (E[Time], E[Cost]) points, and the kept
-            // (higher-bid) twin enumerates first anyway, so the stable
-            // non-dominated filter below returns the same frontier.
-            collapse_bid_dominated(&mut opts);
         }
         options.push(opts);
     }
@@ -252,7 +256,9 @@ mod tests {
         let f = frontier(&problem, &view, cfg);
         for factor in [1.1, 1.5] {
             problem.deadline = problem.baseline_time() * factor;
-            let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
+            let opt = TwoLevelOptimizer::new(&problem, &view, cfg)
+                .optimize()
+                .unwrap();
             let best_on_frontier = f
                 .iter()
                 .filter(|p| p.evaluation.expected_time <= problem.deadline)
@@ -329,7 +335,7 @@ mod tests {
         // Every surviving plan's bids are launchable under the view.
         for p in &f {
             for (g, d) in &p.plan.groups {
-                assert!(view.expected_price(g.id, d.bid).is_some());
+                assert!(view.expected_price(g.id, d.bid).unwrap().is_some());
             }
         }
     }

@@ -12,9 +12,11 @@
 //! * a very failure-prone bid clamps to `O_i` (checkpointing any faster
 //!   than the checkpoint itself is useless).
 
+use crate::error::SompiError;
 use crate::model::CircleGroup;
 use crate::view::MarketView;
 use crate::{Hours, Usd};
+use ec2_market::failure::FailureEstimator;
 
 /// Compute `φ_i(P_i)`: the checkpoint interval for `group` at bid `bid`.
 ///
@@ -22,13 +24,36 @@ use crate::{Hours, Usd};
 /// `F` directly — each bid maps to its interval via the market view's
 /// failure estimate. The chosen interval per group is surfaced in
 /// `SubsetEvaluated.phi_intervals` trace events (see
-/// `docs/OBSERVABILITY.md`).
-pub fn optimal_interval(group: &CircleGroup, bid: Usd, view: &MarketView) -> Hours {
+/// `docs/OBSERVABILITY.md`). Errors when the view has no history for the
+/// group.
+pub fn optimal_interval(
+    group: &CircleGroup,
+    bid: Usd,
+    view: &MarketView,
+) -> Result<Hours, SompiError> {
+    Ok(optimal_interval_for(
+        group,
+        bid,
+        view.try_estimator(group.id)?,
+    ))
+}
+
+/// [`optimal_interval`] with the group's estimator already in hand —
+/// infallible, and the form the warm-started optimizer uses so a cached
+/// failure table can stand in for the estimator walk.
+pub fn optimal_interval_for(group: &CircleGroup, bid: Usd, est: &FailureEstimator) -> Hours {
     // Estimate MTTF over the group's own wall-clock horizon (without
     // checkpoints yet — a first-order self-consistent choice: O_i ≪ T_i).
-    let horizon = group.exec_hours.ceil().max(1.0) as usize;
-    let f = view.failure_fn(group.id, bid, horizon);
+    let horizon = phi_horizon(group);
+    let f = est.failure_rate_exact(bid, horizon);
     interval_from_mttf(group, f.mean_time_to_failure())
+}
+
+/// The hourly horizon `φ` estimates MTTF over: the group's own execution
+/// time. Shared with the warm-start table cache so cached counts serve the
+/// exact horizon the cold path would have used.
+pub fn phi_horizon(group: &CircleGroup) -> usize {
+    group.exec_hours.ceil().max(1.0) as usize
 }
 
 /// The Young/Daly interval given an MTTF estimate; exposed separately for
@@ -136,11 +161,14 @@ mod tests {
         let mut g = group(12.0, 0.03);
         g.id = id;
         // A bid at the historical max never fails → no checkpoints.
-        let f_hi = optimal_interval(&g, view.max_bid(id), &view);
+        let f_hi = optimal_interval(&g, view.max_bid(id).unwrap(), &view).unwrap();
         assert_eq!(f_hi, g.exec_hours);
         // A low-but-launchable bid fails often → finite interval.
-        let low_bid = view.mean_price(id) * 0.8;
-        let f_lo = optimal_interval(&g, low_bid, &view);
+        let low_bid = view.mean_price(id).unwrap() * 0.8;
+        let f_lo = optimal_interval(&g, low_bid, &view).unwrap();
         assert!(f_lo <= f_hi);
+        // The estimator-in-hand form is the same computation.
+        let est = view.try_estimator(id).unwrap();
+        assert_eq!(optimal_interval_for(&g, low_bid, est), f_lo);
     }
 }

@@ -29,17 +29,34 @@
 //! independent of how the subset list is chunked, the returned
 //! [`OptimizedPlan`] — plan, evaluation, and `evaluations_performed` — is
 //! identical at any thread count.
+//!
+//! # Warm-started re-optimization
+//!
+//! [`TwoLevelOptimizer::optimize_warm`] accepts [`WarmStart`] state from a
+//! previous, similar search (the adaptive loop's previous window): the
+//! previous plan seeds the incumbent bound, its top subsets are enumerated
+//! first, and the per-`(group, bid)` failure tables behind `φ(P)` and the
+//! assessments are reused while their history digest matches. All three
+//! layers only change *how fast* the bound tightens or the assessments
+//! build — never which candidate wins — so the selected plan stays
+//! bit-identical to a cold search (see `crate::warmstart`).
 
-use crate::cost::{evaluate, evaluate_with_scratch, EvalScratch, Evaluation, GroupAssessment};
+use crate::cost::{
+    assessment_horizon, evaluate, evaluate_with_scratch, EvalScratch, Evaluation, GroupAssessment,
+};
+use crate::error::SompiError;
 use crate::logsearch::BidGrid;
-use crate::model::{GroupDecision, OnDemandOption, Plan};
+use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
-use crate::phi::optimal_interval;
+use crate::phi::{interval_from_mttf, optimal_interval_for, phi_horizon};
 use crate::problem::Problem;
 use crate::view::MarketView;
+use crate::warmstart::{BidTable, GroupTables, PrevWindow, WarmStart, HOT_SUBSETS};
+use ec2_market::market::CircleGroupId;
 use serde::{Deserialize, Serialize};
 use sompi_obs::{emit, Event, NullRecorder, PhaseTimer, Recorder, TraceLevel};
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Which bid grid shape to search (logarithmic is the paper's; uniform
@@ -315,6 +332,19 @@ struct WorkerStats {
     best: Option<Candidate>,
 }
 
+/// `assess_options` output: the per-group option lists, the enumeration
+/// counters, and — when a warm start with table reuse was attached — the
+/// per-group bucket-table cache accounting.
+struct AssessedOptions {
+    options: Vec<Vec<GroupAssessment>>,
+    considered: u64,
+    pruned: u64,
+    dominated: u64,
+    /// Per-group `(id, digest, entries reused, entries rebuilt)`; empty
+    /// on cold assessments (no allocation on the cold path).
+    table_stats: Vec<(CircleGroupId, u64, u64, u64)>,
+}
+
 /// Lexicographic comparison of a candidate's bid vector (iterator form,
 /// so the hot path compares without materializing a `Vec`) against an
 /// incumbent's stored bids. Shorter vectors order before their extensions.
@@ -404,8 +434,9 @@ impl<'a> TwoLevelOptimizer<'a> {
     /// [`NullRecorder`]: no event is ever constructed, so the search is
     /// exactly as fast and allocation-free as before instrumentation
     /// existed (asserted by `tests/alloc_guard.rs` and the `opt_speed`
-    /// bench).
-    pub fn optimize(&self) -> OptimizedPlan {
+    /// bench). Errors when a candidate group is unknown to the market
+    /// view.
+    pub fn optimize(&self) -> Result<OptimizedPlan, SompiError> {
         self.optimize_recorded(&NullRecorder)
     }
 
@@ -414,16 +445,52 @@ impl<'a> TwoLevelOptimizer<'a> {
     /// level, in worker-index order, merged at join), and one
     /// `PlanSelected`. The hot candidate loop only increments worker-local
     /// `u64` counters; events are built outside it.
-    pub fn optimize_recorded(&self, recorder: &dyn Recorder) -> OptimizedPlan {
+    pub fn optimize_recorded(&self, recorder: &dyn Recorder) -> Result<OptimizedPlan, SompiError> {
+        self.optimize_warm(recorder, None)
+    }
+
+    /// [`TwoLevelOptimizer::optimize_recorded`] with warm-start state
+    /// carried from a previous, similar search (DESIGN.md §12): the
+    /// previous plan seeds the incumbent bound, its hot subsets are
+    /// enumerated first, and unchanged per-group failure tables are
+    /// reused. Every layer is exactness-preserving — the returned plan is
+    /// bit-identical to a cold search at any thread count — and each is
+    /// independently toggleable on the [`WarmStart`]. Emits one
+    /// `WarmStartApplied` (Summary) per call with warm state attached,
+    /// plus one `BucketTableReused` (Detail) per group whose table cache
+    /// was consulted. The warm seed probe is not counted in
+    /// `evaluations_performed`, which keeps reporting the full
+    /// enumeration size.
+    pub fn optimize_warm(
+        &self,
+        recorder: &dyn Recorder,
+        mut warm: Option<&mut WarmStart>,
+    ) -> Result<OptimizedPlan, SompiError> {
         let od = select_on_demand(
             &self.problem.on_demand,
             self.problem.deadline,
             self.config.slack,
         );
         let assess_timer = PhaseTimer::start();
-        let (options, options_considered, options_pruned, options_dominated) =
-            self.assess_options();
+        let AssessedOptions {
+            options,
+            considered: options_considered,
+            pruned: options_pruned,
+            dominated: options_dominated,
+            table_stats,
+        } = self.assess_options(warm.as_deref_mut())?;
         let assess_secs = assess_timer.elapsed_secs();
+        let (mut tables_reused, mut tables_rebuilt) = (0u64, 0u64);
+        for &(group, digest, reused, rebuilt) in &table_stats {
+            tables_reused += reused;
+            tables_rebuilt += rebuilt;
+            emit(recorder, TraceLevel::Detail, || Event::BucketTableReused {
+                group: group.to_string(),
+                digest,
+                reused,
+                rebuilt,
+            });
+        }
 
         // The pure on-demand plan is the incumbent the search must beat.
         let od_eval = evaluate(&[], &od);
@@ -441,6 +508,13 @@ impl<'a> TwoLevelOptimizer<'a> {
             })
             .collect();
 
+        // The previous window's carry-over, cloned out up front so the
+        // warm state itself can be rewritten once this search concludes.
+        let warm_prev: Option<PrevWindow> = match warm.as_deref() {
+            Some(w) if w.use_plan => w.prev.clone(),
+            _ => None,
+        };
+
         // The incumbent cost bound candidates must beat, as IEEE bits
         // (non-negative floats order identically as u64 bits, so
         // `fetch_min` over bits is `fetch_min` over costs). Seeded with
@@ -451,7 +525,20 @@ impl<'a> TwoLevelOptimizer<'a> {
         } else {
             f64::INFINITY
         };
-        let shared_bound = AtomicU64::new(od_seed_bound.to_bits());
+        // Warm seed: project the previous window's plan onto the current
+        // option grids and evaluate that one candidate. When feasible its
+        // cost tightens the bound before the first enumerated candidate —
+        // exact, because the seed is an achievable feasible cost, so the
+        // strict `lb > bound` prune can never discard the candidate that
+        // attains (or beats) it.
+        let seed_cost: Option<f64> = warm_prev
+            .as_ref()
+            .and_then(|p| self.project_seed(&options, &od, &p.plan));
+        let seed_bound = match seed_cost {
+            Some(c) => od_seed_bound.min(c),
+            None => od_seed_bound,
+        };
+        let shared_bound = AtomicU64::new(seed_bound.to_bits());
         let use_shared = self.config.shared_incumbent && self.config.prune_bound;
 
         // Precollect the k-subsets (k ascending, lexicographic within k)
@@ -466,7 +553,21 @@ impl<'a> TwoLevelOptimizer<'a> {
             });
         }
 
-        let threads = resolve_threads(self.config.threads).min(subsets.len().max(1));
+        // Enumeration order over `subsets`: canonical (identity) when
+        // cold, hot-first when the previous window handed over its top
+        // subsets. Only the *visit order* changes — every subset is still
+        // walked, ordinals stay canonical, and candidates compare under
+        // the same total order — so the selected plan is bit-identical
+        // either way; a hot prefix that contains the winner merely
+        // tightens the incumbent bound sooner.
+        let (order, hot_applied): (Vec<usize>, u32) = match &warm_prev {
+            Some(p) if !p.hot_subsets.is_empty() => {
+                hot_first_order(&subsets, &p.hot_subsets, &self.problem.candidates)
+            }
+            _ => ((0..subsets.len()).collect(), 0),
+        };
+
+        let threads = resolve_threads(self.config.threads).min(order.len().max(1));
         emit(recorder, TraceLevel::Summary, || Event::PlanSearchStarted {
             candidates: n as u32,
             kappa: self.config.kappa as u32,
@@ -482,24 +583,35 @@ impl<'a> TwoLevelOptimizer<'a> {
         let search_timer = PhaseTimer::start();
         let results: Vec<WorkerStats> = if threads <= 1 {
             let shared = use_shared.then_some(&shared_bound);
-            vec![self.search_chunk(&options, &od, 0, &subsets, &min_wall, shared, od_seed_bound)]
+            vec![self.search_chunk(
+                &options, &od, &subsets, &order, &min_wall, shared, seed_bound,
+            )]
         } else {
-            let chunk = subsets.len().div_ceil(threads);
+            let chunk = order.len().div_ceil(threads);
             crossbeam::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(threads);
                 for t in 0..threads {
                     let lo = t * chunk;
-                    let hi = (lo + chunk).min(subsets.len());
+                    let hi = (lo + chunk).min(order.len());
                     if lo >= hi {
                         break;
                     }
-                    let slice = &subsets[lo..hi];
+                    let chunk_order = &order[lo..hi];
+                    let subsets = &subsets;
                     let options = &options;
                     let od = &od;
                     let min_wall = &min_wall;
                     let shared = use_shared.then_some(&shared_bound);
                     handles.push(s.spawn(move |_| {
-                        self.search_chunk(options, od, lo, slice, min_wall, shared, od_seed_bound)
+                        self.search_chunk(
+                            options,
+                            od,
+                            subsets,
+                            chunk_order,
+                            min_wall,
+                            shared,
+                            seed_bound,
+                        )
                     }));
                 }
                 handles
@@ -565,13 +677,13 @@ impl<'a> TwoLevelOptimizer<'a> {
         // The winning spot candidate must still beat the on-demand
         // incumbent — strictly, as in the sequential algorithm, so ties
         // keep the simpler on-demand plan.
-        if let Some(c) = best {
-            let spot_wins = match (c.feasible, od_feasible) {
-                (true, false) => true,
-                (false, true) => false,
-                _ => c.eval.expected_cost < od_eval.expected_cost,
-            };
-            if spot_wins {
+        let spot = best.filter(|c| match (c.feasible, od_feasible) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => c.eval.expected_cost < od_eval.expected_cost,
+        });
+        let (plan, evaluation, winner_subset) = match spot {
+            Some(c) => {
                 let plan = Plan {
                     groups: c
                         .subset
@@ -584,32 +696,49 @@ impl<'a> TwoLevelOptimizer<'a> {
                         .collect(),
                     on_demand: od,
                 };
-                emit(recorder, TraceLevel::Summary, || Event::PlanSelected {
-                    source: "spot".to_string(),
-                    groups: plan.groups.len() as u32,
-                    expected_cost: c.eval.expected_cost,
-                    expected_time: c.eval.expected_time,
-                    p_all_fail: c.eval.p_all_fail,
-                    slack: self.config.slack,
-                    evaluations,
-                    assess_secs,
-                    search_secs,
-                    evals_skipped,
-                    bound_tightenings,
-                });
-                return OptimizedPlan {
-                    plan,
-                    evaluation: c.eval,
-                    evaluations_performed: evaluations,
-                };
+                (plan, c.eval, Some(c.subset))
             }
+            None => (Plan::on_demand_only(od), od_eval, None),
+        };
+        let source = if winner_subset.is_some() {
+            "spot"
+        } else {
+            "on-demand"
+        };
+
+        // Hand this window's outcome to the next search and surface the
+        // warm-start summary. The hot-subset ranking is computed from the
+        // per-subset lower-bound sums — thread-count-independent, unlike
+        // any ranking derived from worker incumbent trajectories.
+        if let Some(w) = warm {
+            if w.use_plan {
+                let hot = rank_hot_subsets(
+                    &subsets,
+                    &options,
+                    &min_wall,
+                    winner_subset.as_deref(),
+                    &self.problem.candidates,
+                );
+                w.prev = Some(PrevWindow {
+                    plan: plan.clone(),
+                    hot_subsets: hot,
+                });
+            }
+            emit(recorder, TraceLevel::Summary, || Event::WarmStartApplied {
+                seeded: seed_cost.is_some(),
+                seed_cost,
+                hot_subsets: hot_applied,
+                tables_reused,
+                tables_rebuilt,
+            });
         }
+
         emit(recorder, TraceLevel::Summary, || Event::PlanSelected {
-            source: "on-demand".to_string(),
-            groups: 0,
-            expected_cost: od_eval.expected_cost,
-            expected_time: od_eval.expected_time,
-            p_all_fail: od_eval.p_all_fail,
+            source: source.to_string(),
+            groups: plan.groups.len() as u32,
+            expected_cost: evaluation.expected_cost,
+            expected_time: evaluation.expected_time,
+            p_all_fail: evaluation.p_all_fail,
             slack: self.config.slack,
             evaluations,
             assess_secs,
@@ -617,11 +746,59 @@ impl<'a> TwoLevelOptimizer<'a> {
             evals_skipped,
             bound_tightenings,
         });
-        OptimizedPlan {
-            plan: Plan::on_demand_only(od),
-            evaluation: od_eval,
+        Ok(OptimizedPlan {
+            plan,
+            evaluation,
             evaluations_performed: evaluations,
+        })
+    }
+
+    /// Project the previous window's plan onto the current option grids —
+    /// match each plan group to a current candidate by circle-group id and
+    /// to the grid option with the nearest bid (ties to the higher bid) —
+    /// and evaluate that single candidate. Returns its expected cost when
+    /// it is feasible under the current deadline and chance constraint;
+    /// `None` when any group no longer exists, has no options, or the
+    /// projected candidate is infeasible (an infeasible cost must never
+    /// enter the bound — pruning against it would not be exact).
+    fn project_seed(
+        &self,
+        options: &[Vec<GroupAssessment>],
+        od: &OnDemandOption,
+        prev: &Plan,
+    ) -> Option<f64> {
+        if prev.groups.is_empty() {
+            return None;
         }
+        let mut refs: Vec<&GroupAssessment> = Vec::with_capacity(prev.groups.len());
+        for (g, d) in &prev.groups {
+            let gi = self.problem.candidates.iter().position(|c| c.id == g.id)?;
+            let opts = &options[gi];
+            let mut best: Option<(f64, usize)> = None;
+            for (i, a) in opts.iter().enumerate() {
+                let diff = (a.decision.bid - d.bid).abs();
+                let better = match &best {
+                    None => true,
+                    Some((bd, bi)) => match diff.total_cmp(bd) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => a.decision.bid > opts[*bi].decision.bid,
+                    },
+                };
+                if better {
+                    best = Some((diff, i));
+                }
+            }
+            refs.push(&opts[best?.1]);
+        }
+        let eval = evaluate(&refs, od);
+        let feasible = eval.meets(self.problem.deadline)
+            && self
+                .config
+                .min_spot_success
+                .map(|q| eval.p_all_fail <= 1.0 - q)
+                .unwrap_or(true);
+        feasible.then_some(eval.expected_cost)
     }
 
     /// Assess every candidate (group, bid level, interval) option once, up
@@ -639,19 +816,32 @@ impl<'a> TwoLevelOptimizer<'a> {
     /// discarded — the numerator/denominator of the report's prune rate —
     /// and how many survivors the exact bid-collapse dominance filter
     /// ([`crate::pareto::collapse_bid_dominated`]) removed afterwards.
-    fn assess_options(&self) -> (Vec<Vec<GroupAssessment>>, u64, u64, u64) {
+    ///
+    /// With a [`WarmStart`] carrying table reuse, the per-`(group, bid)`
+    /// integer failure counts behind `φ(P)` and each assessment come from
+    /// the warm cache when the group's history digest is unchanged. A
+    /// count table recorded at horizon `H` truncates to any `h ≤ H`
+    /// bit-identically (asserted by `ec2_market`'s truncation tests), so
+    /// the produced assessments are exactly the cold path's. Errors when
+    /// a candidate group is unknown to the view.
+    fn assess_options(
+        &self,
+        mut warm: Option<&mut WarmStart>,
+    ) -> Result<AssessedOptions, SompiError> {
         let mut considered = 0u64;
         let mut pruned = 0u64;
         let mut dominated = 0u64;
+        let mut table_stats: Vec<(CircleGroupId, u64, u64, u64)> = Vec::new();
         let mut options: Vec<Vec<GroupAssessment>> =
             Vec::with_capacity(self.problem.candidates.len());
         for group in &self.problem.candidates {
-            let max_bid = self.view.max_bid(group.id);
+            let est = self.view.try_estimator(group.id)?;
+            let max_bid = est.max_price();
             if !(max_bid.is_finite() && max_bid > 0.0) {
                 options.push(Vec::new());
                 continue;
             }
-            let min_price = self.view.min_price(group.id).max(1e-6);
+            let min_price = est.expected_spot_price().min_price().max(1e-6);
             let span_levels = ((max_bid / min_price).log2().ceil() as u32 + 1).max(2);
             let levels = span_levels.min(self.config.bid_levels.max(2));
             let mut grid = match self.config.grid {
@@ -661,28 +851,115 @@ impl<'a> TwoLevelOptimizer<'a> {
             if let Some(m) = self.config.top_margin {
                 grid = grid.with_top_margin(m);
             }
+            // Bucket-table cache handle for this group, with per-group
+            // reuse accounting. A drifted digest drops every cached bid
+            // entry for the group — per-entry invalidation, nothing else.
+            let mut cache = match warm.as_deref_mut() {
+                Some(w) if w.use_tables => {
+                    let digest = est.digest();
+                    let tables = w
+                        .tables
+                        .entry(group.id)
+                        .or_insert_with(|| GroupTables::new(digest));
+                    if tables.digest != digest {
+                        tables.digest = digest;
+                        tables.by_bid.clear();
+                    }
+                    Some((tables, 0u64, 0u64))
+                }
+                _ => None,
+            };
             let mut opts = Vec::new();
             for &bid in grid.bids() {
-                let intervals: Vec<f64> = match self.config.interval_grid {
-                    None => vec![optimal_interval(group, bid, self.view)],
-                    Some(n) => (1..=n)
-                        .map(|j| group.exec_hours * j as f64 / n as f64)
-                        .collect(),
-                };
-                for interval in intervals {
-                    let decision = GroupDecision {
-                        bid,
-                        ckpt_interval: interval,
-                    };
-                    considered += 1;
-                    if let Some(a) = GroupAssessment::assess(*group, decision, self.view) {
-                        if a.completion_wall() <= self.problem.deadline {
-                            opts.push(a);
+                match cache.as_mut() {
+                    None => {
+                        // Cold path: straight off the estimator — the
+                        // pre-warm-start algorithm, kept verbatim.
+                        let intervals: Vec<f64> = match self.config.interval_grid {
+                            None => vec![optimal_interval_for(group, bid, est)],
+                            Some(n) => (1..=n)
+                                .map(|j| group.exec_hours * j as f64 / n as f64)
+                                .collect(),
+                        };
+                        for interval in intervals {
+                            let decision = GroupDecision {
+                                bid,
+                                ckpt_interval: interval,
+                            };
+                            considered += 1;
+                            if let Some(a) = GroupAssessment::assess_with(*group, decision, est) {
+                                if a.completion_wall() <= self.problem.deadline {
+                                    opts.push(a);
+                                } else {
+                                    pruned += 1;
+                                }
+                            }
+                        }
+                    }
+                    Some((tables, reused, rebuilt)) => {
+                        // Warm path: φ and the assessment are served from
+                        // the cached counts, recomputed only when no entry
+                        // exists or a larger horizon is needed.
+                        let mut fresh = false;
+                        let h_phi = phi_horizon(group);
+                        let entry = tables.by_bid.entry(bid.to_bits()).or_insert_with(|| {
+                            fresh = true;
+                            BidTable {
+                                counts: est.failure_counts(bid, h_phi),
+                                launch_delay: est.expected_launch_delay(bid),
+                            }
+                        });
+                        if entry.counts.horizon() < h_phi {
+                            entry.counts = est.failure_counts(bid, h_phi);
+                            fresh = true;
+                        }
+                        let intervals: Vec<f64> = match self.config.interval_grid {
+                            None => vec![interval_from_mttf(
+                                group,
+                                entry.counts.to_fn(h_phi).mean_time_to_failure(),
+                            )],
+                            Some(n) => (1..=n)
+                                .map(|j| group.exec_hours * j as f64 / n as f64)
+                                .collect(),
+                        };
+                        for interval in intervals {
+                            let decision = GroupDecision {
+                                bid,
+                                ckpt_interval: interval,
+                            };
+                            considered += 1;
+                            let h = assessment_horizon(group, &decision);
+                            if entry.counts.horizon() < h {
+                                entry.counts = est.failure_counts(bid, h);
+                                fresh = true;
+                            }
+                            if let Some(price) = est.expected_spot_price().mean_below(bid) {
+                                let f = entry.counts.to_fn(h);
+                                let a = GroupAssessment::from_parts(
+                                    *group,
+                                    decision,
+                                    price,
+                                    f.survival(),
+                                    f.buckets().to_vec(),
+                                    entry.launch_delay,
+                                );
+                                if a.completion_wall() <= self.problem.deadline {
+                                    opts.push(a);
+                                } else {
+                                    pruned += 1;
+                                }
+                            }
+                        }
+                        if fresh {
+                            *rebuilt += 1;
                         } else {
-                            pruned += 1;
+                            *reused += 1;
                         }
                     }
                 }
+            }
+            if let Some((tables, reused, rebuilt)) = cache {
+                table_stats.push((group.id, tables.digest, reused, rebuilt));
             }
             if self.config.prune_dominance {
                 // Exact: grids enumerate bids highest-first, which is the
@@ -693,14 +970,23 @@ impl<'a> TwoLevelOptimizer<'a> {
             }
             options.push(opts);
         }
-        (options, considered, pruned, dominated)
+        Ok(AssessedOptions {
+            options,
+            considered,
+            pruned,
+            dominated,
+            table_stats,
+        })
     }
 
-    /// Search one contiguous chunk of the subset list with worker-local
-    /// state: a reused borrow buffer, a reused odometer, an
+    /// Search one contiguous chunk of the enumeration order with
+    /// worker-local state: a reused borrow buffer, a reused odometer, an
     /// [`EvalScratch`], a local incumbent, and a local evaluation counter.
-    /// `start` is the chunk's offset into the global subset list (the
-    /// ordinal base), so ordinals are globally unique and chunk-invariant.
+    /// `order` is this worker's slice of the global visit order; each
+    /// entry is the subset's *canonical* index into `subsets`, which is
+    /// what enters the enumeration ordinal — so ordinals are globally
+    /// unique, chunk-invariant, and independent of any warm-start
+    /// reordering of the visit sequence.
     ///
     /// With [`OptimizerConfig::prune_bound`] on, each subset runs a
     /// branch-and-bound walk (DESIGN.md §8.2): the slots' options are
@@ -721,11 +1007,11 @@ impl<'a> TwoLevelOptimizer<'a> {
         &self,
         options: &[Vec<GroupAssessment>],
         od: &OnDemandOption,
-        start: usize,
         subsets: &[Vec<usize>],
+        order: &[usize],
         min_wall: &[f64],
         shared_bound: Option<&AtomicU64>,
-        od_seed_bound: f64,
+        seed_bound: f64,
     ) -> WorkerStats {
         let mut evaluations = 0u64;
         let mut feasible_hits = 0u64;
@@ -746,16 +1032,16 @@ impl<'a> TwoLevelOptimizer<'a> {
         let mut head_min: Vec<f64> = Vec::new();
         // Worker-local incumbent bound, used when no shared bound is
         // installed. Either way the bound only ever holds feasible
-        // candidate costs (or the on-demand seed), so strict pruning
-        // against it is exact (DESIGN.md §8.3).
-        let mut local_bound = od_seed_bound;
+        // candidate costs (or the on-demand / warm-start seed), so strict
+        // pruning against it is exact (DESIGN.md §8.3).
+        let mut local_bound = seed_bound;
 
-        for (offset, chosen) in subsets.iter().enumerate() {
+        for &subset_ordinal in order {
+            let chosen = &subsets[subset_ordinal];
             if chosen.iter().any(|&g| options[g].is_empty()) {
                 continue;
             }
             subsets_walked += 1;
-            let subset_ordinal = start + offset;
             let product: u64 = chosen
                 .iter()
                 .map(|&g| options[g].len() as u64)
@@ -1029,6 +1315,122 @@ fn enumerate_subsets(
     }
 }
 
+/// Build the hot-first visit order: the carried-over subsets (resolved
+/// from circle-group ids to canonical subset indices) first, in their
+/// carried rank order, then every remaining subset in canonical order.
+/// Carried subsets that no longer resolve — a group left the candidate
+/// list, or the subset shape changed — are silently skipped. Returns the
+/// order plus how many hot subsets were actually applied.
+fn hot_first_order(
+    subsets: &[Vec<usize>],
+    hot: &[Vec<CircleGroupId>],
+    candidates: &[CircleGroup],
+) -> (Vec<usize>, u32) {
+    let id_to_idx: BTreeMap<CircleGroupId, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.id, i))
+        .collect();
+    let pos: BTreeMap<&[usize], usize> = subsets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_slice(), i))
+        .collect();
+    let mut order = Vec::with_capacity(subsets.len());
+    let mut taken = vec![false; subsets.len()];
+    for ids in hot {
+        let Some(mut idxs) = ids
+            .iter()
+            .map(|id| id_to_idx.get(id).copied())
+            .collect::<Option<Vec<usize>>>()
+        else {
+            continue;
+        };
+        idxs.sort_unstable();
+        if let Some(&i) = pos.get(idxs.as_slice()) {
+            if !taken[i] {
+                taken[i] = true;
+                order.push(i);
+            }
+        }
+    }
+    let hot_applied = order.len() as u32;
+    for (i, t) in taken.iter().enumerate() {
+        if !t {
+            order.push(i);
+        }
+    }
+    (order, hot_applied)
+}
+
+/// Rank the subsets a finished search hands to the next window: the
+/// winning subset first, then the best runners-up by the sum of per-slot
+/// minimum [`GroupAssessment::cost_lower_bound`]s (ascending; ties break
+/// to the lower canonical index), capped at [`HOT_SUBSETS`]. Derived from
+/// the assessed options alone — not from worker incumbent trajectories —
+/// so the ranking is identical at every thread count.
+fn rank_hot_subsets(
+    subsets: &[Vec<usize>],
+    options: &[Vec<GroupAssessment>],
+    min_wall: &[f64],
+    winner: Option<&[usize]>,
+    candidates: &[CircleGroup],
+) -> Vec<Vec<CircleGroupId>> {
+    // A subset's `w_min` is attained by one of its members, so the only
+    // walls that can occur are the entries of `min_wall`. Precompute each
+    // group's option-minimum bound at every such wall once — the subset
+    // loop below would otherwise recompute the same inner minimum
+    // `C(K, k)` times per group.
+    let mut walls: Vec<f64> = min_wall.to_vec();
+    walls.sort_unstable_by(f64::total_cmp);
+    walls.dedup_by(|a, b| a.to_bits() == b.to_bits());
+    let wall_index = |w: f64| {
+        walls
+            .binary_search_by(|x| x.total_cmp(&w))
+            .expect("w_min is an entry of min_wall")
+    };
+    let lb_at: Vec<Vec<f64>> = options
+        .iter()
+        .map(|opts| {
+            walls
+                .iter()
+                .map(|&w| {
+                    opts.iter()
+                        .map(|a| a.cost_lower_bound(w))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        })
+        .collect();
+    let mut ranked: Vec<(f64, usize)> = subsets
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.iter().all(|&g| !options[g].is_empty()))
+        .map(|(i, s)| {
+            let w_min = s.iter().map(|&g| min_wall[g]).fold(f64::INFINITY, f64::min);
+            let at = wall_index(w_min);
+            let lb: f64 = s.iter().map(|&g| lb_at[g][at]).sum();
+            (lb, i)
+        })
+        .collect();
+    ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let ids = |s: &[usize]| -> Vec<CircleGroupId> { s.iter().map(|&g| candidates[g].id).collect() };
+    let mut hot: Vec<Vec<CircleGroupId>> = Vec::with_capacity(HOT_SUBSETS);
+    if let Some(w) = winner {
+        hot.push(ids(w));
+    }
+    for &(_, i) in &ranked {
+        if hot.len() >= HOT_SUBSETS {
+            break;
+        }
+        if winner.is_some_and(|w| w == subsets[i].as_slice()) {
+            continue;
+        }
+        hot.push(ids(&subsets[i]));
+    }
+    hot
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1069,7 +1471,9 @@ mod tests {
     #[test]
     fn finds_a_feasible_plan_cheaper_than_on_demand() {
         let (_, problem, view) = setup();
-        let opt = TwoLevelOptimizer::new(&problem, &view, small_config()).optimize();
+        let opt = TwoLevelOptimizer::new(&problem, &view, small_config())
+            .optimize()
+            .unwrap();
         assert!(opt.evaluation.meets(problem.deadline));
         assert!(!opt.plan.groups.is_empty(), "expected a spot plan");
         let od_cost = select_on_demand(&problem.on_demand, problem.deadline, 0.2).full_cost();
@@ -1090,7 +1494,9 @@ mod tests {
                 bid_levels: 2,
                 ..OptimizerConfig::default()
             };
-            let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
+            let opt = TwoLevelOptimizer::new(&problem, &view, cfg)
+                .optimize()
+                .unwrap();
             assert!(opt.plan.replication_degree() <= kappa);
         }
     }
@@ -1110,7 +1516,8 @@ mod tests {
                 ..OptimizerConfig::default()
             },
         )
-        .optimize();
+        .optimize()
+        .unwrap();
         let rich = TwoLevelOptimizer::new(
             &problem,
             &view,
@@ -1121,7 +1528,8 @@ mod tests {
                 ..OptimizerConfig::default()
             },
         )
-        .optimize();
+        .optimize()
+        .unwrap();
         // The 5-level grid contains the 2-level grid, so the optimum can
         // only improve.
         assert!(rich.evaluation.expected_cost <= cheap.evaluation.expected_cost + 1e-9);
@@ -1132,7 +1540,9 @@ mod tests {
     fn impossible_deadline_falls_back_to_fastest_on_demand() {
         let (_, mut problem, view) = setup();
         problem.deadline = 0.01;
-        let opt = TwoLevelOptimizer::new(&problem, &view, small_config()).optimize();
+        let opt = TwoLevelOptimizer::new(&problem, &view, small_config())
+            .optimize()
+            .unwrap();
         // Nothing is feasible; the incumbent comparison still returns the
         // cheapest-in-expectation configuration, and the plan must carry
         // the fastest on-demand fallback.
@@ -1153,7 +1563,9 @@ mod tests {
             top_margin: None,
             ..OptimizerConfig::default()
         };
-        let opt = TwoLevelOptimizer::new(&problem, &view, cfg).optimize();
+        let opt = TwoLevelOptimizer::new(&problem, &view, cfg)
+            .optimize()
+            .unwrap();
         let k_total = problem.candidates.len() as u64; // 12
         let l = 2u64;
         let expected = 1 + k_total * l + k_total * (k_total - 1) / 2 * l * l;
@@ -1177,7 +1589,8 @@ mod tests {
                 ..OptimizerConfig::default()
             },
         )
-        .optimize();
+        .optimize()
+        .unwrap();
         let grid = TwoLevelOptimizer::new(
             &problem,
             &view,
@@ -1188,7 +1601,8 @@ mod tests {
                 ..OptimizerConfig::default()
             },
         )
-        .optimize();
+        .optimize()
+        .unwrap();
         assert!(grid.evaluations_performed > 3 * phi.evaluations_performed);
         // Exhaustive-interval search can be at most marginally better than
         // φ(P) (Theorem 1's premise) — allow it to win, but not by much
@@ -1234,11 +1648,13 @@ mod tests {
         };
         let serial =
             TwoLevelOptimizer::new(&problem, &view, OptimizerConfig { threads: 1, ..base })
-                .optimize();
+                .optimize()
+                .unwrap();
         for threads in [2usize, 8] {
             let parallel =
                 TwoLevelOptimizer::new(&problem, &view, OptimizerConfig { threads, ..base })
-                    .optimize();
+                    .optimize()
+                    .unwrap();
             assert_eq!(serial, parallel, "threads={threads} diverged from serial");
         }
     }
@@ -1260,6 +1676,76 @@ mod tests {
         // A prefix orders before its extensions.
         assert_eq!(cmp_bids([0.5].into_iter(), &[0.5, 0.25]), Ordering::Less);
         assert_eq!(cmp_bids([0.5, 0.25].into_iter(), &[0.5]), Ordering::Greater);
+    }
+
+    #[test]
+    fn warm_start_never_changes_the_selected_plan() {
+        let (_, problem, view) = setup();
+        let opt = TwoLevelOptimizer::new(&problem, &view, small_config());
+        let cold = opt.optimize().unwrap();
+        let mut warm = WarmStart::new();
+        // First warm window has nothing carried; subsequent ones replay
+        // with a seed, hot-first order, and cached tables.
+        for pass in 0..3 {
+            let got = opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+            assert_eq!(cold, got, "warm pass {pass} diverged");
+        }
+        assert!(warm.has_plan());
+        assert!(warm.cached_groups() > 0);
+        // Each ablation arm also matches bit-for-bit.
+        for (plan_on, tables_on) in [(true, false), (false, true), (false, false)] {
+            let mut w = WarmStart::new()
+                .with_plan_carryover(plan_on)
+                .with_table_reuse(tables_on);
+            for _ in 0..2 {
+                let got = opt.optimize_warm(&NullRecorder, Some(&mut w)).unwrap();
+                assert_eq!(cold, got, "plan={plan_on} tables={tables_on}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_across_thread_counts() {
+        let (_, problem, view) = setup();
+        let base = small_config();
+        let run = |threads: usize| {
+            let cfg = OptimizerConfig { threads, ..base };
+            let opt = TwoLevelOptimizer::new(&problem, &view, cfg);
+            let mut warm = WarmStart::new();
+            let first = opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+            let second = opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+            (first, second)
+        };
+        let serial = run(1);
+        for threads in [2usize, 8] {
+            assert_eq!(serial, run(threads), "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn hot_first_order_is_a_permutation_led_by_the_carryover() {
+        let (_, problem, view) = setup();
+        let opt = TwoLevelOptimizer::new(&problem, &view, small_config());
+        let mut warm = WarmStart::new();
+        opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+        let prev = warm.prev.as_ref().expect("a plan must be carried");
+        assert!(!prev.hot_subsets.is_empty());
+        assert!(prev.hot_subsets.len() <= HOT_SUBSETS);
+        // Resolve the carried subsets against a fresh enumeration: every
+        // subset index must appear exactly once, hot prefix first.
+        let n = problem.candidates.len();
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut acc = Vec::new();
+        for k in 1..=small_config().kappa.min(n) {
+            enumerate_subsets(n, k, 0, &mut acc, &mut |s: &[usize]| {
+                subsets.push(s.to_vec());
+            });
+        }
+        let (order, applied) = hot_first_order(&subsets, &prev.hot_subsets, &problem.candidates);
+        assert_eq!(applied as usize, prev.hot_subsets.len());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..subsets.len()).collect::<Vec<_>>());
     }
 }
 
@@ -1301,8 +1787,12 @@ mod chance_constraint_tests {
             min_spot_success: Some(0.999),
             ..base
         };
-        let free = TwoLevelOptimizer::new(&problem, &view, base).optimize();
-        let safe = TwoLevelOptimizer::new(&problem, &view, strict).optimize();
+        let free = TwoLevelOptimizer::new(&problem, &view, base)
+            .optimize()
+            .unwrap();
+        let safe = TwoLevelOptimizer::new(&problem, &view, strict)
+            .optimize()
+            .unwrap();
         // The chance constraint can only restrict the feasible set: cost
         // may not improve, and the chosen plan must satisfy it.
         assert!(safe.evaluation.expected_cost >= free.evaluation.expected_cost - 1e-9);
@@ -1319,9 +1809,9 @@ mod assess_options_tests {
     /// Grid size `assess_options` should enumerate for one group,
     /// mirroring its span/levels/margin arithmetic.
     fn expected_grid_len(view: &MarketView, cfg: &OptimizerConfig, id: CircleGroupId) -> u64 {
-        let max_bid = view.max_bid(id);
+        let max_bid = view.max_bid(id).unwrap();
         assert!(max_bid > 0.0, "fixture group must be launchable");
-        let min_price = view.min_price(id).max(1e-6);
+        let min_price = view.min_price(id).unwrap().max(1e-6);
         let span_levels = ((max_bid / min_price).log2().ceil() as u32 + 1).max(2);
         let levels = span_levels.min(cfg.bid_levels.max(2));
         // `with_top_margin` prepends one guard point above `H_i`.
@@ -1338,7 +1828,9 @@ mod assess_options_tests {
             ..OptimizerConfig::default()
         };
         let opt = TwoLevelOptimizer::new(&problem, &view, cfg);
-        let (options, considered, pruned, dominated) = opt.assess_options();
+        let a = opt.assess_options(None).unwrap();
+        let (options, considered, pruned, dominated) =
+            (a.options, a.considered, a.pruned, a.dominated);
 
         // One candidate decision per grid point (φ fixes the interval, so
         // the interval dimension contributes a factor of exactly 1).
@@ -1360,8 +1852,10 @@ mod assess_options_tests {
             top_margin: None,
             ..cfg
         };
-        let (_, considered_nm, _, _) =
-            TwoLevelOptimizer::new(&problem, &view, no_margin).assess_options();
+        let considered_nm = TwoLevelOptimizer::new(&problem, &view, no_margin)
+            .assess_options(None)
+            .unwrap()
+            .considered;
         assert_eq!(considered_nm, considered - problem.candidates.len() as u64);
     }
 
@@ -1377,8 +1871,10 @@ mod assess_options_tests {
             prune_dominance: false,
             ..OptimizerConfig::default()
         };
-        let (options, considered, pruned, _) =
-            TwoLevelOptimizer::new(&problem, &view, cfg).assess_options();
+        let a = TwoLevelOptimizer::new(&problem, &view, cfg)
+            .assess_options(None)
+            .unwrap();
+        let (options, considered, pruned) = (a.options, a.considered, a.pruned);
         let kept: u64 = options.iter().map(|o| o.len() as u64).sum();
         assert!(pruned > 0, "tight deadline must prune something");
         assert!(kept + pruned <= considered);
@@ -1396,10 +1892,24 @@ mod assess_options_tests {
             prune_dominance: false,
             ..base
         };
-        let (opts_raw, considered_raw, pruned_raw, dominated_raw) =
-            TwoLevelOptimizer::new(&problem, &view, raw).assess_options();
-        let (opts_dom, considered_dom, pruned_dom, dominated_dom) =
-            TwoLevelOptimizer::new(&problem, &view, base).assess_options();
+        let a_raw = TwoLevelOptimizer::new(&problem, &view, raw)
+            .assess_options(None)
+            .unwrap();
+        let (opts_raw, considered_raw, pruned_raw, dominated_raw) = (
+            a_raw.options,
+            a_raw.considered,
+            a_raw.pruned,
+            a_raw.dominated,
+        );
+        let a_dom = TwoLevelOptimizer::new(&problem, &view, base)
+            .assess_options(None)
+            .unwrap();
+        let (opts_dom, considered_dom, pruned_dom, dominated_dom) = (
+            a_dom.options,
+            a_dom.considered,
+            a_dom.pruned,
+            a_dom.dominated,
+        );
         // The collapse runs after assessment: considered/pruned are
         // untouched, and `dominated` accounts exactly for the kept delta.
         assert_eq!(considered_raw, considered_dom);
@@ -1427,7 +1937,7 @@ mod assess_options_tests {
                 let est = if id == dead {
                     FailureEstimator::from_window(zero_trace.window(0.0, 48.0))
                 } else {
-                    market.estimator(id, 0.0, 48.0)
+                    market.try_estimator(id, 0.0, 48.0).unwrap()
                 };
                 (id, est)
             })
@@ -1440,7 +1950,8 @@ mod assess_options_tests {
             ..OptimizerConfig::default()
         };
         let opt = TwoLevelOptimizer::new(&problem, &view, cfg);
-        let (options, considered, _, _) = opt.assess_options();
+        let a = opt.assess_options(None).unwrap();
+        let (options, considered) = (a.options, a.considered);
         assert!(options[0].is_empty(), "dead group must offer no options");
         // The dead group contributes nothing to `considered` either.
         let expected: u64 = problem.candidates[1..]
@@ -1449,7 +1960,7 @@ mod assess_options_tests {
             .sum();
         assert_eq!(considered, expected);
         // The optimizer still produces a plan from the remaining groups.
-        let out = opt.optimize();
+        let out = opt.optimize().unwrap();
         assert!(out.plan.groups.iter().all(|(g, _)| g.id != dead));
     }
 }

@@ -7,6 +7,7 @@
 //! the market later *did* (a later region of the same traces, consumed by
 //! the replay crate).
 
+use crate::error::SompiError;
 use crate::{Hours, Usd};
 use ec2_market::failure::{FailureEstimator, FailureRateFn};
 use ec2_market::market::{CircleGroupId, SpotMarket};
@@ -22,10 +23,7 @@ impl MarketView {
     /// Build estimators for every group in `market` from the history window
     /// `[start, start + len)` (hours into each trace).
     pub fn from_market(market: &SpotMarket, start: Hours, len: Hours) -> Self {
-        let estimators = market
-            .groups()
-            .map(|id| (id, market.estimator(id, start, len)))
-            .collect();
+        let estimators = market.estimators(start, len).collect();
         Self { estimators }
     }
 
@@ -39,48 +37,66 @@ impl MarketView {
         self.estimators.keys().copied()
     }
 
-    /// The estimator for a group.
-    ///
-    /// # Panics
-    /// Panics if the group is not in the view.
-    pub fn estimator(&self, id: CircleGroupId) -> &FailureEstimator {
+    /// The estimator for a group, or `SompiError::UnknownGroup` when the
+    /// view has no history for it. Lookups used to panic here; routing the
+    /// miss through a `Result` lets user-reachable paths (hand-built plans,
+    /// mismatched problems) surface a proper error instead of aborting.
+    pub fn try_estimator(&self, id: CircleGroupId) -> Result<&FailureEstimator, SompiError> {
         self.estimators
             .get(&id)
-            .unwrap_or_else(|| panic!("no history for circle group {id}"))
+            .ok_or_else(|| SompiError::UnknownGroup {
+                group: id.to_string(),
+            })
+    }
+
+    /// Every (group, estimator) pair in deterministic group order —
+    /// infallible by construction, for callers that walk the view itself.
+    pub fn estimators(&self) -> impl Iterator<Item = (CircleGroupId, &FailureEstimator)> + '_ {
+        self.estimators.iter().map(|(id, e)| (*id, e))
     }
 
     /// Highest historical price `H_i` for a group — the top of its bid
     /// search range.
-    pub fn max_bid(&self, id: CircleGroupId) -> Usd {
-        self.estimator(id).max_price()
+    pub fn max_bid(&self, id: CircleGroupId) -> Result<Usd, SompiError> {
+        Ok(self.try_estimator(id)?.max_price())
     }
 
     /// Lowest historical price of a group — the bottom of the useful bid
     /// range (below it nothing ever launches).
-    pub fn min_price(&self, id: CircleGroupId) -> Usd {
-        self.estimator(id).expected_spot_price().min_price()
+    pub fn min_price(&self, id: CircleGroupId) -> Result<Usd, SompiError> {
+        Ok(self.try_estimator(id)?.expected_spot_price().min_price())
     }
 
     /// Failure-rate function `f_i(P, t)` over an hourly horizon.
-    pub fn failure_fn(&self, id: CircleGroupId, bid: Usd, horizon_hours: usize) -> FailureRateFn {
-        self.estimator(id).failure_rate_exact(bid, horizon_hours)
+    pub fn failure_fn(
+        &self,
+        id: CircleGroupId,
+        bid: Usd,
+        horizon_hours: usize,
+    ) -> Result<FailureRateFn, SompiError> {
+        Ok(self
+            .try_estimator(id)?
+            .failure_rate_exact(bid, horizon_hours))
     }
 
     /// Expected spot price `S_i(P)`: mean of historical prices at or below
-    /// the bid. `None` when the bid admits no launch.
-    pub fn expected_price(&self, id: CircleGroupId, bid: Usd) -> Option<Usd> {
-        self.estimator(id).expected_spot_price().mean_below(bid)
+    /// the bid. `Ok(None)` when the bid admits no launch.
+    pub fn expected_price(&self, id: CircleGroupId, bid: Usd) -> Result<Option<Usd>, SompiError> {
+        Ok(self
+            .try_estimator(id)?
+            .expected_spot_price()
+            .mean_below(bid))
     }
 
     /// Mean historical price of a group (the Spot-Avg baseline's bid).
-    pub fn mean_price(&self, id: CircleGroupId) -> Usd {
-        self.expected_price(id, f64::INFINITY).unwrap_or(0.0)
+    pub fn mean_price(&self, id: CircleGroupId) -> Result<Usd, SompiError> {
+        Ok(self.expected_price(id, f64::INFINITY)?.unwrap_or(0.0))
     }
 
     /// Expected wait between requesting instances and the spot price first
     /// admitting the bid ("otherwise it waits").
-    pub fn launch_delay(&self, id: CircleGroupId, bid: Usd) -> Hours {
-        self.estimator(id).expected_launch_delay(bid)
+    pub fn launch_delay(&self, id: CircleGroupId, bid: Usd) -> Result<Hours, SompiError> {
+        Ok(self.try_estimator(id)?.expected_launch_delay(bid))
     }
 }
 
@@ -108,7 +124,7 @@ mod tests {
     fn max_bid_positive_everywhere() {
         let (_, v) = view();
         for id in v.groups().collect::<Vec<_>>() {
-            assert!(v.max_bid(id) > 0.0);
+            assert!(v.max_bid(id).unwrap() > 0.0);
         }
     }
 
@@ -116,8 +132,11 @@ mod tests {
     fn expected_price_below_max_bid() {
         let (_, v) = view();
         for id in v.groups().collect::<Vec<_>>() {
-            let h = v.max_bid(id);
-            let s = v.expected_price(id, h).expect("max bid always launches");
+            let h = v.max_bid(id).unwrap();
+            let s = v
+                .expected_price(id, h)
+                .unwrap()
+                .expect("max bid always launches");
             // Tolerance: on a flat trace the mean of identical values can
             // drift above the max by float accumulation error.
             assert!(s <= h * (1.0 + 1e-9));
@@ -130,19 +149,23 @@ mod tests {
         let (_, v) = view();
         let id = v.groups().next().unwrap();
         assert_eq!(
-            v.mean_price(id),
-            v.expected_price(id, f64::INFINITY).unwrap()
+            v.mean_price(id).unwrap(),
+            v.expected_price(id, f64::INFINITY).unwrap().unwrap()
         );
     }
 
     #[test]
-    #[should_panic(expected = "no history")]
-    fn unknown_group_panics() {
+    fn unknown_group_is_an_error_not_a_panic() {
         let (_, v) = view();
         let bogus = CircleGroupId::new(
             ec2_market::instance::InstanceTypeId(99),
             ec2_market::zone::AvailabilityZone::UsEast1a,
         );
-        v.estimator(bogus);
+        let err = v.try_estimator(bogus).unwrap_err();
+        assert!(matches!(err, SompiError::UnknownGroup { .. }));
+        assert!(err.to_string().contains("no market trace"));
+        assert!(v.max_bid(bogus).is_err());
+        assert!(v.failure_fn(bogus, 0.1, 4).is_err());
+        assert!(v.launch_delay(bogus, 0.1).is_err());
     }
 }

@@ -80,7 +80,9 @@ fn null_recorder_adds_zero_allocations() {
         bid: 10.0,
         ckpt_interval: 1.0,
     };
-    let assessed = GroupAssessment::assess(group, decision, &view).expect("launchable");
+    let assessed = GroupAssessment::assess(group, decision, &view)
+        .expect("known group")
+        .expect("launchable");
     let refs = [&assessed];
     let od = *problem.baseline();
     let mut scratch = EvalScratch::new();
@@ -97,12 +99,18 @@ fn null_recorder_adds_zero_allocations() {
         threads: 1,
         ..Default::default()
     };
-    TwoLevelOptimizer::new(&problem, &view, cfg).optimize(); // warm lazies
-    let (base_plan, base_allocs) =
-        counted(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize());
+    let _ = TwoLevelOptimizer::new(&problem, &view, cfg).optimize(); // warm lazies
+    let (base_plan, base_allocs) = counted(|| {
+        TwoLevelOptimizer::new(&problem, &view, cfg)
+            .optimize()
+            .unwrap()
+    });
     let off = RingRecorder::new(TraceLevel::Off, 8);
-    let (rec_plan, rec_allocs) =
-        counted(|| TwoLevelOptimizer::new(&problem, &view, cfg).optimize_recorded(&off));
+    let (rec_plan, rec_allocs) = counted(|| {
+        TwoLevelOptimizer::new(&problem, &view, cfg)
+            .optimize_recorded(&off)
+            .unwrap()
+    });
     assert_eq!(base_plan.plan, rec_plan.plan);
     assert!(off.is_empty(), "Off-level recorder captured events");
     assert_eq!(

@@ -36,12 +36,14 @@ fn problem_on(seed: u64, kernel: NpbKernel, deadline: f64) -> (Problem, MarketVi
 }
 
 fn assert_thread_invariant(problem: &Problem, view: &MarketView, cfg: OptimizerConfig) {
-    let serial =
-        TwoLevelOptimizer::new(problem, view, OptimizerConfig { threads: 1, ..cfg }).optimize();
+    let serial = TwoLevelOptimizer::new(problem, view, OptimizerConfig { threads: 1, ..cfg })
+        .optimize()
+        .unwrap();
     assert!(serial.evaluations_performed > 0);
     for threads in [2usize, 3, 8, 0] {
-        let parallel =
-            TwoLevelOptimizer::new(problem, view, OptimizerConfig { threads, ..cfg }).optimize();
+        let parallel = TwoLevelOptimizer::new(problem, view, OptimizerConfig { threads, ..cfg })
+            .optimize()
+            .unwrap();
         assert_eq!(
             parallel, serial,
             "threads = {threads} diverged from serial (kappa = {}, levels = {})",

@@ -95,7 +95,8 @@ fn assert_prune_exact(problem: &Problem, view: &MarketView, cfg: OptimizerConfig
             ..cfg
         },
     )
-    .optimize();
+    .optimize()
+    .unwrap();
     assert!(reference.evaluations_performed > 0);
     for (name, ablation) in ablations(cfg) {
         for threads in [1usize, 4, 0] {
@@ -107,7 +108,8 @@ fn assert_prune_exact(problem: &Problem, view: &MarketView, cfg: OptimizerConfig
                     ..ablation
                 },
             )
-            .optimize();
+            .optimize()
+            .unwrap();
             assert_eq!(
                 pruned.plan, reference.plan,
                 "{name} (threads = {threads}) changed the optimal plan"

@@ -163,6 +163,42 @@ pub enum Event {
         #[serde(default)]
         bound_tightenings: u64,
     },
+    /// The warm-start layer's per-window summary: whether the previous
+    /// window's plan seeded the incumbent bound, how many carried subsets
+    /// led the enumeration order, and the bucket-table cache totals.
+    /// Emitted once per `optimize_warm` call with warm state attached;
+    /// the cold entry points never construct it.
+    WarmStartApplied {
+        /// True when the previous plan projected onto the current option
+        /// grids to a feasible candidate whose cost seeded the incumbent
+        /// bound.
+        seeded: bool,
+        /// The seed cost (USD) when `seeded`.
+        seed_cost: Option<f64>,
+        /// Previous-window subsets applied to the front of this window's
+        /// enumeration order.
+        hot_subsets: u32,
+        /// Per-`(group, bid)` failure-table entries served entirely from
+        /// the warm cache this window.
+        tables_reused: u64,
+        /// Entries computed fresh (new bid, horizon growth, or a history
+        /// digest invalidation).
+        tables_rebuilt: u64,
+    },
+    /// Per-group bucket-table cache accounting for one warm-started
+    /// assessment pass. One event per candidate group whose cache was
+    /// consulted, in candidate order. Detail level.
+    BucketTableReused {
+        /// Circle-group id.
+        group: String,
+        /// FNV-1a digest of the group's empirical price history backing
+        /// the cached tables.
+        digest: u64,
+        /// Bid entries reused without recomputation.
+        reused: u64,
+        /// Bid entries (re)computed this window.
+        rebuilt: u64,
+    },
     /// The adaptive loop (Algorithm 1) crossed a window boundary.
     /// Emitted by `AdaptivePlanner::plan_window_recorded` on a real
     /// re-plan and by `AdaptiveRunner` when the previous plan is reused.
@@ -308,6 +344,8 @@ impl Event {
             Event::PlanSearchStarted { .. } => "PlanSearchStarted",
             Event::SubsetEvaluated { .. } => "SubsetEvaluated",
             Event::PlanSelected { .. } => "PlanSelected",
+            Event::WarmStartApplied { .. } => "WarmStartApplied",
+            Event::BucketTableReused { .. } => "BucketTableReused",
             Event::WindowReplanned { .. } => "WindowReplanned",
             Event::GroupFailed { .. } => "GroupFailed",
             Event::CheckpointTaken { .. } => "CheckpointTaken",
@@ -324,7 +362,9 @@ impl Event {
     /// everything else is [`TraceLevel::Summary`].
     pub fn level(&self) -> TraceLevel {
         match self {
-            Event::SubsetEvaluated { .. } | Event::CheckpointTaken { .. } => TraceLevel::Detail,
+            Event::SubsetEvaluated { .. }
+            | Event::CheckpointTaken { .. }
+            | Event::BucketTableReused { .. } => TraceLevel::Detail,
             _ => TraceLevel::Summary,
         }
     }
@@ -375,6 +415,19 @@ mod tests {
                 best_cost: None,
                 phi_intervals: vec![],
                 skipped: 0,
+            },
+            Event::WarmStartApplied {
+                seeded: true,
+                seed_cost: Some(39.25),
+                hot_subsets: 16,
+                tables_reused: 40,
+                tables_rebuilt: 8,
+            },
+            Event::BucketTableReused {
+                group: "g2".to_string(),
+                digest: 0xdead_beef_u64,
+                reused: 5,
+                rebuilt: 1,
             },
             Event::FaultInjected {
                 class: "ckpt-upload-failure".to_string(),

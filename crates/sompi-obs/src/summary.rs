@@ -39,6 +39,8 @@ pub struct RunReport {
     selections: Vec<Selection>,
     /// Window decisions, in trace order.
     windows: Vec<WindowLine>,
+    /// Warm-start applications, in trace order (one per warm search).
+    warm: Vec<WarmLine>,
     /// Failure / checkpoint / fallback timeline, in trace order.
     timeline: Vec<TimelineLine>,
     /// Final `RunCompleted`, if the trace has one.
@@ -87,6 +89,15 @@ struct WindowLine {
     fingerprint_hit: bool,
     decision: String,
     groups: u32,
+}
+
+#[derive(Debug)]
+struct WarmLine {
+    seeded: bool,
+    seed_cost: Option<f64>,
+    hot_subsets: u32,
+    tables_reused: u64,
+    tables_rebuilt: u64,
 }
 
 #[derive(Debug)]
@@ -181,6 +192,22 @@ impl RunReport {
                     evals_skipped: *evals_skipped,
                     bound_tightenings: *bound_tightenings,
                 }),
+                Event::WarmStartApplied {
+                    seeded,
+                    seed_cost,
+                    hot_subsets,
+                    tables_reused,
+                    tables_rebuilt,
+                } => report.warm.push(WarmLine {
+                    seeded: *seeded,
+                    seed_cost: *seed_cost,
+                    hot_subsets: *hot_subsets,
+                    tables_reused: *tables_reused,
+                    tables_rebuilt: *tables_rebuilt,
+                }),
+                // Per-group detail; the per-search totals on
+                // `WarmStartApplied` already cover the report.
+                Event::BucketTableReused { .. } => {}
                 Event::WindowReplanned {
                     window,
                     elapsed_hours,
@@ -383,6 +410,23 @@ impl fmt::Display for RunReport {
                     f,
                     "  {} positions pruned by the incumbent bound ({} tightening(s))",
                     sel.evals_skipped, sel.bound_tightenings
+                )?;
+            }
+        }
+
+        if !self.warm.is_empty() {
+            writeln!(f, "\nwarm starts")?;
+            writeln!(f, "-----------")?;
+            for (i, w) in self.warm.iter().enumerate() {
+                write!(f, "  search {:>2}: ", i + 1)?;
+                match (w.seeded, w.seed_cost) {
+                    (true, Some(c)) => write!(f, "seeded at ${c:.2}")?,
+                    _ => write!(f, "no incumbent seed")?,
+                }
+                writeln!(
+                    f,
+                    ", {} hot subset(s) first; tables {} reused / {} rebuilt",
+                    w.hot_subsets, w.tables_reused, w.tables_rebuilt
                 )?;
             }
         }
@@ -612,6 +656,42 @@ mod tests {
         );
         assert!(
             text.contains("degraded mode stale-market-view (feed-gap)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn warm_start_events_get_their_own_section() {
+        let events = vec![
+            Event::WarmStartApplied {
+                seeded: true,
+                seed_cost: Some(19.75),
+                hot_subsets: 4,
+                tables_reused: 36,
+                tables_rebuilt: 12,
+            },
+            Event::BucketTableReused {
+                group: "g0".to_string(),
+                digest: 42,
+                reused: 36,
+                rebuilt: 12,
+            },
+            Event::WarmStartApplied {
+                seeded: false,
+                seed_cost: None,
+                hot_subsets: 0,
+                tables_reused: 0,
+                tables_rebuilt: 48,
+            },
+        ];
+        let text = RunReport::from_events(&events).render();
+        assert!(text.contains("warm starts"), "{text}");
+        assert!(
+            text.contains("seeded at $19.75, 4 hot subset(s) first; tables 36 reused / 12 rebuilt"),
+            "{text}"
+        );
+        assert!(
+            text.contains("no incumbent seed, 0 hot subset(s) first; tables 0 reused / 48 rebuilt"),
             "{text}"
         );
     }

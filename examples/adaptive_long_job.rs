@@ -71,6 +71,7 @@ fn main() {
             bid_levels: 5,
             ..Default::default()
         },
+        ..Default::default()
     };
 
     for (label, maintain) in [

@@ -44,6 +44,7 @@ fn config(window: f64) -> AdaptiveConfig {
             bid_levels: 3,
             ..Default::default()
         },
+        ..Default::default()
     }
 }
 

@@ -145,7 +145,9 @@ fn tight_deadline_plans_stay_feasible() {
     }
     .plan(&tight, &view);
     // The paper's constraint is on the expectation: E[Time] <= Deadline.
-    let eval = sompi_core::cost::evaluate_plan(&plan, &view).expect("launchable plan");
+    let eval = sompi_core::cost::evaluate_plan(&plan, &view)
+        .expect("known groups")
+        .expect("launchable plan");
     assert!(
         eval.meets(tight.deadline),
         "E[Time] {} exceeds deadline {}",

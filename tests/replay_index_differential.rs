@@ -144,6 +144,7 @@ fn adaptive_timeline_is_identical_with_and_without_index() {
             threads: 1,
             ..Default::default()
         },
+        ..Default::default()
     };
     let mut outs = Vec::new();
     for market in [&indexed, &naive] {

@@ -116,6 +116,7 @@ fn fault_timeline_is_deterministic_across_thread_counts() {
                 threads,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let ring = RingRecorder::new(TraceLevel::Detail, 4096);
         let ctx = ExecContext::new()
@@ -302,6 +303,7 @@ fn adaptive_config() -> AdaptiveConfig {
             threads: 1,
             ..Default::default()
         },
+        ..Default::default()
     }
 }
 

@@ -64,7 +64,9 @@ fn twolevel_search_emits_golden_sequence() {
         ..Default::default()
     };
     let ring = RingRecorder::new(TraceLevel::Detail, 64);
-    let out = TwoLevelOptimizer::new(&problem, &view, config).optimize_recorded(&ring);
+    let out = TwoLevelOptimizer::new(&problem, &view, config)
+        .optimize_recorded(&ring)
+        .unwrap();
     let events = ring.take();
 
     // Exactly: PlanSearchStarted, one SubsetEvaluated per worker (1 here),
@@ -139,8 +141,12 @@ fn recorded_search_matches_unrecorded_search() {
         ..Default::default()
     };
     let ring = RingRecorder::new(TraceLevel::Detail, 64);
-    let a = TwoLevelOptimizer::new(&problem, &view, config).optimize();
-    let b = TwoLevelOptimizer::new(&problem, &view, config).optimize_recorded(&ring);
+    let a = TwoLevelOptimizer::new(&problem, &view, config)
+        .optimize()
+        .unwrap();
+    let b = TwoLevelOptimizer::new(&problem, &view, config)
+        .optimize_recorded(&ring)
+        .unwrap();
     assert_eq!(a.plan, b.plan);
     assert_eq!(a.evaluation.expected_cost, b.evaluation.expected_cost);
 }
@@ -259,6 +265,7 @@ fn adaptive_run_emits_one_replan_per_window() {
             threads: 1,
             ..Default::default()
         },
+        ..Default::default()
     };
     let ring = RingRecorder::new(TraceLevel::Summary, 256);
     let out = AdaptiveRunner::new(&market, config)

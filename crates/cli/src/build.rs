@@ -1,16 +1,13 @@
 //! Shared construction helpers for CLI commands: markets (synthetic or
-//! from a feed file), applications and problems, driven by flags.
+//! from a feed file) driven by flags. Application and problem
+//! construction lives in `sompi-server::service`, shared with the
+//! planner daemon.
 
 use crate::args::{ArgError, Args};
 use ec2_market::instance::InstanceCatalog;
 use ec2_market::market::{CircleGroupId, SpotMarket};
 use ec2_market::tracegen::{MarketProfile, TraceGenerator};
 use ec2_market::zone::AvailabilityZone;
-use mpi_sim::lammps::Lammps;
-use mpi_sim::npb::{NpbClass, NpbKernel};
-use mpi_sim::profile::AppProfile;
-use mpi_sim::storage::S3Store;
-use sompi_core::problem::Problem;
 
 /// Command errors: argument problems or domain failures.
 #[derive(Debug)]
@@ -97,53 +94,6 @@ fn parse_zone(name: &str) -> Result<AvailabilityZone, CliError> {
     }
 }
 
-/// Build the application profile from `--app` (NPB kernel name, `LAMMPS`),
-/// `--class`, `--procs`, `--repeats`.
-pub fn app_from(args: &Args) -> Result<AppProfile, CliError> {
-    let app = args.str_or("app", "BT").to_uppercase();
-    let procs = args.u64_or("procs", 128)? as u32;
-    let repeats = args.u64_or("repeats", 200)? as u32;
-    if procs == 0 {
-        return Err(CliError::Other("--procs must be positive".into()));
-    }
-    if app == "LAMMPS" {
-        return Ok(Lammps::paper().profile(procs).repeated(repeats.max(1)));
-    }
-    let class = match args.str_or("class", "B").to_uppercase().as_str() {
-        "S" => NpbClass::S,
-        "W" => NpbClass::W,
-        "A" => NpbClass::A,
-        "B" => NpbClass::B,
-        "C" => NpbClass::C,
-        other => return Err(CliError::Other(format!("unknown NPB class {other:?}"))),
-    };
-    let kernel = NpbKernel::FULL_SUITE
-        .into_iter()
-        .find(|k| k.to_string() == app)
-        .ok_or_else(|| {
-            CliError::Other(format!(
-                "unknown app {app:?} (expected one of BT SP LU FT IS BTIO CG MG EP LAMMPS)"
-            ))
-        })?;
-    Ok(kernel.profile(class, procs).repeated(repeats.max(1)))
-}
-
-/// Build the problem: market + app + `--deadline` (multiple of Baseline
-/// Time, default 1.5).
-pub fn problem_from(
-    market: &SpotMarket,
-    app: &AppProfile,
-    args: &Args,
-) -> Result<Problem, CliError> {
-    let factor = args.f64_or("deadline", 1.5)?;
-    if factor <= 0.0 {
-        return Err(CliError::Other("--deadline must be positive".into()));
-    }
-    let mut p = Problem::build(market, app, f64::MAX, None, S3Store::paper_2014());
-    p.deadline = p.baseline_time() * factor;
-    Ok(p)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,33 +139,5 @@ mod tests {
         let path = dir.join("bad.txt");
         std::fs::write(&path, "0 z9.mega us-east-1a 0.01\n").unwrap();
         assert!(market_from(&args(&["--feed", path.to_str().unwrap()])).is_err());
-    }
-
-    #[test]
-    fn app_parsing() {
-        let a = app_from(&args(&["--app", "ft", "--class", "A", "--procs", "64"])).unwrap();
-        assert_eq!(a.name, "FT.Ax200");
-        assert_eq!(a.processes, 64);
-        let l = app_from(&args(&[
-            "--app",
-            "LAMMPS",
-            "--procs",
-            "32",
-            "--repeats",
-            "1",
-        ]))
-        .unwrap();
-        assert!(l.name.starts_with("LAMMPS-32p"));
-        assert!(app_from(&args(&["--app", "NOPE"])).is_err());
-        assert!(app_from(&args(&["--procs", "0"])).is_err());
-    }
-
-    #[test]
-    fn problem_deadline_factor() {
-        let m = market_from(&args(&["--hours", "72"])).unwrap();
-        let a = app_from(&args(&["--repeats", "50"])).unwrap();
-        let p = problem_from(&m, &a, &args(&["--deadline", "2.0"])).unwrap();
-        assert!((p.deadline / p.baseline_time() - 2.0).abs() < 1e-9);
-        assert!(problem_from(&m, &a, &args(&["--deadline", "-1"])).is_err());
     }
 }

@@ -1,25 +1,25 @@
 //! The CLI subcommands: `plan`, `replay`, `sweep`, `trace`.
 //!
+//! `plan`, `replay` and `sweep` are thin clients of the
+//! `sompi-server::service` entry points — the same code the planner
+//! daemon runs per request — so CLI answers and server answers are
+//! bit-identical by construction. The subcommands here only translate
+//! flags into `PlanRequest`/`ReplayRequest` structs and render the
+//! returned reports; `serve`/`client` live in `crate::serve`.
+//!
 //! Every command writes a human-readable report to the given writer;
 //! `--json` switches to a machine-readable JSON document instead.
 
 use crate::args::Args;
-use crate::build::{app_from, market_from, problem_from, CliError};
-use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
+use crate::build::{market_from, CliError};
 use ec2_market::market::SpotMarket;
-use replay::adaptive_exec::AdaptiveRunner;
-use replay::exec::ExecContext;
-use replay::montecarlo::MonteCarlo;
-use sompi_core::adaptive::AdaptiveConfig;
-use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotAvg, SpotInf, Strategy};
-use sompi_core::cost::evaluate_plan;
 use sompi_core::model::Plan;
-use sompi_core::twolevel::OptimizerConfig;
-use sompi_core::view::MarketView;
 use sompi_obs::{parse_jsonl, JsonlRecorder, NullRecorder, Recorder, RunReport, TraceLevel};
+use sompi_server::proto::{PlanRequest, ReplayRequest};
+use sompi_server::service::{self, ServiceError};
 use std::io::Write;
 
-const PLAN_FLAGS: &[&str] = &[
+pub(crate) const PLAN_FLAGS: &[&str] = &[
     "feed",
     "seed",
     "hours",
@@ -44,66 +44,59 @@ const PLAN_FLAGS: &[&str] = &[
     "no-trace-index",
 ];
 
-/// Build the inner optimizer's configuration from the shared knob flags.
-fn optimizer_from(args: &Args) -> Result<OptimizerConfig, CliError> {
-    let kappa = args.u64_or("kappa", 4)? as usize;
-    let levels = args.u64_or("levels", 12)? as u32;
-    let slack = args.f64_or("slack", 0.2)?;
-    let threads = args.u64_or("threads", 0)? as usize;
-    Ok(OptimizerConfig {
-        kappa,
-        bid_levels: levels,
-        slack,
-        threads,
+pub(crate) fn svc(e: ServiceError) -> CliError {
+    CliError::Other(e.to_string())
+}
+
+/// Translate the planning flags into the wire-protocol request struct.
+/// Defaults here and in the serde schema are the same, so a bare
+/// `sompi plan` and a `{"Plan": {}}` request describe the same problem.
+pub(crate) fn plan_request_from(args: &Args) -> Result<PlanRequest, CliError> {
+    Ok(PlanRequest {
+        tenant: args.str_or("tenant", "anon"),
+        app: args.str_or("app", "BT"),
+        class: args.str_or("class", "B"),
+        procs: args.u64_or("procs", 128)? as u32,
+        repeats: args.u64_or("repeats", 200)? as u32,
+        deadline_factor: args.f64_or("deadline", 1.5)?,
+        strategy: args.str_or("strategy", "sompi"),
+        kappa: args.u64_or("kappa", 4)? as u32,
+        bid_levels: args.u64_or("levels", 12)? as u32,
+        slack: args.f64_or("slack", 0.2)?,
+        threads: args.u64_or("threads", 0)? as u32,
         // Pruning ablation switches; all stages preserve the exact
         // optimum, so disabling them only changes planner wall-clock.
         prune_dominance: !args.flag("no-prune-dominance"),
         prune_bound: !args.flag("no-prune-bound"),
         shared_incumbent: !args.flag("no-shared-incumbent"),
-        ..Default::default()
+        history_hours: args.f64_or("history", 48.0)?,
+        view_start_hours: 0.0,
     })
 }
 
-/// Pick the planning strategy from `--strategy`.
-fn strategy_from(args: &Args) -> Result<Box<dyn Strategy>, CliError> {
-    let config = optimizer_from(args)?;
-    Ok(match args.str_or("strategy", "sompi").to_lowercase().as_str() {
-        "sompi" => Box::new(Sompi { config }),
-        "on-demand" | "ondemand" => Box::new(OnDemandOnly),
-        "marathe" => Box::new(Marathe),
-        "marathe-opt" => Box::new(MaratheOpt),
-        "spot-inf" => Box::new(SpotInf),
-        "spot-avg" => Box::new(SpotAvg),
-        other => {
-            return Err(CliError::Other(format!(
-                "unknown strategy {other:?} (sompi, on-demand, marathe, marathe-opt, spot-inf, spot-avg)"
-            )))
-        }
+/// Translate the replay flags (planning flags included) into the wire
+/// request. `default_replicas` differs per command: 100 for `replay`,
+/// 50 for `sweep`.
+pub(crate) fn replay_request_from(
+    args: &Args,
+    default_replicas: u64,
+) -> Result<ReplayRequest, CliError> {
+    Ok(ReplayRequest {
+        plan: plan_request_from(args)?,
+        replicas: args.u64_or("replicas", default_replicas)? as u32,
+        mc_seed: args.u64_or("mc-seed", 1)?,
+        adaptive: args.flag("adaptive"),
+        window_hours: args.f64_or("window", 15.0)?,
+        warmstart: !args.flag("no-warmstart"),
+        bucket_reuse: !args.flag("no-bucket-reuse"),
+        faults: args.get("faults").map(str::to_string),
+        fault_seed: args.u64_or("fault-seed", 42)?,
     })
-}
-
-fn view_from(market: &SpotMarket, args: &Args) -> Result<MarketView, CliError> {
-    let history = args.f64_or("history", 48.0)?;
-    Ok(MarketView::from_market(market, 0.0, history))
-}
-
-/// Build the optional fault injector from `--faults <spec>` /
-/// `--fault-seed <n>`. The spec grammar is
-/// `storm=RATE[xPROB],storm-hours=H,ckpt-fail=P,ckpt-latency=P:H,`
-/// `restore-corrupt=P,feed-gap=P` (comma-separated, any subset).
-fn faults_from(args: &Args, market: &SpotMarket) -> Result<Option<FaultInjector>, CliError> {
-    let Some(spec) = args.get("faults") else {
-        return Ok(None);
-    };
-    let seed = args.u64_or("fault-seed", 42)?;
-    // FaultPlan::parse errors already name the offending `--faults` term.
-    let plan = FaultPlan::parse(spec, seed).map_err(CliError::Other)?;
-    Ok(Some(FaultInjector::new(plan, market.horizon())))
 }
 
 /// Build the optional JSONL trace sink from `--trace-out` /
 /// `--trace-level` (default level `summary` once a path is given).
-fn trace_sink_from(args: &Args) -> Result<Option<JsonlRecorder>, CliError> {
+pub(crate) fn trace_sink_from(args: &Args) -> Result<Option<JsonlRecorder>, CliError> {
     let level = match args.get("trace-level") {
         None => TraceLevel::Summary,
         Some(v) => v.parse().map_err(CliError::Other)?,
@@ -117,7 +110,7 @@ fn trace_sink_from(args: &Args) -> Result<Option<JsonlRecorder>, CliError> {
 }
 
 /// Flush a trace sink and surface any events lost to I/O errors.
-fn finish_trace(sink: &JsonlRecorder, path: &str) -> Result<(), CliError> {
+pub(crate) fn finish_trace(sink: &JsonlRecorder, path: &str) -> Result<(), CliError> {
     sink.flush()
         .map_err(|e| CliError::Other(format!("--trace-out {path}: {e}")))?;
     if sink.write_errors() > 0 {
@@ -159,39 +152,22 @@ fn describe_plan(out: &mut dyn Write, market: &SpotMarket, plan: &Plan) -> std::
 pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     args.check_known(PLAN_FLAGS)?;
     let market = market_from(args)?;
-    let app = app_from(args)?;
-    let problem = problem_from(&market, &app, args)?;
-    let view = view_from(&market, args)?;
-    let strategy = strategy_from(args)?;
+    let req = plan_request_from(args)?;
     let sink = trace_sink_from(args)?;
     let recorder: &dyn Recorder = match &sink {
         Some(s) => s,
         None => &NullRecorder,
     };
-    let plan = strategy.plan_recorded(&problem, &view, recorder);
+    let report = service::plan(&market, &req, recorder).map_err(svc)?;
     if let Some(s) = &sink {
         finish_trace(s, args.get("trace-out").unwrap_or(""))?;
     }
-    let eval = evaluate_plan(&plan, &view)
-        .map_err(|e| CliError::Other(e.to_string()))?
-        .ok_or_else(|| CliError::Other("plan has an unlaunchable bid".into()))?;
 
     if args.flag("json") {
-        let doc = serde_json::json!({
-            "app": problem.app,
-            "deadline_hours": problem.deadline,
-            "baseline_hours": problem.baseline_time(),
-            "baseline_cost_billed": problem.baseline_cost_billed(),
-            "strategy": strategy.name(),
-            "plan": plan,
-            "expected_cost": eval.expected_cost,
-            "expected_time": eval.expected_time,
-            "p_all_fail": eval.p_all_fail,
-        });
         writeln!(
             out,
             "{}",
-            serde_json::to_string_pretty(&doc).expect("serializable")
+            serde_json::to_string_pretty(&report).expect("serializable")
         )
         .map_err(|e| CliError::Other(e.to_string()))?;
         return Ok(());
@@ -200,24 +176,28 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         out,
         "{} — baseline {:.2} h (${:.2} billed), deadline {:.2} h, strategy {}",
-        problem.app,
-        problem.baseline_time(),
-        problem.baseline_cost_billed(),
-        problem.deadline,
-        strategy.name()
+        report.app,
+        report.baseline_hours,
+        report.baseline_cost_billed,
+        report.deadline_hours,
+        report.strategy
     )
     .map_err(|e| CliError::Other(e.to_string()))?;
-    describe_plan(out, &market, &plan).map_err(|e| CliError::Other(e.to_string()))?;
+    describe_plan(out, &market, &report.plan).map_err(|e| CliError::Other(e.to_string()))?;
     writeln!(
         out,
         "model: E[cost] ${:.2}  E[time] {:.2} h  P[all replicas fail] {:.3}",
-        eval.expected_cost, eval.expected_time, eval.p_all_fail
+        report.expected_cost, report.expected_time, report.p_all_fail
     )
     .map_err(|e| CliError::Other(e.to_string()))?;
     Ok(())
 }
 
 /// `sompi replay` — plan, then Monte-Carlo replay over the market.
+/// `--adaptive` switches to the windowed Algorithm-1 runner;
+/// `--no-warmstart` / `--no-bucket-reuse` ablate its exactness-
+/// preserving warm-start layers (plans and replayed outcomes are
+/// bit-identical either way, only re-plan wall-clock changes).
 pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut flags = PLAN_FLAGS.to_vec();
     flags.extend([
@@ -232,106 +212,88 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "no-bucket-reuse",
     ]);
     args.check_known(&flags)?;
-    if args.flag("adaptive") {
-        return cmd_replay_adaptive(args, out);
-    }
-    if args.flag("no-warmstart") || args.flag("no-bucket-reuse") {
+    if !args.flag("adaptive") && (args.flag("no-warmstart") || args.flag("no-bucket-reuse")) {
         return Err(CliError::Other(
             "--no-warmstart/--no-bucket-reuse only apply to --adaptive replays".into(),
         ));
     }
     let market = market_from(args)?;
-    let app = app_from(args)?;
-    let problem = problem_from(&market, &app, args)?;
-    let view = view_from(&market, args)?;
-    let strategy = strategy_from(args)?;
+    let req = replay_request_from(args, 100)?;
     let sink = trace_sink_from(args)?;
     let recorder: &dyn Recorder = match &sink {
         Some(s) => s,
         None => &NullRecorder,
     };
-    let plan = strategy.plan_recorded(&problem, &view, recorder);
-    let injector = faults_from(args, &market)?;
-    let mut ctx = ExecContext::new();
-    if let Some(inj) = &injector {
-        // Faulted checkpoint I/O retries under the standard policy.
-        ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
-    }
-
-    let replicas = args.u64_or("replicas", 100)? as usize;
-    let seed = args.u64_or("mc-seed", 1)?;
-    let history = args.f64_or("history", 48.0)?;
-    let margin = problem.baseline_time() * 4.0 + 4.0;
-    let max = (market.horizon() - margin).max(history + 1.0);
-    let mc = MonteCarlo::builder()
-        .replicas(replicas)
-        .seed(seed)
-        .offsets(history, max)
-        .build();
-    let result = mc
-        .run_plan(&market, &plan, problem.deadline, &ctx)
-        .map_err(|e| CliError::Other(e.to_string()))?;
+    let report = service::replay(&market, &req, recorder).map_err(svc)?;
 
     // Tracing records one deterministic replay (the Monte-Carlo sweep
     // would interleave replica timelines into an unreadable stream).
     if let Some(s) = &sink {
-        let start = history + 1.0;
-        replay::PlanRunner::new(&market, problem.deadline)
-            .run(&plan, start, &ctx.with_recorder(s))
-            .map_err(|e| CliError::Other(e.to_string()))?;
+        service::traced_replay(&market, &req, report.plan.as_ref(), s).map_err(svc)?;
         finish_trace(s, args.get("trace-out").unwrap_or(""))?;
     }
 
     if args.flag("json") {
-        let doc = serde_json::json!({
-            "app": problem.app,
-            "strategy": strategy.name(),
-            "replicas": replicas,
-            "cost": result.cost,
-            "time": result.time,
-            "deadline_rate": result.deadline_rate,
-            "spot_finish_rate": result.spot_finish_rate,
-            "normalized_cost": result.cost.mean / problem.baseline_cost_billed(),
-        });
         writeln!(
             out,
             "{}",
-            serde_json::to_string_pretty(&doc).expect("serializable")
+            serde_json::to_string_pretty(&report).expect("serializable")
         )
         .map_err(|e| CliError::Other(e.to_string()))?;
         return Ok(());
     }
 
-    writeln!(
-        out,
-        "{} via {}: {} replicas",
-        problem.app,
-        strategy.name(),
-        replicas
-    )
-    .map_err(|e| CliError::Other(e.to_string()))?;
+    if req.adaptive {
+        writeln!(
+            out,
+            "{} via adaptive sompi (T_m = {} h{}{}): {} replicas",
+            report.app,
+            req.window_hours,
+            if req.warmstart { "" } else { ", no-warmstart" },
+            if req.bucket_reuse {
+                ""
+            } else {
+                ", no-bucket-reuse"
+            },
+            report.replicas
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    } else {
+        writeln!(
+            out,
+            "{} via {}: {} replicas",
+            report.app, report.strategy, report.replicas
+        )
+        .map_err(|e| CliError::Other(e.to_string()))?;
+    }
     writeln!(
         out,
         "  cost: mean ${:.2} (std {:.2}, p95 {:.2})  = {:.3} x baseline",
-        result.cost.mean,
-        result.cost.std_dev,
-        result.cost.p95,
-        result.cost.mean / problem.baseline_cost_billed()
+        report.cost.mean, report.cost.std_dev, report.cost.p95, report.normalized_cost
     )
     .map_err(|e| CliError::Other(e.to_string()))?;
     writeln!(
         out,
         "  time: mean {:.2} h (deadline {:.2} h, met {:.0}%)  finished on spot {:.0}%",
-        result.time.mean,
-        problem.deadline,
-        result.deadline_rate * 100.0,
-        result.spot_finish_rate * 100.0
+        report.time.mean,
+        report.deadline_hours,
+        report.deadline_rate * 100.0,
+        report.spot_finish_rate * 100.0
     )
     .map_err(|e| CliError::Other(e.to_string()))?;
+    if let (Some(w), Some(c)) = (report.mean_windows, report.mean_plan_changes) {
+        writeln!(out, "  windows: {w:.1} per run, {c:.1} plan change(s)")
+            .map_err(|e| CliError::Other(e.to_string()))?;
+    }
 
     if args.flag("timeline") {
-        let start = history + 1.0;
-        let events = replay::timeline::timeline(&market, &plan, start, problem.deadline);
+        let Some(plan) = &report.plan else {
+            return Err(CliError::Other(
+                "--timeline applies to fixed-plan replays only".into(),
+            ));
+        };
+        let start = req.plan.history_hours + 1.0;
+        let events = replay::timeline::timeline(&market, plan, start, report.deadline_hours);
         writeln!(out, "\ntimeline of one replay (start offset {start:.1} h):")
             .map_err(|e| CliError::Other(e.to_string()))?;
         write!(out, "{}", replay::timeline::render(&events, start))
@@ -340,165 +302,29 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `sompi replay --adaptive` — windowed Algorithm-1 execution (re-plan
-/// every `--window` hours from fresh history) Monte-Carlo replayed over
-/// the market. `--no-warmstart` / `--no-bucket-reuse` ablate the
-/// exactness-preserving warm-start layers of the re-optimizer; plans and
-/// replayed outcomes are bit-identical either way, only re-plan
-/// wall-clock changes.
-fn cmd_replay_adaptive(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let market = market_from(args)?;
-    let app = app_from(args)?;
-    let problem = problem_from(&market, &app, args)?;
-    let history = args.f64_or("history", 48.0)?;
-    let cfg = AdaptiveConfig {
-        window_hours: args.f64_or("window", 15.0)?,
-        history_hours: history,
-        optimizer: optimizer_from(args)?,
-        warmstart: !args.flag("no-warmstart"),
-        bucket_reuse: !args.flag("no-bucket-reuse"),
-    };
-    let runner = AdaptiveRunner::new(&market, cfg);
-    let injector = faults_from(args, &market)?;
-    let mut ctx = ExecContext::new();
-    if let Some(inj) = &injector {
-        ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
-    }
-
-    let replicas = args.u64_or("replicas", 100)? as usize;
-    let seed = args.u64_or("mc-seed", 1)?;
-    let margin = problem.baseline_time() * 4.0 + 4.0;
-    let max = (market.horizon() - margin).max(history + 1.0);
-    let mc = MonteCarlo::builder()
-        .replicas(replicas)
-        .seed(seed)
-        .offsets(history, max)
-        .build();
-    let windows = std::sync::atomic::AtomicU64::new(0);
-    let changes = std::sync::atomic::AtomicU64::new(0);
-    let result = mc
-        .evaluate(|start| {
-            let o = runner.run(&problem, start, &ctx)?;
-            windows.fetch_add(o.windows as u64, std::sync::atomic::Ordering::Relaxed);
-            changes.fetch_add(o.plan_changes as u64, std::sync::atomic::Ordering::Relaxed);
-            Ok(o.run)
-        })
-        .map_err(|e| CliError::Other(e.to_string()))?;
-    let mean_windows = windows.into_inner() as f64 / replicas as f64;
-    let mean_changes = changes.into_inner() as f64 / replicas as f64;
-
-    // Tracing records one deterministic adaptive replay — including the
-    // per-window `WindowReplanned` / `WarmStartApplied` narration.
-    let sink = trace_sink_from(args)?;
-    if let Some(s) = &sink {
-        runner
-            .run(&problem, history + 1.0, &ctx.with_recorder(s))
-            .map_err(|e| CliError::Other(e.to_string()))?;
-        finish_trace(s, args.get("trace-out").unwrap_or(""))?;
-    }
-
-    if args.flag("json") {
-        let doc = serde_json::json!({
-            "app": problem.app,
-            "strategy": "sompi-adaptive",
-            "replicas": replicas,
-            "window_hours": cfg.window_hours,
-            "warmstart": cfg.warmstart,
-            "bucket_reuse": cfg.bucket_reuse,
-            "cost": result.cost,
-            "time": result.time,
-            "deadline_rate": result.deadline_rate,
-            "spot_finish_rate": result.spot_finish_rate,
-            "normalized_cost": result.cost.mean / problem.baseline_cost_billed(),
-            "mean_windows": mean_windows,
-            "mean_plan_changes": mean_changes,
-        });
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&doc).expect("serializable")
-        )
-        .map_err(|e| CliError::Other(e.to_string()))?;
-        return Ok(());
-    }
-
-    writeln!(
-        out,
-        "{} via adaptive sompi (T_m = {} h{}{}): {} replicas",
-        problem.app,
-        cfg.window_hours,
-        if cfg.warmstart { "" } else { ", no-warmstart" },
-        if cfg.bucket_reuse {
-            ""
-        } else {
-            ", no-bucket-reuse"
-        },
-        replicas
-    )
-    .map_err(|e| CliError::Other(e.to_string()))?;
-    writeln!(
-        out,
-        "  cost: mean ${:.2} (std {:.2}, p95 {:.2})  = {:.3} x baseline",
-        result.cost.mean,
-        result.cost.std_dev,
-        result.cost.p95,
-        result.cost.mean / problem.baseline_cost_billed()
-    )
-    .map_err(|e| CliError::Other(e.to_string()))?;
-    writeln!(
-        out,
-        "  time: mean {:.2} h (deadline {:.2} h, met {:.0}%)  finished on spot {:.0}%",
-        result.time.mean,
-        problem.deadline,
-        result.deadline_rate * 100.0,
-        result.spot_finish_rate * 100.0
-    )
-    .map_err(|e| CliError::Other(e.to_string()))?;
-    writeln!(
-        out,
-        "  windows: {:.1} per run, {:.1} plan change(s)",
-        mean_windows, mean_changes
-    )
-    .map_err(|e| CliError::Other(e.to_string()))?;
-    Ok(())
-}
-
-/// `sompi sweep` — cost vs deadline factor.
+/// `sompi sweep` — cost vs deadline factor. Each point is one
+/// fixed-plan replay request with a scaled deadline factor.
 pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut flags = PLAN_FLAGS.to_vec();
     flags.extend(["replicas", "mc-seed", "from", "to", "points"]);
     args.check_known(&flags)?;
     let market = market_from(args)?;
-    let app = app_from(args)?;
-    let view = view_from(&market, args)?;
-    let strategy = strategy_from(args)?;
     let from = args.f64_or("from", 1.05)?;
     let to = args.f64_or("to", 2.0)?;
     let points = args.u64_or("points", 6)?.max(2);
-    let replicas = args.u64_or("replicas", 50)? as usize;
 
     writeln!(out, "{:<10} {:>12} {:>8}", "deadline", "norm. cost", "met")
         .map_err(|e| CliError::Other(e.to_string()))?;
     for i in 0..points {
         let factor = from + (to - from) * i as f64 / (points - 1) as f64;
-        let mut p = problem_from(&market, &app, args)?;
-        p.deadline = p.baseline_time() * factor;
-        let plan = strategy.plan(&p, &view);
-        let margin = p.baseline_time() * 4.0 + 4.0;
-        let max = (market.horizon() - margin).max(49.0);
-        let mc = MonteCarlo::builder()
-            .replicas(replicas)
-            .seed(1)
-            .offsets(48.0, max)
-            .build();
-        let r = mc
-            .run_plan(&market, &plan, p.deadline, &ExecContext::new())
-            .map_err(|e| CliError::Other(e.to_string()))?;
+        let mut req = replay_request_from(args, 50)?;
+        req.plan.deadline_factor = factor;
+        let r = service::replay(&market, &req, &NullRecorder).map_err(svc)?;
         writeln!(
             out,
             "{:<10.2} {:>12.3} {:>7.0}%",
             factor,
-            r.cost.mean / p.baseline_cost_billed(),
+            r.normalized_cost,
             r.deadline_rate * 100.0
         )
         .map_err(|e| CliError::Other(e.to_string()))?;
@@ -849,5 +675,31 @@ mod tests {
         let mut buf = Vec::new();
         let err = cmd_plan(&args(&["--strategy", "magic", "--hours", "60"]), &mut buf).unwrap_err();
         assert!(err.to_string().contains("unknown strategy"));
+    }
+
+    #[test]
+    fn timeline_is_rejected_for_adaptive_replays() {
+        let mut buf = Vec::new();
+        let err = cmd_replay(
+            &args(&[
+                "--adaptive",
+                "--timeline",
+                "--hours",
+                "200",
+                "--repeats",
+                "50",
+                "--kappa",
+                "1",
+                "--levels",
+                "2",
+                "--replicas",
+                "2",
+                "--window",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--timeline"), "{err}");
     }
 }

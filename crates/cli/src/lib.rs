@@ -5,3 +5,4 @@
 pub mod args;
 pub mod build;
 pub mod commands;
+pub mod serve;

@@ -7,10 +7,13 @@
 //! sompi sweep  [... --from 1.05 --to 2.0 --points 6]
 //! sompi trace  [--feed history.txt | --seed 42 --hours 336] [--calibrate]
 //! sompi trace summarize run.jsonl
+//! sompi serve  [--addr 127.0.0.1:7077 --workers 2 --queue-cap 32 ...]
+//! sompi client [--addr 127.0.0.1:7077 --burst N --replay ...]
 //! ```
 
 use sompi_cli::args::Args;
 use sompi_cli::commands;
+use sompi_cli::serve;
 
 const USAGE: &str = "\
 sompi — monetary cost optimization for MPI applications on EC2 spot markets
@@ -24,6 +27,8 @@ COMMANDS:
     sweep     cost vs deadline-factor sweep
     trace     summarize market traces (optionally --calibrate)
     trace summarize FILE    render a recorded .jsonl execution trace
+    serve     run the planner daemon (see docs/SERVER.md for the protocol)
+    client    send one request (or --burst N) to a running server
 
 COMMON FLAGS:
     --app BT|SP|LU|FT|IS|BTIO|CG|MG|EP|LAMMPS   (default BT)
@@ -54,9 +59,25 @@ COMMON FLAGS:
     --faults SPEC              inject deterministic faults during replay, e.g.
                                storm=0.05x0.5,ckpt-fail=0.1,feed-gap=0.2
     --fault-seed N             fault-injection seed (default 42)
-    --json                     machine-readable output (plan, replay)
-    --trace-out FILE           write a JSONL event trace (plan, replay)
+    --json                     machine-readable output (plan, replay, client)
+    --trace-out FILE           write a JSONL event trace (plan, replay, serve)
     --trace-level off|summary|detail    trace verbosity (default summary)
+
+SERVER FLAGS (serve):
+    --addr HOST:PORT           listen address (default 127.0.0.1:7077; port 0
+                               picks an ephemeral port)
+    --workers N --queue-cap N --batch N --cache-cap N
+                               worker pool, admission queue, request batching
+                               and plan-cache sizing
+    --pause-ms MS              artificial per-request delay (load drills)
+    --max-requests N           exit cleanly after N accepted connections
+
+CLIENT FLAGS (client):
+    --addr HOST:PORT           server to talk to (default 127.0.0.1:7077)
+    --tenant NAME              tenant label for multi-tenant accounting
+    --burst N                  fire N identical requests from N threads
+    --ping                     liveness/version probe instead of a plan
+    --replay                   send a replay request instead of a plan
 ";
 
 fn main() {
@@ -72,6 +93,8 @@ fn main() {
         "replay" | "run" => commands::cmd_replay(&args, &mut stdout),
         "sweep" => commands::cmd_sweep(&args, &mut stdout),
         "trace" => commands::cmd_trace(&args, &mut stdout),
+        "serve" => serve::cmd_serve(&args, &mut stdout),
+        "client" => serve::cmd_client(&args, &mut stdout),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return;

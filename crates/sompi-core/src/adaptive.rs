@@ -550,6 +550,32 @@ impl ViewFingerprint {
         Self { entries }
     }
 
+    /// Stable 64-bit digest of the fingerprint (FNV-1a over group ids
+    /// and the raw bits of every component). Two views built from the
+    /// same market coordinates digest identically, which is what lets a
+    /// multi-tenant cache key exact-duplicate requests without holding
+    /// the full fingerprint; it deliberately ignores the tolerance used
+    /// by [`ViewFingerprint::matches`] — near-identical views get
+    /// different keys and simply miss.
+    pub fn digest_u64(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (id, components) in &self.entries {
+            eat(id.to_string().as_bytes());
+            for c in components {
+                eat(&c.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Whether every component matches within the relative tolerance
     /// `|a − b| ≤ tol · max(|a|, |b|, 1e-9)`. Group sets must be
     /// identical.
@@ -768,6 +794,18 @@ mod tests {
             !fp_early.matches(&fp_late, PlanCache::DEFAULT_TOLERANCE),
             "distant windows should not fingerprint-match"
         );
+    }
+
+    #[test]
+    fn fingerprint_digest_is_stable_and_view_sensitive() {
+        let (market, _) = setup();
+        let early = MarketView::from_market(&market, 0.0, 48.0);
+        let late = MarketView::from_market(&market, 200.0, 48.0);
+        let a = ViewFingerprint::digest(&early).digest_u64();
+        let b = ViewFingerprint::digest(&early).digest_u64();
+        let c = ViewFingerprint::digest(&late).digest_u64();
+        assert_eq!(a, b, "same view must digest to the same key");
+        assert_ne!(a, c, "distant views must not collide on the key");
     }
 
     #[test]

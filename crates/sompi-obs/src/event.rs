@@ -313,6 +313,63 @@ pub enum Event {
         /// `"feed-gap"`.
         reason: String,
     },
+    /// The planner service accepted a request for processing. Emitted by
+    /// `sompi-server` after the request frame is read and parsed,
+    /// before the request enters the worker queue.
+    RequestReceived {
+        /// Server-assigned request id (monotonic per server process).
+        id: u64,
+        /// Caller-supplied tenant label (`"anon"` when absent).
+        tenant: String,
+        /// Request kind: `"plan"`, `"replay"`, or `"ping"`.
+        kind: String,
+    },
+    /// The planner service finished a request and wrote the response.
+    RequestCompleted {
+        /// Server-assigned request id.
+        id: u64,
+        /// Caller-supplied tenant label.
+        tenant: String,
+        /// Request kind: `"plan"`, `"replay"`, or `"ping"`.
+        kind: String,
+        /// False when the response is a typed error.
+        ok: bool,
+        /// How the cross-tenant plan cache answered: `"miss"` (a real
+        /// search ran), `"hit"` (served from a completed entry),
+        /// `"coalesced"` (waited on an identical in-flight search), or
+        /// `"none"` (the request kind is not cacheable).
+        cache: String,
+        /// Wall seconds the request waited in the admission queue.
+        queue_secs: f64,
+        /// Wall seconds spent servicing the request (search/replay +
+        /// response serialization).
+        service_secs: f64,
+    },
+    /// The planner service rejected a request at admission because the
+    /// worker queue was full (load shedding). The connection receives a
+    /// typed `Overloaded` response instead of queueing unboundedly.
+    RequestShed {
+        /// Server-assigned request id (assigned at accept time; the
+        /// request body is never parsed on this path, so no tenant/kind).
+        id: u64,
+        /// Requests waiting in the queue at the shedding decision.
+        queue_depth: u32,
+        /// The queue's configured capacity.
+        capacity: u32,
+    },
+    /// The cross-tenant plan cache answered a request without a fresh
+    /// search: either from a completed entry, or by waiting for an
+    /// identical in-flight search to finish (single-flight coalescing).
+    CacheHit {
+        /// Stable 64-bit digest of the request key (parameters + market
+        /// view fingerprint); identical requests share it.
+        key: u64,
+        /// Request kind served from cache (currently always `"plan"`).
+        kind: String,
+        /// True when this hit waited on an in-flight search rather than
+        /// reading a completed entry.
+        coalesced: bool,
+    },
     /// A replayed run finished (success or not).
     RunCompleted {
         /// `"spot:<group-id>"` when a spot group finished the job,
@@ -353,6 +410,10 @@ impl Event {
             Event::FaultInjected { .. } => "FaultInjected",
             Event::RetryAttempted { .. } => "RetryAttempted",
             Event::DegradedMode { .. } => "DegradedMode",
+            Event::RequestReceived { .. } => "RequestReceived",
+            Event::RequestCompleted { .. } => "RequestCompleted",
+            Event::RequestShed { .. } => "RequestShed",
+            Event::CacheHit { .. } => "CacheHit",
             Event::RunCompleted { .. } => "RunCompleted",
         }
     }
@@ -448,6 +509,30 @@ mod tests {
                 group: Some("g1".to_string()),
                 at_hours: 8.0,
                 reason: "ckpt-upload-retries-exhausted".to_string(),
+            },
+            Event::RequestReceived {
+                id: 3,
+                tenant: "team-a".to_string(),
+                kind: "plan".to_string(),
+            },
+            Event::RequestCompleted {
+                id: 3,
+                tenant: "team-a".to_string(),
+                kind: "plan".to_string(),
+                ok: true,
+                cache: "coalesced".to_string(),
+                queue_secs: 0.002,
+                service_secs: 0.13,
+            },
+            Event::RequestShed {
+                id: 4,
+                queue_depth: 1,
+                capacity: 1,
+            },
+            Event::CacheHit {
+                key: 0x1234_5678,
+                kind: "plan".to_string(),
+                coalesced: false,
             },
             Event::RunCompleted {
                 finisher: "spot:g1".to_string(),

@@ -43,8 +43,47 @@ pub struct RunReport {
     warm: Vec<WarmLine>,
     /// Failure / checkpoint / fallback timeline, in trace order.
     timeline: Vec<TimelineLine>,
+    /// Aggregated planner-service counters (requests, cache, shedding,
+    /// per-phase latency), if the trace has server events.
+    server: Option<ServerStats>,
     /// Final `RunCompleted`, if the trace has one.
     outcome: Option<Outcome>,
+}
+
+/// Planner-service aggregates folded from the four server event kinds.
+/// A trace containing *only* these (a pure service trace, no
+/// `RunCompleted` terminator) still renders a full counters section.
+#[derive(Debug, Default)]
+struct ServerStats {
+    received: u64,
+    completed: u64,
+    errors: u64,
+    shed: u64,
+    cache_hits: u64,
+    cache_coalesced: u64,
+    cache_misses: u64,
+    /// (count, sum, max) of queue-wait seconds over completed requests.
+    queue: (u64, f64, f64),
+    /// (count, sum, max) of service seconds over completed requests.
+    service: (u64, f64, f64),
+    /// (kind, occurrences) of completed requests, first-seen order.
+    kinds: Vec<(String, u64)>,
+}
+
+impl ServerStats {
+    fn bump_kind(&mut self, kind: &str) {
+        match self.kinds.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.kinds.push((kind.to_string(), 1)),
+        }
+    }
+}
+
+/// Fold one latency observation into a (count, sum, max) accumulator.
+fn observe(acc: &mut (u64, f64, f64), secs: f64) {
+    acc.0 += 1;
+    acc.1 += secs;
+    acc.2 = acc.2.max(secs);
 }
 
 #[derive(Debug)]
@@ -304,6 +343,40 @@ impl RunReport {
                         None => format!("degraded mode {mode} ({reason})"),
                     },
                 }),
+                Event::RequestReceived { .. } => {
+                    report.server_mut().received += 1;
+                }
+                Event::RequestCompleted {
+                    kind,
+                    ok,
+                    cache,
+                    queue_secs,
+                    service_secs,
+                    ..
+                } => {
+                    let s = report.server_mut();
+                    s.completed += 1;
+                    if !ok {
+                        s.errors += 1;
+                    }
+                    if cache == "miss" {
+                        s.cache_misses += 1;
+                    }
+                    observe(&mut s.queue, *queue_secs);
+                    observe(&mut s.service, *service_secs);
+                    s.bump_kind(kind);
+                }
+                Event::RequestShed { .. } => {
+                    report.server_mut().shed += 1;
+                }
+                Event::CacheHit { coalesced, .. } => {
+                    let s = report.server_mut();
+                    if *coalesced {
+                        s.cache_coalesced += 1;
+                    } else {
+                        s.cache_hits += 1;
+                    }
+                }
                 Event::RunCompleted {
                     finisher,
                     total_cost,
@@ -335,6 +408,10 @@ impl RunReport {
     /// Render the report as plain text (same output as `Display`).
     pub fn render(&self) -> String {
         self.to_string()
+    }
+
+    fn server_mut(&mut self) -> &mut ServerStats {
+        self.server.get_or_insert_with(ServerStats::default)
     }
 }
 
@@ -454,6 +531,39 @@ impl fmt::Display for RunReport {
             }
         }
 
+        if let Some(s) = &self.server {
+            writeln!(f, "\nserver requests")?;
+            writeln!(f, "---------------")?;
+            write!(
+                f,
+                "  {} received, {} completed ({} error(s)), {} shed",
+                s.received, s.completed, s.errors, s.shed
+            )?;
+            writeln!(f)?;
+            if !s.kinds.is_empty() {
+                write!(f, "  by kind:")?;
+                for (kind, n) in &s.kinds {
+                    write!(f, "  {kind}={n}")?;
+                }
+                writeln!(f)?;
+            }
+            writeln!(
+                f,
+                "  plan cache: {} hit(s), {} coalesced, {} miss(es)",
+                s.cache_hits, s.cache_coalesced, s.cache_misses
+            )?;
+            if s.queue.0 > 0 {
+                writeln!(
+                    f,
+                    "  latency: queue mean {:.1} ms (max {:.1}), service mean {:.1} ms (max {:.1})",
+                    1e3 * s.queue.1 / s.queue.0 as f64,
+                    1e3 * s.queue.2,
+                    1e3 * s.service.1 / s.service.0 as f64,
+                    1e3 * s.service.2,
+                )?;
+            }
+        }
+
         if !self.timeline.is_empty() {
             writeln!(f, "\ntimeline")?;
             writeln!(f, "--------")?;
@@ -480,6 +590,10 @@ impl fmt::Display for RunReport {
             if let (Some(w), Some(p)) = (o.windows, o.plan_changes) {
                 writeln!(f, "  adaptive: {w} window(s), {p} plan change(s)")?;
             }
+        } else if self.server.is_some() {
+            // A pure service trace has no run terminator; the counters
+            // above are the outcome, so no "planning only" caveat.
+            writeln!(f, "\n(no RunCompleted event — service trace)")?;
         } else {
             writeln!(f, "\n(no RunCompleted event — trace covers planning only)")?;
         }
@@ -694,6 +808,96 @@ mod tests {
             text.contains("no incumbent seed, 0 hot subset(s) first; tables 0 reused / 48 rebuilt"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn server_only_trace_renders_counters_without_run_completed() {
+        // Regression for the planner-service satellite: a trace holding
+        // only server events (no RunCompleted terminator) must still
+        // render the full cache/server counters section.
+        let events = vec![
+            Event::RequestReceived {
+                id: 1,
+                tenant: "t0".to_string(),
+                kind: "plan".to_string(),
+            },
+            Event::RequestCompleted {
+                id: 1,
+                tenant: "t0".to_string(),
+                kind: "plan".to_string(),
+                ok: true,
+                cache: "miss".to_string(),
+                queue_secs: 0.004,
+                service_secs: 0.2,
+            },
+            Event::CacheHit {
+                key: 99,
+                kind: "plan".to_string(),
+                coalesced: false,
+            },
+            Event::CacheHit {
+                key: 99,
+                kind: "plan".to_string(),
+                coalesced: true,
+            },
+            Event::RequestCompleted {
+                id: 2,
+                tenant: "t1".to_string(),
+                kind: "plan".to_string(),
+                ok: true,
+                cache: "hit".to_string(),
+                queue_secs: 0.002,
+                service_secs: 0.01,
+            },
+            Event::RequestShed {
+                id: 3,
+                queue_depth: 1,
+                capacity: 1,
+            },
+            Event::RequestCompleted {
+                id: 4,
+                tenant: "t1".to_string(),
+                kind: "ping".to_string(),
+                ok: false,
+                cache: "none".to_string(),
+                queue_secs: 0.001,
+                service_secs: 0.001,
+            },
+        ];
+        let text = RunReport::from_events(&events).render();
+        assert!(text.contains("server requests"), "{text}");
+        assert!(
+            text.contains("1 received, 3 completed (1 error(s)), 1 shed"),
+            "{text}"
+        );
+        assert!(text.contains("plan=2  ping=1"), "{text}");
+        assert!(
+            text.contains("plan cache: 1 hit(s), 1 coalesced, 1 miss(es)"),
+            "{text}"
+        );
+        assert!(text.contains("latency: queue mean"), "{text}");
+        assert!(text.contains("service trace"), "{text}");
+        assert!(
+            !text.contains("planning only"),
+            "server-only trace must not claim to cover planning only: {text}"
+        );
+    }
+
+    #[test]
+    fn mixed_trace_renders_server_and_outcome_sections() {
+        let mut events = full_trace();
+        events.push(Event::RequestCompleted {
+            id: 7,
+            tenant: "t".to_string(),
+            kind: "replay".to_string(),
+            ok: true,
+            cache: "none".to_string(),
+            queue_secs: 0.0,
+            service_secs: 0.5,
+        });
+        let text = RunReport::from_events(&events).render();
+        assert!(text.contains("server requests"), "{text}");
+        assert!(text.contains("outcome"), "{text}");
     }
 
     #[test]

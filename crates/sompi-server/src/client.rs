@@ -1,0 +1,36 @@
+//! A minimal blocking client: one connection per call, used by the
+//! `sompi client` smoke mode, the CI smoke test, and the concurrency
+//! suite. Real deployments can speak the protocol from any language —
+//! see `docs/SERVER.md` for the framing and message reference.
+
+use crate::proto::{self, Request, Response};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Send one request and wait for its response. Opens a fresh
+/// connection (the protocol is one request per connection) with a
+/// 60-second I/O timeout.
+pub fn call(addr: &str, request: &Request) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    proto::write_message(&mut stream, request)?;
+    proto::read_message(&mut stream)
+}
+
+/// Fire `n` copies of `request` from `n` threads at once and collect
+/// every response in thread order. This is the load generator behind
+/// `sompi client --burst` and the shedding tests: with a saturated
+/// server, some responses come back `Overloaded`.
+pub fn burst(addr: &str, request: &Request, n: usize) -> Vec<io::Result<Response>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| scope.spawn(|| call(addr, request)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    })
+}

@@ -81,6 +81,13 @@ impl FailureRateFn {
         &self.buckets
     }
 
+    /// Consume the function and take ownership of its bucket vector —
+    /// for callers that would otherwise `buckets().to_vec()` a function
+    /// they are done with (the assessment hot path clones nothing).
+    pub fn into_buckets(self) -> Vec<f64> {
+        self.buckets
+    }
+
     /// P[survive the entire horizon].
     pub fn survival(&self) -> f64 {
         self.survival

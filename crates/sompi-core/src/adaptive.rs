@@ -16,6 +16,7 @@
 use crate::cost::evaluate_plan;
 use crate::error::SompiError;
 use crate::model::Plan;
+use crate::pool::SearchPool;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
@@ -152,6 +153,13 @@ pub struct PlanContext<'a> {
     /// 0-based index of the window being planned (labels events and keys
     /// feed-gap injection).
     pub window: u32,
+    /// Persistent worker pool for the parallel subset search. When
+    /// present (and the resolved thread count is > 1), each real
+    /// re-optimization dispatches its chunk jobs onto these resident
+    /// threads instead of spawning a fresh scoped-thread team — results
+    /// are bit-identical either way (see [`SearchPool`]); only the
+    /// per-window spawn/join tax disappears.
+    pub pool: Option<&'a SearchPool>,
 }
 
 impl Default for PlanContext<'_> {
@@ -162,6 +170,7 @@ impl Default for PlanContext<'_> {
             faults: None,
             warm: None,
             window: 0,
+            pool: None,
         }
     }
 }
@@ -199,6 +208,13 @@ impl<'a> PlanContext<'a> {
     /// Label events (and key feed-gap injection) with window index `w`.
     pub fn with_window(mut self, window: u32) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Run each window's parallel search on the resident `pool` instead
+    /// of spawning scoped threads per re-optimization.
+    pub fn with_pool(mut self, pool: &'a SearchPool) -> Self {
+        self.pool = Some(pool);
         self
     }
 }
@@ -357,6 +373,7 @@ impl AdaptivePlanner {
             view,
             ctx.recorder,
             ctx.warm.as_deref_mut(),
+            ctx.pool,
         )?;
         let window = ctx.window;
         emit(ctx.recorder, TraceLevel::Summary, || {
@@ -443,6 +460,7 @@ impl AdaptivePlanner {
         .decision
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn decide(
         &self,
         base: &Problem,
@@ -451,6 +469,7 @@ impl AdaptivePlanner {
         view: &MarketView,
         recorder: &dyn Recorder,
         warm: Option<&mut WarmStart>,
+        pool: Option<&SearchPool>,
     ) -> Result<WindowDecision, SompiError> {
         let leftover = base.deadline - elapsed;
         let residual = base.try_residual(remaining_fraction, leftover.max(0.0))?;
@@ -487,7 +506,7 @@ impl AdaptivePlanner {
         // that as the Algorithm-1 bail-out.
         let OptimizedPlan { plan, .. } =
             TwoLevelOptimizer::new(&residual, view, self.config.optimizer)
-                .optimize_warm(recorder, warm)?;
+                .optimize_warm_pooled(recorder, warm, pool)?;
         if plan.groups.is_empty() {
             return Ok(WindowDecision::FinishOnDemand(plan));
         }

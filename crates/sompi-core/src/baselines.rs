@@ -17,6 +17,7 @@ use crate::cost::{evaluate_plan, Evaluation};
 use crate::model::{GroupDecision, Plan};
 use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
 use crate::phi::optimal_interval;
+use crate::pool::SearchPool;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
@@ -37,6 +38,22 @@ pub trait Strategy {
     fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
         let _ = recorder;
         self.plan(problem, view)
+    }
+
+    /// [`Strategy::plan_recorded`], additionally dispatching any parallel
+    /// search onto the resident `pool` instead of spawning scoped threads.
+    /// The default ignores the pool (baselines run no parallel search);
+    /// [`Sompi`] overrides it. Plans are bit-identical with or without
+    /// the pool.
+    fn plan_pooled(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        recorder: &dyn Recorder,
+        pool: Option<&SearchPool>,
+    ) -> Plan {
+        let _ = pool;
+        self.plan_recorded(problem, view, recorder)
     }
 
     /// Convenience: plan and evaluate under the cost model.
@@ -271,6 +288,19 @@ impl Strategy for Sompi {
     fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
         TwoLevelOptimizer::new(problem, view, self.config)
             .optimize_recorded(recorder)
+            .expect("problem candidates are drawn from the view's market")
+            .plan
+    }
+
+    fn plan_pooled(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        recorder: &dyn Recorder,
+        pool: Option<&SearchPool>,
+    ) -> Plan {
+        TwoLevelOptimizer::new(problem, view, self.config)
+            .optimize_warm_pooled(recorder, None, pool)
             .expect("problem candidates are drawn from the view's market")
             .plan
     }

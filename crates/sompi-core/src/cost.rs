@@ -22,22 +22,31 @@
 //!   `E[min_j Ratio_j]` (Formulas 7/11) are computed from products of
 //!   per-group CDFs — again 1-D.
 //!
-//! Total: `O(2^K · K · T)` exact, no sampling. `replay` cross-checks this
-//! model against Monte-Carlo trace replay (the paper's §5.4.1 accuracy
-//! study, max relative difference ≈ 15%).
+//! Total: `O(2^K · K · T)` exact, no sampling — and the default kernel
+//! tightens that to `O(K² · T + 2^K · K)` by memoizing the per-candidate
+//! caps table (see below). `replay` cross-checks this model against
+//! Monte-Carlo trace replay (the paper's §5.4.1 accuracy study, max
+//! relative difference ≈ 15%).
 //!
 //! # Hot-path design
 //!
 //! [`evaluate`] is called once per candidate configuration by the odometer
-//! loop in [`crate::twolevel`] — millions of times at paper scale. Two
-//! things keep it allocation-free per call:
+//! loop in [`crate::twolevel`] — millions of times at paper scale. Three
+//! things keep it fast and allocation-free per call:
 //!
 //! * It borrows its groups (`&[&GroupAssessment]`), so callers compose
 //!   candidates from pre-assessed options without cloning `fail_buckets`.
 //! * Every per-bucket quantity (`fail_wall`, billed floors, remaining
 //!   ratios) is precomputed once in [`GroupAssessment::from_parts`] and
-//!   looked up in the loops; the only buffer the all-fail branch needs
-//!   lives in a caller-reusable [`EvalScratch`].
+//!   looked up in the loops; every buffer the kernel needs lives in a
+//!   caller-reusable [`EvalScratch`].
+//! * The winner wall `w*` can only take one of the ≤ `K` completion
+//!   walls, so the default [`KernelMode`] memoizes each group's
+//!   `E[billed | fail, cap]` at every attainable wall once per candidate
+//!   (a `K × K` table) instead of rescanning the `T` fail buckets in
+//!   every one of the `2^K − 1` patterns, and packs the per-mask scalars
+//!   into contiguous SoA arrays. The memo calls the same summation the
+//!   scalar kernel runs, so results are bit-identical (DESIGN.md §14).
 
 use crate::error::SompiError;
 use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
@@ -108,12 +117,13 @@ impl GroupAssessment {
     ) -> Option<Self> {
         let expected_price = est.expected_spot_price().mean_below(decision.bid)?;
         let f = est.failure_rate_exact(decision.bid, assessment_horizon(&group, &decision));
+        let survival = f.survival();
         Some(Self::from_parts(
             group,
             decision,
             expected_price,
-            f.survival(),
-            f.buckets().to_vec(),
+            survival,
+            f.into_buckets(),
             est.expected_launch_delay(decision.bid),
         ))
     }
@@ -330,18 +340,147 @@ impl Evaluation {
     }
 }
 
-/// Reusable workspace for [`evaluate_with_scratch`]: holds the candidate
-/// wall/ratio value collection used by the all-fail branch so repeated
-/// evaluations (the optimizer's odometer loop) do not allocate.
+/// Which kernel [`evaluate_with_scratch`] runs. Every mode returns
+/// bit-identical [`Evaluation`]s — the memoized modes reuse the scalar
+/// kernel's exact summation order (the caps table is filled by calling
+/// `GroupAssessment::expected_billed_capped` itself, and the mask loop
+/// accumulates in the same group order) — they only differ in how much
+/// redundant work the mask loop performs. See DESIGN.md §14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The original kernel: every failed group rescans all `T` fail
+    /// buckets in every one of the `2^k − 1` patterns — `O(2^k · k · T)`.
+    /// Kept verbatim as the `--no-kernel-caps` ablation baseline.
+    Scalar,
+    /// Memoize the per-candidate `k × k` caps table (the winner wall
+    /// `w*` can only take one of the ≤ `k` completion walls), but keep
+    /// reading the per-group scalars through the `&[&GroupAssessment]`
+    /// refs — `O(k² · T + 2^k · k)` with pointer-chasing intact. The
+    /// all-fail branch switches to the prefix-sum sweep (see
+    /// [`EvalScratch`]).
+    CapsMemo,
+    /// Caps table plus contiguous SoA copies of the per-mask scalars
+    /// (survival, fail probability, completion wall, hourly cost), so the
+    /// mask loop is pure flat-array arithmetic. The default.
+    #[default]
+    CapsSoa,
+}
+
+/// Reusable workspace for [`evaluate_with_scratch`]: the candidate
+/// wall/ratio value collection used by the all-fail branch, plus — in the
+/// memoized [`KernelMode`]s — the per-candidate SoA scalar arrays and the
+/// flat `k × k` caps/survivor-billing tables. All buffers grow to the
+/// largest candidate seen and are reused after, so repeated evaluations
+/// (the optimizer's odometer loop) do not allocate.
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     values: Vec<f64>,
+    mode: KernelMode,
+    /// SoA: `completion_wall()` per group.
+    walls: Vec<f64>,
+    /// SoA: `survival` per group ([`KernelMode::CapsSoa`] only).
+    survival: Vec<f64>,
+    /// SoA: `prob_fail()` per group ([`KernelMode::CapsSoa`] only).
+    prob_fail: Vec<f64>,
+    /// SoA: `hourly_cost()` per group ([`KernelMode::CapsSoa`] only).
+    hourly: Vec<f64>,
+    /// `caps[j·k + i]` = `groups[j].expected_billed_capped(walls[i])` —
+    /// the memoized failed-group billing at every attainable winner wall.
+    caps: Vec<f64>,
+    /// `surv_billed[j·k + i]` = billed hours of surviving group `j` when
+    /// the winner finishes at `walls[i]`:
+    /// `(walls[i] − delay_j).max(0).min(run_wall_j).ceil()`.
+    surv_billed: Vec<f64>,
+    /// Per-group left-to-right prefix sums of `fail_buckets`, flattened
+    /// (memoized modes only). Failure walls are nondecreasing and
+    /// remaining-work ratios nonincreasing in the bucket index, so every
+    /// conditional-CDF sum the all-fail helpers accumulate is one of
+    /// these partial sums — bitwise, since they add the same buckets in
+    /// the same order.
+    prefix: Vec<f64>,
+    /// Group offsets into `prefix` (length `k + 1`; group `j`'s sums span
+    /// `prefix[off[j]..off[j + 1]]`).
+    prefix_off: Vec<usize>,
+    /// Per-group bucket cursors for the merged value sweep.
+    cursors: Vec<usize>,
+    /// Per-value joint survivor-function products (min-ratio sweep).
+    products: Vec<f64>,
 }
 
 impl EvalScratch {
-    /// An empty workspace. Buffers grow on first use and are reused after.
+    /// An empty workspace running the default kernel
+    /// ([`KernelMode::CapsSoa`]). Buffers grow on first use and are
+    /// reused after.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty workspace pinned to `mode` (the ablation hook — results
+    /// are bit-identical in every mode).
+    pub fn with_mode(mode: KernelMode) -> Self {
+        Self {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The kernel this workspace runs.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Fill the memo tables for one candidate. `caps` is computed by
+    /// calling [`GroupAssessment::expected_billed_capped`] per `(group,
+    /// wall)` pair — the same left-to-right bucket summation the scalar
+    /// kernel runs per mask — so every table entry is bitwise the value
+    /// the scalar kernel would have recomputed.
+    fn prepare(&mut self, groups: &[&GroupAssessment]) {
+        let k = groups.len();
+        self.walls.clear();
+        self.walls
+            .extend(groups.iter().map(|g| g.completion_wall()));
+        if self.mode == KernelMode::CapsSoa {
+            self.survival.clear();
+            self.survival.extend(groups.iter().map(|g| g.survival));
+            self.prob_fail.clear();
+            self.prob_fail.extend(groups.iter().map(|g| g.prob_fail()));
+            self.hourly.clear();
+            self.hourly.extend(groups.iter().map(|g| g.hourly_cost()));
+        }
+        self.caps.clear();
+        self.surv_billed.clear();
+        for g in groups {
+            let run_wall = g.run_wall();
+            for i in 0..k {
+                self.caps.push(g.expected_billed_capped(self.walls[i]));
+                self.surv_billed.push(
+                    (self.walls[i] - g.launch_delay)
+                        .max(0.0)
+                        .min(run_wall)
+                        .ceil(),
+                );
+            }
+        }
+        self.prefix.clear();
+        self.prefix_off.clear();
+        self.prefix_off.push(0);
+        for g in groups {
+            debug_assert!(
+                g.wall_at_bucket.windows(2).all(|w| w[0] <= w[1]),
+                "failure walls must be nondecreasing for the prefix sweep"
+            );
+            debug_assert!(
+                g.ratio_at_bucket.windows(2).all(|w| w[0] >= w[1]),
+                "remaining ratios must be nonincreasing for the prefix sweep"
+            );
+            let mut acc = 0.0;
+            self.prefix.push(acc);
+            for &p in &g.fail_buckets {
+                acc += p;
+                self.prefix.push(acc);
+            }
+            self.prefix_off.push(self.prefix.len());
+        }
     }
 }
 
@@ -381,36 +520,112 @@ pub fn evaluate_with_scratch(
     let mut e_spot = 0.0;
     let mut e_od = 0.0;
 
-    // Patterns with at least one completing group.
-    for mask in 1u32..(1 << k) {
-        let mut p = 1.0;
-        let mut w_star = f64::INFINITY;
-        for (i, g) in groups.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                p *= g.survival;
-                w_star = w_star.min(g.completion_wall());
-            } else {
-                p *= g.prob_fail();
+    // Patterns with at least one completing group. Three kernels, one
+    // result: `w*` is always one of the ≤ k completion walls, and equal
+    // walls memoize to bitwise-equal table entries, so looking the billed
+    // hours up by wall *index* reproduces the scalar kernel's arithmetic
+    // exactly — same factors, same order, same rounding.
+    match scratch.mode {
+        KernelMode::Scalar => {
+            for mask in 1u32..(1 << k) {
+                let mut p = 1.0;
+                let mut w_star = f64::INFINITY;
+                for (i, g) in groups.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        p *= g.survival;
+                        w_star = w_star.min(g.completion_wall());
+                    } else {
+                        p *= g.prob_fail();
+                    }
+                }
+                if p <= 0.0 {
+                    continue;
+                }
+                let mut cost = 0.0;
+                for (i, g) in groups.iter().enumerate() {
+                    let hours = if mask & (1 << i) != 0 {
+                        // Completing groups run until the winner finishes
+                        // (their own waiting time is not billed); user
+                        // termination charges the started hour.
+                        (w_star - g.launch_delay).max(0.0).min(g.run_wall()).ceil()
+                    } else {
+                        g.expected_billed_capped(w_star)
+                    };
+                    cost += g.hourly_cost() * hours;
+                }
+                e_cost += p * cost;
+                e_spot += p * cost;
+                e_time += p * w_star;
             }
         }
-        if p <= 0.0 {
-            continue;
+        KernelMode::CapsMemo => {
+            scratch.prepare(groups);
+            for mask in 1u32..(1 << k) {
+                let mut p = 1.0;
+                let mut w_star = f64::INFINITY;
+                let mut wi = 0usize;
+                for (i, g) in groups.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        p *= g.survival;
+                        if scratch.walls[i] <= w_star {
+                            w_star = scratch.walls[i];
+                            wi = i;
+                        }
+                    } else {
+                        p *= g.prob_fail();
+                    }
+                }
+                if p <= 0.0 {
+                    continue;
+                }
+                let mut cost = 0.0;
+                for (j, g) in groups.iter().enumerate() {
+                    let hours = if mask & (1 << j) != 0 {
+                        scratch.surv_billed[j * k + wi]
+                    } else {
+                        scratch.caps[j * k + wi]
+                    };
+                    cost += g.hourly_cost() * hours;
+                }
+                e_cost += p * cost;
+                e_spot += p * cost;
+                e_time += p * w_star;
+            }
         }
-        let mut cost = 0.0;
-        for (i, g) in groups.iter().enumerate() {
-            let hours = if mask & (1 << i) != 0 {
-                // Completing groups run until the winner finishes (their
-                // own waiting time is not billed); user termination
-                // charges the started hour.
-                (w_star - g.launch_delay).max(0.0).min(g.run_wall()).ceil()
-            } else {
-                g.expected_billed_capped(w_star)
-            };
-            cost += g.hourly_cost() * hours;
+        KernelMode::CapsSoa => {
+            scratch.prepare(groups);
+            for mask in 1u32..(1 << k) {
+                let mut p = 1.0;
+                let mut w_star = f64::INFINITY;
+                let mut wi = 0usize;
+                for i in 0..k {
+                    if mask & (1 << i) != 0 {
+                        p *= scratch.survival[i];
+                        if scratch.walls[i] <= w_star {
+                            w_star = scratch.walls[i];
+                            wi = i;
+                        }
+                    } else {
+                        p *= scratch.prob_fail[i];
+                    }
+                }
+                if p <= 0.0 {
+                    continue;
+                }
+                let mut cost = 0.0;
+                for j in 0..k {
+                    let hours = if mask & (1 << j) != 0 {
+                        scratch.surv_billed[j * k + wi]
+                    } else {
+                        scratch.caps[j * k + wi]
+                    };
+                    cost += scratch.hourly[j] * hours;
+                }
+                e_cost += p * cost;
+                e_spot += p * cost;
+                e_time += p * w_star;
+            }
         }
-        e_cost += p * cost;
-        e_spot += p * cost;
-        e_time += p * w_star;
     }
 
     // All-fail pattern: on-demand recovery.
@@ -420,8 +635,17 @@ pub fn evaluate_with_scratch(
             .iter()
             .map(|g| g.hourly_cost() * g.expected_billed())
             .sum();
-        let e_max_wall = expected_max_wall(groups, &mut scratch.values);
-        let e_min_ratio = expected_min_ratio(groups, &mut scratch.values);
+        let (e_max_wall, e_min_ratio) = if scratch.mode == KernelMode::Scalar {
+            (
+                expected_max_wall(groups, &mut scratch.values),
+                expected_min_ratio(groups, &mut scratch.values),
+            )
+        } else {
+            (
+                expected_max_wall_swept(groups, scratch),
+                expected_min_ratio_swept(groups, scratch),
+            )
+        };
         let od_hours = od.exec_hours * e_min_ratio + od.recovery_hours;
         // On-demand is billed in whole started instance-hours.
         let od_cost = od_hours.ceil() * od.unit_price * od.instances as f64;
@@ -552,6 +776,112 @@ fn expected_min_ratio(groups: &[&GroupAssessment], values: &mut Vec<f64>) -> f64
             0.0
         };
         e += v * (p_ge_v - p_ge_next);
+    }
+    e
+}
+
+/// [`expected_max_wall`] via the memoized prefix sums: failure walls are
+/// nondecreasing in the bucket index, so `cdf(g, v)` is one of group
+/// `g`'s left-to-right partial sums — looked up by advancing a per-group
+/// cursor as `v` sweeps the sorted wall values. Bitwise identical to the
+/// scalar helper (same additions, same order, same division) in
+/// `O(k·T log(k·T))` instead of `O(k²·T²)`.
+fn expected_max_wall_swept(groups: &[&GroupAssessment], s: &mut EvalScratch) -> Hours {
+    s.values.clear();
+    for g in groups {
+        for t in 0..g.fail_buckets.len() {
+            if g.fail_buckets[t] > 0.0 {
+                s.values.push(g.fail_wall(t));
+            }
+        }
+    }
+    if s.values.is_empty() {
+        return 0.0;
+    }
+    s.values.sort_by(|a, b| a.total_cmp(b));
+    s.values.dedup();
+
+    s.cursors.clear();
+    s.cursors.resize(groups.len(), 0);
+    let mut e = 0.0;
+    let mut prev_cdf = 0.0;
+    for &v in &s.values {
+        let mut joint = 1.0;
+        for (j, g) in groups.iter().enumerate() {
+            let pf = g.prob_fail();
+            let cdf = if pf <= 0.0 {
+                1.0 // vacuous: group can't be in the all-fail pattern
+            } else {
+                let walls = &g.wall_at_bucket;
+                let mut c = s.cursors[j];
+                while c < walls.len() && walls[c] <= v {
+                    c += 1;
+                }
+                s.cursors[j] = c;
+                s.prefix[s.prefix_off[j] + c] / pf
+            };
+            joint *= cdf;
+        }
+        e += v * (joint - prev_cdf);
+        prev_cdf = joint;
+    }
+    e
+}
+
+/// [`expected_min_ratio`] via the memoized prefix sums: remaining-work
+/// ratios are nonincreasing in the bucket index, so `ccdf(g, r)` is a
+/// prefix sum too — the cursor retreats as `r` sweeps the sorted ratio
+/// values ascending. The per-value joint products are computed once and
+/// reused for the adjacent-difference (the scalar helper recomputes each
+/// product twice with identical factors, so reuse is bitwise identical).
+fn expected_min_ratio_swept(groups: &[&GroupAssessment], s: &mut EvalScratch) -> f64 {
+    s.values.clear();
+    for g in groups {
+        for t in 0..g.fail_buckets.len() {
+            if g.fail_buckets[t] > 0.0 {
+                s.values.push(g.fail_ratio(t));
+            }
+        }
+    }
+    if s.values.is_empty() {
+        return 1.0;
+    }
+    s.values.sort_by(|a, b| a.total_cmp(b));
+    s.values.dedup();
+
+    s.cursors.clear();
+    s.cursors
+        .extend(groups.iter().map(|g| g.fail_buckets.len()));
+    s.products.clear();
+    for &v in &s.values {
+        let mut joint = 1.0;
+        for (j, g) in groups.iter().enumerate() {
+            let pf = g.prob_fail();
+            let ccdf = if pf <= 0.0 {
+                1.0
+            } else {
+                let ratios = &g.ratio_at_bucket;
+                let mut c = s.cursors[j];
+                while c > 0 && ratios[c - 1] < v {
+                    c -= 1;
+                }
+                s.cursors[j] = c;
+                s.prefix[s.prefix_off[j] + c] / pf
+            };
+            joint *= ccdf;
+        }
+        s.products.push(joint);
+    }
+
+    // E[min] = Σ_m v_m · (P[min ≥ v_m] − P[min ≥ v_{m+1}])
+    let mut e = 0.0;
+    for (m, &v) in s.values.iter().enumerate() {
+        let p_ge_next = if m + 1 < s.products.len() {
+            s.products[m + 1]
+        } else {
+            0.0
+        };
+        e += v * (s.products[m] - p_ge_next);
     }
     e
 }
@@ -898,5 +1228,67 @@ mod tests {
         let e3 = evaluate_with_scratch(&[&a, &b], &od(), &mut scratch);
         assert_eq!(e1, e3);
         assert_eq!(e2, evaluate(&[&b], &od()));
+    }
+
+    /// Compare every field of two evaluations bit-for-bit (stricter than
+    /// `==`, which would accept `-0.0 == 0.0`).
+    fn assert_bits_eq(a: &Evaluation, b: &Evaluation, label: &str) {
+        for (x, y, f) in [
+            (a.expected_cost, b.expected_cost, "expected_cost"),
+            (a.expected_time, b.expected_time, "expected_time"),
+            (a.p_all_fail, b.p_all_fail, "p_all_fail"),
+            (
+                a.expected_spot_cost,
+                b.expected_spot_cost,
+                "expected_spot_cost",
+            ),
+            (a.expected_od_cost, b.expected_od_cost, "expected_od_cost"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: {f} differs: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn kernel_modes_are_bit_identical() {
+        // The caps memo and the SoA packing must reproduce the scalar
+        // kernel bit-for-bit on candidates mixing certain survivors,
+        // certain failures, launch delays, and duplicated walls (equal
+        // completion walls exercise the w*-index tie).
+        let mut delayed = assessment(2.0, 0.5, 0.15, 1.0);
+        delayed.launch_delay = 0.75;
+        let pool = [
+            assessment(2.0, 0.5, 0.1, 2.0),
+            assessment(3.0, 0.25, 0.2, 3.0),
+            assessment(3.0, 0.25, 0.2, 3.0), // duplicate wall of the above
+            assessment(4.0, 0.9, 0.05, 1.0),
+            assessment(1.0, 0.0, 0.3, 1.0),  // certain failure
+            assessment(5.0, 1.0, 0.02, 5.0), // certain survivor
+            delayed,
+        ];
+        let odo = od();
+        let mut scalar = EvalScratch::with_mode(KernelMode::Scalar);
+        let mut memo = EvalScratch::with_mode(KernelMode::CapsMemo);
+        let mut soa = EvalScratch::with_mode(KernelMode::CapsSoa);
+        assert_eq!(EvalScratch::new().mode(), KernelMode::CapsSoa);
+        // Every subset of the pool up to k = 5, reusing the scratches.
+        for mask in 1u32..(1 << pool.len()) {
+            if mask.count_ones() > 5 {
+                continue;
+            }
+            let refs: Vec<&GroupAssessment> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, a)| a)
+                .collect();
+            let base = evaluate_with_scratch(&refs, &odo, &mut scalar);
+            let label = format!("subset {mask:#b}");
+            assert_bits_eq(
+                &base,
+                &evaluate_with_scratch(&refs, &odo, &mut memo),
+                &label,
+            );
+            assert_bits_eq(&base, &evaluate_with_scratch(&refs, &odo, &mut soa), &label);
+        }
     }
 }

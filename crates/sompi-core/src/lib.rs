@@ -26,6 +26,8 @@
 //! * [`logsearch`] — the logarithmic bid-price grid (§4.2.2),
 //! * [`twolevel`] — the two-level optimizer with κ-subset selection
 //!   (§4.2.2 + §4.4),
+//! * [`pool`] — the persistent search worker pool reused across adaptive
+//!   windows and server requests (DESIGN.md §14),
 //! * [`adaptive`] — the windowed adaptive re-optimizer, Algorithm 1 (§4.3),
 //! * [`warmstart`] — exactness-preserving warm-start state carried across
 //!   the adaptive loop's searches (DESIGN.md §12),
@@ -42,6 +44,7 @@ pub mod model;
 pub mod ondemand;
 pub mod pareto;
 pub mod phi;
+pub mod pool;
 pub mod problem;
 pub mod twolevel;
 pub mod view;
@@ -51,13 +54,14 @@ pub use adaptive::{
     AdaptiveConfig, AdaptiveConfigBuilder, AdaptivePlanner, PlanCache, PlanContext, PlannedWindow,
     ViewFingerprint, WindowDecision,
 };
-pub use cost::{evaluate, Evaluation, GroupAssessment};
+pub use cost::{evaluate, EvalScratch, Evaluation, GroupAssessment, KernelMode};
 pub use error::SompiError;
 pub use logsearch::BidGrid;
 pub use model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 pub use ondemand::select_on_demand;
 pub use pareto::{collapse_bid_dominated, frontier, ParetoPoint};
 pub use phi::optimal_interval;
+pub use pool::SearchPool;
 pub use problem::Problem;
 pub use twolevel::{OptimizedPlan, OptimizerConfig, OptimizerConfigBuilder, TwoLevelOptimizer};
 pub use view::MarketView;

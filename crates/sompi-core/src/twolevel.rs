@@ -28,7 +28,11 @@
 //! `(subset index, odometer step)`. Because that order is total and
 //! independent of how the subset list is chunked, the returned
 //! [`OptimizedPlan`] — plan, evaluation, and `evaluations_performed` — is
-//! identical at any thread count.
+//! identical at any thread count. With a persistent
+//! [`SearchPool`] attached
+//! ([`TwoLevelOptimizer::optimize_warm_pooled`]), the same chunk jobs run
+//! on resident workers instead of freshly spawned threads; results come
+//! back in submission order, so the merge — and the answer — is unchanged.
 //!
 //! # Warm-started re-optimization
 //!
@@ -43,12 +47,14 @@
 
 use crate::cost::{
     assessment_horizon, evaluate, evaluate_with_scratch, EvalScratch, Evaluation, GroupAssessment,
+    KernelMode,
 };
 use crate::error::SompiError;
 use crate::logsearch::BidGrid;
 use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
 use crate::phi::{interval_from_mttf, optimal_interval_for, phi_horizon};
+use crate::pool::SearchPool;
 use crate::problem::Problem;
 use crate::view::MarketView;
 use crate::warmstart::{BidTable, GroupTables, PrevWindow, WarmStart, HOT_SUBSETS};
@@ -82,6 +88,7 @@ pub enum GridKind {
 /// assert!(cfg.prune_dominance);    // exact pruning is on by default
 /// assert!(cfg.prune_bound);
 /// assert!(cfg.shared_incumbent);
+/// assert!(cfg.kernel_caps);        // memoized kernel is on by default
 ///
 /// // Struct-update syntax is the idiomatic way to tweak one knob:
 /// let quick = OptimizerConfig { kappa: 2, bid_levels: 3, ..cfg };
@@ -139,6 +146,12 @@ pub struct OptimizerConfig {
     /// the result identical at any thread count.
     #[serde(default = "default_true")]
     pub shared_incumbent: bool,
+    /// Run the memoized caps-table + SoA evaluation kernel
+    /// ([`KernelMode::CapsSoa`], DESIGN.md §14). Bit-identical to the
+    /// scalar kernel — the memo reuses the scalar summation order — so
+    /// `false` (the `--no-kernel-caps` ablation) only changes speed.
+    #[serde(default = "default_true")]
+    pub kernel_caps: bool,
 }
 
 fn default_true() -> bool {
@@ -236,6 +249,12 @@ impl OptimizerConfigBuilder {
         self
     }
 
+    /// Toggle the memoized caps-table + SoA evaluation kernel.
+    pub fn kernel_caps(mut self, on: bool) -> Self {
+        self.config.kernel_caps = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> OptimizerConfig {
         self.config
@@ -256,6 +275,7 @@ impl Default for OptimizerConfig {
             prune_dominance: true,
             prune_bound: true,
             shared_incumbent: true,
+            kernel_caps: true,
         }
     }
 }
@@ -329,6 +349,10 @@ struct WorkerStats {
     /// Times this worker published a strictly better feasible cost to
     /// the incumbent bound (shared or local).
     tightenings: u64,
+    /// Wall nanoseconds this worker spent inside the per-subset candidate
+    /// loops (evaluation-dominated; timed per subset, not per evaluation,
+    /// so the hot loop carries no timer calls).
+    kernel_nanos: u64,
     best: Option<Candidate>,
 }
 
@@ -464,7 +488,24 @@ impl<'a> TwoLevelOptimizer<'a> {
     pub fn optimize_warm(
         &self,
         recorder: &dyn Recorder,
+        warm: Option<&mut WarmStart>,
+    ) -> Result<OptimizedPlan, SompiError> {
+        self.optimize_warm_pooled(recorder, warm, None)
+    }
+
+    /// [`TwoLevelOptimizer::optimize_warm`] with an optional persistent
+    /// [`SearchPool`]: when present and the search is parallel, the chunk
+    /// jobs run on the pool's resident workers instead of spawning fresh
+    /// threads (one `SearchPoolUsed` event per dispatch). Chunking is
+    /// still derived from [`OptimizerConfig::threads`] and the merge
+    /// still folds per-chunk winners in submission order under the total
+    /// candidate order, so the result is bit-identical with or without
+    /// the pool, at any pool size.
+    pub fn optimize_warm_pooled(
+        &self,
+        recorder: &dyn Recorder,
         mut warm: Option<&mut WarmStart>,
+        pool: Option<&SearchPool>,
     ) -> Result<OptimizedPlan, SompiError> {
         let od = select_on_demand(
             &self.problem.on_demand,
@@ -586,6 +627,45 @@ impl<'a> TwoLevelOptimizer<'a> {
             vec![self.search_chunk(
                 &options, &od, &subsets, &order, &min_wall, shared, seed_bound,
             )]
+        } else if let Some(pool) = pool {
+            // Persistent dispatch: same chunking, same submission-order
+            // merge — the resident workers only replace the spawn/join.
+            let search_seq = pool.begin_search();
+            let chunk = order.len().div_ceil(threads);
+            let mut tasks: Vec<Box<dyn FnOnce() -> WorkerStats + Send + '_>> =
+                Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(order.len());
+                if lo >= hi {
+                    break;
+                }
+                let chunk_order = &order[lo..hi];
+                let subsets = &subsets;
+                let options = &options;
+                let od = &od;
+                let min_wall = &min_wall;
+                let shared = use_shared.then_some(&shared_bound);
+                tasks.push(Box::new(move || {
+                    self.search_chunk(
+                        options,
+                        od,
+                        subsets,
+                        chunk_order,
+                        min_wall,
+                        shared,
+                        seed_bound,
+                    )
+                }));
+            }
+            let jobs = tasks.len() as u32;
+            emit(recorder, TraceLevel::Summary, || Event::SearchPoolUsed {
+                pool_id: pool.id(),
+                search_seq,
+                workers: pool.workers() as u32,
+                jobs,
+            });
+            pool.run(tasks)
         } else {
             let chunk = order.len().div_ceil(threads);
             crossbeam::thread::scope(|s| {
@@ -658,11 +738,13 @@ impl<'a> TwoLevelOptimizer<'a> {
         let mut evaluations: u64 = 1; // the on-demand incumbent
         let mut evals_skipped: u64 = 0;
         let mut bound_tightenings: u64 = 0;
+        let mut kernel_nanos: u64 = 0;
         let mut best: Option<Candidate> = None;
         for stats in results {
             evaluations += stats.evaluations;
             evals_skipped += stats.skipped;
             bound_tightenings += stats.tightenings;
+            kernel_nanos += stats.kernel_nanos;
             if let Some(c) = stats.best {
                 let replace = match &best {
                     None => true,
@@ -745,6 +827,12 @@ impl<'a> TwoLevelOptimizer<'a> {
             search_secs,
             evals_skipped,
             bound_tightenings,
+            evals_per_sec: if search_secs > 0.0 {
+                evaluations as f64 / search_secs
+            } else {
+                0.0
+            },
+            kernel_nanos,
         });
         Ok(OptimizedPlan {
             plan,
@@ -934,13 +1022,17 @@ impl<'a> TwoLevelOptimizer<'a> {
                                 fresh = true;
                             }
                             if let Some(price) = est.expected_spot_price().mean_below(bid) {
+                                // `to_fn` hands over an owned function, so
+                                // its bucket vector moves straight into
+                                // the assessment — no per-option clone.
                                 let f = entry.counts.to_fn(h);
+                                let survival = f.survival();
                                 let a = GroupAssessment::from_parts(
                                     *group,
                                     decision,
                                     price,
-                                    f.survival(),
-                                    f.buckets().to_vec(),
+                                    survival,
+                                    f.into_buckets(),
                                     entry.launch_delay,
                                 );
                                 if a.completion_wall() <= self.problem.deadline {
@@ -1018,10 +1110,15 @@ impl<'a> TwoLevelOptimizer<'a> {
         let mut subsets_walked = 0u64;
         let mut skipped = 0u64;
         let mut tightenings = 0u64;
+        let mut kernel_nanos = 0u64;
         let mut best: Option<Candidate> = None;
         let mut refs: Vec<&GroupAssessment> = Vec::new();
         let mut idx: Vec<usize> = Vec::new();
-        let mut scratch = EvalScratch::new();
+        let mut scratch = EvalScratch::with_mode(if self.config.kernel_caps {
+            KernelMode::CapsSoa
+        } else {
+            KernelMode::Scalar
+        });
         // Branch-and-bound scratch, reused across subsets: per-slot
         // `(lower bound, original option index)` pairs rank-sorted
         // ascending, slot cardinalities, mixed-radix step weights, and
@@ -1051,6 +1148,7 @@ impl<'a> TwoLevelOptimizer<'a> {
             // metric, identical at any thread count and unchanged by how
             // many positions branch-and-bound manages to skip.
             evaluations += product;
+            let subset_timer = std::time::Instant::now();
 
             if !self.config.prune_bound {
                 // Exhaustive odometer walk — the pre-pruning algorithm,
@@ -1107,6 +1205,7 @@ impl<'a> TwoLevelOptimizer<'a> {
                         pos += 1;
                     }
                 }
+                kernel_nanos += subset_timer.elapsed().as_nanos() as u64;
                 continue;
             }
 
@@ -1279,6 +1378,7 @@ impl<'a> TwoLevelOptimizer<'a> {
                 }
             }
             skipped += product.saturating_sub(evaluated_here);
+            kernel_nanos += subset_timer.elapsed().as_nanos() as u64;
         }
         WorkerStats {
             evaluations,
@@ -1286,6 +1386,7 @@ impl<'a> TwoLevelOptimizer<'a> {
             subsets: subsets_walked,
             skipped,
             tightenings,
+            kernel_nanos,
             best,
         }
     }

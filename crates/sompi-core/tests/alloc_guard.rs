@@ -13,7 +13,7 @@ use ec2_market::market::SpotMarket;
 use ec2_market::tracegen::{MarketProfile, TraceGenerator};
 use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
-use sompi_core::cost::{evaluate_with_scratch, EvalScratch, GroupAssessment};
+use sompi_core::cost::{evaluate_with_scratch, EvalScratch, GroupAssessment, KernelMode};
 use sompi_core::model::GroupDecision;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::{MarketView, Problem};
@@ -74,22 +74,39 @@ fn setup() -> (Problem, MarketView) {
 fn null_recorder_adds_zero_allocations() {
     let (problem, view) = setup();
 
-    // (1) A warmed `evaluate_with_scratch` call is allocation-free.
-    let group = *problem.candidates.first().expect("candidates");
+    // (1) A warmed `evaluate_with_scratch` call is allocation-free — on
+    // every kernel mode, including the caps-memo tables, and with enough
+    // groups that the k×k caps table is actually consulted.
     let decision = GroupDecision {
         bid: 10.0,
         ckpt_interval: 1.0,
     };
-    let assessed = GroupAssessment::assess(group, decision, &view)
-        .expect("known group")
-        .expect("launchable");
-    let refs = [&assessed];
+    let assessed: Vec<GroupAssessment> = problem
+        .candidates
+        .iter()
+        .take(3)
+        .map(|&group| {
+            GroupAssessment::assess(group, decision, &view)
+                .expect("known group")
+                .expect("launchable")
+        })
+        .collect();
+    let refs: Vec<&GroupAssessment> = assessed.iter().collect();
     let od = *problem.baseline();
-    let mut scratch = EvalScratch::new();
-    evaluate_with_scratch(&refs, &od, &mut scratch); // warm the buffers
-    let (eval, allocs) = counted(|| evaluate_with_scratch(&refs, &od, &mut scratch));
-    assert!(eval.expected_cost > 0.0);
-    assert_eq!(allocs, 0, "warmed evaluate_with_scratch allocated");
+    for mode in [
+        KernelMode::Scalar,
+        KernelMode::CapsMemo,
+        KernelMode::CapsSoa,
+    ] {
+        let mut scratch = EvalScratch::with_mode(mode);
+        evaluate_with_scratch(&refs, &od, &mut scratch); // warm the buffers
+        let (eval, allocs) = counted(|| evaluate_with_scratch(&refs, &od, &mut scratch));
+        assert!(eval.expected_cost > 0.0);
+        assert_eq!(
+            allocs, 0,
+            "warmed evaluate_with_scratch ({mode:?}) allocated"
+        );
+    }
 
     // (2) `optimize_recorded` with tracing off allocates exactly as much
     // as the unrecorded `optimize` — the recorder hook itself is free.

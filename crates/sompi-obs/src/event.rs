@@ -162,6 +162,34 @@ pub enum Event {
         /// the incumbent bound. Defaults to 0 for pre-pruning traces.
         #[serde(default)]
         bound_tightenings: u64,
+        /// Candidate evaluations per wall second of subset search
+        /// (`evaluations / search_secs`; 0 when the search was
+        /// instantaneous). Defaults to 0 for pre-kernel traces.
+        #[serde(default)]
+        evals_per_sec: f64,
+        /// Wall nanoseconds spent inside the Formula 2–11 evaluation
+        /// kernel across all workers, timed per enumerated subset (not
+        /// per candidate, to keep the probe out of the innermost loop).
+        /// Defaults to 0 for pre-kernel traces.
+        #[serde(default)]
+        kernel_nanos: u64,
+    },
+    /// A parallel search dispatched onto a persistent `SearchPool`
+    /// instead of spawning fresh scoped threads. Emitted once per pooled
+    /// `optimize` call, before the batch is submitted; repeated events
+    /// with the same `pool_id` and increasing `search_seq` prove that
+    /// many searches (adaptive windows, server requests) reused one set
+    /// of resident worker threads.
+    SearchPoolUsed {
+        /// Process-unique id of the pool that served the search.
+        pool_id: u64,
+        /// 1-based sequence number of this search on that pool.
+        search_seq: u64,
+        /// Resident worker threads in the pool.
+        workers: u32,
+        /// Chunk jobs this search submitted (the work split is decided by
+        /// `OptimizerConfig::threads`, never by the pool size).
+        jobs: u32,
     },
     /// The warm-start layer's per-window summary: whether the previous
     /// window's plan seeded the incumbent bound, how many carried subsets
@@ -401,6 +429,7 @@ impl Event {
             Event::PlanSearchStarted { .. } => "PlanSearchStarted",
             Event::SubsetEvaluated { .. } => "SubsetEvaluated",
             Event::PlanSelected { .. } => "PlanSelected",
+            Event::SearchPoolUsed { .. } => "SearchPoolUsed",
             Event::WarmStartApplied { .. } => "WarmStartApplied",
             Event::BucketTableReused { .. } => "BucketTableReused",
             Event::WindowReplanned { .. } => "WindowReplanned",
@@ -476,6 +505,27 @@ mod tests {
                 best_cost: None,
                 phi_intervals: vec![],
                 skipped: 0,
+            },
+            Event::PlanSelected {
+                source: "spot".to_string(),
+                groups: 2,
+                expected_cost: 41.5,
+                expected_time: 88.0,
+                p_all_fail: 0.01,
+                slack: 0.2,
+                evaluations: 1200,
+                assess_secs: 0.05,
+                search_secs: 0.5,
+                evals_skipped: 600,
+                bound_tightenings: 4,
+                evals_per_sec: 2400.0,
+                kernel_nanos: 350_000_000,
+            },
+            Event::SearchPoolUsed {
+                pool_id: 1,
+                search_seq: 3,
+                workers: 4,
+                jobs: 4,
             },
             Event::WarmStartApplied {
                 seeded: true,
@@ -590,6 +640,23 @@ mod tests {
         let e: Event = serde_json::from_str(old).unwrap();
         match e {
             Event::SubsetEvaluated { skipped, .. } => assert_eq!(skipped, 0),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Kernel counters appended in the caps-memo PR likewise default.
+        let old = r#"{"PlanSelected":{"source":"spot","groups":2,
+            "expected_cost":41.5,"expected_time":88.0,"p_all_fail":0.01,
+            "slack":0.2,"evaluations":1200,"assess_secs":0.05,
+            "search_secs":0.5}}"#;
+        let e: Event = serde_json::from_str(old).unwrap();
+        match e {
+            Event::PlanSelected {
+                evals_per_sec,
+                kernel_nanos,
+                ..
+            } => {
+                assert_eq!(evals_per_sec, 0.0);
+                assert_eq!(kernel_nanos, 0);
+            }
             other => panic!("wrong variant: {other:?}"),
         }
     }

@@ -46,6 +46,9 @@ pub struct RunReport {
     /// Aggregated planner-service counters (requests, cache, shedding,
     /// per-phase latency), if the trace has server events.
     server: Option<ServerStats>,
+    /// Persistent search-pool usage folded from `SearchPoolUsed` events,
+    /// if the trace has any.
+    pool: Option<PoolStats>,
     /// Final `RunCompleted`, if the trace has one.
     outcome: Option<Outcome>,
 }
@@ -86,6 +89,21 @@ fn observe(acc: &mut (u64, f64, f64), secs: f64) {
     acc.2 = acc.2.max(secs);
 }
 
+/// Persistent-pool aggregates: how many searches dispatched onto how
+/// many distinct pools. One pool id across many searches is the
+/// "no thread spawn per request" proof.
+#[derive(Debug, Default)]
+struct PoolStats {
+    /// Pooled searches observed in the trace.
+    searches: u64,
+    /// Distinct pool ids, first-seen order (usually exactly one).
+    pool_ids: Vec<u64>,
+    /// Resident workers reported by the last event.
+    workers: u32,
+    /// Total chunk jobs submitted across pooled searches.
+    jobs: u64,
+}
+
 #[derive(Debug)]
 struct SearchStats {
     candidates: u32,
@@ -117,6 +135,8 @@ struct Selection {
     search_secs: f64,
     evals_skipped: u64,
     bound_tightenings: u64,
+    evals_per_sec: f64,
+    kernel_nanos: u64,
 }
 
 #[derive(Debug)]
@@ -218,6 +238,8 @@ impl RunReport {
                     search_secs,
                     evals_skipped,
                     bound_tightenings,
+                    evals_per_sec,
+                    kernel_nanos,
                 } => report.selections.push(Selection {
                     source: source.clone(),
                     groups: *groups,
@@ -230,7 +252,23 @@ impl RunReport {
                     search_secs: *search_secs,
                     evals_skipped: *evals_skipped,
                     bound_tightenings: *bound_tightenings,
+                    evals_per_sec: *evals_per_sec,
+                    kernel_nanos: *kernel_nanos,
                 }),
+                Event::SearchPoolUsed {
+                    pool_id,
+                    search_seq: _,
+                    workers,
+                    jobs,
+                } => {
+                    let p = report.pool.get_or_insert_with(PoolStats::default);
+                    p.searches += 1;
+                    if !p.pool_ids.contains(pool_id) {
+                        p.pool_ids.push(*pool_id);
+                    }
+                    p.workers = *workers;
+                    p.jobs += u64::from(*jobs);
+                }
                 Event::WarmStartApplied {
                     seeded,
                     seed_cost,
@@ -491,6 +529,47 @@ impl fmt::Display for RunReport {
             }
         }
 
+        let kernel_timed = self.selections.iter().any(|s| s.kernel_nanos > 0);
+        if kernel_timed || self.pool.is_some() {
+            writeln!(f, "\nkernel")?;
+            writeln!(f, "------")?;
+            for (i, sel) in self.selections.iter().enumerate() {
+                if sel.kernel_nanos == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  search {:>2}: {:.0} eval/s, {:.3} s inside the evaluation kernel \
+                     ({:.1}% of search wall)",
+                    i + 1,
+                    sel.evals_per_sec,
+                    sel.kernel_nanos as f64 * 1e-9,
+                    if sel.search_secs > 0.0 {
+                        100.0 * sel.kernel_nanos as f64 * 1e-9 / sel.search_secs
+                    } else {
+                        0.0
+                    }
+                )?;
+            }
+            match &self.pool {
+                Some(p) => {
+                    let ids = p
+                        .pool_ids
+                        .iter()
+                        .map(|id| id.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    writeln!(
+                        f,
+                        "  pool: {} search(es) on pool(s) [{}], {} resident worker(s), \
+                         {} chunk job(s)",
+                        p.searches, ids, p.workers, p.jobs
+                    )?;
+                }
+                None => writeln!(f, "  pool: none (scoped threads or serial search)")?,
+            }
+        }
+
         if !self.warm.is_empty() {
             writeln!(f, "\nwarm starts")?;
             writeln!(f, "-----------")?;
@@ -657,6 +736,14 @@ mod tests {
                 search_secs: 0.1,
                 evals_skipped: 40,
                 bound_tightenings: 3,
+                evals_per_sec: 2200.0,
+                kernel_nanos: 80_000_000,
+            },
+            Event::SearchPoolUsed {
+                pool_id: 7,
+                search_seq: 1,
+                workers: 2,
+                jobs: 2,
             },
             Event::WindowReplanned {
                 window: 0,
@@ -714,6 +801,19 @@ mod tests {
         );
         assert!(
             text.contains("40 positions pruned by the incumbent bound (3 tightening(s))"),
+            "{text}"
+        );
+        assert!(text.contains("kernel\n------"), "{text}");
+        assert!(
+            text.contains(
+                "2200 eval/s, 0.080 s inside the evaluation kernel (80.0% of search wall)"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "pool: 1 search(es) on pool(s) [7], 2 resident worker(s), 2 chunk job(s)"
+            ),
             "{text}"
         );
         assert!(text.contains("adaptive windows"), "{text}");

@@ -176,6 +176,10 @@ pub struct PlanRequest {
     pub prune_bound: bool,
     #[serde(default = "d_true")]
     pub shared_incumbent: bool,
+    /// Caps-memoized SoA evaluation kernel (exactness-preserving;
+    /// `false` is the `--no-kernel-caps` ablation).
+    #[serde(default = "d_true")]
+    pub kernel_caps: bool,
     /// Hours of price history visible to the planner.
     #[serde(default = "d_history")]
     pub history_hours: f64,
@@ -201,6 +205,7 @@ impl Default for PlanRequest {
             prune_dominance: true,
             prune_bound: true,
             shared_incumbent: true,
+            kernel_caps: true,
             history_hours: d_history(),
             view_start_hours: 0.0,
         }

@@ -24,6 +24,7 @@ use sompi_core::adaptive::{AdaptiveConfig, ViewFingerprint};
 use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotAvg, SpotInf, Strategy};
 use sompi_core::cost::evaluate_plan;
 use sompi_core::model::Plan;
+use sompi_core::pool::SearchPool;
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
 use sompi_core::view::MarketView;
@@ -126,6 +127,7 @@ pub fn optimizer_config(req: &PlanRequest) -> OptimizerConfig {
         prune_dominance: req.prune_dominance,
         prune_bound: req.prune_bound,
         shared_incumbent: req.shared_incumbent,
+        kernel_caps: req.kernel_caps,
         ..Default::default()
     }
 }
@@ -212,11 +214,24 @@ pub fn plan(
     req: &PlanRequest,
     recorder: &dyn Recorder,
 ) -> Result<PlanReport, ServiceError> {
+    plan_pooled(market, req, recorder, None)
+}
+
+/// [`plan`], dispatching any parallel search onto a resident
+/// [`SearchPool`] so repeated requests skip the per-search thread-spawn
+/// tax. Plans are bit-identical to [`plan`]'s; the server threads one
+/// pool through every worker.
+pub fn plan_pooled(
+    market: &SpotMarket,
+    req: &PlanRequest,
+    recorder: &dyn Recorder,
+    pool: Option<&SearchPool>,
+) -> Result<PlanReport, ServiceError> {
     let app = app_profile(&req.app, &req.class, req.procs, req.repeats)?;
     let problem = build_problem(market, &app, req.deadline_factor)?;
     let view = view_for(market, req);
     let strategy = strategy_from(&req.strategy, optimizer_config(req))?;
-    let plan = strategy.plan_recorded(&problem, &view, recorder);
+    let plan = strategy.plan_pooled(&problem, &view, recorder, pool);
     let eval = evaluate_plan(&plan, &view)
         .map_err(|e| ServiceError::Plan(e.to_string()))?
         .ok_or_else(|| ServiceError::Plan("plan has an unlaunchable bid".into()))?;

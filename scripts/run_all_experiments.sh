@@ -12,6 +12,7 @@ BINS=(
   accuracy_failure_rate accuracy_model
   ablation_search ablation_billing ablation_parallel ablation_prune
   ablation_warmstart
+  ablation_kernel
   ablation_replay_index
   ext_relaunch sensitivity_profiling
 )

@@ -1,0 +1,158 @@
+//! Differential suite for the caps-memoized SoA evaluation kernel and
+//! the persistent search worker pool (DESIGN.md §14): across three
+//! markets plus the interval-grid study, every combination of
+//! {caps memo on/off} × {pool on/off} × threads {1, 4, auto} must select
+//! plans — and `Evaluation` fields — bit-identical to the scalar
+//! single-threaded reference.
+//!
+//! The caps table reuses the exact left-to-right bucket summation order
+//! of the scalar kernel, the SoA packing only relocates reads, and the
+//! pool never decides how work is split — so any divergence here is an
+//! exactness bug, not floating-point noise.
+
+use sompi_bench::{
+    build_problem, lammps_workload, npb_workload, paper_market, planning_view, stress_market,
+    PROCESSES, TIGHT,
+};
+use sompi_core::pool::SearchPool;
+use sompi_core::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
+use sompi_core::view::MarketView;
+use sompi_core::Problem;
+use sompi_obs::NullRecorder;
+
+/// The three study markets: the calibrated paper market, the drifting
+/// stress market, and the paper market under the LAMMPS profile (a
+/// different candidate geometry).
+fn studies() -> Vec<(&'static str, Problem, MarketView)> {
+    let mut out = Vec::new();
+    {
+        let market = paper_market(42, 200.0);
+        let problem = build_problem(&market, &npb_workload(mpi_sim::npb::NpbKernel::Bt), TIGHT);
+        let view = planning_view(&market);
+        out.push(("paper/BT", problem, view));
+    }
+    {
+        let market = stress_market(20140816, 200.0);
+        let problem = build_problem(&market, &npb_workload(mpi_sim::npb::NpbKernel::Ft), TIGHT);
+        let view = planning_view(&market);
+        out.push(("stress/FT", problem, view));
+    }
+    {
+        let market = paper_market(7, 200.0);
+        let problem = build_problem(&market, &lammps_workload(PROCESSES), TIGHT);
+        let view = planning_view(&market);
+        out.push(("paper/LAMMPS", problem, view));
+    }
+    out
+}
+
+fn optimize(
+    problem: &Problem,
+    view: &MarketView,
+    cfg: OptimizerConfig,
+    pool: Option<&SearchPool>,
+) -> OptimizedPlan {
+    TwoLevelOptimizer::new(problem, view, cfg)
+        .optimize_warm_pooled(&NullRecorder, None, pool)
+        .expect("candidates are drawn from the view's market")
+}
+
+/// Bitwise comparison of every `Evaluation` field — stricter than the
+/// `PartialEq` derive, which would let `-0.0 == 0.0` slide.
+fn assert_bits_identical(a: &OptimizedPlan, b: &OptimizedPlan, label: &str) {
+    assert_eq!(a.plan, b.plan, "{label}: plan diverged");
+    let pairs = [
+        (a.evaluation.expected_cost, b.evaluation.expected_cost),
+        (a.evaluation.expected_time, b.evaluation.expected_time),
+        (a.evaluation.p_all_fail, b.evaluation.p_all_fail),
+        (
+            a.evaluation.expected_spot_cost,
+            b.evaluation.expected_spot_cost,
+        ),
+        (a.evaluation.expected_od_cost, b.evaluation.expected_od_cost),
+    ];
+    for (i, (x, y)) in pairs.iter().enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: evaluation field {i} diverged ({x} vs {y})"
+        );
+    }
+    assert_eq!(
+        a.evaluations_performed, b.evaluations_performed,
+        "{label}: evaluation count diverged"
+    );
+}
+
+fn run_grid(base: OptimizerConfig, problem: &Problem, view: &MarketView, market_label: &str) {
+    // Reference: scalar kernel, single thread, no pool — the original
+    // pre-kernel code path.
+    let reference = optimize(
+        problem,
+        view,
+        OptimizerConfig {
+            kernel_caps: false,
+            threads: 1,
+            ..base
+        },
+        None,
+    );
+    assert!(
+        reference.evaluations_performed > 0,
+        "{market_label}: empty search space tests nothing"
+    );
+
+    let pool = SearchPool::new(3); // deliberately mismatched with `threads`
+    for caps in [true, false] {
+        for pooled in [false, true] {
+            for threads in [1usize, 4, 0] {
+                let cfg = OptimizerConfig {
+                    kernel_caps: caps,
+                    threads,
+                    ..base
+                };
+                let got = optimize(problem, view, cfg, pooled.then_some(&pool));
+                assert_bits_identical(
+                    &reference,
+                    &got,
+                    &format!("{market_label} caps={caps} pool={pooled} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plans_are_bit_identical_across_kernel_and_pool_ablations() {
+    for (label, problem, view) in &studies() {
+        run_grid(
+            OptimizerConfig {
+                kappa: 2,
+                bid_levels: 3,
+                ..Default::default()
+            },
+            problem,
+            view,
+            label,
+        );
+    }
+}
+
+#[test]
+fn interval_grid_study_is_bit_identical_too() {
+    // The interval-grid ablation multiplies per-candidate work (every
+    // checkpoint-interval grid point is a separate kernel call), so it
+    // stresses the caps table harder than the φ(P) default.
+    let (label, problem, view) = &studies()[0];
+    run_grid(
+        OptimizerConfig {
+            kappa: 2,
+            bid_levels: 2,
+            interval_grid: Some(4),
+            ..Default::default()
+        },
+        problem,
+        view,
+        &format!("{label}+grid"),
+    );
+}

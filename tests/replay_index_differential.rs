@@ -161,11 +161,15 @@ fn adaptive_timeline_is_identical_with_and_without_index() {
                 if let Event::PlanSelected {
                     assess_secs,
                     search_secs,
+                    evals_per_sec,
+                    kernel_nanos,
                     ..
                 } = &mut e
                 {
                     *assess_secs = 0.0;
                     *search_secs = 0.0;
+                    *evals_per_sec = 0.0;
+                    *kernel_nanos = 0;
                 }
                 e
             })

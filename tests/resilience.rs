@@ -79,18 +79,23 @@ fn accounting_consistent(total: f64, spot: f64, od: f64) -> bool {
 }
 
 /// Zero out the wall-clock profiling fields (`assess_secs`,
-/// `search_secs`): they measure host time, not simulated time, and are
-/// the only event payload allowed to differ between identical runs.
+/// `search_secs`, `evals_per_sec`, `kernel_nanos`): they measure host
+/// time, not simulated time, and are the only event payload allowed to
+/// differ between identical runs.
 fn scrub_timings(mut events: Vec<Event>) -> Vec<Event> {
     for e in &mut events {
         if let Event::PlanSelected {
             assess_secs,
             search_secs,
+            evals_per_sec,
+            kernel_nanos,
             ..
         } = e
         {
             *assess_secs = 0.0;
             *search_secs = 0.0;
+            *evals_per_sec = 0.0;
+            *kernel_nanos = 0;
         }
     }
     events

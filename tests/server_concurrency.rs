@@ -167,6 +167,62 @@ fn identical_burst_performs_exactly_one_search() {
 }
 
 #[test]
+fn server_reuses_one_search_pool_across_requests() {
+    // The persistent-pool acceptance bar: distinct plan requests (each a
+    // cache miss, each running a real parallel search) must all dispatch
+    // onto the *same* resident pool — one `pool_id` for the server's
+    // whole lifetime, with monotonically increasing `search_seq`. A
+    // scoped-thread spawn per request would emit no such events at all.
+    let ring = Arc::new(RingRecorder::new(TraceLevel::Summary, 256));
+    let (addr, cache, handle, join) = start(Arc::clone(&ring) as _, ephemeral(2));
+
+    for i in 0..3 {
+        let mut req = small_plan_request();
+        // threads > 1 forces the parallel (pooled) dispatch even on a
+        // single-core CI runner; distinct deadlines defeat the cache.
+        req.threads = 4;
+        req.deadline_factor = 1.5 + 0.25 * f64::from(i);
+        let resp = client::call(&addr, &Request::Plan(req)).expect("call");
+        assert!(matches!(resp, Response::Plan { .. }), "got {resp:?}");
+    }
+    handle.stop();
+    join.join().expect("server thread");
+    assert_eq!(cache.misses(), 3, "each request must run its own search");
+
+    let pool_events: Vec<(u64, u64, u32)> = ring
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::SearchPoolUsed {
+                pool_id,
+                search_seq,
+                jobs,
+                ..
+            } => Some((*pool_id, *search_seq, *jobs)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        pool_events.len(),
+        3,
+        "every search must dispatch onto the pool: {pool_events:?}"
+    );
+    let first_pool = pool_events[0].0;
+    assert!(
+        pool_events.iter().all(|(id, _, _)| *id == first_pool),
+        "searches crossed pools (threads were respawned): {pool_events:?}"
+    );
+    assert!(
+        pool_events.windows(2).all(|w| w[0].1 < w[1].1),
+        "search_seq must increase across requests: {pool_events:?}"
+    );
+    assert!(
+        pool_events.iter().all(|(_, _, jobs)| *jobs == 4),
+        "the request's thread count decides the work split: {pool_events:?}"
+    );
+}
+
+#[test]
 fn tenants_share_the_plan_cache() {
     let (addr, cache, handle, join) = start(Arc::new(NullRecorder), ephemeral(2));
     let mut a = small_plan_request();

@@ -14,6 +14,7 @@ use mpi_sim::storage::S3Store;
 use replay::{AdaptiveRunner, ExecContext, PlanRunner};
 use sompi_core::adaptive::AdaptiveConfig;
 use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
+use sompi_core::pool::SearchPool;
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::view::MarketView;
@@ -129,6 +130,62 @@ fn twolevel_search_emits_golden_sequence() {
     assert_eq!(*groups as usize, out.plan.groups.len());
     assert_eq!(*expected_cost, out.evaluation.expected_cost);
     assert_eq!(*expected_time, out.evaluation.expected_time);
+}
+
+#[test]
+fn pooled_search_emits_pool_event_and_kernel_stats() {
+    let (market, problem) = seeded_market();
+    let view = MarketView::from_market(&market, 0.0, 48.0);
+    let config = OptimizerConfig {
+        kappa: 2,
+        bid_levels: 3,
+        threads: 2,
+        ..Default::default()
+    };
+    let pool = SearchPool::new(2);
+    let ring = RingRecorder::new(TraceLevel::Summary, 64);
+    let out = TwoLevelOptimizer::new(&problem, &view, config)
+        .optimize_warm_pooled(&ring, None, Some(&pool))
+        .unwrap();
+    let events = ring.take();
+
+    // Summary level: the detail SubsetEvaluated events are suppressed,
+    // and the pool dispatch announces itself between start and selection.
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert_eq!(
+        kinds,
+        ["PlanSearchStarted", "SearchPoolUsed", "PlanSelected"],
+        "{kinds:?}"
+    );
+
+    let Event::SearchPoolUsed {
+        pool_id,
+        search_seq,
+        workers,
+        jobs,
+    } = &events[1]
+    else {
+        panic!("second event");
+    };
+    assert_eq!(*pool_id, pool.id());
+    assert_eq!(*search_seq, 1, "first search on this pool");
+    assert_eq!(*workers, 2);
+    assert_eq!(*jobs, 2, "chunk count comes from config.threads");
+
+    let Event::PlanSelected {
+        expected_cost,
+        evaluations,
+        evals_per_sec,
+        kernel_nanos,
+        ..
+    } = &events[2]
+    else {
+        panic!("third event");
+    };
+    assert_eq!(*expected_cost, out.evaluation.expected_cost);
+    assert!(*evaluations > 0);
+    assert!(*kernel_nanos > 0, "kernel time must be accounted");
+    assert!(*evals_per_sec > 0.0);
 }
 
 #[test]

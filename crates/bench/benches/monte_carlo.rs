@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use replay::montecarlo::MonteCarlo;
 use replay::PlanRunner;
 use sompi_bench::{build_problem, npb_workload, paper_market, planning_view, LOOSE};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::twolevel::OptimizerConfig;
 
@@ -21,7 +22,8 @@ fn bench_replay(c: &mut Criterion) {
             ..Default::default()
         },
     }
-    .plan(&problem, &view);
+    .plan(&problem, &view, &mut PlanContext::new())
+    .expect("plan succeeds");
     let runner = PlanRunner::new(&market, problem.deadline);
 
     let ctx = replay::ExecContext::new();

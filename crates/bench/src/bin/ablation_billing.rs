@@ -15,6 +15,7 @@ use replay::PlanRunner;
 use sompi_bench::{
     build_problem, monte_carlo, npb_workload, paper_market, planning_view, Table, LOOSE, TIGHT,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{MaratheOpt, OnDemandOnly, Sompi, Strategy};
 use sompi_core::twolevel::OptimizerConfig;
 
@@ -47,7 +48,9 @@ fn main() {
             let problem = build_problem(&market, &profile, headroom);
             let view = planning_view(&market);
             for (name, strat) in &strategies {
-                let plan = strat.plan(&problem, &view);
+                let plan = strat
+                    .plan(&problem, &view, &mut PlanContext::new())
+                    .expect("plan succeeds");
                 let mc = monte_carlo(&market, problem.deadline + 6.0, 4321);
                 let ctx = replay::ExecContext::new();
                 let hourly = {

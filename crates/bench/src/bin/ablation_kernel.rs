@@ -32,6 +32,7 @@ use sompi_bench::{
     build_problem, npb_workload, repeat_to_hours, stress_market, Table, HISTORY_HOURS, PROCESSES,
     TIGHT,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::cost::{
     evaluate_with_scratch, EvalScratch, Evaluation, GroupAssessment, KernelMode,
 };
@@ -40,7 +41,6 @@ use sompi_core::pool::SearchPool;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::view::MarketView;
 use sompi_core::Problem;
-use sompi_obs::NullRecorder;
 use std::time::Instant;
 
 /// Candidate sizes for the kernel microbenchmark (the optimizer's κ caps
@@ -223,8 +223,12 @@ fn run_replan_arm(
         plans.clear();
         let started = Instant::now();
         for view in views {
+            let mut ctx = PlanContext::new();
+            if let Some(pool) = pool {
+                ctx = ctx.with_pool(pool);
+            }
             let opt = TwoLevelOptimizer::new(problem, view, cfg)
-                .optimize_warm_pooled(&NullRecorder, None, pool)
+                .optimize_with(&mut ctx)
                 .expect("stress-market candidates are drawn from the view's market");
             plans.push(opt.plan);
         }

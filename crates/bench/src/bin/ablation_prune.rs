@@ -23,6 +23,7 @@
 
 use mpi_sim::npb::NpbKernel;
 use sompi_bench::{build_problem, npb_workload, paper_market, planning_view, Table, LOOSE, TIGHT};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::{MarketView, Problem};
 use sompi_obs::{Event, RingRecorder, TraceLevel};
@@ -125,7 +126,7 @@ fn run_study(
             let r = RingRecorder::new(TraceLevel::Summary, 64);
             let started = Instant::now();
             let o = TwoLevelOptimizer::new(problem, view, cfg)
-                .optimize_recorded(&r)
+                .optimize_with(&mut PlanContext::new().with_recorder(&r))
                 .unwrap();
             elapsed = elapsed.min(started.elapsed().as_secs_f64());
             opt = Some(o);

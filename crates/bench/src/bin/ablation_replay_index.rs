@@ -26,6 +26,7 @@ use ec2_market::zone::AvailabilityZone;
 use mpi_sim::npb::{NpbClass, NpbKernel};
 use replay::{ExecContext, MonteCarlo};
 use sompi_bench::{build_problem, paper_market, planning_view, repeat_to_hours, Table, LOOSE};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{SpotInf, Strategy};
 use std::time::Instant;
 
@@ -155,7 +156,9 @@ fn mc_study(replicas: usize, hours: f64, step_hours: f64, exec_hours: f64, iters
     let workload = repeat_to_hours(NpbKernel::Bt.profile(NpbClass::B, 128), exec_hours);
     let view = planning_view(&indexed);
     let problem = build_problem(&indexed, &workload, LOOSE);
-    let plan = SpotInf.plan(&problem, &view);
+    let plan = SpotInf
+        .plan(&problem, &view, &mut PlanContext::new())
+        .expect("plan succeeds");
     let mc = MonteCarlo::builder()
         .replicas(replicas)
         .seed(7)

@@ -31,6 +31,7 @@
 
 use mpi_sim::npb::NpbKernel;
 use sompi_bench::{build_problem, npb_workload, stress_market, Table, HISTORY_HOURS};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::model::Plan;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::view::MarketView;
@@ -100,8 +101,12 @@ fn run_arm(
     for view in views {
         let r = RingRecorder::new(TraceLevel::Summary, 64);
         let started = Instant::now();
+        let mut ctx = PlanContext::new().with_recorder(&r);
+        if let Some(w) = warm.as_mut() {
+            ctx = ctx.with_warm(w);
+        }
         let opt = TwoLevelOptimizer::new(problem, view, cfg)
-            .optimize_warm(&r, warm.as_mut())
+            .optimize_with(&mut ctx)
             .expect("stress-market candidates are drawn from the view's market");
         out.window_secs.push(started.elapsed().as_secs_f64());
         for ev in r.take() {

@@ -12,6 +12,7 @@ use replay::PlanRunner;
 use sompi_bench::{
     build_problem, monte_carlo, npb_workload, paper_market, planning_view, Table, LOOSE, TIGHT,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Marathe, MaratheOpt, Sompi, SpotAvg, Strategy};
 use sompi_core::cost::evaluate_plan;
 use sompi_core::twolevel::OptimizerConfig;
@@ -43,7 +44,9 @@ fn main() {
         for (dname, headroom) in [("loose", LOOSE), ("tight", TIGHT)] {
             let problem = build_problem(&market, &profile, headroom);
             for (sname, strat) in &strategies {
-                let plan = strat.plan(&problem, &view);
+                let plan = strat
+                    .plan(&problem, &view, &mut PlanContext::new())
+                    .expect("plan succeeds");
                 let Ok(Some(eval)) = evaluate_plan(&plan, &view) else {
                     continue;
                 };

@@ -14,6 +14,7 @@ use replay::{Finisher, PlanRunner};
 use sompi_bench::{
     build_problem, planning_view, repeat_to_hours, replicas, stress_market, Table, LOOSE, PROCESSES,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{SompiNoReplication, Strategy};
 use sompi_core::model::Plan;
 use sompi_core::twolevel::OptimizerConfig;
@@ -32,7 +33,9 @@ fn main() {
             ..Default::default()
         },
     };
-    let plan = strat.plan(&problem, &view);
+    let plan = strat
+        .plan(&problem, &view, &mut PlanContext::new())
+        .expect("plan succeeds");
     let Some((group, decision)) = plan.groups.first().copied() else {
         println!("optimizer chose pure on-demand; nothing to compare");
         return;

@@ -12,6 +12,7 @@ use mpi_sim::npb::NpbKernel;
 use sompi_bench::{
     build_problem, evaluate_strategy, npb_workload, paper_market, planning_view, Table,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::twolevel::OptimizerConfig;
 
@@ -35,7 +36,9 @@ fn main() {
             let r = evaluate_strategy(&sompi, &problem, &market, 4000);
             // Re-derive the plan to describe the chosen types.
             let view = planning_view(&market);
-            let plan = sompi.plan(&problem, &view);
+            let plan = sompi
+                .plan(&problem, &view, &mut PlanContext::new())
+                .expect("plan succeeds");
             let mut types: Vec<String> = plan
                 .groups
                 .iter()

@@ -18,6 +18,7 @@ use sompi_bench::{
     PROCESSES, TIGHT,
 };
 use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{AllUnable, Sompi, SompiNoCheckpoint, SompiNoReplication, Strategy};
 use sompi_core::twolevel::OptimizerConfig;
 
@@ -58,7 +59,9 @@ fn main() {
         let view = planning_view(&market);
         let ctx = replay::ExecContext::new();
         for (name, strat) in &statics {
-            let plan = strat.plan(&problem, &view);
+            let plan = strat
+                .plan(&problem, &view, &mut PlanContext::new())
+                .expect("plan succeeds");
             let mc = monte_carlo(&market, margin, 5000);
             let runner = PlanRunner::new(&market, problem.deadline);
             let r = mc

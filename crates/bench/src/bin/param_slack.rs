@@ -9,6 +9,7 @@
 use mpi_sim::npb::NpbKernel;
 use replay::PlanRunner;
 use sompi_bench::{build_problem, monte_carlo, npb_workload, planning_view, stress_market, Table};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::twolevel::OptimizerConfig;
 
@@ -34,7 +35,9 @@ fn main() {
                 ..Default::default()
             },
         };
-        let plan = sompi.plan(&problem, &view);
+        let plan = sompi
+            .plan(&problem, &view, &mut PlanContext::new())
+            .expect("plan succeeds");
         let mc = monte_carlo(&market, problem.deadline + 6.0, 6000);
         let runner = PlanRunner::new(&market, problem.deadline);
         let ctx = replay::ExecContext::new();

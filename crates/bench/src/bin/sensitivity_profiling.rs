@@ -15,6 +15,7 @@ use replay::PlanRunner;
 use sompi_bench::{
     build_problem, monte_carlo, npb_workload, paper_market, planning_view, Table, LOOSE,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{MaratheOpt, Sompi, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -61,7 +62,9 @@ fn main() {
             .enumerate()
         {
             // Plan against the *misprofiled* problem…
-            let plan = strat.plan(&believed, &view);
+            let plan = strat
+                .plan(&believed, &view, &mut PlanContext::new())
+                .expect("plan succeeds");
             // …but replay against reality: rebuild the plan's groups with
             // true execution times (the bids/intervals are the decisions).
             let mut real_plan = plan.clone();

@@ -9,6 +9,7 @@ use mpi_sim::profile::AppProfile;
 use mpi_sim::storage::S3Store;
 use replay::montecarlo::{McResult, MonteCarlo};
 use replay::PlanRunner;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::Strategy;
 use sompi_core::problem::Problem;
 use sompi_core::view::MarketView;
@@ -199,7 +200,9 @@ pub fn evaluate_strategy(
     mc_seed: u64,
 ) -> McResult {
     let view = planning_view(market);
-    let plan = strategy.plan(problem, &view);
+    let plan = strategy
+        .plan(problem, &view, &mut PlanContext::new())
+        .expect("plan succeeds");
     let margin = problem.baseline_time() * 4.0 + 4.0;
     let mc = monte_carlo(market, margin, mc_seed);
     let runner = PlanRunner::new(market, problem.deadline);

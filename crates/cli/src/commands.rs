@@ -1,4 +1,5 @@
-//! The CLI subcommands: `plan`, `replay`, `sweep`, `trace`.
+//! The CLI subcommands: `plan`, `replay`, `sweep`, `tournament`,
+//! `trace`.
 //!
 //! `plan`, `replay` and `sweep` are thin clients of the
 //! `sompi-server::service` entry points — the same code the planner
@@ -14,9 +15,11 @@ use crate::args::Args;
 use crate::build::{market_from, CliError};
 use ec2_market::market::SpotMarket;
 use sompi_core::model::Plan;
+use sompi_core::pool::SearchPool;
 use sompi_obs::{parse_jsonl, JsonlRecorder, NullRecorder, Recorder, RunReport, TraceLevel};
 use sompi_server::proto::{PlanRequest, ReplayRequest};
 use sompi_server::service::{self, ServiceError};
+use sompi_server::tournament::{self, TournamentConfig};
 use std::io::Write;
 
 pub(crate) const PLAN_FLAGS: &[&str] = &[
@@ -160,7 +163,7 @@ pub fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         Some(s) => s,
         None => &NullRecorder,
     };
-    let report = service::plan(&market, &req, recorder).map_err(svc)?;
+    let report = service::plan(&market, &req, recorder, None).map_err(svc)?;
     if let Some(s) = &sink {
         finish_trace(s, args.get("trace-out").unwrap_or(""))?;
     }
@@ -330,6 +333,97 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             r.deadline_rate * 100.0
         )
         .map_err(|e| CliError::Other(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// `sompi tournament` — plan and Monte-Carlo-execute a roster of
+/// policies over a grid of markets × fault plans, head to head. The
+/// whole sweep shares one resident [`SearchPool`], and the report
+/// (including `--json`) is byte-identical across runs and `--threads`
+/// settings — the determinism contract CI enforces.
+pub fn cmd_tournament(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut flags = PLAN_FLAGS.to_vec();
+    flags.extend([
+        "policies",
+        "seeds",
+        "replicas",
+        "mc-seed",
+        "fault-grid",
+        "fault-seed",
+        "smoke",
+    ]);
+    args.check_known(&flags)?;
+    let mut cfg = TournamentConfig {
+        plan: plan_request_from(args)?,
+        ..Default::default()
+    };
+    if let Some(list) = args.get("policies") {
+        cfg.policies = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+    }
+    if let Some(list) = args.get("seeds") {
+        cfg.market_seeds = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| CliError::Other(format!("--seeds: {s:?} is not an integer")))
+            })
+            .collect::<Result<_, _>>()?;
+    } else if let Some(seed) = args.get("seed") {
+        // Single-market shorthand, matching the other subcommands.
+        cfg.market_seeds = vec![seed
+            .parse::<u64>()
+            .map_err(|_| CliError::Other(format!("--seed: {seed:?} is not an integer")))?];
+    }
+    cfg.market_hours = args.f64_or("hours", cfg.market_hours)?;
+    cfg.market_step_hours = args.f64_or("step", cfg.market_step_hours)?;
+    cfg.replicas = args.u64_or("replicas", u64::from(cfg.replicas))? as u32;
+    cfg.mc_seed = args.u64_or("mc-seed", cfg.mc_seed)?;
+    cfg.fault_seed = args.u64_or("fault-seed", cfg.fault_seed)?;
+    if let Some(grid) = args.get("fault-grid") {
+        cfg.fault_specs = grid
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if s.eq_ignore_ascii_case("none") {
+                    None
+                } else {
+                    Some(s.to_string())
+                }
+            })
+            .collect();
+    }
+    if args.flag("smoke") {
+        // Seconds-fast CI configuration; everything else stays as given.
+        cfg.plan.repeats = 50;
+        cfg.plan.kappa = 1;
+        cfg.plan.bid_levels = 2;
+        cfg.market_hours = 120.0;
+        cfg.replicas = 3;
+    }
+
+    let sink = trace_sink_from(args)?;
+    let recorder: &dyn Recorder = match &sink {
+        Some(s) => s,
+        None => &NullRecorder,
+    };
+    let pool = SearchPool::new(cfg.plan.threads as usize);
+    let report = tournament::run_tournament(&cfg, recorder, Some(&pool)).map_err(svc)?;
+    if let Some(s) = &sink {
+        finish_trace(s, args.get("trace-out").unwrap_or(""))?;
+    }
+
+    if args.flag("json") {
+        writeln!(out, "{}", report.to_json()).map_err(|e| CliError::Other(e.to_string()))?;
+    } else {
+        write!(out, "{}", report.render()).map_err(|e| CliError::Other(e.to_string()))?;
     }
     Ok(())
 }

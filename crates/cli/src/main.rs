@@ -5,6 +5,7 @@
 //! sompi plan   [--app BT --class B --procs 128 --deadline 1.5 ...]
 //! sompi replay [... --replicas 200]     (alias: sompi run)
 //! sompi sweep  [... --from 1.05 --to 2.0 --points 6]
+//! sompi tournament [--policies ondemand,no-ft,ckpt-only,app-centric,deadline-hedge,sompi ...]
 //! sompi trace  [--feed history.txt | --seed 42 --hours 336] [--calibrate]
 //! sompi trace summarize run.jsonl
 //! sompi serve  [--addr 127.0.0.1:7077 --workers 2 --queue-cap 32 ...]
@@ -25,6 +26,7 @@ COMMANDS:
     plan      optimize bids/checkpoints/fallback for one application
     replay    plan, then Monte-Carlo replay against the market (alias: run)
     sweep     cost vs deadline-factor sweep
+    tournament  head-to-head policy arena over markets x fault plans
     trace     summarize market traces (optionally --calibrate)
     trace summarize FILE    render a recorded .jsonl execution trace
     serve     run the planner daemon (see docs/SERVER.md for the protocol)
@@ -36,7 +38,9 @@ COMMON FLAGS:
     --procs N                  MPI processes (default 128)
     --repeats N                back-to-back runs (default 200)
     --deadline F               deadline as multiple of Baseline Time (default 1.5)
-    --strategy sompi|on-demand|marathe|marathe-opt|spot-inf|spot-avg
+    --strategy NAME            planning policy: sompi, on-demand, marathe,
+                               marathe-opt, spot-inf, spot-avg, no-rp, no-ck,
+                               no-ft, ckpt-only, app-centric, deadline-hedge
     --kappa K --levels L --slack S      optimizer knobs (default 4, 12, 0.2)
     --threads N                optimizer worker threads (0 = all cores, default)
     --no-prune-dominance / --no-prune-bound / --no-shared-incumbent
@@ -62,6 +66,15 @@ COMMON FLAGS:
     --json                     machine-readable output (plan, replay, client)
     --trace-out FILE           write a JSONL event trace (plan, replay, serve)
     --trace-level off|summary|detail    trace verbosity (default summary)
+
+TOURNAMENT FLAGS (tournament):
+    --policies a,b,c           roster to compete (default ondemand,no-ft,
+                               ckpt-only,app-centric,deadline-hedge,sompi)
+    --seeds 21,22,...          one synthetic market per seed (default 21)
+    --fault-grid \"none;SPEC\"   fault plans to sweep, `;`-separated; `none`
+                               is the fault-free case (default none)
+    --smoke                    seconds-fast CI configuration (small problem,
+                               3 replicas, 120 h market)
 
 SERVER FLAGS (serve):
     --addr HOST:PORT           listen address (default 127.0.0.1:7077; port 0
@@ -92,6 +105,7 @@ fn main() {
         "plan" => commands::cmd_plan(&args, &mut stdout),
         "replay" | "run" => commands::cmd_replay(&args, &mut stdout),
         "sweep" => commands::cmd_sweep(&args, &mut stdout),
+        "tournament" => commands::cmd_tournament(&args, &mut stdout),
         "trace" => commands::cmd_trace(&args, &mut stdout),
         "serve" => serve::cmd_serve(&args, &mut stdout),
         "client" => serve::cmd_client(&args, &mut stdout),

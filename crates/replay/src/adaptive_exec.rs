@@ -16,11 +16,14 @@ use serde::{Deserialize, Serialize};
 use sompi_core::adaptive::{
     AdaptiveConfig, AdaptivePlanner, PlanCache, PlanContext, WindowDecision,
 };
+use sompi_core::baselines::Sompi;
 use sompi_core::error::SompiError;
+use sompi_core::policy::{KillObservation, Policy, WindowObservation};
 use sompi_core::problem::Problem;
 use sompi_core::view::MarketView;
 use sompi_core::warmstart::WarmStart;
 use sompi_obs::{emit, Event, Recorder, TraceLevel};
+use std::fmt;
 
 /// Outcome of one adaptive execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,12 +55,29 @@ fn emit_run_completed(recorder: &dyn Recorder, out: &RunOutcome, windows: u32, p
 }
 
 /// Replays the adaptive algorithm against a market.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct AdaptiveRunner<'a> {
     market: &'a SpotMarket,
     planner: AdaptivePlanner,
     /// Re-plan each window (true = SOMPI, false = the w/o-MT ablation).
     pub update_maintenance: bool,
+    /// The policy driving re-planning and kill/window reactions. `None`
+    /// means `Sompi { config: planner.config.optimizer }` — the
+    /// historical behavior, bit-for-bit.
+    policy: Option<&'a dyn Policy>,
+}
+
+impl fmt::Debug for AdaptiveRunner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptiveRunner")
+            .field("planner", &self.planner)
+            .field("update_maintenance", &self.update_maintenance)
+            .field(
+                "policy",
+                &self.policy.map(|p| p.name()).unwrap_or("<default: SOMPI>"),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> AdaptiveRunner<'a> {
@@ -67,12 +87,24 @@ impl<'a> AdaptiveRunner<'a> {
             market,
             planner: AdaptivePlanner::new(config),
             update_maintenance: true,
+            policy: None,
         }
     }
 
     /// Disable update maintenance (the w/o-MT ablation).
     pub fn without_maintenance(mut self) -> Self {
         self.update_maintenance = false;
+        self
+    }
+
+    /// Drive the loop with `policy` instead of the default SOMPI
+    /// optimizer: its [`Policy::plan`] re-plans each window's residual,
+    /// and its [`Policy::on_window`]/[`Policy::on_kill`] hooks decide
+    /// when to re-plan and what carried state a kill invalidates. With
+    /// `Sompi { config }` this is exactly [`AdaptiveRunner::new`]'s
+    /// behavior.
+    pub fn with_policy(mut self, policy: &'a dyn Policy) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -98,6 +130,10 @@ impl<'a> AdaptiveRunner<'a> {
     ) -> Result<AdaptiveOutcome, SompiError> {
         let recorder = ctx.recorder;
         let cfg = self.planner.config;
+        let default_policy = Sompi {
+            config: cfg.optimizer,
+        };
+        let policy: &dyn Policy = self.policy.unwrap_or(&default_policy);
         let runner = PlanRunner::new(self.market, problem.deadline);
 
         let mut elapsed: Hours = 0.0;
@@ -276,7 +312,7 @@ impl<'a> AdaptiveRunner<'a> {
                         pctx = pctx.with_faults(f);
                     }
                     self.planner
-                        .plan_window(problem, remaining, elapsed, &view, &mut pctx)?
+                        .plan_window_with(policy, problem, remaining, elapsed, &view, &mut pctx)?
                 };
                 fingerprint_hit = planned.fingerprint_hit;
                 planned.decision
@@ -345,20 +381,38 @@ impl<'a> AdaptiveRunner<'a> {
                     let w = runner.run_window(&plan, now, 1.0, Some(win), reuse, ctx)?;
                     spot_cost += w.spot_cost;
                     groups_failed += w.groups_failed;
-                    // An out-of-bid kill invalidates the cached plan: the
+                    // An out-of-bid kill is surfaced to the policy; the
+                    // default reaction invalidates the cached plan (the
                     // realized market just diverged from what the
                     // fingerprint digested, even if the digest still
-                    // matches within tolerance.
+                    // matches within tolerance) and drops the warm seed
+                    // while keeping the bucket tables (they digest the
+                    // view, not the plan).
                     if w.groups_failed > 0 {
-                        cache.clear();
-                        // The carried plan just proved wrong about the
-                        // market; drop the seed but keep the bucket
-                        // tables (they digest the view, not the plan).
-                        warm.invalidate_plan();
+                        let kill = policy.on_kill(&KillObservation {
+                            window: windows,
+                            at_hours: now,
+                            groups_failed: w.groups_failed,
+                        });
+                        if kill.clear_plan_cache {
+                            cache.clear();
+                        }
+                        if kill.drop_warm_plan {
+                            warm.invalidate_plan();
+                        }
                     }
-                    // Re-plan when the window went badly: someone was
+                    // The policy decides whether to re-plan; the default
+                    // re-plans when the window went badly — someone was
                     // killed out-of-bid, or no durable progress was made.
-                    replan_needed = w.groups_failed > 0 || w.saved_fraction <= 1e-9;
+                    replan_needed = policy
+                        .on_window(&WindowObservation {
+                            window: windows,
+                            elapsed_hours: elapsed,
+                            remaining_fraction: remaining,
+                            groups_failed: w.groups_failed,
+                            saved_fraction: w.saved_fraction,
+                        })
+                        .replan;
                     // saved_fraction is relative to the residual plan.
                     done_fraction += remaining * (w.saved_fraction / 1.0).min(1.0);
                     if w.completed_by.is_some() {
@@ -406,21 +460,6 @@ impl<'a> AdaptiveRunner<'a> {
                 });
             }
         }
-    }
-
-    /// Deprecated shim over [`AdaptiveRunner::run`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `run` with an `ExecContext` (recorder via `ExecContext::with_recorder`)"
-    )]
-    pub fn run_recorded(
-        &self,
-        problem: &Problem,
-        start: Hours,
-        recorder: &dyn Recorder,
-    ) -> AdaptiveOutcome {
-        self.run(problem, start, &ExecContext::new().with_recorder(recorder))
-            .expect("deprecated shim preserves the panicking contract; migrate to `run` for error handling")
     }
 }
 
@@ -542,15 +581,5 @@ mod tests {
         // accounting stays coherent.
         assert!(out.run.total_cost > 0.0);
         assert!(out.run.wall_hours > 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_answers() {
-        let (market, problem) = setup(41);
-        let r = AdaptiveRunner::new(&market, config());
-        let a = r.run_recorded(&problem, 60.0, &sompi_obs::NullRecorder);
-        let b = run(&r, &problem, 60.0);
-        assert_eq!(a, b);
     }
 }

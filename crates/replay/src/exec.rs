@@ -256,16 +256,6 @@ impl<'a> PlanRunner<'a> {
         Ok(out)
     }
 
-    /// Deprecated shim over [`PlanRunner::run`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `run` with an `ExecContext` (recorder via `ExecContext::with_recorder`)"
-    )]
-    pub fn run_recorded(&self, plan: &Plan, start: Hours, recorder: &dyn Recorder) -> RunOutcome {
-        self.run(plan, start, &ExecContext::new().with_recorder(recorder))
-            .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
-    }
-
     /// Convert a window outcome into a completed run by applying the
     /// on-demand fallback for whatever fraction remains of `target`.
     /// `start` is the trace offset the window began at (it anchors fault
@@ -547,50 +537,6 @@ impl<'a> PlanRunner<'a> {
             }
         };
         Ok(outcome)
-    }
-
-    /// Deprecated shim over [`PlanRunner::run_window`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `run_window` with an `ExecContext` (recorder via \
-                `ExecContext::with_recorder`)"
-    )]
-    pub fn run_window_carried(
-        &self,
-        plan: &Plan,
-        start: Hours,
-        fraction: f64,
-        window: Option<Hours>,
-        carried: bool,
-    ) -> WindowOutcome {
-        self.run_window(plan, start, fraction, window, carried, &ExecContext::new())
-            .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
-    }
-
-    /// Deprecated shim over [`PlanRunner::run_window`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `run_window` with an `ExecContext` (recorder via \
-                `ExecContext::with_recorder`)"
-    )]
-    pub fn run_window_carried_recorded(
-        &self,
-        plan: &Plan,
-        start: Hours,
-        fraction: f64,
-        window: Option<Hours>,
-        carried: bool,
-        recorder: &dyn Recorder,
-    ) -> WindowOutcome {
-        self.run_window(
-            plan,
-            start,
-            fraction,
-            window,
-            carried,
-            &ExecContext::new().with_recorder(recorder),
-        )
-        .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
     }
 }
 
@@ -1447,28 +1393,5 @@ mod tests {
             corrupt.od_cost
         );
         assert!(corrupt.total_cost > clean.total_cost);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let (m, id) = tiny_market(&[0.1; 24]);
-        let plan = Plan {
-            groups: vec![(
-                group(id, 3.0),
-                GroupDecision {
-                    bid: 0.2,
-                    ckpt_interval: 3.0,
-                },
-            )],
-            on_demand: od(),
-        };
-        let r = PlanRunner::new(&m, 5.0);
-        let out = r.run_recorded(&plan, 0.0, &NullRecorder);
-        assert_eq!(out.finisher, Finisher::Spot(id));
-        let w = r.run_window_carried(&plan, 0.0, 1.0, Some(1.0), false);
-        assert!(w.completed_by.is_none());
-        let w2 = r.run_window_carried_recorded(&plan, 0.0, 1.0, Some(1.0), false, &NullRecorder);
-        assert_eq!(w, w2);
     }
 }

@@ -26,6 +26,7 @@
 //! use mpi_sim::npb::{NpbClass, NpbKernel};
 //! use mpi_sim::storage::S3Store;
 //! use replay::PlanRunner;
+//! use sompi_core::adaptive::PlanContext;
 //! use sompi_core::baselines::{Sompi, Strategy};
 //! use sompi_core::problem::Problem;
 //! use sompi_core::twolevel::OptimizerConfig;
@@ -41,7 +42,9 @@
 //!
 //! let view = MarketView::from_market(&market, 0.0, 48.0);
 //! let cfg = OptimizerConfig { kappa: 1, bid_levels: 3, ..Default::default() };
-//! let plan = Sompi { config: cfg }.plan(&problem, &view);
+//! let plan = Sompi { config: cfg }
+//!     .plan(&problem, &view, &mut PlanContext::new())
+//!     .unwrap();
 //! let outcome = PlanRunner::new(&market, problem.deadline)
 //!     .run(&plan, 60.0, &replay::ExecContext::new())
 //!     .unwrap();
@@ -58,8 +61,6 @@ pub mod timeline;
 pub use adaptive_exec::{AdaptiveOutcome, AdaptiveRunner};
 pub use exec::{ExecContext, Finisher, PlanRunner, RunOutcome, WindowOutcome};
 pub use montecarlo::{McResult, MonteCarlo, MonteCarloBuilder};
-#[allow(deprecated)]
-pub use relaunch::run_persistent_recorded;
 pub use relaunch::{run_persistent, RelaunchOutcome};
 pub use stats::Summary;
 pub use timeline::{timeline, timeline_checked, Event};

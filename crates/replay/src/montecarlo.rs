@@ -211,18 +211,6 @@ impl MonteCarlo {
         }
     }
 
-    /// Deprecated positional constructor.
-    #[deprecated(since = "0.4.0", note = "use `MonteCarlo::builder()`")]
-    pub fn new(replicas: usize, seed: u64, offset_min: Hours, offset_max: Hours) -> Self {
-        Self {
-            replicas,
-            seed,
-            offset_min,
-            offset_max,
-            threads: 0,
-        }
-    }
-
     /// Deterministic start offset of replica `i`.
     fn offset(&self, i: usize) -> Hours {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
@@ -472,14 +460,6 @@ mod tests {
         let mc = MonteCarlo::builder().replicas(10).seed(1).build();
         assert_eq!(mc.threads, 0);
         assert_eq!(mc.replicas, 10);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_constructor_still_answers() {
-        let mc = MonteCarlo::new(10, 1, 0.0, 1.0);
-        assert_eq!(mc.threads, 0);
-        assert_eq!(mc.offset_max, 1.0);
     }
 
     #[test]

@@ -262,34 +262,6 @@ pub fn run_persistent(
     }
 }
 
-/// Deprecated shim over [`run_persistent`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use `run_persistent` with an `ExecContext` (recorder via \
-            `ExecContext::with_recorder`)"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_persistent_recorded(
-    market: &SpotMarket,
-    group: &CircleGroup,
-    decision: &GroupDecision,
-    od: &OnDemandOption,
-    start: Hours,
-    deadline: Hours,
-    recorder: &dyn Recorder,
-) -> RelaunchOutcome {
-    run_persistent(
-        market,
-        group,
-        decision,
-        od,
-        start,
-        deadline,
-        &ExecContext::new().with_recorder(recorder),
-    )
-    .expect("deprecated shim preserves the panicking contract; migrate to the ExecContext API for error handling")
-}
-
 fn emit_relaunch_completed(recorder: &dyn Recorder, out: &RelaunchOutcome, kills: u32) {
     emit(recorder, TraceLevel::Summary, || Event::RunCompleted {
         finisher: match out.finisher {
@@ -575,19 +547,5 @@ mod tests {
             "wall {}",
             corrupt.wall_hours
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_answers() {
-        let (m, id) = market(&[0.1; 48]);
-        let g = group(id, 3.0);
-        let d = GroupDecision {
-            bid: 0.2,
-            ckpt_interval: 1.0,
-        };
-        let a = run_persistent_recorded(&m, &g, &d, &od(), 0.0, 40.0, &sompi_obs::NullRecorder);
-        let b = run(&m, &g, &d, 0.0, 40.0);
-        assert_eq!(a, b);
     }
 }

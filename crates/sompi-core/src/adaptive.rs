@@ -13,12 +13,14 @@
 //! lives in the `replay` crate, which feeds realized progress back in as
 //! `remaining_fraction`.
 
+use crate::baselines::Sompi;
 use crate::cost::evaluate_plan;
 use crate::error::SompiError;
 use crate::model::Plan;
+use crate::policy::Policy;
 use crate::pool::SearchPool;
 use crate::problem::Problem;
-use crate::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
+use crate::twolevel::OptimizerConfig;
 use crate::view::MarketView;
 use crate::warmstart::WarmStart;
 use crate::Hours;
@@ -297,6 +299,29 @@ impl AdaptivePlanner {
         view: &MarketView,
         ctx: &mut PlanContext<'_>,
     ) -> Result<PlannedWindow, SompiError> {
+        let policy = Sompi {
+            config: self.config.optimizer,
+        };
+        self.plan_window_with(&policy, base, remaining_fraction, elapsed, view, ctx)
+    }
+
+    /// [`AdaptivePlanner::plan_window`] with the re-optimization routed
+    /// through an arbitrary [`Policy`] instead of the SOMPI optimizer.
+    /// The cache-recall, feed-gap, and Algorithm-1 deadline-guard
+    /// machinery is policy-agnostic and identical; only the "re-optimize
+    /// the residual" step calls `policy.plan(&residual, view, …)`. With
+    /// `policy = Sompi { config }` this is [`AdaptivePlanner::plan_window`]
+    /// bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_window_with(
+        &self,
+        policy: &dyn Policy,
+        base: &Problem,
+        remaining_fraction: f64,
+        elapsed: Hours,
+        view: &MarketView,
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<PlannedWindow, SompiError> {
         if !(remaining_fraction > 0.0 && remaining_fraction <= 1.0) {
             return Err(SompiError::InvalidFraction {
                 fraction: remaining_fraction,
@@ -367,6 +392,7 @@ impl AdaptivePlanner {
         }
 
         let decision = self.decide(
+            policy,
             base,
             remaining_fraction,
             elapsed,
@@ -400,69 +426,10 @@ impl AdaptivePlanner {
         })
     }
 
-    /// Deprecated shim over [`AdaptivePlanner::plan_window`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `plan_window` with a `PlanContext` (cache via `PlanContext::with_cache`, \
-                recorder via `PlanContext::with_recorder`)"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn plan_window_cached(
-        &self,
-        base: &Problem,
-        remaining_fraction: f64,
-        elapsed: Hours,
-        view: &MarketView,
-        window: u32,
-        cache: &mut PlanCache,
-        recorder: &dyn Recorder,
-    ) -> (WindowDecision, bool) {
-        let planned = self
-            .plan_window(
-                base,
-                remaining_fraction,
-                elapsed,
-                view,
-                &mut PlanContext::new()
-                    .with_recorder(recorder)
-                    .with_cache(cache)
-                    .with_window(window),
-            )
-            .expect("legacy plan_window_cached panicked on invalid inputs");
-        (planned.decision, planned.fingerprint_hit)
-    }
-
-    /// Deprecated shim over [`AdaptivePlanner::plan_window`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `plan_window` with a `PlanContext` (recorder via \
-                `PlanContext::with_recorder`, window via `PlanContext::with_window`)"
-    )]
-    pub fn plan_window_recorded(
-        &self,
-        base: &Problem,
-        remaining_fraction: f64,
-        elapsed: Hours,
-        view: &MarketView,
-        window: u32,
-        recorder: &dyn Recorder,
-    ) -> WindowDecision {
-        self.plan_window(
-            base,
-            remaining_fraction,
-            elapsed,
-            view,
-            &mut PlanContext::new()
-                .with_recorder(recorder)
-                .with_window(window),
-        )
-        .expect("legacy plan_window_recorded panicked on invalid inputs")
-        .decision
-    }
-
     #[allow(clippy::too_many_arguments)]
     fn decide(
         &self,
+        policy: &dyn Policy,
         base: &Problem,
         remaining_fraction: f64,
         elapsed: Hours,
@@ -499,14 +466,20 @@ impl AdaptivePlanner {
             }
         }
 
-        // Otherwise re-optimize the residual against the fresh view. The
-        // optimizer's own `E[Time] ≤ leftover` constraint (with graceful
-        // on-demand fallback when nothing feasible exists) is the paper's
-        // deadline control; when it returns a pure on-demand plan, treat
-        // that as the Algorithm-1 bail-out.
-        let OptimizedPlan { plan, .. } =
-            TwoLevelOptimizer::new(&residual, view, self.config.optimizer)
-                .optimize_warm_pooled(recorder, warm, pool)?;
+        // Otherwise re-plan the residual against the fresh view through
+        // the policy. For the default SOMPI policy the optimizer's own
+        // `E[Time] ≤ leftover` constraint (with graceful on-demand
+        // fallback when nothing feasible exists) is the paper's deadline
+        // control; any policy returning a pure on-demand plan is treated
+        // as the Algorithm-1 bail-out.
+        let mut inner = PlanContext::new().with_recorder(recorder);
+        if let Some(w) = warm {
+            inner = inner.with_warm(w);
+        }
+        if let Some(p) = pool {
+            inner = inner.with_pool(p);
+        }
+        let plan = policy.plan(&residual, view, &mut inner)?;
         if plan.groups.is_empty() {
             return Ok(WindowDecision::FinishOnDemand(plan));
         }
@@ -526,7 +499,7 @@ const FINGERPRINT_PROBE_HORIZON: usize = 24;
 /// skipping a window's re-optimization safe in practice — the reuse path
 /// additionally re-checks the cached plan's feasibility against the
 /// fresh view before committing (see
-/// [`AdaptivePlanner::plan_window_cached`]).
+/// [`AdaptivePlanner::plan_window`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ViewFingerprint {
     /// Per group: `[min price, mean price, max bid, launch delay at the
@@ -613,7 +586,7 @@ impl ViewFingerprint {
     }
 }
 
-/// One-entry cache for [`AdaptivePlanner::plan_window_cached`]: the last
+/// One-entry cache for [`AdaptivePlanner::plan_window`]: the last
 /// *hybrid* window decision, keyed by the [`ViewFingerprint`] it was
 /// planned under and the residual fraction it was planned for. The cached
 /// plan is rescaled from its original fraction on every recall, so
@@ -1016,23 +989,6 @@ mod tests {
             )
             .unwrap();
         assert!(!w3.reused_from_cache);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let (market, problem) = setup();
-        let view = MarketView::from_market(&market, 0.0, 48.0);
-        let p = planner();
-        let d = p.plan_window_recorded(&problem, 1.0, 0.0, &view, 0, &NullRecorder);
-        assert!(matches!(d, WindowDecision::Hybrid(_)));
-        let mut cache = PlanCache::default();
-        let (_, hit) =
-            p.plan_window_cached(&problem, 1.0, 0.0, &view, 0, &mut cache, &NullRecorder);
-        assert!(!hit);
-        let (_, hit) =
-            p.plan_window_cached(&problem, 0.9, 0.1, &view, 1, &mut cache, &NullRecorder);
-        assert!(hit);
     }
 
     #[test]

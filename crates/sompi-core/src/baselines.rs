@@ -1,5 +1,7 @@
 //! Every comparison strategy from the paper's evaluation (Sections 5.3 and
-//! 5.4.2), behind one [`Strategy`] trait so experiments can sweep them.
+//! 5.4.2), behind the one [`crate::policy::Policy`] trait so experiments
+//! can sweep them (`Strategy` is a thin re-export of that trait, kept for
+//! source compatibility).
 //!
 //! | Name        | Paper description |
 //! |-------------|-------------------|
@@ -13,74 +15,43 @@
 //! | `SompiNoCheckpoint`  | SOMPI with checkpointing disabled (w/o-CK) |
 //! | `AllUnable` | one spot group, no checkpoints, no replication |
 
+use crate::adaptive::PlanContext;
 use crate::cost::{evaluate_plan, Evaluation};
+use crate::error::SompiError;
 use crate::model::{GroupDecision, Plan};
 use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
 use crate::phi::optimal_interval;
-use crate::pool::SearchPool;
+use crate::policy::Policy;
 use crate::problem::Problem;
 use crate::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use crate::view::MarketView;
-use sompi_obs::Recorder;
 
-/// A planning strategy: maps (problem, market history) to a plan.
-pub trait Strategy {
-    /// Display name used in experiment tables.
-    fn name(&self) -> &'static str;
-    /// Produce the plan this strategy would execute.
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan;
-
-    /// [`Strategy::plan`], emitting trace events to `recorder` where the
-    /// strategy supports it. The default ignores the recorder (baselines
-    /// have no search to narrate); [`Sompi`] overrides it to surface the
-    /// two-level optimizer's `PlanSearchStarted`/`SubsetEvaluated`/
-    /// `PlanSelected` stream.
-    fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
-        let _ = recorder;
-        self.plan(problem, view)
-    }
-
-    /// [`Strategy::plan_recorded`], additionally dispatching any parallel
-    /// search onto the resident `pool` instead of spawning scoped threads.
-    /// The default ignores the pool (baselines run no parallel search);
-    /// [`Sompi`] overrides it. Plans are bit-identical with or without
-    /// the pool.
-    fn plan_pooled(
-        &self,
-        problem: &Problem,
-        view: &MarketView,
-        recorder: &dyn Recorder,
-        pool: Option<&SearchPool>,
-    ) -> Plan {
-        let _ = pool;
-        self.plan_recorded(problem, view, recorder)
-    }
-
-    /// Convenience: plan and evaluate under the cost model.
-    fn plan_and_evaluate(&self, problem: &Problem, view: &MarketView) -> (Plan, Evaluation) {
-        let plan = self.plan(problem, view);
-        let eval = evaluate_plan(&plan, view)
-            .expect("strategies only plan over the view's own groups")
-            .expect("strategies must produce launchable plans");
-        (plan, eval)
-    }
-}
+/// The historical name for [`Policy`], kept as a thin re-export so
+/// long-lived experiment code keeps compiling. New code should name
+/// [`Policy`] directly.
+pub use crate::policy::Policy as Strategy;
 
 /// The evaluation's *On-demand* method.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OnDemandOnly;
 
-impl Strategy for OnDemandOnly {
+impl Policy for OnDemandOnly {
     fn name(&self) -> &'static str {
         "On-demand"
     }
 
-    fn plan(&self, problem: &Problem, _view: &MarketView) -> Plan {
-        Plan::on_demand_only(select_on_demand(
+    fn plan(
+        &self,
+        problem: &Problem,
+        _view: &MarketView,
+        _ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
+        problem.try_baseline()?;
+        Ok(Plan::on_demand_only(select_on_demand(
             &problem.on_demand,
             problem.deadline,
             DEFAULT_SLACK,
-        ))
+        )))
     }
 }
 
@@ -91,28 +62,28 @@ impl Strategy for OnDemandOnly {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Marathe;
 
-impl Strategy for Marathe {
+impl Policy for Marathe {
     fn name(&self) -> &'static str {
         "Marathe"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        _ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         // Identify the fixed type: the most capable (fastest) candidate —
         // cc2.8xlarge in the paper's catalog — unless the problem was built
         // without it.
-        let target = problem
-            .on_demand
-            .iter()
-            .min_by(|a, b| a.exec_hours.total_cmp(&b.exec_hours))
-            .expect("problem must offer on-demand options");
+        let target = *problem.try_baseline()?;
         let mut groups = Vec::new();
         for c in &problem.candidates {
             if c.id.instance_type != target.instance_type {
                 continue;
             }
             let bid = target.unit_price; // bid at the on-demand price
-            let interval = optimal_interval(c, bid, view)
-                .expect("candidates are drawn from the view's market");
+            let interval = optimal_interval(c, bid, view)?;
             groups.push((
                 *c,
                 GroupDecision {
@@ -121,10 +92,10 @@ impl Strategy for Marathe {
                 },
             ));
         }
-        Plan {
+        Ok(Plan {
             groups,
-            on_demand: *target,
-        }
+            on_demand: target,
+        })
     }
 }
 
@@ -133,12 +104,17 @@ impl Strategy for Marathe {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaratheOpt;
 
-impl Strategy for MaratheOpt {
+impl Policy for MaratheOpt {
     fn name(&self) -> &'static str {
         "Marathe-Opt"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         let mut best: Option<(Plan, Evaluation)> = None;
         for od in &problem.on_demand {
             let mut groups = Vec::new();
@@ -147,8 +123,7 @@ impl Strategy for MaratheOpt {
                     continue;
                 }
                 let bid = od.unit_price;
-                let interval = optimal_interval(c, bid, view)
-                    .expect("candidates are drawn from the view's market");
+                let interval = optimal_interval(c, bid, view)?;
                 groups.push((
                     *c,
                     GroupDecision {
@@ -183,8 +158,10 @@ impl Strategy for MaratheOpt {
                 best = Some((plan, eval));
             }
         }
-        best.map(|(p, _)| p)
-            .unwrap_or_else(|| OnDemandOnly.plan(problem, view))
+        match best {
+            Some((p, _)) => Ok(p),
+            None => OnDemandOnly.plan(problem, view, ctx),
+        }
     }
 }
 
@@ -197,12 +174,17 @@ pub struct SpotInf;
 /// The "infinite" bid used by the paper's Spot-Inf heuristic.
 pub const INFINITE_BID: f64 = 999.0;
 
-impl Strategy for SpotInf {
+impl Policy for SpotInf {
     fn name(&self) -> &'static str {
         "Spot-Inf"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        _ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         single_group_plan(problem, view, |_, _| INFINITE_BID)
     }
 }
@@ -211,12 +193,17 @@ impl Strategy for SpotInf {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpotAvg;
 
-impl Strategy for SpotAvg {
+impl Policy for SpotAvg {
     fn name(&self) -> &'static str {
         "Spot-Avg"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        _ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         single_group_plan(problem, view, |view, id| {
             // Candidates come from the view's market; a missing group can
             // only mean a hand-built mismatch, where a zero bid simply
@@ -230,7 +217,8 @@ fn single_group_plan(
     problem: &Problem,
     view: &MarketView,
     bid_of: impl Fn(&MarketView, ec2_market::market::CircleGroupId) -> f64,
-) -> Plan {
+) -> Result<Plan, SompiError> {
+    problem.try_baseline()?;
     let od = select_on_demand(&problem.on_demand, problem.deadline, DEFAULT_SLACK);
     let mut best: Option<(Plan, Evaluation)> = None;
     for c in &problem.candidates {
@@ -262,8 +250,9 @@ fn single_group_plan(
             best = Some((plan, eval));
         }
     }
-    best.map(|(p, _)| p)
-        .unwrap_or_else(|| Plan::on_demand_only(od))
+    Ok(best
+        .map(|(p, _)| p)
+        .unwrap_or_else(|| Plan::on_demand_only(od)))
 }
 
 /// The full SOMPI optimizer as a [`Strategy`].
@@ -273,36 +262,20 @@ pub struct Sompi {
     pub config: OptimizerConfig,
 }
 
-impl Strategy for Sompi {
+impl Policy for Sompi {
     fn name(&self) -> &'static str {
         "SOMPI"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
-        TwoLevelOptimizer::new(problem, view, self.config)
-            .optimize()
-            .expect("problem candidates are drawn from the view's market")
-            .plan
-    }
-
-    fn plan_recorded(&self, problem: &Problem, view: &MarketView, recorder: &dyn Recorder) -> Plan {
-        TwoLevelOptimizer::new(problem, view, self.config)
-            .optimize_recorded(recorder)
-            .expect("problem candidates are drawn from the view's market")
-            .plan
-    }
-
-    fn plan_pooled(
+    fn plan(
         &self,
         problem: &Problem,
         view: &MarketView,
-        recorder: &dyn Recorder,
-        pool: Option<&SearchPool>,
-    ) -> Plan {
-        TwoLevelOptimizer::new(problem, view, self.config)
-            .optimize_warm_pooled(recorder, None, pool)
-            .expect("problem candidates are drawn from the view's market")
-            .plan
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
+        Ok(TwoLevelOptimizer::new(problem, view, self.config)
+            .optimize_with(ctx)?
+            .plan)
     }
 }
 
@@ -313,20 +286,24 @@ pub struct SompiNoReplication {
     pub config: OptimizerConfig,
 }
 
-impl Strategy for SompiNoReplication {
+impl Policy for SompiNoReplication {
     fn name(&self) -> &'static str {
         "w/o-RP"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         let cfg = OptimizerConfig {
             kappa: 1,
             ..self.config
         };
-        TwoLevelOptimizer::new(problem, view, cfg)
-            .optimize()
-            .expect("problem candidates are drawn from the view's market")
-            .plan
+        Ok(TwoLevelOptimizer::new(problem, view, cfg)
+            .optimize_with(ctx)?
+            .plan)
     }
 }
 
@@ -338,20 +315,24 @@ pub struct SompiNoCheckpoint {
     pub config: OptimizerConfig,
 }
 
-impl Strategy for SompiNoCheckpoint {
+impl Policy for SompiNoCheckpoint {
     fn name(&self) -> &'static str {
         "w/o-CK"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         let cfg = OptimizerConfig {
             interval_grid: Some(1),
             ..self.config
         };
-        TwoLevelOptimizer::new(problem, view, cfg)
-            .optimize()
-            .expect("problem candidates are drawn from the view's market")
-            .plan
+        Ok(TwoLevelOptimizer::new(problem, view, cfg)
+            .optimize_with(ctx)?
+            .plan)
     }
 }
 
@@ -363,21 +344,25 @@ pub struct AllUnable {
     pub config: OptimizerConfig,
 }
 
-impl Strategy for AllUnable {
+impl Policy for AllUnable {
     fn name(&self) -> &'static str {
         "All-Unable"
     }
 
-    fn plan(&self, problem: &Problem, view: &MarketView) -> Plan {
+    fn plan(
+        &self,
+        problem: &Problem,
+        view: &MarketView,
+        ctx: &mut PlanContext<'_>,
+    ) -> Result<Plan, SompiError> {
         let cfg = OptimizerConfig {
             kappa: 1,
             interval_grid: Some(1),
             ..self.config
         };
-        TwoLevelOptimizer::new(problem, view, cfg)
-            .optimize()
-            .expect("problem candidates are drawn from the view's market")
-            .plan
+        Ok(TwoLevelOptimizer::new(problem, view, cfg)
+            .optimize_with(ctx)?
+            .plan)
     }
 }
 
@@ -407,14 +392,14 @@ mod tests {
     #[test]
     fn on_demand_only_uses_no_spot() {
         let (_, p, v) = setup();
-        let plan = OnDemandOnly.plan(&p, &v);
+        let plan = OnDemandOnly.plan(&p, &v, &mut PlanContext::new()).unwrap();
         assert_eq!(plan.replication_degree(), 0);
     }
 
     #[test]
     fn marathe_replicates_cc2_across_zones() {
         let (m, p, v) = setup();
-        let plan = Marathe.plan(&p, &v);
+        let plan = Marathe.plan(&p, &v, &mut PlanContext::new()).unwrap();
         let cc2 = m.catalog().by_name("cc2.8xlarge").unwrap();
         assert_eq!(plan.replication_degree(), 3); // three zones
         for (g, d) in &plan.groups {
@@ -427,21 +412,21 @@ mod tests {
     #[test]
     fn marathe_opt_single_type_but_chosen() {
         let (_, p, v) = setup();
-        let plan = MaratheOpt.plan(&p, &v);
+        let plan = MaratheOpt.plan(&p, &v, &mut PlanContext::new()).unwrap();
         assert!(!plan.groups.is_empty());
         let ty = plan.groups[0].0.id.instance_type;
         assert!(plan.groups.iter().all(|(g, _)| g.id.instance_type == ty));
         // For compute-intensive BT under a loose deadline, Marathe-Opt
         // should pick something cheaper than cc2.8xlarge.
-        let (_, eval_opt) = MaratheOpt.plan_and_evaluate(&p, &v);
-        let (_, eval_fixed) = Marathe.plan_and_evaluate(&p, &v);
+        let (_, eval_opt) = MaratheOpt.plan_and_evaluate(&p, &v).unwrap();
+        let (_, eval_fixed) = Marathe.plan_and_evaluate(&p, &v).unwrap();
         assert!(eval_opt.expected_cost <= eval_fixed.expected_cost + 1e-9);
     }
 
     #[test]
     fn spot_inf_never_fails() {
         let (_, p, v) = setup();
-        let (plan, eval) = SpotInf.plan_and_evaluate(&p, &v);
+        let (plan, eval) = SpotInf.plan_and_evaluate(&p, &v).unwrap();
         assert_eq!(plan.replication_degree(), 1);
         assert_eq!(plan.groups[0].1.bid, INFINITE_BID);
         assert!(eval.p_all_fail < 1e-9);
@@ -450,7 +435,7 @@ mod tests {
     #[test]
     fn spot_avg_bids_the_mean() {
         let (_, p, v) = setup();
-        let plan = SpotAvg.plan(&p, &v);
+        let plan = SpotAvg.plan(&p, &v, &mut PlanContext::new()).unwrap();
         assert_eq!(plan.replication_degree(), 1);
         let (g, d) = &plan.groups[0];
         assert!((d.bid - v.mean_price(g.id).unwrap()).abs() < 1e-12);
@@ -464,16 +449,22 @@ mod tests {
             bid_levels: 3,
             ..OptimizerConfig::default()
         };
-        let no_rp = SompiNoReplication { config: cfg }.plan(&p, &v);
+        let no_rp = SompiNoReplication { config: cfg }
+            .plan(&p, &v, &mut PlanContext::new())
+            .unwrap();
         assert!(no_rp.replication_degree() <= 1);
-        let no_ck = SompiNoCheckpoint { config: cfg }.plan(&p, &v);
+        let no_ck = SompiNoCheckpoint { config: cfg }
+            .plan(&p, &v, &mut PlanContext::new())
+            .unwrap();
         for (g, d) in &no_ck.groups {
             assert!(
                 d.ckpt_interval >= g.exec_hours,
                 "checkpointing not disabled"
             );
         }
-        let none = AllUnable { config: cfg }.plan(&p, &v);
+        let none = AllUnable { config: cfg }
+            .plan(&p, &v, &mut PlanContext::new())
+            .unwrap();
         assert!(none.replication_degree() <= 1);
         for (g, d) in &none.groups {
             assert!(d.ckpt_interval >= g.exec_hours);
@@ -488,23 +479,28 @@ mod tests {
             bid_levels: 3,
             ..OptimizerConfig::default()
         };
-        let (_, full) = Sompi { config: cfg }.plan_and_evaluate(&p, &v);
+        let (_, full) = Sompi { config: cfg }.plan_and_evaluate(&p, &v).unwrap();
         for (name, eval) in [
             (
                 "w/o-RP",
                 SompiNoReplication { config: cfg }
                     .plan_and_evaluate(&p, &v)
+                    .unwrap()
                     .1,
             ),
             (
                 "w/o-CK",
                 SompiNoCheckpoint { config: cfg }
                     .plan_and_evaluate(&p, &v)
+                    .unwrap()
                     .1,
             ),
             (
                 "All-Unable",
-                AllUnable { config: cfg }.plan_and_evaluate(&p, &v).1,
+                AllUnable { config: cfg }
+                    .plan_and_evaluate(&p, &v)
+                    .unwrap()
+                    .1,
             ),
         ] {
             assert!(

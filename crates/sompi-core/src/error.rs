@@ -26,6 +26,10 @@ pub enum SompiError {
     },
     /// An aggregate was requested over zero outcomes.
     NoOutcomes,
+    /// A plan that cannot launch under the market view (some bid never
+    /// clears its group's price floor), surfaced where an evaluation is
+    /// required rather than optional.
+    UnlaunchablePlan,
     /// A market-feed parsing or resampling failure.
     Feed(FeedError),
     /// A configuration value outside its documented domain.
@@ -48,6 +52,7 @@ impl fmt::Display for SompiError {
                 write!(f, "no market trace for circle group {group}")
             }
             SompiError::NoOutcomes => write!(f, "no outcomes to aggregate"),
+            SompiError::UnlaunchablePlan => write!(f, "plan has an unlaunchable bid"),
             SompiError::Feed(e) => write!(f, "market feed: {e}"),
             SompiError::InvalidConfig { message } => {
                 write!(f, "invalid configuration: {message}")

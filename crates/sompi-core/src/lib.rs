@@ -31,9 +31,15 @@
 //! * [`adaptive`] — the windowed adaptive re-optimizer, Algorithm 1 (§4.3),
 //! * [`warmstart`] — exactness-preserving warm-start state carried across
 //!   the adaptive loop's searches (DESIGN.md §12),
+//! * [`policy`] — the [`policy::Policy`] trait unifying planning and
+//!   per-window execution decisions, rival policies from the literature
+//!   (No-FT, Ckpt-Only, App-Centric, Deadline-Hedge), and the
+//!   name→policy registry behind the CLI/server/tournament
+//!   (docs/POLICIES.md),
 //! * [`baselines`] — every comparison strategy in the evaluation:
 //!   On-demand, Marathe, Marathe-Opt, Spot-Inf, Spot-Avg, and the
-//!   fault-tolerance ablations (§5.3, §5.4.2).
+//!   fault-tolerance ablations (§5.3, §5.4.2), all implementing
+//!   [`policy::Policy`].
 
 pub mod adaptive;
 pub mod baselines;
@@ -44,6 +50,7 @@ pub mod model;
 pub mod ondemand;
 pub mod pareto;
 pub mod phi;
+pub mod policy;
 pub mod pool;
 pub mod problem;
 pub mod twolevel;
@@ -61,6 +68,10 @@ pub use model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 pub use ondemand::select_on_demand;
 pub use pareto::{collapse_bid_dominated, frontier, ParetoPoint};
 pub use phi::optimal_interval;
+pub use policy::{
+    policy_by_name, KillObservation, KillReaction, Policy, WindowObservation, WindowReaction,
+    POLICY_NAMES,
+};
 pub use pool::SearchPool;
 pub use problem::Problem;
 pub use twolevel::{OptimizedPlan, OptimizerConfig, OptimizerConfigBuilder, TwoLevelOptimizer};

@@ -29,14 +29,15 @@
 //! independent of how the subset list is chunked, the returned
 //! [`OptimizedPlan`] — plan, evaluation, and `evaluations_performed` — is
 //! identical at any thread count. With a persistent
-//! [`SearchPool`] attached
-//! ([`TwoLevelOptimizer::optimize_warm_pooled`]), the same chunk jobs run
+//! [`SearchPool`](crate::pool::SearchPool) attached (`ctx.pool` on
+//! [`TwoLevelOptimizer::optimize_with`]), the same chunk jobs run
 //! on resident workers instead of freshly spawned threads; results come
 //! back in submission order, so the merge — and the answer — is unchanged.
 //!
 //! # Warm-started re-optimization
 //!
-//! [`TwoLevelOptimizer::optimize_warm`] accepts [`WarmStart`] state from a
+//! [`TwoLevelOptimizer::optimize_with`] accepts [`WarmStart`] state
+//! (`ctx.warm`) from a
 //! previous, similar search (the adaptive loop's previous window): the
 //! previous plan seeds the incumbent bound, its top subsets are enumerated
 //! first, and the per-`(group, bid)` failure tables behind `φ(P)` and the
@@ -45,6 +46,7 @@
 //! build — never which candidate wins — so the selected plan stays
 //! bit-identical to a cold search (see `crate::warmstart`).
 
+use crate::adaptive::PlanContext;
 use crate::cost::{
     assessment_horizon, evaluate, evaluate_with_scratch, EvalScratch, Evaluation, GroupAssessment,
     KernelMode,
@@ -54,13 +56,12 @@ use crate::logsearch::BidGrid;
 use crate::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use crate::ondemand::{select_on_demand, DEFAULT_SLACK};
 use crate::phi::{interval_from_mttf, optimal_interval_for, phi_horizon};
-use crate::pool::SearchPool;
 use crate::problem::Problem;
 use crate::view::MarketView;
 use crate::warmstart::{BidTable, GroupTables, PrevWindow, WarmStart, HOT_SUBSETS};
 use ec2_market::market::CircleGroupId;
 use serde::{Deserialize, Serialize};
-use sompi_obs::{emit, Event, NullRecorder, PhaseTimer, Recorder, TraceLevel};
+use sompi_obs::{emit, Event, PhaseTimer, TraceLevel};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -454,59 +455,49 @@ impl<'a> TwoLevelOptimizer<'a> {
 
     /// Run the full search and return the cheapest feasible plan.
     ///
-    /// Equivalent to [`TwoLevelOptimizer::optimize_recorded`] with a
-    /// [`NullRecorder`]: no event is ever constructed, so the search is
+    /// Equivalent to [`TwoLevelOptimizer::optimize_with`] on an all-no-op
+    /// [`PlanContext`]: no event is ever constructed, so the search is
     /// exactly as fast and allocation-free as before instrumentation
     /// existed (asserted by `tests/alloc_guard.rs` and the `opt_speed`
     /// bench). Errors when a candidate group is unknown to the market
     /// view.
     pub fn optimize(&self) -> Result<OptimizedPlan, SompiError> {
-        self.optimize_recorded(&NullRecorder)
+        self.optimize_with(&mut PlanContext::new())
     }
 
-    /// Run the full search, emitting structured events to `recorder`:
-    /// one `PlanSearchStarted`, one `SubsetEvaluated` per worker (Detail
-    /// level, in worker-index order, merged at join), and one
-    /// `PlanSelected`. The hot candidate loop only increments worker-local
-    /// `u64` counters; events are built outside it.
-    pub fn optimize_recorded(&self, recorder: &dyn Recorder) -> Result<OptimizedPlan, SompiError> {
-        self.optimize_warm(recorder, None)
-    }
-
-    /// [`TwoLevelOptimizer::optimize_recorded`] with warm-start state
-    /// carried from a previous, similar search (DESIGN.md §12): the
-    /// previous plan seeds the incumbent bound, its hot subsets are
-    /// enumerated first, and unchanged per-group failure tables are
-    /// reused. Every layer is exactness-preserving — the returned plan is
-    /// bit-identical to a cold search at any thread count — and each is
-    /// independently toggleable on the [`WarmStart`]. Emits one
-    /// `WarmStartApplied` (Summary) per call with warm state attached,
-    /// plus one `BucketTableReused` (Detail) per group whose table cache
-    /// was consulted. The warm seed probe is not counted in
-    /// `evaluations_performed`, which keeps reporting the full
-    /// enumeration size.
-    pub fn optimize_warm(
-        &self,
-        recorder: &dyn Recorder,
-        warm: Option<&mut WarmStart>,
-    ) -> Result<OptimizedPlan, SompiError> {
-        self.optimize_warm_pooled(recorder, warm, None)
-    }
-
-    /// [`TwoLevelOptimizer::optimize_warm`] with an optional persistent
-    /// [`SearchPool`]: when present and the search is parallel, the chunk
-    /// jobs run on the pool's resident workers instead of spawning fresh
-    /// threads (one `SearchPoolUsed` event per dispatch). Chunking is
-    /// still derived from [`OptimizerConfig::threads`] and the merge
-    /// still folds per-chunk winners in submission order under the total
-    /// candidate order, so the result is bit-identical with or without
-    /// the pool, at any pool size.
-    pub fn optimize_warm_pooled(
-        &self,
-        recorder: &dyn Recorder,
-        mut warm: Option<&mut WarmStart>,
-        pool: Option<&SearchPool>,
-    ) -> Result<OptimizedPlan, SompiError> {
+    /// Run the full search with everything optional riding in `ctx` (the
+    /// same [`PlanContext`] the adaptive planner and [`crate::policy`]
+    /// use). Three context fields matter here; the rest are ignored:
+    ///
+    /// * `ctx.recorder` — emits one `PlanSearchStarted`, one
+    ///   `SubsetEvaluated` per worker (Detail level, in worker-index
+    ///   order, merged at join), and one `PlanSelected`. The hot
+    ///   candidate loop only increments worker-local `u64` counters;
+    ///   events are built outside it.
+    /// * `ctx.warm` — warm-start state carried from a previous, similar
+    ///   search (DESIGN.md §12): the previous plan seeds the incumbent
+    ///   bound, its hot subsets are enumerated first, and unchanged
+    ///   per-group failure tables are reused. Every layer is
+    ///   exactness-preserving — the returned plan is bit-identical to a
+    ///   cold search at any thread count — and each is independently
+    ///   toggleable on the [`WarmStart`]. Emits one `WarmStartApplied`
+    ///   (Summary) per call with warm state attached, plus one
+    ///   `BucketTableReused` (Detail) per group whose table cache was
+    ///   consulted. The warm seed probe is not counted in
+    ///   `evaluations_performed`, which keeps reporting the full
+    ///   enumeration size.
+    /// * `ctx.pool` — a persistent [`SearchPool`](crate::pool::SearchPool): when present and the
+    ///   search is parallel, the chunk jobs run on the pool's resident
+    ///   workers instead of spawning fresh threads (one `SearchPoolUsed`
+    ///   event per dispatch). Chunking is still derived from
+    ///   [`OptimizerConfig::threads`] and the merge still folds
+    ///   per-chunk winners in submission order under the total candidate
+    ///   order, so the result is bit-identical with or without the pool,
+    ///   at any pool size.
+    pub fn optimize_with(&self, ctx: &mut PlanContext<'_>) -> Result<OptimizedPlan, SompiError> {
+        let recorder = ctx.recorder;
+        let mut warm = ctx.warm.as_deref_mut();
+        let pool = ctx.pool;
         let od = select_on_demand(
             &self.problem.on_demand,
             self.problem.deadline,
@@ -1788,7 +1779,9 @@ mod tests {
         // First warm window has nothing carried; subsequent ones replay
         // with a seed, hot-first order, and cached tables.
         for pass in 0..3 {
-            let got = opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+            let got = opt
+                .optimize_with(&mut PlanContext::new().with_warm(&mut warm))
+                .unwrap();
             assert_eq!(cold, got, "warm pass {pass} diverged");
         }
         assert!(warm.has_plan());
@@ -1799,7 +1792,9 @@ mod tests {
                 .with_plan_carryover(plan_on)
                 .with_table_reuse(tables_on);
             for _ in 0..2 {
-                let got = opt.optimize_warm(&NullRecorder, Some(&mut w)).unwrap();
+                let got = opt
+                    .optimize_with(&mut PlanContext::new().with_warm(&mut w))
+                    .unwrap();
                 assert_eq!(cold, got, "plan={plan_on} tables={tables_on}");
             }
         }
@@ -1813,8 +1808,12 @@ mod tests {
             let cfg = OptimizerConfig { threads, ..base };
             let opt = TwoLevelOptimizer::new(&problem, &view, cfg);
             let mut warm = WarmStart::new();
-            let first = opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
-            let second = opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+            let first = opt
+                .optimize_with(&mut PlanContext::new().with_warm(&mut warm))
+                .unwrap();
+            let second = opt
+                .optimize_with(&mut PlanContext::new().with_warm(&mut warm))
+                .unwrap();
             (first, second)
         };
         let serial = run(1);
@@ -1828,7 +1827,8 @@ mod tests {
         let (_, problem, view) = setup();
         let opt = TwoLevelOptimizer::new(&problem, &view, small_config());
         let mut warm = WarmStart::new();
-        opt.optimize_warm(&NullRecorder, Some(&mut warm)).unwrap();
+        opt.optimize_with(&mut PlanContext::new().with_warm(&mut warm))
+            .unwrap();
         let prev = warm.prev.as_ref().expect("a plan must be carried");
         assert!(!prev.hot_subsets.is_empty());
         assert!(prev.hot_subsets.len() <= HOT_SUBSETS);

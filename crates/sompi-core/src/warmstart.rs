@@ -82,10 +82,10 @@ pub(crate) struct BidTable {
 }
 
 /// Mutable warm-start state threaded through consecutive
-/// [`TwoLevelOptimizer::optimize_warm`](crate::twolevel::TwoLevelOptimizer::optimize_warm)
-/// calls. Construct once per adaptive run and pass `Some(&mut state)` to
-/// every window's search; pass `None` (or use `optimize`/
-/// `optimize_recorded`) for a cold search.
+/// [`TwoLevelOptimizer::optimize_with`](crate::twolevel::TwoLevelOptimizer::optimize_with)
+/// calls. Construct once per adaptive run and thread `ctx.with_warm(&mut
+/// state)` into every window's search; leave the context bare (or use
+/// `optimize`) for a cold search.
 #[derive(Debug, Clone)]
 pub struct WarmStart {
     /// Seed the incumbent bound from the previous plan and enumerate the

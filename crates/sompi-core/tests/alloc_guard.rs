@@ -1,9 +1,9 @@
 //! Allocation guards for the optimizer's hot path.
 //!
 //! The observability layer promises that a disabled recorder is free: the
-//! candidate loop may not allocate, and `optimize_recorded` with tracing
-//! off must allocate exactly as much as the unrecorded `optimize`. A
-//! counting global allocator makes both claims testable.
+//! candidate loop may not allocate, and `optimize_with` a recorder whose
+//! tracing is off must allocate exactly as much as the context-free
+//! `optimize`. A counting global allocator makes both claims testable.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,7 +16,7 @@ use mpi_sim::storage::S3Store;
 use sompi_core::cost::{evaluate_with_scratch, EvalScratch, GroupAssessment, KernelMode};
 use sompi_core::model::GroupDecision;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
-use sompi_core::{MarketView, Problem};
+use sompi_core::{MarketView, PlanContext, Problem};
 use sompi_obs::{RingRecorder, TraceLevel};
 
 struct CountingAlloc;
@@ -108,8 +108,9 @@ fn null_recorder_adds_zero_allocations() {
         );
     }
 
-    // (2) `optimize_recorded` with tracing off allocates exactly as much
-    // as the unrecorded `optimize` — the recorder hook itself is free.
+    // (2) `optimize_with` a recorder attached but tracing off allocates
+    // exactly as much as the context-free `optimize` — the recorder hook
+    // itself is free.
     let cfg = OptimizerConfig {
         kappa: 2,
         bid_levels: 3,
@@ -125,7 +126,7 @@ fn null_recorder_adds_zero_allocations() {
     let off = RingRecorder::new(TraceLevel::Off, 8);
     let (rec_plan, rec_allocs) = counted(|| {
         TwoLevelOptimizer::new(&problem, &view, cfg)
-            .optimize_recorded(&off)
+            .optimize_with(&mut PlanContext::new().with_recorder(&off))
             .unwrap()
     });
     assert_eq!(base_plan.plan, rec_plan.plan);

@@ -76,7 +76,7 @@ impl std::str::FromStr for TraceLevel {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
     /// The two-level optimizer is about to enumerate κ-subsets.
-    /// Emitted once per `optimize_recorded` call, after per-group bid/φ
+    /// Emitted once per recorded `optimize_with` call, after per-group bid/φ
     /// options are assessed but before any subset is evaluated.
     PlanSearchStarted {
         /// Number of circle groups the market offers (K).
@@ -130,7 +130,7 @@ pub enum Event {
         skipped: u64,
     },
     /// The optimizer committed to a plan.
-    /// Emitted once per `optimize_recorded` call, after the merge.
+    /// Emitted once per recorded `optimize_with` call, after the merge.
     PlanSelected {
         /// `"spot"` when a hybrid spot plan won, `"on-demand"` when the
         /// pure on-demand baseline was cheaper (or nothing was feasible).
@@ -194,8 +194,8 @@ pub enum Event {
     /// The warm-start layer's per-window summary: whether the previous
     /// window's plan seeded the incumbent bound, how many carried subsets
     /// led the enumeration order, and the bucket-table cache totals.
-    /// Emitted once per `optimize_warm` call with warm state attached;
-    /// the cold entry points never construct it.
+    /// Emitted once per `optimize_with` call with warm state attached;
+    /// warm-free contexts never construct it.
     WarmStartApplied {
         /// True when the previous plan projected onto the current option
         /// grids to a feasible candidate whose cost seeded the incumbent
@@ -228,7 +228,7 @@ pub enum Event {
         rebuilt: u64,
     },
     /// The adaptive loop (Algorithm 1) crossed a window boundary.
-    /// Emitted by `AdaptivePlanner::plan_window_recorded` on a real
+    /// Emitted by `AdaptivePlanner::plan_window` on a real
     /// re-plan and by `AdaptiveRunner` when the previous plan is reused.
     WindowReplanned {
         /// 0-based index of the window being planned.
@@ -420,6 +420,32 @@ pub enum Event {
         /// Times the adaptive loop changed plan (adaptive runs only).
         plan_changes: Option<u32>,
     },
+    /// One tournament cell finished: a policy was planned and
+    /// Monte-Carlo-executed against one market × fault-plan combination.
+    PolicyEvaluated {
+        /// Policy display name (e.g. `"SOMPI"`, `"No-FT"`).
+        policy: String,
+        /// Market case label (e.g. `"paper-2014-s21"`).
+        market: String,
+        /// Fault-plan label (`"none"` or the injection spec).
+        faults: String,
+        /// Expected cost of the policy's plan under the cost model, USD
+        /// (absent when the plan cannot be evaluated under the view).
+        expected_cost: Option<f64>,
+        /// Mean realized cost across Monte-Carlo replicas, USD.
+        mean_cost: f64,
+        /// Mean realized cost normalized by the on-demand baseline cost.
+        normalized_cost: f64,
+        /// Fraction of replicas that missed the deadline.
+        deadline_miss_rate: f64,
+        /// Fraction of replicas finished by a spot group.
+        spot_finish_rate: f64,
+        /// Mean out-of-bid kills per replica.
+        mean_failures: f64,
+        /// Mean wall hours divided by the baseline (fastest on-demand)
+        /// execution time.
+        time_degradation: f64,
+    },
 }
 
 impl Event {
@@ -444,6 +470,7 @@ impl Event {
             Event::RequestShed { .. } => "RequestShed",
             Event::CacheHit { .. } => "CacheHit",
             Event::RunCompleted { .. } => "RunCompleted",
+            Event::PolicyEvaluated { .. } => "PolicyEvaluated",
         }
     }
 
@@ -594,6 +621,18 @@ mod tests {
                 groups_failed: 1,
                 windows: None,
                 plan_changes: Some(2),
+            },
+            Event::PolicyEvaluated {
+                policy: "No-FT".to_string(),
+                market: "paper-2014-s21".to_string(),
+                faults: "none".to_string(),
+                expected_cost: Some(35.0),
+                mean_cost: 38.5,
+                normalized_cost: 0.62,
+                deadline_miss_rate: 0.05,
+                spot_finish_rate: 0.9,
+                mean_failures: 0.2,
+                time_degradation: 1.3,
             },
         ];
         for e in &events {

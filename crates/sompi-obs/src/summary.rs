@@ -438,6 +438,9 @@ impl RunReport {
                         plan_changes: *plan_changes,
                     });
                 }
+                // Tournament cells are their own report (the rendered
+                // table); the trace summary only counts them.
+                Event::PolicyEvaluated { .. } => {}
             }
         }
         report

@@ -25,6 +25,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod tournament;
 
 pub use cache::{CacheOutcome, SharedCache, SharedPlanCache};
 pub use proto::{PlanRequest, ReplayRequest, Request, Response, PROTOCOL_VERSION};

@@ -432,9 +432,9 @@ impl Worker {
                 let key = key.unwrap_or_else(|| service::plan_request_key(&self.market, &req));
                 let recorder: &dyn Recorder = &*self.recorder;
                 let pool = self.pool.as_deref();
-                let (result, outcome) = self.cache.get_or_compute(key, || {
-                    service::plan_pooled(&self.market, &req, recorder, pool)
-                });
+                let (result, outcome) = self
+                    .cache
+                    .get_or_compute(key, || service::plan(&self.market, &req, recorder, pool));
                 cache_label = outcome.as_str();
                 if outcome != CacheOutcome::Miss {
                     emit(recorder, TraceLevel::Summary, || Event::CacheHit {

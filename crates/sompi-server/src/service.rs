@@ -20,10 +20,10 @@ use replay::exec::ExecContext;
 use replay::montecarlo::MonteCarlo;
 use replay::stats::Summary;
 use serde::{Deserialize, Serialize};
-use sompi_core::adaptive::{AdaptiveConfig, ViewFingerprint};
-use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotAvg, SpotInf, Strategy};
+use sompi_core::adaptive::{AdaptiveConfig, PlanContext, ViewFingerprint};
 use sompi_core::cost::evaluate_plan;
 use sompi_core::model::Plan;
+use sompi_core::policy::{policy_by_name, Policy};
 use sompi_core::pool::SearchPool;
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -132,24 +132,11 @@ pub fn optimizer_config(req: &PlanRequest) -> OptimizerConfig {
     }
 }
 
-/// Pick the planning strategy by name.
-pub fn strategy_from(
-    name: &str,
-    config: OptimizerConfig,
-) -> Result<Box<dyn Strategy>, ServiceError> {
-    Ok(match name.to_lowercase().as_str() {
-        "sompi" => Box::new(Sompi { config }),
-        "on-demand" | "ondemand" => Box::new(OnDemandOnly),
-        "marathe" => Box::new(Marathe),
-        "marathe-opt" => Box::new(MaratheOpt),
-        "spot-inf" => Box::new(SpotInf),
-        "spot-avg" => Box::new(SpotAvg),
-        other => {
-            return Err(ServiceError::InvalidArgument(format!(
-                "unknown strategy {other:?} (sompi, on-demand, marathe, marathe-opt, spot-inf, spot-avg)"
-            )))
-        }
-    })
+/// Pick the planning policy by name. Thin wrapper over the one policy
+/// registry in [`sompi_core::policy::policy_by_name`], so the server
+/// roster and the CLI/tournament roster can never drift apart.
+pub fn strategy_from(name: &str, config: OptimizerConfig) -> Result<Box<dyn Policy>, ServiceError> {
+    policy_by_name(name, config).map_err(|e| ServiceError::InvalidArgument(e.to_string()))
 }
 
 /// The market view a request plans against.
@@ -207,21 +194,13 @@ pub struct PlanReport {
 }
 
 /// Optimize one plan. This is the exact code path behind `sompi plan`:
-/// same view construction, same strategy dispatch, same model
+/// same view construction, same policy dispatch, same model
 /// evaluation — so server-served plans are bit-identical to CLI plans.
+/// Pass a resident [`SearchPool`] to dispatch any parallel search onto
+/// long-lived workers (the server threads one pool through every
+/// worker); `None` spawns per-search threads. Plans are bit-identical
+/// either way.
 pub fn plan(
-    market: &SpotMarket,
-    req: &PlanRequest,
-    recorder: &dyn Recorder,
-) -> Result<PlanReport, ServiceError> {
-    plan_pooled(market, req, recorder, None)
-}
-
-/// [`plan`], dispatching any parallel search onto a resident
-/// [`SearchPool`] so repeated requests skip the per-search thread-spawn
-/// tax. Plans are bit-identical to [`plan`]'s; the server threads one
-/// pool through every worker.
-pub fn plan_pooled(
     market: &SpotMarket,
     req: &PlanRequest,
     recorder: &dyn Recorder,
@@ -231,7 +210,13 @@ pub fn plan_pooled(
     let problem = build_problem(market, &app, req.deadline_factor)?;
     let view = view_for(market, req);
     let strategy = strategy_from(&req.strategy, optimizer_config(req))?;
-    let plan = strategy.plan_pooled(&problem, &view, recorder, pool);
+    let mut ctx = PlanContext::new().with_recorder(recorder);
+    if let Some(pool) = pool {
+        ctx = ctx.with_pool(pool);
+    }
+    let plan = strategy
+        .plan(&problem, &view, &mut ctx)
+        .map_err(|e| ServiceError::Plan(e.to_string()))?;
     let eval = evaluate_plan(&plan, &view)
         .map_err(|e| ServiceError::Plan(e.to_string()))?
         .ok_or_else(|| ServiceError::Plan("plan has an unlaunchable bid".into()))?;
@@ -379,7 +364,13 @@ pub fn replay(
 
     let view = view_for(market, p);
     let strategy = strategy_from(&p.strategy, optimizer_config(p))?;
-    let plan = strategy.plan_recorded(&problem, &view, recorder);
+    let plan = strategy
+        .plan(
+            &problem,
+            &view,
+            &mut PlanContext::new().with_recorder(recorder),
+        )
+        .map_err(|e| ServiceError::Plan(e.to_string()))?;
     let result = mc
         .run_plan(market, &plan, problem.deadline, &ctx)
         .map_err(|e| ServiceError::Plan(e.to_string()))?;
@@ -445,7 +436,9 @@ pub fn traced_replay(
         None => {
             let view = view_for(market, p);
             let strategy = strategy_from(&p.strategy, optimizer_config(p))?;
-            strategy.plan(&problem, &view)
+            strategy
+                .plan(&problem, &view, &mut PlanContext::new())
+                .map_err(|e| ServiceError::Plan(e.to_string()))?
         }
     };
     replay::PlanRunner::new(market, problem.deadline)
@@ -506,7 +499,7 @@ mod tests {
     fn plan_matches_direct_strategy_call_bit_for_bit() {
         let market = market(100.0);
         let req = small_request();
-        let report = plan(&market, &req, &NullRecorder).unwrap();
+        let report = plan(&market, &req, &NullRecorder, None).unwrap();
 
         // The long way round: build everything by hand, as `sompi plan`
         // used to, and require an identical plan and evaluation.
@@ -514,7 +507,9 @@ mod tests {
         let problem = build_problem(&market, &app, req.deadline_factor).unwrap();
         let view = MarketView::from_market(&market, 0.0, 48.0);
         let strategy = strategy_from("sompi", optimizer_config(&req)).unwrap();
-        let direct = strategy.plan(&problem, &view);
+        let direct = strategy
+            .plan(&problem, &view, &mut PlanContext::new())
+            .unwrap();
         assert_eq!(report.plan, direct);
         let eval = evaluate_plan(&direct, &view).unwrap().unwrap();
         assert_eq!(report.expected_cost, eval.expected_cost);

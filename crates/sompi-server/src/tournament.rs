@@ -1,0 +1,454 @@
+//! The policy arena: every [`Policy`](sompi_core::policy::Policy) in
+//! the roster planned and Monte-Carlo-executed over a grid of markets
+//! and fault plans, in one deterministic pass.
+//!
+//! The tournament is the head-to-head harness behind `sompi tournament`
+//! and the `tournament` bench binary. It answers the paper's core
+//! comparison question — how much money does SOMPI's combined
+//! checkpoint + replication + on-demand-fallback policy save over the
+//! single-mechanism strategies from the literature — on equal terms:
+//! every policy sees the same market view, the same Monte-Carlo replica
+//! offsets, and the same fault timeline.
+//!
+//! Determinism contract: the report (and its JSON form) is a pure
+//! function of [`TournamentConfig`]. Plans are bit-identical across
+//! optimizer thread counts (the search reduces deterministically) and
+//! Monte-Carlo replicas merge in chunk order, so running the same
+//! tournament at `--threads 1` and `--threads 8` yields byte-identical
+//! JSON. The CI determinism gate diffs exactly that.
+
+use crate::proto::PlanRequest;
+use crate::service::{
+    app_profile, build_problem, optimizer_config, strategy_from, view_for, ServiceError,
+};
+use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
+use ec2_market::instance::InstanceCatalog;
+use ec2_market::market::SpotMarket;
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use replay::exec::ExecContext;
+use replay::montecarlo::MonteCarlo;
+use serde::{Deserialize, Serialize};
+use sompi_core::adaptive::PlanContext;
+use sompi_core::cost::evaluate_plan;
+use sompi_core::pool::SearchPool;
+use sompi_obs::{emit, Event, Recorder, TraceLevel};
+use std::fmt::Write as _;
+
+/// The full tournament grid: which policies meet which markets under
+/// which fault plans, and the shared problem framing they compete on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentConfig {
+    /// Policy names, resolved through the one registry in
+    /// [`sompi_core::policy::policy_by_name`].
+    pub policies: Vec<String>,
+    /// Trace-generator seeds; each seed is one synthetic market case.
+    pub market_seeds: Vec<u64>,
+    /// Hours of market history generated per seed.
+    pub market_hours: f64,
+    /// Trace sampling step, hours (the CLI's `--step`).
+    pub market_step_hours: f64,
+    /// Problem framing and optimizer knobs shared by every policy.
+    /// The `strategy` field is ignored — the roster comes from
+    /// `policies`.
+    pub plan: PlanRequest,
+    /// Fault-injection specs (`FaultPlan::parse` grammar); `None` is
+    /// the fault-free case, labelled `"none"` in the report.
+    pub fault_specs: Vec<Option<String>>,
+    /// Seed for the fault-plan timeline.
+    pub fault_seed: u64,
+    /// Monte-Carlo replicas per cell.
+    pub replicas: u32,
+    /// Monte-Carlo offset seed.
+    pub mc_seed: u64,
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig {
+            policies: vec![
+                "ondemand".into(),
+                "no-ft".into(),
+                "ckpt-only".into(),
+                "app-centric".into(),
+                "deadline-hedge".into(),
+                "sompi".into(),
+            ],
+            market_seeds: vec![21],
+            market_hours: 200.0,
+            market_step_hours: 1.0 / 12.0,
+            plan: PlanRequest::default(),
+            fault_specs: vec![None],
+            fault_seed: 42,
+            replicas: 20,
+            mc_seed: 1,
+        }
+    }
+}
+
+/// One cell of the tournament grid: a policy's realized economics on
+/// one market × fault-plan combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentCell {
+    /// Policy display name.
+    pub policy: String,
+    /// Market case label (`paper-2014-s<seed>`).
+    pub market: String,
+    /// Fault-plan label (`"none"` or the injection spec).
+    pub faults: String,
+    /// Model-expected cost of the policy's plan, USD (`None` when the
+    /// plan is unlaunchable under the view, e.g. the all-unable
+    /// ablation).
+    pub expected_cost: Option<f64>,
+    /// Mean realized cost across replicas, USD.
+    pub mean_cost: f64,
+    /// Mean realized cost over the billed on-demand baseline.
+    pub normalized_cost: f64,
+    /// Fraction of replicas missing the deadline.
+    pub deadline_miss_rate: f64,
+    /// Fraction of replicas finished by a spot group.
+    pub spot_finish_rate: f64,
+    /// Mean out-of-bid kills per replica.
+    pub mean_failures: f64,
+    /// Mean wall hours over the baseline (fastest on-demand) time.
+    pub time_degradation: f64,
+}
+
+/// The tournament's answer: one [`TournamentCell`] per
+/// policy × market × fault-plan, in deterministic grid order
+/// (markets outermost, then policies, then fault plans).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentReport {
+    /// Application name (shared by every cell).
+    pub app: String,
+    /// Absolute deadline, hours.
+    pub deadline_hours: f64,
+    /// Billed on-demand baseline cost, USD (the normalization unit).
+    pub baseline_cost_billed: f64,
+    /// Monte-Carlo replicas per cell.
+    pub replicas: u32,
+    /// The grid, row-major.
+    pub cells: Vec<TournamentCell>,
+}
+
+impl TournamentReport {
+    /// Render the grid as a fixed-width table, one line per cell.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{} — deadline {:.2} h, baseline ${:.2} billed, {} replicas/cell",
+            self.app, self.deadline_hours, self.baseline_cost_billed, self.replicas
+        );
+        let _ = writeln!(
+            s,
+            "{:<15} {:<16} {:<22} {:>9} {:>9} {:>7} {:>6} {:>6} {:>6} {:>6}",
+            "policy",
+            "market",
+            "faults",
+            "E[cost]$",
+            "mean$",
+            "xbase",
+            "miss%",
+            "spot%",
+            "kills",
+            "xtime"
+        );
+        for c in &self.cells {
+            let expected = match c.expected_cost {
+                Some(v) => format!("{v:.2}"),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                s,
+                "{:<15} {:<16} {:<22} {:>9} {:>9.2} {:>7.3} {:>5.0}% {:>5.0}% {:>6.2} {:>6.2}",
+                c.policy,
+                c.market,
+                c.faults,
+                expected,
+                c.mean_cost,
+                c.normalized_cost,
+                c.deadline_miss_rate * 100.0,
+                c.spot_finish_rate * 100.0,
+                c.mean_failures,
+                c.time_degradation
+            );
+        }
+        // Name the cheapest deadline-meeting policy per market × fault
+        // combination — the headline the table exists to answer.
+        for (market, faults) in self.combinations() {
+            let winner = self
+                .cells
+                .iter()
+                .filter(|c| c.market == market && c.faults == faults)
+                .filter(|c| c.deadline_miss_rate <= 0.0)
+                .min_by(|a, b| a.mean_cost.total_cmp(&b.mean_cost));
+            let _ = match winner {
+                Some(w) => writeln!(
+                    s,
+                    "winner [{market} / {faults}]: {} at ${:.2} ({:.3}x baseline)",
+                    w.policy, w.mean_cost, w.normalized_cost
+                ),
+                None => writeln!(
+                    s,
+                    "winner [{market} / {faults}]: none met the deadline in every replica"
+                ),
+            };
+        }
+        s
+    }
+
+    /// Serialize the report as pretty JSON (byte-stable across runs and
+    /// thread counts — see the module docs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+
+    /// Distinct (market, faults) pairs in first-appearance order.
+    fn combinations(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for c in &self.cells {
+            let pair = (c.market.clone(), c.faults.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+}
+
+fn generate_market(seed: u64, hours: f64, step: f64) -> SpotMarket {
+    let catalog = InstanceCatalog::paper_2014();
+    let profile = MarketProfile::paper_2014(&catalog);
+    SpotMarket::generate(catalog, &TraceGenerator::new(profile, seed), hours, step)
+}
+
+/// Run the full grid. Planning narration goes to `recorder` (one
+/// [`Event::PolicyEvaluated`] per finished cell); `pool` dispatches
+/// every policy's parallel search onto resident workers so the whole
+/// sweep pays the thread-spawn tax zero times.
+pub fn run_tournament(
+    cfg: &TournamentConfig,
+    recorder: &dyn Recorder,
+    pool: Option<&SearchPool>,
+) -> Result<TournamentReport, ServiceError> {
+    if cfg.policies.is_empty() {
+        return Err(ServiceError::InvalidArgument(
+            "tournament needs at least one policy".into(),
+        ));
+    }
+    if cfg.market_seeds.is_empty() {
+        return Err(ServiceError::InvalidArgument(
+            "tournament needs at least one market seed".into(),
+        ));
+    }
+    if cfg.fault_specs.is_empty() {
+        return Err(ServiceError::InvalidArgument(
+            "tournament needs at least one fault case (use `none`)".into(),
+        ));
+    }
+    // Resolve the whole roster up front so an unknown name fails before
+    // any search runs.
+    let roster: Vec<_> = cfg
+        .policies
+        .iter()
+        .map(|name| strategy_from(name, optimizer_config(&cfg.plan)))
+        .collect::<Result<_, _>>()?;
+
+    let app = app_profile(
+        &cfg.plan.app,
+        &cfg.plan.class,
+        cfg.plan.procs,
+        cfg.plan.repeats,
+    )?;
+    let mut cells = Vec::new();
+    let mut meta: Option<(String, f64, f64)> = None;
+
+    for &seed in &cfg.market_seeds {
+        let market = generate_market(seed, cfg.market_hours, cfg.market_step_hours);
+        let market_label = format!("paper-2014-s{seed}");
+        let problem = build_problem(&market, &app, cfg.plan.deadline_factor)?;
+        let view = view_for(&market, &cfg.plan);
+        meta.get_or_insert_with(|| {
+            (
+                problem.app.clone(),
+                problem.deadline,
+                problem.baseline_cost_billed(),
+            )
+        });
+        // Shared replica offsets: every policy replays from the same
+        // start times, like the paper's fixed trace windows.
+        let history = cfg.plan.history_hours;
+        let margin = problem.baseline_time() * 4.0 + 4.0;
+        let max = (market.horizon() - margin).max(history + 1.0);
+        let mc = MonteCarlo::builder()
+            .replicas(cfg.replicas as usize)
+            .seed(cfg.mc_seed)
+            .offsets(history, max)
+            .build();
+
+        for policy in &roster {
+            let mut pctx = PlanContext::new().with_recorder(recorder);
+            if let Some(pool) = pool {
+                pctx = pctx.with_pool(pool);
+            }
+            let plan = policy
+                .plan(&problem, &view, &mut pctx)
+                .map_err(|e| ServiceError::Plan(format!("{}: {e}", policy.name())))?;
+            let expected = evaluate_plan(&plan, &view)
+                .map_err(|e| ServiceError::Plan(e.to_string()))?
+                .map(|e| e.expected_cost);
+
+            for spec in &cfg.fault_specs {
+                let injector = match spec {
+                    Some(s) => {
+                        let fp = FaultPlan::parse(s, cfg.fault_seed)
+                            .map_err(ServiceError::InvalidArgument)?;
+                        Some(FaultInjector::new(fp, market.horizon()))
+                    }
+                    None => None,
+                };
+                let mut ctx = ExecContext::new();
+                if let Some(inj) = &injector {
+                    ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
+                }
+                let result = mc
+                    .run_plan(&market, &plan, problem.deadline, &ctx)
+                    .map_err(|e| ServiceError::Plan(e.to_string()))?;
+                let cell = TournamentCell {
+                    policy: policy.name().to_string(),
+                    market: market_label.clone(),
+                    faults: spec.clone().unwrap_or_else(|| "none".into()),
+                    expected_cost: expected,
+                    mean_cost: result.cost.mean,
+                    normalized_cost: result.cost.mean / problem.baseline_cost_billed(),
+                    deadline_miss_rate: 1.0 - result.deadline_rate,
+                    spot_finish_rate: result.spot_finish_rate,
+                    mean_failures: result.mean_failures,
+                    time_degradation: result.time.mean / problem.baseline_time(),
+                };
+                emit(recorder, TraceLevel::Summary, || Event::PolicyEvaluated {
+                    policy: cell.policy.clone(),
+                    market: cell.market.clone(),
+                    faults: cell.faults.clone(),
+                    expected_cost: cell.expected_cost,
+                    mean_cost: cell.mean_cost,
+                    normalized_cost: cell.normalized_cost,
+                    deadline_miss_rate: cell.deadline_miss_rate,
+                    spot_finish_rate: cell.spot_finish_rate,
+                    mean_failures: cell.mean_failures,
+                    time_degradation: cell.time_degradation,
+                });
+                cells.push(cell);
+            }
+        }
+    }
+
+    let (app, deadline_hours, baseline_cost_billed) = meta.expect("at least one market ran");
+    Ok(TournamentReport {
+        app,
+        deadline_hours,
+        baseline_cost_billed,
+        replicas: cfg.replicas,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sompi_obs::{NullRecorder, RingRecorder};
+
+    fn small_config() -> TournamentConfig {
+        TournamentConfig {
+            market_hours: 150.0,
+            replicas: 4,
+            plan: PlanRequest {
+                repeats: 50,
+                kappa: 1,
+                bid_levels: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn grid_is_policies_by_markets_by_faults_in_order() {
+        let mut cfg = small_config();
+        cfg.policies = vec!["ondemand".into(), "no-ft".into()];
+        cfg.market_seeds = vec![21, 22];
+        cfg.fault_specs = vec![None, Some("storm=0.02x0.5".into())];
+        let report = run_tournament(&cfg, &NullRecorder, None).unwrap();
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        // Markets outermost, then policies, then faults.
+        let head: Vec<_> = report
+            .cells
+            .iter()
+            .map(|c| (c.market.as_str(), c.policy.as_str(), c.faults.as_str()))
+            .collect();
+        assert_eq!(head[0], ("paper-2014-s21", "On-demand", "none"));
+        assert_eq!(head[1], ("paper-2014-s21", "On-demand", "storm=0.02x0.5"));
+        assert_eq!(head[2], ("paper-2014-s21", "No-FT", "none"));
+        assert_eq!(head[4], ("paper-2014-s22", "On-demand", "none"));
+    }
+
+    #[test]
+    fn report_is_deterministic_across_runs_and_pools() {
+        let cfg = small_config();
+        let a = run_tournament(&cfg, &NullRecorder, None).unwrap();
+        let pool = SearchPool::new(2);
+        let b = run_tournament(&cfg, &NullRecorder, Some(&pool)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn on_demand_never_misses_and_never_fails() {
+        let mut cfg = small_config();
+        cfg.policies = vec!["ondemand".into()];
+        let report = run_tournament(&cfg, &NullRecorder, None).unwrap();
+        let cell = &report.cells[0];
+        assert_eq!(cell.deadline_miss_rate, 0.0);
+        assert_eq!(cell.mean_failures, 0.0);
+        assert_eq!(cell.spot_finish_rate, 0.0);
+    }
+
+    #[test]
+    fn every_cell_emits_a_policy_evaluated_event() {
+        let cfg = small_config();
+        let ring = RingRecorder::new(TraceLevel::Summary, 4096);
+        let report = run_tournament(&cfg, &ring, None).unwrap();
+        let evaluated = ring
+            .events()
+            .iter()
+            .filter(|e| e.kind() == "PolicyEvaluated")
+            .count();
+        assert_eq!(evaluated, report.cells.len());
+    }
+
+    #[test]
+    fn unknown_policy_fails_before_any_search() {
+        let mut cfg = small_config();
+        cfg.policies = vec!["sompi".into(), "magic".into()];
+        let Err(err) = run_tournament(&cfg, &NullRecorder, None) else {
+            panic!("unknown policy must fail the tournament");
+        };
+        assert!(err.to_string().contains("unknown strategy"), "{err}");
+    }
+
+    #[test]
+    fn render_names_a_winner_per_combination() {
+        let cfg = small_config();
+        let report = run_tournament(&cfg, &NullRecorder, None).unwrap();
+        let table = report.render();
+        assert!(table.contains("policy"), "{table}");
+        assert!(table.contains("winner [paper-2014-s21 / none]"), "{table}");
+    }
+
+    #[test]
+    fn empty_roster_is_invalid() {
+        let mut cfg = small_config();
+        cfg.policies.clear();
+        assert!(run_tournament(&cfg, &NullRecorder, None).is_err());
+    }
+}

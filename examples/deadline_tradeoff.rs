@@ -13,6 +13,7 @@ use ec2_market::tracegen::{MarketProfile, TraceGenerator};
 use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::PlanRunner;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -52,7 +53,9 @@ fn main() {
     for headroom in [0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
         let mut problem = base.clone();
         problem.deadline = base.baseline_time() * (1.0 + headroom);
-        let plan = sompi.plan(&problem, &view);
+        let plan = sompi
+            .plan(&problem, &view, &mut PlanContext::new())
+            .expect("plan succeeds");
         let runner = PlanRunner::new(&market, problem.deadline);
         let mut total = 0.0;
         let mut met = 0;

@@ -17,6 +17,7 @@ use mpi_sim::cluster::ClusterSpec;
 use mpi_sim::lammps::Lammps;
 use mpi_sim::storage::S3Store;
 use replay::PlanRunner;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -50,7 +51,9 @@ fn main() {
 
         let mut problem = Problem::build(&market, &app, f64::MAX, None, S3Store::paper_2014());
         problem.deadline = problem.baseline_time() * 1.5;
-        let plan = sompi.plan(&problem, &view);
+        let plan = sompi
+            .plan(&problem, &view, &mut PlanContext::new())
+            .expect("plan succeeds");
         let runner = PlanRunner::new(&market, problem.deadline);
         let mut total = 0.0;
         let n = 10;

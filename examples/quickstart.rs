@@ -19,6 +19,7 @@ use ec2_market::tracegen::{MarketProfile, TraceGenerator};
 use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::PlanRunner;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{OnDemandOnly, Sompi, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -56,7 +57,9 @@ fn main() {
     let sompi = Sompi {
         config: OptimizerConfig::default(),
     };
-    let plan = sompi.plan(&problem, &view);
+    let plan = sompi
+        .plan(&problem, &view, &mut PlanContext::new())
+        .expect("plan succeeds");
     println!(
         "\nSOMPI plan ({} circle groups):",
         plan.replication_degree()
@@ -76,7 +79,9 @@ fn main() {
 
     // 5. Replay against the realized market from a few start offsets.
     let runner = PlanRunner::new(&market, problem.deadline);
-    let od_plan = OnDemandOnly.plan(&problem, &view);
+    let od_plan = OnDemandOnly
+        .plan(&problem, &view, &mut PlanContext::new())
+        .expect("plan succeeds");
     println!("\nreplay (start offset -> SOMPI bill vs on-demand bill):");
     let mut sompi_total = 0.0;
     let mut od_total = 0.0;

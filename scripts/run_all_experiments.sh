@@ -15,6 +15,7 @@ BINS=(
   ablation_kernel
   ablation_replay_index
   ext_relaunch sensitivity_profiling
+  tournament
 )
 cargo build --release -p sompi-bench || exit 1
 for b in "${BINS[@]}"; do

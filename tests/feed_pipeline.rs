@@ -10,6 +10,7 @@ use ec2_market::zone::AvailabilityZone;
 use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::PlanRunner;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -71,7 +72,8 @@ fn imported_feed_supports_full_planning_pipeline() {
             ..Default::default()
         },
     }
-    .plan(&problem, &view);
+    .plan(&problem, &view, &mut PlanContext::new())
+    .unwrap();
     assert!(
         !plan.groups.is_empty(),
         "spot plan expected on a cheap market"
@@ -121,7 +123,8 @@ fn flat_zone_of_the_feed_is_preferred_by_the_optimizer() {
             ..Default::default()
         },
     }
-    .plan(&problem, &view);
+    .plan(&problem, &view, &mut PlanContext::new())
+    .unwrap();
     // With κ = 1 the single chosen group should be the spike-free 1b zone.
     assert_eq!(plan.groups.len(), 1);
     assert_eq!(plan.groups[0].0.id.zone, AvailabilityZone::UsEast1b);

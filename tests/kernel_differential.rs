@@ -14,11 +14,11 @@ use sompi_bench::{
     build_problem, lammps_workload, npb_workload, paper_market, planning_view, stress_market,
     PROCESSES, TIGHT,
 };
+use sompi_core::adaptive::PlanContext;
 use sompi_core::pool::SearchPool;
 use sompi_core::twolevel::{OptimizedPlan, OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::view::MarketView;
 use sompi_core::Problem;
-use sompi_obs::NullRecorder;
 
 /// The three study markets: the calibrated paper market, the drifting
 /// stress market, and the paper market under the LAMMPS profile (a
@@ -52,8 +52,12 @@ fn optimize(
     cfg: OptimizerConfig,
     pool: Option<&SearchPool>,
 ) -> OptimizedPlan {
+    let mut ctx = PlanContext::new();
+    if let Some(pool) = pool {
+        ctx = ctx.with_pool(pool);
+    }
     TwoLevelOptimizer::new(problem, view, cfg)
-        .optimize_warm_pooled(&NullRecorder, None, pool)
+        .optimize_with(&mut ctx)
         .expect("candidates are drawn from the view's market")
 }
 

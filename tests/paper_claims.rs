@@ -9,6 +9,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::profile::AppProfile;
 use mpi_sim::storage::S3Store;
 use replay::montecarlo::{McResult, MonteCarlo};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Marathe, MaratheOpt, OnDemandOnly, Sompi, SpotInf, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -53,7 +54,7 @@ fn run(m: &SpotMarket, kernel: NpbKernel, headroom: f64, s: &dyn Strategy) -> (M
     let mut p = Problem::build(m, &profile, f64::MAX, Some(&types), S3Store::paper_2014());
     p.deadline = p.baseline_time() * (1.0 + headroom);
     let view = MarketView::from_market(m, 0.0, 48.0);
-    let plan = s.plan(&p, &view);
+    let plan = s.plan(&p, &view, &mut PlanContext::new()).unwrap();
     let mc = MonteCarlo {
         replicas: 24,
         seed: 1,
@@ -147,7 +148,7 @@ fn cc2_dominates_communication_intensive_plans() {
     let mut p = Problem::build(&m, &profile, f64::MAX, Some(&types), S3Store::paper_2014());
     p.deadline = p.baseline_time() * 1.5;
     let view = MarketView::from_market(&m, 0.0, 48.0);
-    let plan = sompi().plan(&p, &view);
+    let plan = sompi().plan(&p, &view, &mut PlanContext::new()).unwrap();
     let cc2 = m.catalog().by_name("cc2.8xlarge").unwrap();
     assert!(
         plan.groups.iter().all(|(g, _)| g.id.instance_type == cc2),

@@ -8,6 +8,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::montecarlo::MonteCarlo;
 use replay::{Finisher, PlanRunner};
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{OnDemandOnly, Sompi, Strategy};
 use sompi_core::problem::Problem;
 use sompi_core::twolevel::OptimizerConfig;
@@ -55,8 +56,11 @@ fn sompi_beats_on_demand_in_replay() {
     let sompi_plan = Sompi {
         config: small_cfg(),
     }
-    .plan(&p, &view);
-    let od_plan = OnDemandOnly.plan(&p, &view);
+    .plan(&p, &view, &mut PlanContext::new())
+    .unwrap();
+    let od_plan = OnDemandOnly
+        .plan(&p, &view, &mut PlanContext::new())
+        .unwrap();
     let mc = MonteCarlo {
         replicas: 24,
         seed: 9,
@@ -88,7 +92,8 @@ fn replays_are_deterministic_end_to_end() {
     let plan = Sompi {
         config: small_cfg(),
     }
-    .plan(&p, &view);
+    .plan(&p, &view, &mut PlanContext::new())
+    .unwrap();
     let mc = MonteCarlo {
         replicas: 12,
         seed: 4,
@@ -116,7 +121,8 @@ fn every_replay_completes_the_application() {
     let plan = Sompi {
         config: small_cfg(),
     }
-    .plan(&p, &view);
+    .plan(&p, &view, &mut PlanContext::new())
+    .unwrap();
     let runner = PlanRunner::new(&m, p.deadline);
     for i in 0..24 {
         let out = runner
@@ -143,7 +149,8 @@ fn tight_deadline_plans_stay_feasible() {
     let plan = Sompi {
         config: small_cfg(),
     }
-    .plan(&tight, &view);
+    .plan(&tight, &view, &mut PlanContext::new())
+    .unwrap();
     // The paper's constraint is on the expectation: E[Time] <= Deadline.
     let eval = sompi_core::cost::evaluate_plan(&plan, &view)
         .expect("known groups")

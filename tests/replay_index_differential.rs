@@ -13,6 +13,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::{AdaptiveRunner, ExecContext, MonteCarlo, PlanRunner};
 use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::{Sompi, Strategy};
 use sompi_core::model::Plan;
 use sompi_core::problem::Problem;
@@ -49,7 +50,8 @@ fn plan_on(market: &SpotMarket, problem: &Problem) -> Plan {
             ..Default::default()
         },
     }
-    .plan(problem, &view)
+    .plan(problem, &view, &mut PlanContext::new())
+    .unwrap()
 }
 
 /// Planner output is unaffected by the index (planning reads history

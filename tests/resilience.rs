@@ -17,6 +17,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::{AdaptiveRunner, ExecContext, MonteCarlo, PlanRunner};
 use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::baselines::Strategy;
 use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use sompi_core::problem::Problem;
@@ -160,7 +161,8 @@ fn faulty_monte_carlo_matches_across_thread_counts() {
             ..Default::default()
         },
     }
-    .plan(&problem, &view);
+    .plan(&problem, &view, &mut PlanContext::new())
+    .unwrap();
     let inj = injector(&market, "storm=0.05x0.8,ckpt-fail=0.3", 17);
     let ctx = ExecContext::new()
         .with_faults(&inj)

@@ -91,8 +91,8 @@ fn concurrent_plans_are_bit_identical_to_the_in_process_path() {
 
     // The in-process ("CLI") answers, computed on an identical market.
     let local = market(42, 100.0);
-    let want_tight = service::plan(&local, &tight, &NullRecorder).expect("plan");
-    let want_relaxed = service::plan(&local, &relaxed, &NullRecorder).expect("plan");
+    let want_tight = service::plan(&local, &tight, &NullRecorder, None).expect("plan");
+    let want_relaxed = service::plan(&local, &relaxed, &NullRecorder, None).expect("plan");
     assert_ne!(want_tight.plan, want_relaxed.plan, "distinct problems");
 
     let (addr, cache, handle, join) = start(Arc::new(NullRecorder), ephemeral(4));

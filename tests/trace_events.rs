@@ -13,6 +13,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::storage::S3Store;
 use replay::{AdaptiveRunner, ExecContext, PlanRunner};
 use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::model::{CircleGroup, GroupDecision, OnDemandOption, Plan};
 use sompi_core::pool::SearchPool;
 use sompi_core::problem::Problem;
@@ -66,7 +67,7 @@ fn twolevel_search_emits_golden_sequence() {
     };
     let ring = RingRecorder::new(TraceLevel::Detail, 64);
     let out = TwoLevelOptimizer::new(&problem, &view, config)
-        .optimize_recorded(&ring)
+        .optimize_with(&mut PlanContext::new().with_recorder(&ring))
         .unwrap();
     let events = ring.take();
 
@@ -145,7 +146,7 @@ fn pooled_search_emits_pool_event_and_kernel_stats() {
     let pool = SearchPool::new(2);
     let ring = RingRecorder::new(TraceLevel::Summary, 64);
     let out = TwoLevelOptimizer::new(&problem, &view, config)
-        .optimize_warm_pooled(&ring, None, Some(&pool))
+        .optimize_with(&mut PlanContext::new().with_recorder(&ring).with_pool(&pool))
         .unwrap();
     let events = ring.take();
 
@@ -202,7 +203,7 @@ fn recorded_search_matches_unrecorded_search() {
         .optimize()
         .unwrap();
     let b = TwoLevelOptimizer::new(&problem, &view, config)
-        .optimize_recorded(&ring)
+        .optimize_with(&mut PlanContext::new().with_recorder(&ring))
         .unwrap();
     assert_eq!(a.plan, b.plan);
     assert_eq!(a.evaluation.expected_cost, b.evaluation.expected_cost);

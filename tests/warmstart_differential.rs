@@ -10,12 +10,12 @@
 
 use sompi_bench::{build_problem, npb_workload, stress_market, HISTORY_HOURS, TIGHT};
 use sompi_core::adaptive::AdaptiveConfig;
+use sompi_core::adaptive::PlanContext;
 use sompi_core::model::Plan;
 use sompi_core::twolevel::{OptimizerConfig, TwoLevelOptimizer};
 use sompi_core::view::MarketView;
 use sompi_core::warmstart::WarmStart;
 use sompi_core::Problem;
-use sompi_obs::NullRecorder;
 
 const WINDOWS: usize = 50;
 const STEP_HOURS: f64 = 2.0;
@@ -53,8 +53,12 @@ fn run_study(
     views
         .iter()
         .map(|view| {
+            let mut ctx = PlanContext::new();
+            if let Some(w) = warm.as_mut() {
+                ctx = ctx.with_warm(w);
+            }
             TwoLevelOptimizer::new(problem, view, cfg)
-                .optimize_warm(&NullRecorder, warm.as_mut())
+                .optimize_with(&mut ctx)
                 .expect("candidates are drawn from the view's market")
                 .plan
         })
@@ -118,7 +122,7 @@ fn warm_state_survives_a_full_study_and_stays_exact_when_resumed() {
         }
         got.push(
             TwoLevelOptimizer::new(&problem, view, cfg)
-                .optimize_warm(&NullRecorder, Some(&mut warm))
+                .optimize_with(&mut PlanContext::new().with_warm(&mut warm))
                 .expect("candidates are drawn from the view's market")
                 .plan,
         );

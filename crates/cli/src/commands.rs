@@ -96,6 +96,7 @@ pub(crate) fn replay_request_from(
         bucket_reuse: !args.flag("no-bucket-reuse"),
         faults: args.get("faults").map(str::to_string),
         fault_seed: args.u64_or("fault-seed", 42)?,
+        batch_replay: !args.flag("no-batch-replay"),
     })
 }
 
@@ -215,6 +216,7 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "window",
         "no-warmstart",
         "no-bucket-reuse",
+        "no-batch-replay",
     ]);
     args.check_known(&flags)?;
     if !args.flag("adaptive") && (args.flag("no-warmstart") || args.flag("no-bucket-reuse")) {
@@ -311,7 +313,14 @@ pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// fixed-plan replay request with a scaled deadline factor.
 pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut flags = PLAN_FLAGS.to_vec();
-    flags.extend(["replicas", "mc-seed", "from", "to", "points"]);
+    flags.extend([
+        "replicas",
+        "mc-seed",
+        "from",
+        "to",
+        "points",
+        "no-batch-replay",
+    ]);
     args.check_known(&flags)?;
     let market = market_from(args)?;
     let from = args.f64_or("from", 1.05)?;
@@ -352,10 +361,14 @@ pub fn cmd_tournament(args: &Args, out: &mut dyn Write) -> Result<(), CliError> 
         "fault-grid",
         "fault-seed",
         "smoke",
+        "no-batch-replay",
+        "no-replay-memo",
     ]);
     args.check_known(&flags)?;
     let mut cfg = TournamentConfig {
         plan: plan_request_from(args)?,
+        batch_replay: !args.flag("no-batch-replay"),
+        replay_memo: !args.flag("no-replay-memo"),
         ..Default::default()
     };
     if let Some(list) = args.get("policies") {

@@ -48,6 +48,12 @@ COMMON FLAGS:
                                (ablation; the optimum never changes)
     --no-trace-index           disable the sparse-table trace index used by
                                replay queries (ablation; answers never change)
+    --no-kernel-caps           force the scalar cost kernel instead of the
+                               auto-selected cap-memo/SoA kernels (ablation;
+                               plans never change)
+    --no-batch-replay          disable the batched scenario-major replay
+                               executor (ablation; outcomes are bit-identical,
+                               only replay wall-clock changes)
     --adaptive                 replay the windowed Algorithm-1 loop instead of
                                a single frozen plan (replay only)
     --window H                 adaptive re-optimization window T_m, hours
@@ -75,6 +81,9 @@ TOURNAMENT FLAGS (tournament):
                                is the fault-free case (default none)
     --smoke                    seconds-fast CI configuration (small problem,
                                3 replicas, 120 h market)
+    --no-replay-memo           disable cross-cell plan-fingerprint replay
+                               memoization (ablation; the report is
+                               byte-identical, only wall-clock changes)
 
 SERVER FLAGS (serve):
     --addr HOST:PORT           listen address (default 127.0.0.1:7077; port 0

@@ -331,10 +331,16 @@ impl FaultInjector {
 
     /// Earliest storm at or after `from` that reclaims `group`, if any.
     pub fn storm_kill_after(&self, group: CircleGroupId, from: Hours) -> Option<Hours> {
+        self.storm_kill_after_keyed(group_key(group), from)
+    }
+
+    /// [`FaultInjector::storm_kill_after`] with the group hash precomputed.
+    /// The batched executor caches [`group_key`] per (group, plan) so hot
+    /// replay loops skip the per-call string hash; draws are identical.
+    pub fn storm_kill_after_keyed(&self, key: u64, from: Hours) -> Option<Hours> {
         if self.plan.storm_group_prob <= 0.0 {
             return None;
         }
-        let key = group_key(group);
         self.storms
             .iter()
             .enumerate()
@@ -365,21 +371,28 @@ impl FaultInjector {
     /// Whether attempt `attempt` (1-based) of `group`'s checkpoint number
     /// `ordinal` fails to upload.
     pub fn ckpt_upload_fails(&self, group: CircleGroupId, ordinal: u32, attempt: u32) -> bool {
+        self.ckpt_upload_fails_keyed(group_key(group), ordinal, attempt)
+    }
+
+    /// [`FaultInjector::ckpt_upload_fails`] with the group hash precomputed
+    /// (see [`FaultInjector::storm_kill_after_keyed`]).
+    pub fn ckpt_upload_fails_keyed(&self, key: u64, ordinal: u32, attempt: u32) -> bool {
         self.plan.ckpt_fail_prob > 0.0
-            && self.draw(
-                TAG_CKPT_FAIL,
-                group_key(group),
-                ordinal as u64,
-                attempt as u64,
-            ) < self.plan.ckpt_fail_prob
+            && self.draw(TAG_CKPT_FAIL, key, ordinal as u64, attempt as u64)
+                < self.plan.ckpt_fail_prob
     }
 
     /// Extra upload hours if `group`'s checkpoint number `ordinal` hits a
     /// latency spike.
     pub fn ckpt_latency_spike(&self, group: CircleGroupId, ordinal: u32) -> Option<Hours> {
+        self.ckpt_latency_spike_keyed(group_key(group), ordinal)
+    }
+
+    /// [`FaultInjector::ckpt_latency_spike`] with the group hash precomputed
+    /// (see [`FaultInjector::storm_kill_after_keyed`]).
+    pub fn ckpt_latency_spike_keyed(&self, key: u64, ordinal: u32) -> Option<Hours> {
         if self.plan.ckpt_latency_prob > 0.0
-            && self.draw(TAG_CKPT_LATENCY, group_key(group), ordinal as u64, 0)
-                < self.plan.ckpt_latency_prob
+            && self.draw(TAG_CKPT_LATENCY, key, ordinal as u64, 0) < self.plan.ckpt_latency_prob
         {
             Some(self.plan.ckpt_latency_hours)
         } else {
@@ -428,6 +441,39 @@ mod tests {
         assert_eq!(inj.ckpt_latency_spike(g, 0), None);
         assert!(!inj.restore_corrupted_for(g, 0));
         assert!(!inj.feed_gap_at(0));
+    }
+
+    #[test]
+    fn keyed_variants_match_group_variants() {
+        let plan = FaultPlan::parse("storm=0.1x0.5,ckpt-fail=0.3,ckpt-latency=0.4:0.25", 7)
+            .expect("valid fault grammar");
+        let inj = FaultInjector::new(plan, 500.0);
+        for zone in [
+            AvailabilityZone::UsEast1a,
+            AvailabilityZone::UsEast1b,
+            AvailabilityZone::UsEast1c,
+        ] {
+            let g = gid(zone);
+            let key = group_key(g);
+            for from in [0.0, 13.7, 250.0] {
+                assert_eq!(
+                    inj.storm_kill_after(g, from),
+                    inj.storm_kill_after_keyed(key, from)
+                );
+            }
+            for ordinal in 0..16 {
+                for attempt in 1..4 {
+                    assert_eq!(
+                        inj.ckpt_upload_fails(g, ordinal, attempt),
+                        inj.ckpt_upload_fails_keyed(key, ordinal, attempt)
+                    );
+                }
+                assert_eq!(
+                    inj.ckpt_latency_spike(g, ordinal),
+                    inj.ckpt_latency_spike_keyed(key, ordinal)
+                );
+            }
+        }
     }
 
     #[test]

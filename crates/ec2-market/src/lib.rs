@@ -42,6 +42,7 @@
 
 pub mod billing;
 pub mod calibrate;
+pub mod death;
 pub mod failure;
 pub mod fault;
 pub mod feed;
@@ -55,6 +56,7 @@ pub mod zone;
 
 pub use billing::{BillingModel, BillingPolicy};
 pub use calibrate::{calibrate, Calibration};
+pub use death::{DeathTimeCache, DeathTimeTable};
 pub use failure::{ExpectedSpotPrice, FailureCounts, FailureEstimator, FailureRateFn};
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy, Storm};
 pub use feed::{parse_feed, resample, traces_by_group, PriceEvent};

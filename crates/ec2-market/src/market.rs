@@ -7,6 +7,7 @@
 //! keeps "what the optimizer believed" (a history window) and "what actually
 //! happened" (a later region of the same trace) cleanly separated.
 
+use crate::death::{DeathTimeCache, DeathTimeTable};
 use crate::failure::FailureEstimator;
 use crate::index::{TraceIndex, TraceQuery};
 use crate::instance::{InstanceCatalog, InstanceType, InstanceTypeId};
@@ -17,7 +18,7 @@ use crate::Hours;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Identity of a circle group's market: an instance type in a zone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -106,6 +107,12 @@ pub struct SpotMarket {
     /// the `--no-trace-index` ablation flag; results are bit-identical
     /// either way (enforced by the differential suite).
     index_enabled: bool,
+    /// Memoized per-(group, bid) death/launch time tables for the batched
+    /// replay path. Like the index slots this is derived state — built on
+    /// first use, shared read-only across Monte-Carlo workers and
+    /// tournament cells, never serialized, and dropped for a group when
+    /// its trace is replaced.
+    death_tables: DeathTimeCache<CircleGroupId>,
 }
 
 impl SpotMarket {
@@ -116,6 +123,7 @@ impl SpotMarket {
             traces: BTreeMap::new(),
             indexes: BTreeMap::new(),
             index_enabled: true,
+            death_tables: DeathTimeCache::new(),
         }
     }
 
@@ -149,6 +157,7 @@ impl SpotMarket {
     pub fn insert(&mut self, id: CircleGroupId, trace: SpotTrace) {
         self.traces.insert(id, trace);
         self.indexes.insert(id, OnceLock::new());
+        self.death_tables.invalidate(id);
     }
 
     /// Trace for a circle group.
@@ -170,6 +179,24 @@ impl SpotMarket {
             None
         };
         Some(TraceQuery::new(trace, index))
+    }
+
+    /// Memoized death/launch time table for `(id, bid)`, built on first use
+    /// and shared read-only afterwards. Returns `(table, freshly_built)`,
+    /// or `None` when the group has no trace or the trace is too long for
+    /// the table's `u32` indexes (callers fall back to [`SpotMarket::query`]).
+    pub fn death_table(
+        &self,
+        id: CircleGroupId,
+        bid: crate::Usd,
+    ) -> Option<(Arc<DeathTimeTable>, bool)> {
+        let trace = self.traces.get(&id)?;
+        self.death_tables.get_or_build(id, bid, trace)
+    }
+
+    /// Number of death/launch tables currently cached.
+    pub fn death_tables_cached(&self) -> usize {
+        self.death_tables.len()
     }
 
     /// Enable or disable indexed queries (the `--no-trace-index` ablation).
@@ -288,6 +315,7 @@ impl Deserialize for SpotMarket {
             traces,
             indexes,
             index_enabled: true,
+            death_tables: DeathTimeCache::new(),
         })
     }
 }
@@ -394,6 +422,35 @@ mod tests {
         for id in m.groups().collect::<Vec<_>>() {
             assert_eq!(back.trace(id), m.trace(id));
         }
+    }
+
+    #[test]
+    fn death_tables_match_queries_and_invalidate_on_insert() {
+        let mut m = paper_market();
+        let id = m.groups().next().unwrap();
+        let q = m.query(id).unwrap();
+        let bid = (q.min_price() + q.max_price()) / 2.0;
+        let (table, built) = m.death_table(id, bid).unwrap();
+        assert!(built);
+        for k in 0..25 {
+            let start = k as f64 * 3.1;
+            assert_eq!(
+                table.first_passage_above(start),
+                q.first_passage_above(start, bid)
+            );
+            assert_eq!(
+                table.launch_time(start, start + 40.0),
+                q.launch_time(start, bid, start + 40.0)
+            );
+        }
+        let (again, rebuilt) = m.death_table(id, bid).unwrap();
+        assert!(!rebuilt);
+        assert!(std::sync::Arc::ptr_eq(&table, &again));
+        assert_eq!(m.death_tables_cached(), 1);
+        // Replacing the trace drops the stale table.
+        let fresh = m.trace(id).unwrap().clone();
+        m.insert(id, fresh);
+        assert_eq!(m.death_tables_cached(), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //!   checkpoint reads corrupt and recovery falls back one checkpoint
 //!   interval (`WindowOutcome::ckpt_step_fraction`).
 
+use crate::batch::BatchTables;
 use crate::{Hours, Usd};
 use ec2_market::billing::{BillingModel, Termination};
 use ec2_market::fault::{FaultInjector, RetryPolicy};
@@ -49,9 +50,26 @@ use sompi_core::error::SompiError;
 use sompi_core::model::{CircleGroup, GroupDecision, Plan};
 use sompi_obs::{emit, Event, NullRecorder, Recorder, TraceLevel};
 
+/// How Monte-Carlo replay resolves launch/death crossings — the PR-10
+/// ablation toggle, mirroring the PR-8 `KernelMode`.
+///
+/// Both modes produce bit-identical [`RunOutcome`]s (enforced by the
+/// `mc_batch_differential` suite); `Batched` is the faster default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Per-replica scalar trace walks (the pre-batching executor).
+    Scalar,
+    /// Scenario-major execution: [`MonteCarlo::run_plan`](crate::MonteCarlo::run_plan)
+    /// precomputes one shared [`BatchTables`] per (plan, market) and every
+    /// replica resolves crossings with O(1) table reads.
+    #[default]
+    Batched,
+}
+
 /// Everything an executor call may consult besides the plan and the
-/// market: the trace recorder, an optional fault injector, and the retry
-/// policy for faulted checkpoint I/O and relaunches.
+/// market: the trace recorder, an optional fault injector, the retry
+/// policy for faulted checkpoint I/O and relaunches, and the batched
+/// replay state.
 /// [`ExecContext::default`] is all no-ops — replays under it are
 /// bit-identical to the pre-resilience executor.
 #[derive(Clone, Copy)]
@@ -63,6 +81,14 @@ pub struct ExecContext<'a> {
     /// Retry/backoff policy for faulted operations (checkpoint uploads,
     /// relaunch pacing). The default [`RetryPolicy::none`] never waits.
     pub retry: RetryPolicy,
+    /// Requested execution mode. Only [`MonteCarlo::run_plan`](crate::MonteCarlo::run_plan)
+    /// consults this (to decide whether to warm [`BatchTables`]); the
+    /// executors themselves key off `batch` being present.
+    pub mode: ExecMode,
+    /// Precomputed death-time tables for the plan being replayed. `None`
+    /// replays through scalar trace queries; the answers are bit-identical
+    /// either way.
+    pub batch: Option<&'a BatchTables>,
 }
 
 impl Default for ExecContext<'_> {
@@ -71,6 +97,8 @@ impl Default for ExecContext<'_> {
             recorder: &NullRecorder,
             faults: None,
             retry: RetryPolicy::none(),
+            mode: ExecMode::default(),
+            batch: None,
         }
     }
 }
@@ -96,6 +124,19 @@ impl<'a> ExecContext<'a> {
     /// Retry faulted operations under `retry`.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Select the execution mode (the `--no-batch-replay` ablation sets
+    /// [`ExecMode::Scalar`]).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replay against precomputed batch tables.
+    pub fn with_batch(mut self, batch: &'a BatchTables) -> Self {
+        self.batch = Some(batch);
         self
     }
 }
@@ -354,7 +395,7 @@ impl<'a> PlanRunner<'a> {
 
         // Phase 1: per-group lifecycle ignoring the winner rule.
         let mut runs: Vec<GroupRun> = Vec::with_capacity(plan.groups.len());
-        for (group, decision) in &plan.groups {
+        for (i, (group, decision)) in plan.groups.iter().enumerate() {
             let query = self
                 .market
                 .query(group.id)
@@ -362,14 +403,21 @@ impl<'a> PlanRunner<'a> {
                     group: group.id.to_string(),
                 })?;
             let trace = query.trace();
+            // Batched replay: the shared death-time table for this
+            // (group, bid), when the context carries one. Every lookup
+            // below is bit-identical to the scalar query — the table is
+            // the same arithmetic with the trace scan hoisted out.
+            let entry = ctx.batch.and_then(|b| b.entry(i, group.id, decision.bid));
 
             // Launch: wait until the price is at or below the bid —
             // unless the group was carried over already running. The query
             // walks the trace index (O(log n)) when indexing is enabled,
             // and the boundary-search fallback otherwise; both return the
-            // same launch times bit for bit.
+            // same launch times bit for bit. A batch table answers in O(1).
             let launch = if carried {
                 Some(start)
+            } else if let Some(e) = entry {
+                e.table.launch_time(start, cutoff)
             } else {
                 query.launch_time(start, decision.bid, cutoff)
             };
@@ -390,12 +438,17 @@ impl<'a> PlanRunner<'a> {
 
             // Death: first passage above the bid after launch — or an
             // injected kill storm, whichever reclaims the group first.
-            let price_death = query
-                .first_passage_above(launch_t, decision.bid)
-                .unwrap_or(f64::INFINITY);
+            let price_death = match entry {
+                Some(e) => e.table.first_passage_above(launch_t),
+                None => query.first_passage_above(launch_t, decision.bid),
+            }
+            .unwrap_or(f64::INFINITY);
             let storm_death = ctx
                 .faults
-                .and_then(|f| f.storm_kill_after(group.id, launch_t))
+                .and_then(|f| match entry {
+                    Some(e) => f.storm_kill_after_keyed(e.gkey, launch_t),
+                    None => f.storm_kill_after(group.id, launch_t),
+                })
                 .unwrap_or(f64::INFINITY);
             let storm_killed = storm_death < price_death;
             let death = price_death.min(storm_death);
@@ -413,6 +466,7 @@ impl<'a> PlanRunner<'a> {
                     launch_t,
                     death,
                     cutoff,
+                    entry.map(|e| e.gkey),
                 )
             } else {
                 closed_form_group(group, decision, fraction, launch_t, death, cutoff)
@@ -656,6 +710,7 @@ fn walk_group(
     launch_t: Hours,
     death: Hours,
     cutoff: Hours,
+    gkey: Option<u64>,
 ) -> GroupRun {
     let exec = group.exec_hours * fraction;
     let interval = decision.ckpt_interval.min(group.exec_hours);
@@ -664,7 +719,10 @@ fn walk_group(
     let stop = death.min(cutoff);
     let user_stop = cutoff < death;
     let gid = group.id.to_string();
-    let gkey = ec2_market::fault::group_key(group.id);
+    // The fault-draw key: cached in the batch entry (computed once per
+    // plan), or derived here on the scalar path — the same hash either
+    // way, so every draw below is identical across modes.
+    let gkey = gkey.unwrap_or_else(|| ec2_market::fault::group_key(group.id));
 
     let mut t = launch_t;
     let mut done: Hours = 0.0; // productive hours completed
@@ -691,7 +749,7 @@ fn walk_group(
         let slot = ordinal + 1;
         let mut banked = true;
         for attempt in 1..=retry.max_attempts.max(1) {
-            if injector.ckpt_upload_fails(group.id, slot, attempt) {
+            if injector.ckpt_upload_fails_keyed(gkey, slot, attempt) {
                 events.push((
                     stop,
                     Event::FaultInjected {
@@ -799,7 +857,7 @@ fn walk_group(
 
         // A full interval completed: take checkpoint `ordinal`.
         ordinal += 1;
-        let latency = injector.ckpt_latency_spike(group.id, ordinal);
+        let latency = injector.ckpt_latency_spike_keyed(gkey, ordinal);
         let mut interrupted = false;
         for attempt in 1..=retry.max_attempts.max(1) {
             let mut upload = o;
@@ -824,7 +882,7 @@ fn walk_group(
                 break;
             }
             t = finish;
-            if !injector.ckpt_upload_fails(group.id, ordinal, attempt) {
+            if !injector.ckpt_upload_fails_keyed(gkey, ordinal, attempt) {
                 saved = done;
                 ckpts += 1;
                 ckpt_at = t;

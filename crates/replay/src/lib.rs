@@ -52,6 +52,7 @@
 //! ```
 
 pub mod adaptive_exec;
+pub mod batch;
 pub mod exec;
 pub mod montecarlo;
 pub mod relaunch;
@@ -59,7 +60,8 @@ pub mod stats;
 pub mod timeline;
 
 pub use adaptive_exec::{AdaptiveOutcome, AdaptiveRunner};
-pub use exec::{ExecContext, Finisher, PlanRunner, RunOutcome, WindowOutcome};
+pub use batch::{BatchEntry, BatchTables};
+pub use exec::{ExecContext, ExecMode, Finisher, PlanRunner, RunOutcome, WindowOutcome};
 pub use montecarlo::{McResult, MonteCarlo, MonteCarloBuilder};
 pub use relaunch::{run_persistent, RelaunchOutcome};
 pub use stats::Summary;

@@ -13,7 +13,8 @@
 //! (never on the thread count), which keeps the merged result bit-identical
 //! at any `threads` setting.
 
-use crate::exec::{ExecContext, Finisher, PlanRunner, RunOutcome};
+use crate::batch::BatchTables;
+use crate::exec::{ExecContext, ExecMode, Finisher, PlanRunner, RunOutcome};
 use crate::stats::{StreamingSummary, Summary};
 use crate::Hours;
 use ec2_market::market::SpotMarket;
@@ -22,6 +23,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sompi_core::error::SompiError;
 use sompi_core::model::Plan;
+use sompi_obs::{emit, Event, TraceLevel};
 
 /// Aggregated Monte-Carlo result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -314,6 +316,13 @@ impl MonteCarlo {
     /// replica (the fault timeline is a property of the trace clock, so
     /// replicas starting at different offsets see different storm
     /// alignments — exactly like real correlated outages).
+    ///
+    /// Under [`ExecMode::Batched`] (the default) the plan's death-time
+    /// tables are warmed once here — built on the market's shared cache or
+    /// reused from it — and every replica on every worker thread replays
+    /// against them; under [`ExecMode::Scalar`] (the `--no-batch-replay`
+    /// ablation) each replica walks the trace queries as before. Results
+    /// are bit-identical either way.
     pub fn run_plan(
         &self,
         market: &SpotMarket,
@@ -322,7 +331,24 @@ impl MonteCarlo {
         ctx: &ExecContext<'_>,
     ) -> Result<McResult, SompiError> {
         let runner = PlanRunner::new(market, deadline);
-        self.evaluate(|start| runner.run(plan, start, ctx))
+        if ctx.mode == ExecMode::Batched {
+            if ctx.batch.is_some() {
+                // Caller-built tables (the tournament warms and announces
+                // them itself so the trace stays single-threaded).
+                return self.evaluate(|start| runner.run(plan, start, ctx));
+            }
+            let batch = BatchTables::for_plan(market, plan)?;
+            emit(ctx.recorder, TraceLevel::Summary, || Event::ReplayBatched {
+                groups: batch.len() as u32,
+                replicas: self.replicas as u64,
+                tables_built: batch.tables_built,
+                tables_reused: batch.tables_reused,
+            });
+            let bctx = ctx.with_batch(&batch);
+            self.evaluate(|start| runner.run(plan, start, &bctx))
+        } else {
+            self.evaluate(|start| runner.run(plan, start, ctx))
+        }
     }
 }
 

@@ -366,6 +366,29 @@ pub enum KernelMode {
     CapsSoa,
 }
 
+impl KernelMode {
+    /// Per-subset crossover for `EXPERIMENTS.md`'s kernel ablation: the
+    /// SoA copies only pay off once the `2^k` mask loop dominates the
+    /// `O(k)` `prepare` copy, which BENCH_kernel.json places at `k ≈ 12`.
+    /// Below that, [`KernelMode::CapsMemo`] reads the scalars through the
+    /// assessment refs and wins. Results are bit-identical either way —
+    /// this only picks the faster of the two memoized kernels.
+    pub const AUTO_SOA_MIN_GROUPS: usize = 13;
+
+    /// The faster memoized kernel for a `k`-group subset:
+    /// [`KernelMode::CapsMemo`] for `k < `[`Self::AUTO_SOA_MIN_GROUPS`],
+    /// [`KernelMode::CapsSoa`] at or above. Never returns
+    /// [`KernelMode::Scalar`] — that is the `--no-kernel-caps` ablation
+    /// baseline, not a performance point.
+    pub fn auto_for(group_count: usize) -> Self {
+        if group_count < Self::AUTO_SOA_MIN_GROUPS {
+            KernelMode::CapsMemo
+        } else {
+            KernelMode::CapsSoa
+        }
+    }
+}
+
 /// Reusable workspace for [`evaluate_with_scratch`]: the candidate
 /// wall/ratio value collection used by the all-fail branch, plus — in the
 /// memoized [`KernelMode`]s — the per-candidate SoA scalar arrays and the
@@ -427,6 +450,14 @@ impl EvalScratch {
     /// The kernel this workspace runs.
     pub fn mode(&self) -> KernelMode {
         self.mode
+    }
+
+    /// Repin the workspace to `mode`. The memo buffers are sized per
+    /// candidate inside `prepare`, so switching kernels between
+    /// evaluations is free — the search loop uses this to pick
+    /// [`KernelMode::auto_for`] each subset size.
+    pub fn set_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
     }
 
     /// Fill the memo tables for one candidate. `caps` is computed by
@@ -892,6 +923,24 @@ mod tests {
     use ec2_market::instance::InstanceTypeId;
     use ec2_market::market::CircleGroupId;
     use ec2_market::zone::AvailabilityZone;
+
+    #[test]
+    fn auto_kernel_crosses_over_at_the_soa_threshold() {
+        for k in 0..KernelMode::AUTO_SOA_MIN_GROUPS {
+            assert_eq!(KernelMode::auto_for(k), KernelMode::CapsMemo, "k={k}");
+        }
+        for k in KernelMode::AUTO_SOA_MIN_GROUPS..KernelMode::AUTO_SOA_MIN_GROUPS + 8 {
+            assert_eq!(KernelMode::auto_for(k), KernelMode::CapsSoa, "k={k}");
+        }
+    }
+
+    #[test]
+    fn set_mode_repins_a_scratch_between_evaluations() {
+        let mut scratch = EvalScratch::with_mode(KernelMode::Scalar);
+        assert_eq!(scratch.mode(), KernelMode::Scalar);
+        scratch.set_mode(KernelMode::CapsMemo);
+        assert_eq!(scratch.mode(), KernelMode::CapsMemo);
+    }
 
     fn group(t: Hours) -> CircleGroup {
         CircleGroup {

@@ -1110,6 +1110,7 @@ impl<'a> TwoLevelOptimizer<'a> {
         } else {
             KernelMode::Scalar
         });
+        let auto_kernel = self.config.kernel_caps;
         // Branch-and-bound scratch, reused across subsets: per-slot
         // `(lower bound, original option index)` pairs rank-sorted
         // ascending, slot cardinalities, mixed-radix step weights, and
@@ -1130,6 +1131,13 @@ impl<'a> TwoLevelOptimizer<'a> {
                 continue;
             }
             subsets_walked += 1;
+            if auto_kernel {
+                // Pick the faster memoized kernel for this subset size
+                // (CapsMemo below the SoA crossover, CapsSoa at or above
+                // — BENCH_kernel.json, DESIGN.md §14). Bit-identical
+                // results either way; `--no-kernel-caps` pins Scalar.
+                scratch.set_mode(KernelMode::auto_for(chosen.len()));
+            }
             let product: u64 = chosen
                 .iter()
                 .map(|&g| options[g].len() as u64)

@@ -420,6 +420,38 @@ pub enum Event {
         /// Times the adaptive loop changed plan (adaptive runs only).
         plan_changes: Option<u32>,
     },
+    /// Monte-Carlo replay warmed the batched scenario-major path: the
+    /// plan's per-(group, bid) death-time tables were fetched from the
+    /// market's shared cache (or built on first touch) before any replica
+    /// ran. Emitted once per `MonteCarlo::run_plan` call under the
+    /// batched execution mode; absent under `--no-batch-replay`.
+    ReplayBatched {
+        /// Plan groups covered by batch tables.
+        groups: u32,
+        /// Replicas about to replay against them.
+        replicas: u64,
+        /// Tables built fresh for this call.
+        tables_built: u32,
+        /// Tables served from the market's shared cache (warmed by an
+        /// earlier replay of the same (group, bid) on this market).
+        tables_reused: u32,
+    },
+    /// A tournament cell reused another cell's Monte-Carlo result: its
+    /// policy produced a byte-identical plan under the same
+    /// (market, fault plan), so the replay was served from the
+    /// plan-fingerprint memo instead of re-running. Absent under
+    /// `--no-replay-memo`.
+    ReplayMemoHit {
+        /// Policy display name of the cell served from the memo.
+        policy: String,
+        /// Market case label (e.g. `"paper-2014-s21"`).
+        market: String,
+        /// Fault-plan label (`"none"` or the injection spec).
+        faults: String,
+        /// FNV-1a digest of the plan's serialized form — cells sharing a
+        /// fingerprint shared one replay.
+        fingerprint: u64,
+    },
     /// One tournament cell finished: a policy was planned and
     /// Monte-Carlo-executed against one market × fault-plan combination.
     PolicyEvaluated {
@@ -470,6 +502,8 @@ impl Event {
             Event::RequestShed { .. } => "RequestShed",
             Event::CacheHit { .. } => "CacheHit",
             Event::RunCompleted { .. } => "RunCompleted",
+            Event::ReplayBatched { .. } => "ReplayBatched",
+            Event::ReplayMemoHit { .. } => "ReplayMemoHit",
             Event::PolicyEvaluated { .. } => "PolicyEvaluated",
         }
     }
@@ -621,6 +655,18 @@ mod tests {
                 groups_failed: 1,
                 windows: None,
                 plan_changes: Some(2),
+            },
+            Event::ReplayBatched {
+                groups: 2,
+                replicas: 200,
+                tables_built: 2,
+                tables_reused: 0,
+            },
+            Event::ReplayMemoHit {
+                policy: "Ckpt-Only".to_string(),
+                market: "paper-2014-s21".to_string(),
+                faults: "none".to_string(),
+                fingerprint: 0x9e37_79b9_u64,
             },
             Event::PolicyEvaluated {
                 policy: "No-FT".to_string(),

@@ -439,8 +439,12 @@ impl RunReport {
                     });
                 }
                 // Tournament cells are their own report (the rendered
-                // table); the trace summary only counts them.
-                Event::PolicyEvaluated { .. } => {}
+                // table); the trace summary only counts them — likewise
+                // the batched-replay and replay-memo accounting events,
+                // whose totals live in the tournament report.
+                Event::PolicyEvaluated { .. }
+                | Event::ReplayBatched { .. }
+                | Event::ReplayMemoHit { .. } => {}
             }
         }
         report

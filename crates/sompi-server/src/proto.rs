@@ -244,6 +244,11 @@ pub struct ReplayRequest {
     /// Fault-injection seed.
     #[serde(default = "d_fault_seed")]
     pub fault_seed: u64,
+    /// Replay through the batched scenario-major executor (fixed-plan
+    /// replays only; the adaptive runner is always scalar). `false` is
+    /// the `--no-batch-replay` ablation; results are bit-identical.
+    #[serde(default = "d_true")]
+    pub batch_replay: bool,
 }
 
 impl Default for ReplayRequest {
@@ -258,6 +263,7 @@ impl Default for ReplayRequest {
             bucket_reuse: true,
             faults: None,
             fault_seed: d_fault_seed(),
+            batch_replay: true,
         }
     }
 }

@@ -16,7 +16,7 @@ use mpi_sim::npb::{NpbClass, NpbKernel};
 use mpi_sim::profile::AppProfile;
 use mpi_sim::storage::S3Store;
 use replay::adaptive_exec::AdaptiveRunner;
-use replay::exec::ExecContext;
+use replay::exec::{ExecContext, ExecMode};
 use replay::montecarlo::MonteCarlo;
 use replay::stats::Summary;
 use serde::{Deserialize, Serialize};
@@ -313,7 +313,14 @@ pub fn replay(
     let app = app_profile(&p.app, &p.class, p.procs, p.repeats)?;
     let problem = build_problem(market, &app, p.deadline_factor)?;
     let injector = injector_from(market, req)?;
-    let mut ctx = ExecContext::new();
+    // The batched scenario-major executor only accelerates fixed-plan
+    // replays: `MonteCarlo::run_plan` checks the mode. The adaptive
+    // runner below drives `run_window` directly and stays scalar.
+    let mut ctx = ExecContext::new().with_mode(if req.batch_replay {
+        ExecMode::Batched
+    } else {
+        ExecMode::Scalar
+    });
     if let Some(inj) = &injector {
         // Faulted checkpoint I/O retries under the standard policy.
         ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
@@ -441,9 +448,19 @@ pub fn traced_replay(
                 .map_err(|e| ServiceError::Plan(e.to_string()))?
         }
     };
-    replay::PlanRunner::new(market, problem.deadline)
-        .run(&plan, start, &ctx)
-        .map_err(|e| ServiceError::Plan(e.to_string()))?;
+    let runner = replay::PlanRunner::new(market, problem.deadline);
+    if req.batch_replay {
+        let batch = replay::BatchTables::for_plan(market, &plan)
+            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+        let ctx = ctx.with_mode(ExecMode::Batched).with_batch(&batch);
+        runner
+            .run(&plan, start, &ctx)
+            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+    } else {
+        runner
+            .run(&plan, start, &ctx)
+            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+    }
     Ok(())
 }
 

@@ -25,13 +25,16 @@ use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
 use ec2_market::instance::InstanceCatalog;
 use ec2_market::market::SpotMarket;
 use ec2_market::tracegen::{MarketProfile, TraceGenerator};
-use replay::exec::ExecContext;
-use replay::montecarlo::MonteCarlo;
+use replay::batch::BatchTables;
+use replay::exec::{ExecContext, ExecMode};
+use replay::montecarlo::{McResult, MonteCarlo};
 use serde::{Deserialize, Serialize};
 use sompi_core::adaptive::PlanContext;
 use sompi_core::cost::evaluate_plan;
+use sompi_core::model::Plan;
 use sompi_core::pool::SearchPool;
 use sompi_obs::{emit, Event, Recorder, TraceLevel};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// The full tournament grid: which policies meet which markets under
@@ -60,6 +63,22 @@ pub struct TournamentConfig {
     pub replicas: u32,
     /// Monte-Carlo offset seed.
     pub mc_seed: u64,
+    /// Replay through the batched scenario-major executor (the default);
+    /// `false` is the `--no-batch-replay` ablation. Cells are
+    /// bit-identical either way.
+    #[serde(default = "default_true")]
+    pub batch_replay: bool,
+    /// Share one Monte-Carlo result across cells whose policies produced
+    /// byte-identical plans under the same (market, fault plan), and skip
+    /// repeated plan searches for duplicate roster entries (the default);
+    /// `false` is the `--no-replay-memo` ablation. Cells are bit-identical
+    /// either way — the memo only reuses what a re-run would reproduce.
+    #[serde(default = "default_true")]
+    pub replay_memo: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for TournamentConfig {
@@ -81,6 +100,8 @@ impl Default for TournamentConfig {
             fault_seed: 42,
             replicas: 20,
             mc_seed: 1,
+            batch_replay: true,
+            replay_memo: true,
         }
     }
 }
@@ -126,6 +147,14 @@ pub struct TournamentReport {
     pub baseline_cost_billed: f64,
     /// Monte-Carlo replicas per cell.
     pub replicas: u32,
+    /// Cells served from the plan-fingerprint replay memo (0 when the
+    /// memo is disabled). Defaults for reports written before PR 10.
+    #[serde(default)]
+    pub replay_memo_hits: u64,
+    /// Cells that ran a fresh Monte-Carlo replay and seeded the memo
+    /// (0 when the memo is disabled).
+    #[serde(default)]
+    pub replay_memo_misses: u64,
     /// The grid, row-major.
     pub cells: Vec<TournamentCell>,
 }
@@ -262,6 +291,13 @@ pub fn run_tournament(
     )?;
     let mut cells = Vec::new();
     let mut meta: Option<(String, f64, f64)> = None;
+    let mut replay_memo_hits = 0u64;
+    let mut replay_memo_misses = 0u64;
+    let exec_mode = if cfg.batch_replay {
+        ExecMode::Batched
+    } else {
+        ExecMode::Scalar
+    };
 
     for &seed in &cfg.market_seeds {
         let market = generate_market(seed, cfg.market_hours, cfg.market_step_hours);
@@ -286,19 +322,48 @@ pub fn run_tournament(
             .offsets(history, max)
             .build();
 
-        for policy in &roster {
-            let mut pctx = PlanContext::new().with_recorder(recorder);
-            if let Some(pool) = pool {
-                pctx = pctx.with_pool(pool);
-            }
-            let plan = policy
-                .plan(&problem, &view, &mut pctx)
-                .map_err(|e| ServiceError::Plan(format!("{}: {e}", policy.name())))?;
-            let expected = evaluate_plan(&plan, &view)
-                .map_err(|e| ServiceError::Plan(e.to_string()))?
-                .map(|e| e.expected_cost);
+        // Per-market memo tables. Plans: duplicate roster entries (same
+        // policy name ⇒ same deterministic search) share one search.
+        // Replays: cells whose policies produced byte-identical plans
+        // under the same fault case share one Monte-Carlo result — the
+        // memo key is the plan's full serialized form, so only literal
+        // plan equality ever collapses cells.
+        let mut plan_memo: HashMap<String, (Plan, Option<f64>)> = HashMap::new();
+        let mut replay_memo: HashMap<(String, usize), McResult> = HashMap::new();
 
-            for spec in &cfg.fault_specs {
+        for policy in &roster {
+            let policy_name = policy.name().to_string();
+            let memoized_plan = if cfg.replay_memo {
+                plan_memo.get(&policy_name).cloned()
+            } else {
+                None
+            };
+            let (plan, expected) = match memoized_plan {
+                Some(hit) => hit,
+                None => {
+                    let mut pctx = PlanContext::new().with_recorder(recorder);
+                    if let Some(pool) = pool {
+                        pctx = pctx.with_pool(pool);
+                    }
+                    let plan = policy
+                        .plan(&problem, &view, &mut pctx)
+                        .map_err(|e| ServiceError::Plan(format!("{}: {e}", policy.name())))?;
+                    let expected = evaluate_plan(&plan, &view)
+                        .map_err(|e| ServiceError::Plan(e.to_string()))?
+                        .map(|e| e.expected_cost);
+                    if cfg.replay_memo {
+                        plan_memo.insert(policy_name.clone(), (plan.clone(), expected));
+                    }
+                    (plan, expected)
+                }
+            };
+            let plan_bytes = if cfg.replay_memo {
+                Some(serde_json::to_string(&plan).expect("plans are serializable"))
+            } else {
+                None
+            };
+
+            for (spec_idx, spec) in cfg.fault_specs.iter().enumerate() {
                 let injector = match spec {
                     Some(s) => {
                         let fp = FaultPlan::parse(s, cfg.fault_seed)
@@ -307,17 +372,57 @@ pub fn run_tournament(
                     }
                     None => None,
                 };
-                let mut ctx = ExecContext::new();
+                let mut ctx = ExecContext::new().with_mode(exec_mode);
                 if let Some(inj) = &injector {
                     ctx = ctx.with_faults(inj).with_retry(RetryPolicy::default_io());
                 }
-                let result = mc
-                    .run_plan(&market, &plan, problem.deadline, &ctx)
-                    .map_err(|e| ServiceError::Plan(e.to_string()))?;
+                let faults_label = spec.clone().unwrap_or_else(|| "none".into());
+                let memo_key = plan_bytes.as_ref().map(|pb| (pb.clone(), spec_idx));
+                let result = match memo_key.as_ref().and_then(|k| replay_memo.get(k)) {
+                    Some(hit) => {
+                        replay_memo_hits += 1;
+                        emit(recorder, TraceLevel::Summary, || Event::ReplayMemoHit {
+                            policy: policy_name.clone(),
+                            market: market_label.clone(),
+                            faults: faults_label.clone(),
+                            fingerprint: fnv1a(plan_bytes.as_deref().unwrap_or_default()),
+                        });
+                        hit.clone()
+                    }
+                    None => {
+                        // Warm the death-time tables here (not inside
+                        // `run_plan`) so `ReplayBatched` is emitted from
+                        // this sequential loop — the Monte-Carlo workers
+                        // never touch the recorder, keeping the trace
+                        // byte-identical at any thread count.
+                        let batch_store;
+                        let ctx = if cfg.batch_replay {
+                            batch_store = BatchTables::for_plan(&market, &plan)
+                                .map_err(|e| ServiceError::Plan(e.to_string()))?;
+                            emit(recorder, TraceLevel::Summary, || Event::ReplayBatched {
+                                groups: batch_store.len() as u32,
+                                replicas: u64::from(cfg.replicas),
+                                tables_built: batch_store.tables_built,
+                                tables_reused: batch_store.tables_reused,
+                            });
+                            ctx.with_batch(&batch_store)
+                        } else {
+                            ctx
+                        };
+                        let result = mc
+                            .run_plan(&market, &plan, problem.deadline, &ctx)
+                            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+                        if let Some(key) = memo_key {
+                            replay_memo_misses += 1;
+                            replay_memo.insert(key, result.clone());
+                        }
+                        result
+                    }
+                };
                 let cell = TournamentCell {
-                    policy: policy.name().to_string(),
+                    policy: policy_name.clone(),
                     market: market_label.clone(),
-                    faults: spec.clone().unwrap_or_else(|| "none".into()),
+                    faults: faults_label,
                     expected_cost: expected,
                     mean_cost: result.cost.mean,
                     normalized_cost: result.cost.mean / problem.baseline_cost_billed(),
@@ -349,8 +454,25 @@ pub fn run_tournament(
         deadline_hours,
         baseline_cost_billed,
         replicas: cfg.replicas,
+        replay_memo_hits,
+        replay_memo_misses,
         cells,
     })
+}
+
+/// FNV-1a digest of a plan's serialized form — the fingerprint reported
+/// on [`Event::ReplayMemoHit`]. The memo itself keys on the full bytes;
+/// the digest is observability-only, so a collision can mislabel a trace
+/// line but never conflate two replays.
+fn fnv1a(bytes: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in bytes.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -424,6 +546,77 @@ mod tests {
             .filter(|e| e.kind() == "PolicyEvaluated")
             .count();
         assert_eq!(evaluated, report.cells.len());
+    }
+
+    #[test]
+    fn identical_plan_cells_share_one_search_and_one_replay() {
+        // Two roster entries of the same policy produce byte-identical
+        // plans: the memo must run ONE plan search and ONE Monte-Carlo
+        // replay, serve the duplicate from the memo, and report cells
+        // that are exactly equal.
+        let mut cfg = small_config();
+        cfg.policies = vec!["sompi".into(), "sompi".into()];
+        let ring = RingRecorder::new(TraceLevel::Summary, 4096);
+        let report = run_tournament(&cfg, &ring, None).unwrap();
+        let searches = ring
+            .events()
+            .iter()
+            .filter(|e| e.kind() == "PlanSearchStarted")
+            .count();
+        assert_eq!(searches, 1, "duplicate roster entries must share a search");
+        let memo_hits = ring
+            .events()
+            .iter()
+            .filter(|e| e.kind() == "ReplayMemoHit")
+            .count();
+        assert_eq!(memo_hits, 1);
+        assert_eq!(report.replay_memo_hits, 1);
+        assert_eq!(report.replay_memo_misses, 1);
+        assert_eq!(report.cells.len(), 2);
+        let (a, b) = (&report.cells[0], &report.cells[1]);
+        assert_eq!(a.mean_cost.to_bits(), b.mean_cost.to_bits());
+        assert_eq!(a.normalized_cost.to_bits(), b.normalized_cost.to_bits());
+        assert_eq!(a.time_degradation.to_bits(), b.time_degradation.to_bits());
+    }
+
+    #[test]
+    fn memo_and_batch_ablations_are_bit_identical() {
+        // All four {batch, memo} corners must agree on every cell bit —
+        // the memo reuses only what a re-run would reproduce and the
+        // batched executor is exact. (The bench differential suite
+        // extends this across threads and fault grids.)
+        let mut cfg = small_config();
+        cfg.policies = vec!["ondemand".into(), "no-ft".into(), "no-ft".into()];
+        cfg.fault_specs = vec![None, Some("storm=0.02x0.5,ckpt-fail=0.1".into())];
+        let base = run_tournament(&cfg, &NullRecorder, None).unwrap();
+        assert!(base.replay_memo_hits > 0);
+        for (batch, memo) in [(true, false), (false, true), (false, false)] {
+            let mut alt = cfg.clone();
+            alt.batch_replay = batch;
+            alt.replay_memo = memo;
+            let report = run_tournament(&alt, &NullRecorder, None).unwrap();
+            assert_eq!(report.cells, base.cells, "batch={batch} memo={memo}");
+            if !memo {
+                assert_eq!(report.replay_memo_hits, 0);
+                assert_eq!(report.replay_memo_misses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn config_with_memo_fields_absent_defaults_them_on() {
+        // Schema evolution: pre-PR-10 serialized configs deserialize
+        // with both toggles enabled.
+        let v = serde_json::to_value(&small_config()).unwrap();
+        let s = serde_json::to_string(&v).unwrap();
+        assert!(s.contains("batch_replay"));
+        let stripped = s
+            .replace("\"batch_replay\":true,", "")
+            .replace("\"replay_memo\":true,", "")
+            .replace(",\"batch_replay\":true", "")
+            .replace(",\"replay_memo\":true", "");
+        let cfg: TournamentConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(cfg.batch_replay && cfg.replay_memo);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Render a tournament report as a per-policy cost table and ASCII
+//! chart — the quick-look companion to `sompi tournament --json`.
+//!
+//! ```bash
+//! # Render a saved report:
+//! sompi tournament --smoke --json > report.json
+//! cargo run --release --example tournament_plot report.json
+//!
+//! # Or run a small tournament in-process and render it:
+//! cargo run --release --example tournament_plot
+//! ```
+//!
+//! Each policy's cells (market × fault-plan grid) are averaged into one
+//! row; the bar chart plots mean normalized cost (realized cost over the
+//! billed on-demand baseline — lower is better, 1.00 is "you may as
+//! well have bought on-demand"). The footer reports how many replays
+//! the cross-cell memo deduplicated.
+
+use sompi_obs::NullRecorder;
+use sompi_server::proto::PlanRequest;
+use sompi_server::tournament::{run_tournament, TournamentConfig, TournamentReport};
+use std::collections::BTreeMap;
+
+fn load_or_run() -> TournamentReport {
+    match std::env::args().nth(1) {
+        Some(path) => {
+            let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+        }
+        None => {
+            eprintln!("(no report given — running a small in-process tournament)");
+            let cfg = TournamentConfig {
+                policies: vec![
+                    "ondemand".into(),
+                    "no-ft".into(),
+                    "ckpt-only".into(),
+                    "app-centric".into(),
+                    "deadline-hedge".into(),
+                    "sompi".into(),
+                ],
+                market_seeds: vec![21, 22],
+                market_hours: 150.0,
+                replicas: 8,
+                fault_specs: vec![None, Some("storm=0.02x0.5".into())],
+                plan: PlanRequest {
+                    repeats: 50,
+                    kappa: 1,
+                    bid_levels: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            run_tournament(&cfg, &NullRecorder, None).expect("tournament runs")
+        }
+    }
+}
+
+/// Per-policy averages over the market × fault-plan grid, in first-seen
+/// roster order.
+struct PolicyRow {
+    order: usize,
+    cells: usize,
+    norm_cost: f64,
+    miss_rate: f64,
+    spot_rate: f64,
+    failures: f64,
+}
+
+fn main() {
+    let report = load_or_run();
+    let mut rows: BTreeMap<String, PolicyRow> = BTreeMap::new();
+    for cell in &report.cells {
+        let next = rows.len();
+        let row = rows.entry(cell.policy.clone()).or_insert(PolicyRow {
+            order: next,
+            cells: 0,
+            norm_cost: 0.0,
+            miss_rate: 0.0,
+            spot_rate: 0.0,
+            failures: 0.0,
+        });
+        row.cells += 1;
+        row.norm_cost += cell.normalized_cost;
+        row.miss_rate += cell.deadline_miss_rate;
+        row.spot_rate += cell.spot_finish_rate;
+        row.failures += cell.mean_failures;
+    }
+    let mut ordered: Vec<(&String, &PolicyRow)> = rows.iter().collect();
+    ordered.sort_by_key(|(_, r)| r.order);
+
+    let grid = report.cells.len() / rows.len().max(1);
+    println!(
+        "{} policies x {grid} cells each ({} cells total)\n",
+        rows.len(),
+        report.cells.len()
+    );
+    println!(
+        "{:<16} {:>10} {:>9} {:>9} {:>9}",
+        "policy", "norm cost", "miss %", "spot %", "kills"
+    );
+    for (name, r) in &ordered {
+        let n = r.cells as f64;
+        println!(
+            "{:<16} {:>10.3} {:>8.0}% {:>8.0}% {:>9.2}",
+            name,
+            r.norm_cost / n,
+            r.miss_rate / n * 100.0,
+            r.spot_rate / n * 100.0,
+            r.failures / n
+        );
+    }
+
+    // ASCII chart: one bar per policy, scaled to the worst mean cost.
+    let worst = ordered
+        .iter()
+        .map(|(_, r)| r.norm_cost / r.cells as f64)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    println!("\nmean normalized cost (lower is better):");
+    for (name, r) in &ordered {
+        let mean = r.norm_cost / r.cells as f64;
+        let width = ((mean / worst) * 48.0).round() as usize;
+        println!("{:<16} {} {:.3}", name, "#".repeat(width.max(1)), mean);
+    }
+
+    if report.replay_memo_hits + report.replay_memo_misses > 0 {
+        println!(
+            "\nreplay memo: {} of {} cell replays served from identical-plan cells",
+            report.replay_memo_hits,
+            report.replay_memo_hits + report.replay_memo_misses
+        );
+    }
+}

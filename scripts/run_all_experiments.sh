@@ -14,6 +14,7 @@ BINS=(
   ablation_warmstart
   ablation_kernel
   ablation_replay_index
+  ablation_mc_batch
   ext_relaunch sensitivity_profiling
   tournament
 )

@@ -1,0 +1,259 @@
+//! Differential suite for the batched scenario-major replay executor and
+//! the tournament replay memo: every replay-facing answer — per-replica
+//! `RunOutcome`s, Monte-Carlo aggregates, tournament reports — must be
+//! bit-identical across {batched, scalar} × {memo on, memo off} ×
+//! threads {1, 4, auto}. Both layers are pure wall-clock optimizations
+//! (the death-time table reproduces `TraceQuery`'s float arithmetic
+//! form exactly and the memo only reuses what a re-run would
+//! reproduce); any divergence here is a correctness bug.
+
+use ec2_market::fault::{FaultInjector, FaultPlan, RetryPolicy};
+use ec2_market::instance::{InstanceCatalog, InstanceTypeId};
+use ec2_market::market::SpotMarket;
+use ec2_market::tracegen::{MarketProfile, TraceGenerator};
+use mpi_sim::npb::{NpbClass, NpbKernel};
+use mpi_sim::storage::S3Store;
+use replay::{BatchTables, ExecContext, ExecMode, MonteCarlo, PlanRunner, RunOutcome};
+use sompi_core::adaptive::PlanContext;
+use sompi_core::baselines::{Sompi, Strategy};
+use sompi_core::model::Plan;
+use sompi_core::problem::Problem;
+use sompi_core::twolevel::OptimizerConfig;
+use sompi_core::view::MarketView;
+use sompi_obs::{NullRecorder, RingRecorder, TraceLevel};
+use sompi_server::proto::PlanRequest;
+use sompi_server::tournament::{run_tournament, TournamentConfig};
+
+/// Deterministic start-offset stream (xorshift64*), so the "randomized"
+/// grid below is reproducible across runs and platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        let x = self.0.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn market(seed: u64) -> SpotMarket {
+    let cat = InstanceCatalog::paper_2014();
+    let prof = MarketProfile::paper_2014(&cat);
+    SpotMarket::generate(cat, &TraceGenerator::new(prof, seed), 300.0, 1.0 / 12.0)
+}
+
+fn problem_on(market: &SpotMarket) -> Problem {
+    let profile = NpbKernel::Bt.profile(NpbClass::B, 128).repeated(200);
+    let types: Vec<InstanceTypeId> = ["m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"]
+        .iter()
+        .map(|n| market.catalog().by_name(n).unwrap())
+        .collect();
+    Problem::build(market, &profile, 4.0, Some(&types), S3Store::paper_2014())
+}
+
+fn plan_on(market: &SpotMarket, problem: &Problem) -> Plan {
+    let view = MarketView::from_market(market, 0.0, 48.0);
+    Sompi {
+        config: OptimizerConfig {
+            kappa: 2,
+            bid_levels: 3,
+            ..Default::default()
+        },
+    }
+    .plan(problem, &view, &mut PlanContext::new())
+    .unwrap()
+}
+
+/// Field-by-field bit comparison — stricter than `PartialEq`, which
+/// would let `0.0 == -0.0` slide.
+fn assert_outcome_bits(a: &RunOutcome, b: &RunOutcome, what: &str) {
+    assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "{what}");
+    assert_eq!(a.spot_cost.to_bits(), b.spot_cost.to_bits(), "{what}");
+    assert_eq!(a.od_cost.to_bits(), b.od_cost.to_bits(), "{what}");
+    assert_eq!(a.wall_hours.to_bits(), b.wall_hours.to_bits(), "{what}");
+    assert_eq!(a.finisher, b.finisher, "{what}");
+    assert_eq!(a.groups_failed, b.groups_failed, "{what}");
+    assert_eq!(a.met_deadline, b.met_deadline, "{what}");
+}
+
+/// Every per-replica `RunOutcome` matches bit-for-bit over a randomized
+/// grid of start offsets — on the clean closed-form path and on the
+/// fault-perturbed step-walk path (where the batched executor keeps the
+/// death tables for launch/death lookups but walks replicas scalar-wise
+/// with the precomputed fault keys).
+#[test]
+fn run_outcomes_identical_batched_vs_scalar() {
+    for seed in [31u64, 77, 910] {
+        let market = market(seed);
+        let problem = problem_on(&market);
+        let plan = plan_on(&market, &problem);
+        let batch = BatchTables::for_plan(&market, &plan).unwrap();
+        let injector = FaultInjector::new(
+            FaultPlan::parse("storm=0.05x0.8,ckpt-fail=0.3,ckpt-latency=0.2:0.25", 17).unwrap(),
+            market.horizon(),
+        );
+        let scalar_clean = ExecContext::new().with_mode(ExecMode::Scalar);
+        let batched_clean = ExecContext::new()
+            .with_mode(ExecMode::Batched)
+            .with_batch(&batch);
+        let scalar_faulty = scalar_clean
+            .with_faults(&injector)
+            .with_retry(RetryPolicy::default_io());
+        let batched_faulty = batched_clean
+            .with_faults(&injector)
+            .with_retry(RetryPolicy::default_io());
+        let runner = PlanRunner::new(&market, problem.deadline);
+        let mut rng = Rng(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for i in 0..40 {
+            let start = 48.0 + rng.next_f64() * 210.0;
+            let a = runner.run(&plan, start, &scalar_clean).unwrap();
+            let b = runner.run(&plan, start, &batched_clean).unwrap();
+            assert_outcome_bits(&a, &b, &format!("clean seed={seed} i={i} start={start}"));
+            let a = runner.run(&plan, start, &scalar_faulty).unwrap();
+            let b = runner.run(&plan, start, &batched_faulty).unwrap();
+            assert_outcome_bits(&a, &b, &format!("faulty seed={seed} i={i} start={start}"));
+        }
+    }
+}
+
+/// Monte-Carlo aggregates are identical across the full matrix of
+/// {batched, scalar} × threads {1, 4, auto}, with and without faults.
+/// `MonteCarlo::run_plan` builds the batch tables itself when the
+/// context is in batched mode.
+#[test]
+fn mc_aggregates_identical_across_batch_and_threads() {
+    let market = market(31);
+    let problem = problem_on(&market);
+    let plan = plan_on(&market, &problem);
+    let injector = FaultInjector::new(
+        FaultPlan::parse("storm=0.05x0.8,ckpt-fail=0.3", 17).unwrap(),
+        market.horizon(),
+    );
+    for faulty in [false, true] {
+        let run = |mode: ExecMode, threads: usize| {
+            let mut ctx = ExecContext::new().with_mode(mode);
+            if faulty {
+                ctx = ctx
+                    .with_faults(&injector)
+                    .with_retry(RetryPolicy::default_io());
+            }
+            MonteCarlo::builder()
+                .replicas(96)
+                .seed(5)
+                .offsets(48.0, 260.0)
+                .threads(threads)
+                .build()
+                .run_plan(&market, &plan, problem.deadline, &ctx)
+                .expect("replay succeeds")
+        };
+        let reference = run(ExecMode::Scalar, 1);
+        for threads in [1usize, 4, 0] {
+            assert_eq!(
+                reference,
+                run(ExecMode::Scalar, threads),
+                "scalar, threads={threads}, faulty={faulty}"
+            );
+            assert_eq!(
+                reference,
+                run(ExecMode::Batched, threads),
+                "batched, threads={threads}, faulty={faulty}"
+            );
+        }
+    }
+}
+
+fn tournament_config(threads: u32) -> TournamentConfig {
+    TournamentConfig {
+        market_hours: 150.0,
+        replicas: 4,
+        policies: vec![
+            "ondemand".into(),
+            "no-ft".into(),
+            "no-ft".into(),
+            "sompi".into(),
+        ],
+        fault_specs: vec![None, Some("storm=0.02x0.5,ckpt-fail=0.1".into())],
+        plan: PlanRequest {
+            repeats: 50,
+            kappa: 1,
+            bid_levels: 2,
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Tournament cells are bit-identical over every {batch on/off} ×
+/// {memo on/off} corner and every thread count, and — for a fixed
+/// corner — the full report JSON is byte-identical across threads (the
+/// determinism contract CI enforces, extended to the new ablations).
+/// Cells are compared through their JSON serialization: `serde_json`
+/// prints `-0.0` and `0.0` differently, so byte equality is bit
+/// equality.
+#[test]
+fn tournament_cells_identical_across_ablation_corners_and_threads() {
+    let cells_json = |batch: bool, memo: bool, threads: u32| {
+        let mut cfg = tournament_config(threads);
+        cfg.batch_replay = batch;
+        cfg.replay_memo = memo;
+        let report = run_tournament(&cfg, &NullRecorder, None).unwrap();
+        (
+            serde_json::to_string(&report.cells).unwrap(),
+            report.to_json(),
+        )
+    };
+    let (reference, default_json) = cells_json(true, true, 1);
+    for threads in [1u32, 4, 0] {
+        for (batch, memo) in [(true, true), (true, false), (false, true), (false, false)] {
+            let (cells, full) = cells_json(batch, memo, threads);
+            assert_eq!(
+                reference, cells,
+                "cells diverge at batch={batch} memo={memo} threads={threads}"
+            );
+            if (batch, memo) == (true, true) {
+                assert_eq!(
+                    default_json, full,
+                    "default-corner report JSON diverges at threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// Identical-plan cells share one search and one replay per fault spec:
+/// the roster above has `no-ft` twice, so the trace must show exactly
+/// one `PlanSearchStarted` per *unique* policy that runs a two-level
+/// search (only `sompi` here — `ondemand`/`no-ft` are closed-form) and
+/// the memo counters must account for every duplicated (plan,
+/// fault-spec) replay.
+#[test]
+fn tournament_emits_one_search_per_unique_plan() {
+    let cfg = tournament_config(1);
+    let ring = RingRecorder::new(TraceLevel::Summary, 8192);
+    let report = run_tournament(&cfg, &ring, None).unwrap();
+    let searches = ring
+        .events()
+        .iter()
+        .filter(|e| e.kind() == "PlanSearchStarted")
+        .count();
+    assert_eq!(searches, 1, "only sompi runs a two-level search");
+    let memo_hits = ring
+        .events()
+        .iter()
+        .filter(|e| e.kind() == "ReplayMemoHit")
+        .count();
+    // The duplicated no-ft entry re-hits the memo once per fault spec.
+    assert_eq!(memo_hits, 2);
+    assert_eq!(report.replay_memo_hits, 2);
+    assert_eq!(report.replay_memo_misses, 3 * 2);
+    // Batched replays announce themselves once per (plan, market, spec).
+    let batched = ring
+        .events()
+        .iter()
+        .filter(|e| e.kind() == "ReplayBatched")
+        .count();
+    assert_eq!(batched, 3 * 2, "one ReplayBatched per memo miss");
+}
